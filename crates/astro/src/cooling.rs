@@ -1,0 +1,370 @@
+//! Radiative cooling and heating (paper §3.2 step 6, "Feedback_and_Cooling").
+//!
+//! The cooling function is a piecewise power-law approximation of a standard
+//! primordial+metals curve (Sutherland & Dopita shape): a steep rise above
+//! 10^4 K (Ly-alpha), a peak near 10^5 K, a slow decline to the
+//! bremsstrahlung regime, plus low-temperature fine-structure cooling. The
+//! update uses **Townsend (2009) exact integration**, which is
+//! unconditionally stable — no cooling subcycling is needed even in the
+//! 10^7 K SN bubbles where explicit integration would demand tiny steps.
+
+/// One power-law segment: `Lambda(T) = lambda_k * (T / t_k)^{alpha_k}` on
+/// `[t_k, t_{k+1})`.
+#[derive(Debug, Clone, Copy)]
+struct Segment {
+    t: f64,
+    lambda: f64,
+    alpha: f64,
+    /// Townsend's temporal evolution function offset Y_k.
+    y: f64,
+}
+
+/// A piecewise power-law cooling curve with exact-integration updates.
+///
+/// `Lambda` is the normalized cooling rate in erg cm^3 / s; the volumetric
+/// loss is `n_H^2 Lambda(T)`.
+#[derive(Debug, Clone)]
+pub struct CoolingCurve {
+    segments: Vec<Segment>,
+    t_floor: f64,
+    t_ceil: f64,
+    /// Photoelectric/UV heating rate per hydrogen atom [erg/s].
+    pub heating_per_nh: f64,
+    /// Mean molecular weight used for the u <-> T conversion.
+    pub mu: f64,
+    pub gamma: f64,
+}
+
+impl Default for CoolingCurve {
+    fn default() -> Self {
+        Self::standard_ism()
+    }
+}
+
+impl CoolingCurve {
+    /// A standard ISM curve: anchors `(T [K], Lambda [erg cm^3/s])` with
+    /// power-law interpolation, from fine-structure cooling at 10 K to
+    /// bremsstrahlung at 10^8 K.
+    pub fn standard_ism() -> Self {
+        let anchors: [(f64, f64); 7] = [
+            (1.0e1, 1.0e-27),
+            (1.0e3, 3.0e-27),
+            (1.0e4, 1.0e-24),
+            (1.0e5, 3.0e-22),
+            (1.0e6, 3.0e-23),
+            (1.0e7, 1.0e-23),
+            (1.0e8, 3.0e-23),
+        ];
+        Self::from_anchors(&anchors, 10.0, 1.0e8, 2.0e-26)
+    }
+
+    /// Build from `(T, Lambda)` anchors (ascending T, positive Lambda).
+    pub fn from_anchors(
+        anchors: &[(f64, f64)],
+        t_floor: f64,
+        t_ceil: f64,
+        heating_per_nh: f64,
+    ) -> Self {
+        assert!(anchors.len() >= 2, "need at least two anchors");
+        let mut segments: Vec<Segment> = Vec::with_capacity(anchors.len());
+        for w in anchors.windows(2) {
+            let (t0, l0) = w[0];
+            let (t1, l1) = w[1];
+            assert!(t1 > t0 && l0 > 0.0 && l1 > 0.0, "anchors must ascend");
+            let alpha = (l1 / l0).ln() / (t1 / t0).ln();
+            segments.push(Segment {
+                t: t0,
+                lambda: l0,
+                alpha,
+                y: 0.0,
+            });
+        }
+        // Final open segment continues the last slope.
+        let (t_last, l_last) = *anchors.last().expect("non-empty");
+        let alpha_last = segments.last().expect("non-empty").alpha;
+        segments.push(Segment {
+            t: t_last,
+            lambda: l_last,
+            alpha: alpha_last,
+            y: 0.0,
+        });
+        let mut curve = CoolingCurve {
+            segments,
+            t_floor,
+            t_ceil,
+            heating_per_nh,
+            mu: 1.27,
+            gamma: 5.0 / 3.0,
+        };
+        curve.fill_townsend_y();
+        curve
+    }
+
+    /// `g(T)` for segment `k`: the dimensionless integral
+    /// `Int_{T_k}^{T} (Lambda_ref / Lambda(T')) dT' / T_ref` in closed form.
+    fn seg_integral(&self, k: usize, t: f64) -> f64 {
+        let n = self.segments.len();
+        let (t_ref, l_ref) = (self.segments[n - 1].t, self.segments[n - 1].lambda);
+        let s = &self.segments[k];
+        let a = (l_ref / s.lambda) * (s.t / t_ref);
+        if (s.alpha - 1.0).abs() < 1e-12 {
+            a * (t / s.t).ln()
+        } else {
+            a / (1.0 - s.alpha) * ((t / s.t).powf(1.0 - s.alpha) - 1.0)
+        }
+    }
+
+    /// Inverse of [`CoolingCurve::seg_integral`] on segment `k`.
+    fn seg_integral_inverse(&self, k: usize, g: f64) -> f64 {
+        let n = self.segments.len();
+        let (t_ref, l_ref) = (self.segments[n - 1].t, self.segments[n - 1].lambda);
+        let s = &self.segments[k];
+        let a = (l_ref / s.lambda) * (s.t / t_ref);
+        if (s.alpha - 1.0).abs() < 1e-12 {
+            s.t * (g / a).exp()
+        } else {
+            let base = 1.0 + (1.0 - s.alpha) * g / a;
+            if base <= 0.0 {
+                // Cooled through the bottom of the segment within the step.
+                return self.t_floor;
+            }
+            s.t * base.powf(1.0 / (1.0 - s.alpha))
+        }
+    }
+
+    /// Precompute Townsend's Y(T) at segment boundaries, with the reference
+    /// temperature at the top of the curve. Y decreases as T increases:
+    /// `Y(T_k) = Y(T_{k+1}) + g_k(T_{k+1})`.
+    fn fill_townsend_y(&mut self) {
+        let n = self.segments.len();
+        self.segments[n - 1].y = 0.0;
+        for k in (0..n - 1).rev() {
+            let t_next = self.segments[k + 1].t;
+            let y_next = self.segments[k + 1].y;
+            let term = self.seg_integral(k, t_next);
+            self.segments[k].y = y_next + term;
+        }
+    }
+
+    fn segment_index(&self, t: f64) -> usize {
+        match self
+            .segments
+            .binary_search_by(|s| s.t.partial_cmp(&t).expect("finite T"))
+        {
+            Ok(i) => i,
+            Err(0) => 0,
+            Err(i) => i - 1,
+        }
+    }
+
+    /// Cooling rate `Lambda(T)` [erg cm^3/s], clamped to the curve's domain.
+    pub fn lambda(&self, t: f64) -> f64 {
+        let t = t.clamp(self.t_floor, self.t_ceil);
+        let s = &self.segments[self.segment_index(t)];
+        s.lambda * (t / s.t).powf(s.alpha)
+    }
+
+    /// Townsend Y(T): `Y(T) = Y_k - g_k(T)` on the segment containing T.
+    fn y_of(&self, t: f64) -> f64 {
+        let k = self.segment_index(t);
+        self.segments[k].y - self.seg_integral(k, t)
+    }
+
+    /// Inverse of Y: find the segment whose [Y_{k+1}, Y_k] brackets `y`,
+    /// then invert the closed-form integral.
+    fn y_inverse(&self, y: f64) -> f64 {
+        let n = self.segments.len();
+        if y >= self.segments[0].y {
+            return self.t_floor; // cooled below the curve's domain
+        }
+        if y <= 0.0 {
+            return self.t_ceil;
+        }
+        let mut k = n - 1;
+        for i in 0..n - 1 {
+            if y <= self.segments[i].y && y >= self.segments[i + 1].y {
+                k = i;
+                break;
+            }
+        }
+        self.seg_integral_inverse(k, self.segments[k].y - y)
+    }
+
+    /// Exact-integration cooling update (Townsend 2009): temperature after
+    /// cooling gas at hydrogen density `nh` [cm^-3] from temperature `t` [K]
+    /// for `dt_myr` megayears. Heating is applied operator-split afterwards.
+    pub fn cool_to(&self, t: f64, nh: f64, dt_myr: f64) -> f64 {
+        let t = t.clamp(self.t_floor, self.t_ceil);
+        if nh <= 0.0 || dt_myr <= 0.0 {
+            return t;
+        }
+        let n = self.segments.len();
+        let (t_ref, l_ref) = (self.segments[n - 1].t, self.segments[n - 1].lambda);
+        // t_cool at the reference: (3/2) k_B T_ref (mu_e mu_H / mu) /
+        // (n Lambda_ref). We fold composition factors into a single n_H^2
+        // convention: de/dt = -n_H^2 Lambda, e = 3/2 n k T with n = n_H/x.
+        const KB: f64 = 1.380_649e-16; // erg/K
+        let n_over_nh = 1.1 / self.mu * 1.27; // total particles per H (approx)
+        let e_per_t = 1.5 * KB * nh * n_over_nh; // erg cm^-3 K^-1
+        let dt_s = dt_myr * crate::units::SECONDS_PER_MYR;
+        // With Y normalized by the reference point, dY/dt = 1 / t_cool_ref
+        // where t_cool_ref is constant over the step — the whole point of
+        // Townsend's exact scheme.
+        let t_cool_ref = e_per_t * t_ref / (nh * nh * l_ref); // seconds
+        let y_new = self.y_of(t) + dt_s / t_cool_ref;
+        let t_new = self.y_inverse(y_new);
+        t_new.clamp(self.t_floor, self.t_ceil)
+    }
+
+    /// Heating-only update: `de/dt = n_H Gamma`, exact for constant Gamma.
+    pub fn heat_to(&self, t: f64, nh: f64, dt_myr: f64) -> f64 {
+        if nh <= 0.0 || dt_myr <= 0.0 {
+            return t;
+        }
+        const KB: f64 = 1.380_649e-16;
+        let n_over_nh = 1.1 / self.mu * 1.27;
+        let e_per_t = 1.5 * KB * nh * n_over_nh;
+        let dt_s = dt_myr * crate::units::SECONDS_PER_MYR;
+        let dtemp = nh * self.heating_per_nh * dt_s / e_per_t;
+        (t + dtemp).clamp(self.t_floor, self.t_ceil)
+    }
+
+    /// Operator-split cool + heat update over `dt_myr`.
+    pub fn update(&self, t: f64, nh: f64, dt_myr: f64) -> f64 {
+        self.heat_to(self.cool_to(t, nh, dt_myr), nh, dt_myr)
+    }
+
+    /// Equilibrium temperature where heating balances cooling at `nh`
+    /// (bisection; returns the floor/ceiling when no balance exists).
+    pub fn equilibrium_temperature(&self, nh: f64) -> f64 {
+        let net = |t: f64| nh * self.heating_per_nh - nh * nh * self.lambda(t);
+        let (mut lo, mut hi) = (self.t_floor, self.t_ceil);
+        if net(lo) <= 0.0 {
+            return lo;
+        }
+        if net(hi) >= 0.0 {
+            return hi;
+        }
+        for _ in 0..200 {
+            let mid = (lo * hi).sqrt();
+            if net(mid) > 0.0 {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        (lo * hi).sqrt()
+    }
+
+    /// Explicit subcycled update, for validating the exact integrator.
+    pub fn cool_explicit(&self, t0: f64, nh: f64, dt_myr: f64, substeps: usize) -> f64 {
+        const KB: f64 = 1.380_649e-16;
+        let n_over_nh = 1.1 / self.mu * 1.27;
+        let e_per_t = 1.5 * KB * nh * n_over_nh;
+        let dt_s = dt_myr * crate::units::SECONDS_PER_MYR / substeps as f64;
+        let mut t = t0;
+        for _ in 0..substeps {
+            let dedt = -nh * nh * self.lambda(t);
+            t = (t + dedt * dt_s / e_per_t).clamp(self.t_floor, self.t_ceil);
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lambda_interpolates_anchors_exactly() {
+        let c = CoolingCurve::standard_ism();
+        assert!((c.lambda(1.0e4) / 1.0e-24 - 1.0).abs() < 1e-9);
+        assert!((c.lambda(1.0e5) / 3.0e-22 - 1.0).abs() < 1e-9);
+        // Between anchors it's a power law: check log-midpoint.
+        let t_mid = (1.0e4f64 * 1.0e5).sqrt();
+        let l_mid = (1.0e-24f64 * 3.0e-22).sqrt();
+        assert!((c.lambda(t_mid) / l_mid - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cooling_always_decreases_temperature() {
+        let c = CoolingCurve::standard_ism();
+        for &t in &[1e2, 1e4, 1e5, 1e6, 1e7] {
+            let t_new = c.cool_to(t, 1.0, 1.0);
+            assert!(t_new <= t, "T={t} cooled to {t_new}");
+            assert!(t_new >= 10.0);
+        }
+    }
+
+    #[test]
+    fn exact_integration_matches_fine_subcycling() {
+        let c = CoolingCurve::standard_ism();
+        for &(t0, nh, dt) in &[(1.0e6, 0.1, 1.0), (3.0e4, 1.0, 0.3), (1.0e7, 0.01, 5.0)] {
+            let exact = c.cool_to(t0, nh, dt);
+            let explicit = c.cool_explicit(t0, nh, dt, 200_000);
+            let rel = (exact - explicit).abs() / explicit;
+            assert!(
+                rel < 0.05,
+                "T0={t0} nh={nh} dt={dt}: exact {exact} vs explicit {explicit}"
+            );
+        }
+    }
+
+    #[test]
+    fn exact_integration_is_stable_for_huge_steps() {
+        // A step 1000x the cooling time must land at the floor, not NaN.
+        let c = CoolingCurve::standard_ism();
+        let t = c.cool_to(1.0e6, 100.0, 100.0);
+        assert!(t.is_finite());
+        assert!(t >= 10.0);
+        assert!(t < 1000.0, "dense hot gas must cool drastically: {t}");
+    }
+
+    #[test]
+    fn heating_raises_cold_gas_to_equilibrium() {
+        let c = CoolingCurve::standard_ism();
+        let nh = 0.1;
+        let teq = c.equilibrium_temperature(nh);
+        assert!(teq > 10.0 && teq < 1.0e5, "T_eq = {teq}");
+        // Repeated updates converge toward equilibrium from both sides.
+        let mut t_lo = 20.0;
+        let mut t_hi = 1.0e6;
+        for _ in 0..2000 {
+            t_lo = c.update(t_lo, nh, 0.5);
+            t_hi = c.update(t_hi, nh, 0.5);
+        }
+        assert!(
+            (t_lo / teq).ln().abs() < 1.0,
+            "from below: {t_lo} vs eq {teq}"
+        );
+        assert!(
+            (t_hi / teq).ln().abs() < 1.0,
+            "from above: {t_hi} vs eq {teq}"
+        );
+    }
+
+    #[test]
+    fn denser_gas_cools_faster() {
+        let c = CoolingCurve::standard_ism();
+        let t_thin = c.cool_to(1.0e6, 0.01, 0.1);
+        let t_dense = c.cool_to(1.0e6, 10.0, 0.1);
+        assert!(t_dense < t_thin);
+    }
+
+    #[test]
+    fn zero_density_or_time_is_identity() {
+        let c = CoolingCurve::standard_ism();
+        assert_eq!(c.cool_to(1e5, 0.0, 1.0), 1e5);
+        assert_eq!(c.cool_to(1e5, 1.0, 0.0), 1e5);
+        assert_eq!(c.update(1e5, 0.0, 1.0), 1e5);
+    }
+
+    #[test]
+    fn equilibrium_scales_inversely_with_density() {
+        // Higher density => cooling wins at lower T => lower T_eq.
+        let c = CoolingCurve::standard_ism();
+        let t1 = c.equilibrium_temperature(0.01);
+        let t2 = c.equilibrium_temperature(10.0);
+        assert!(t2 < t1, "T_eq({}) = {t2} !< T_eq(0.01) = {t1}", 10.0);
+    }
+}

@@ -1,0 +1,230 @@
+//! The stellar initial mass function.
+//!
+//! Star-by-star simulations sample individual stellar masses from an IMF
+//! (paper §1: "Stars are known to follow a mass spectrum. Massive stars more
+//! than about 10 times solar masses are only a few percent of all stellar
+//! populations"). We implement the Kroupa (2001) broken power law.
+
+use rand::Rng;
+
+/// A broken power-law IMF `dN/dm ∝ m^{-alpha_k}` on segments.
+#[derive(Debug, Clone)]
+pub struct KroupaImf {
+    /// Segment edges (ascending), `len = segments + 1`.
+    edges: Vec<f64>,
+    /// Exponents per segment.
+    alphas: Vec<f64>,
+    /// Cumulative number fraction at the segment edges.
+    cdf: Vec<f64>,
+    /// Per-segment number normalization (continuous across edges).
+    norms: Vec<f64>,
+}
+
+impl Default for KroupaImf {
+    fn default() -> Self {
+        Self::kroupa(0.08, 150.0)
+    }
+}
+
+impl KroupaImf {
+    /// The Kroupa (2001) IMF between `m_min` and `m_max` [M_sun]:
+    /// `alpha = 1.3` for `0.08 <= m < 0.5`, `alpha = 2.3` above.
+    pub fn kroupa(m_min: f64, m_max: f64) -> Self {
+        assert!(m_min > 0.0 && m_max > m_min);
+        let mut edges = vec![m_min];
+        let mut alphas = Vec::new();
+        if m_min < 0.5 && m_max > 0.5 {
+            edges.push(0.5);
+            alphas.push(1.3);
+            alphas.push(2.3);
+        } else if m_max <= 0.5 {
+            alphas.push(1.3);
+        } else {
+            alphas.push(2.3);
+        }
+        edges.push(m_max);
+        Self::from_segments(edges, alphas)
+    }
+
+    /// Build from explicit edges and exponents; the IMF is continuous at
+    /// internal edges and normalized to unit total number.
+    pub fn from_segments(edges: Vec<f64>, alphas: Vec<f64>) -> Self {
+        assert_eq!(edges.len(), alphas.len() + 1);
+        assert!(edges.windows(2).all(|w| w[1] > w[0]));
+        // Continuity: norm_{k+1} = norm_k * edge^{alpha_{k+1} - alpha_k}.
+        let mut norms = vec![1.0];
+        for k in 1..alphas.len() {
+            let e = edges[k];
+            let prev = norms[k - 1];
+            norms.push(prev * e.powf(alphas[k] - alphas[k - 1]));
+        }
+        // Segment number integrals.
+        let seg_int = |k: usize| -> f64 {
+            let (a, b) = (edges[k], edges[k + 1]);
+            let alpha = alphas[k];
+            let c = norms[k];
+            if (alpha - 1.0).abs() < 1e-12 {
+                c * (b / a).ln()
+            } else {
+                c / (1.0 - alpha) * (b.powf(1.0 - alpha) - a.powf(1.0 - alpha))
+            }
+        };
+        let mut cdf = vec![0.0];
+        for k in 0..alphas.len() {
+            cdf.push(cdf[k] + seg_int(k));
+        }
+        let total = *cdf.last().expect("non-empty");
+        for c in cdf.iter_mut() {
+            *c /= total;
+        }
+        for n in norms.iter_mut() {
+            *n /= total;
+        }
+        KroupaImf {
+            edges,
+            alphas,
+            cdf,
+            norms,
+        }
+    }
+
+    /// Number fraction of stars with mass in `[a, b]`.
+    pub fn number_fraction(&self, a: f64, b: f64) -> f64 {
+        self.cdf_at(b) - self.cdf_at(a)
+    }
+
+    fn cdf_at(&self, m: f64) -> f64 {
+        let m = m.clamp(self.edges[0], *self.edges.last().expect("non-empty"));
+        let k = match self
+            .edges
+            .binary_search_by(|e| e.partial_cmp(&m).expect("finite"))
+        {
+            Ok(i) => i.min(self.alphas.len() - 1),
+            Err(0) => 0,
+            Err(i) => (i - 1).min(self.alphas.len() - 1),
+        };
+        let (a, alpha, c) = (self.edges[k], self.alphas[k], self.norms[k]);
+        let partial = if (alpha - 1.0).abs() < 1e-12 {
+            c * (m / a).ln()
+        } else {
+            c / (1.0 - alpha) * (m.powf(1.0 - alpha) - a.powf(1.0 - alpha))
+        };
+        self.cdf[k] + partial
+    }
+
+    /// Inverse-CDF sample of one stellar mass.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u: f64 = rng.gen();
+        // Locate segment by CDF.
+        let mut k = 0;
+        while k + 1 < self.cdf.len() - 1 && u > self.cdf[k + 1] {
+            k += 1;
+        }
+        let (a, alpha, c) = (self.edges[k], self.alphas[k], self.norms[k]);
+        let du = u - self.cdf[k];
+        if (alpha - 1.0).abs() < 1e-12 {
+            a * (du / c).exp()
+        } else {
+            (a.powf(1.0 - alpha) + du * (1.0 - alpha) / c).powf(1.0 / (1.0 - alpha))
+        }
+    }
+
+    /// Mean stellar mass (analytic).
+    pub fn mean_mass(&self) -> f64 {
+        let mut m1 = 0.0;
+        for k in 0..self.alphas.len() {
+            let (a, b) = (self.edges[k], self.edges[k + 1]);
+            let alpha = self.alphas[k];
+            let c = self.norms[k];
+            m1 += if (alpha - 2.0).abs() < 1e-12 {
+                c * (b / a).ln()
+            } else {
+                c / (2.0 - alpha) * (b.powf(2.0 - alpha) - a.powf(2.0 - alpha))
+            };
+        }
+        m1
+    }
+
+    /// Minimum and maximum sampleable mass.
+    pub fn mass_range(&self) -> (f64, f64) {
+        (self.edges[0], *self.edges.last().expect("non-empty"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn cdf_is_normalized_and_monotone() {
+        let imf = KroupaImf::default();
+        assert!((imf.number_fraction(0.08, 150.0) - 1.0).abs() < 1e-12);
+        let mut prev = 0.0;
+        for i in 1..100 {
+            let m = 0.08 * (150.0f64 / 0.08).powf(i as f64 / 100.0);
+            let c = imf.cdf_at(m);
+            assert!(c >= prev);
+            prev = c;
+        }
+    }
+
+    #[test]
+    fn massive_stars_are_a_few_percent() {
+        // Paper §1: stars above ~10 M_sun are "only a few percent".
+        let imf = KroupaImf::default();
+        let f = imf.number_fraction(10.0, 150.0);
+        assert!((0.001..0.05).contains(&f), "f(>10) = {f}");
+        let f8 = imf.number_fraction(8.0, 150.0);
+        assert!(f8 > f);
+    }
+
+    #[test]
+    fn mean_mass_is_about_half_solar() {
+        let imf = KroupaImf::default();
+        let m = imf.mean_mass();
+        assert!((0.2..0.9).contains(&m), "mean mass {m}");
+    }
+
+    #[test]
+    fn samples_match_analytic_cdf() {
+        let imf = KroupaImf::default();
+        let mut rng = StdRng::seed_from_u64(42);
+        let n = 200_000;
+        let samples: Vec<f64> = (0..n).map(|_| imf.sample(&mut rng)).collect();
+        for &m in &[0.1, 0.3, 0.5, 1.0, 8.0, 50.0] {
+            let frac = samples.iter().filter(|&&s| s <= m).count() as f64 / n as f64;
+            let expect = imf.number_fraction(0.08, m);
+            assert!(
+                (frac - expect).abs() < 0.01,
+                "m={m}: sampled {frac} vs analytic {expect}"
+            );
+        }
+        // All samples within range.
+        let (lo, hi) = imf.mass_range();
+        assert!(samples.iter().all(|&s| s >= lo && s <= hi));
+    }
+
+    #[test]
+    fn sampled_mean_matches_analytic_mean() {
+        let imf = KroupaImf::default();
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 300_000;
+        let mean: f64 = (0..n).map(|_| imf.sample(&mut rng)).sum::<f64>() / n as f64;
+        let expect = imf.mean_mass();
+        assert!(
+            (mean - expect).abs() / expect < 0.05,
+            "sampled {mean} vs analytic {expect}"
+        );
+    }
+
+    #[test]
+    fn single_segment_power_law_works() {
+        let imf = KroupaImf::from_segments(vec![1.0, 100.0], vec![2.35]); // Salpeter
+        assert!((imf.number_fraction(1.0, 100.0) - 1.0).abs() < 1e-12);
+        // Salpeter mean on [1, 100]: (alpha-1)/(alpha-2) * (1 - 100^{2-a})/(1 - 100^{1-a}).
+        let m = imf.mean_mass();
+        assert!((3.0..3.5).contains(&m), "Salpeter mean {m}");
+    }
+}

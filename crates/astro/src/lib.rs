@@ -1,0 +1,29 @@
+//! # astro — astrophysical substrates
+//!
+//! The stellar-physics and ISM-physics modules the galaxy simulation depends
+//! on (paper §1, §3.2): radiative cooling and heating, star formation,
+//! the stellar initial mass function, stellar lifetimes, supernova detection
+//! and energy injection, the Sedov–Taylor blast-wave solution (the analytic
+//! limit the surrogate model learns), and the `v^-4` turbulent velocity
+//! fields used as training-box initial conditions (§3.3).
+//!
+//! All quantities use galactic code units: parsec, solar mass, megayear.
+
+pub mod cooling;
+pub mod imf;
+pub mod lifetime;
+pub mod sedov;
+pub mod starform;
+pub mod supernova;
+pub mod turbulence;
+pub mod units;
+pub mod yields;
+
+pub use cooling::CoolingCurve;
+pub use imf::KroupaImf;
+pub use lifetime::stellar_lifetime_myr;
+pub use sedov::SedovTaylor;
+pub use starform::{StarFormation, StarFormationCriteria};
+pub use supernova::{SnEvent, SnFeedback};
+pub use units::*;
+pub use yields::{SnYield, Species};

@@ -1,0 +1,106 @@
+//! Stellar lifetimes: when does a star explode?
+//!
+//! Main-sequence + post-main-sequence lifetime as a function of initial
+//! mass, using the Raiteri, Villata & Navarro (1996) fit at roughly solar
+//! metallicity: `log10 t[yr] = a0 + a1 log10 m + a2 (log10 m)^2`.
+
+/// Raiteri et al. (1996) coefficients for Z = 0.02.
+const A0: f64 = 10.13;
+const A1: f64 = -4.10;
+const A2: f64 = 1.093;
+
+/// Lifetime [Myr] of a star of initial mass `m` [M_sun].
+///
+/// The quadratic fit turns over near `m ~ 75 M_sun`; beyond the turnover we
+/// clamp to the minimum lifetime (very massive stars all live ~3 Myr).
+pub fn stellar_lifetime_myr(m: f64) -> f64 {
+    assert!(m > 0.0, "stellar mass must be positive");
+    let lm_turn = -A1 / (2.0 * A2);
+    let lm = m.log10().min(lm_turn);
+    let log_t_yr = A0 + A1 * lm + A2 * lm * lm;
+    10f64.powf(log_t_yr) / 1.0e6
+}
+
+/// Minimum initial mass that explodes as a core-collapse SN [M_sun].
+pub const SN_MIN_MASS: f64 = 8.0;
+
+/// Maximum initial mass treated as exploding (above: direct collapse).
+pub const SN_MAX_MASS: f64 = 40.0;
+
+/// Does a star of mass `m` born at `t_birth` explode during `(t, t + dt]`?
+pub fn explodes_in_interval(m: f64, t_birth: f64, t: f64, dt: f64) -> bool {
+    if !(SN_MIN_MASS..=SN_MAX_MASS).contains(&m) {
+        return false;
+    }
+    let t_death = t_birth + stellar_lifetime_myr(m);
+    t_death > t && t_death <= t + dt
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solar_mass_star_lives_about_ten_gyr() {
+        let t = stellar_lifetime_myr(1.0);
+        assert!(
+            (8.0e3..1.6e4).contains(&t),
+            "1 M_sun lifetime {t} Myr, expected ~10^4"
+        );
+    }
+
+    #[test]
+    fn ten_solar_mass_star_lives_tens_of_myr() {
+        // Paper §1: massive stars explode "at the end of their lifetimes";
+        // an SN progenitor lives a few tens of Myr.
+        let t = stellar_lifetime_myr(10.0);
+        assert!((5.0..60.0).contains(&t), "10 M_sun lifetime {t} Myr");
+    }
+
+    #[test]
+    fn lifetime_is_monotonically_non_increasing() {
+        let mut prev = stellar_lifetime_myr(0.5);
+        for i in 1..60 {
+            let m = 0.5 * (150.0f64 / 0.5).powf(i as f64 / 60.0);
+            let t = stellar_lifetime_myr(m);
+            assert!(
+                t <= prev + 1e-12,
+                "lifetime must not rise with mass at m={m}"
+            );
+            prev = t;
+        }
+        // Very massive stars live about 3 Myr (the clamped minimum).
+        let t_min = stellar_lifetime_myr(140.0);
+        assert!((1.0..10.0).contains(&t_min), "t(140) = {t_min} Myr");
+    }
+
+    #[test]
+    fn explosion_window_detection() {
+        let m = 10.0;
+        let life = stellar_lifetime_myr(m);
+        let t_birth = 100.0;
+        // Exactly bracketing the death time.
+        assert!(explodes_in_interval(m, t_birth, t_birth + life - 0.001, 0.002));
+        // Before the window.
+        assert!(!explodes_in_interval(m, t_birth, t_birth, 1.0));
+        // After the death.
+        assert!(!explodes_in_interval(m, t_birth, t_birth + life + 1.0, 1.0));
+    }
+
+    #[test]
+    fn low_and_super_massive_stars_never_explode() {
+        assert!(!explodes_in_interval(1.0, 0.0, stellar_lifetime_myr(1.0) - 0.5, 1.0));
+        assert!(!explodes_in_interval(
+            100.0,
+            0.0,
+            stellar_lifetime_myr(100.0) - 0.5,
+            1.0
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_mass_rejected() {
+        stellar_lifetime_myr(0.0);
+    }
+}

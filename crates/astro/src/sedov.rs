@@ -1,0 +1,262 @@
+//! The Sedov–Taylor point-explosion solution — the analytic limit of the
+//! supernova shell expansion the surrogate model learns (paper §3.3).
+//!
+//! Exact pieces: the self-similar shock trajectory `R(t) = xi0 (E t^2 /
+//! rho0)^{1/5}`, shock speed, and the Rankine–Hugoniot jump conditions.
+//! The interior profiles use the standard strong-shock approximations
+//! (density `∝ lambda^9` for gamma = 5/3, linear velocity), whose integrals
+//! conserve the swept-up mass *exactly* and the explosion energy through
+//! the pressure normalization — the properties the surrogate's training
+//! targets must respect.
+
+use crate::units::KB_OVER_MP;
+
+/// A Sedov–Taylor blast in a uniform medium.
+#[derive(Debug, Clone, Copy)]
+pub struct SedovTaylor {
+    /// Explosion energy [code units].
+    pub e: f64,
+    /// Ambient density [M_sun/pc^3].
+    pub rho0: f64,
+    /// Adiabatic index.
+    pub gamma: f64,
+    /// Similarity constant xi0 (1.1517 for gamma = 5/3).
+    pub xi0: f64,
+}
+
+impl SedovTaylor {
+    /// Standard gamma = 5/3 blast.
+    pub fn new(e: f64, rho0: f64) -> Self {
+        assert!(e > 0.0 && rho0 > 0.0);
+        SedovTaylor {
+            e,
+            rho0,
+            gamma: 5.0 / 3.0,
+            xi0: 1.1517,
+        }
+    }
+
+    /// Shock radius [pc] at time `t` [Myr].
+    pub fn shock_radius(&self, t: f64) -> f64 {
+        assert!(t >= 0.0);
+        self.xi0 * (self.e * t * t / self.rho0).powf(0.2)
+    }
+
+    /// Shock speed [pc/Myr]: `dR/dt = 2R / 5t`.
+    pub fn shock_speed(&self, t: f64) -> f64 {
+        assert!(t > 0.0);
+        0.4 * self.shock_radius(t) / t
+    }
+
+    /// Strong-shock (Rankine–Hugoniot) post-shock density.
+    pub fn post_shock_density(&self) -> f64 {
+        (self.gamma + 1.0) / (self.gamma - 1.0) * self.rho0
+    }
+
+    /// Post-shock pressure at time `t`.
+    pub fn post_shock_pressure(&self, t: f64) -> f64 {
+        let us = self.shock_speed(t);
+        2.0 / (self.gamma + 1.0) * self.rho0 * us * us
+    }
+
+    /// Post-shock fluid velocity at time `t`.
+    pub fn post_shock_velocity(&self, t: f64) -> f64 {
+        2.0 / (self.gamma + 1.0) * self.shock_speed(t)
+    }
+
+    /// Interior density profile: `rho(r) = rho2 lambda^9` (gamma = 5/3),
+    /// which integrates to exactly the swept-up mass `4/3 pi rho0 R^3`.
+    pub fn density(&self, r: f64, t: f64) -> f64 {
+        let rs = self.shock_radius(t);
+        if r >= rs {
+            return self.rho0;
+        }
+        let lambda = r / rs;
+        self.post_shock_density() * lambda.powi(9)
+    }
+
+    /// Interior radial velocity: linear in radius (exact to a few percent
+    /// for the Sedov interior), matching the post-shock value at the shock.
+    pub fn velocity(&self, r: f64, t: f64) -> f64 {
+        let rs = self.shock_radius(t);
+        if r >= rs {
+            return 0.0;
+        }
+        self.post_shock_velocity(t) * (r / rs)
+    }
+
+    /// Interior pressure: the Sedov interior is nearly isobaric at
+    /// `p_c ~ 0.31 p2` for gamma = 5/3; blend linearly to `p2` at the shock.
+    pub fn pressure(&self, r: f64, t: f64) -> f64 {
+        let rs = self.shock_radius(t);
+        let p2 = self.post_shock_pressure(t);
+        if r >= rs {
+            // Cold ambient medium (strong-shock limit).
+            return 0.0;
+        }
+        let lambda = r / rs;
+        let p_c = self.central_pressure_fraction() * p2;
+        // The true Sedov pressure is nearly flat through the interior and
+        // rises to p2 only close to the shock: a steep lambda^13 blend
+        // reproduces that shape and (with the energy closure below) lands
+        // the central fraction at the exact solution's ~0.31.
+        p_c + (p2 - p_c) * lambda.powi(13)
+    }
+
+    /// Central-to-post-shock pressure ratio chosen so the *total* energy
+    /// (thermal + kinetic) integrates to `E` exactly.
+    pub fn central_pressure_fraction(&self) -> f64 {
+        // Solve E = E_kin + E_th for p_c/p2 given the model profiles:
+        // E_kin = Int 1/2 rho v^2 dV = 1/2 rho2 v2^2 4 pi R^3 Int l^13 dl
+        //       = 2 pi rho2 v2^2 R^3 / 14.
+        // E_th  = Int p/(gamma-1) dV
+        //       = 4 pi R^3 / (gamma-1) * [f p2 /3 + (p2 - f p2)/16]
+        // with the lambda^13 pressure blend (Int lambda^15 = 1/16).
+        let g = self.gamma;
+        let t = 1.0; // fractions are time-independent
+        let rs = self.shock_radius(t);
+        let rho2 = self.post_shock_density();
+        let v2 = self.post_shock_velocity(t);
+        let p2 = self.post_shock_pressure(t);
+        let vol = 4.0 * std::f64::consts::PI * rs.powi(3);
+        let e_kin = 0.5 * rho2 * v2 * v2 * vol / 14.0;
+        // E = e_kin + vol/(g-1) * (f p2/3 + (1 - f) p2 / 16)  =>  solve f.
+        let budget = (self.e - e_kin) * (g - 1.0) / (vol * p2);
+        let f = (budget - 1.0 / 16.0) / (1.0 / 3.0 - 1.0 / 16.0);
+        f.clamp(0.05, 1.0)
+    }
+
+    /// Temperature [K] at `(r, t)` for mean molecular weight `mu`
+    /// (diverges toward the rarefied centre, as in the true solution).
+    pub fn temperature(&self, r: f64, t: f64, mu: f64) -> f64 {
+        let rho = self.density(r, t);
+        let p = self.pressure(r, t);
+        if rho <= 0.0 || p <= 0.0 {
+            return 0.0;
+        }
+        p * mu / (rho * KB_OVER_MP)
+    }
+
+    /// Numerically integrate total mass inside the shock at time `t`.
+    pub fn integrated_mass(&self, t: f64, n: usize) -> f64 {
+        let rs = self.shock_radius(t);
+        let dr = rs / n as f64;
+        let mut m = 0.0;
+        for i in 0..n {
+            let r = (i as f64 + 0.5) * dr;
+            m += self.density(r, t) * 4.0 * std::f64::consts::PI * r * r * dr;
+        }
+        m
+    }
+
+    /// Numerically integrate total (kinetic + thermal) energy at time `t`.
+    pub fn integrated_energy(&self, t: f64, n: usize) -> f64 {
+        let rs = self.shock_radius(t);
+        let dr = rs / n as f64;
+        let mut e = 0.0;
+        for i in 0..n {
+            let r = (i as f64 + 0.5) * dr;
+            let rho = self.density(r, t);
+            let v = self.velocity(r, t);
+            let p = self.pressure(r, t);
+            let de = 0.5 * rho * v * v + p / (self.gamma - 1.0);
+            e += de * 4.0 * std::f64::consts::PI * r * r * dr;
+        }
+        e
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::units::E_SN;
+
+    fn sn_blast() -> SedovTaylor {
+        // 1e51 erg into 1 M_sun/pc^3 (n_H ~ 30 cm^-3).
+        SedovTaylor::new(E_SN, 1.0)
+    }
+
+    #[test]
+    fn shock_radius_after_0p1_myr_is_tens_of_pc() {
+        // The paper's surrogate predicts the (60 pc)^3 region 0.1 Myr after
+        // explosion: the shock must still be inside that box for typical
+        // ISM densities.
+        let b = sn_blast();
+        let r = b.shock_radius(0.1);
+        assert!((5.0..30.0).contains(&r), "R(0.1 Myr) = {r} pc");
+    }
+
+    #[test]
+    fn shock_follows_t_to_the_two_fifths() {
+        let b = sn_blast();
+        let r1 = b.shock_radius(0.01);
+        let r2 = b.shock_radius(0.32);
+        let slope = (r2 / r1).ln() / (32.0f64).ln();
+        assert!((slope - 0.4).abs() < 1e-12, "slope {slope}");
+    }
+
+    #[test]
+    fn shock_speed_is_derivative_of_radius() {
+        let b = sn_blast();
+        let t = 0.05;
+        let dt = 1e-7;
+        let fd = (b.shock_radius(t + dt) - b.shock_radius(t - dt)) / (2.0 * dt);
+        assert!((b.shock_speed(t) - fd).abs() / fd < 1e-6);
+    }
+
+    #[test]
+    fn mass_is_conserved_exactly_by_profile() {
+        let b = sn_blast();
+        let t = 0.1;
+        let swept = 4.0 / 3.0 * std::f64::consts::PI * b.rho0 * b.shock_radius(t).powi(3);
+        let got = b.integrated_mass(t, 20_000);
+        assert!((got / swept - 1.0).abs() < 1e-3, "mass {got} vs swept {swept}");
+    }
+
+    #[test]
+    fn energy_integrates_to_injected_energy() {
+        let b = sn_blast();
+        let got = b.integrated_energy(0.1, 20_000);
+        assert!(
+            (got / b.e - 1.0).abs() < 0.02,
+            "energy {got} vs injected {}",
+            b.e
+        );
+    }
+
+    #[test]
+    fn central_pressure_fraction_near_sedov_value() {
+        // True Sedov (gamma=5/3): p_c/p2 ~ 0.31. Our energy-closure value
+        // should land in the same neighbourhood.
+        let f = sn_blast().central_pressure_fraction();
+        assert!((0.15..0.55).contains(&f), "p_c/p2 = {f}");
+    }
+
+    #[test]
+    fn compression_is_four_for_gamma_five_thirds() {
+        let b = sn_blast();
+        assert!((b.post_shock_density() / b.rho0 - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn interior_is_hot_and_rarefied() {
+        let b = sn_blast();
+        let t = 0.1;
+        let rs = b.shock_radius(t);
+        // Density rises monotonically outward.
+        assert!(b.density(0.1 * rs, t) < b.density(0.9 * rs, t));
+        // Temperature is SN-hot inside (paper Fig. 1: ~10^7 K).
+        let temp = b.temperature(0.5 * rs, t, 0.6);
+        assert!(temp > 1e5, "interior T = {temp} K");
+        // Ambient values outside.
+        assert_eq!(b.density(2.0 * rs, t), b.rho0);
+        assert_eq!(b.velocity(2.0 * rs, t), 0.0);
+    }
+
+    #[test]
+    fn higher_ambient_density_slows_the_shock() {
+        let thin = SedovTaylor::new(E_SN, 0.1);
+        let dense = SedovTaylor::new(E_SN, 10.0);
+        assert!(thin.shock_radius(0.1) > dense.shock_radius(0.1));
+    }
+}

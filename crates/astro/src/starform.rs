@@ -1,0 +1,174 @@
+//! Star formation (paper §3.2 step 6, "Star Formation").
+//!
+//! Gas that is cold, dense and collapsing converts into star particles.
+//! In a star-by-star run each new star particle *is* a single star whose
+//! mass is drawn from the IMF, capped by the gas particle's mass.
+
+use crate::imf::KroupaImf;
+use crate::units::G;
+use rand::Rng;
+
+/// Thresholds a gas particle must satisfy to be star-forming.
+#[derive(Debug, Clone, Copy)]
+pub struct StarFormationCriteria {
+    /// Density threshold [M_sun / pc^3]. ~100 cm^-3 => ~3.2 M_sun/pc^3.
+    pub rho_min: f64,
+    /// Temperature ceiling [K] (star-forming gas is ~10-100 K).
+    pub t_max: f64,
+    /// Star-formation efficiency per free-fall time.
+    pub efficiency: f64,
+}
+
+impl Default for StarFormationCriteria {
+    fn default() -> Self {
+        StarFormationCriteria {
+            rho_min: 3.2,
+            t_max: 100.0,
+            efficiency: 0.02,
+        }
+    }
+}
+
+/// Star-formation model: criteria + IMF sampling.
+#[derive(Debug, Clone, Default)]
+pub struct StarFormation {
+    pub criteria: StarFormationCriteria,
+    pub imf: KroupaImf,
+}
+
+/// Outcome of a star-formation trial for one gas particle.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SfOutcome {
+    /// Not eligible or unlucky this step.
+    None,
+    /// A star of the given mass forms; the gas particle keeps the remainder.
+    Spawn { star_mass: f64, gas_left: f64 },
+    /// The entire gas particle converts (sampled mass >= gas mass).
+    Convert { star_mass: f64 },
+}
+
+/// Local free-fall time [Myr] at density `rho` [M_sun/pc^3].
+pub fn free_fall_time(rho: f64) -> f64 {
+    assert!(rho > 0.0);
+    (3.0 * std::f64::consts::PI / (32.0 * G * rho)).sqrt()
+}
+
+impl StarFormation {
+    /// Attempt star formation for one gas particle over `dt` [Myr].
+    /// `rho` [M_sun/pc^3], `temp` [K], `gas_mass` [M_sun].
+    pub fn try_form<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        rho: f64,
+        temp: f64,
+        gas_mass: f64,
+        dt: f64,
+    ) -> SfOutcome {
+        let c = &self.criteria;
+        if rho < c.rho_min || temp > c.t_max || gas_mass <= 0.0 {
+            return SfOutcome::None;
+        }
+        // Probability of forming within dt at efficiency per free-fall time.
+        let p = 1.0 - (-c.efficiency * dt / free_fall_time(rho)).exp();
+        if rng.gen::<f64>() >= p {
+            return SfOutcome::None;
+        }
+        let m_star = self.imf.sample(rng);
+        if m_star >= gas_mass {
+            SfOutcome::Convert { star_mass: gas_mass }
+        } else {
+            SfOutcome::Spawn {
+                star_mass: m_star,
+                gas_left: gas_mass - m_star,
+            }
+        }
+    }
+
+    /// Expected star-formation rate density [M_sun / pc^3 / Myr] of
+    /// eligible gas: `eff * rho / t_ff` — the Schmidt law the probabilistic
+    /// sampling realizes.
+    pub fn sfr_density(&self, rho: f64, temp: f64) -> f64 {
+        let c = &self.criteria;
+        if rho < c.rho_min || temp > c.t_max {
+            0.0
+        } else {
+            c.efficiency * rho / free_fall_time(rho)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn free_fall_time_of_molecular_cloud_is_sub_myr_to_myr() {
+        // rho = 100 M_sun/pc^3 (dense clump): t_ff < 1 Myr.
+        let t = free_fall_time(100.0);
+        assert!(t < 1.0, "t_ff = {t}");
+        // Diffuse gas: much longer.
+        assert!(free_fall_time(0.01) > 10.0);
+        // Scaling: t_ff ∝ rho^{-1/2}.
+        let r = free_fall_time(1.0) / free_fall_time(4.0);
+        assert!((r - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hot_or_diffuse_gas_never_forms_stars() {
+        let sf = StarFormation::default();
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            assert_eq!(sf.try_form(&mut rng, 0.1, 50.0, 1.0, 1.0), SfOutcome::None);
+            assert_eq!(sf.try_form(&mut rng, 10.0, 1e4, 1.0, 1.0), SfOutcome::None);
+        }
+        assert_eq!(sf.sfr_density(0.1, 50.0), 0.0);
+        assert_eq!(sf.sfr_density(10.0, 1e4), 0.0);
+    }
+
+    #[test]
+    fn formation_rate_matches_schmidt_law_statistically() {
+        let sf = StarFormation::default();
+        let mut rng = StdRng::seed_from_u64(2);
+        let (rho, temp, dt) = (50.0, 20.0, 0.1);
+        let n = 100_000;
+        let formed = (0..n)
+            .filter(|_| !matches!(sf.try_form(&mut rng, rho, temp, 1.0, dt), SfOutcome::None))
+            .count();
+        let p_expect = 1.0 - (-sf.criteria.efficiency * dt / free_fall_time(rho)).exp();
+        let p_got = formed as f64 / n as f64;
+        assert!(
+            (p_got - p_expect).abs() < 0.005,
+            "p {p_got} vs expected {p_expect}"
+        );
+    }
+
+    #[test]
+    fn star_mass_never_exceeds_gas_mass() {
+        let sf = StarFormation::default();
+        let mut rng = StdRng::seed_from_u64(3);
+        let gas_mass = 1.0; // star-by-star: ~1 M_sun gas particles
+        for _ in 0..50_000 {
+            match sf.try_form(&mut rng, 100.0, 10.0, gas_mass, 10.0) {
+                SfOutcome::Spawn { star_mass, gas_left } => {
+                    assert!(star_mass < gas_mass);
+                    assert!((star_mass + gas_left - gas_mass).abs() < 1e-12);
+                }
+                SfOutcome::Convert { star_mass } => {
+                    assert!((star_mass - gas_mass).abs() < 1e-12);
+                }
+                SfOutcome::None => {}
+            }
+        }
+    }
+
+    #[test]
+    fn denser_gas_forms_stars_faster() {
+        let sf = StarFormation::default();
+        assert!(sf.sfr_density(100.0, 10.0) > sf.sfr_density(10.0, 10.0));
+        // Schmidt index: SFR ∝ rho^{1.5}.
+        let r = sf.sfr_density(40.0, 10.0) / sf.sfr_density(10.0, 10.0);
+        assert!((r - 8.0).abs() < 1e-9, "rho x4 => SFR x8, got {r}");
+    }
+}

@@ -1,0 +1,71 @@
+//! Galactic code units: length = parsec, mass = solar mass, time = megayear.
+
+/// Gravitational constant in pc^3 M_sun^-1 Myr^-2.
+pub const G: f64 = 4.498_502e-3;
+
+/// One km/s expressed in pc/Myr.
+pub const KMS: f64 = 1.022_712;
+
+/// One pc/Myr expressed in km/s.
+pub const PC_PER_MYR_IN_KMS: f64 = 1.0 / KMS;
+
+/// The canonical supernova energy, 10^51 erg, in M_sun pc^2 Myr^-2.
+pub const E_SN: f64 = 5.258e7;
+
+/// Boltzmann constant over proton mass in (pc/Myr)^2 / K.
+pub const KB_OVER_MP: f64 = 8.254_3e-3;
+
+/// Hydrogen number density of gas at 1 M_sun/pc^3 in cm^-3
+/// (rho [M_sun/pc^3] * this = n_H [cm^-3] for X = 0.76).
+pub const NH_PER_MSUN_PC3: f64 = 30.77;
+
+/// Seconds per Myr.
+pub const SECONDS_PER_MYR: f64 = 3.155_76e13;
+
+/// Centimetres per parsec.
+pub const CM_PER_PC: f64 = 3.085_677_6e18;
+
+/// Grams per solar mass.
+pub const G_PER_MSUN: f64 = 1.988_92e33;
+
+/// Ergs per code energy unit (M_sun pc^2 / Myr^2).
+pub const ERG_PER_CODE_ENERGY: f64 = 1.901_8e43;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn g_reproduces_solar_orbit() {
+        // Circular speed at the solar radius with the enclosed MW mass:
+        // v = sqrt(G M / r) with M ~ 1e11 M_sun, r = 8000 pc => ~230 km/s.
+        let v = (G * 1.0e11 / 8000.0).sqrt(); // pc/Myr
+        let v_kms = v * PC_PER_MYR_IN_KMS;
+        assert!((200.0..260.0).contains(&v_kms), "v = {v_kms} km/s");
+    }
+
+    #[test]
+    fn sn_energy_gives_kms_scale_ejecta() {
+        // E = 1/2 m v^2 with 10 M_sun of ejecta: v ~ 3000 km/s.
+        let v = (2.0 * E_SN / 10.0).sqrt(); // pc/Myr
+        let v_kms = v * PC_PER_MYR_IN_KMS;
+        assert!((2500.0..4000.0).contains(&v_kms), "v = {v_kms} km/s");
+    }
+
+    #[test]
+    fn unit_conversions_are_mutually_consistent() {
+        // E_SN in erg must round-trip through the cgs factors.
+        let code_energy_in_erg = G_PER_MSUN * CM_PER_PC * CM_PER_PC
+            / (SECONDS_PER_MYR * SECONDS_PER_MYR);
+        assert!((code_energy_in_erg / ERG_PER_CODE_ENERGY - 1.0).abs() < 1e-3);
+        let e_sn_code = 1e51 / code_energy_in_erg;
+        assert!((e_sn_code / E_SN - 1.0).abs() < 1e-3, "E_SN = {e_sn_code}");
+    }
+
+    #[test]
+    fn kms_conversion() {
+        // 1 km/s * 1 Myr ~ 1.0227 pc.
+        assert!((KMS - 1.0227).abs() < 1e-3);
+        assert!((KMS * PC_PER_MYR_IN_KMS - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,126 @@
+//! Criterion benches of the three interaction kernels (Table 4) plus the
+//! PPA and mixed-precision ablations.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use fdps::Vec3;
+use gravity::kernel::{accumulate_f64, accumulate_mixed, GravityAccum};
+use pikg::kernels::PAPER_GRAVITY_OPS;
+use sph::kernel::{CubicSpline, PpaSpline, SphKernel};
+use std::hint::black_box;
+
+fn cloud(n: usize) -> (Vec<Vec3>, Vec<f64>) {
+    let pos = (0..n)
+        .map(|i| {
+            Vec3::new(
+                (i as f64 * 0.37).sin(),
+                (i as f64 * 0.73).cos(),
+                (i as f64 * 0.11).sin(),
+            )
+        })
+        .collect();
+    let mass = (0..n).map(|i| 1.0 + (i % 5) as f64 * 0.1).collect();
+    (pos, mass)
+}
+
+fn bench_gravity(c: &mut Criterion) {
+    let n_i = 64;
+    let n_j = 2048; // the paper's Fugaku group size
+    let (jpos, jmass) = cloud(n_j);
+    let (ipos, _) = cloud(n_i);
+    let mut group = c.benchmark_group("gravity_kernel");
+    group.throughput(Throughput::Elements((n_i * n_j) as u64));
+
+    group.bench_function("f64", |b| {
+        let mut out = vec![GravityAccum::default(); n_i];
+        b.iter(|| {
+            accumulate_f64(
+                black_box(&ipos),
+                black_box(&jpos),
+                black_box(&jmass),
+                1e-4,
+                &mut out,
+            );
+            black_box(&out);
+        })
+    });
+    group.bench_function("mixed_f32", |b| {
+        let mut out = vec![GravityAccum::default(); n_i];
+        b.iter(|| {
+            accumulate_mixed(
+                Vec3::ZERO,
+                black_box(&ipos),
+                black_box(&jpos),
+                black_box(&jmass),
+                1e-4,
+                &mut out,
+            );
+            black_box(&out);
+        })
+    });
+    group.finish();
+    println!(
+        "(counted ops per interaction: {PAPER_GRAVITY_OPS}; GFLOPS = elements/s * {PAPER_GRAVITY_OPS} / 1e9)"
+    );
+}
+
+fn bench_spline(c: &mut Criterion) {
+    let exact = CubicSpline;
+    let ppa = PpaSpline::new(16);
+    let qs: Vec<f64> = (0..4096).map(|i| 2.2 * i as f64 / 4096.0).collect();
+    let mut group = c.benchmark_group("spline_kernel");
+    group.throughput(Throughput::Elements(qs.len() as u64));
+    group.bench_function("direct", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for &q in &qs {
+                acc += exact.w(black_box(q), 1.0);
+            }
+            black_box(acc)
+        })
+    });
+    group.bench_function("ppa_table", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for &q in &qs {
+                acc += ppa.w(black_box(q), 1.0);
+            }
+            black_box(acc)
+        })
+    });
+    group.finish();
+}
+
+fn bench_dsl_interpreter(c: &mut Criterion) {
+    // The PIKG DSL path: useful to quantify the generated-code gap.
+    let kernel = pikg::compile(pikg::kernels::GRAVITY_DSL).expect("bundled kernel");
+    let n_j = 512;
+    let x: Vec<f64> = (0..n_j).map(|j| (j as f64 * 0.3).sin()).collect();
+    let y: Vec<f64> = (0..n_j).map(|j| (j as f64 * 0.7).cos()).collect();
+    let z: Vec<f64> = (0..n_j).map(|j| (j as f64 * 0.9).sin()).collect();
+    let m = vec![1.0; n_j];
+    let e2 = vec![1e-4; n_j];
+    let (xi, yi, zi, ei) = (vec![0.1; 8], vec![0.2; 8], vec![0.3; 8], vec![1e-4; 8]);
+    c.bench_with_input(
+        BenchmarkId::new("pikg_dsl_gravity", n_j),
+        &n_j,
+        |b, _| {
+            b.iter(|| {
+                let mut ax = vec![0.0; 8];
+                let mut ay = vec![0.0; 8];
+                let mut az = vec![0.0; 8];
+                let mut pot = vec![0.0; 8];
+                kernel.execute(
+                    &pikg::SoaBuffers {
+                        epi: vec![&xi, &yi, &zi, &ei],
+                        epj: vec![&x, &y, &z, &m, &e2],
+                    },
+                    &mut [&mut ax, &mut ay, &mut az, &mut pot],
+                );
+                black_box(pot)
+            })
+        },
+    );
+}
+
+criterion_group!(benches, bench_gravity, bench_spline, bench_dsl_interpreter);
+criterion_main!(benches);

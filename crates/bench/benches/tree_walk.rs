@@ -1,0 +1,57 @@
+//! Ablation bench: interaction-list group size n_g (paper §5.2.4 tunes
+//! n_g = 2048 on Fugaku, 65,536 on Miyabi) and tree construction cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fdps::{Tree, Vec3};
+use gravity::GravitySolver;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn cloud(n: usize) -> (Vec<Vec3>, Vec<f64>) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let pos = (0..n)
+        .map(|_| {
+            // Centrally concentrated, like the galaxy.
+            let r: f64 = rng.gen::<f64>().powi(2) * 10.0;
+            let th = rng.gen_range(0.0..std::f64::consts::TAU);
+            let z = rng.gen_range(-0.5..0.5);
+            Vec3::new(r * th.cos(), r * th.sin(), z)
+        })
+        .collect();
+    let mass = vec![1.0; n];
+    (pos, mass)
+}
+
+fn bench_tree_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tree_build");
+    group.sample_size(20);
+    for &n in &[10_000usize, 50_000] {
+        let (pos, mass) = cloud(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(Tree::build(&pos, &mass, 8)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_group_size(c: &mut Criterion) {
+    let (pos, mass) = cloud(20_000);
+    let mut group = c.benchmark_group("gravity_n_group");
+    group.sample_size(10);
+    for &n_g in &[16usize, 64, 256, 1024] {
+        group.bench_with_input(BenchmarkId::from_parameter(n_g), &n_g, |b, &n_g| {
+            let solver = GravitySolver {
+                theta: 0.5,
+                n_group: n_g,
+                eps: 0.01,
+                ..Default::default()
+            };
+            b.iter(|| black_box(solver.evaluate(&pos, &mass, pos.len()).interactions))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_tree_build, bench_group_size);
+criterion_main!(benches);

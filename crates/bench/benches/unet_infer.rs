@@ -1,0 +1,55 @@
+//! U-Net CPU inference cost: the pool-node budget. The paper gives the
+//! prediction 50 global steps (~0.1 Myr, tens of wall seconds at scale) to
+//! finish; this bench measures what our CPU inference path needs per region.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use unet::{Tensor, UNet3d, UNetConfig};
+
+fn bench_inference(c: &mut Criterion) {
+    let mut group = c.benchmark_group("unet_inference");
+    group.sample_size(10);
+    for &(n, feats) in &[(16usize, 4usize), (32, 8)] {
+        let net = UNet3d::new(
+            &UNetConfig {
+                in_channels: 8,
+                out_channels: 8,
+                base_features: feats,
+            },
+            1,
+        );
+        let x = Tensor::zeros(8, n, n, n);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{n}cubed_f{feats}")),
+            &n,
+            |b, _| b.iter(|| black_box(net.forward(&x))),
+        );
+    }
+    group.finish();
+}
+
+fn bench_voxel_pipeline(c: &mut Criterion) {
+    use fdps::Vec3;
+    use surrogate::{particles_to_grid, GasParticle, VoxelGrid};
+    let parts: Vec<GasParticle> = (0..5000)
+        .map(|i| GasParticle {
+            pos: Vec3::new(
+                ((i * 7) % 600) as f64 / 10.0 - 30.0,
+                ((i * 13) % 600) as f64 / 10.0 - 30.0,
+                ((i * 29) % 600) as f64 / 10.0 - 30.0,
+            ),
+            vel: Vec3::ZERO,
+            mass: 1.0,
+            temp: 100.0,
+            h: 2.0,
+            id: i as u64,
+        })
+        .collect();
+    c.bench_function("voxelize_5k_particles_16cubed", |b| {
+        let grid = VoxelGrid::centered(Vec3::ZERO, 60.0, 16);
+        b.iter(|| black_box(particles_to_grid(grid, &parts)))
+    });
+}
+
+criterion_group!(benches, bench_inference, bench_voxel_pipeline);
+criterion_main!(benches);

@@ -1,0 +1,96 @@
+//! Figure 6: weak- and strong-scaling on Fugaku (wall-clock time per step
+//! vs main processes, with the per-phase breakdown).
+//!
+//! The large-scale curves come from the calibrated performance model (we
+//! have no Fugaku; see DESIGN.md); a small-scale *executed* run over mpisim
+//! ranks cross-checks the phase structure.
+
+use asura_core::dist::{run_distributed, DistConfig};
+use asura_core::{Particle, Scheme, SimConfig};
+use fdps::exchange::Routing;
+use fdps::Vec3;
+use perfmodel::scaling::node_sweep;
+use perfmodel::{strong_scaling, weak_scaling, Machine};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    let fugaku = Machine::fugaku();
+
+    // --- Weak scaling: 2M particles per node, 128 -> 148,896 nodes -------
+    let nodes = node_sweep(128, 148_896);
+    let weak = weak_scaling(fugaku, 2.0e6, 0.163, 2048, &nodes);
+    println!("Figure 6 (left): weak scaling, Fugaku, 2M particles/node");
+    println!("{:>8} {:>12}", "nodes", "t/step [s]");
+    for (p, t) in weak.totals() {
+        println!("{p:>8} {t:>12.3}");
+    }
+    println!(
+        "weak efficiency 128 -> 148,896 nodes: {:.2} (paper: 0.54 after log N correction)",
+        weak.efficiency(true)
+    );
+    bench::write_artifact("fig6_weak.csv", &weak.to_csv());
+
+    // --- Strong scaling: three particle-count sets as in the paper -------
+    println!("\nFigure 6 (right): strong scaling, Fugaku");
+    for (label, n_tot, lo, hi) in [
+        ("strongMW (1.5e11)", 1.5e11, 67_680, 148_896),
+        ("strongMWs (4.75e10)", 4.75e10, 4_096, 40_608),
+        ("strongMWm (5.1e9)", 5.1e9, 128, 1_024),
+    ] {
+        let curve = strong_scaling(fugaku, n_tot, 0.163, 2048, &node_sweep(lo, hi));
+        println!("  {label}:");
+        for (p, t) in curve.totals() {
+            println!("    {p:>8} nodes: {t:>10.3} s/step");
+        }
+        bench::write_artifact(
+            &format!("fig6_strong_{}.csv", label.split_whitespace().next().expect("label")),
+            &curve.to_csv(),
+        );
+    }
+
+    // --- Executed cross-check over mpisim ranks ---------------------------
+    println!("\nExecuted cross-check (mpisim, this host): weak scaling 1 -> 8 main ranks");
+    let mut rng = StdRng::seed_from_u64(5);
+    let per_rank = 400;
+    let mut csv = String::from("main_ranks,total_s_per_step\n");
+    for grid in [(1usize, 1usize, 1usize), (2, 1, 1), (2, 2, 1), (2, 2, 2)] {
+        let n_main = grid.0 * grid.1 * grid.2;
+        let n = per_rank * n_main;
+        let ic: Vec<Particle> = (0..n)
+            .map(|i| {
+                Particle::gas(
+                    i as u64,
+                    Vec3::new(
+                        rng.gen_range(-50.0..50.0),
+                        rng.gen_range(-50.0..50.0),
+                        rng.gen_range(-10.0..10.0),
+                    ),
+                    Vec3::ZERO,
+                    1.0,
+                    1.0,
+                    5.0,
+                )
+            })
+            .collect();
+        let cfg = DistConfig {
+            grid,
+            n_pool: 1,
+            routing: Routing::Torus,
+            sim: SimConfig {
+                scheme: Scheme::Surrogate,
+                cooling: false,
+                star_formation: false,
+                n_ngb: 16,
+                eps: 2.0,
+                ..Default::default()
+            },
+            steps: 3,
+        };
+        let report = run_distributed(&cfg, &ic);
+        let t = report.phases.total_s() / report.steps as f64;
+        println!("  {n_main} main ranks, {n} particles: {t:.4} s/step");
+        csv.push_str(&format!("{n_main},{t:.6}\n"));
+    }
+    bench::write_artifact("fig6_executed_weak.csv", &csv);
+}

@@ -1,0 +1,52 @@
+//! Figure 7: weak- and strong-scaling on the Rusty genoa partition.
+
+use bench::write_artifact;
+use perfmodel::scaling::node_sweep;
+use perfmodel::{strong_scaling, weak_scaling, Machine};
+
+fn main() {
+    let rusty = Machine::rusty();
+
+    // Weak scaling: 1.2e9 particles per node, 11 -> 193 nodes
+    // (48 MPI ranks per node on Rusty; the model works at node granularity).
+    let nodes = node_sweep(11, 193);
+    let weak = weak_scaling(rusty, 1.2e9, 0.163, 2048, &nodes);
+    println!("Figure 7 (left): weak scaling, Rusty, 1.2e9 particles/node");
+    println!("{:>8} {:>12}", "nodes", "t/step [s]");
+    for (p, t) in weak.totals() {
+        println!("{p:>8} {t:>12.3}");
+    }
+    println!("weak efficiency 11 -> 193: {:.2}", weak.efficiency(true));
+    write_artifact("fig7_weak.csv", &weak.to_csv());
+
+    // Strong scaling: the two Rusty sets of Table 2.
+    println!("\nFigure 7 (right): strong scaling, Rusty");
+    for (label, n_tot, lo, hi) in [
+        ("strongMW_rusty (5.1e10)", 5.1e10, 43, 193),
+        ("strongMWs_rusty (1.1e10)", 1.1e10, 11, 43),
+    ] {
+        let curve = strong_scaling(rusty, n_tot, 0.163, 2048, &node_sweep(lo, hi));
+        println!("  {label}:");
+        let totals = curve.totals();
+        for (p, t) in &totals {
+            println!("    {p:>6} nodes: {t:>10.3} s/step");
+        }
+        // The paper reports "excellent scalability" in this regime: check
+        // and print the achieved speedup against ideal.
+        let (p0, t0) = totals[0];
+        let (p1, t1) = *totals.last().expect("points");
+        let speedup = t0 / t1;
+        let ideal = p1 as f64 / p0 as f64;
+        println!(
+            "    speedup {speedup:.2}x over {ideal:.2}x ideal ({:.0}% efficiency)",
+            100.0 * speedup / ideal
+        );
+        write_artifact(
+            &format!(
+                "fig7_strong_{}.csv",
+                label.split_whitespace().next().expect("label")
+            ),
+            &curve.to_csv(),
+        );
+    }
+}

@@ -1,0 +1,43 @@
+//! Table 1: state-of-the-art hydrodynamics simulations of isolated disk
+//! galaxies, with this work's configuration in the final row.
+
+use asura_core::runs::TABLE1;
+use bench::sci;
+
+fn main() {
+    println!("Table 1: state-of-the-art isolated disk-galaxy simulations");
+    println!(
+        "{:<28} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9}  {:<9}",
+        "Paper", "N_gas", "m_gas", "N_star", "m_star", "N_DM", "M_tot", "N_tot", "Code"
+    );
+    let mut csv = String::from("paper,n_gas,m_gas,n_star,m_star,n_dm,m_tot,n_tot,code\n");
+    for r in &TABLE1 {
+        println!(
+            "{:<28} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9}  {:<9}",
+            r.paper,
+            sci(r.n_gas),
+            sci(r.m_gas),
+            sci(r.n_star),
+            sci(r.m_star),
+            sci(r.n_dm),
+            sci(r.m_tot),
+            sci(r.n_tot),
+            r.code
+        );
+        csv.push_str(&format!(
+            "{},{},{},{},{},{},{},{},{}\n",
+            r.paper, r.n_gas, r.m_gas, r.n_star, r.m_star, r.n_dm, r.m_tot, r.n_tot, r.code
+        ));
+    }
+    let ours = TABLE1.last().expect("non-empty table");
+    let best_prior = TABLE1[..TABLE1.len() - 1]
+        .iter()
+        .map(|r| r.n_tot)
+        .fold(0.0, f64::max);
+    println!();
+    println!(
+        "This work / best prior particle count: {:.0}x (paper claims ~500x)",
+        ours.n_tot / best_prior
+    );
+    bench::write_artifact("table1.csv", &csv);
+}

@@ -1,0 +1,46 @@
+//! Table 2: the list of measurement runs.
+
+use asura_core::runs::TABLE2;
+use bench::sci;
+
+fn main() {
+    println!("Table 2: list of runs");
+    println!(
+        "{:<16} {:>16} {:>7} {:>9} {:>7} {:>9} {:>7} {:>9} {:>9} {:>14}",
+        "Run", "N_node", "m_DM", "N_DM", "m_star", "N_star", "m_gas", "N_gas", "M_tot", "N_tot/node"
+    );
+    let mut csv = String::from(
+        "run,nodes_max,nodes_min,m_dm,n_dm,m_star,n_star,m_gas,n_gas,m_tot,n_per_node_lo,n_per_node_hi\n",
+    );
+    for r in &TABLE2 {
+        println!(
+            "{:<16} {:>16} {:>7} {:>9} {:>7} {:>9} {:>7} {:>9} {:>9} {:>14}",
+            r.name,
+            format!("{}-{}", r.nodes.0, r.nodes.1),
+            sci(r.m_dm),
+            sci(r.n_dm),
+            sci(r.m_star),
+            sci(r.n_star),
+            sci(r.m_gas),
+            sci(r.n_gas),
+            sci(r.m_tot),
+            format!("{}-{}", sci(r.n_per_node.0), sci(r.n_per_node.1)),
+        );
+        csv.push_str(&format!(
+            "{},{},{},{},{},{},{},{},{},{},{},{}\n",
+            r.name,
+            r.nodes.0,
+            r.nodes.1,
+            r.m_dm,
+            r.n_dm,
+            r.m_star,
+            r.n_star,
+            r.m_gas,
+            r.n_gas,
+            r.m_tot,
+            r.n_per_node.0,
+            r.n_per_node.1
+        ));
+    }
+    bench::write_artifact("table2.csv", &csv);
+}

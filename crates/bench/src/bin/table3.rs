@@ -1,0 +1,75 @@
+//! Table 3: breakdown of calculation time and performance at the paper's
+//! three measurement points (Fugaku 148,896 nodes; Rusty 193; Miyabi 1024).
+
+use perfmodel::{Machine, RunPoint, StepModel};
+
+fn print_breakdown(machine: Machine, run: RunPoint, peak_pf: f64) {
+    let model = StepModel::new(machine);
+    let b = model.step(&run);
+    println!(
+        "\n{} — {} nodes (peak {peak_pf} PFLOPS), N = {:.2e}",
+        machine.name, run.p, run.n_tot
+    );
+    println!(
+        "{:<32} {:>12} {:>14} {:>10}",
+        "Measured item", "Wall [s]", "FLOP [PFLOP]", "PFLOPS"
+    );
+    let mut total_s = 0.0;
+    let mut total_f = 0.0;
+    for ph in &b.phases {
+        let sys_flop = ph.flops * run.p as f64 / 1e15;
+        let pflops = if ph.seconds > 0.0 {
+            sys_flop / ph.seconds
+        } else {
+            0.0
+        };
+        println!(
+            "{:<32} {:>12.3} {:>14.4} {:>10.3}",
+            ph.name, ph.seconds, sys_flop, pflops
+        );
+        total_s += ph.seconds;
+        total_f += sys_flop;
+    }
+    println!(
+        "{:<32} {:>12.3} {:>14.4} {:>10.3}  (efficiency {:.2}%)",
+        "Total per step",
+        total_s,
+        total_f,
+        total_f / total_s,
+        100.0 * total_f / total_s / peak_pf
+    );
+}
+
+fn main() {
+    println!("Table 3: breakdown of calculation time and performance");
+    print_breakdown(
+        Machine::fugaku(),
+        RunPoint::weak_mw2m_anchor(),
+        915.0,
+    );
+    print_breakdown(
+        Machine::rusty(),
+        RunPoint {
+            n_tot: 2.3e11,
+            gas_frac: 0.163,
+            p: 193,
+            n_g: 2048,
+        },
+        2.43,
+    );
+    print_breakdown(
+        Machine::miyabi(),
+        RunPoint {
+            n_tot: 2.05e10,
+            gas_frac: 0.163,
+            p: 1024,
+            n_g: 65536,
+        },
+        68.5,
+    );
+    println!(
+        "\nPaper anchors: Fugaku total 20.34 s at 8.20 PFLOPS (0.90% efficiency);\n\
+         gravity phase 1.63 s at 90.2 PFLOPS; Rusty gravity 0.863 PFLOPS;\n\
+         Miyabi gravity 5.60 PFLOPS."
+    );
+}

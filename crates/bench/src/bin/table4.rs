@@ -1,0 +1,83 @@
+//! Table 4: asymptotic single-core performance of the interaction kernels.
+//!
+//! Prints the paper's per-architecture numbers (our machine models carry
+//! them) and *measures* the same kernels on this host: counted operations
+//! divided by wall time, exactly the paper's §4.3 methodology.
+
+use perfmodel::calibrate::measure_gravity;
+use perfmodel::Machine;
+use pikg::kernels::{PAPER_DENSITY_OPS, PAPER_GRAVITY_OPS, PAPER_HYDRO_OPS};
+use pikg::FlopPolicy;
+
+fn main() {
+    println!("Table 4: asymptotic single-core interaction-kernel performance\n");
+    println!(
+        "{:<24} {:>6} {:>22} {:>22} {:>22}",
+        "Kernel", "#ops", "Fugaku (A64FX SVE)", "Rusty (AVX512)", "Miyabi (GH200)"
+    );
+    let f = Machine::fugaku();
+    let r = Machine::rusty();
+    let m = Machine::miyabi();
+    let row = |name: &str, ops: usize, ef: f64, er: f64, em: f64| {
+        let per_core =
+            |mach: &Machine, eff: f64| mach.peak_sp_node / mach.cores_per_node as f64 * eff / 1e9;
+        println!(
+            "{:<24} {:>6} {:>14.1} GF {:>4.1}% {:>14.1} GF {:>4.1}% {:>14.1} GF {:>4.1}%",
+            name,
+            ops,
+            per_core(&f, ef),
+            ef * 100.0,
+            per_core(&r, er),
+            er * 100.0,
+            per_core(&m, em) * m.cores_per_node as f64, // GPU: whole card
+            em * 100.0,
+        );
+    };
+    row(
+        "Gravity",
+        PAPER_GRAVITY_OPS,
+        f.eff_gravity,
+        r.eff_gravity,
+        m.eff_gravity,
+    );
+    row(
+        "Hydro density/pressure",
+        PAPER_DENSITY_OPS,
+        f.eff_density,
+        r.eff_density,
+        m.eff_density,
+    );
+    row(
+        "Hydro force",
+        PAPER_HYDRO_OPS,
+        f.eff_hydro,
+        r.eff_hydro,
+        m.eff_hydro,
+    );
+
+    // DSL cross-check: the PIKG kernels' counted costs.
+    println!("\nPIKG DSL counted operations (paper policy):");
+    for (name, src) in [
+        ("gravity", pikg::kernels::GRAVITY_DSL),
+        ("density", pikg::kernels::DENSITY_DSL),
+        ("hydro", pikg::kernels::HYDRO_DSL),
+    ] {
+        let k = pikg::compile(src).expect("bundled kernels compile");
+        println!(
+            "  {name:<10} {} ops/interaction",
+            k.flops_per_interaction(FlopPolicy::paper())
+        );
+    }
+
+    // Host measurement.
+    println!("\nThis host (single core, f32 relative coordinates):");
+    let rate = measure_gravity(256, 2048, 50);
+    println!(
+        "  gravity: {:.2} Gflops counted ({:.1}M interactions/s)",
+        rate.gflops,
+        rate.interactions_per_s / 1e6
+    );
+    let mut csv = String::from("kernel,ops,host_gflops\n");
+    csv.push_str(&format!("gravity,{PAPER_GRAVITY_OPS},{:.3}\n", rate.gflops));
+    bench::write_artifact("table4_host.csv", &csv);
+}

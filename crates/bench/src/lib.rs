@@ -1,0 +1,57 @@
+//! Shared helpers for the benchmark harness binaries.
+//!
+//! Every paper table/figure has a binary in `src/bin/` that prints the
+//! regenerated rows/series to stdout and writes CSV artifacts under
+//! `results/` (see DESIGN.md's experiment index).
+
+use std::fs;
+use std::path::PathBuf;
+
+/// Directory where harness binaries drop their CSV artifacts.
+pub fn results_dir() -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("results");
+    fs::create_dir_all(&dir).expect("create results dir");
+    dir
+}
+
+/// Write a named CSV artifact and report the path.
+pub fn write_artifact(name: &str, contents: &str) {
+    let path = results_dir().join(name);
+    fs::write(&path, contents).expect("write artifact");
+    println!("[artifact] {}", path.display());
+}
+
+/// Render a number in the paper's compact scientific style.
+pub fn sci(v: f64) -> String {
+    if v == 0.0 {
+        return "0".into();
+    }
+    let exp = v.abs().log10().floor() as i32;
+    if (-2..4).contains(&exp) {
+        format!("{v:.3}")
+    } else {
+        let mant = v / 10f64.powi(exp);
+        format!("{mant:.2}e{exp}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sci_formats_both_regimes() {
+        assert_eq!(sci(0.0), "0");
+        assert_eq!(sci(12.5), "12.500");
+        assert_eq!(sci(3.0e11), "3.00e11");
+        assert_eq!(sci(7.5e-7), "7.50e-7");
+    }
+
+    #[test]
+    fn results_dir_is_creatable() {
+        let d = results_dir();
+        assert!(d.exists());
+    }
+}

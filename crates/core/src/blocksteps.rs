@@ -1,0 +1,186 @@
+//! Hierarchical (block) individual timesteps — the conventional machinery
+//! the paper's scheme *replaces* (§1: "individual or hierarchical timestep
+//! methods are often adopted ... computational efficiency tends to decrease
+//! when the fraction of particles to be updated is small because
+//! inter-process communications must be done at each timestep").
+//!
+//! Implemented here so the claim is measurable: particles are binned into
+//! power-of-two levels below a base step, the scheduler walks the binary
+//! subdivision, and [`BlockSchedule::efficiency`] quantifies exactly the
+//! overhead argument the paper makes — every substep pays a fixed
+//! synchronization cost (tree predictions, communication) regardless of how
+//! few particles are active.
+
+/// Assignment of particles to power-of-two timestep levels.
+///
+/// Level 0 steps with `dt_max`; level `l` with `dt_max / 2^l`.
+#[derive(Debug, Clone)]
+pub struct BlockSchedule {
+    pub dt_max: f64,
+    /// Level per particle.
+    pub levels: Vec<u32>,
+    max_level: u32,
+}
+
+impl BlockSchedule {
+    /// Bin `dt_wanted` into levels: the largest power-of-two fraction of
+    /// `dt_max` not exceeding each particle's desired step, capped at
+    /// `max_level`.
+    pub fn assign(dt_max: f64, dt_wanted: &[f64], max_level: u32) -> Self {
+        assert!(dt_max > 0.0);
+        let levels: Vec<u32> = dt_wanted
+            .iter()
+            .map(|&dt| {
+                assert!(dt > 0.0, "timesteps must be positive");
+                let ratio = dt_max / dt;
+                if ratio <= 1.0 {
+                    0
+                } else {
+                    (ratio.log2().ceil() as u32).min(max_level)
+                }
+            })
+            .collect();
+        let max_used = levels.iter().copied().max().unwrap_or(0);
+        BlockSchedule {
+            dt_max,
+            levels,
+            max_level: max_used,
+        }
+    }
+
+    /// Deepest occupied level.
+    pub fn max_level(&self) -> u32 {
+        self.max_level
+    }
+
+    /// The finest substep.
+    pub fn dt_min(&self) -> f64 {
+        self.dt_max / (1u64 << self.max_level) as f64
+    }
+
+    /// Substeps of the finest level needed to cover one base step.
+    pub fn substeps_per_base_step(&self) -> u64 {
+        1u64 << self.max_level
+    }
+
+    /// Which particles are active at fine-substep `k` (0-based within the
+    /// base step): a particle at level `l` updates every `2^(max - l)`
+    /// substeps.
+    pub fn active_at(&self, k: u64) -> Vec<usize> {
+        self.levels
+            .iter()
+            .enumerate()
+            .filter(|(_, &l)| {
+                let period = 1u64 << (self.max_level - l);
+                k % period == 0
+            })
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Total particle-updates over one base step — the useful work.
+    pub fn updates_per_base_step(&self) -> u64 {
+        self.levels
+            .iter()
+            .map(|&l| 1u64 << l)
+            .sum()
+    }
+
+    /// Parallel efficiency under the paper's cost argument: each of the
+    /// `2^max_level` substeps pays `overhead_fraction` of a full-system
+    /// update (prediction + tree + communication for *all* particles),
+    /// while useful work is only the active updates. Equals ~1 when all
+    /// particles share one level, and collapses when a few particles force
+    /// deep levels.
+    pub fn efficiency(&self, overhead_fraction: f64) -> f64 {
+        let n = self.levels.len() as f64;
+        let substeps = self.substeps_per_base_step() as f64;
+        let useful = self.updates_per_base_step() as f64;
+        let overhead = substeps * overhead_fraction * n;
+        useful / (useful + overhead)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_timesteps_use_one_level() {
+        let s = BlockSchedule::assign(1.0, &[1.0; 100], 20);
+        assert_eq!(s.max_level(), 0);
+        assert_eq!(s.substeps_per_base_step(), 1);
+        assert_eq!(s.updates_per_base_step(), 100);
+        assert_eq!(s.active_at(0).len(), 100);
+    }
+
+    #[test]
+    fn levels_quantize_downward() {
+        let s = BlockSchedule::assign(1.0, &[1.0, 0.6, 0.5, 0.3, 0.11], 20);
+        // 0.6 -> level 1 (dt 0.5); 0.5 -> 1; 0.3 -> 2 (0.25); 0.11 -> 4 (0.0625).
+        assert_eq!(s.levels, vec![0, 1, 1, 2, 4]);
+        // Quantized dt never exceeds the wanted dt.
+        for (&l, &want) in s.levels.iter().zip(&[1.0, 0.6, 0.5, 0.3, 0.11]) {
+            assert!(s.dt_max / (1u64 << l) as f64 <= want + 1e-12);
+        }
+    }
+
+    #[test]
+    fn activity_pattern_is_binary_subdivision() {
+        let s = BlockSchedule::assign(1.0, &[1.0, 0.5, 0.25], 20);
+        assert_eq!(s.max_level(), 2);
+        assert_eq!(s.substeps_per_base_step(), 4);
+        // Substep 0: everyone. 1: only level 2. 2: levels 1 and 2. 3: level 2.
+        assert_eq!(s.active_at(0), vec![0, 1, 2]);
+        assert_eq!(s.active_at(1), vec![2]);
+        assert_eq!(s.active_at(2), vec![1, 2]);
+        assert_eq!(s.active_at(3), vec![2]);
+        // Each particle's total updates match its level.
+        let mut counts = [0u32; 3];
+        for k in 0..4 {
+            for i in s.active_at(k) {
+                counts[i] += 1;
+            }
+        }
+        assert_eq!(counts, [1, 2, 4]);
+        assert_eq!(s.updates_per_base_step(), 7);
+    }
+
+    #[test]
+    fn one_hot_particle_destroys_efficiency() {
+        // The paper's argument quantified: one SN-heated particle forcing a
+        // 1024x smaller step makes the fixed per-substep costs dominate.
+        let n = 10_000;
+        let mut dts = vec![1.0; n];
+        let uniform = BlockSchedule::assign(1.0, &dts, 20);
+        dts[0] = 1.0 / 1024.0;
+        let spiked = BlockSchedule::assign(1.0, &dts, 20);
+        let overhead = 0.01; // 1% of a full update per substep
+        let e_uniform = uniform.efficiency(overhead);
+        let e_spiked = spiked.efficiency(overhead);
+        assert!(e_uniform > 0.95, "uniform efficiency {e_uniform}");
+        assert!(
+            e_spiked < 0.25 * e_uniform,
+            "spiked efficiency {e_spiked} should collapse vs {e_uniform}"
+        );
+    }
+
+    #[test]
+    fn max_level_cap_is_respected() {
+        let s = BlockSchedule::assign(1.0, &[1e-9], 10);
+        assert_eq!(s.max_level(), 10);
+        assert!((s.dt_min() - 1.0 / 1024.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn efficiency_with_zero_overhead_is_one() {
+        let s = BlockSchedule::assign(1.0, &[1.0, 0.25, 0.5], 20);
+        assert!((s.efficiency(0.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_timestep_rejected() {
+        let _ = BlockSchedule::assign(1.0, &[0.0], 4);
+    }
+}

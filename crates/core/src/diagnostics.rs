@@ -1,0 +1,210 @@
+//! Run diagnostics: surface-density maps (Fig. 5), energy audits, star
+//! formation rates, and phase-space histograms used by the validation
+//! experiments.
+
+use crate::particle::Particle;
+use fdps::Vec3;
+
+/// A 2-D column-density map [M_sun / pc^2] on a square grid.
+#[derive(Debug, Clone)]
+pub struct SurfaceDensityMap {
+    pub n: usize,
+    /// Half-extent of the map [pc].
+    pub half: f64,
+    /// Row-major `n x n` values.
+    pub data: Vec<f64>,
+}
+
+/// Projection plane.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Projection {
+    /// Face-on: x–y.
+    FaceOn,
+    /// Edge-on: x–z.
+    EdgeOn,
+}
+
+/// Bin gas particles into a column-density map (paper Fig. 5).
+pub fn surface_density(
+    particles: &[Particle],
+    projection: Projection,
+    half: f64,
+    n: usize,
+) -> SurfaceDensityMap {
+    let mut data = vec![0.0; n * n];
+    let cell = 2.0 * half / n as f64;
+    let area = cell * cell;
+    for p in particles.iter().filter(|p| p.is_gas()) {
+        let (a, b) = match projection {
+            Projection::FaceOn => (p.pos.x, p.pos.y),
+            Projection::EdgeOn => (p.pos.x, p.pos.z),
+        };
+        let i = ((a + half) / cell).floor() as i64;
+        let j = ((b + half) / cell).floor() as i64;
+        if i >= 0 && j >= 0 && (i as usize) < n && (j as usize) < n {
+            data[j as usize * n + i as usize] += p.mass / area;
+        }
+    }
+    SurfaceDensityMap { n, half, data }
+}
+
+impl SurfaceDensityMap {
+    /// Total mass inside the map.
+    pub fn total_mass(&self) -> f64 {
+        let cell = 2.0 * self.half / self.n as f64;
+        self.data.iter().sum::<f64>() * cell * cell
+    }
+
+    /// CSV rendering (x, y, sigma), one row per cell.
+    pub fn to_csv(&self) -> String {
+        let cell = 2.0 * self.half / self.n as f64;
+        let mut s = String::from("x_pc,y_pc,sigma_msun_pc2\n");
+        for j in 0..self.n {
+            for i in 0..self.n {
+                let x = -self.half + (i as f64 + 0.5) * cell;
+                let y = -self.half + (j as f64 + 0.5) * cell;
+                s.push_str(&format!("{x:.3},{y:.3},{:.6e}\n", self.data[j * self.n + i]));
+            }
+        }
+        s
+    }
+}
+
+/// Mass-weighted histogram of `log10(value)` over gas particles — the
+/// density/temperature PDFs of the validation experiment (paper §3.3).
+pub fn log_histogram(values: &[(f64, f64)], lo: f64, hi: f64, bins: usize) -> Vec<f64> {
+    let mut h = vec![0.0; bins];
+    let total: f64 = values.iter().map(|&(_, w)| w).sum();
+    if total <= 0.0 {
+        return h;
+    }
+    for &(v, w) in values {
+        if v <= 0.0 {
+            continue;
+        }
+        let x = (v.log10() - lo) / (hi - lo);
+        let b = (x * bins as f64).floor() as i64;
+        if (0..bins as i64).contains(&b) {
+            h[b as usize] += w / total;
+        }
+    }
+    h
+}
+
+/// L1 distance between two normalized histograms (0 = identical, 2 = disjoint).
+pub fn histogram_distance(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum()
+}
+
+/// Star-formation rate [M_sun/Myr]: stellar mass formed after `t0`, divided
+/// by the elapsed time.
+pub fn star_formation_rate(particles: &[Particle], t0: f64, t1: f64) -> f64 {
+    assert!(t1 > t0);
+    let formed: f64 = particles
+        .iter()
+        .filter(|p| p.is_star() && p.birth_time > t0 && p.birth_time <= t1)
+        .map(|p| p.mass)
+        .sum();
+    formed / (t1 - t0)
+}
+
+/// Centre of mass of a particle set.
+pub fn center_of_mass(particles: &[Particle]) -> Vec3 {
+    let mut m = 0.0;
+    let mut c = Vec3::ZERO;
+    for p in particles {
+        m += p.mass;
+        c += p.pos * p.mass;
+    }
+    if m > 0.0 {
+        c / m
+    } else {
+        Vec3::ZERO
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gas_at(pos: Vec3, mass: f64) -> Particle {
+        Particle::gas(0, pos, Vec3::ZERO, mass, 1.0, 1.0)
+    }
+
+    #[test]
+    fn surface_density_conserves_mapped_mass() {
+        let parts: Vec<Particle> = (0..100)
+            .map(|i| gas_at(Vec3::new(i as f64 * 0.1 - 5.0, 0.0, 0.0), 2.0))
+            .collect();
+        let map = surface_density(&parts, Projection::FaceOn, 10.0, 32);
+        assert!((map.total_mass() - 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn out_of_bounds_particles_are_dropped() {
+        let parts = vec![gas_at(Vec3::new(100.0, 0.0, 0.0), 5.0)];
+        let map = surface_density(&parts, Projection::FaceOn, 10.0, 8);
+        assert_eq!(map.total_mass(), 0.0);
+    }
+
+    #[test]
+    fn projections_differ_for_flattened_distributions() {
+        // A thin disk: face-on fills the map, edge-on concentrates at y=0.
+        let parts: Vec<Particle> = (0..400)
+            .map(|i| {
+                let a = i as f64 * 0.3737;
+                gas_at(
+                    Vec3::new(8.0 * a.cos(), 8.0 * a.sin(), 0.01 * (i % 7) as f64),
+                    1.0,
+                )
+            })
+            .collect();
+        let face = surface_density(&parts, Projection::FaceOn, 10.0, 16);
+        let edge = surface_density(&parts, Projection::EdgeOn, 10.0, 16);
+        let occupied = |m: &SurfaceDensityMap| m.data.iter().filter(|&&v| v > 0.0).count();
+        assert!(occupied(&face) > 2 * occupied(&edge));
+    }
+
+    #[test]
+    fn csv_has_header_and_all_cells() {
+        let map = surface_density(&[], Projection::FaceOn, 1.0, 4);
+        let csv = map.to_csv();
+        assert!(csv.starts_with("x_pc,y_pc,sigma"));
+        assert_eq!(csv.lines().count(), 1 + 16);
+    }
+
+    #[test]
+    fn log_histogram_normalizes_and_bins() {
+        let vals = vec![(10.0, 1.0), (10.0, 1.0), (1000.0, 2.0)];
+        let h = log_histogram(&vals, 0.0, 4.0, 4);
+        assert!((h.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!((h[1] - 0.5).abs() < 1e-12); // log10(10)=1 in [1,2)
+        assert!((h[3] - 0.5).abs() < 1e-12); // log10(1000)=3 in [3,4)
+        assert_eq!(histogram_distance(&h, &h), 0.0);
+        let other = log_histogram(&[(1.0, 1.0)], 0.0, 4.0, 4);
+        assert!(histogram_distance(&h, &other) > 0.9);
+    }
+
+    #[test]
+    fn sfr_counts_only_the_window() {
+        let mut parts = vec![
+            Particle::star(0, Vec3::ZERO, Vec3::ZERO, 2.0, 5.0),
+            Particle::star(1, Vec3::ZERO, Vec3::ZERO, 3.0, 15.0),
+            Particle::star(2, Vec3::ZERO, Vec3::ZERO, 4.0, 25.0),
+        ];
+        parts.push(gas_at(Vec3::ZERO, 10.0));
+        let sfr = star_formation_rate(&parts, 10.0, 20.0);
+        assert!((sfr - 0.3).abs() < 1e-12); // 3 M_sun over 10 Myr
+    }
+
+    #[test]
+    fn center_of_mass_weighted() {
+        let parts = vec![
+            gas_at(Vec3::new(1.0, 0.0, 0.0), 1.0),
+            gas_at(Vec3::new(-1.0, 0.0, 0.0), 3.0),
+        ];
+        let c = center_of_mass(&parts);
+        assert!((c.x + 0.5).abs() < 1e-12);
+    }
+}

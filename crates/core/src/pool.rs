@@ -1,0 +1,213 @@
+//! Pool-node predictors: given an SN region's gas particles, produce their
+//! state `horizon` Myr after the explosion.
+
+use fdps::Vec3;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sph::GammaLawEos;
+use surrogate::{GasParticle, SurrogateConfig, SurrogateModel};
+
+/// Anything that can stand on a pool node (paper Fig. 3, step 3).
+pub trait PoolPredictor: Send + Sync {
+    /// Predict the region state `horizon` Myr after an SN of energy
+    /// `energy` at `center`. Must preserve particle count and IDs.
+    fn predict(
+        &self,
+        center: Vec3,
+        energy: f64,
+        horizon: f64,
+        particles: &[GasParticle],
+    ) -> Vec<GasParticle>;
+}
+
+/// Analytic predictor: stamps the Sedov–Taylor solution onto the region.
+/// Deterministic and cheap — the reference the U-Net is trained to imitate,
+/// and the default for tests and small runs.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SedovOverlayPredictor;
+
+impl PoolPredictor for SedovOverlayPredictor {
+    fn predict(
+        &self,
+        center: Vec3,
+        energy: f64,
+        horizon: f64,
+        particles: &[GasParticle],
+    ) -> Vec<GasParticle> {
+        if particles.is_empty() {
+            return Vec::new();
+        }
+        // Ambient density from the region mean.
+        let m_tot: f64 = particles.iter().map(|p| p.mass).sum();
+        let side = region_half_extent(center, particles) * 2.0;
+        let rho0 = (m_tot / (side * side * side).max(1e-12)).max(1e-8);
+        let blast = astro::SedovTaylor::new(energy, rho0);
+        let t = horizon.max(1e-6);
+        let rs = blast.shock_radius(t);
+        let eos = GammaLawEos::default();
+
+        particles
+            .iter()
+            .map(|p| {
+                let d = p.pos - center;
+                let r = d.norm();
+                let mut out = *p;
+                if r < rs {
+                    let dir = if r > 1e-9 { d / r } else { Vec3::ZERO };
+                    // Move the particle with the shell flow (mean of its
+                    // current and post-shock radius, capped inside the box).
+                    let v = blast.velocity(r, t);
+                    out.vel = p.vel + dir * v;
+                    let temp = blast.temperature(r, t, eos.mu).clamp(10.0, 1e9);
+                    out.temp = temp;
+                    let dr = (v * t * 0.5).min(0.45 * side - r.min(0.45 * side));
+                    out.pos = p.pos + dir * dr.max(0.0);
+                }
+                out
+            })
+            .collect()
+    }
+}
+
+/// U-Net predictor: the full paper pipeline on a pool node.
+pub struct UNetPredictor {
+    pub model: SurrogateModel,
+    pub seed: u64,
+}
+
+impl UNetPredictor {
+    pub fn new(model: SurrogateModel, seed: u64) -> Self {
+        UNetPredictor { model, seed }
+    }
+
+    /// Small untrained network (pipeline plumbing for tests; real use
+    /// loads trained weights).
+    pub fn untrained_small(seed: u64) -> Self {
+        UNetPredictor {
+            model: SurrogateModel::new(SurrogateConfig {
+                grid_n: 8,
+                side: 60.0,
+                base_features: 2,
+                seed,
+            }),
+            seed,
+        }
+    }
+}
+
+impl PoolPredictor for UNetPredictor {
+    fn predict(
+        &self,
+        center: Vec3,
+        _energy: f64,
+        _horizon: f64,
+        particles: &[GasParticle],
+    ) -> Vec<GasParticle> {
+        let mut rng = StdRng::seed_from_u64(self.seed ^ particles.len() as u64);
+        self.model.predict_particles(&mut rng, center, particles)
+    }
+}
+
+fn region_half_extent(center: Vec3, particles: &[GasParticle]) -> f64 {
+    particles
+        .iter()
+        .map(|p| {
+            let d = p.pos - center;
+            d.x.abs().max(d.y.abs()).max(d.z.abs())
+        })
+        .fold(1.0f64, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use astro::units::E_SN;
+    use rand::Rng;
+
+    fn region(n: usize, seed: u64) -> Vec<GasParticle> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|i| GasParticle {
+                pos: Vec3::new(
+                    rng.gen_range(-30.0..30.0),
+                    rng.gen_range(-30.0..30.0),
+                    rng.gen_range(-30.0..30.0),
+                ),
+                vel: Vec3::ZERO,
+                mass: 1.0,
+                temp: 100.0,
+                h: 3.0,
+                id: i as u64,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn sedov_overlay_heats_and_expels_the_interior() {
+        let parts = region(500, 1);
+        let out = SedovOverlayPredictor.predict(Vec3::ZERO, E_SN, 0.1, &parts);
+        assert_eq!(out.len(), parts.len());
+        let mut heated = 0;
+        let mut outward = 0;
+        let mut inside = 0;
+        for (before, after) in parts.iter().zip(&out) {
+            assert_eq!(before.id, after.id);
+            let r = before.pos.norm();
+            if r < 8.0 {
+                inside += 1;
+                if after.temp > 1e4 {
+                    heated += 1;
+                }
+                if after.vel.dot(before.pos) > 0.0 {
+                    outward += 1;
+                }
+            }
+        }
+        assert!(inside > 5, "need interior particles, got {inside}");
+        assert_eq!(heated, inside, "all interior particles heated");
+        assert!(outward as f64 > 0.9 * inside as f64);
+    }
+
+    #[test]
+    fn sedov_overlay_leaves_far_field_untouched() {
+        // Heavier particles -> denser ambient medium -> the 0.05 Myr shock
+        // stays well inside 25 pc.
+        let mut parts = region(300, 2);
+        for p in parts.iter_mut() {
+            p.mass = 50.0;
+        }
+        let out = SedovOverlayPredictor.predict(Vec3::ZERO, E_SN, 0.05, &parts);
+        for (before, after) in parts.iter().zip(&out) {
+            if before.pos.norm() > 25.0 {
+                assert_eq!(before.pos, after.pos);
+                assert_eq!(before.temp, after.temp);
+            }
+        }
+    }
+
+    #[test]
+    fn sedov_overlay_conserves_mass_exactly() {
+        let parts = region(200, 3);
+        let out = SedovOverlayPredictor.predict(Vec3::ZERO, E_SN, 0.1, &parts);
+        let m_in: f64 = parts.iter().map(|p| p.mass).sum();
+        let m_out: f64 = out.iter().map(|p| p.mass).sum();
+        assert_eq!(m_in, m_out);
+    }
+
+    #[test]
+    fn unet_predictor_preserves_count_and_ids() {
+        let parts = region(100, 4);
+        let pred = UNetPredictor::untrained_small(7);
+        let out = pred.predict(Vec3::ZERO, E_SN, 0.1, &parts);
+        assert_eq!(out.len(), parts.len());
+        for (a, b) in parts.iter().zip(&out) {
+            assert_eq!(a.id, b.id);
+        }
+    }
+
+    #[test]
+    fn empty_region_is_a_noop() {
+        let out = SedovOverlayPredictor.predict(Vec3::ZERO, E_SN, 0.1, &[]);
+        assert!(out.is_empty());
+    }
+}

@@ -1,0 +1,769 @@
+//! The shared-memory simulation driver: the paper's §3.2 integration loop
+//! with either the surrogate or the conventional SN scheme.
+
+use crate::config::{Scheme, SimConfig};
+use crate::particle::{Kind, Particle};
+use crate::pool::{PoolPredictor, SedovOverlayPredictor};
+use astro::cooling::CoolingCurve;
+use astro::lifetime::explodes_in_interval;
+use astro::starform::{SfOutcome, StarFormation};
+use astro::supernova::SnFeedback;
+use astro::yields::SnYield;
+use astro::units::{E_SN, G, NH_PER_MSUN_PC3};
+use fdps::Vec3;
+use gravity::GravitySolver;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sph::solver::{HydroState, SphSolver};
+use sph::timestep::quantize_block;
+use sph::GammaLawEos;
+use surrogate::GasParticle;
+
+/// Counters accumulated over a run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SimStats {
+    pub steps: u64,
+    pub sn_events: u64,
+    pub stars_formed: u64,
+    pub regions_applied: u64,
+    /// Smallest timestep taken [Myr].
+    pub dt_min_seen: f64,
+    /// Total gravity interactions evaluated.
+    pub gravity_interactions: u64,
+    /// Total SPH force interactions evaluated.
+    pub hydro_interactions: u64,
+}
+
+/// A prediction in flight between pool dispatch and application.
+struct PendingRegion {
+    due_step: u64,
+    predicted: Vec<GasParticle>,
+}
+
+/// The simulation state and driver.
+pub struct Simulation {
+    pub config: SimConfig,
+    pub particles: Vec<Particle>,
+    pub time: f64,
+    pub step_count: u64,
+    pub stats: SimStats,
+    predictor: Box<dyn PoolPredictor>,
+    pending: Vec<PendingRegion>,
+    next_id: u64,
+    rng: StdRng,
+    eos: GammaLawEos,
+    cooling: CoolingCurve,
+    starform: StarFormation,
+    feedback: SnFeedback,
+    /// `(particle index, v_sig, h)` from the last SPH force pass, used by
+    /// the conventional scheme's CFL estimate.
+    last_vsig: Vec<(usize, f64, f64)>,
+}
+
+impl Simulation {
+    /// Build with the default (Sedov-overlay) pool predictor.
+    pub fn new(config: SimConfig, particles: Vec<Particle>, seed: u64) -> Self {
+        Self::with_predictor(config, particles, seed, Box::new(SedovOverlayPredictor))
+    }
+
+    /// Build with an explicit pool predictor (e.g. a trained U-Net).
+    pub fn with_predictor(
+        config: SimConfig,
+        particles: Vec<Particle>,
+        seed: u64,
+        predictor: Box<dyn PoolPredictor>,
+    ) -> Self {
+        let next_id = particles.iter().map(|p| p.id).max().map_or(0, |m| m + 1);
+        Simulation {
+            config,
+            particles,
+            time: 0.0,
+            step_count: 0,
+            stats: SimStats {
+                dt_min_seen: f64::INFINITY,
+                ..Default::default()
+            },
+            predictor,
+            pending: Vec::new(),
+            next_id,
+            rng: StdRng::seed_from_u64(seed),
+            eos: GammaLawEos::default(),
+            cooling: CoolingCurve::standard_ism(),
+            starform: StarFormation {
+                criteria: astro::StarFormationCriteria {
+                    rho_min: config.sf_rho_min,
+                    t_max: config.sf_t_max,
+                    efficiency: config.sf_efficiency,
+                },
+                ..Default::default()
+            },
+            feedback: SnFeedback::default(),
+            last_vsig: Vec::new(),
+        }
+    }
+
+    /// Advance `n` steps.
+    pub fn run(&mut self, n: usize) {
+        for _ in 0..n {
+            self.step();
+        }
+    }
+
+    /// One full step of the paper's §3.2 procedure.
+    pub fn step(&mut self) {
+        // (1) Identify SNe exploding in (t, t + dt_global].
+        let events = self.identify_sne();
+        self.stats.sn_events += events.len() as u64;
+
+        match self.config.scheme {
+            Scheme::Surrogate => {
+                // (2) Ship regions to the pool; predictions apply after
+                // the pool latency. Metal yields are injected immediately
+                // (the surrogate predicts dynamics, not composition).
+                for (star_idx, center) in &events {
+                    self.particles[*star_idx].exploded = true;
+                    self.inject_yields(*star_idx, *center);
+                    self.dispatch_region(*center);
+                }
+                // (3) Fixed-global-timestep KDK without feedback energy.
+                let dt = self.config.dt_global;
+                self.kdk(dt);
+                // (4) Receive pool predictions due this step, replace by ID.
+                self.apply_due_regions();
+                // (6) Star formation, cooling and heating.
+                self.cooling_and_star_formation(dt);
+                self.advance(dt);
+            }
+            Scheme::Conventional => {
+                // Direct thermal feedback, then a CFL-limited step.
+                for (star_idx, center) in &events {
+                    self.particles[*star_idx].exploded = true;
+                    self.inject_yields(*star_idx, *center);
+                    self.inject_thermal(*center);
+                }
+                let dt = self.adaptive_dt();
+                self.kdk(dt);
+                self.cooling_and_star_formation(dt);
+                self.advance(dt);
+            }
+        }
+    }
+
+    fn advance(&mut self, dt: f64) {
+        self.time += dt;
+        self.step_count += 1;
+        self.stats.steps += 1;
+        self.stats.dt_min_seen = self.stats.dt_min_seen.min(dt);
+    }
+
+    /// Stars whose lifetime ends within the next global step.
+    fn identify_sne(&self) -> Vec<(usize, Vec3)> {
+        self.particles
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| {
+                p.is_star()
+                    && !p.exploded
+                    && explodes_in_interval(
+                        p.mass,
+                        p.birth_time,
+                        self.time,
+                        self.config.dt_global,
+                    )
+            })
+            .map(|(i, p)| (i, p.pos))
+            .collect()
+    }
+
+    /// Cut the (region_side)^3 cube around `center` and queue its
+    /// prediction (paper §3.2 step 2; the pool's compute latency is
+    /// modelled by the due step).
+    fn dispatch_region(&mut self, center: Vec3) {
+        let half = 0.5 * self.config.region_side;
+        let gas: Vec<GasParticle> = self
+            .particles
+            .iter()
+            .filter(|p| {
+                p.is_gas() && {
+                    let d = p.pos - center;
+                    d.x.abs() < half && d.y.abs() < half && d.z.abs() < half
+                }
+            })
+            .map(|p| GasParticle {
+                pos: p.pos,
+                vel: p.vel,
+                mass: p.mass,
+                temp: self.eos.temperature_from_u(p.u),
+                h: p.h.max(1e-3),
+                id: p.id,
+            })
+            .collect();
+        if gas.is_empty() {
+            return;
+        }
+        let predicted =
+            self.predictor
+                .predict(center, E_SN, self.config.horizon(), &gas);
+        self.pending.push(PendingRegion {
+            due_step: self.step_count + self.config.pool_latency_steps as u64,
+            predicted,
+        });
+    }
+
+    /// Replace particles by ID with any predictions that are due
+    /// (paper §3.2 step 4).
+    fn apply_due_regions(&mut self) {
+        let step = self.step_count;
+        let due: Vec<PendingRegion> = {
+            let mut kept = Vec::new();
+            let mut due = Vec::new();
+            for r in self.pending.drain(..) {
+                if r.due_step <= step + 1 {
+                    due.push(r);
+                } else {
+                    kept.push(r);
+                }
+            }
+            self.pending = kept;
+            due
+        };
+        if due.is_empty() {
+            return;
+        }
+        use std::collections::HashMap;
+        let mut index: HashMap<u64, usize> = HashMap::new();
+        for (i, p) in self.particles.iter().enumerate() {
+            if p.is_gas() {
+                index.insert(p.id, i);
+            }
+        }
+        for region in due {
+            for g in region.predicted {
+                if let Some(&i) = index.get(&g.id) {
+                    let p = &mut self.particles[i];
+                    p.pos = g.pos;
+                    p.vel = g.vel;
+                    p.mass = g.mass;
+                    p.u = self.eos.u_from_temperature(g.temp.max(1.0));
+                    p.h = g.h;
+                }
+            }
+            self.stats.regions_applied += 1;
+        }
+    }
+
+    /// Inject the exploding star's nucleosynthesis yields into nearby gas
+    /// (Figure 1's element cycle: C, O, Mg, Fe spread by the explosion).
+    fn inject_yields(&mut self, star_idx: usize, center: Vec3) {
+        let progenitor_mass = self.particles[star_idx].mass;
+        let y = SnYield::for_progenitor(progenitor_mass);
+        let half = 0.5 * self.config.region_side;
+        let neighbours: Vec<usize> = self
+            .particles
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.is_gas() && (p.pos - center).norm() < half)
+            .map(|(i, _)| i)
+            .collect();
+        if neighbours.is_empty() {
+            return;
+        }
+        let weights: Vec<f64> = neighbours
+            .iter()
+            .map(|&i| {
+                let r = (self.particles[i].pos - center).norm();
+                (1.0 - r / half).max(0.01)
+            })
+            .collect();
+        let per = astro::yields::distribute_yields(&y, &weights);
+        for (&i, dz) in neighbours.iter().zip(per) {
+            self.particles[i].metals += dz.iter().sum::<f64>();
+        }
+    }
+
+    /// Conventional feedback: kernel-weighted thermal injection.
+    fn inject_thermal(&mut self, center: Vec3) {
+        let half = 0.5 * self.config.region_side;
+        let neighbours: Vec<usize> = self
+            .particles
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.is_gas() && (p.pos - center).norm() < half)
+            .map(|(i, _)| i)
+            .collect();
+        if neighbours.is_empty() {
+            return;
+        }
+        let masses: Vec<f64> = neighbours.iter().map(|&i| self.particles[i].mass).collect();
+        let weights: Vec<f64> = neighbours
+            .iter()
+            .map(|&i| {
+                let r = (self.particles[i].pos - center).norm();
+                (1.0 - r / half).max(0.01)
+            })
+            .collect();
+        let event = astro::SnEvent {
+            star_index: 0,
+            pos: [center.x, center.y, center.z],
+            time: self.time,
+            energy: E_SN,
+        };
+        let du = self.feedback.thermal_injection(&event, &masses, &weights);
+        for (&i, d) in neighbours.iter().zip(du) {
+            self.particles[i].u += d;
+        }
+    }
+
+    /// KDK leapfrog with a shared timestep (paper §3.2 step 3).
+    fn kdk(&mut self, dt: f64) {
+        let (acc, dudt) = self.compute_forces();
+        // First kick + drift.
+        for (i, p) in self.particles.iter_mut().enumerate() {
+            p.vel += acc[i] * (0.5 * dt);
+            if p.is_gas() {
+                p.u = (p.u + dudt[i] * 0.5 * dt).max(1e-10);
+            }
+            p.pos += p.vel * dt;
+        }
+        // Re-evaluate forces at the new positions, second kick.
+        let (acc, dudt) = self.compute_forces();
+        for (i, p) in self.particles.iter_mut().enumerate() {
+            p.vel += acc[i] * (0.5 * dt);
+            if p.is_gas() {
+                p.u = (p.u + dudt[i] * 0.5 * dt).max(1e-10);
+            }
+        }
+    }
+
+    /// Gravity on everything plus SPH forces on the gas.
+    /// Returns per-particle acceleration and du/dt.
+    fn compute_forces(&mut self) -> (Vec<Vec3>, Vec<f64>) {
+        let n = self.particles.len();
+        let mut acc = vec![Vec3::ZERO; n];
+        let mut dudt = vec![0.0; n];
+        if n == 0 {
+            return (acc, dudt);
+        }
+
+        // Gravity over all species.
+        let pos: Vec<Vec3> = self.particles.iter().map(|p| p.pos).collect();
+        let mass: Vec<f64> = self.particles.iter().map(|p| p.mass).collect();
+        let solver = GravitySolver {
+            g: G,
+            theta: self.config.theta,
+            n_group: self.config.n_group,
+            n_leaf: 8,
+            eps: self.config.eps,
+            mixed_precision: self.config.mixed_precision,
+        };
+        let grav = solver.evaluate(&pos, &mass, n);
+        self.stats.gravity_interactions += grav.interactions;
+        acc.copy_from_slice(&grav.acc);
+
+        // SPH on the gas subset.
+        let gas_idx: Vec<usize> = (0..n).filter(|&i| self.particles[i].is_gas()).collect();
+        if gas_idx.len() > 1 {
+            let mut state = HydroState::new(
+                gas_idx.iter().map(|&i| self.particles[i].pos).collect(),
+                gas_idx.iter().map(|&i| self.particles[i].vel).collect(),
+                gas_idx.iter().map(|&i| self.particles[i].mass).collect(),
+                gas_idx.iter().map(|&i| self.particles[i].u).collect(),
+                gas_idx
+                    .iter()
+                    .map(|&i| self.particles[i].h.max(1e-3))
+                    .collect(),
+            );
+            let sph = SphSolver {
+                density_cfg: sph::density::DensityConfig {
+                    n_ngb_target: self.config.n_ngb,
+                    ..Default::default()
+                },
+                cfl: self.config.cfl,
+                ..Default::default()
+            };
+            let n_gas = state.len();
+            let dstats = sph.density_pass(&mut state, n_gas);
+            let fstats = sph.force_pass(&mut state, n_gas);
+            self.stats.hydro_interactions +=
+                dstats.density_interactions + fstats.force_interactions;
+            for (k, &i) in gas_idx.iter().enumerate() {
+                acc[i] += state.acc[k];
+                dudt[i] = state.dudt[k];
+                let p = &mut self.particles[i];
+                p.h = state.h[k];
+                p.rho = state.rho[k];
+            }
+            // Stash signal speeds for the adaptive timestep.
+            self.last_vsig = gas_idx
+                .iter()
+                .enumerate()
+                .map(|(k, &i)| (i, state.v_sig[k].max(state.cs[k]), state.h[k]))
+                .collect();
+        } else {
+            self.last_vsig.clear();
+        }
+        (acc, dudt)
+    }
+
+    /// CFL-adaptive shared timestep (conventional scheme, paper §5.3).
+    fn adaptive_dt(&mut self) -> f64 {
+        // Signal speeds from the current thermal state (pre-force estimate:
+        // sound speed; the stashed v_sig from the last force pass refines
+        // it after the first step).
+        let mut dt = self.config.dt_global;
+        for p in &self.particles {
+            if p.is_gas() {
+                let cs = self.eos.sound_speed(p.u);
+                if cs > 0.0 && p.h > 0.0 {
+                    dt = dt.min(self.config.cfl * p.h / cs);
+                }
+            }
+        }
+        for &(_, vsig, h) in &self.last_vsig {
+            if vsig > 0.0 {
+                dt = dt.min(self.config.cfl * h / vsig);
+            }
+        }
+        quantize_block(dt.max(self.config.dt_min), self.config.dt_global)
+    }
+
+    /// Cooling/heating and stochastic star formation (paper §3.2 step 6).
+    fn cooling_and_star_formation(&mut self, dt: f64) {
+        let mut new_stars: Vec<Particle> = Vec::new();
+        let eos = self.eos;
+        for p in self.particles.iter_mut() {
+            if !p.is_gas() {
+                continue;
+            }
+            if self.config.cooling && p.rho > 0.0 {
+                let temp = eos.temperature_from_u(p.u);
+                let nh = p.rho * NH_PER_MSUN_PC3;
+                let t_new = self.cooling.update(temp, nh, dt);
+                p.u = eos.u_from_temperature(t_new.max(10.0));
+            }
+            if self.config.star_formation && p.rho > 0.0 {
+                let temp = eos.temperature_from_u(p.u);
+                match self.starform.try_form(&mut self.rng, p.rho, temp, p.mass, dt) {
+                    SfOutcome::None => {}
+                    SfOutcome::Spawn { star_mass, gas_left } => {
+                        new_stars.push(Particle::star(
+                            0, // assigned below
+                            p.pos,
+                            p.vel,
+                            star_mass,
+                            self.time,
+                        ));
+                        p.mass = gas_left;
+                    }
+                    SfOutcome::Convert { star_mass } => {
+                        p.kind = Kind::Star;
+                        p.mass = star_mass;
+                        p.birth_time = self.time;
+                        p.exploded = false;
+                    }
+                }
+            }
+        }
+        for mut s in new_stars {
+            s.id = self.next_id;
+            self.next_id += 1;
+            self.stats.stars_formed += 1;
+            self.particles.push(s);
+        }
+    }
+
+    /// Total energy: kinetic + internal + gravitational potential.
+    pub fn total_energy(&self) -> f64 {
+        let pos: Vec<Vec3> = self.particles.iter().map(|p| p.pos).collect();
+        let mass: Vec<f64> = self.particles.iter().map(|p| p.mass).collect();
+        let solver = GravitySolver {
+            g: G,
+            theta: 0.0, // exact for the energy audit
+            eps: self.config.eps,
+            ..Default::default()
+        };
+        let grav = solver.evaluate(&pos, &mass, pos.len());
+        let w: f64 = 0.5
+            * grav
+                .pot
+                .iter()
+                .zip(&mass)
+                .map(|(phi, m)| phi * m)
+                .sum::<f64>();
+        let ke_ie: f64 = self
+            .particles
+            .iter()
+            .map(|p| p.mass * (0.5 * p.vel.norm2() + if p.is_gas() { p.u } else { 0.0 }))
+            .sum();
+        w + ke_ie
+    }
+
+    /// Number of in-flight pool predictions.
+    pub fn pending_regions(&self) -> usize {
+        self.pending.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use astro::lifetime::stellar_lifetime_myr;
+
+    fn two_body() -> Vec<Particle> {
+        // Circular binary in code units: masses 1e6 each, separation 100 pc.
+        let m = 1.0e6;
+        let r = 50.0;
+        let v = (G * m / (4.0 * r)).sqrt();
+        vec![
+            Particle::dm(0, Vec3::new(r, 0.0, 0.0), Vec3::new(0.0, v, 0.0), m),
+            Particle::dm(1, Vec3::new(-r, 0.0, 0.0), Vec3::new(0.0, -v, 0.0), m),
+        ]
+    }
+
+    fn quiet_config() -> SimConfig {
+        SimConfig {
+            cooling: false,
+            star_formation: false,
+            eps: 0.5,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn two_body_orbit_conserves_energy() {
+        let cfg = SimConfig {
+            dt_global: 0.01,
+            ..quiet_config()
+        };
+        let mut sim = Simulation::new(cfg, two_body(), 1);
+        let e0 = sim.total_energy();
+        sim.run(500);
+        let e1 = sim.total_energy();
+        assert!(
+            ((e1 - e0) / e0).abs() < 0.01,
+            "energy drift {} -> {}",
+            e0,
+            e1
+        );
+        // The binary stays bound at roughly the initial separation.
+        let sep = (sim.particles[0].pos - sim.particles[1].pos).norm();
+        assert!((50.0..200.0).contains(&sep), "separation {sep}");
+    }
+
+    fn gas_blob(n_side: usize, spacing: f64, u: f64) -> Vec<Particle> {
+        let mut out = Vec::new();
+        let mut id = 0;
+        for i in 0..n_side {
+            for j in 0..n_side {
+                for k in 0..n_side {
+                    out.push(Particle::gas(
+                        id,
+                        Vec3::new(
+                            (i as f64 - n_side as f64 / 2.0) * spacing,
+                            (j as f64 - n_side as f64 / 2.0) * spacing,
+                            (k as f64 - n_side as f64 / 2.0) * spacing,
+                        ),
+                        Vec3::ZERO,
+                        1.0,
+                        u,
+                        spacing * 1.3,
+                    ));
+                    id += 1;
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn surrogate_scheme_applies_regions_after_latency() {
+        // A massive star that explodes on step 1, inside a gas blob.
+        let mut particles = gas_blob(6, 3.0, 1.0);
+        let m_star = 10.0;
+        let life = stellar_lifetime_myr(m_star);
+        let dt = 2.0e-3;
+        // Born so that death lands in the second step.
+        let birth = dt * 1.5 - life;
+        let star_id = particles.len() as u64;
+        particles.push(Particle::star(star_id, Vec3::ZERO, Vec3::ZERO, m_star, birth));
+        let cfg = SimConfig {
+            dt_global: dt,
+            pool_latency_steps: 5,
+            cooling: false,
+            star_formation: false,
+            eps: 1.0,
+            ..Default::default()
+        };
+        let mut sim = Simulation::new(cfg, particles, 2);
+        let u_before: f64 = sim
+            .particles
+            .iter()
+            .filter(|p| p.is_gas())
+            .map(|p| p.u)
+            .sum();
+        sim.run(2);
+        assert_eq!(sim.stats.sn_events, 1, "the SN fires");
+        assert_eq!(sim.pending_regions(), 1, "prediction in flight");
+        assert_eq!(sim.stats.regions_applied, 0, "not applied before latency");
+        sim.run(5);
+        assert_eq!(sim.stats.regions_applied, 1, "applied after latency");
+        let u_after: f64 = sim
+            .particles
+            .iter()
+            .filter(|p| p.is_gas())
+            .map(|p| p.u)
+            .sum();
+        assert!(
+            u_after > 10.0 * u_before,
+            "SN heating visible: {u_before} -> {u_after}"
+        );
+        // Timestep never shrank: the paper's headline property.
+        assert_eq!(sim.stats.dt_min_seen, dt);
+    }
+
+    #[test]
+    fn conventional_scheme_collapses_the_timestep() {
+        // Dense blob: small smoothing lengths make the CFL bite hard.
+        let mut particles = gas_blob(6, 0.5, 1.0);
+        let m_star = 10.0;
+        let life = stellar_lifetime_myr(m_star);
+        let dt = 2.0e-3;
+        let birth = dt * 0.5 - life;
+        particles.push(Particle::star(
+            particles.len() as u64,
+            Vec3::ZERO,
+            Vec3::ZERO,
+            m_star,
+            birth,
+        ));
+        let cfg = SimConfig {
+            scheme: Scheme::Conventional,
+            dt_global: dt,
+            cooling: false,
+            star_formation: false,
+            eps: 1.0,
+            ..Default::default()
+        };
+        let mut sim = Simulation::new(cfg, particles, 3);
+        sim.run(3);
+        assert_eq!(sim.stats.sn_events, 1);
+        assert!(
+            sim.stats.dt_min_seen < dt / 4.0,
+            "CFL must collapse dt: min {} vs global {dt}",
+            sim.stats.dt_min_seen
+        );
+    }
+
+    #[test]
+    fn star_formation_converts_cold_dense_gas() {
+        // Dense cold blob: rho above threshold, T below.
+        let mut particles = gas_blob(5, 0.5, 1e-4);
+        for p in particles.iter_mut() {
+            p.mass = 5.0;
+        }
+        let cfg = SimConfig {
+            dt_global: 0.5,
+            cooling: false,
+            star_formation: true,
+            eps: 0.5,
+            ..Default::default()
+        };
+        let mut sim = Simulation::new(cfg, particles, 4);
+        sim.run(4);
+        let n_star = sim.particles.iter().filter(|p| p.is_star()).count();
+        assert!(
+            n_star > 0 || sim.stats.stars_formed > 0,
+            "dense cold gas must form stars"
+        );
+    }
+
+    #[test]
+    fn cooling_drives_hot_gas_down() {
+        let particles = gas_blob(5, 1.0, 50.0); // hot: ~ 10^5-6 K
+        let cfg = SimConfig {
+            dt_global: 0.1,
+            cooling: true,
+            star_formation: false,
+            eps: 0.5,
+            ..Default::default()
+        };
+        let mut sim = Simulation::new(cfg, particles, 5);
+        let u0: f64 = sim.particles.iter().map(|p| p.u).sum();
+        sim.run(5);
+        let u1: f64 = sim.particles.iter().map(|p| p.u).sum();
+        assert!(u1 < u0, "cooling should lower u: {u0} -> {u1}");
+    }
+
+    #[test]
+    fn sn_enriches_surrounding_gas_with_metals() {
+        let mut particles = gas_blob(6, 3.0, 1.0);
+        let m_star = 15.0;
+        let life = stellar_lifetime_myr(m_star);
+        let dt = 2.0e-3;
+        particles.push(Particle::star(
+            particles.len() as u64,
+            Vec3::ZERO,
+            Vec3::ZERO,
+            m_star,
+            dt * 1.5 - life,
+        ));
+        let cfg = SimConfig {
+            dt_global: dt,
+            pool_latency_steps: 3,
+            cooling: false,
+            star_formation: false,
+            eps: 1.0,
+            ..Default::default()
+        };
+        let mut sim = Simulation::new(cfg, particles, 9);
+        sim.run(3);
+        assert_eq!(sim.stats.sn_events, 1);
+        let gas_metals: f64 = sim
+            .particles
+            .iter()
+            .filter(|p| p.is_gas())
+            .map(|p| p.metals)
+            .sum();
+        let expected = astro::yields::SnYield::for_progenitor(m_star).metals();
+        assert!(
+            (gas_metals / expected - 1.0).abs() < 1e-9,
+            "gas received {gas_metals} of {expected} M_sun in metals"
+        );
+        // Enrichment is centrally weighted: the most metal-rich particle
+        // sits near the explosion site.
+        let _ = gas_metals;
+        let richest = sim
+            .particles
+            .iter()
+            .filter(|p| p.is_gas())
+            .max_by(|a, b| a.metals.total_cmp(&b.metals))
+            .expect("gas exists");
+        assert!(
+            richest.pos.norm() < 10.0,
+            "most enriched particle at r = {}",
+            richest.pos.norm()
+        );
+    }
+
+    #[test]
+    fn ids_remain_unique_through_star_formation() {
+        let mut particles = gas_blob(4, 0.5, 1e-4);
+        for p in particles.iter_mut() {
+            p.mass = 5.0;
+        }
+        let cfg = SimConfig {
+            dt_global: 0.5,
+            cooling: false,
+            star_formation: true,
+            eps: 0.5,
+            ..Default::default()
+        };
+        let mut sim = Simulation::new(cfg, particles, 6);
+        sim.run(4);
+        let mut ids: Vec<u64> = sim.particles.iter().map(|p| p.id).collect();
+        let before = ids.len();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), before, "duplicate particle ids");
+    }
+}

@@ -1,0 +1,451 @@
+//! Barnes–Hut octree with monopole moments (paper §3.4: "particles are
+//! assigned to a tree structure and the calculation cost becomes O(N log N)
+//! instead of O(N^2)").
+//!
+//! The tree is built over Morton-sorted particles so each node is a
+//! contiguous index range. Nodes carry the monopole (total mass + centre of
+//! mass), a tight bounding box, and — when smoothing lengths are supplied —
+//! the maximum search radius of their subtree, which powers the
+//! gather/scatter neighbor search SPH needs.
+
+use crate::bbox::BBox;
+use crate::morton;
+use crate::vec3::Vec3;
+
+/// One octree node.
+#[derive(Debug, Clone)]
+pub struct TreeNode {
+    /// Range into [`Tree::order`] of the particles in this subtree.
+    pub start: u32,
+    pub end: u32,
+    /// Index of the first child in [`Tree::nodes`]; children are contiguous.
+    pub child_start: u32,
+    pub child_count: u8,
+    /// Monopole: total mass and centre of mass.
+    pub mass: f64,
+    pub com: Vec3,
+    /// Tight bounding box of the subtree's particles.
+    pub bbox: BBox,
+    /// Maximum smoothing length in the subtree (0 when none supplied).
+    pub h_max: f64,
+}
+
+impl TreeNode {
+    #[inline]
+    pub fn is_leaf(&self) -> bool {
+        self.child_count == 0
+    }
+
+    #[inline]
+    pub fn len(&self) -> usize {
+        (self.end - self.start) as usize
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// Geometric size used by the opening criterion: the longest edge of the
+    /// tight bounding box.
+    #[inline]
+    pub fn size(&self) -> f64 {
+        self.bbox.max_extent()
+    }
+}
+
+/// An octree over externally owned particle arrays.
+#[derive(Debug, Clone)]
+pub struct Tree {
+    /// Particle indices in Morton order; nodes reference ranges of this.
+    pub order: Vec<u32>,
+    pub nodes: Vec<TreeNode>,
+    /// Global bounding cube used for Morton quantization.
+    pub cube: BBox,
+    n_leaf: usize,
+}
+
+/// Root node index.
+pub const ROOT: usize = 0;
+
+impl Tree {
+    /// Build over `pos`/`mass`, splitting nodes larger than `n_leaf`.
+    pub fn build(pos: &[Vec3], mass: &[f64], n_leaf: usize) -> Tree {
+        Self::build_with_h(pos, mass, None, n_leaf)
+    }
+
+    /// Build carrying per-particle search radii `h` for neighbor queries.
+    pub fn build_with_h(pos: &[Vec3], mass: &[f64], h: Option<&[f64]>, n_leaf: usize) -> Tree {
+        assert_eq!(pos.len(), mass.len(), "tree: pos/mass length mismatch");
+        if let Some(h) = h {
+            assert_eq!(pos.len(), h.len(), "tree: pos/h length mismatch");
+        }
+        assert!(n_leaf >= 1, "tree: n_leaf must be >= 1");
+
+        let mut bbox = BBox::of_points(pos);
+        if bbox.is_empty() {
+            bbox = BBox::new(Vec3::ZERO, Vec3::ZERO);
+        }
+        // Quantize in a cube so octants are cubical.
+        let half = (bbox.max_extent() * 0.5).max(f64::MIN_POSITIVE);
+        let cube = BBox::cube(bbox.center(), half * (1.0 + 1e-12) + 1e-300);
+
+        let mut keyed: Vec<(u64, u32)> = pos
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| (morton::key(p, &cube), i as u32))
+            .collect();
+        keyed.sort_unstable_by_key(|&(k, _)| k);
+        let keys: Vec<u64> = keyed.iter().map(|&(k, _)| k).collect();
+        let order: Vec<u32> = keyed.iter().map(|&(_, i)| i).collect();
+
+        let mut tree = Tree {
+            order,
+            nodes: Vec::with_capacity(pos.len() / n_leaf.max(1) * 2 + 16),
+            cube,
+            n_leaf,
+        };
+        tree.nodes.push(TreeNode {
+            start: 0,
+            end: pos.len() as u32,
+            child_start: 0,
+            child_count: 0,
+            mass: 0.0,
+            com: Vec3::ZERO,
+            bbox: BBox::empty(),
+            h_max: 0.0,
+        });
+        tree.split_node(ROOT, 0, &keys);
+        tree.compute_moments(ROOT, pos, mass, h);
+        tree
+    }
+
+    fn split_node(&mut self, node: usize, level: u32, keys: &[u64]) {
+        let (start, end) = {
+            let n = &self.nodes[node];
+            (n.start as usize, n.end as usize)
+        };
+        if end - start <= self.n_leaf || level >= morton::BITS {
+            return; // leaf
+        }
+        // Partition the sorted key range by the 3-bit digit at this level.
+        let child_start = self.nodes.len() as u32;
+        let mut boundaries = [start; 9];
+        let mut cursor = start;
+        for d in 0..8usize {
+            while cursor < end && morton::digit(keys[cursor], level) == d {
+                cursor += 1;
+            }
+            boundaries[d + 1] = cursor;
+        }
+        debug_assert_eq!(boundaries[8], end, "digit partition must cover range");
+
+        let mut created = 0u8;
+        for d in 0..8usize {
+            let (s, e) = (boundaries[d], boundaries[d + 1]);
+            if s == e {
+                continue; // skip empty octants
+            }
+            self.nodes.push(TreeNode {
+                start: s as u32,
+                end: e as u32,
+                child_start: 0,
+                child_count: 0,
+                mass: 0.0,
+                com: Vec3::ZERO,
+                bbox: BBox::empty(),
+                h_max: 0.0,
+            });
+            created += 1;
+        }
+        self.nodes[node].child_start = child_start;
+        self.nodes[node].child_count = created;
+        for c in 0..created as usize {
+            self.split_node(child_start as usize + c, level + 1, keys);
+        }
+    }
+
+    fn compute_moments(&mut self, node: usize, pos: &[Vec3], mass: &[f64], h: Option<&[f64]>) {
+        let (start, end, child_start, child_count) = {
+            let n = &self.nodes[node];
+            (n.start as usize, n.end as usize, n.child_start as usize, n.child_count as usize)
+        };
+        let mut m = 0.0;
+        let mut com = Vec3::ZERO;
+        let mut bbox = BBox::empty();
+        let mut h_max = 0.0f64;
+        if child_count == 0 {
+            for &pi in &self.order[start..end] {
+                let pi = pi as usize;
+                m += mass[pi];
+                com += pos[pi] * mass[pi];
+                bbox.extend(pos[pi]);
+                if let Some(h) = h {
+                    h_max = h_max.max(h[pi]);
+                }
+            }
+        } else {
+            for c in child_start..child_start + child_count {
+                self.compute_moments(c, pos, mass, h);
+                let ch = &self.nodes[c];
+                m += ch.mass;
+                com += ch.com * ch.mass;
+                bbox.merge(&ch.bbox);
+                h_max = h_max.max(ch.h_max);
+            }
+        }
+        let n = &mut self.nodes[node];
+        n.mass = m;
+        n.com = if m > 0.0 {
+            com / m
+        } else {
+            // Massless subtree (e.g. tracer particles): use the box centre.
+            if bbox.is_empty() {
+                Vec3::ZERO
+            } else {
+                bbox.center()
+            }
+        };
+        n.bbox = bbox;
+        n.h_max = h_max;
+    }
+
+    /// Root node.
+    pub fn root(&self) -> &TreeNode {
+        &self.nodes[ROOT]
+    }
+
+    /// Number of particles indexed by the tree.
+    pub fn len(&self) -> usize {
+        self.root().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Particle indices (into the original arrays) of a leaf's range.
+    pub fn leaf_particles(&self, node: &TreeNode) -> &[u32] {
+        &self.order[node.start as usize..node.end as usize]
+    }
+
+    /// Collect all particle indices within `r` of `p` (gather) or within a
+    /// particle's own stored search radius of `p` (scatter); the caller
+    /// passes candidate filtering. Appends to `out`.
+    pub fn neighbors_within(&self, p: Vec3, r: f64, out: &mut Vec<u32>) {
+        if self.is_empty() {
+            return;
+        }
+        self.neighbor_rec(ROOT, p, r, out);
+    }
+
+    fn neighbor_rec(&self, node: usize, p: Vec3, r: f64, out: &mut Vec<u32>) {
+        let n = &self.nodes[node];
+        // Scatter-aware bound: a particle inside this node can reach `p`
+        // within max(r, its own h) — the subtree bound is h_max.
+        let reach = r.max(n.h_max);
+        if n.bbox.is_empty() || n.bbox.dist2_to_point(p) > reach * reach {
+            return;
+        }
+        if n.is_leaf() {
+            out.extend_from_slice(self.leaf_particles(n));
+        } else {
+            for c in 0..n.child_count as usize {
+                self.neighbor_rec(n.child_start as usize + c, p, r, out);
+            }
+        }
+    }
+
+    /// Indices of leaves with at most `n_group` particles, walking down from
+    /// the root: FDPS's i-particle groups sharing one interaction list
+    /// (paper §5.2.4's `n_g`).
+    pub fn groups(&self, n_group: usize) -> Vec<usize> {
+        let mut out = Vec::new();
+        if self.is_empty() {
+            return out;
+        }
+        let mut stack = vec![ROOT];
+        while let Some(i) = stack.pop() {
+            let n = &self.nodes[i];
+            if n.len() <= n_group || n.is_leaf() {
+                out.push(i);
+            } else {
+                for c in 0..n.child_count as usize {
+                    stack.push(n.child_start as usize + c);
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid(n: usize) -> (Vec<Vec3>, Vec<f64>) {
+        let mut pos = Vec::new();
+        let mut mass = Vec::new();
+        for i in 0..n {
+            for j in 0..n {
+                for k in 0..n {
+                    pos.push(Vec3::new(i as f64, j as f64, k as f64));
+                    mass.push(1.0 + (i + j + k) as f64 * 0.1);
+                }
+            }
+        }
+        (pos, mass)
+    }
+
+    #[test]
+    fn root_moments_match_totals() {
+        let (pos, mass) = grid(4);
+        let tree = Tree::build(&pos, &mass, 8);
+        let total: f64 = mass.iter().sum();
+        assert!((tree.root().mass - total).abs() < 1e-9);
+        let mut com = Vec3::ZERO;
+        for (p, m) in pos.iter().zip(&mass) {
+            com += *p * *m;
+        }
+        com /= total;
+        assert!((tree.root().com - com).norm() < 1e-9);
+        assert_eq!(tree.len(), pos.len());
+    }
+
+    #[test]
+    fn every_particle_in_exactly_one_leaf() {
+        let (pos, mass) = grid(5);
+        let tree = Tree::build(&pos, &mass, 4);
+        let mut seen = vec![0u32; pos.len()];
+        for n in &tree.nodes {
+            if n.is_leaf() {
+                for &pi in tree.leaf_particles(n) {
+                    seen[pi as usize] += 1;
+                }
+            }
+        }
+        assert!(seen.iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn leaves_respect_n_leaf() {
+        let (pos, mass) = grid(6);
+        let tree = Tree::build(&pos, &mass, 10);
+        for n in &tree.nodes {
+            if n.is_leaf() {
+                assert!(n.len() <= 10 || n.len() > 0);
+            }
+        }
+        // At least: internal nodes must have > n_leaf particles.
+        for n in &tree.nodes {
+            if !n.is_leaf() {
+                assert!(n.len() > 10);
+            }
+        }
+    }
+
+    #[test]
+    fn child_ranges_partition_parent() {
+        let (pos, mass) = grid(4);
+        let tree = Tree::build(&pos, &mass, 2);
+        for n in &tree.nodes {
+            if n.is_leaf() {
+                continue;
+            }
+            let mut covered = 0;
+            let mut cursor = n.start;
+            for c in 0..n.child_count as usize {
+                let ch = &tree.nodes[n.child_start as usize + c];
+                assert_eq!(ch.start, cursor, "children must be contiguous");
+                cursor = ch.end;
+                covered += ch.len();
+            }
+            assert_eq!(cursor, n.end);
+            assert_eq!(covered, n.len());
+        }
+    }
+
+    #[test]
+    fn neighbor_search_matches_brute_force() {
+        let (pos, mass) = grid(6);
+        let tree = Tree::build(&pos, &mass, 4);
+        let center = Vec3::new(2.3, 2.7, 3.1);
+        let r = 1.8;
+        let mut found = Vec::new();
+        tree.neighbors_within(center, r, &mut found);
+        let brute: Vec<u32> = pos
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| (**p - center).norm() <= r)
+            .map(|(i, _)| i as u32)
+            .collect();
+        let mut found_exact: Vec<u32> = found
+            .into_iter()
+            .filter(|&i| (pos[i as usize] - center).norm() <= r)
+            .collect();
+        found_exact.sort_unstable();
+        assert_eq!(found_exact, brute);
+    }
+
+    #[test]
+    fn scatter_search_sees_large_h_particles() {
+        // One far particle with a huge smoothing length must be returned
+        // even for a tiny query radius.
+        let pos = vec![Vec3::ZERO, Vec3::new(10.0, 0.0, 0.0)];
+        let mass = vec![1.0, 1.0];
+        let h = vec![0.1, 20.0];
+        let tree = Tree::build_with_h(&pos, &mass, Some(&h), 1);
+        let mut out = Vec::new();
+        tree.neighbors_within(Vec3::ZERO, 0.5, &mut out);
+        assert!(out.contains(&1), "scatter neighbor with large h missed");
+    }
+
+    #[test]
+    fn groups_cover_all_particles_without_overlap() {
+        let (pos, mass) = grid(5);
+        let tree = Tree::build(&pos, &mass, 4);
+        let groups = tree.groups(16);
+        let mut seen = vec![false; pos.len()];
+        for &g in &groups {
+            let n = &tree.nodes[g];
+            assert!(n.len() <= 16 || n.is_leaf());
+            for &pi in tree.leaf_particles_range(n) {
+                assert!(!seen[pi as usize], "group overlap");
+                seen[pi as usize] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn empty_and_singleton_trees() {
+        let tree = Tree::build(&[], &[], 4);
+        assert!(tree.is_empty());
+        let mut out = Vec::new();
+        tree.neighbors_within(Vec3::ZERO, 1.0, &mut out);
+        assert!(out.is_empty());
+        assert!(tree.groups(8).is_empty());
+
+        let tree = Tree::build(&[Vec3::splat(1.0)], &[2.0], 4);
+        assert_eq!(tree.len(), 1);
+        assert_eq!(tree.root().mass, 2.0);
+        assert_eq!(tree.root().com, Vec3::splat(1.0));
+    }
+
+    #[test]
+    fn coincident_particles_do_not_hang() {
+        let pos = vec![Vec3::splat(0.5); 50];
+        let mass = vec![1.0; 50];
+        let tree = Tree::build(&pos, &mass, 4);
+        // All keys identical: recursion must stop at max depth.
+        assert_eq!(tree.len(), 50);
+        assert!((tree.root().mass - 50.0).abs() < 1e-12);
+    }
+
+    impl Tree {
+        /// Test helper: particles of a *group* node (same as leaf range).
+        fn leaf_particles_range(&self, node: &TreeNode) -> &[u32] {
+            &self.order[node.start as usize..node.end as usize]
+        }
+    }
+}

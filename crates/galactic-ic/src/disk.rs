@@ -1,0 +1,230 @@
+//! Stellar and gas disk sampling.
+//!
+//! The stellar disk is exponential in radius with a `sech^2`-like vertical
+//! profile (scale height ~10% of the scale length, paper §4.2) and
+//! near-circular orbits with epicyclic velocity dispersions. The gas disk
+//! uses the potential method of Wang et al. (2010): the vertical structure
+//! is the hydrostatic balance `rho(R, z) ∝ exp(-[Phi(R,z) - Phi(R,0)]/c_s^2)`
+//! sampled by rejection, with pure rotation plus thermal support.
+
+use crate::halo::gauss;
+use crate::potential::CompositePotential;
+use rand::Rng;
+
+/// Parameters of one exponential disk component.
+#[derive(Debug, Clone, Copy)]
+pub struct DiskParams {
+    /// Radial scale length [pc].
+    pub r_scale: f64,
+    /// Vertical scale height [pc].
+    pub z_scale: f64,
+    /// Truncation radius [pc].
+    pub r_max: f64,
+    /// Radial velocity dispersion at the solar radius [pc/Myr] (stars).
+    pub sigma_r: f64,
+}
+
+/// Sample an exponential radial coordinate by inverse transform of the
+/// cumulative surface density `1 - (1 + x) e^{-x}`.
+pub fn sample_exponential_radius<R: Rng + ?Sized>(rng: &mut R, r_scale: f64, r_max: f64) -> f64 {
+    let x_max = r_max / r_scale;
+    let cdf_max = 1.0 - (1.0 + x_max) * (-x_max).exp();
+    let target = rng.gen::<f64>() * cdf_max;
+    // Bisect 1 - (1+x)e^-x = target.
+    let (mut lo, mut hi) = (0.0f64, x_max);
+    for _ in 0..60 {
+        let mid = 0.5 * (lo + hi);
+        if 1.0 - (1.0 + mid) * (-mid).exp() < target {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    0.5 * (lo + hi) * r_scale
+}
+
+/// Sample a stellar disk particle: position and velocity.
+pub fn sample_star<R: Rng + ?Sized>(
+    rng: &mut R,
+    disk: &DiskParams,
+    pot: &CompositePotential,
+) -> ([f64; 3], [f64; 3]) {
+    let big_r = sample_exponential_radius(rng, disk.r_scale, disk.r_max);
+    let phi: f64 = rng.gen_range(0.0..std::f64::consts::TAU);
+    // sech^2 vertical profile: z = z0 * atanh(2u - 1).
+    let u: f64 = rng.gen_range(1e-9..1.0 - 1e-9);
+    let z = disk.z_scale * (2.0 * u - 1.0).atanh();
+
+    let vc = pot.vcirc(big_r);
+    // Dispersions falling exponentially with radius (sigma ∝ e^{-R/2Rd}).
+    let sigma_r = disk.sigma_r * (-(big_r - 8000.0_f64.min(disk.r_max)) / (2.0 * disk.r_scale)).exp();
+    let sigma_phi = sigma_r * 0.7;
+    let sigma_z = sigma_r * 0.5;
+    // Asymmetric drift: mean rotation lags circular speed slightly.
+    let v_phi_mean = (vc * vc - 1.5 * sigma_r * sigma_r).max(0.0).sqrt();
+
+    let v_r = gauss(rng) * sigma_r;
+    let v_phi = v_phi_mean + gauss(rng) * sigma_phi;
+    let v_z = gauss(rng) * sigma_z;
+
+    let (c, s) = (phi.cos(), phi.sin());
+    (
+        [big_r * c, big_r * s, z],
+        [v_r * c - v_phi * s, v_r * s + v_phi * c, v_z],
+    )
+}
+
+/// Sample a gas particle with the potential method: rejection-sample `z`
+/// from the hydrostatic profile at the particle's radius, circular rotation.
+/// `cs` is the isothermal sound speed of the gas [pc/Myr].
+pub fn sample_gas<R: Rng + ?Sized>(
+    rng: &mut R,
+    disk: &DiskParams,
+    pot: &CompositePotential,
+    cs: f64,
+) -> ([f64; 3], [f64; 3]) {
+    let big_r = sample_exponential_radius(rng, disk.r_scale, disk.r_max);
+    let phi: f64 = rng.gen_range(0.0..std::f64::consts::TAU);
+    let phi0 = pot.potential(big_r, 0.0);
+    // Rejection sampling of exp(-(Phi(z)-Phi(0))/cs^2) against a uniform
+    // envelope on |z| <= 6 cs^2 / g_typ, bounded by the disk scale height.
+    let z_env = (disk.z_scale * 10.0).max(50.0);
+    let z = loop {
+        let zc: f64 = rng.gen_range(-z_env..z_env);
+        let w = (-(pot.potential(big_r, zc) - phi0) / (cs * cs)).exp();
+        if rng.gen::<f64>() < w {
+            break zc;
+        }
+    };
+    let vc = pot.vcirc(big_r);
+    // Mild turbulent support on top of rotation.
+    let sigma = 0.5 * cs;
+    let v_r = gauss(rng) * sigma;
+    let v_phi = vc + gauss(rng) * sigma;
+    let v_z = gauss(rng) * sigma;
+    let (c, s) = (phi.cos(), phi.sin());
+    (
+        [big_r * c, big_r * s, z],
+        [v_r * c - v_phi * s, v_r * s + v_phi * c, v_z],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::potential::{MiyamotoNagaiDisk, NfwHalo};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn mw_pot() -> CompositePotential {
+        CompositePotential {
+            halo: NfwHalo::from_mass(1.1e12, 16_000.0, 200_000.0),
+            stellar_disk: MiyamotoNagaiDisk {
+                mass: 5.4e10,
+                a: 2500.0,
+                b: 300.0,
+            },
+            gas_disk: MiyamotoNagaiDisk {
+                mass: 1.2e10,
+                a: 5000.0,
+                b: 100.0,
+            },
+        }
+    }
+
+    fn stellar_disk() -> DiskParams {
+        DiskParams {
+            r_scale: 2500.0,
+            z_scale: 250.0,
+            r_max: 25_000.0,
+            sigma_r: 35.0,
+        }
+    }
+
+    #[test]
+    fn exponential_radius_has_correct_median() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 50_000;
+        let rd = 2500.0;
+        let mut radii: Vec<f64> = (0..n)
+            .map(|_| sample_exponential_radius(&mut rng, rd, 25_000.0))
+            .collect();
+        radii.sort_by(f64::total_cmp);
+        // Median of 1-(1+x)e^-x = 0.5 is x ~ 1.678.
+        let median = radii[n / 2] / rd;
+        assert!((median - 1.678).abs() < 0.05, "median x = {median}");
+        assert!(radii.iter().all(|&r| r <= 25_000.0));
+    }
+
+    #[test]
+    fn stellar_disk_is_thin_and_rotating() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let pot = mw_pot();
+        let disk = stellar_disk();
+        let n = 20_000;
+        let mut z_abs = 0.0;
+        let mut r_mean = 0.0;
+        let mut lz = 0.0;
+        for _ in 0..n {
+            let (p, v) = sample_star(&mut rng, &disk, &pot);
+            z_abs += p[2].abs() / n as f64;
+            r_mean += (p[0] * p[0] + p[1] * p[1]).sqrt() / n as f64;
+            lz += (p[0] * v[1] - p[1] * v[0]) / n as f64;
+        }
+        // Scale height ~10% of the scale length (paper §4.2).
+        assert!(
+            z_abs < 0.25 * disk.r_scale,
+            "mean |z| = {z_abs} too thick vs Rd {}",
+            disk.r_scale
+        );
+        // Net rotation: Lz ~ R * vc > 0 and of the right order.
+        let vc = pot.vcirc(r_mean);
+        assert!(lz > 0.5 * r_mean * vc, "Lz {lz} vs R*vc {}", r_mean * vc);
+    }
+
+    #[test]
+    fn gas_disk_is_thinner_when_colder() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let pot = mw_pot();
+        let disk = DiskParams {
+            r_scale: 5000.0,
+            z_scale: 100.0,
+            r_max: 30_000.0,
+            sigma_r: 0.0,
+        };
+        let measure = |rng: &mut StdRng, cs: f64| -> f64 {
+            let n = 4000;
+            (0..n)
+                .map(|_| sample_gas(rng, &disk, &pot, cs).0[2].abs())
+                .sum::<f64>()
+                / n as f64
+        };
+        let cold = measure(&mut rng, 5.0);
+        let warm = measure(&mut rng, 15.0);
+        assert!(
+            cold < warm,
+            "colder gas must settle thinner: {cold} vs {warm}"
+        );
+    }
+
+    #[test]
+    fn gas_rotates_near_circular_speed() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let pot = mw_pot();
+        let disk = DiskParams {
+            r_scale: 5000.0,
+            z_scale: 100.0,
+            r_max: 30_000.0,
+            sigma_r: 0.0,
+        };
+        let n = 4000;
+        let mut ratio = 0.0;
+        for _ in 0..n {
+            let (p, v) = sample_gas(&mut rng, &disk, &pot, 10.0);
+            let big_r = (p[0] * p[0] + p[1] * p[1]).sqrt();
+            let v_phi = (p[0] * v[1] - p[1] * v[0]) / big_r;
+            ratio += v_phi / pot.vcirc(big_r) / n as f64;
+        }
+        assert!((ratio - 1.0).abs() < 0.05, "mean v_phi/v_c = {ratio}");
+    }
+}

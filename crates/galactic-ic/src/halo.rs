@@ -1,0 +1,140 @@
+//! Dark-matter halo sampling.
+
+use crate::potential::NfwHalo;
+use astro::units::G;
+use rand::Rng;
+
+/// Sample `n` halo particles: positions from the NFW mass profile (inverse
+/// CDF), isotropic Gaussian velocities with the local Jeans dispersion.
+pub fn sample_halo<R: Rng + ?Sized>(
+    rng: &mut R,
+    halo: &NfwHalo,
+    n: usize,
+) -> (Vec<[f64; 3]>, Vec<[f64; 3]>) {
+    let mut pos = Vec::with_capacity(n);
+    let mut vel = Vec::with_capacity(n);
+    for _ in 0..n {
+        let r = halo.radius_of_mass_fraction(rng.gen::<f64>());
+        let (x, y, z) = isotropic_direction(rng);
+        pos.push([r * x, r * y, r * z]);
+        let sigma = jeans_dispersion(halo, r);
+        vel.push([
+            gauss(rng) * sigma,
+            gauss(rng) * sigma,
+            gauss(rng) * sigma,
+        ]);
+    }
+    (pos, vel)
+}
+
+/// 1-D velocity dispersion from the isotropic Jeans scaling
+/// `sigma^2 ~ G M(<r) / (2 r)` — adequate for a stable halo realization.
+pub fn jeans_dispersion(halo: &NfwHalo, r: f64) -> f64 {
+    let r = r.max(1.0);
+    (G * halo.enclosed_mass(r) / (2.0 * r)).sqrt()
+}
+
+/// Uniformly random unit vector.
+pub fn isotropic_direction<R: Rng + ?Sized>(rng: &mut R) -> (f64, f64, f64) {
+    let cos_t: f64 = rng.gen_range(-1.0..1.0);
+    let sin_t = (1.0 - cos_t * cos_t).sqrt();
+    let phi: f64 = rng.gen_range(0.0..std::f64::consts::TAU);
+    (sin_t * phi.cos(), sin_t * phi.sin(), cos_t)
+}
+
+/// Standard normal via Box–Muller (keeps us inside the approved crate set).
+pub fn gauss<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.gen::<f64>().max(1e-300);
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn halo() -> NfwHalo {
+        NfwHalo::from_mass(1.1e12, 16_000.0, 200_000.0)
+    }
+
+    #[test]
+    fn sampled_mass_profile_matches_analytic() {
+        let h = halo();
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 40_000;
+        let (pos, _) = sample_halo(&mut rng, &h, n);
+        for &r_test in &[5_000.0, 16_000.0, 50_000.0, 150_000.0] {
+            let inside = pos
+                .iter()
+                .filter(|p| (p[0] * p[0] + p[1] * p[1] + p[2] * p[2]).sqrt() < r_test)
+                .count() as f64
+                / n as f64;
+            let expect = h.enclosed_mass(r_test) / h.enclosed_mass(h.r_cut);
+            assert!(
+                (inside - expect).abs() < 0.02,
+                "r={r_test}: {inside} vs {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn sampled_halo_is_isotropic() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let (pos, _) = sample_halo(&mut rng, &halo(), 20_000);
+        let mean: [f64; 3] = pos.iter().fold([0.0; 3], |mut a, p| {
+            for k in 0..3 {
+                a[k] += p[k] / 20_000.0;
+            }
+            a
+        });
+        let r_typ = 30_000.0;
+        for k in 0..3 {
+            assert!(mean[k].abs() < 0.05 * r_typ, "axis {k} mean {}", mean[k]);
+        }
+    }
+
+    #[test]
+    fn dispersion_peaks_at_intermediate_radius() {
+        let h = halo();
+        let s_in = jeans_dispersion(&h, 100.0);
+        let s_mid = jeans_dispersion(&h, 20_000.0);
+        let s_out = jeans_dispersion(&h, 190_000.0);
+        assert!(s_mid > s_in, "NFW dispersion rises outward initially");
+        assert!(s_mid > s_out * 0.8, "dispersion falls toward the edge");
+        // Typical MW halo dispersion: tens to ~150 km/s scale (pc/Myr ~ km/s).
+        assert!((30.0..250.0).contains(&s_mid), "sigma = {s_mid}");
+    }
+
+    #[test]
+    fn gauss_has_unit_variance() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 100_000;
+        let (mut sum, mut sum2) = (0.0, 0.0);
+        for _ in 0..n {
+            let g = gauss(&mut rng);
+            sum += g;
+            sum2 += g * g;
+        }
+        let mean = sum / n as f64;
+        let var = sum2 / n as f64 - mean * mean;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.03, "var {var}");
+    }
+
+    #[test]
+    fn directions_cover_the_sphere() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut octants = [0usize; 8];
+        for _ in 0..8000 {
+            let (x, y, z) = isotropic_direction(&mut rng);
+            let idx = ((x > 0.0) as usize) | (((y > 0.0) as usize) << 1) | (((z > 0.0) as usize) << 2);
+            octants[idx] += 1;
+            assert!((x * x + y * y + z * z - 1.0).abs() < 1e-12);
+        }
+        for (i, &c) in octants.iter().enumerate() {
+            assert!((800..1200).contains(&c), "octant {i}: {c}");
+        }
+    }
+}

@@ -1,0 +1,21 @@
+//! # galactic-ic — Milky-Way-like initial conditions
+//!
+//! Stand-in for the authors' AGAMA setup (paper §4.2): a three-component
+//! Model MW with a broken power-law (NFW) dark-matter halo, an exponential
+//! stellar disk with epicyclic velocity structure, and a vertically
+//! hydrostatic gas disk generated with the potential method (Wang et al.
+//! 2010). Component masses follow the paper: `1.1e12 M_sun` DM,
+//! `5.4e10 M_sun` stars, `1.2e10 M_sun` gas, and the density concentrates
+//! strongly toward the centre and midplane — the property that stresses the
+//! domain decomposition in Figure 4.
+//!
+//! Like the authors' modified AGAMA, generation is parallel and
+//! deterministic: particles are produced in independently seeded chunks.
+
+pub mod disk;
+pub mod halo;
+pub mod model;
+pub mod potential;
+
+pub use model::{GalaxyModel, GalaxyRealization, ParticleSet};
+pub use potential::CompositePotential;

@@ -1,0 +1,272 @@
+//! Galaxy model presets and parallel realization.
+
+use crate::disk::{sample_gas, sample_star, DiskParams};
+use crate::halo::sample_halo;
+use crate::potential::{CompositePotential, MiyamotoNagaiDisk, NfwHalo};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rayon::prelude::*;
+
+/// A three-component galaxy model (paper §4.2, Table 2).
+#[derive(Debug, Clone, Copy)]
+pub struct GalaxyModel {
+    pub name: &'static str,
+    pub m_dm: f64,
+    pub m_star: f64,
+    pub m_gas: f64,
+    pub halo_rs: f64,
+    pub halo_rcut: f64,
+    pub star_disk: DiskParams,
+    pub gas_disk: DiskParams,
+    /// Isothermal gas sound speed [pc/Myr] (~10^4 K warm ISM).
+    pub gas_cs: f64,
+}
+
+impl GalaxyModel {
+    /// Model MW: the paper's full Milky Way analogue
+    /// (DM 1.1e12, stars 5.4e10, gas 1.2e10 M_sun).
+    pub fn mw() -> Self {
+        GalaxyModel {
+            name: "MW",
+            m_dm: 1.1e12,
+            m_star: 5.4e10,
+            m_gas: 1.2e10,
+            halo_rs: 16_000.0,
+            halo_rcut: 200_000.0,
+            star_disk: DiskParams {
+                r_scale: 2500.0,
+                z_scale: 250.0,
+                r_max: 25_000.0,
+                sigma_r: 35.0,
+            },
+            gas_disk: DiskParams {
+                r_scale: 5000.0,
+                z_scale: 100.0,
+                r_max: 30_000.0,
+                sigma_r: 0.0,
+            },
+            gas_cs: 10.0,
+        }
+    }
+
+    /// Model MW-small: 1/10 mass (paper §4.2).
+    pub fn mw_small() -> Self {
+        Self::scaled("MW-small", 0.1)
+    }
+
+    /// Model MW-mini: 1/100 mass (paper §4.2).
+    pub fn mw_mini() -> Self {
+        Self::scaled("MW-mini", 0.01)
+    }
+
+    /// Mass-scaled variant with sizes following `M^{1/3}` (fixed density).
+    fn scaled(name: &'static str, f: f64) -> Self {
+        let mut m = Self::mw();
+        let lf = f.powf(1.0 / 3.0);
+        m.name = name;
+        m.m_dm *= f;
+        m.m_star *= f;
+        m.m_gas *= f;
+        m.halo_rs *= lf;
+        m.halo_rcut *= lf;
+        for d in [&mut m.star_disk, &mut m.gas_disk] {
+            d.r_scale *= lf;
+            d.z_scale *= lf;
+            d.r_max *= lf;
+        }
+        m.star_disk.sigma_r *= lf.sqrt() * 2.0; // crude sigma ~ sqrt(M/R)
+        m
+    }
+
+    /// The analytic potential used for equilibrium velocities.
+    pub fn potential(&self) -> CompositePotential {
+        CompositePotential {
+            halo: NfwHalo::from_mass(self.m_dm, self.halo_rs, self.halo_rcut),
+            stellar_disk: MiyamotoNagaiDisk {
+                mass: self.m_star,
+                a: self.star_disk.r_scale,
+                b: self.star_disk.z_scale,
+            },
+            gas_disk: MiyamotoNagaiDisk {
+                mass: self.m_gas,
+                a: self.gas_disk.r_scale,
+                b: self.gas_disk.z_scale,
+            },
+        }
+    }
+
+    /// Realize the model with the given particle counts. Generation is
+    /// chunked and each chunk independently seeded, so the result is
+    /// deterministic *and* parallel (the authors' per-domain AGAMA).
+    pub fn realize(&self, n_dm: usize, n_star: usize, n_gas: usize, seed: u64) -> GalaxyRealization {
+        let pot = self.potential();
+        let halo = pot.halo;
+
+        let dm = parallel_chunks(n_dm, seed ^ 0xD00D, |rng, out: &mut ParticleSet, _| {
+            let (p, v) = sample_halo(rng, &halo, 1);
+            out.pos.push(p[0]);
+            out.vel.push(v[0]);
+        });
+        let star_disk = self.star_disk;
+        let stars = parallel_chunks(n_star, seed ^ 0x57A2, |rng, out, _| {
+            let (p, v) = sample_star(rng, &star_disk, &pot);
+            out.pos.push(p);
+            out.vel.push(v);
+        });
+        let gas_disk = self.gas_disk;
+        let cs = self.gas_cs;
+        let gas = parallel_chunks(n_gas, seed ^ 0x6A5, |rng, out, _| {
+            let (p, v) = sample_gas(rng, &gas_disk, &pot, cs);
+            out.pos.push(p);
+            out.vel.push(v);
+        });
+
+        GalaxyRealization {
+            model: *self,
+            m_dm_particle: if n_dm > 0 { self.m_dm / n_dm as f64 } else { 0.0 },
+            m_star_particle: if n_star > 0 {
+                self.m_star / n_star as f64
+            } else {
+                0.0
+            },
+            m_gas_particle: if n_gas > 0 { self.m_gas / n_gas as f64 } else { 0.0 },
+            dm,
+            stars,
+            gas,
+        }
+    }
+}
+
+/// Positions and velocities of one component.
+#[derive(Debug, Clone, Default)]
+pub struct ParticleSet {
+    pub pos: Vec<[f64; 3]>,
+    pub vel: Vec<[f64; 3]>,
+}
+
+impl ParticleSet {
+    pub fn len(&self) -> usize {
+        self.pos.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.pos.is_empty()
+    }
+}
+
+/// A realized galaxy.
+#[derive(Debug, Clone)]
+pub struct GalaxyRealization {
+    pub model: GalaxyModel,
+    pub m_dm_particle: f64,
+    pub m_star_particle: f64,
+    pub m_gas_particle: f64,
+    pub dm: ParticleSet,
+    pub stars: ParticleSet,
+    pub gas: ParticleSet,
+}
+
+fn parallel_chunks<F>(n: usize, seed: u64, f: F) -> ParticleSet
+where
+    F: Fn(&mut StdRng, &mut ParticleSet, usize) + Sync,
+{
+    const CHUNK: usize = 4096;
+    let n_chunks = n.div_ceil(CHUNK);
+    let chunks: Vec<ParticleSet> = (0..n_chunks)
+        .into_par_iter()
+        .map(|c| {
+            let mut rng = StdRng::seed_from_u64(seed.wrapping_add(c as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            let count = CHUNK.min(n - c * CHUNK);
+            let mut out = ParticleSet::default();
+            out.pos.reserve(count);
+            out.vel.reserve(count);
+            for i in 0..count {
+                f(&mut rng, &mut out, c * CHUNK + i);
+            }
+            out
+        })
+        .collect();
+    let mut all = ParticleSet::default();
+    all.pos.reserve(n);
+    all.vel.reserve(n);
+    for c in chunks {
+        all.pos.extend(c.pos);
+        all.vel.extend(c.vel);
+    }
+    all
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn realization_counts_and_particle_masses() {
+        let model = GalaxyModel::mw_mini();
+        let r = model.realize(3000, 2000, 1000, 42);
+        assert_eq!(r.dm.len(), 3000);
+        assert_eq!(r.stars.len(), 2000);
+        assert_eq!(r.gas.len(), 1000);
+        assert!((r.m_dm_particle * 3000.0 / model.m_dm - 1.0).abs() < 1e-12);
+        assert!((r.m_gas_particle * 1000.0 / model.m_gas - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn realization_is_deterministic() {
+        let model = GalaxyModel::mw_mini();
+        let a = model.realize(500, 500, 500, 7);
+        let b = model.realize(500, 500, 500, 7);
+        assert_eq!(a.dm.pos, b.dm.pos);
+        assert_eq!(a.gas.vel, b.gas.vel);
+        let c = model.realize(500, 500, 500, 8);
+        assert_ne!(a.dm.pos, c.dm.pos);
+    }
+
+    #[test]
+    fn mass_ratios_follow_the_paper() {
+        let m = GalaxyModel::mw();
+        assert!((m.m_dm / 1.1e12 - 1.0).abs() < 1e-12);
+        assert!((m.m_star / 5.4e10 - 1.0).abs() < 1e-12);
+        assert!((m.m_gas / 1.2e10 - 1.0).abs() < 1e-12);
+        // Total ~1.2e12 (Table 1: M_tot = 1.2e12).
+        let total = m.m_dm + m.m_star + m.m_gas;
+        assert!((total / 1.2e12 - 1.0).abs() < 0.05);
+        // Scaled models keep the ratios.
+        let s = GalaxyModel::mw_small();
+        assert!((s.m_dm / s.m_gas - m.m_dm / m.m_gas).abs() < 1e-6);
+    }
+
+    #[test]
+    fn disk_components_are_disks_and_halo_is_round() {
+        let model = GalaxyModel::mw_mini();
+        let r = model.realize(4000, 4000, 2000, 1);
+        let flatness = |set: &ParticleSet| -> f64 {
+            let mut z2 = 0.0;
+            let mut r2 = 0.0;
+            for p in &set.pos {
+                z2 += p[2] * p[2];
+                r2 += p[0] * p[0] + p[1] * p[1];
+            }
+            (z2 / r2).sqrt()
+        };
+        assert!(flatness(&r.stars) < 0.2, "stellar disk flatness");
+        assert!(flatness(&r.gas) < 0.2, "gas disk flatness");
+        assert!(flatness(&r.dm) > 0.4, "halo roundness");
+    }
+
+    #[test]
+    fn central_concentration_for_domain_decomposition() {
+        // The property driving Fig. 4: most disk particles sit well inside
+        // the truncation radius.
+        let model = GalaxyModel::mw();
+        let r = model.realize(0, 10_000, 0, 3);
+        let inside = r
+            .stars
+            .pos
+            .iter()
+            .filter(|p| (p[0] * p[0] + p[1] * p[1]).sqrt() < 0.25 * model.star_disk.r_max)
+            .count() as f64
+            / r.stars.len() as f64;
+        assert!(inside > 0.6, "only {inside} of stars inside quarter radius");
+    }
+}

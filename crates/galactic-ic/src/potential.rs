@@ -1,0 +1,207 @@
+//! Analytic potentials used to set equilibrium velocities.
+
+use astro::units::G;
+
+/// NFW halo described by total mass within `r_cut` and scale radius.
+#[derive(Debug, Clone, Copy)]
+pub struct NfwHalo {
+    /// Characteristic density [M_sun/pc^3].
+    pub rho0: f64,
+    /// Scale radius [pc].
+    pub rs: f64,
+    /// Truncation radius [pc].
+    pub r_cut: f64,
+}
+
+impl NfwHalo {
+    /// Build from a total mass inside `r_cut`.
+    pub fn from_mass(m_total: f64, rs: f64, r_cut: f64) -> Self {
+        let x = r_cut / rs;
+        let mu = x.ln_1p() - x / (1.0 + x);
+        let rho0 = m_total / (4.0 * std::f64::consts::PI * rs.powi(3) * mu);
+        NfwHalo { rho0, rs, r_cut }
+    }
+
+    /// Density at radius `r` (`∝ r^-1` inside `rs`, `∝ r^-3` outside —
+    /// the paper's "broken power-law").
+    pub fn density(&self, r: f64) -> f64 {
+        if r > self.r_cut {
+            return 0.0;
+        }
+        let x = (r / self.rs).max(1e-12);
+        self.rho0 / (x * (1.0 + x) * (1.0 + x))
+    }
+
+    /// Enclosed mass.
+    pub fn enclosed_mass(&self, r: f64) -> f64 {
+        let r = r.min(self.r_cut);
+        let x = (r / self.rs).max(0.0);
+        4.0 * std::f64::consts::PI * self.rho0 * self.rs.powi(3)
+            * (x.ln_1p() - x / (1.0 + x))
+    }
+
+    /// Invert `M(<r) = frac * M(<r_cut)` by bisection.
+    pub fn radius_of_mass_fraction(&self, frac: f64) -> f64 {
+        let target = frac.clamp(0.0, 1.0) * self.enclosed_mass(self.r_cut);
+        let (mut lo, mut hi) = (0.0f64, self.r_cut);
+        for _ in 0..80 {
+            let mid = 0.5 * (lo + hi);
+            if self.enclosed_mass(mid) < target {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        0.5 * (lo + hi)
+    }
+}
+
+/// Miyamoto–Nagai disk potential (analytic stand-in for the stellar disk's
+/// contribution to the rotation curve).
+#[derive(Debug, Clone, Copy)]
+pub struct MiyamotoNagaiDisk {
+    pub mass: f64,
+    /// Radial scale [pc].
+    pub a: f64,
+    /// Vertical scale [pc].
+    pub b: f64,
+}
+
+impl MiyamotoNagaiDisk {
+    /// Potential at cylindrical `(big_r, z)`.
+    pub fn potential(&self, big_r: f64, z: f64) -> f64 {
+        let zb = (z * z + self.b * self.b).sqrt();
+        let denom = (big_r * big_r + (self.a + zb) * (self.a + zb)).sqrt();
+        -G * self.mass / denom
+    }
+
+    /// Circular velocity squared in the midplane.
+    pub fn vcirc2(&self, big_r: f64) -> f64 {
+        let s = self.a + self.b;
+        let denom = (big_r * big_r + s * s).powf(1.5);
+        G * self.mass * big_r * big_r / denom
+    }
+}
+
+/// Halo + stellar disk + gas disk composite used to assign velocities.
+#[derive(Debug, Clone, Copy)]
+pub struct CompositePotential {
+    pub halo: NfwHalo,
+    pub stellar_disk: MiyamotoNagaiDisk,
+    pub gas_disk: MiyamotoNagaiDisk,
+}
+
+impl CompositePotential {
+    /// Midplane circular velocity [pc/Myr] at cylindrical radius `big_r`.
+    pub fn vcirc(&self, big_r: f64) -> f64 {
+        let halo_part = G * self.halo.enclosed_mass(big_r) / big_r.max(1.0);
+        (halo_part + self.stellar_disk.vcirc2(big_r) + self.gas_disk.vcirc2(big_r)).sqrt()
+    }
+
+    /// Total potential (spherical halo approximation via enclosed mass
+    /// plus the two analytic disks).
+    pub fn potential(&self, big_r: f64, z: f64) -> f64 {
+        let r = (big_r * big_r + z * z).sqrt().max(1.0);
+        // Spherical-shell potential of the truncated NFW.
+        let m_in = self.halo.enclosed_mass(r);
+        // Outer-shell term integrated numerically at coarse resolution
+        // would be overkill; for v_z structure the enclosed-mass monopole
+        // suffices at disk radii (r << r_cut).
+        let halo_phi = -G * m_in / r - G * (self.halo.enclosed_mass(self.halo.r_cut) - m_in)
+            / self.halo.r_cut;
+        halo_phi + self.stellar_disk.potential(big_r, z) + self.gas_disk.potential(big_r, z)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use astro::units::PC_PER_MYR_IN_KMS;
+
+    fn mw_halo() -> NfwHalo {
+        NfwHalo::from_mass(1.1e12, 16_000.0, 200_000.0)
+    }
+
+    #[test]
+    fn enclosed_mass_reaches_total_at_cutoff() {
+        let h = mw_halo();
+        assert!((h.enclosed_mass(200_000.0) / 1.1e12 - 1.0).abs() < 1e-9);
+        assert!(h.enclosed_mass(300_000.0) <= 1.1e12 * (1.0 + 1e-12));
+    }
+
+    #[test]
+    fn density_has_inner_minus_one_slope() {
+        let h = mw_halo();
+        // Between 0.01 rs and 0.1 rs the log-slope should be close to -1.
+        let r1 = 160.0;
+        let r2 = 1600.0;
+        let slope = (h.density(r2) / h.density(r1)).ln() / (r2 / r1 as f64).ln();
+        assert!((-1.25..=-0.95).contains(&slope), "inner slope {slope}");
+    }
+
+    #[test]
+    fn mass_fraction_inversion_roundtrips() {
+        let h = mw_halo();
+        for &f in &[0.1, 0.5, 0.9] {
+            let r = h.radius_of_mass_fraction(f);
+            let back = h.enclosed_mass(r) / h.enclosed_mass(h.r_cut);
+            assert!((back - f).abs() < 1e-6, "f={f}: {back}");
+        }
+    }
+
+    #[test]
+    fn mn_disk_vcirc_matches_potential_gradient() {
+        let d = MiyamotoNagaiDisk {
+            mass: 5.4e10,
+            a: 2500.0,
+            b: 300.0,
+        };
+        let r = 8000.0;
+        let dr = 1.0;
+        let dphi = (d.potential(r + dr, 0.0) - d.potential(r - dr, 0.0)) / (2.0 * dr);
+        let v2 = r * dphi;
+        assert!((d.vcirc2(r) / v2 - 1.0).abs() < 0.05, "{} vs {}", d.vcirc2(r), v2);
+    }
+
+    #[test]
+    fn mw_rotation_curve_is_about_230_kms_at_sun() {
+        let pot = CompositePotential {
+            halo: mw_halo(),
+            stellar_disk: MiyamotoNagaiDisk {
+                mass: 5.4e10,
+                a: 2500.0,
+                b: 300.0,
+            },
+            gas_disk: MiyamotoNagaiDisk {
+                mass: 1.2e10,
+                a: 5000.0,
+                b: 100.0,
+            },
+        };
+        let v = pot.vcirc(8200.0) * PC_PER_MYR_IN_KMS;
+        assert!((190.0..260.0).contains(&v), "v_circ(R_sun) = {v} km/s");
+        // The curve should be roughly flat between 5 and 15 kpc.
+        let v5 = pot.vcirc(5000.0) * PC_PER_MYR_IN_KMS;
+        let v15 = pot.vcirc(15_000.0) * PC_PER_MYR_IN_KMS;
+        assert!((v5 / v15 - 1.0).abs() < 0.35, "v5={v5}, v15={v15}");
+    }
+
+    #[test]
+    fn potential_deepens_toward_midplane_and_centre() {
+        let pot = CompositePotential {
+            halo: mw_halo(),
+            stellar_disk: MiyamotoNagaiDisk {
+                mass: 5.4e10,
+                a: 2500.0,
+                b: 300.0,
+            },
+            gas_disk: MiyamotoNagaiDisk {
+                mass: 1.2e10,
+                a: 5000.0,
+                b: 100.0,
+            },
+        };
+        assert!(pot.potential(8000.0, 0.0) < pot.potential(8000.0, 2000.0));
+        assert!(pot.potential(2000.0, 0.0) < pot.potential(8000.0, 0.0));
+    }
+}

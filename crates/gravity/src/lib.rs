@@ -1,0 +1,24 @@
+//! # gravity — softened monopole gravity kernels
+//!
+//! The gravity interaction (paper Eq. 1) evaluated Barnes–Hut-style over
+//! FDPS interaction lists. Two kernel back ends are provided:
+//!
+//! * [`kernel::accumulate_f64`] — straight double precision, the reference;
+//! * [`kernel::accumulate_mixed`] — the paper's mixed-precision scheme
+//!   (§4.3): positions are converted to single-precision coordinates
+//!   *relative to a group representative*, the hot loop runs in `f32`, and
+//!   the accumulated result is widened back to `f64`. This keeps the wide
+//!   dynamic range of the galaxy (5–6 orders of magnitude in scale) in
+//!   doubles while the O(N n_l) inner loop runs at single-precision speed.
+//!
+//! [`solver::GravitySolver`] drives the group-wise evaluation with rayon
+//! across groups (the intra-node OpenMP analogue).
+
+pub mod kernel;
+pub mod solver;
+
+pub use kernel::{accumulate_f64, accumulate_mixed, GravityAccum};
+pub use solver::{GravityResult, GravitySolver};
+
+/// FLOPs per gravity interaction under the paper's counting (Table 4).
+pub const OPS_PER_INTERACTION: usize = pikg::kernels::PAPER_GRAVITY_OPS;

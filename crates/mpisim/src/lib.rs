@@ -1,0 +1,44 @@
+//! # mpisim — an in-process message-passing runtime
+//!
+//! The paper's simulation (ASURA-FDPS-ML) runs on MPI across up to 148,900
+//! Fugaku nodes. This crate reproduces the MPI *programming model* the code
+//! depends on — blocking point-to-point messages, communicators that can be
+//! split (the paper splits `MPI_COMM_WORLD` into *main* and *pool* nodes),
+//! barriers, reductions, `MPI_Alltoallv`, and the 3-D torus
+//! `O(p^{1/3})` alltoallv of Iwasawa et al. — as an in-process runtime where
+//! each logical rank is an OS thread and messages travel through typed
+//! mailboxes.
+//!
+//! Rank code is written in ordinary blocking MPI style:
+//!
+//! ```
+//! use mpisim::World;
+//!
+//! let sums = World::new(4).run(|comm| {
+//!     // Every rank contributes its rank id; allreduce sums them.
+//!     comm.allreduce_f64(comm.rank() as f64, mpisim::ReduceOp::Sum)
+//! });
+//! assert!(sums.iter().all(|&s| s == 6.0));
+//! ```
+//!
+//! All collectives are built on point-to-point messages (binomial trees,
+//! dissemination barriers, ring allgathers), so message *counts* and
+//! *volumes* — which [`CommStats`] records — follow the same asymptotics a
+//! real MPI implementation would generate. That instrumentation is what the
+//! performance model (`perfmodel`) calibrates against.
+
+pub mod collective;
+pub mod comm;
+pub mod mailbox;
+pub mod message;
+pub mod stats;
+pub mod timing;
+pub mod torus;
+pub mod world;
+
+pub use collective::ReduceOp;
+pub use comm::Comm;
+pub use stats::CommStats;
+pub use timing::{PhaseReport, PhaseTimer};
+pub use torus::TorusDims;
+pub use world::World;

@@ -1,0 +1,114 @@
+//! Per-rank mailbox: a condvar-guarded queue of [`Message`]s.
+//!
+//! Each world rank owns exactly one mailbox. Messages for every communicator
+//! the rank belongs to land in the same queue; `recv` matches on
+//! `(comm_id, src, tag)` the way MPI matches `(communicator, source, tag)`.
+
+use crate::message::Message;
+use parking_lot::{Condvar, Mutex};
+use std::collections::VecDeque;
+
+/// A blocking, matching mailbox.
+#[derive(Default)]
+pub struct Mailbox {
+    queue: Mutex<VecDeque<Message>>,
+    signal: Condvar,
+}
+
+impl Mailbox {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Deposit a message and wake any waiting receiver.
+    pub fn post(&self, msg: Message) {
+        let mut q = self.queue.lock();
+        q.push_back(msg);
+        // Receivers may be waiting for different (src, tag) matches, so wake
+        // all of them; non-matching ones re-sleep immediately.
+        drop(q);
+        self.signal.notify_all();
+    }
+
+    /// Block until a message matching `(comm_id, src, tag)` is available and
+    /// remove it from the queue. Messages from the same (src, tag) pair are
+    /// delivered in posting order (MPI's non-overtaking guarantee).
+    pub fn recv_match(&self, comm_id: u64, src: usize, tag: u64) -> Message {
+        let mut q = self.queue.lock();
+        loop {
+            if let Some(pos) = q
+                .iter()
+                .position(|m| m.comm_id == comm_id && m.src == src && m.tag == tag)
+            {
+                return q.remove(pos).expect("position was just found");
+            }
+            self.signal.wait(&mut q);
+        }
+    }
+
+    /// Non-blocking probe: would `recv_match` succeed immediately?
+    pub fn probe(&self, comm_id: u64, src: usize, tag: u64) -> bool {
+        self.queue
+            .lock()
+            .iter()
+            .any(|m| m.comm_id == comm_id && m.src == src && m.tag == tag)
+    }
+
+    /// Number of queued messages (diagnostics only).
+    pub fn len(&self) -> usize {
+        self.queue.lock().len()
+    }
+
+    /// Whether the queue is empty (diagnostics only).
+    pub fn is_empty(&self) -> bool {
+        self.queue.lock().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn post_then_recv() {
+        let mb = Mailbox::new();
+        mb.post(Message::new(1, 0, 5, 8, 99u64));
+        assert!(mb.probe(1, 0, 5));
+        assert!(!mb.probe(1, 0, 6));
+        let m = mb.recv_match(1, 0, 5);
+        assert_eq!(m.take::<u64>(), 99);
+        assert!(mb.is_empty());
+    }
+
+    #[test]
+    fn matching_skips_non_matching() {
+        let mb = Mailbox::new();
+        mb.post(Message::new(1, 0, 5, 8, 1u64));
+        mb.post(Message::new(1, 1, 5, 8, 2u64));
+        let m = mb.recv_match(1, 1, 5);
+        assert_eq!(m.take::<u64>(), 2);
+        assert_eq!(mb.len(), 1);
+    }
+
+    #[test]
+    fn non_overtaking_order_preserved() {
+        let mb = Mailbox::new();
+        for i in 0..10u64 {
+            mb.post(Message::new(0, 0, 1, 8, i));
+        }
+        for i in 0..10u64 {
+            assert_eq!(mb.recv_match(0, 0, 1).take::<u64>(), i);
+        }
+    }
+
+    #[test]
+    fn blocking_recv_wakes_on_post() {
+        let mb = Arc::new(Mailbox::new());
+        let mb2 = Arc::clone(&mb);
+        let h = std::thread::spawn(move || mb2.recv_match(0, 0, 42).take::<u64>());
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        mb.post(Message::new(0, 0, 42, 8, 7u64));
+        assert_eq!(h.join().unwrap(), 7);
+    }
+}

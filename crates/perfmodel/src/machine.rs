@@ -1,0 +1,175 @@
+//! The three evaluation machines (paper §4.1).
+
+/// Interconnect model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Network {
+    /// TofuD-like 3-D (6-D folded) torus: per-link bandwidth [B/s] and
+    /// per-message latency [s]; alltoallv runs in three axis stages.
+    Torus3d { link_bw: f64, latency: f64 },
+    /// InfiniBand-like fat tree: injection bandwidth [B/s], latency [s];
+    /// alltoallv is direct pairwise.
+    FatTree { injection_bw: f64, latency: f64 },
+}
+
+/// A node-level machine model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Machine {
+    pub name: &'static str,
+    /// Single-precision peak per node [FLOP/s] (the interaction kernels run
+    /// in single precision, §4.3).
+    pub peak_sp_node: f64,
+    /// Double-precision peak per node [FLOP/s].
+    pub peak_dp_node: f64,
+    pub cores_per_node: usize,
+    /// Memory bandwidth per node [B/s] (tree walks are bound by this).
+    pub mem_bw_node: f64,
+    pub network: Network,
+    /// Measured kernel efficiencies from paper Table 4 (fraction of SP peak).
+    pub eff_gravity: f64,
+    pub eff_density: f64,
+    pub eff_hydro: f64,
+    /// Maximum node count of the system.
+    pub max_nodes: usize,
+}
+
+impl Machine {
+    /// Fugaku: A64FX, 48 cores, 6.144 TF SP / 3.072 TF DP per node, HBM2
+    /// 1 TB/s, TofuD (6.8 GB/s x 6 links). Table 4: 29.4 % / 17.1 % / 15.4 %.
+    pub fn fugaku() -> Machine {
+        Machine {
+            name: "Fugaku (A64FX)",
+            peak_sp_node: 6.144e12,
+            peak_dp_node: 3.072e12,
+            cores_per_node: 48,
+            mem_bw_node: 1.024e12,
+            network: Network::Torus3d {
+                link_bw: 6.8e9,
+                latency: 0.7e-6,
+            },
+            eff_gravity: 0.294,
+            eff_density: 0.171,
+            eff_hydro: 0.154,
+            max_nodes: 158_976,
+        }
+    }
+
+    /// Rusty genoa: 2 x AMD EPYC 9474F per node (2 x 6.298 TF SP), DDR5,
+    /// InfiniBand. Table 4 (AVX-512): 69.1 % / 66.8 % / 62.1 %.
+    pub fn rusty() -> Machine {
+        Machine {
+            name: "Rusty (genoa)",
+            peak_sp_node: 2.0 * 6.298e12,
+            peak_dp_node: 2.0 * 3.149e12,
+            cores_per_node: 96,
+            mem_bw_node: 9.2e11,
+            network: Network::FatTree {
+                injection_bw: 2.5e10,
+                latency: 1.5e-6,
+            },
+            eff_gravity: 0.691,
+            eff_density: 0.668,
+            eff_hydro: 0.621,
+            max_nodes: 432,
+        }
+    }
+
+    /// Miyabi: NVIDIA GH200 (Grace + H100, 66.9 TF DP per GPU; SP tensor-free
+    /// peak ~ 2x), NVLink-C2C. Table 4: 38.0 % / 0.64 % / 2.8 %.
+    pub fn miyabi() -> Machine {
+        Machine {
+            name: "Miyabi (GH200)",
+            peak_sp_node: 1.338e14,
+            peak_dp_node: 6.69e13,
+            cores_per_node: 72,
+            mem_bw_node: 3.0e12,
+            network: Network::FatTree {
+                injection_bw: 2.5e10,
+                latency: 2.0e-6,
+            },
+            eff_gravity: 0.380,
+            eff_density: 0.0064,
+            eff_hydro: 0.028,
+            max_nodes: 1_120,
+        }
+    }
+
+    /// Time for an alltoallv where each rank sends `bytes_per_rank_pair`
+    /// to each of `p - 1` peers.
+    pub fn alltoallv_time(&self, p: usize, bytes_per_rank_pair: f64) -> f64 {
+        if p <= 1 {
+            return 0.0;
+        }
+        let total_out = bytes_per_rank_pair * (p - 1) as f64;
+        match self.network {
+            Network::Torus3d { link_bw, latency } => {
+                // Three staged exchanges over ~p^{1/3} peers each; each stage
+                // forwards the full outgoing volume once.
+                let peers = (p as f64).powf(1.0 / 3.0).max(1.0);
+                3.0 * (peers * latency + total_out / link_bw)
+            }
+            Network::FatTree {
+                injection_bw,
+                latency,
+            } => (p - 1) as f64 * latency + total_out / injection_bw,
+        }
+    }
+
+    /// System peak [FLOP/s] (single precision) at `p` nodes.
+    pub fn peak_sp(&self, p: usize) -> f64 {
+        self.peak_sp_node * p as f64
+    }
+
+    /// System peak [FLOP/s] (double precision) at `p` nodes.
+    pub fn peak_dp(&self, p: usize) -> f64 {
+        self.peak_dp_node * p as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_peaks_are_reproduced() {
+        // Paper Table 3 headers: Fugaku 150k nodes peak 915 PFLOPS (SP);
+        // Rusty 193 nodes 2.43 PFLOPS; Miyabi 1024 nodes 68.5 PF (DP).
+        let f = Machine::fugaku();
+        assert!((f.peak_sp(148_896) / 915e15 - 1.0).abs() < 0.01);
+        let r = Machine::rusty();
+        assert!((r.peak_sp(193) / 2.43e15 - 1.0).abs() < 0.01);
+        let m = Machine::miyabi();
+        assert!((m.peak_dp(1024) / 68.5e15 - 1.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn torus_alltoall_beats_fat_tree_latency_at_scale() {
+        // At 100k ranks with small messages, O(p^{1/3}) staging wins over
+        // p - 1 direct messages.
+        let f = Machine::fugaku();
+        let tree_like = Machine {
+            network: Network::FatTree {
+                injection_bw: 6.8e9,
+                latency: 0.7e-6,
+            },
+            ..f
+        };
+        let p = 100_000;
+        let bytes = 100.0;
+        assert!(f.alltoallv_time(p, bytes) < tree_like.alltoallv_time(p, bytes));
+    }
+
+    #[test]
+    fn alltoall_time_grows_with_volume_and_ranks() {
+        let f = Machine::fugaku();
+        assert!(f.alltoallv_time(1000, 1e4) < f.alltoallv_time(1000, 1e6));
+        assert!(f.alltoallv_time(100, 1e4) < f.alltoallv_time(100_000, 1e4));
+        assert_eq!(f.alltoallv_time(1, 1e6), 0.0);
+    }
+
+    #[test]
+    fn table4_efficiencies_recorded() {
+        assert_eq!(Machine::fugaku().eff_gravity, 0.294);
+        assert_eq!(Machine::rusty().eff_hydro, 0.621);
+        assert_eq!(Machine::miyabi().eff_density, 0.0064);
+    }
+}

@@ -1,0 +1,230 @@
+//! Abstract syntax for the kernel DSL.
+
+/// Binary arithmetic operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+}
+
+/// Built-in math functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Func {
+    Sqrt,
+    /// Reciprocal square root — the workhorse of gravity kernels.
+    Rsqrt,
+    Abs,
+    Min,
+    Max,
+    Exp,
+    Ln,
+}
+
+impl Func {
+    /// Parse a function name.
+    pub fn from_name(name: &str) -> Option<Func> {
+        Some(match name {
+            "sqrt" => Func::Sqrt,
+            "rsqrt" => Func::Rsqrt,
+            "abs" => Func::Abs,
+            "min" => Func::Min,
+            "max" => Func::Max,
+            "exp" => Func::Exp,
+            "ln" => Func::Ln,
+            _ => return None,
+        })
+    }
+
+    /// Number of arguments the function takes.
+    pub fn arity(self) -> usize {
+        match self {
+            Func::Min | Func::Max => 2,
+            _ => 1,
+        }
+    }
+}
+
+/// An expression tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    Num(f64),
+    Var(String),
+    Neg(Box<Expr>),
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+    Call(Func, Vec<Expr>),
+}
+
+/// A statement: either a local definition or a force accumulation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// `name = expr` — defines (or redefines) a per-interaction local.
+    Assign(String, Expr),
+    /// `name += expr` — accumulates into a force variable.
+    Accumulate(String, Expr),
+}
+
+/// A parsed kernel: declared variables plus the interaction body.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelSpec {
+    pub name: String,
+    /// Per-i-particle inputs (the "essential particle i" of FDPS).
+    pub epi: Vec<String>,
+    /// Per-j-particle inputs.
+    pub epj: Vec<String>,
+    /// Accumulated outputs, one set per i-particle.
+    pub force: Vec<String>,
+    pub body: Vec<Stmt>,
+}
+
+impl KernelSpec {
+    /// Check the body only references declared or previously defined names
+    /// and only accumulates into force variables.
+    pub fn validate(&self) -> Result<(), String> {
+        let mut known: Vec<&str> = Vec::new();
+        known.extend(self.epi.iter().map(|s| s.as_str()));
+        known.extend(self.epj.iter().map(|s| s.as_str()));
+        // Detect duplicate declarations across sections.
+        let mut all: Vec<&str> = known.clone();
+        all.extend(self.force.iter().map(|s| s.as_str()));
+        let mut sorted = all.clone();
+        sorted.sort_unstable();
+        for w in sorted.windows(2) {
+            if w[0] == w[1] {
+                return Err(format!("kernel {}: duplicate declaration `{}`", self.name, w[0]));
+            }
+        }
+        for stmt in &self.body {
+            match stmt {
+                Stmt::Assign(name, expr) => {
+                    if self.force.iter().any(|f| f == name) {
+                        return Err(format!(
+                            "kernel {}: `{name}` is a force variable; use `+=`",
+                            self.name
+                        ));
+                    }
+                    check_expr(expr, &known, &self.name)?;
+                    if !known.contains(&name.as_str()) {
+                        known.push(name);
+                    }
+                }
+                Stmt::Accumulate(name, expr) => {
+                    if !self.force.iter().any(|f| f == name) {
+                        return Err(format!(
+                            "kernel {}: `+=` target `{name}` is not a force variable",
+                            self.name
+                        ));
+                    }
+                    check_expr(expr, &known, &self.name)?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+fn check_expr(expr: &Expr, known: &[&str], kernel: &str) -> Result<(), String> {
+    match expr {
+        Expr::Num(_) => Ok(()),
+        Expr::Var(v) => {
+            if known.contains(&v.as_str()) {
+                Ok(())
+            } else {
+                Err(format!("kernel {kernel}: undefined variable `{v}`"))
+            }
+        }
+        Expr::Neg(e) => check_expr(e, known, kernel),
+        Expr::Bin(_, a, b) => {
+            check_expr(a, known, kernel)?;
+            check_expr(b, known, kernel)
+        }
+        Expr::Call(f, args) => {
+            if args.len() != f.arity() {
+                return Err(format!(
+                    "kernel {kernel}: {f:?} expects {} argument(s), got {}",
+                    f.arity(),
+                    args.len()
+                ));
+            }
+            for a in args {
+                check_expr(a, known, kernel)?;
+            }
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn minimal_spec() -> KernelSpec {
+        KernelSpec {
+            name: "k".into(),
+            epi: vec!["xi".into()],
+            epj: vec!["xj".into()],
+            force: vec!["f".into()],
+            body: vec![
+                Stmt::Assign("d".into(), Expr::Bin(
+                    BinOp::Sub,
+                    Box::new(Expr::Var("xi".into())),
+                    Box::new(Expr::Var("xj".into())),
+                )),
+                Stmt::Accumulate("f".into(), Expr::Var("d".into())),
+            ],
+        }
+    }
+
+    #[test]
+    fn valid_spec_passes() {
+        assert!(minimal_spec().validate().is_ok());
+    }
+
+    #[test]
+    fn undefined_variable_rejected() {
+        let mut s = minimal_spec();
+        s.body.push(Stmt::Accumulate("f".into(), Expr::Var("nope".into())));
+        assert!(s.validate().unwrap_err().contains("undefined variable"));
+    }
+
+    #[test]
+    fn assignment_to_force_rejected() {
+        let mut s = minimal_spec();
+        s.body.push(Stmt::Assign("f".into(), Expr::Num(0.0)));
+        assert!(s.validate().unwrap_err().contains("use `+=`"));
+    }
+
+    #[test]
+    fn accumulate_into_local_rejected() {
+        let mut s = minimal_spec();
+        s.body.push(Stmt::Accumulate("d".into(), Expr::Num(1.0)));
+        assert!(s.validate().unwrap_err().contains("not a force variable"));
+    }
+
+    #[test]
+    fn duplicate_declaration_rejected() {
+        let mut s = minimal_spec();
+        s.epj.push("xi".into());
+        assert!(s.validate().unwrap_err().contains("duplicate"));
+    }
+
+    #[test]
+    fn wrong_arity_rejected() {
+        let mut s = minimal_spec();
+        s.body.push(Stmt::Accumulate(
+            "f".into(),
+            Expr::Call(Func::Min, vec![Expr::Num(1.0)]),
+        ));
+        assert!(s.validate().unwrap_err().contains("expects 2"));
+    }
+
+    #[test]
+    fn func_names_parse() {
+        assert_eq!(Func::from_name("rsqrt"), Some(Func::Rsqrt));
+        assert_eq!(Func::from_name("min"), Some(Func::Min));
+        assert_eq!(Func::from_name("tan"), None);
+        assert_eq!(Func::Min.arity(), 2);
+        assert_eq!(Func::Sqrt.arity(), 1);
+    }
+}

@@ -1,0 +1,5 @@
+//! Regenerate the committed generated-kernel sources.
+fn main() {
+    let spec = pikg::parser::parse(pikg::kernels::GRAVITY_DSL).expect("bundled kernel");
+    print!("{}", pikg::codegen::generate_rust(&spec, "generated").expect("generate"));
+}

@@ -1,0 +1,212 @@
+//! The paper's three interaction kernels, written in the PIKG DSL.
+//!
+//! Table 4 fixes the counted operations per interaction: **27** for gravity,
+//! **73** for hydro density/pressure, **101** for the hydro force. The
+//! gravity DSL below counts to exactly 27 under [`FlopPolicy::paper`]; the
+//! hydro kernels are branch-free `min`/`max` formulations of the cubic-spline
+//! pipeline whose counts land in the same regime (they are asserted within
+//! tolerance in tests, and the paper constants below are what the
+//! performance model uses, matching the authors' methodology of multiplying
+//! interaction counts by a fixed per-interaction cost).
+//!
+//! [`FlopPolicy::paper`]: crate::flops::FlopPolicy::paper
+
+/// Paper-convention operations per gravity interaction (Table 4).
+pub const PAPER_GRAVITY_OPS: usize = 27;
+/// Paper-convention operations per density/pressure interaction (Table 4).
+pub const PAPER_DENSITY_OPS: usize = 73;
+/// Paper-convention operations per hydro-force interaction (Table 4).
+pub const PAPER_HYDRO_OPS: usize = 101;
+
+/// Softened monopole gravity (paper Eq. 1). Accumulates acceleration per unit
+/// G (caller multiplies by G) and the *positive* potential sum `mj/r`
+/// (caller negates), which keeps the counted cost at exactly 27 operations.
+pub const GRAVITY_DSL: &str = "\
+kernel gravity
+epi xi yi zi ieps2
+epj xj yj zj mj jeps2
+force ax ay az pot
+dx = xi - xj
+dy = yi - yj
+dz = zi - zj
+r2 = dx*dx + dy*dy + dz*dz + ieps2 + jeps2
+rinv = rsqrt(r2)
+rinv2 = rinv * rinv
+mrinv = mj * rinv
+mr3 = mrinv * rinv2
+ax += -(mr3 * dx)
+ay += -(mr3 * dy)
+az += -(mr3 * dz)
+pot += mrinv
+";
+
+/// SPH density and grad-h correction sums with the cubic-spline (M4) kernel,
+/// written branch-free: the compact support is enforced with `max(0, .)`
+/// clamps. Accumulates `rho = sum m_j W`, the neighbour-weighted
+/// `drhodh = sum m_j dW/dh`, and a smoothed neighbour count.
+pub const DENSITY_DSL: &str = "\
+kernel density
+epi xi yi zi hinv
+epj xj yj zj mj
+force rho drhodh wsum
+dx = xi - xj
+dy = yi - yj
+dz = zi - zj
+r2 = dx*dx + dy*dy + dz*dz
+r = sqrt(r2)
+q = r * hinv
+a = max(0.0, 2.0 - q)
+b = max(0.0, 1.0 - q)
+a2 = a * a
+b2 = b * b
+a3 = a2 * a
+b3 = b2 * b
+sig = 0.318309886183791 * hinv * hinv * hinv
+w = sig * (0.25 * a3 - b3)
+mw = mj * w
+rho += mw
+dwdq = sig * (3.0 * b2 - 0.75 * a2)
+qdw = q * dwdq
+dwdh = -(hinv * (3.0 * w + qdw))
+drhodh += mj * dwdh
+wsum += w
+";
+
+/// Symmetrized SPH momentum/energy interaction: pressure gradient with the
+/// arithmetic-mean kernel gradient of both smoothing lengths plus
+/// Monaghan-style artificial viscosity (branch-free `min`/`max` switches).
+/// Accumulates acceleration and `du/dt`.
+pub const HYDRO_DSL: &str = "\
+kernel hydro
+epi xi yi zi vxi vyi vzi hinvi pomi ci rhoi
+epj xj yj zj vxj vyj vzj hinvj pomj cj rhoj mj
+force dax day daz dudt
+dx = xi - xj
+dy = yi - yj
+dz = zi - zj
+r2 = dx*dx + dy*dy + dz*dz
+rinv = rsqrt(r2 + 1.0e-16)
+r = r2 * rinv
+qi = r * hinvi
+qj = r * hinvj
+ai = max(0.0, 2.0 - qi)
+bi = max(0.0, 1.0 - qi)
+aj = max(0.0, 2.0 - qj)
+bj = max(0.0, 1.0 - qj)
+sigi = 0.318309886183791 * hinvi * hinvi * hinvi
+sigj = 0.318309886183791 * hinvj * hinvj * hinvj
+dwi = sigi * hinvi * (3.0 * bi * bi - 0.75 * ai * ai)
+dwj = sigj * hinvj * (3.0 * bj * bj - 0.75 * aj * aj)
+dwmean = 0.5 * (dwi + dwj)
+gradx = dwmean * dx * rinv
+grady = dwmean * dy * rinv
+gradz = dwmean * dz * rinv
+dvx = vxi - vxj
+dvy = vyi - vyj
+dvz = vzi - vzj
+vdotr = dvx * dx + dvy * dy + dvz * dz
+hmean = 2.0 / (hinvi + hinvj)
+mu = hmean * vdotr / (r2 + 0.01 * hmean * hmean)
+muneg = min(0.0, mu)
+cmean = 0.5 * (ci + cj)
+rhomean = 0.5 * (rhoi + rhoj)
+visc = (2.0 * muneg * muneg - cmean * muneg) / rhomean
+fac = pomi + pomj + visc
+fx = fac * gradx
+fy = fac * grady
+fz = fac * gradz
+dax += -(mj * fx)
+day += -(mj * fy)
+daz += -(mj * fz)
+half = pomi + 0.5 * visc
+eij = dvx * gradx + dvy * grady + dvz * gradz
+dudt += mj * half * eij
+";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile;
+    use crate::flops::FlopPolicy;
+
+    #[test]
+    fn gravity_counts_exactly_27_paper_ops() {
+        let k = compile(GRAVITY_DSL).unwrap();
+        assert_eq!(k.flops_per_interaction(FlopPolicy::paper()), PAPER_GRAVITY_OPS);
+    }
+
+    #[test]
+    fn density_count_is_in_paper_regime() {
+        let k = compile(DENSITY_DSL).unwrap();
+        let n = k.flops_per_interaction(FlopPolicy::paper());
+        assert!(
+            (PAPER_DENSITY_OPS as f64 * 0.5..=PAPER_DENSITY_OPS as f64 * 1.5)
+                .contains(&(n as f64)),
+            "density kernel counts {n} ops, expected around {PAPER_DENSITY_OPS}"
+        );
+    }
+
+    #[test]
+    fn hydro_count_is_in_paper_regime() {
+        let k = compile(HYDRO_DSL).unwrap();
+        let n = k.flops_per_interaction(FlopPolicy::paper());
+        assert!(
+            (PAPER_HYDRO_OPS as f64 * 0.5..=PAPER_HYDRO_OPS as f64 * 1.5).contains(&(n as f64)),
+            "hydro kernel counts {n} ops, expected around {PAPER_HYDRO_OPS}"
+        );
+    }
+
+    #[test]
+    fn all_three_kernels_compile() {
+        for src in [GRAVITY_DSL, DENSITY_DSL, HYDRO_DSL] {
+            compile(src).unwrap();
+        }
+    }
+
+    #[test]
+    fn density_kernel_integrates_to_unity() {
+        // sum m_j W over a fine uniform grid approximates the integral of W,
+        // which must be 1 (the kernel is a partition of unity).
+        let k = compile(DENSITY_DSL).unwrap();
+        let h = 1.0f64;
+        let spacing = 0.25;
+        let mut xs = vec![];
+        let mut m = vec![];
+        let half = 12;
+        for ix in -half..=half {
+            for iy in -half..=half {
+                for iz in -half..=half {
+                    xs.push([
+                        ix as f64 * spacing,
+                        iy as f64 * spacing,
+                        iz as f64 * spacing,
+                    ]);
+                    m.push(spacing * spacing * spacing); // volume element
+                }
+            }
+        }
+        let x: Vec<f64> = xs.iter().map(|p| p[0]).collect();
+        let y: Vec<f64> = xs.iter().map(|p| p[1]).collect();
+        let z: Vec<f64> = xs.iter().map(|p| p[2]).collect();
+        let (xi, yi, zi, hinv) = (vec![0.0], vec![0.0], vec![0.0], vec![1.0 / h]);
+        let mut rho = vec![0.0];
+        let mut drhodh = vec![0.0];
+        let mut wsum = vec![0.0];
+        k.execute(
+            &crate::compile::SoaBuffers {
+                epi: vec![&xi, &yi, &zi, &hinv],
+                epj: vec![&x, &y, &z, &m],
+            },
+            &mut [&mut rho, &mut drhodh, &mut wsum],
+        );
+        assert!(
+            (rho[0] - 1.0).abs() < 0.02,
+            "kernel volume integral = {} (want 1)",
+            rho[0]
+        );
+        // dW/dh integral = -3/h * integral(W) - (1/h) integral(q W') which
+        // must equal -3/h + 3/h = ... the net is -3/h * 1 + 3/h = 0 by the
+        // scaling identity; numerically small compared to rho/h.
+        assert!(drhodh[0].abs() < 0.15 * rho[0] / h * 3.0);
+    }
+}

@@ -1,0 +1,186 @@
+//! Tokenizer for the kernel DSL.
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    Ident(String),
+    Num(f64),
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    LParen,
+    RParen,
+    Comma,
+    Assign,
+    PlusAssign,
+    Newline,
+}
+
+/// Tokenize `src`. Comments run from `//` or `#` to end of line. Newlines are
+/// significant (they terminate statements).
+pub fn lex(src: &str) -> Result<Vec<Tok>, String> {
+    let mut toks = Vec::new();
+    for (lineno, raw_line) in src.lines().enumerate() {
+        let line = match raw_line.find("//") {
+            Some(i) => &raw_line[..i],
+            None => raw_line,
+        };
+        let line = match line.find('#') {
+            Some(i) => &line[..i],
+            None => line,
+        };
+        let mut chars = line.char_indices().peekable();
+        let start_len = toks.len();
+        while let Some(&(i, c)) = chars.peek() {
+            match c {
+                ' ' | '\t' | '\r' => {
+                    chars.next();
+                }
+                '+' => {
+                    chars.next();
+                    if matches!(chars.peek(), Some(&(_, '='))) {
+                        chars.next();
+                        toks.push(Tok::PlusAssign);
+                    } else {
+                        toks.push(Tok::Plus);
+                    }
+                }
+                '-' => {
+                    chars.next();
+                    toks.push(Tok::Minus);
+                }
+                '*' => {
+                    chars.next();
+                    toks.push(Tok::Star);
+                }
+                '/' => {
+                    chars.next();
+                    toks.push(Tok::Slash);
+                }
+                '(' => {
+                    chars.next();
+                    toks.push(Tok::LParen);
+                }
+                ')' => {
+                    chars.next();
+                    toks.push(Tok::RParen);
+                }
+                ',' => {
+                    chars.next();
+                    toks.push(Tok::Comma);
+                }
+                '=' => {
+                    chars.next();
+                    toks.push(Tok::Assign);
+                }
+                c if c.is_ascii_digit() || c == '.' => {
+                    let mut end = i;
+                    let mut seen_e = false;
+                    while let Some(&(j, d)) = chars.peek() {
+                        let is_num = d.is_ascii_digit()
+                            || d == '.'
+                            || d == 'e'
+                            || d == 'E'
+                            || (seen_e && (d == '+' || d == '-'));
+                        if d == 'e' || d == 'E' {
+                            seen_e = true;
+                        } else if !(d == '+' || d == '-') {
+                            seen_e = false;
+                        }
+                        if is_num {
+                            end = j;
+                            chars.next();
+                        } else {
+                            break;
+                        }
+                    }
+                    let text = &line[i..=end];
+                    let v: f64 = text
+                        .parse()
+                        .map_err(|_| format!("line {}: bad number `{text}`", lineno + 1))?;
+                    toks.push(Tok::Num(v));
+                }
+                c if c.is_ascii_alphabetic() || c == '_' => {
+                    let mut end = i;
+                    while let Some(&(j, d)) = chars.peek() {
+                        if d.is_ascii_alphanumeric() || d == '_' {
+                            end = j;
+                            chars.next();
+                        } else {
+                            break;
+                        }
+                    }
+                    toks.push(Tok::Ident(line[i..=end].to_string()));
+                }
+                other => {
+                    return Err(format!("line {}: unexpected character `{other}`", lineno + 1))
+                }
+            }
+        }
+        if toks.len() > start_len {
+            toks.push(Tok::Newline);
+        }
+    }
+    Ok(toks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexes_statement() {
+        let t = lex("r2 = dx*dx + 1.5e-3").unwrap();
+        assert_eq!(
+            t,
+            vec![
+                Tok::Ident("r2".into()),
+                Tok::Assign,
+                Tok::Ident("dx".into()),
+                Tok::Star,
+                Tok::Ident("dx".into()),
+                Tok::Plus,
+                Tok::Num(1.5e-3),
+                Tok::Newline,
+            ]
+        );
+    }
+
+    #[test]
+    fn plus_assign_vs_plus() {
+        let t = lex("f += a + b").unwrap();
+        assert_eq!(t[1], Tok::PlusAssign);
+        assert_eq!(t[3], Tok::Plus);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_skipped() {
+        let t = lex("// header\n\na = 1 # trailing\n").unwrap();
+        assert_eq!(
+            t,
+            vec![Tok::Ident("a".into()), Tok::Assign, Tok::Num(1.0), Tok::Newline]
+        );
+    }
+
+    #[test]
+    fn scientific_notation_with_signs() {
+        let t = lex("a = 2.5E+4").unwrap();
+        assert_eq!(t[2], Tok::Num(2.5e4));
+        let t = lex("a = 1e-2").unwrap();
+        assert_eq!(t[2], Tok::Num(0.01));
+    }
+
+    #[test]
+    fn rejects_unknown_character() {
+        assert!(lex("a = b ^ 2").is_err());
+    }
+
+    #[test]
+    fn function_call_tokens() {
+        let t = lex("r = min(a, b)").unwrap();
+        assert!(t.contains(&Tok::LParen));
+        assert!(t.contains(&Tok::Comma));
+        assert!(t.contains(&Tok::RParen));
+    }
+}

@@ -1,0 +1,51 @@
+//! # pikg — Particle-particle Interaction Kernel Generator
+//!
+//! Rust reproduction of PIKG (paper §3.5): interaction kernels are written
+//! once in a small DSL and compiled into executable form, with
+//!
+//! * automatic structure-of-arrays data layout (the compiled kernel runs over
+//!   SoA slices, the layout PIKG generates for SIMD back ends),
+//! * exact FLOP accounting per interaction (the paper's Table 4 relies on
+//!   counted operations: 27 for gravity, 73 for SPH density/pressure, 101 for
+//!   the hydro force), and
+//! * piecewise polynomial approximation (PPA, paper Eq. 2) of kernel
+//!   functions with table lookup, our stand-in for the Sollya-generated
+//!   minimax tables.
+//!
+//! The DSL looks like:
+//!
+//! ```text
+//! kernel gravity
+//! epi xi yi zi ieps2
+//! epj xj yj zj mj jeps2
+//! force ax ay az pot
+//! dx = xi - xj
+//! r2 = dx*dx + ieps2 + jeps2
+//! rinv = rsqrt(r2)
+//! ax += -mj * rinv * dx
+//! ```
+//!
+//! ```
+//! let kernel = pikg::compile(pikg::kernels::GRAVITY_DSL).unwrap();
+//! assert_eq!(kernel.spec().name, "gravity");
+//! ```
+
+pub mod ast;
+pub mod codegen;
+pub mod compile;
+pub mod flops;
+pub mod kernels;
+pub mod lexer;
+pub mod parser;
+pub mod ppa;
+
+pub use ast::{BinOp, Expr, Func, KernelSpec, Stmt};
+pub use compile::{CompiledKernel, SoaBuffers};
+pub use flops::FlopPolicy;
+pub use ppa::PpaTable;
+
+/// Parse and compile a DSL kernel in one step.
+pub fn compile(src: &str) -> Result<CompiledKernel, String> {
+    let spec = parser::parse(src)?;
+    compile::CompiledKernel::from_spec(spec)
+}

@@ -1,0 +1,273 @@
+//! Recursive-descent parser for the kernel DSL.
+//!
+//! Grammar (newline-terminated statements):
+//!
+//! ```text
+//! kernel   := "kernel" IDENT NL decl* stmt*
+//! decl     := ("epi" | "epj" | "force") IDENT+ NL
+//! stmt     := IDENT "=" expr NL | IDENT "+=" expr NL
+//! expr     := term (("+" | "-") term)*
+//! term     := unary (("*" | "/") unary)*
+//! unary    := "-" unary | atom
+//! atom     := NUM | IDENT | IDENT "(" expr ("," expr)* ")" | "(" expr ")"
+//! ```
+
+use crate::ast::{BinOp, Expr, Func, KernelSpec, Stmt};
+use crate::lexer::{lex, Tok};
+
+struct Parser {
+    toks: Vec<Tok>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, want: &Tok) -> Result<(), String> {
+        match self.next() {
+            Some(ref t) if t == want => Ok(()),
+            other => Err(format!("expected {want:?}, found {other:?}")),
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, String> {
+        match self.next() {
+            Some(Tok::Ident(s)) => Ok(s),
+            other => Err(format!("expected identifier, found {other:?}")),
+        }
+    }
+
+    fn ident_list_to_newline(&mut self) -> Result<Vec<String>, String> {
+        let mut out = Vec::new();
+        loop {
+            match self.next() {
+                Some(Tok::Ident(s)) => out.push(s),
+                Some(Tok::Comma) => {}
+                Some(Tok::Newline) | None => break,
+                other => return Err(format!("expected identifier list, found {other:?}")),
+            }
+        }
+        if out.is_empty() {
+            return Err("empty declaration list".into());
+        }
+        Ok(out)
+    }
+
+    fn expr(&mut self) -> Result<Expr, String> {
+        let mut lhs = self.term()?;
+        loop {
+            let op = match self.peek() {
+                Some(Tok::Plus) => BinOp::Add,
+                Some(Tok::Minus) => BinOp::Sub,
+                _ => break,
+            };
+            self.next();
+            let rhs = self.term()?;
+            lhs = Expr::Bin(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn term(&mut self) -> Result<Expr, String> {
+        let mut lhs = self.unary()?;
+        loop {
+            let op = match self.peek() {
+                Some(Tok::Star) => BinOp::Mul,
+                Some(Tok::Slash) => BinOp::Div,
+                _ => break,
+            };
+            self.next();
+            let rhs = self.unary()?;
+            lhs = Expr::Bin(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn unary(&mut self) -> Result<Expr, String> {
+        if matches!(self.peek(), Some(Tok::Minus)) {
+            self.next();
+            return Ok(Expr::Neg(Box::new(self.unary()?)));
+        }
+        self.atom()
+    }
+
+    fn atom(&mut self) -> Result<Expr, String> {
+        match self.next() {
+            Some(Tok::Num(v)) => Ok(Expr::Num(v)),
+            Some(Tok::LParen) => {
+                let e = self.expr()?;
+                self.expect(&Tok::RParen)?;
+                Ok(e)
+            }
+            Some(Tok::Ident(name)) => {
+                if matches!(self.peek(), Some(Tok::LParen)) {
+                    self.next();
+                    let func = Func::from_name(&name)
+                        .ok_or_else(|| format!("unknown function `{name}`"))?;
+                    let mut args = vec![self.expr()?];
+                    while matches!(self.peek(), Some(Tok::Comma)) {
+                        self.next();
+                        args.push(self.expr()?);
+                    }
+                    self.expect(&Tok::RParen)?;
+                    Ok(Expr::Call(func, args))
+                } else {
+                    Ok(Expr::Var(name))
+                }
+            }
+            other => Err(format!("expected expression, found {other:?}")),
+        }
+    }
+}
+
+/// Parse a full kernel description.
+pub fn parse(src: &str) -> Result<KernelSpec, String> {
+    let toks = lex(src)?;
+    let mut p = Parser { toks, pos: 0 };
+
+    match p.next() {
+        Some(Tok::Ident(kw)) if kw == "kernel" => {}
+        other => return Err(format!("expected `kernel`, found {other:?}")),
+    }
+    let name = p.ident()?;
+    p.expect(&Tok::Newline)?;
+
+    let mut epi = Vec::new();
+    let mut epj = Vec::new();
+    let mut force = Vec::new();
+    let mut body = Vec::new();
+
+    while let Some(tok) = p.peek().cloned() {
+        match tok {
+            Tok::Newline => {
+                p.next();
+            }
+            Tok::Ident(kw) if kw == "epi" => {
+                p.next();
+                epi.extend(p.ident_list_to_newline()?);
+            }
+            Tok::Ident(kw) if kw == "epj" => {
+                p.next();
+                epj.extend(p.ident_list_to_newline()?);
+            }
+            Tok::Ident(kw) if kw == "force" => {
+                p.next();
+                force.extend(p.ident_list_to_newline()?);
+            }
+            Tok::Ident(_) => {
+                let target = p.ident()?;
+                let stmt = match p.next() {
+                    Some(Tok::Assign) => Stmt::Assign(target, p.expr()?),
+                    Some(Tok::PlusAssign) => Stmt::Accumulate(target, p.expr()?),
+                    other => return Err(format!("expected `=` or `+=`, found {other:?}")),
+                };
+                match p.next() {
+                    Some(Tok::Newline) | None => {}
+                    other => return Err(format!("expected end of statement, found {other:?}")),
+                }
+                body.push(stmt);
+            }
+            other => return Err(format!("unexpected token {other:?}")),
+        }
+    }
+
+    let spec = KernelSpec {
+        name,
+        epi,
+        epj,
+        force,
+        body,
+    };
+    spec.validate()?;
+    Ok(spec)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_gravity_kernel() {
+        let spec = parse(crate::kernels::GRAVITY_DSL).unwrap();
+        assert_eq!(spec.name, "gravity");
+        assert_eq!(spec.epi.len(), 4);
+        assert_eq!(spec.epj.len(), 5);
+        assert_eq!(spec.force, vec!["ax", "ay", "az", "pot"]);
+        assert!(spec.body.len() >= 8);
+    }
+
+    #[test]
+    fn precedence_mul_over_add() {
+        let spec = parse("kernel k\nepi a\nepj b\nforce f\nf += a + b * a\n").unwrap();
+        match &spec.body[0] {
+            Stmt::Accumulate(_, Expr::Bin(BinOp::Add, _, rhs)) => {
+                assert!(matches!(**rhs, Expr::Bin(BinOp::Mul, _, _)));
+            }
+            other => panic!("wrong tree: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parens_override_precedence() {
+        let spec = parse("kernel k\nepi a\nepj b\nforce f\nf += (a + b) * a\n").unwrap();
+        match &spec.body[0] {
+            Stmt::Accumulate(_, Expr::Bin(BinOp::Mul, lhs, _)) => {
+                assert!(matches!(**lhs, Expr::Bin(BinOp::Add, _, _)));
+            }
+            other => panic!("wrong tree: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unary_minus_binds_tighter_than_mul_operand() {
+        let spec = parse("kernel k\nepi a\nepj b\nforce f\nf += -a * b\n").unwrap();
+        // Parsed as (-a) * b.
+        match &spec.body[0] {
+            Stmt::Accumulate(_, Expr::Bin(BinOp::Mul, lhs, _)) => {
+                assert!(matches!(**lhs, Expr::Neg(_)));
+            }
+            other => panic!("wrong tree: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn two_arg_function_parses() {
+        let spec = parse("kernel k\nepi a\nepj b\nforce f\nm = min(a, b)\nf += m\n").unwrap();
+        match &spec.body[0] {
+            Stmt::Assign(_, Expr::Call(Func::Min, args)) => assert_eq!(args.len(), 2),
+            other => panic!("wrong tree: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_function_rejected() {
+        let err = parse("kernel k\nepi a\nepj b\nforce f\nf += sin(a)\n").unwrap_err();
+        assert!(err.contains("unknown function"));
+    }
+
+    #[test]
+    fn missing_kernel_header_rejected() {
+        assert!(parse("epi a\n").is_err());
+    }
+
+    #[test]
+    fn garbage_after_statement_rejected() {
+        assert!(parse("kernel k\nepi a\nepj b\nforce f\nf += a a\n").is_err());
+    }
+
+    #[test]
+    fn comma_separated_declarations() {
+        let spec = parse("kernel k\nepi a, b, c\nepj d\nforce f\nf += a\n").unwrap();
+        assert_eq!(spec.epi, vec!["a", "b", "c"]);
+    }
+}

@@ -1,0 +1,241 @@
+//! Piecewise polynomial approximation (PPA) of kernel functions — paper
+//! Eq. 2 and §3.5.
+//!
+//! PIKG approximates the SPH kernel function with `m` subdomains, each
+//! holding an `n`-th order polynomial, so SIMD lanes can evaluate the kernel
+//! with a table lookup plus a short Horner chain. The authors compute
+//! minimax polynomials with Sollya; we use Chebyshev interpolation, which is
+//! within a small constant of the true minimax error, and report the fitted
+//! maximum error so callers can assert accuracy budgets.
+
+/// A piecewise polynomial table for `f : [a, b] -> R`.
+///
+/// Section `k` covers `[a + k d, a + (k+1) d)` with the polynomial
+/// `sum_l coeff[k][l] (x - a - k d)^l` (the paper's Eq. 2 with its
+/// `(x - k d)` local coordinate).
+#[derive(Debug, Clone)]
+pub struct PpaTable {
+    a: f64,
+    d: f64,
+    inv_d: f64,
+    degree: usize,
+    /// `sections * (degree + 1)` coefficients, section-major.
+    coeffs: Vec<f64>,
+    fitted_max_error: f64,
+}
+
+impl PpaTable {
+    /// Fit `f` on `[a, b]` with `sections` subdomains of `degree`-th order
+    /// polynomials (Chebyshev interpolation per section).
+    ///
+    /// # Panics
+    /// Panics if `b <= a`, `sections == 0`, or `degree > 16`.
+    pub fn fit(f: impl Fn(f64) -> f64, a: f64, b: f64, sections: usize, degree: usize) -> Self {
+        assert!(b > a, "PPA domain must be non-empty");
+        assert!(sections > 0, "PPA needs at least one section");
+        assert!(degree <= 16, "PPA degree beyond 16 is numerically fragile");
+        let d = (b - a) / sections as f64;
+        let n = degree + 1;
+        let mut coeffs = vec![0.0; sections * n];
+
+        for k in 0..sections {
+            let lo = a + k as f64 * d;
+            // Chebyshev nodes in local coordinates [0, d].
+            let mut xs = vec![0.0; n];
+            let mut ys = vec![0.0; n];
+            for (j, (x, y)) in xs.iter_mut().zip(ys.iter_mut()).enumerate() {
+                let t = ((2 * j + 1) as f64 * std::f64::consts::PI / (2 * n) as f64).cos();
+                *x = 0.5 * d * (t + 1.0); // local in [0, d]
+                *y = f(lo + *x);
+            }
+            let poly = interpolate_monomial(&xs, &ys);
+            coeffs[k * n..(k + 1) * n].copy_from_slice(&poly);
+        }
+
+        let mut table = PpaTable {
+            a,
+            d,
+            inv_d: 1.0 / d,
+            degree,
+            coeffs,
+            fitted_max_error: 0.0,
+        };
+        // Estimate the max error on a dense sample.
+        let samples = (sections * 64).max(256);
+        let mut err = 0.0f64;
+        for i in 0..=samples {
+            let x = a + (b - a) * i as f64 / samples as f64;
+            err = err.max((table.eval(x) - f(x)).abs());
+        }
+        table.fitted_max_error = err;
+        table
+    }
+
+    /// Evaluate the table at `x` (clamped to the fitted domain).
+    #[inline]
+    pub fn eval(&self, x: f64) -> f64 {
+        let n = self.degree + 1;
+        let sections = self.coeffs.len() / n;
+        let t = (x - self.a) * self.inv_d;
+        let k = (t as isize).clamp(0, sections as isize - 1) as usize;
+        let local = x - self.a - k as f64 * self.d;
+        // Horner over the section's coefficients — the short dependency
+        // chain a SIMD table lookup feeds (paper §3.5).
+        let c = &self.coeffs[k * n..(k + 1) * n];
+        let mut acc = c[n - 1];
+        for l in (0..n - 1).rev() {
+            acc = acc * local + c[l];
+        }
+        acc
+    }
+
+    /// Maximum absolute error observed while fitting.
+    pub fn max_error(&self) -> f64 {
+        self.fitted_max_error
+    }
+
+    /// Number of subdomains (`m` in the paper).
+    pub fn sections(&self) -> usize {
+        self.coeffs.len() / (self.degree + 1)
+    }
+
+    /// Polynomial order per subdomain (`n` in the paper).
+    pub fn degree(&self) -> usize {
+        self.degree
+    }
+
+    /// Total stored coefficients (`m (n + 1)` in the paper).
+    pub fn coefficient_count(&self) -> usize {
+        self.coeffs.len()
+    }
+
+    /// FLOPs per evaluation: the Horner chain (2 ops per degree) plus the
+    /// index computation (sub, mul, sub, mul ≈ 4).
+    pub fn flops_per_eval(&self) -> usize {
+        2 * self.degree + 4
+    }
+}
+
+/// Newton divided differences → monomial coefficients, for small n.
+fn interpolate_monomial(xs: &[f64], ys: &[f64]) -> Vec<f64> {
+    let n = xs.len();
+    // Divided-difference table.
+    let mut dd = ys.to_vec();
+    for level in 1..n {
+        for i in (level..n).rev() {
+            dd[i] = (dd[i] - dd[i - 1]) / (xs[i] - xs[i - level]);
+        }
+    }
+    // Expand the Newton form into monomials.
+    let mut mono = vec![0.0; n];
+    let mut basis = vec![0.0; n]; // coefficients of prod (x - xs[j])
+    basis[0] = 1.0;
+    let mut basis_len = 1;
+    for (i, &c) in dd.iter().enumerate() {
+        for (m, b) in mono.iter_mut().zip(basis.iter()).take(basis_len) {
+            *m += c * b;
+        }
+        if i + 1 < n {
+            // basis *= (x - xs[i])
+            let mut next = vec![0.0; n];
+            for j in 0..basis_len {
+                next[j + 1] += basis[j];
+                next[j] -= xs[i] * basis[j];
+            }
+            basis = next;
+            basis_len += 1;
+        }
+    }
+    mono
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The M4 cubic-spline kernel shape on q in [0, 2].
+    fn cubic_spline(q: f64) -> f64 {
+        let a = (2.0 - q).max(0.0);
+        let b = (1.0 - q).max(0.0);
+        std::f64::consts::FRAC_1_PI * (0.25 * a * a * a - b * b * b)
+    }
+
+    #[test]
+    fn exact_for_polynomials_of_fitted_degree() {
+        let f = |x: f64| 3.0 * x * x * x - 2.0 * x + 1.0;
+        let t = PpaTable::fit(f, -1.0, 2.0, 4, 3);
+        for i in 0..100 {
+            let x = -1.0 + 3.0 * i as f64 / 99.0;
+            assert!((t.eval(x) - f(x)).abs() < 1e-12, "x={x}");
+        }
+        assert!(t.max_error() < 1e-12);
+    }
+
+    #[test]
+    fn spline_kernel_fits_to_tight_tolerance() {
+        // PIKG-style setup: modest table, low degree, SIMD-friendly.
+        let t = PpaTable::fit(cubic_spline, 0.0, 2.0, 16, 3);
+        assert!(
+            t.max_error() < 1e-5,
+            "cubic spline PPA error {}",
+            t.max_error()
+        );
+        assert_eq!(t.sections(), 16);
+        assert_eq!(t.coefficient_count(), 16 * 4);
+    }
+
+    #[test]
+    fn spline_fit_is_exact_where_piecewise_cubic() {
+        // The M4 spline *is* a piecewise cubic, so a degree-3 PPA whose
+        // section boundaries align with the spline's breakpoints (q = 1, 2)
+        // reproduces it to machine precision — the property PIKG exploits.
+        let t = PpaTable::fit(cubic_spline, 0.0, 2.0, 8, 3);
+        assert!(t.max_error() < 1e-14, "err={}", t.max_error());
+    }
+
+    #[test]
+    fn error_shrinks_with_more_sections() {
+        // exp is not polynomial, so degree-3 error scales like d^4: doubling
+        // sections twice should cut the error by roughly 256x.
+        let f = |x: f64| x.exp();
+        let e8 = PpaTable::fit(f, 0.0, 2.0, 8, 3).max_error();
+        let e32 = PpaTable::fit(f, 0.0, 2.0, 32, 3).max_error();
+        assert!(e32 < e8 / 16.0, "e8={e8}, e32={e32}");
+    }
+
+    #[test]
+    fn error_shrinks_with_higher_degree() {
+        let f = |x: f64| (1.0 + x).sqrt();
+        let e2 = PpaTable::fit(f, 0.0, 1.0, 4, 2).max_error();
+        let e5 = PpaTable::fit(f, 0.0, 1.0, 4, 5).max_error();
+        assert!(e5 < e2 / 10.0, "e2={e2}, e5={e5}");
+    }
+
+    #[test]
+    fn eval_clamps_outside_domain() {
+        let t = PpaTable::fit(|x| x, 0.0, 1.0, 4, 1);
+        // Clamped into the last/first section's polynomial, which for the
+        // identity extrapolates linearly — just check it is finite.
+        assert!(t.eval(-0.5).is_finite());
+        assert!(t.eval(1.5).is_finite());
+    }
+
+    #[test]
+    fn transcendental_fit_reaches_single_precision() {
+        // exp on [0,1] with a production-sized table.
+        let t = PpaTable::fit(|x: f64| x.exp(), 0.0, 1.0, 32, 4);
+        assert!(t.max_error() < 1e-9, "err={}", t.max_error());
+    }
+
+    #[test]
+    fn flop_count_reflects_horner_chain() {
+        let t = PpaTable::fit(|x| x, 0.0, 1.0, 4, 3);
+        assert_eq!(t.flops_per_eval(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_domain_rejected() {
+        let _ = PpaTable::fit(|x| x, 1.0, 1.0, 4, 3);
+    }
+}

@@ -1,0 +1,113 @@
+//! Ideal-gas equation of state and temperature bookkeeping.
+//!
+//! The ISM spans `~10 K` molecular clouds to `~10^7 K` SN bubbles (paper
+//! Fig. 1) — six orders of magnitude in temperature — handled here with a
+//! gamma-law EOS on specific internal energy.
+
+/// Boltzmann constant over proton mass, in code units (pc, M_sun, Myr):
+/// `k_B / m_p = 8.2543e-3 (pc/Myr)^2 / K`.
+pub const KB_OVER_MP: f64 = 8.254_3e-3;
+
+/// A gamma-law equation of state `P = (gamma - 1) rho u`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GammaLawEos {
+    pub gamma: f64,
+    /// Mean molecular weight (1.27 for neutral primordial, 0.6 ionized).
+    pub mu: f64,
+}
+
+impl Default for GammaLawEos {
+    fn default() -> Self {
+        GammaLawEos {
+            gamma: 5.0 / 3.0,
+            mu: 1.27,
+        }
+    }
+}
+
+impl GammaLawEos {
+    /// Pressure from density and specific internal energy.
+    #[inline]
+    pub fn pressure(&self, rho: f64, u: f64) -> f64 {
+        (self.gamma - 1.0) * rho * u
+    }
+
+    /// Adiabatic sound speed.
+    #[inline]
+    pub fn sound_speed(&self, u: f64) -> f64 {
+        (self.gamma * (self.gamma - 1.0) * u.max(0.0)).sqrt()
+    }
+
+    /// Specific internal energy of gas at temperature `T` [K].
+    #[inline]
+    pub fn u_from_temperature(&self, t: f64) -> f64 {
+        KB_OVER_MP * t / (self.mu * (self.gamma - 1.0))
+    }
+
+    /// Temperature [K] of gas with specific internal energy `u`.
+    #[inline]
+    pub fn temperature_from_u(&self, u: f64) -> f64 {
+        u * self.mu * (self.gamma - 1.0) / KB_OVER_MP
+    }
+
+    /// `P / rho^2`, the quantity the symmetrized force kernel consumes.
+    #[inline]
+    pub fn p_over_rho2(&self, rho: f64, u: f64) -> f64 {
+        (self.gamma - 1.0) * u / rho
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn temperature_roundtrip() {
+        let eos = GammaLawEos::default();
+        for &t in &[10.0, 1e4, 1e7] {
+            let u = eos.u_from_temperature(t);
+            assert!((eos.temperature_from_u(u) - t).abs() / t < 1e-12);
+        }
+    }
+
+    #[test]
+    fn pressure_and_p_over_rho2_consistent() {
+        let eos = GammaLawEos::default();
+        let (rho, u) = (3.0, 7.0);
+        assert!(
+            (eos.pressure(rho, u) / (rho * rho) - eos.p_over_rho2(rho, u)).abs() < 1e-14
+        );
+    }
+
+    #[test]
+    fn sound_speed_of_warm_ism_is_of_order_10_km_s() {
+        // T = 1e4 K ionized gas: c_s ~ 15 km/s ~ 15.3 pc/Myr.
+        let eos = GammaLawEos {
+            gamma: 5.0 / 3.0,
+            mu: 0.6,
+        };
+        let u = eos.u_from_temperature(1e4);
+        let c = eos.sound_speed(u); // pc/Myr
+        assert!(
+            (10.0..25.0).contains(&c),
+            "sound speed {c} pc/Myr out of range"
+        );
+    }
+
+    #[test]
+    fn sn_heated_gas_has_1000x_cold_sound_speed() {
+        // The paper's timestep collapse: 10^7 K vs 10 K is a 10^3 ratio in c.
+        let eos = GammaLawEos::default();
+        let c_cold = eos.sound_speed(eos.u_from_temperature(10.0));
+        let c_hot = eos.sound_speed(eos.u_from_temperature(1e7));
+        let ratio = c_hot / c_cold;
+        assert!((900.0..1100.0).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn sound_speed_handles_zero_and_negative_u() {
+        let eos = GammaLawEos::default();
+        assert_eq!(eos.sound_speed(0.0), 0.0);
+        assert_eq!(eos.sound_speed(-1.0), 0.0);
+    }
+}

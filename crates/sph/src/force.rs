@@ -1,0 +1,192 @@
+//! Symmetrized SPH momentum and energy equations with Monaghan artificial
+//! viscosity.
+
+use crate::kernel::SphKernel;
+use fdps::Vec3;
+
+/// Per-particle hydrodynamic quantities consumed by the force kernel.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct HydroInput {
+    pub pos: Vec3,
+    pub vel: Vec3,
+    pub mass: f64,
+    pub h: f64,
+    pub rho: f64,
+    /// `P / rho^2`.
+    pub p_over_rho2: f64,
+    /// Sound speed.
+    pub cs: f64,
+}
+
+/// Accumulated hydro force and heating for one particle.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct HydroAccum {
+    pub acc: Vec3,
+    pub dudt: f64,
+    /// Maximum signal velocity seen over neighbours (for the CFL condition).
+    pub v_sig_max: f64,
+}
+
+/// Artificial-viscosity parameters (Monaghan 1992: alpha=1, beta=2).
+#[derive(Debug, Clone, Copy)]
+pub struct Viscosity {
+    pub alpha: f64,
+    pub beta: f64,
+    /// Softening of the mu denominator (eta^2 in units of h^2).
+    pub eta2: f64,
+}
+
+impl Default for Viscosity {
+    fn default() -> Self {
+        Viscosity {
+            alpha: 1.0,
+            beta: 2.0,
+            eta2: 0.01,
+        }
+    }
+}
+
+/// Evaluate the pairwise interaction of particle `i` with neighbour `j`,
+/// accumulating into `out`. Symmetric formulation: using it with roles
+/// swapped conserves momentum and energy identically.
+pub fn pair_force(
+    kernel: &dyn SphKernel,
+    visc: &Viscosity,
+    pi: &HydroInput,
+    pj: &HydroInput,
+    out: &mut HydroAccum,
+) {
+    let d = pi.pos - pj.pos;
+    let r2 = d.norm2();
+    if r2 == 0.0 {
+        return;
+    }
+    let r = r2.sqrt();
+    let support = kernel.support();
+    if r >= support * pi.h.max(pj.h) {
+        return;
+    }
+    // Arithmetic-mean kernel gradient of both smoothing lengths.
+    let dw = 0.5 * (kernel.dwdr(r, pi.h) + kernel.dwdr(r, pj.h));
+    let grad = d * (dw / r);
+
+    let dv = pi.vel - pj.vel;
+    let vdotr = dv.dot(d);
+
+    // Monaghan viscosity, active only for approaching pairs.
+    let mut visc_term = 0.0;
+    let mut v_sig = pi.cs + pj.cs;
+    if vdotr < 0.0 {
+        let h_mean = 0.5 * (pi.h + pj.h);
+        let mu = h_mean * vdotr / (r2 + visc.eta2 * h_mean * h_mean);
+        let c_mean = 0.5 * (pi.cs + pj.cs);
+        let rho_mean = 0.5 * (pi.rho + pj.rho);
+        visc_term = (-visc.alpha * c_mean * mu + visc.beta * mu * mu) / rho_mean;
+        v_sig += -3.0 * mu;
+    }
+
+    let fac = pi.p_over_rho2 + pj.p_over_rho2 + visc_term;
+    out.acc -= grad * (pj.mass * fac);
+    out.dudt += pj.mass * (pi.p_over_rho2 + 0.5 * visc_term) * dv.dot(grad);
+    out.v_sig_max = out.v_sig_max.max(v_sig);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eos::GammaLawEos;
+    use crate::kernel::CubicSpline;
+
+    fn make(pos: Vec3, vel: Vec3, rho: f64, u: f64) -> HydroInput {
+        let eos = GammaLawEos::default();
+        HydroInput {
+            pos,
+            vel,
+            mass: 1.0,
+            h: 1.0,
+            rho,
+            p_over_rho2: eos.p_over_rho2(rho, u),
+            cs: eos.sound_speed(u),
+        }
+    }
+
+    #[test]
+    fn pressure_force_is_repulsive_along_separation() {
+        let a = make(Vec3::ZERO, Vec3::ZERO, 1.0, 1.0);
+        let b = make(Vec3::new(0.8, 0.0, 0.0), Vec3::ZERO, 1.0, 1.0);
+        let mut out = HydroAccum::default();
+        pair_force(&CubicSpline, &Viscosity::default(), &a, &b, &mut out);
+        // a sits at smaller x: pressure pushes it toward -x.
+        assert!(out.acc.x < 0.0, "acc {:?}", out.acc);
+        assert_eq!(out.acc.y, 0.0);
+    }
+
+    #[test]
+    fn newtons_third_law_momentum_and_energy() {
+        let a = make(Vec3::ZERO, Vec3::new(0.3, 0.0, 0.0), 1.5, 2.0);
+        let b = make(Vec3::new(0.5, 0.4, -0.2), Vec3::new(-0.1, 0.2, 0.0), 0.8, 1.0);
+        let mut fa = HydroAccum::default();
+        let mut fb = HydroAccum::default();
+        let visc = Viscosity::default();
+        pair_force(&CubicSpline, &visc, &a, &b, &mut fa);
+        pair_force(&CubicSpline, &visc, &b, &a, &mut fb);
+        // Momentum: m_a a_a + m_b a_b = 0.
+        let net = fa.acc * a.mass + fb.acc * b.mass;
+        assert!(net.norm() < 1e-14, "net {net:?}");
+        // Energy: m_a du_a + m_b du_b = -d/dt kinetic = -(m a)·v summed.
+        let dk = a.mass * fa.acc.dot(a.vel) + b.mass * fb.acc.dot(b.vel);
+        let du = a.mass * fa.dudt + b.mass * fb.dudt;
+        assert!((dk + du).abs() < 1e-12, "energy leak {}", dk + du);
+    }
+
+    #[test]
+    fn viscosity_only_for_approaching_pairs() {
+        let visc = Viscosity::default();
+        // Receding: viscosity off, dudt is pure PdV (negative for expansion).
+        let a = make(Vec3::ZERO, Vec3::new(-1.0, 0.0, 0.0), 1.0, 1.0);
+        let b = make(Vec3::new(0.7, 0.0, 0.0), Vec3::new(1.0, 0.0, 0.0), 1.0, 1.0);
+        let mut out = HydroAccum::default();
+        pair_force(&CubicSpline, &visc, &a, &b, &mut out);
+        assert!(out.dudt < 0.0, "expansion must cool: {}", out.dudt);
+        let receding_vsig = out.v_sig_max;
+
+        // Approaching: viscosity raises both the force and v_sig.
+        let a2 = make(Vec3::ZERO, Vec3::new(1.0, 0.0, 0.0), 1.0, 1.0);
+        let b2 = make(Vec3::new(0.7, 0.0, 0.0), Vec3::new(-1.0, 0.0, 0.0), 1.0, 1.0);
+        let mut out2 = HydroAccum::default();
+        pair_force(&CubicSpline, &visc, &a2, &b2, &mut out2);
+        assert!(out2.dudt > 0.0, "compression must heat: {}", out2.dudt);
+        assert!(out2.v_sig_max > receding_vsig);
+    }
+
+    #[test]
+    fn no_interaction_beyond_support() {
+        let a = make(Vec3::ZERO, Vec3::ZERO, 1.0, 1.0);
+        let b = make(Vec3::new(2.5, 0.0, 0.0), Vec3::ZERO, 1.0, 1.0);
+        let mut out = HydroAccum::default();
+        pair_force(&CubicSpline, &Viscosity::default(), &a, &b, &mut out);
+        assert_eq!(out, HydroAccum::default());
+    }
+
+    #[test]
+    fn coincident_particles_are_skipped() {
+        let a = make(Vec3::ZERO, Vec3::ZERO, 1.0, 1.0);
+        let mut out = HydroAccum::default();
+        pair_force(&CubicSpline, &Viscosity::default(), &a, &a, &mut out);
+        assert_eq!(out, HydroAccum::default());
+    }
+
+    #[test]
+    fn asymmetric_smoothing_lengths_still_conserve() {
+        let mut a = make(Vec3::ZERO, Vec3::new(0.5, 0.0, 0.0), 2.0, 3.0);
+        let mut b = make(Vec3::new(0.9, 0.1, 0.0), Vec3::ZERO, 0.5, 0.7);
+        a.h = 0.6;
+        b.h = 1.4;
+        let visc = Viscosity::default();
+        let mut fa = HydroAccum::default();
+        let mut fb = HydroAccum::default();
+        pair_force(&CubicSpline, &visc, &a, &b, &mut fa);
+        pair_force(&CubicSpline, &visc, &b, &a, &mut fb);
+        assert!((fa.acc * a.mass + fb.acc * b.mass).norm() < 1e-14);
+    }
+}

@@ -1,0 +1,34 @@
+//! # sph — smoothed-particle hydrodynamics
+//!
+//! The compressible-gas half of the N-body/SPH simulation (paper §1): the
+//! interstellar medium is modeled with SPH particles whose distribution is
+//! "realized with the distributions smoothed by the kernel radius, which is
+//! typically the size of 100 gas SPH particles".
+//!
+//! Components:
+//! * [`kernel`] — the M4 cubic-spline kernel, plus a PPA table-lookup
+//!   variant built with [`pikg::PpaTable`] (the paper's §3.5 optimization);
+//! * [`eos`] — ideal-gas equation of state and temperature conversion;
+//! * [`density`] — density summation with the smoothing-length (kernel
+//!   size) iteration of paper §5.2.5;
+//! * [`force`] — symmetrized pressure force with Monaghan artificial
+//!   viscosity and `du/dt`;
+//! * [`timestep`] — the Courant–Friedrichs–Lewy condition that drives the
+//!   entire paper (§1: the SN-heated gas makes `dt_CFL` collapse);
+//! * [`solver`] — a rayon-parallel driver over a neighbor-search tree.
+
+pub mod density;
+pub mod eos;
+pub mod force;
+pub mod kernel;
+pub mod solver;
+pub mod timestep;
+
+pub use eos::GammaLawEos;
+pub use kernel::{CubicSpline, PpaSpline, SphKernel, WendlandC2};
+pub use solver::{HydroState, SphSolver};
+
+/// Paper-convention operations per density interaction (Table 4).
+pub const DENSITY_OPS_PER_INTERACTION: usize = pikg::kernels::PAPER_DENSITY_OPS;
+/// Paper-convention operations per hydro-force interaction (Table 4).
+pub const HYDRO_OPS_PER_INTERACTION: usize = pikg::kernels::PAPER_HYDRO_OPS;

@@ -1,0 +1,165 @@
+//! Field ↔ tensor encoding (paper §3.3).
+//!
+//! "We take the logarithm of the physical quantities before inputting the
+//! U-Net. For the three velocity fields, we divided each of them into two
+//! data cubes, one for pixels with positive velocities and another for
+//! those with negative velocities, and take the logarithm of their absolute
+//! values. We thus input a total of eight data cubes."
+
+use crate::voxel::VoxelFields;
+use unet::Tensor;
+
+/// Floor inserted before logarithms so empty voxels stay finite.
+pub const LOG_FLOOR: f64 = 1e-10;
+
+/// Physical ceiling on decoded velocities [pc/Myr] (~3x10^4 km/s, beyond
+/// any SN ejecta): keeps an undertrained network from injecting absurd
+/// kinetic energy into the simulation.
+pub const V_CEIL: f64 = 3.0e4;
+
+/// Physical ceiling on decoded temperatures [K].
+pub const T_CEIL: f64 = 1.0e10;
+
+/// Encode the five physical fields into the eight-channel tensor:
+/// `[log rho, log T, log v_x^+, log v_x^-, log v_y^+, log v_y^-,
+///   log v_z^+, log v_z^-]`.
+pub fn encode_fields(fields: &VoxelFields) -> Tensor {
+    let n = fields.grid.n;
+    let len = n * n * n;
+    let mut t = Tensor::zeros(8, n, n, n);
+    for f in 0..len {
+        t.data[f] = (fields.density[f].max(LOG_FLOOR)).log10() as f32;
+        t.data[len + f] = (fields.temperature[f].max(LOG_FLOOR)).log10() as f32;
+        for a in 0..3 {
+            let v = fields.vel[a][f];
+            let (pos, neg) = if v >= 0.0 { (v, 0.0) } else { (0.0, -v) };
+            t.data[(2 + 2 * a) * len + f] = (pos.max(LOG_FLOOR)).log10() as f32;
+            t.data[(3 + 2 * a) * len + f] = (neg.max(LOG_FLOOR)).log10() as f32;
+        }
+    }
+    t
+}
+
+/// Decode a five-channel prediction `[log rho, log T, (log v+ , log v-) x3]`
+/// — the network output uses the same eight-channel layout as the input —
+/// back into physical fields. Negative densities/temperatures cannot occur
+/// by construction.
+pub fn decode_fields(t: &Tensor, grid: crate::voxel::VoxelGrid) -> VoxelFields {
+    assert_eq!(t.c, 8, "decoder expects the 8-channel layout");
+    assert_eq!(t.d, grid.n);
+    let n = grid.n;
+    let len = n * n * n;
+    let mut out = VoxelFields::zeros(grid);
+    let floor = LOG_FLOOR as f32;
+    for f in 0..len {
+        let rho = 10f64.powf(t.data[f] as f64);
+        out.density[f] = if (t.data[f] - floor.log10()).abs() < 0.5 {
+            0.0
+        } else {
+            rho
+        };
+        out.temperature[f] = 10f64.powf(t.data[len + f] as f64).min(T_CEIL);
+        for a in 0..3 {
+            let vp = 10f64.powf(t.data[(2 + 2 * a) * len + f] as f64).min(V_CEIL);
+            let vn = 10f64.powf(t.data[(3 + 2 * a) * len + f] as f64).min(V_CEIL);
+            let vp = if vp <= LOG_FLOOR * 10.0 { 0.0 } else { vp };
+            let vn = if vn <= LOG_FLOOR * 10.0 { 0.0 } else { vn };
+            out.vel[a][f] = vp - vn;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::voxel::VoxelGrid;
+    use fdps::Vec3;
+
+    fn fields_with(n: usize, rho: f64, temp: f64, v: [f64; 3]) -> VoxelFields {
+        let grid = VoxelGrid::centered(Vec3::ZERO, 60.0, n);
+        let mut f = VoxelFields::zeros(grid);
+        for i in 0..n * n * n {
+            f.density[i] = rho;
+            f.temperature[i] = temp;
+            for a in 0..3 {
+                f.vel[a][i] = v[a];
+            }
+        }
+        f
+    }
+
+    #[test]
+    fn eight_channels_produced() {
+        let f = fields_with(4, 1.0, 100.0, [1.0, -2.0, 0.0]);
+        let t = encode_fields(&f);
+        assert_eq!(t.shape(), (8, 4, 4, 4));
+    }
+
+    #[test]
+    fn roundtrip_recovers_fields() {
+        let f = fields_with(4, 2.5, 3.0e6, [12.0, -7.5, 0.0]);
+        let t = encode_fields(&f);
+        let back = decode_fields(&t, f.grid);
+        for i in 0..64 {
+            assert!((back.density[i] / 2.5 - 1.0).abs() < 1e-5);
+            assert!((back.temperature[i] / 3.0e6 - 1.0).abs() < 1e-5);
+            assert!((back.vel[0][i] - 12.0).abs() < 1e-3);
+            assert!((back.vel[1][i] + 7.5).abs() < 1e-3);
+            assert!(back.vel[2][i].abs() < 1e-6, "v_z = {}", back.vel[2][i]);
+        }
+    }
+
+    #[test]
+    fn velocity_sign_splitting_is_exclusive() {
+        let f = fields_with(4, 1.0, 10.0, [5.0, -5.0, 0.0]);
+        let t = encode_fields(&f);
+        let len = 64;
+        // v_x > 0: positive channel holds log10(5), negative the floor.
+        assert!((t.data[2 * len] - 5f32.log10()).abs() < 1e-5);
+        assert!((t.data[3 * len] - (LOG_FLOOR as f32).log10()).abs() < 1e-4);
+        // v_y < 0: reversed.
+        assert!((t.data[4 * len] - (LOG_FLOOR as f32).log10()).abs() < 1e-4);
+        assert!((t.data[5 * len] - 5f32.log10()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn dynamic_range_is_compressed() {
+        // The paper's motivation: six orders of magnitude in temperature
+        // become a factor ~2 in encoded space.
+        let cold = fields_with(4, 1.0, 10.0, [0.0; 3]);
+        let hot = fields_with(4, 1.0, 1.0e7, [0.0; 3]);
+        let tc = encode_fields(&cold).data[64];
+        let th = encode_fields(&hot).data[64];
+        assert!((th - tc).abs() < 10.0, "encoded span {}", th - tc);
+        assert!((th - 7.0).abs() < 1e-4);
+        assert!((tc - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn decoded_velocities_are_clamped_to_physical_bounds() {
+        // A hostile tensor (huge logits, as an untrained net can emit)
+        // must decode to bounded fields.
+        let grid = VoxelGrid::centered(Vec3::ZERO, 60.0, 4);
+        let mut t = unet::Tensor::zeros(8, 4, 4, 4);
+        t.data.iter_mut().for_each(|v| *v = 30.0); // 10^30 everywhere
+        let f = decode_fields(&t, grid);
+        for i in 0..64 {
+            assert!(f.temperature[i] <= T_CEIL);
+            for a in 0..3 {
+                assert!(f.vel[a][i].abs() <= V_CEIL);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_voxels_stay_finite() {
+        let grid = VoxelGrid::centered(Vec3::ZERO, 60.0, 4);
+        let f = VoxelFields::zeros(grid);
+        let t = encode_fields(&f);
+        assert!(t.data.iter().all(|v| v.is_finite()));
+        let back = decode_fields(&t, grid);
+        assert!(back.density.iter().all(|&d| d == 0.0 || d.is_finite()));
+        assert!(back.vel[0].iter().all(|&v| v == 0.0));
+    }
+}

@@ -1,0 +1,242 @@
+//! Grid → particle conversion by Gibbs sampling (paper §3.3: "we convert it
+//! back to particle data using Gibbs sampling, which is one of the Markov
+//! chain Monte Carlo methods. Mass conservation is ensured by making the
+//! number of created particles the same as the number of particles in the
+//! input data.").
+//!
+//! The sampler is a systematic-scan Gibbs chain over voxel coordinates: in
+//! turn, each axis index is redrawn from its exact 1-D conditional
+//! `p(i | j, k) ∝ rho[i, j, k]`. Positions are jittered uniformly inside
+//! the sampled voxel; velocities and temperature are trilinear samples of
+//! the predicted fields.
+
+use crate::voxel::{GasParticle, VoxelFields};
+use fdps::Vec3;
+use rand::Rng;
+
+/// Draw `count` particles from `fields`. Particle masses are equal and sum
+/// exactly to the grid mass; `ids` assigns the (recycled) particle IDs.
+pub fn grid_to_particles<R: Rng + ?Sized>(
+    rng: &mut R,
+    fields: &VoxelFields,
+    count: usize,
+    ids: &[u64],
+    burn_in: usize,
+    thin: usize,
+) -> Vec<GasParticle> {
+    assert_eq!(ids.len(), count, "one id per created particle");
+    if count == 0 {
+        return Vec::new();
+    }
+    let total_mass = fields.total_mass();
+    let n = fields.grid.n;
+    let mass = total_mass / count as f64;
+    let d = fields.grid.voxel_size();
+
+    // Start the chain at the densest voxel (fast mixing start).
+    let mut state = {
+        let mut best = 0usize;
+        for (f, &rho) in fields.density.iter().enumerate() {
+            if rho > fields.density[best] {
+                best = f;
+            }
+        }
+        let i = best % n;
+        let j = (best / n) % n;
+        let k = best / (n * n);
+        [i, j, k]
+    };
+
+    let mut cond = vec![0.0f64; n];
+    let mut sweep = |rng: &mut R, state: &mut [usize; 3]| {
+        for axis in 0..3 {
+            // Conditional along `axis` with the other two fixed.
+            let mut sum = 0.0;
+            for (t, c) in cond.iter_mut().enumerate() {
+                let (i, j, k) = match axis {
+                    0 => (t, state[1], state[2]),
+                    1 => (state[0], t, state[2]),
+                    _ => (state[0], state[1], t),
+                };
+                let rho = fields.density[fields.grid.flat(i, j, k)].max(0.0);
+                sum += rho;
+                *c = sum;
+            }
+            if sum <= 0.0 {
+                // Empty line: re-draw uniformly to escape.
+                state[axis] = rng.gen_range(0..n);
+                continue;
+            }
+            let u = rng.gen::<f64>() * sum;
+            let idx = cond.partition_point(|&c| c < u).min(n - 1);
+            state[axis] = idx;
+        }
+    };
+
+    for _ in 0..burn_in {
+        sweep(rng, &mut state);
+    }
+
+    let mut out = Vec::with_capacity(count);
+    for id in ids {
+        for _ in 0..thin.max(1) {
+            sweep(rng, &mut state);
+        }
+        let jitter = Vec3::new(rng.gen::<f64>(), rng.gen::<f64>(), rng.gen::<f64>());
+        let pos = fields.grid.origin
+            + Vec3::new(
+                (state[0] as f64 + jitter.x) * d,
+                (state[1] as f64 + jitter.y) * d,
+                (state[2] as f64 + jitter.z) * d,
+            );
+        let vel = Vec3::new(
+            fields.sample(&fields.vel[0], pos),
+            fields.sample(&fields.vel[1], pos),
+            fields.sample(&fields.vel[2], pos),
+        );
+        let temp = fields.sample(&fields.temperature, pos).max(1.0);
+        let rho_here = fields.sample(&fields.density, pos).max(1e-12);
+        // Smoothing length guess from the local density and equal mass.
+        let h = 0.5 * (3.0 * 32.0 * mass / (4.0 * std::f64::consts::PI * rho_here))
+            .powf(1.0 / 3.0);
+        out.push(GasParticle {
+            pos,
+            vel,
+            mass,
+            temp,
+            h,
+            id: *id,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::voxel::VoxelGrid;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn gaussian_fields(n: usize) -> VoxelFields {
+        let grid = VoxelGrid::centered(Vec3::ZERO, 60.0, n);
+        let mut f = VoxelFields::zeros(grid);
+        for k in 0..n {
+            for j in 0..n {
+                for i in 0..n {
+                    let c = grid.voxel_center(i, j, k);
+                    let r2 = c.norm2();
+                    let idx = grid.flat(i, j, k);
+                    f.density[idx] = (-r2 / (2.0 * 100.0)).exp();
+                    f.temperature[idx] = 100.0 + c.x;
+                    f.vel[0][idx] = 0.1 * c.x;
+                }
+            }
+        }
+        f
+    }
+
+    #[test]
+    fn particle_count_and_mass_conservation() {
+        let fields = gaussian_fields(8);
+        let mut rng = StdRng::seed_from_u64(1);
+        let ids: Vec<u64> = (0..500).collect();
+        let parts = grid_to_particles(&mut rng, &fields, 500, &ids, 20, 1);
+        assert_eq!(parts.len(), 500);
+        let m: f64 = parts.iter().map(|p| p.mass).sum();
+        assert!((m / fields.total_mass() - 1.0).abs() < 1e-9);
+        // IDs recycled verbatim.
+        let got: Vec<u64> = parts.iter().map(|p| p.id).collect();
+        assert_eq!(got, ids);
+    }
+
+    #[test]
+    fn samples_concentrate_where_density_is_high() {
+        let fields = gaussian_fields(8);
+        let mut rng = StdRng::seed_from_u64(2);
+        let ids: Vec<u64> = (0..4000).collect();
+        let parts = grid_to_particles(&mut rng, &fields, 4000, &ids, 50, 2);
+        let inner = parts.iter().filter(|p| p.pos.norm() < 15.0).count() as f64;
+        let outer = parts.iter().filter(|p| p.pos.norm() > 25.0).count() as f64;
+        assert!(
+            inner > 2.0 * outer,
+            "Gaussian blob: inner {inner} vs outer {outer}"
+        );
+    }
+
+    #[test]
+    fn marginal_distribution_matches_density() {
+        // Collapse onto the x axis and compare with the analytic marginal.
+        let fields = gaussian_fields(8);
+        let mut rng = StdRng::seed_from_u64(3);
+        let n_p = 20_000;
+        let ids: Vec<u64> = (0..n_p as u64).collect();
+        let parts = grid_to_particles(&mut rng, &fields, n_p, &ids, 50, 2);
+        // Expected per-voxel-column mass fraction.
+        let n = fields.grid.n;
+        let mut expect = vec![0.0f64; n];
+        for k in 0..n {
+            for j in 0..n {
+                for i in 0..n {
+                    expect[i] += fields.density[fields.grid.flat(i, j, k)];
+                }
+            }
+        }
+        let tot: f64 = expect.iter().sum();
+        let d = fields.grid.voxel_size();
+        for e in expect.iter_mut() {
+            *e /= tot;
+        }
+        let mut got = vec![0.0f64; n];
+        for p in &parts {
+            let i = (((p.pos.x - fields.grid.origin.x) / d) as usize).min(n - 1);
+            got[i] += 1.0 / n_p as f64;
+        }
+        for i in 0..n {
+            assert!(
+                (got[i] - expect[i]).abs() < 0.03,
+                "column {i}: {} vs {}",
+                got[i],
+                expect[i]
+            );
+        }
+    }
+
+    #[test]
+    fn fields_are_interpolated_onto_particles() {
+        let fields = gaussian_fields(8);
+        let mut rng = StdRng::seed_from_u64(4);
+        let ids: Vec<u64> = (0..300).collect();
+        let parts = grid_to_particles(&mut rng, &fields, 300, &ids, 30, 1);
+        for p in &parts {
+            // T = 100 + x and v_x = 0.1 x by construction (within
+            // interpolation error of a coarse grid).
+            assert!(
+                (p.temp - (100.0 + p.pos.x)).abs() < 8.0,
+                "T {} at x {}",
+                p.temp,
+                p.pos.x
+            );
+            assert!((p.vel.x - 0.1 * p.pos.x).abs() < 0.8);
+        }
+    }
+
+    #[test]
+    fn zero_count_yields_empty() {
+        let fields = gaussian_fields(4);
+        let mut rng = StdRng::seed_from_u64(5);
+        let parts = grid_to_particles(&mut rng, &fields, 0, &[], 10, 1);
+        assert!(parts.is_empty());
+    }
+
+    #[test]
+    fn empty_grid_still_produces_particles_with_zero_mass() {
+        let grid = VoxelGrid::centered(Vec3::ZERO, 60.0, 4);
+        let fields = VoxelFields::zeros(grid);
+        let mut rng = StdRng::seed_from_u64(6);
+        let ids = vec![0, 1, 2];
+        let parts = grid_to_particles(&mut rng, &fields, 3, &ids, 5, 1);
+        assert_eq!(parts.len(), 3);
+        assert!(parts.iter().all(|p| p.mass == 0.0));
+    }
+}

@@ -1,0 +1,253 @@
+//! The end-to-end surrogate: particles in, predicted particles out.
+
+use crate::encode::{decode_fields, encode_fields};
+use crate::gibbs::grid_to_particles;
+use crate::voxel::{particles_to_grid, GasParticle, VoxelGrid};
+use fdps::Vec3;
+use rand::Rng;
+use unet::{Tensor, Trainer, UNet3d, UNetConfig};
+
+/// Surrogate hyperparameters.
+#[derive(Debug, Clone, Copy)]
+pub struct SurrogateConfig {
+    /// Voxels per edge (64 in the paper; tests use smaller cubes).
+    pub grid_n: usize,
+    /// Region side [pc] (60 in the paper).
+    pub side: f64,
+    /// U-Net width.
+    pub base_features: usize,
+    /// Weight init seed.
+    pub seed: u64,
+}
+
+impl Default for SurrogateConfig {
+    fn default() -> Self {
+        SurrogateConfig {
+            grid_n: 64,
+            side: 60.0,
+            base_features: 8,
+            seed: 0,
+        }
+    }
+}
+
+/// The trained model plus the conversion pipeline around it.
+pub struct SurrogateModel {
+    pub config: SurrogateConfig,
+    pub net: UNet3d,
+}
+
+impl SurrogateModel {
+    pub fn new(config: SurrogateConfig) -> Self {
+        let net = UNet3d::new(
+            &UNetConfig {
+                in_channels: 8,
+                out_channels: 8,
+                base_features: config.base_features,
+            },
+            config.seed,
+        );
+        SurrogateModel { config, net }
+    }
+
+    /// Wrap an externally trained network.
+    pub fn with_net(config: SurrogateConfig, net: UNet3d) -> Self {
+        assert_eq!(net.config.in_channels, 8);
+        assert_eq!(net.config.out_channels, 8);
+        SurrogateModel { config, net }
+    }
+
+    /// Grid covering the SN region centred at `center`.
+    pub fn region_grid(&self, center: Vec3) -> VoxelGrid {
+        VoxelGrid::centered(center, self.config.side, self.config.grid_n)
+    }
+
+    /// Raw tensor-level inference.
+    pub fn infer(&self, input: &Tensor) -> Tensor {
+        self.net.forward(input)
+    }
+
+    /// The full pipeline of paper Fig. 3: particles → voxels → U-Net →
+    /// voxels → Gibbs-sampled particles. The output has exactly the input's
+    /// particle count with recycled IDs (mass conservation by construction).
+    pub fn predict_particles<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        center: Vec3,
+        particles: &[GasParticle],
+    ) -> Vec<GasParticle> {
+        if particles.is_empty() {
+            return Vec::new();
+        }
+        let grid = self.region_grid(center);
+        let fields = particles_to_grid(grid, particles);
+        let encoded = encode_fields(&fields);
+        let predicted = self.infer(&encoded);
+        let out_fields = decode_fields(&predicted, grid);
+        let ids: Vec<u64> = particles.iter().map(|p| p.id).collect();
+        let mut out = grid_to_particles(rng, &out_fields, particles.len(), &ids, 30, 1);
+        // Rescale masses so the region's mass is exactly conserved even if
+        // the network hallucinates density (the paper guarantees this by
+        // particle-count conservation; we enforce it by total mass too).
+        let m_in: f64 = particles.iter().map(|p| p.mass).sum();
+        let m_out: f64 = out.iter().map(|p| p.mass).sum();
+        if m_out > 0.0 {
+            let scale = m_in / m_out;
+            for p in out.iter_mut() {
+                p.mass *= scale;
+            }
+        } else {
+            let equal = m_in / out.len() as f64;
+            for p in out.iter_mut() {
+                p.mass = equal;
+            }
+        }
+        out
+    }
+
+    /// Train on encoded samples; returns per-epoch mean losses.
+    pub fn train(
+        &mut self,
+        samples: &[unet::TrainSample],
+        epochs: usize,
+        lr: f64,
+    ) -> Vec<f64> {
+        let net = std::mem::replace(
+            &mut self.net,
+            UNet3d::new(
+                &UNetConfig {
+                    in_channels: 8,
+                    out_channels: 8,
+                    base_features: self.config.base_features,
+                },
+                self.config.seed,
+            ),
+        );
+        let mut trainer = Trainer::new(net, lr);
+        let mut losses = Vec::with_capacity(epochs);
+        for _ in 0..epochs {
+            losses.push(trainer.epoch(samples));
+        }
+        self.net = trainer.net;
+        losses
+    }
+
+    /// Serialize the model weights (the ONNX-interchange stand-in).
+    pub fn to_json(&self) -> String {
+        self.net.to_json()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn small_cfg() -> SurrogateConfig {
+        SurrogateConfig {
+            grid_n: 8,
+            side: 60.0,
+            base_features: 2,
+            seed: 3,
+        }
+    }
+
+    fn region_particles(n: usize, seed: u64) -> Vec<GasParticle> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        use rand::Rng;
+        (0..n)
+            .map(|i| GasParticle {
+                pos: Vec3::new(
+                    rng.gen_range(-25.0..25.0),
+                    rng.gen_range(-25.0..25.0),
+                    rng.gen_range(-25.0..25.0),
+                ),
+                vel: Vec3::new(
+                    rng.gen_range(-5.0..5.0),
+                    rng.gen_range(-5.0..5.0),
+                    rng.gen_range(-5.0..5.0),
+                ),
+                mass: 1.0,
+                temp: 100.0,
+                h: 3.0,
+                id: i as u64,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn pipeline_conserves_count_ids_and_mass() {
+        let model = SurrogateModel::new(small_cfg());
+        let parts = region_particles(200, 1);
+        let mut rng = StdRng::seed_from_u64(2);
+        let out = model.predict_particles(&mut rng, Vec3::ZERO, &parts);
+        assert_eq!(out.len(), parts.len());
+        let in_ids: Vec<u64> = parts.iter().map(|p| p.id).collect();
+        let out_ids: Vec<u64> = out.iter().map(|p| p.id).collect();
+        assert_eq!(in_ids, out_ids);
+        let m_in: f64 = parts.iter().map(|p| p.mass).sum();
+        let m_out: f64 = out.iter().map(|p| p.mass).sum();
+        assert!((m_out / m_in - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn predicted_particles_stay_inside_the_region() {
+        let model = SurrogateModel::new(small_cfg());
+        let parts = region_particles(100, 3);
+        let mut rng = StdRng::seed_from_u64(4);
+        let out = model.predict_particles(&mut rng, Vec3::ZERO, &parts);
+        for p in &out {
+            assert!(p.pos.x.abs() <= 30.0 + 1e-9);
+            assert!(p.pos.y.abs() <= 30.0 + 1e-9);
+            assert!(p.pos.z.abs() <= 30.0 + 1e-9);
+            assert!(p.temp >= 1.0);
+            assert!(p.h > 0.0);
+        }
+    }
+
+    #[test]
+    fn empty_region_returns_empty() {
+        let model = SurrogateModel::new(small_cfg());
+        let mut rng = StdRng::seed_from_u64(5);
+        assert!(model
+            .predict_particles(&mut rng, Vec3::ZERO, &[])
+            .is_empty());
+    }
+
+    #[test]
+    fn training_on_sedov_data_reduces_loss() {
+        let mut model = SurrogateModel::new(small_cfg());
+        let mut rng = StdRng::seed_from_u64(6);
+        let setup = crate::training::TrainingSetup {
+            grid_n: 8,
+            ..Default::default()
+        };
+        let data = crate::training::make_dataset(&mut rng, &setup, 2);
+        let losses = model.train(&data, 25, 1e-2);
+        let first = losses[0];
+        let last = *losses.last().unwrap();
+        assert!(
+            last < first * 0.8,
+            "training should reduce loss: {first} -> {last}"
+        );
+    }
+
+    #[test]
+    fn offset_region_center_is_respected() {
+        let model = SurrogateModel::new(small_cfg());
+        let center = Vec3::new(1000.0, -500.0, 30.0);
+        let parts: Vec<GasParticle> = region_particles(80, 7)
+            .into_iter()
+            .map(|mut p| {
+                p.pos += center;
+                p
+            })
+            .collect();
+        let mut rng = StdRng::seed_from_u64(8);
+        let out = model.predict_particles(&mut rng, center, &parts);
+        for p in &out {
+            assert!((p.pos - center).norm() < 60.0, "particle strayed: {:?}", p.pos);
+        }
+    }
+}

@@ -1,0 +1,352 @@
+//! Particle → voxel mapping with SPH kernel weights and Shepard
+//! normalization (paper §3.3: "mapping gas particles into voxels using the
+//! SPH kernel convolution and the Shepard algorithm").
+
+use fdps::Vec3;
+use sph::kernel::{CubicSpline, SphKernel};
+
+/// A gas particle entering or leaving the surrogate pipeline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GasParticle {
+    pub pos: Vec3,
+    pub vel: Vec3,
+    pub mass: f64,
+    /// Temperature [K].
+    pub temp: f64,
+    /// Smoothing length [pc].
+    pub h: f64,
+    /// Particle identifier (the main nodes replace particles by ID,
+    /// paper §3.2 step 4).
+    pub id: u64,
+}
+
+/// The cubic voxel grid of one SN region.
+#[derive(Debug, Clone, Copy)]
+pub struct VoxelGrid {
+    /// Voxels per edge (64 in the paper).
+    pub n: usize,
+    /// Physical edge length [pc] (60 in the paper).
+    pub side: f64,
+    /// Low corner of the cube.
+    pub origin: Vec3,
+}
+
+impl VoxelGrid {
+    /// Grid centred on `center`.
+    pub fn centered(center: Vec3, side: f64, n: usize) -> Self {
+        VoxelGrid {
+            n,
+            side,
+            origin: center - Vec3::splat(side * 0.5),
+        }
+    }
+
+    #[inline]
+    pub fn voxel_size(&self) -> f64 {
+        self.side / self.n as f64
+    }
+
+    #[inline]
+    pub fn voxel_volume(&self) -> f64 {
+        let d = self.voxel_size();
+        d * d * d
+    }
+
+    /// Centre of voxel `(i, j, k)`.
+    #[inline]
+    pub fn voxel_center(&self, i: usize, j: usize, k: usize) -> Vec3 {
+        let d = self.voxel_size();
+        self.origin + Vec3::new((i as f64 + 0.5) * d, (j as f64 + 0.5) * d, (k as f64 + 0.5) * d)
+    }
+
+    #[inline]
+    pub fn flat(&self, i: usize, j: usize, k: usize) -> usize {
+        (k * self.n + j) * self.n + i
+    }
+
+    /// Voxel containing `p`, or None if outside.
+    pub fn voxel_of(&self, p: Vec3) -> Option<(usize, usize, usize)> {
+        let d = self.voxel_size();
+        let rel = p - self.origin;
+        let (i, j, k) = (
+            (rel.x / d).floor() as i64,
+            (rel.y / d).floor() as i64,
+            (rel.z / d).floor() as i64,
+        );
+        let nn = self.n as i64;
+        if i < 0 || j < 0 || k < 0 || i >= nn || j >= nn || k >= nn {
+            None
+        } else {
+            Some((i as usize, j as usize, k as usize))
+        }
+    }
+}
+
+/// The five physical fields on the grid (paper §3.3: "density, temperature,
+/// and velocity in three directions"), flat arrays of length `n^3`.
+#[derive(Debug, Clone)]
+pub struct VoxelFields {
+    pub grid: VoxelGrid,
+    pub density: Vec<f64>,
+    pub temperature: Vec<f64>,
+    pub vel: [Vec<f64>; 3],
+}
+
+impl VoxelFields {
+    pub fn zeros(grid: VoxelGrid) -> Self {
+        let len = grid.n * grid.n * grid.n;
+        VoxelFields {
+            grid,
+            density: vec![0.0; len],
+            temperature: vec![0.0; len],
+            vel: [vec![0.0; len], vec![0.0; len], vec![0.0; len]],
+        }
+    }
+
+    /// Total mass on the grid.
+    pub fn total_mass(&self) -> f64 {
+        self.density.iter().sum::<f64>() * self.grid.voxel_volume()
+    }
+
+    /// Trilinear interpolation of a field at `p` (clamped to the grid).
+    pub fn sample(&self, field: &[f64], p: Vec3) -> f64 {
+        let n = self.grid.n;
+        let d = self.grid.voxel_size();
+        let rel = (p - self.grid.origin) / d - Vec3::splat(0.5);
+        let cl = |v: f64| v.clamp(0.0, (n - 1) as f64);
+        let (fx, fy, fz) = (cl(rel.x), cl(rel.y), cl(rel.z));
+        let (i0, j0, k0) = (fx as usize, fy as usize, fz as usize);
+        let (i1, j1, k1) = ((i0 + 1).min(n - 1), (j0 + 1).min(n - 1), (k0 + 1).min(n - 1));
+        let (tx, ty, tz) = (fx - i0 as f64, fy - j0 as f64, fz - k0 as f64);
+        let f = |i: usize, j: usize, k: usize| field[self.grid.flat(i, j, k)];
+        let lerp = |a: f64, b: f64, t: f64| a + (b - a) * t;
+        let c00 = lerp(f(i0, j0, k0), f(i1, j0, k0), tx);
+        let c10 = lerp(f(i0, j1, k0), f(i1, j1, k0), tx);
+        let c01 = lerp(f(i0, j0, k1), f(i1, j0, k1), tx);
+        let c11 = lerp(f(i0, j1, k1), f(i1, j1, k1), tx);
+        lerp(lerp(c00, c10, ty), lerp(c01, c11, ty), tz)
+    }
+}
+
+/// Map particles to the grid: each particle deposits its mass and
+/// mass-weighted fields over the voxels inside its kernel support, with
+/// SPH kernel weights; the intensive fields (temperature, velocity) are then
+/// Shepard-normalized by the accumulated weight.
+pub fn particles_to_grid(grid: VoxelGrid, particles: &[GasParticle]) -> VoxelFields {
+    let kernel = CubicSpline;
+    let mut out = VoxelFields::zeros(grid);
+    let len = grid.n * grid.n * grid.n;
+    let mut weight = vec![0.0f64; len];
+    let d = grid.voxel_size();
+
+    for p in particles {
+        // Support in voxels; at least the host voxel (NGP fallback) so no
+        // particle's mass is lost even when h << voxel size.
+        let support = kernel.support() * p.h;
+        let r_vox = (support / d).ceil() as i64;
+        let rel = (p.pos - grid.origin) / d;
+        let (ci, cj, ck) = (
+            rel.x.floor() as i64,
+            rel.y.floor() as i64,
+            rel.z.floor() as i64,
+        );
+        let nn = grid.n as i64;
+        let mut wsum = 0.0;
+        let mut touched: Vec<(usize, f64)> = Vec::new();
+        for k in (ck - r_vox).max(0)..=(ck + r_vox).min(nn - 1) {
+            for j in (cj - r_vox).max(0)..=(cj + r_vox).min(nn - 1) {
+                for i in (ci - r_vox).max(0)..=(ci + r_vox).min(nn - 1) {
+                    let c = grid.voxel_center(i as usize, j as usize, k as usize);
+                    let r = (c - p.pos).norm();
+                    let w = kernel.w(r, p.h);
+                    if w > 0.0 {
+                        touched.push((grid.flat(i as usize, j as usize, k as usize), w));
+                        wsum += w;
+                    }
+                }
+            }
+        }
+        if wsum == 0.0 {
+            // Kernel narrower than a voxel: nearest-grid-point deposit.
+            if let Some((i, j, k)) = grid.voxel_of(p.pos) {
+                touched.push((grid.flat(i, j, k), 1.0));
+                wsum = 1.0;
+            } else {
+                continue; // outside the cube entirely
+            }
+        }
+        // Normalized per-particle weights conserve the particle's mass.
+        for &(f, w) in &touched {
+            let frac = w / wsum;
+            let m = p.mass * frac;
+            out.density[f] += m;
+            out.temperature[f] += m * p.temp;
+            out.vel[0][f] += m * p.vel.x;
+            out.vel[1][f] += m * p.vel.y;
+            out.vel[2][f] += m * p.vel.z;
+            weight[f] += m;
+        }
+    }
+
+    // Shepard normalization for intensive fields; mass -> density.
+    let vol = grid.voxel_volume();
+    for f in 0..len {
+        if weight[f] > 0.0 {
+            out.temperature[f] /= weight[f];
+            for a in 0..3 {
+                out.vel[a][f] /= weight[f];
+            }
+        }
+        out.density[f] /= vol;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn test_grid() -> VoxelGrid {
+        VoxelGrid::centered(Vec3::ZERO, 60.0, 16)
+    }
+
+    fn uniform_particles(n_side: usize, grid: &VoxelGrid, temp: f64) -> Vec<GasParticle> {
+        let spacing = grid.side / n_side as f64;
+        let mut out = Vec::new();
+        for i in 0..n_side {
+            for j in 0..n_side {
+                for k in 0..n_side {
+                    out.push(GasParticle {
+                        pos: grid.origin
+                            + Vec3::new(
+                                (i as f64 + 0.5) * spacing,
+                                (j as f64 + 0.5) * spacing,
+                                (k as f64 + 0.5) * spacing,
+                            ),
+                        vel: Vec3::new(3.0, -1.0, 0.5),
+                        mass: 1.0,
+                        temp,
+                        h: spacing,
+                        id: (i * n_side * n_side + j * n_side + k) as u64,
+                    });
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn grid_geometry() {
+        let g = test_grid();
+        assert_eq!(g.voxel_size(), 3.75);
+        assert_eq!(g.voxel_of(Vec3::ZERO), Some((8, 8, 8)));
+        assert_eq!(g.voxel_of(Vec3::splat(-29.9)), Some((0, 0, 0)));
+        assert_eq!(g.voxel_of(Vec3::splat(31.0)), None);
+        let c = g.voxel_center(8, 8, 8);
+        assert!((c - Vec3::splat(1.875)).norm() < 1e-12);
+    }
+
+    #[test]
+    fn mass_is_conserved_exactly() {
+        let g = test_grid();
+        let parts = uniform_particles(20, &g, 100.0);
+        let fields = particles_to_grid(g, &parts);
+        let total: f64 = parts.iter().map(|p| p.mass).sum();
+        assert!(
+            (fields.total_mass() / total - 1.0).abs() < 1e-9,
+            "grid mass {} vs particles {total}",
+            fields.total_mass()
+        );
+    }
+
+    #[test]
+    fn uniform_particles_give_uniform_density() {
+        let g = test_grid();
+        let parts = uniform_particles(32, &g, 100.0);
+        let fields = particles_to_grid(g, &parts);
+        let expected = parts.len() as f64 / (g.side * g.side * g.side);
+        // Interior voxels (edges suffer kernel truncation).
+        for k in 4..12 {
+            for j in 4..12 {
+                for i in 4..12 {
+                    let rho = fields.density[g.flat(i, j, k)];
+                    assert!(
+                        (rho / expected - 1.0).abs() < 0.25,
+                        "voxel ({i},{j},{k}): {rho} vs {expected}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn intensive_fields_are_shepard_normalized() {
+        // All particles share T and v: every touched voxel must read back
+        // exactly those values regardless of local particle density.
+        let g = test_grid();
+        let mut parts = uniform_particles(16, &g, 1234.0);
+        // Uneven masses: Shepard must still return the common T/v.
+        let mut rng = StdRng::seed_from_u64(1);
+        for p in parts.iter_mut() {
+            p.mass = rng.gen_range(0.5..2.0);
+        }
+        let fields = particles_to_grid(g, &parts);
+        for f in 0..fields.density.len() {
+            if fields.density[f] > 0.0 {
+                assert!((fields.temperature[f] - 1234.0).abs() < 1e-9);
+                assert!((fields.vel[0][f] - 3.0).abs() < 1e-9);
+                assert!((fields.vel[1][f] + 1.0).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn tiny_h_particles_fall_back_to_ngp() {
+        let g = test_grid();
+        let p = GasParticle {
+            pos: Vec3::new(1.0, 2.0, 3.0),
+            vel: Vec3::ZERO,
+            mass: 5.0,
+            temp: 50.0,
+            h: 1e-6, // far below voxel size
+            id: 0,
+        };
+        let fields = particles_to_grid(g, &[p]);
+        assert!((fields.total_mass() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn particles_outside_the_cube_are_dropped() {
+        let g = test_grid();
+        let p = GasParticle {
+            pos: Vec3::splat(100.0),
+            vel: Vec3::ZERO,
+            mass: 5.0,
+            temp: 50.0,
+            h: 1e-6,
+            id: 0,
+        };
+        let fields = particles_to_grid(g, &[p]);
+        assert_eq!(fields.total_mass(), 0.0);
+    }
+
+    #[test]
+    fn trilinear_sampling_is_exact_for_linear_fields() {
+        let g = test_grid();
+        let mut fields = VoxelFields::zeros(g);
+        // f(x,y,z) = x (linear) sampled at voxel centres.
+        for k in 0..16 {
+            for j in 0..16 {
+                for i in 0..16 {
+                    fields.density[g.flat(i, j, k)] = g.voxel_center(i, j, k).x;
+                }
+            }
+        }
+        for &x in &[-20.0, -5.5, 0.0, 13.25] {
+            let got = fields.sample(&fields.density, Vec3::new(x, 1.0, -2.0));
+            assert!((got - x).abs() < 1e-9, "x={x}: {got}");
+        }
+    }
+}

@@ -1,0 +1,127 @@
+//! The Adam optimizer (Kingma & Ba 2015), the paper's training optimizer
+//! (§3.3: "ADAM optimizer is adopted with a learning rate of 10^-6").
+
+use crate::conv::Param;
+
+/// Adam state over a fixed, ordered parameter list.
+#[derive(Debug, Clone)]
+pub struct Adam {
+    pub lr: f64,
+    pub beta1: f64,
+    pub beta2: f64,
+    pub eps: f64,
+    t: u64,
+    m: Vec<Vec<f64>>,
+    v: Vec<Vec<f64>>,
+}
+
+impl Adam {
+    pub fn new(lr: f64) -> Self {
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            t: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
+    }
+
+    /// Apply one update to `params` using their accumulated gradients.
+    /// The parameter list must have the same shape on every call.
+    pub fn step(&mut self, params: &mut [&mut Param]) {
+        if self.m.is_empty() {
+            self.m = params.iter().map(|p| vec![0.0; p.value.len()]).collect();
+            self.v = self.m.clone();
+        }
+        assert_eq!(self.m.len(), params.len(), "parameter list changed shape");
+        self.t += 1;
+        let b1t = 1.0 - self.beta1.powi(self.t as i32);
+        let b2t = 1.0 - self.beta2.powi(self.t as i32);
+        for (pi, p) in params.iter_mut().enumerate() {
+            assert_eq!(self.m[pi].len(), p.value.len());
+            for i in 0..p.value.len() {
+                let g = p.grad[i] as f64;
+                let m = &mut self.m[pi][i];
+                let v = &mut self.v[pi][i];
+                *m = self.beta1 * *m + (1.0 - self.beta1) * g;
+                *v = self.beta2 * *v + (1.0 - self.beta2) * g * g;
+                let mhat = *m / b1t;
+                let vhat = *v / b2t;
+                p.value[i] -= (self.lr * mhat / (vhat.sqrt() + self.eps)) as f32;
+            }
+        }
+    }
+
+    /// Updates applied so far.
+    pub fn steps(&self) -> u64 {
+        self.t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adam_descends_a_quadratic() {
+        // Minimize f(w) = (w - 3)^2 from w = 0.
+        let mut p = Param::new(vec![0.0f32]);
+        let mut opt = Adam::new(0.1);
+        for _ in 0..500 {
+            p.zero_grad();
+            p.grad[0] = 2.0 * (p.value[0] - 3.0);
+            opt.step(&mut [&mut p]);
+        }
+        assert!((p.value[0] - 3.0).abs() < 0.05, "w = {}", p.value[0]);
+        assert_eq!(opt.steps(), 500);
+    }
+
+    #[test]
+    fn first_step_size_is_about_lr() {
+        // Adam's bias correction makes the first step ~lr regardless of
+        // gradient magnitude.
+        for &g in &[1e-6f32, 1.0, 1e6] {
+            let mut p = Param::new(vec![0.0f32]);
+            p.grad[0] = g;
+            let mut opt = Adam::new(0.01);
+            opt.step(&mut [&mut p]);
+            assert!(
+                (p.value[0].abs() - 0.01).abs() < 1e-4,
+                "g={g}: step {}",
+                p.value[0]
+            );
+        }
+    }
+
+    #[test]
+    fn handles_multiple_parameter_tensors() {
+        let mut a = Param::new(vec![1.0f32; 4]);
+        let mut b = Param::new(vec![-1.0f32; 2]);
+        let mut opt = Adam::new(0.05);
+        for _ in 0..300 {
+            a.zero_grad();
+            b.zero_grad();
+            for i in 0..4 {
+                a.grad[i] = 2.0 * a.value[i];
+            }
+            for i in 0..2 {
+                b.grad[i] = 2.0 * (b.value[i] + 2.0);
+            }
+            opt.step(&mut [&mut a, &mut b]);
+        }
+        assert!(a.value.iter().all(|w| w.abs() < 0.05));
+        assert!(b.value.iter().all(|w| (w + 2.0).abs() < 0.05));
+    }
+
+    #[test]
+    #[should_panic(expected = "changed shape")]
+    fn shape_change_rejected() {
+        let mut a = Param::new(vec![0.0f32]);
+        let mut b = Param::new(vec![0.0f32]);
+        let mut opt = Adam::new(0.1);
+        opt.step(&mut [&mut a]);
+        opt.step(&mut [&mut a, &mut b]);
+    }
+}

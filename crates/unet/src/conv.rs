@@ -1,0 +1,359 @@
+//! 3-D convolution with full backpropagation.
+
+use crate::tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// A trainable parameter with its gradient accumulator.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Param {
+    pub value: Vec<f32>,
+    #[serde(skip)]
+    pub grad: Vec<f32>,
+}
+
+impl Param {
+    pub fn new(value: Vec<f32>) -> Self {
+        let grad = vec![0.0; value.len()];
+        Param { value, grad }
+    }
+
+    pub fn zero_grad(&mut self) {
+        if self.grad.len() != self.value.len() {
+            self.grad = vec![0.0; self.value.len()];
+        } else {
+            self.grad.iter_mut().for_each(|g| *g = 0.0);
+        }
+    }
+}
+
+/// 3-D convolution, stride 1, cubic kernel, "same" zero padding.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Conv3d {
+    pub c_in: usize,
+    pub c_out: usize,
+    /// Kernel edge (3 for the U-Net body, 1 for the output head).
+    pub k: usize,
+    pub weight: Param,
+    pub bias: Param,
+}
+
+impl Conv3d {
+    /// Kaiming-uniform initialization, deterministic in `seed`.
+    pub fn new(c_in: usize, c_out: usize, k: usize, seed: u64) -> Self {
+        assert!(k % 2 == 1, "conv kernel must be odd for same padding");
+        let fan_in = (c_in * k * k * k) as f32;
+        let bound = (6.0 / fan_in).sqrt();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let weight: Vec<f32> = (0..c_out * c_in * k * k * k)
+            .map(|_| rng.gen_range(-bound..bound))
+            .collect();
+        let bias = vec![0.0; c_out];
+        Conv3d {
+            c_in,
+            c_out,
+            k,
+            weight: Param::new(weight),
+            bias: Param::new(bias),
+        }
+    }
+
+    #[inline]
+    fn widx(&self, co: usize, ci: usize, kz: usize, ky: usize, kx: usize) -> usize {
+        (((co * self.c_in + ci) * self.k + kz) * self.k + ky) * self.k + kx
+    }
+
+    /// Forward pass: `y[co] = b[co] + sum_ci w[co,ci] * x[ci]`.
+    pub fn forward(&self, x: &Tensor) -> Tensor {
+        assert_eq!(x.c, self.c_in, "conv input channel mismatch");
+        let (d, h, w) = (x.d, x.h, x.w);
+        let pad = (self.k / 2) as isize;
+        let mut y = Tensor::zeros(self.c_out, d, h, w);
+        let spatial = d * h * w;
+        y.data
+            .par_chunks_mut(spatial)
+            .enumerate()
+            .for_each(|(co, out)| {
+                let b = self.bias.value[co];
+                for oz in 0..d {
+                    for oy in 0..h {
+                        for ox in 0..w {
+                            let mut acc = b;
+                            for ci in 0..self.c_in {
+                                for kz in 0..self.k {
+                                    let iz = oz as isize + kz as isize - pad;
+                                    if iz < 0 || iz >= d as isize {
+                                        continue;
+                                    }
+                                    for ky in 0..self.k {
+                                        let iy = oy as isize + ky as isize - pad;
+                                        if iy < 0 || iy >= h as isize {
+                                            continue;
+                                        }
+                                        for kx in 0..self.k {
+                                            let ix = ox as isize + kx as isize - pad;
+                                            if ix < 0 || ix >= w as isize {
+                                                continue;
+                                            }
+                                            let xi = x.idx(ci, iz as usize, iy as usize, ix as usize);
+                                            let wi = self.widx(co, ci, kz, ky, kx);
+                                            acc += x.data[xi] * self.weight.value[wi];
+                                        }
+                                    }
+                                }
+                            }
+                            out[(oz * h + oy) * w + ox] = acc;
+                        }
+                    }
+                }
+            });
+        y
+    }
+
+    /// Backward pass: given upstream `gy`, accumulate weight/bias gradients
+    /// and return the input gradient.
+    pub fn backward(&mut self, x: &Tensor, gy: &Tensor) -> Tensor {
+        assert_eq!(gy.c, self.c_out);
+        assert_eq!((gy.d, gy.h, gy.w), (x.d, x.h, x.w));
+        let (d, h, w) = (x.d, x.h, x.w);
+        let pad = (self.k / 2) as isize;
+
+        // Bias gradient: sum over space per output channel.
+        for co in 0..self.c_out {
+            let g: f32 = gy.channel(co).iter().sum();
+            self.bias.grad[co] += g;
+        }
+
+        // Weight gradients, parallel over output channels (disjoint slices).
+        let k = self.k;
+        let c_in = self.c_in;
+        let wlen_per_co = c_in * k * k * k;
+        self.weight
+            .grad
+            .par_chunks_mut(wlen_per_co)
+            .enumerate()
+            .for_each(|(co, gw)| {
+                for oz in 0..d {
+                    for oy in 0..h {
+                        for ox in 0..w {
+                            let g = gy.data[(co * d + oz) * h * w + oy * w + ox];
+                            if g == 0.0 {
+                                continue;
+                            }
+                            for ci in 0..c_in {
+                                for kz in 0..k {
+                                    let iz = oz as isize + kz as isize - pad;
+                                    if iz < 0 || iz >= d as isize {
+                                        continue;
+                                    }
+                                    for ky in 0..k {
+                                        let iy = oy as isize + ky as isize - pad;
+                                        if iy < 0 || iy >= h as isize {
+                                            continue;
+                                        }
+                                        for kx in 0..k {
+                                            let ix = ox as isize + kx as isize - pad;
+                                            if ix < 0 || ix >= w as isize {
+                                                continue;
+                                            }
+                                            let xi =
+                                                x.idx(ci, iz as usize, iy as usize, ix as usize);
+                                            gw[((ci * k + kz) * k + ky) * k + kx] +=
+                                                g * x.data[xi];
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            });
+
+        // Input gradient: full correlation with flipped kernel, parallel
+        // over input channels.
+        let mut gx = Tensor::zeros(self.c_in, d, h, w);
+        let weight = &self.weight.value;
+        let spatial = d * h * w;
+        gx.data
+            .par_chunks_mut(spatial)
+            .enumerate()
+            .for_each(|(ci, out)| {
+                for iz in 0..d {
+                    for iy in 0..h {
+                        for ix in 0..w {
+                            let mut acc = 0.0;
+                            for co in 0..self.c_out {
+                                for kz in 0..k {
+                                    let oz = iz as isize - (kz as isize - pad);
+                                    if oz < 0 || oz >= d as isize {
+                                        continue;
+                                    }
+                                    for ky in 0..k {
+                                        let oy = iy as isize - (ky as isize - pad);
+                                        if oy < 0 || oy >= h as isize {
+                                            continue;
+                                        }
+                                        for kx in 0..k {
+                                            let ox = ix as isize - (kx as isize - pad);
+                                            if ox < 0 || ox >= w as isize {
+                                                continue;
+                                            }
+                                            let gyi = gy.idx(
+                                                co,
+                                                oz as usize,
+                                                oy as usize,
+                                                ox as usize,
+                                            );
+                                            let wi =
+                                                (((co * c_in + ci) * k + kz) * k + ky) * k + kx;
+                                            acc += gy.data[gyi] * weight[wi];
+                                        }
+                                    }
+                                }
+                            }
+                            out[(iz * h + iy) * w + ix] = acc;
+                        }
+                    }
+                }
+            });
+        gx
+    }
+
+    /// Iterate over this layer's parameters (for the optimizer).
+    pub fn params_mut(&mut self) -> [&mut Param; 2] {
+        [&mut self.weight, &mut self.bias]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_kernel_passes_input_through() {
+        let mut conv = Conv3d::new(1, 1, 3, 0);
+        conv.weight.value.iter_mut().for_each(|w| *w = 0.0);
+        // Centre tap = 1.
+        let centre = conv.widx(0, 0, 1, 1, 1);
+        conv.weight.value[centre] = 1.0;
+        let x = Tensor::from_vec(1, 2, 2, 2, vec![1., 2., 3., 4., 5., 6., 7., 8.]);
+        let y = conv.forward(&x);
+        assert_eq!(y.data, x.data);
+    }
+
+    #[test]
+    fn bias_shifts_output() {
+        let mut conv = Conv3d::new(1, 2, 1, 0);
+        conv.weight.value = vec![0.0, 0.0];
+        conv.bias.value = vec![1.5, -2.0];
+        let x = Tensor::zeros(1, 2, 2, 2);
+        let y = conv.forward(&x);
+        assert!(y.channel(0).iter().all(|&v| v == 1.5));
+        assert!(y.channel(1).iter().all(|&v| v == -2.0));
+    }
+
+    #[test]
+    fn same_padding_preserves_shape() {
+        let conv = Conv3d::new(3, 5, 3, 1);
+        let x = Tensor::zeros(3, 4, 6, 5);
+        let y = conv.forward(&x);
+        assert_eq!(y.shape(), (5, 4, 6, 5));
+    }
+
+    #[test]
+    fn forward_matches_manual_computation() {
+        // 1x1x1x3 input, k=3: y[1] = w0*x0 + w1*x1 + w2*x2 (+pad zeros).
+        let mut conv = Conv3d::new(1, 1, 3, 0);
+        conv.weight.value.iter_mut().for_each(|w| *w = 0.0);
+        let (l, c, r) = (
+            conv.widx(0, 0, 1, 1, 0),
+            conv.widx(0, 0, 1, 1, 1),
+            conv.widx(0, 0, 1, 1, 2),
+        );
+        conv.weight.value[l] = 1.0;
+        conv.weight.value[c] = 10.0;
+        conv.weight.value[r] = 100.0;
+        let x = Tensor::from_vec(1, 1, 1, 3, vec![1.0, 2.0, 3.0]);
+        let y = conv.forward(&x);
+        // y0 = 10*1 + 100*2 = 210 ; y1 = 1 + 20 + 300 = 321 ; y2 = 2 + 30.
+        assert_eq!(y.data, vec![210.0, 321.0, 32.0]);
+    }
+
+    /// Gradient check: compare analytic gradients against finite differences
+    /// for weights, bias, and input.
+    #[test]
+    fn gradients_match_finite_differences() {
+        let mut conv = Conv3d::new(2, 2, 3, 3);
+        let mut rng = StdRng::seed_from_u64(9);
+        let x = Tensor::from_vec(
+            2,
+            3,
+            3,
+            3,
+            (0..2 * 27).map(|_| rng.gen_range(-1.0..1.0)).collect(),
+        );
+        // Loss = sum(y^2)/2 so that gy = y.
+        let y = conv.forward(&x);
+        let gy = y.clone();
+        conv.weight.zero_grad();
+        conv.bias.zero_grad();
+        let gx = conv.backward(&x, &gy);
+
+        let loss = |c: &Conv3d, xx: &Tensor| -> f64 {
+            let y = c.forward(xx);
+            y.data.iter().map(|&v| 0.5 * (v as f64) * (v as f64)).sum()
+        };
+        let eps = 1e-3f32;
+        // Weight gradient spot checks.
+        for &wi in &[0usize, 5, 31, 60] {
+            let mut cp = conv.clone();
+            cp.weight.value[wi] += eps;
+            let lp = loss(&cp, &x);
+            cp.weight.value[wi] -= 2.0 * eps;
+            let lm = loss(&cp, &x);
+            let fd = (lp - lm) / (2.0 * eps as f64);
+            let an = conv.weight.grad[wi] as f64;
+            assert!(
+                (fd - an).abs() < 2e-2 * an.abs().max(1.0),
+                "w[{wi}]: fd {fd} vs analytic {an}"
+            );
+        }
+        // Bias gradient.
+        for bi in 0..2 {
+            let mut cp = conv.clone();
+            cp.bias.value[bi] += eps;
+            let lp = loss(&cp, &x);
+            cp.bias.value[bi] -= 2.0 * eps;
+            let lm = loss(&cp, &x);
+            let fd = (lp - lm) / (2.0 * eps as f64);
+            let an = conv.bias.grad[bi] as f64;
+            assert!((fd - an).abs() < 2e-2 * an.abs().max(1.0), "b[{bi}]");
+        }
+        // Input gradient spot checks.
+        for &xi in &[0usize, 13, 40, 53] {
+            let mut xp = x.clone();
+            xp.data[xi] += eps;
+            let lp = loss(&conv, &xp);
+            xp.data[xi] -= 2.0 * eps;
+            let lm = loss(&conv, &xp);
+            let fd = (lp - lm) / (2.0 * eps as f64);
+            let an = gx.data[xi] as f64;
+            assert!(
+                (fd - an).abs() < 2e-2 * an.abs().max(1.0),
+                "x[{xi}]: fd {fd} vs analytic {an}"
+            );
+        }
+    }
+
+    #[test]
+    fn init_is_deterministic_and_scaled() {
+        let a = Conv3d::new(4, 4, 3, 11);
+        let b = Conv3d::new(4, 4, 3, 11);
+        assert_eq!(a.weight.value, b.weight.value);
+        let bound = (6.0f32 / (4.0 * 27.0)).sqrt();
+        assert!(a.weight.value.iter().all(|w| w.abs() <= bound));
+        assert!(a.weight.value.iter().any(|w| w.abs() > bound * 0.5));
+    }
+}

@@ -1,0 +1,168 @@
+//! Non-convolutional layers: ReLU, max-pooling, nearest upsampling.
+
+use crate::tensor::Tensor;
+
+/// ReLU forward.
+pub fn relu(x: &Tensor) -> Tensor {
+    let mut y = x.clone();
+    y.data.iter_mut().for_each(|v| {
+        if *v < 0.0 {
+            *v = 0.0;
+        }
+    });
+    y
+}
+
+/// ReLU backward: gate the upstream gradient by the forward input's sign.
+pub fn relu_backward(x: &Tensor, gy: &Tensor) -> Tensor {
+    assert_eq!(x.shape(), gy.shape());
+    let mut gx = gy.clone();
+    for (g, &v) in gx.data.iter_mut().zip(&x.data) {
+        if v <= 0.0 {
+            *g = 0.0;
+        }
+    }
+    gx
+}
+
+/// 2x2x2 max pooling (dims must be even). Returns the pooled tensor and the
+/// winning flat indices for the backward pass.
+pub fn maxpool2(x: &Tensor) -> (Tensor, Vec<u32>) {
+    assert!(
+        x.d % 2 == 0 && x.h % 2 == 0 && x.w % 2 == 0,
+        "maxpool2 requires even dims, got {:?}",
+        x.shape()
+    );
+    let (d, h, w) = (x.d / 2, x.h / 2, x.w / 2);
+    let mut y = Tensor::zeros(x.c, d, h, w);
+    let mut arg = vec![0u32; y.len()];
+    for c in 0..x.c {
+        for z in 0..d {
+            for yy in 0..h {
+                for xx in 0..w {
+                    let mut best = f32::NEG_INFINITY;
+                    let mut best_i = 0usize;
+                    for dz in 0..2 {
+                        for dy in 0..2 {
+                            for dx in 0..2 {
+                                let i = x.idx(c, 2 * z + dz, 2 * yy + dy, 2 * xx + dx);
+                                if x.data[i] > best {
+                                    best = x.data[i];
+                                    best_i = i;
+                                }
+                            }
+                        }
+                    }
+                    let o = y.idx(c, z, yy, xx);
+                    y.data[o] = best;
+                    arg[o] = best_i as u32;
+                }
+            }
+        }
+    }
+    (y, arg)
+}
+
+/// Max-pool backward: route gradients to the argmax positions.
+pub fn maxpool2_backward(x_shape: (usize, usize, usize, usize), arg: &[u32], gy: &Tensor) -> Tensor {
+    let (c, d, h, w) = x_shape;
+    let mut gx = Tensor::zeros(c, d, h, w);
+    assert_eq!(arg.len(), gy.len());
+    for (o, &src) in arg.iter().enumerate() {
+        gx.data[src as usize] += gy.data[o];
+    }
+    gx
+}
+
+/// Nearest-neighbour 2x upsampling.
+pub fn upsample2(x: &Tensor) -> Tensor {
+    let mut y = Tensor::zeros(x.c, x.d * 2, x.h * 2, x.w * 2);
+    for c in 0..x.c {
+        for z in 0..y.d {
+            for yy in 0..y.h {
+                for xx in 0..y.w {
+                    let v = x.get(c, z / 2, yy / 2, xx / 2);
+                    y.set(c, z, yy, xx, v);
+                }
+            }
+        }
+    }
+    y
+}
+
+/// Upsample backward: each source voxel sums its 8 children's gradients.
+pub fn upsample2_backward(gy: &Tensor) -> Tensor {
+    assert!(gy.d % 2 == 0 && gy.h % 2 == 0 && gy.w % 2 == 0);
+    let mut gx = Tensor::zeros(gy.c, gy.d / 2, gy.h / 2, gy.w / 2);
+    for c in 0..gy.c {
+        for z in 0..gy.d {
+            for yy in 0..gy.h {
+                for xx in 0..gy.w {
+                    let i = gx.idx(c, z / 2, yy / 2, xx / 2);
+                    gx.data[i] += gy.get(c, z, yy, xx);
+                }
+            }
+        }
+    }
+    gx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relu_clamps_negatives_only() {
+        let x = Tensor::from_vec(1, 1, 1, 4, vec![-1.0, 0.0, 2.0, -0.5]);
+        let y = relu(&x);
+        assert_eq!(y.data, vec![0.0, 0.0, 2.0, 0.0]);
+        let gy = Tensor::from_vec(1, 1, 1, 4, vec![1.0, 1.0, 1.0, 1.0]);
+        let gx = relu_backward(&x, &gy);
+        assert_eq!(gx.data, vec![0.0, 0.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn maxpool_selects_maximum_and_routes_gradient() {
+        let mut x = Tensor::zeros(1, 2, 2, 2);
+        x.data = vec![1., 5., 2., 3., 0., -1., 4., 2.];
+        let (y, arg) = maxpool2(&x);
+        assert_eq!(y.shape(), (1, 1, 1, 1));
+        assert_eq!(y.data, vec![5.0]);
+        assert_eq!(arg, vec![1]);
+        let gy = Tensor::from_vec(1, 1, 1, 1, vec![3.0]);
+        let gx = maxpool2_backward((1, 2, 2, 2), &arg, &gy);
+        assert_eq!(gx.data, vec![0., 3., 0., 0., 0., 0., 0., 0.]);
+    }
+
+    #[test]
+    fn upsample_replicates_and_backward_sums() {
+        let x = Tensor::from_vec(1, 1, 1, 2, vec![1.0, 2.0]);
+        let y = upsample2(&x);
+        assert_eq!(y.shape(), (1, 2, 2, 4));
+        // Every child of source voxel 0 is 1.0, of voxel 1 is 2.0.
+        for z in 0..2 {
+            for yy in 0..2 {
+                assert_eq!(y.get(0, z, yy, 0), 1.0);
+                assert_eq!(y.get(0, z, yy, 3), 2.0);
+            }
+        }
+        let gy = Tensor::from_vec(1, 2, 2, 4, vec![1.0; 16]);
+        let gx = upsample2_backward(&gy);
+        assert_eq!(gx.data, vec![8.0, 8.0]);
+    }
+
+    #[test]
+    fn pool_then_upsample_preserves_shape() {
+        let x = Tensor::zeros(3, 4, 4, 4);
+        let (p, _) = maxpool2(&x);
+        let u = upsample2(&p);
+        assert_eq!(u.shape(), x.shape());
+    }
+
+    #[test]
+    #[should_panic(expected = "even dims")]
+    fn odd_dims_rejected_by_pool() {
+        let x = Tensor::zeros(1, 3, 4, 4);
+        let _ = maxpool2(&x);
+    }
+}

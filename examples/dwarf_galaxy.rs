@@ -1,0 +1,140 @@
+//! A star-forming dwarf galaxy (Model MW-mini — the 1/100-mass analogue the
+//! paper lists in §4.2) with the full physics loop: gravity, SPH, cooling,
+//! star formation, and surrogate-handled supernovae.
+//!
+//! ```sh
+//! cargo run --release --example dwarf_galaxy
+//! ```
+
+use asura_core::diagnostics::{star_formation_rate, surface_density, Projection};
+use asura_core::{Particle, Scheme, SimConfig, Simulation};
+use fdps::Vec3;
+use galactic_ic::GalaxyModel;
+
+fn main() {
+    let model = GalaxyModel::mw_mini();
+    let real = model.realize(2000, 1000, 3000, 11);
+
+    let mut particles = Vec::new();
+    let mut id = 0u64;
+    for (p, v) in real.dm.pos.iter().zip(&real.dm.vel) {
+        particles.push(Particle::dm(
+            id,
+            Vec3::new(p[0], p[1], p[2]),
+            Vec3::new(v[0], v[1], v[2]),
+            real.m_dm_particle,
+        ));
+        id += 1;
+    }
+    for (p, v) in real.stars.pos.iter().zip(&real.stars.vel) {
+        particles.push(Particle::star(
+            id,
+            Vec3::new(p[0], p[1], p[2]),
+            Vec3::new(v[0], v[1], v[2]),
+            real.m_star_particle,
+            -500.0,
+        ));
+        id += 1;
+    }
+    for (p, v) in real.gas.pos.iter().zip(&real.gas.vel) {
+        particles.push(Particle::gas(
+            id,
+            Vec3::new(p[0], p[1], p[2]),
+            Vec3::new(v[0], v[1], v[2]),
+            real.m_gas_particle,
+            2.0, // cooler start: closer to star-forming conditions
+            model.gas_disk.r_scale * 0.04,
+        ));
+        id += 1;
+    }
+
+    // Young massive stars scattered through the disk, timed to explode
+    // during the run — the surrogate path in action.
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(77);
+    for k in 0..12 {
+        let m = rng.gen_range(9.0..20.0);
+        let life = astro::lifetime::stellar_lifetime_myr(m);
+        let t_explode = rng.gen_range(1.0..7.5);
+        let r = rng.gen_range(100.0..1500.0);
+        let th = rng.gen_range(0.0..std::f64::consts::TAU);
+        particles.push(Particle::star(
+            id + k,
+            Vec3::new(r * th.cos(), r * th.sin(), 0.0),
+            Vec3::ZERO,
+            m,
+            t_explode - life,
+        ));
+    }
+
+    let cfg = SimConfig {
+        scheme: Scheme::Surrogate,
+        dt_global: 0.25,
+        pool_latency_steps: 4,
+        eps: 15.0,
+        n_ngb: 24,
+        cooling: true,
+        star_formation: true,
+        // Coarse-resolution thresholds: 80,000 M_sun gas particles never
+        // reach the star-by-star 100 cm^-3 criterion.
+        sf_rho_min: 0.005,
+        sf_t_max: 2.0e4,
+        sf_efficiency: 0.05,
+        ..Default::default()
+    };
+    let mut sim = Simulation::new(cfg, particles, 23);
+
+    println!("dwarf galaxy ({}), {} particles", model.name, sim.particles.len());
+    println!(
+        "{:>8} {:>10} {:>8} {:>8} {:>12} {:>10}",
+        "t [Myr]", "N_star", "SNe", "applied", "SFR [M/Myr]", "gas frac"
+    );
+    let mut t_last = 0.0;
+    for _ in 0..8 {
+        sim.run(4);
+        let n_star = sim.particles.iter().filter(|p| p.is_star()).count();
+        let n_gas = sim.particles.iter().filter(|p| p.is_gas()).count();
+        let sfr = star_formation_rate(&sim.particles, t_last, sim.time);
+        println!(
+            "{:>8.2} {:>10} {:>8} {:>8} {:>12.3} {:>10.3}",
+            sim.time,
+            n_star,
+            sim.stats.sn_events,
+            sim.stats.regions_applied,
+            sfr,
+            n_gas as f64 / sim.particles.len() as f64,
+        );
+        t_last = sim.time;
+    }
+
+    // Chemical enrichment from the SNe (Figure 1's element cycle).
+    let total_metals: f64 = sim
+        .particles
+        .iter()
+        .filter(|p| p.is_gas())
+        .map(|p| p.metals)
+        .sum();
+    let z_max = sim
+        .particles
+        .iter()
+        .filter(|p| p.is_gas())
+        .map(|p| p.metallicity())
+        .fold(0.0f64, f64::max);
+    println!(
+        "\nchemical enrichment: {total_metals:.3} M_sun of metals in the gas (peak Z = {z_max:.2e})"
+    );
+
+    // Gas morphology at the end (the Fig. 5-style map).
+    let map = surface_density(
+        &sim.particles,
+        Projection::FaceOn,
+        model.gas_disk.r_max * 0.5,
+        32,
+    );
+    let peak = map.data.iter().cloned().fold(0.0f64, f64::max);
+    println!(
+        "\nface-on gas map: total {:.2e} M_sun, peak column {:.2e} M_sun/pc^2",
+        map.total_mass(),
+        peak
+    );
+}

@@ -1,0 +1,93 @@
+//! Scaling lab: run the distributed main/pool driver on real (in-process)
+//! ranks, print the paper-style phase breakdown, then extrapolate to the
+//! paper's machines with the performance model.
+//!
+//! ```sh
+//! cargo run --release --example scaling_lab
+//! ```
+
+use asura_core::dist::{run_distributed, DistConfig};
+use asura_core::{Particle, Scheme, SimConfig};
+use fdps::exchange::Routing;
+use fdps::Vec3;
+use perfmodel::scaling::node_sweep;
+use perfmodel::{weak_scaling, Machine};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    // --- Executed: 4 main ranks + 2 pool ranks on this machine -----------
+    let mut rng = StdRng::seed_from_u64(2);
+    let n = 2000;
+    let mut ic: Vec<Particle> = (0..n)
+        .map(|i| {
+            Particle::gas(
+                i as u64,
+                Vec3::new(
+                    rng.gen_range(-60.0..60.0),
+                    rng.gen_range(-60.0..60.0),
+                    rng.gen_range(-12.0..12.0),
+                ),
+                Vec3::ZERO,
+                1.0,
+                1.0,
+                6.0,
+            )
+        })
+        .collect();
+    // One star about to explode, to exercise the pool round trip.
+    let life = astro::lifetime::stellar_lifetime_myr(10.0);
+    ic.push(Particle::star(
+        n as u64,
+        Vec3::ZERO,
+        Vec3::ZERO,
+        10.0,
+        2.0e-3 * 1.5 - life,
+    ));
+
+    let cfg = DistConfig {
+        grid: (2, 2, 1),
+        n_pool: 2,
+        routing: Routing::Torus,
+        sim: SimConfig {
+            scheme: Scheme::Surrogate,
+            pool_latency_steps: 3,
+            cooling: false,
+            star_formation: false,
+            n_ngb: 16,
+            eps: 2.0,
+            ..Default::default()
+        },
+        steps: 6,
+    };
+    println!(
+        "executing {} steps on {} main + {} pool ranks ({} particles) ...\n",
+        cfg.steps,
+        cfg.n_main(),
+        cfg.n_pool,
+        ic.len()
+    );
+    let report = run_distributed(&cfg, &ic);
+    println!("{}", report.phases.to_table());
+    println!(
+        "SN events: {} | regions applied: {} | gravity interactions: {:.2e} | comm bytes/rank: {:?}",
+        report.sn_events,
+        report.regions_applied,
+        report.gravity_interactions as f64,
+        report.bytes_sent
+    );
+
+    // --- Modeled: the paper's Fugaku weak scaling ------------------------
+    println!("\nmodeled Fugaku weak scaling (2M particles/node):");
+    let curve = weak_scaling(
+        Machine::fugaku(),
+        2.0e6,
+        0.163,
+        2048,
+        &node_sweep(128, 148_896),
+    );
+    for (p, t) in curve.totals() {
+        let bar_len = (t * 3.0) as usize;
+        println!("{p:>8} nodes | {t:6.2} s/step | {}", "#".repeat(bar_len.min(70)));
+    }
+}

@@ -1,0 +1,128 @@
+//! Integration tests of the distributed main/pool driver across mpisim
+//! ranks, including the SN pool round trip and routing equivalence.
+
+use asura_core::dist::{run_distributed, DistConfig};
+use asura_core::{Particle, Scheme, SimConfig};
+use fdps::exchange::Routing;
+use fdps::Vec3;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn slab_ic(n_gas: usize, n_dm: usize, n_sn_stars: usize, dt: f64, seed: u64) -> Vec<Particle> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::new();
+    let mut id = 0u64;
+    for _ in 0..n_gas {
+        out.push(Particle::gas(
+            id,
+            Vec3::new(
+                rng.gen_range(-60.0..60.0),
+                rng.gen_range(-60.0..60.0),
+                rng.gen_range(-12.0..12.0),
+            ),
+            Vec3::ZERO,
+            1.0,
+            1.0,
+            6.0,
+        ));
+        id += 1;
+    }
+    for _ in 0..n_dm {
+        out.push(Particle::dm(
+            id,
+            Vec3::new(
+                rng.gen_range(-80.0..80.0),
+                rng.gen_range(-80.0..80.0),
+                rng.gen_range(-80.0..80.0),
+            ),
+            Vec3::ZERO,
+            10.0,
+        ));
+        id += 1;
+    }
+    let life = astro::lifetime::stellar_lifetime_myr(10.0);
+    for k in 0..n_sn_stars {
+        out.push(Particle::star(
+            id,
+            Vec3::new(k as f64 * 10.0 - 10.0, 0.0, 0.0),
+            Vec3::ZERO,
+            10.0,
+            dt * 1.5 - life,
+        ));
+        id += 1;
+    }
+    out
+}
+
+fn base_cfg(steps: usize) -> DistConfig {
+    DistConfig {
+        grid: (2, 2, 1),
+        n_pool: 2,
+        routing: Routing::Flat,
+        sim: SimConfig {
+            scheme: Scheme::Surrogate,
+            pool_latency_steps: 2,
+            cooling: false,
+            star_formation: false,
+            n_ngb: 16,
+            eps: 2.0,
+            ..Default::default()
+        },
+        steps,
+    }
+}
+
+#[test]
+fn multiple_sne_round_trip_through_multiple_pools() {
+    let dt = 2.0e-3;
+    let ic = slab_ic(500, 100, 3, dt, 1);
+    let report = run_distributed(&base_cfg(5), &ic);
+    assert_eq!(report.sn_events, 3, "all three SNe identified");
+    assert_eq!(report.regions_applied, 3, "all three predictions applied");
+    assert_eq!(report.final_particles, ic.len() as u64);
+}
+
+#[test]
+fn particle_count_invariant_under_routing_and_grid() {
+    let ic = slab_ic(400, 150, 0, 2.0e-3, 2);
+    for routing in [Routing::Flat, Routing::Torus] {
+        for grid in [(4, 1, 1), (2, 2, 1), (2, 2, 2)] {
+            let cfg = DistConfig {
+                grid,
+                routing,
+                ..base_cfg(2)
+            };
+            let report = run_distributed(&cfg, &ic);
+            assert_eq!(
+                report.final_particles,
+                ic.len() as u64,
+                "grid {grid:?}, routing {routing:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn communication_volume_is_recorded_per_main_rank() {
+    let ic = slab_ic(300, 100, 0, 2.0e-3, 3);
+    let report = run_distributed(&base_cfg(2), &ic);
+    assert_eq!(report.bytes_sent.len(), 4);
+    assert!(
+        report.bytes_sent.iter().all(|&b| b > 0),
+        "every main rank communicates: {:?}",
+        report.bytes_sent
+    );
+}
+
+#[test]
+fn single_main_rank_degenerate_case_works() {
+    let ic = slab_ic(200, 0, 1, 2.0e-3, 4);
+    let cfg = DistConfig {
+        grid: (1, 1, 1),
+        n_pool: 1,
+        ..base_cfg(4)
+    };
+    let report = run_distributed(&cfg, &ic);
+    assert_eq!(report.sn_events, 1);
+    assert_eq!(report.regions_applied, 1);
+}

@@ -1,0 +1,214 @@
+//! Property-based tests over the core data structures and invariants,
+//! spanning crates (proptest).
+
+use fdps::domain::DomainDecomposition;
+use fdps::walk::InteractionList;
+use fdps::{BBox, Tree, Vec3};
+use proptest::prelude::*;
+
+fn vec3_strategy(limit: f64) -> impl Strategy<Value = Vec3> {
+    (
+        -limit..limit,
+        prop::num::f64::NORMAL.prop_map(move |v| (v % limit).abs() - limit / 2.0),
+        -limit..limit,
+    )
+        .prop_map(|(x, y, z)| Vec3::new(x, y, z))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every particle lands in exactly one leaf, for any cloud.
+    #[test]
+    fn tree_partitions_any_cloud(
+        pts in prop::collection::vec(vec3_strategy(100.0), 1..200),
+        n_leaf in 1usize..16,
+    ) {
+        let mass = vec![1.0; pts.len()];
+        let tree = Tree::build(&pts, &mass, n_leaf);
+        let mut seen = vec![0u8; pts.len()];
+        for node in &tree.nodes {
+            if node.is_leaf() {
+                for &i in tree.leaf_particles(node) {
+                    seen[i as usize] += 1;
+                }
+            }
+        }
+        prop_assert!(seen.iter().all(|&c| c == 1));
+        prop_assert!((tree.root().mass - pts.len() as f64).abs() < 1e-9);
+    }
+
+    /// The MAC walk never loses mass: EP + SP masses always sum to total.
+    #[test]
+    fn interaction_lists_conserve_mass(
+        pts in prop::collection::vec(vec3_strategy(50.0), 2..150),
+        theta in 0.0f64..1.2,
+    ) {
+        let mass = vec![2.0; pts.len()];
+        let total = 2.0 * pts.len() as f64;
+        let tree = Tree::build(&pts, &mass, 8);
+        let target = BBox::of_points(&pts[..1]);
+        let mut list = InteractionList::default();
+        tree.walk_mac(&target, theta, &mut list);
+        let m: f64 = list.ep.iter().map(|&j| mass[j as usize]).sum::<f64>()
+            + list.sp.iter().map(|s| s.mass).sum::<f64>();
+        prop_assert!((m - total).abs() < 1e-9 * total);
+    }
+
+    /// Neighbor search returns a superset of the exact neighbours.
+    #[test]
+    fn neighbor_search_is_conservative(
+        pts in prop::collection::vec(vec3_strategy(20.0), 1..120),
+        r in 0.1f64..10.0,
+    ) {
+        let mass = vec![1.0; pts.len()];
+        let tree = Tree::build(&pts, &mass, 4);
+        let q = pts[0];
+        let mut found = Vec::new();
+        tree.neighbors_within(q, r, &mut found);
+        for (i, p) in pts.iter().enumerate() {
+            if (*p - q).norm() <= r {
+                prop_assert!(
+                    found.contains(&(i as u32)),
+                    "missed neighbour {} at distance {}",
+                    i,
+                    (*p - q).norm()
+                );
+            }
+        }
+    }
+
+    /// Domain ownership is total and consistent with the clipped boxes.
+    #[test]
+    fn domain_ownership_is_total(
+        pts in prop::collection::vec(vec3_strategy(80.0), 8..300),
+        nx in 1usize..4,
+        ny in 1usize..3,
+        nz in 1usize..3,
+    ) {
+        let global = BBox::of_points(&pts);
+        let dd = DomainDecomposition::from_samples((nx, ny, nz), &mut pts.clone(), global);
+        for &p in &pts {
+            let owner = dd.owner_of(p);
+            prop_assert!(owner < dd.len());
+            prop_assert!(dd.domain_box(owner).inflated(1e-9).contains(p));
+        }
+    }
+
+    /// PPA tables evaluate within their reported error bound on-domain.
+    #[test]
+    fn ppa_error_bound_holds(
+        sections in 2usize..24,
+        degree in 1usize..5,
+        scale in 0.5f64..4.0,
+    ) {
+        let f = move |x: f64| (scale * x).sin() + x * x;
+        let table = pikg::PpaTable::fit(f, 0.0, 2.0, sections, degree);
+        let bound = table.max_error() * 1.5 + 1e-12;
+        for i in 0..100 {
+            let x = 2.0 * i as f64 / 99.0;
+            prop_assert!((table.eval(x) - f(x)).abs() <= bound);
+        }
+    }
+
+    /// The IMF sampler never leaves its mass range and its CDF is exact at
+    /// the edges.
+    #[test]
+    fn imf_samples_stay_in_range(seed in 0u64..1000) {
+        use rand::SeedableRng;
+        let imf = astro::KroupaImf::default();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let (lo, hi) = imf.mass_range();
+        for _ in 0..100 {
+            let m = imf.sample(&mut rng);
+            prop_assert!((lo..=hi).contains(&m));
+        }
+    }
+
+    /// Collectives agree with their serial definitions for any world size.
+    #[test]
+    fn allreduce_matches_serial_sum(
+        values in prop::collection::vec(-1e6f64..1e6, 2..12),
+    ) {
+        use mpisim::{ReduceOp, World};
+        let p = values.len();
+        let expect: f64 = values.iter().sum();
+        let values = std::sync::Arc::new(values);
+        let out = World::new(p).run(|c| {
+            c.allreduce_f64(values[c.rank()], ReduceOp::Sum)
+        });
+        for got in out {
+            prop_assert!((got - expect).abs() < 1e-6 * expect.abs().max(1.0));
+        }
+    }
+
+    /// Encode/decode of the surrogate's 8-channel layout round-trips any
+    /// positive fields to f32 accuracy.
+    #[test]
+    fn surrogate_encoding_roundtrips(
+        rho in 1e-6f64..1e4,
+        temp in 10.0f64..1e8,
+        vx in -1e3f64..1e3,
+    ) {
+        use surrogate::{encode_fields, decode_fields, VoxelFields, VoxelGrid};
+        let grid = VoxelGrid::centered(Vec3::ZERO, 60.0, 4);
+        let mut f = VoxelFields::zeros(grid);
+        for i in 0..64 {
+            f.density[i] = rho;
+            f.temperature[i] = temp;
+            f.vel[0][i] = vx;
+        }
+        let back = decode_fields(&encode_fields(&f), grid);
+        prop_assert!((back.density[0] / rho - 1.0).abs() < 1e-4);
+        prop_assert!((back.temperature[0] / temp - 1.0).abs() < 1e-4);
+        prop_assert!((back.vel[0][0] - vx).abs() < 1e-3 * vx.abs().max(1.0));
+    }
+
+    /// Block-timestep quantization never exceeds the wanted step and the
+    /// activity schedule performs exactly the promised updates.
+    #[test]
+    fn block_schedule_bookkeeping_is_exact(
+        dts in prop::collection::vec(1e-4f64..1.0, 1..40),
+    ) {
+        use asura_core::blocksteps::BlockSchedule;
+        let s = BlockSchedule::assign(1.0, &dts, 24);
+        let mut updates = vec![0u64; dts.len()];
+        for k in 0..s.substeps_per_base_step() {
+            for i in s.active_at(k) {
+                updates[i] += 1;
+            }
+        }
+        let total: u64 = updates.iter().sum();
+        prop_assert_eq!(total, s.updates_per_base_step());
+        for (i, (&l, &want)) in s.levels.iter().zip(&dts).enumerate() {
+            let dt_assigned = 1.0 / (1u64 << l) as f64;
+            prop_assert!(dt_assigned <= want + 1e-12 || l == 24, "particle {i}");
+            prop_assert_eq!(updates[i], 1u64 << l);
+        }
+    }
+
+    /// Voxelization conserves mass for arbitrary particle sets inside the
+    /// cube.
+    #[test]
+    fn voxelization_conserves_interior_mass(
+        offsets in prop::collection::vec((-25.0f64..25.0, -25.0f64..25.0, -25.0f64..25.0, 0.1f64..5.0), 1..60),
+    ) {
+        use surrogate::{particles_to_grid, GasParticle, VoxelGrid};
+        let grid = VoxelGrid::centered(Vec3::ZERO, 60.0, 8);
+        let parts: Vec<GasParticle> = offsets
+            .iter()
+            .enumerate()
+            .map(|(i, &(x, y, z, m))| GasParticle {
+                pos: Vec3::new(x, y, z),
+                vel: Vec3::ZERO,
+                mass: m,
+                temp: 100.0,
+                h: 2.0,
+                id: i as u64,
+            })
+            .collect();
+        let fields = particles_to_grid(grid, &parts);
+        let m_in: f64 = parts.iter().map(|p| p.mass).sum();
+        prop_assert!((fields.total_mass() / m_in - 1.0).abs() < 1e-6);
+    }
+}
