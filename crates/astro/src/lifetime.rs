@@ -80,7 +80,12 @@ mod tests {
         let life = stellar_lifetime_myr(m);
         let t_birth = 100.0;
         // Exactly bracketing the death time.
-        assert!(explodes_in_interval(m, t_birth, t_birth + life - 0.001, 0.002));
+        assert!(explodes_in_interval(
+            m,
+            t_birth,
+            t_birth + life - 0.001,
+            0.002
+        ));
         // Before the window.
         assert!(!explodes_in_interval(m, t_birth, t_birth, 1.0));
         // After the death.
@@ -89,7 +94,12 @@ mod tests {
 
     #[test]
     fn low_and_super_massive_stars_never_explode() {
-        assert!(!explodes_in_interval(1.0, 0.0, stellar_lifetime_myr(1.0) - 0.5, 1.0));
+        assert!(!explodes_in_interval(
+            1.0,
+            0.0,
+            stellar_lifetime_myr(1.0) - 0.5,
+            1.0
+        ));
         assert!(!explodes_in_interval(
             100.0,
             0.0,

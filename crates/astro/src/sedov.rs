@@ -210,7 +210,10 @@ mod tests {
         let t = 0.1;
         let swept = 4.0 / 3.0 * std::f64::consts::PI * b.rho0 * b.shock_radius(t).powi(3);
         let got = b.integrated_mass(t, 20_000);
-        assert!((got / swept - 1.0).abs() < 1e-3, "mass {got} vs swept {swept}");
+        assert!(
+            (got / swept - 1.0).abs() < 1e-3,
+            "mass {got} vs swept {swept}"
+        );
     }
 
     #[test]

@@ -75,7 +75,9 @@ impl StarFormation {
         }
         let m_star = self.imf.sample(rng);
         if m_star >= gas_mass {
-            SfOutcome::Convert { star_mass: gas_mass }
+            SfOutcome::Convert {
+                star_mass: gas_mass,
+            }
         } else {
             SfOutcome::Spawn {
                 star_mass: m_star,
@@ -151,7 +153,10 @@ mod tests {
         let gas_mass = 1.0; // star-by-star: ~1 M_sun gas particles
         for _ in 0..50_000 {
             match sf.try_form(&mut rng, 100.0, 10.0, gas_mass, 10.0) {
-                SfOutcome::Spawn { star_mass, gas_left } => {
+                SfOutcome::Spawn {
+                    star_mass,
+                    gas_left,
+                } => {
                     assert!(star_mass < gas_mass);
                     assert!((star_mass + gas_left - gas_mass).abs() < 1e-12);
                 }

@@ -112,10 +112,10 @@ mod tests {
         let fb = SnFeedback::default();
         let life10 = stellar_lifetime_myr(10.0);
         let stars = vec![
-            star(10.0, 0.0),  // dies at life10
-            star(10.0, 5.0),  // dies at life10 + 5
-            star(1.0, 0.0),   // never (too light)
-            star(60.0, 0.0),  // never (direct collapse)
+            star(10.0, 0.0), // dies at life10
+            star(10.0, 5.0), // dies at life10 + 5
+            star(1.0, 0.0),  // never (too light)
+            star(60.0, 0.0), // never (direct collapse)
         ];
         let events = fb.identify(&stars, life10 - 0.5, 1.0);
         assert_eq!(events.len(), 1);

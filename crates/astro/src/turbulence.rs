@@ -30,13 +30,7 @@ impl TurbulentField {
     /// Build a field on a cube of side `l` with wavenumbers `1..=k_max`
     /// (in units of `2 pi / l`), spectral slope `P(k) ∝ k^{-slope}` (the
     /// paper's value is 4), scaled to `v_rms`.
-    pub fn new<R: Rng + ?Sized>(
-        rng: &mut R,
-        l: f64,
-        k_max: usize,
-        slope: f64,
-        v_rms: f64,
-    ) -> Self {
+    pub fn new<R: Rng + ?Sized>(rng: &mut R, l: f64, k_max: usize, slope: f64, v_rms: f64) -> Self {
         assert!(l > 0.0 && k_max >= 1 && v_rms >= 0.0);
         let two_pi = std::f64::consts::TAU;
         let mut modes = Vec::new();
@@ -64,7 +58,8 @@ impl TurbulentField {
                         rng.gen_range(-1.0..1.0f64),
                         rng.gen_range(-1.0..1.0f64),
                     ];
-                    let dot = (r[0] * k[0] + r[1] * k[1] + r[2] * k[2]) / (k[0] * k[0] + k[1] * k[1] + k[2] * k[2]);
+                    let dot = (r[0] * k[0] + r[1] * k[1] + r[2] * k[2])
+                        / (k[0] * k[0] + k[1] * k[1] + k[2] * k[2]);
                     let mut e = [r[0] - dot * k[0], r[1] - dot * k[1], r[2] - dot * k[2]];
                     let en = (e[0] * e[0] + e[1] * e[1] + e[2] * e[2]).sqrt();
                     if en < 1e-9 {

@@ -55,8 +55,8 @@ mod tests {
     #[test]
     fn unit_conversions_are_mutually_consistent() {
         // E_SN in erg must round-trip through the cgs factors.
-        let code_energy_in_erg = G_PER_MSUN * CM_PER_PC * CM_PER_PC
-            / (SECONDS_PER_MYR * SECONDS_PER_MYR);
+        let code_energy_in_erg =
+            G_PER_MSUN * CM_PER_PC * CM_PER_PC / (SECONDS_PER_MYR * SECONDS_PER_MYR);
         assert!((code_energy_in_erg / ERG_PER_CODE_ENERGY - 1.0).abs() < 1e-3);
         let e_sn_code = 1e51 / code_energy_in_erg;
         assert!((e_sn_code / E_SN - 1.0).abs() < 1e-3, "E_SN = {e_sn_code}");

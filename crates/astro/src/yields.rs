@@ -41,7 +41,11 @@ impl SnYield {
         assert!(m > 0.0);
         let m = m.clamp(8.0, 40.0);
         // Remnant: neutron star below ~25 M_sun, growing black hole above.
-        let remnant = if m < 25.0 { 1.5 } else { 1.5 + 0.2 * (m - 25.0) };
+        let remnant = if m < 25.0 {
+            1.5
+        } else {
+            1.5 + 0.2 * (m - 25.0)
+        };
         let ejecta = (m - remnant).max(0.0);
         // Power-law fits to tabulated solar-metallicity yields.
         let o = 0.05 * (m / 13.0_f64).powf(2.6); // steeply rising
@@ -155,13 +159,7 @@ mod tests {
 
     #[test]
     fn out_of_window_masses_clamp() {
-        assert_eq!(
-            SnYield::for_progenitor(5.0),
-            SnYield::for_progenitor(8.0)
-        );
-        assert_eq!(
-            SnYield::for_progenitor(80.0),
-            SnYield::for_progenitor(40.0)
-        );
+        assert_eq!(SnYield::for_progenitor(5.0), SnYield::for_progenitor(8.0));
+        assert_eq!(SnYield::for_progenitor(80.0), SnYield::for_progenitor(40.0));
     }
 }

@@ -13,8 +13,7 @@ fn bench_alltoall(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("flat", ranks), &ranks, |b, &p| {
             b.iter(|| {
                 let out = World::new(p).run(|comm| {
-                    let sends: Vec<Vec<u64>> =
-                        (0..p).map(|j| vec![j as u64; payload]).collect();
+                    let sends: Vec<Vec<u64>> = (0..p).map(|j| vec![j as u64; payload]).collect();
                     comm.alltoallv(sends).len()
                 });
                 black_box(out)
@@ -24,8 +23,7 @@ fn bench_alltoall(c: &mut Criterion) {
             let dims = TorusDims::for_size(p);
             b.iter(|| {
                 let out = World::new(p).run(|comm| {
-                    let sends: Vec<Vec<u64>> =
-                        (0..p).map(|j| vec![j as u64; payload]).collect();
+                    let sends: Vec<Vec<u64>> = (0..p).map(|j| vec![j as u64; payload]).collect();
                     comm.alltoallv_torus(dims, sends).len()
                 });
                 black_box(out)

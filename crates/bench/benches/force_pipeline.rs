@@ -1,0 +1,209 @@
+//! The force-pipeline trajectory benchmark (`cargo bench --bench
+//! force_pipeline`).
+//!
+//! Measures, at the ISSUE's reference operating point (N = 100k,
+//! theta = 0.5, n_group = 64):
+//!
+//! 1. **walk_recursive_alloc** — the checked-in naive baseline: serial
+//!    recursive MAC walk with a freshly allocated `InteractionList` per
+//!    group (exactly what `Tree::interaction_lists` did before the
+//!    zero-allocation refactor);
+//! 2. **walk_indexed_serial** — the compact `WalkIndex` walk with scratch
+//!    reuse, single-threaded (isolates the cache-layout win);
+//! 3. **walk_indexed_parallel** — the production path: rayon-parallel
+//!    indexed walk with per-worker `WalkScratch` + `InteractionList` reuse
+//!    (what `Tree::interaction_lists` and the gravity solver run);
+//! 4. the monopole kernel's ns/interaction (f64 and mixed precision).
+//!
+//! Writes `BENCH_force.json` at the repo root so subsequent PRs have a
+//! perf trajectory, and prints the walk speedup (target: >= 2x).
+
+use fdps::walk::{InteractionList, WalkScratch};
+use fdps::{Tree, Vec3};
+use gravity::kernel::{accumulate_f64, accumulate_mixed, GravityAccum};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rayon::prelude::*;
+use std::hint::black_box;
+use std::time::Instant;
+
+const N: usize = 100_000;
+const THETA: f64 = 0.5;
+const N_GROUP: usize = 64;
+const N_LEAF: usize = 8;
+
+fn cloud(n: usize) -> (Vec<Vec3>, Vec<f64>) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let pos = (0..n)
+        .map(|_| {
+            // Centrally concentrated, like the galaxy.
+            let r: f64 = rng.gen::<f64>().powi(2) * 10.0;
+            let th = rng.gen_range(0.0..std::f64::consts::TAU);
+            let z = rng.gen_range(-0.5..0.5);
+            Vec3::new(r * th.cos(), r * th.sin(), z)
+        })
+        .collect();
+    let mass = vec![1.0; n];
+    (pos, mass)
+}
+
+/// Wall-clock seconds of `f`, best of `reps`.
+fn time_best<F: FnMut() -> u64>(reps: usize, mut f: F) -> (f64, u64) {
+    let mut best = f64::INFINITY;
+    let mut check = 0u64;
+    for _ in 0..reps {
+        let start = Instant::now();
+        check = black_box(f());
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    (best, check)
+}
+
+fn main() {
+    let (pos, mass) = cloud(N);
+    let tree = Tree::build(&pos, &mass, N_LEAF);
+    let groups = tree.groups(N_GROUP);
+    let n_groups = groups.len();
+    println!("force_pipeline: N={N}, theta={THETA}, n_group={N_GROUP} -> {n_groups} groups");
+
+    // 1. Naive checked-in baseline: serial recursive walk, fresh list per
+    //    group (the pre-refactor interaction_lists).
+    let (t_rec, len_rec) = time_best(5, || {
+        let mut total = 0u64;
+        for &g in &groups {
+            let mut list = InteractionList::default();
+            tree.walk_mac_recursive(&tree.nodes[g].bbox, THETA, &mut list);
+            total += list.len() as u64;
+        }
+        total
+    });
+
+    // 2. Indexed walk, serial, scratch reuse: the cache-layout win alone.
+    let index = tree.walk_index();
+    let (t_ser, len_ser) = time_best(5, || {
+        let mut scratch = WalkScratch::default();
+        let mut list = InteractionList::default();
+        let mut total = 0u64;
+        for &g in &groups {
+            tree.walk_mac_indexed(&index, &tree.nodes[g].bbox, THETA, &mut scratch, &mut list);
+            total += list.len() as u64;
+        }
+        total
+    });
+    assert_eq!(len_rec, len_ser, "walks must agree on total list length");
+
+    // 3. Production path: parallel indexed walk, per-worker scratch reuse.
+    let (t_par, len_par) = time_best(5, || {
+        groups
+            .par_iter()
+            .map_init(
+                || (WalkScratch::default(), InteractionList::default()),
+                |(scratch, list), &g| {
+                    tree.walk_mac_indexed(&index, &tree.nodes[g].bbox, THETA, scratch, list);
+                    list.len() as u64
+                },
+            )
+            .collect::<Vec<u64>>()
+            .iter()
+            .sum()
+    });
+    assert_eq!(len_rec, len_par, "walks must agree on total list length");
+
+    let t_best = t_ser.min(t_par);
+    let lists_per_sec_rec = n_groups as f64 / t_rec;
+    let lists_per_sec_ser = n_groups as f64 / t_ser;
+    let lists_per_sec_par = n_groups as f64 / t_par;
+    let speedup = t_rec / t_best;
+    println!(
+        "walk_recursive_alloc:  {:10.1} lists/s  ({:.3} s/pass)",
+        lists_per_sec_rec, t_rec
+    );
+    println!(
+        "walk_indexed_serial:   {:10.1} lists/s  ({:.3} s/pass, {:.2}x)",
+        lists_per_sec_ser,
+        t_ser,
+        t_rec / t_ser
+    );
+    println!(
+        "walk_indexed_parallel: {:10.1} lists/s  ({:.3} s/pass, {:.2}x)",
+        lists_per_sec_par,
+        t_par,
+        t_rec / t_par
+    );
+    println!("walk speedup: {speedup:.2}x (target >= 2x)");
+
+    // 3. Kernel ns/interaction at the paper's Fugaku group size.
+    let n_i = 64;
+    let n_j = 2048;
+    let ipos = &pos[..n_i];
+    let jpos = &pos[1000..1000 + n_j];
+    let jmass = &mass[1000..1000 + n_j];
+    let mut out = vec![GravityAccum::default(); n_i];
+    let kernel_reps = 200;
+    let (t_f64, _) = time_best(3, || {
+        for _ in 0..kernel_reps {
+            accumulate_f64(
+                black_box(ipos),
+                black_box(jpos),
+                black_box(jmass),
+                1e-4,
+                &mut out,
+            );
+        }
+        out.len() as u64
+    });
+    let ns_per_inter_f64 = t_f64 * 1e9 / (kernel_reps * n_i * n_j) as f64;
+    let (t_mixed, _) = time_best(3, || {
+        for _ in 0..kernel_reps {
+            accumulate_mixed(
+                Vec3::ZERO,
+                black_box(ipos),
+                black_box(jpos),
+                black_box(jmass),
+                1e-4,
+                &mut out,
+            );
+        }
+        out.len() as u64
+    });
+    let ns_per_inter_mixed = t_mixed * 1e9 / (kernel_reps * n_i * n_j) as f64;
+    println!("kernel f64:   {ns_per_inter_f64:.3} ns/interaction");
+    println!("kernel mixed: {ns_per_inter_mixed:.3} ns/interaction");
+
+    // Trajectory artifact at the repo root.
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"n\": {},\n",
+            "  \"theta\": {},\n",
+            "  \"n_group\": {},\n",
+            "  \"n_groups\": {},\n",
+            "  \"total_list_len\": {},\n",
+            "  \"walk_recursive_alloc_lists_per_sec\": {:.1},\n",
+            "  \"walk_indexed_serial_lists_per_sec\": {:.1},\n",
+            "  \"walk_indexed_parallel_lists_per_sec\": {:.1},\n",
+            "  \"walk_speedup\": {:.3},\n",
+            "  \"kernel_f64_ns_per_interaction\": {:.4},\n",
+            "  \"kernel_mixed_ns_per_interaction\": {:.4},\n",
+            "  \"threads\": {}\n",
+            "}}\n"
+        ),
+        N,
+        THETA,
+        N_GROUP,
+        n_groups,
+        len_par,
+        lists_per_sec_rec,
+        lists_per_sec_ser,
+        lists_per_sec_par,
+        speedup,
+        ns_per_inter_f64,
+        ns_per_inter_mixed,
+        rayon::current_num_threads(),
+    );
+    let path = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_force.json");
+    std::fs::write(&path, json).expect("write BENCH_force.json");
+    println!("[artifact] {}", path.display());
+}

@@ -100,26 +100,22 @@ fn bench_dsl_interpreter(c: &mut Criterion) {
     let m = vec![1.0; n_j];
     let e2 = vec![1e-4; n_j];
     let (xi, yi, zi, ei) = (vec![0.1; 8], vec![0.2; 8], vec![0.3; 8], vec![1e-4; 8]);
-    c.bench_with_input(
-        BenchmarkId::new("pikg_dsl_gravity", n_j),
-        &n_j,
-        |b, _| {
-            b.iter(|| {
-                let mut ax = vec![0.0; 8];
-                let mut ay = vec![0.0; 8];
-                let mut az = vec![0.0; 8];
-                let mut pot = vec![0.0; 8];
-                kernel.execute(
-                    &pikg::SoaBuffers {
-                        epi: vec![&xi, &yi, &zi, &ei],
-                        epj: vec![&x, &y, &z, &m, &e2],
-                    },
-                    &mut [&mut ax, &mut ay, &mut az, &mut pot],
-                );
-                black_box(pot)
-            })
-        },
-    );
+    c.bench_with_input(BenchmarkId::new("pikg_dsl_gravity", n_j), &n_j, |b, _| {
+        b.iter(|| {
+            let mut ax = vec![0.0; 8];
+            let mut ay = vec![0.0; 8];
+            let mut az = vec![0.0; 8];
+            let mut pot = vec![0.0; 8];
+            kernel.execute(
+                &pikg::SoaBuffers {
+                    epi: vec![&xi, &yi, &zi, &ei],
+                    epj: vec![&x, &y, &z, &m, &e2],
+                },
+                &mut [&mut ax, &mut ay, &mut az, &mut pot],
+            );
+            black_box(pot)
+        })
+    });
 }
 
 criterion_group!(benches, bench_gravity, bench_spline, bench_dsl_interpreter);

@@ -53,5 +53,51 @@ fn bench_group_size(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_tree_build, bench_group_size);
+fn bench_mac_walk(c: &mut Criterion) {
+    use fdps::walk::{InteractionList, WalkScratch};
+    let (pos, mass) = cloud(50_000);
+    let tree = Tree::build(&pos, &mass, 8);
+    let groups = tree.groups(64);
+    let index = tree.walk_index();
+    let mut group = c.benchmark_group("mac_walk_50k");
+    group.sample_size(10);
+    group.bench_function("recursive_alloc_baseline", |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            for &g in &groups {
+                let mut list = InteractionList::default();
+                tree.walk_mac_recursive(&tree.nodes[g].bbox, 0.5, &mut list);
+                total += list.len();
+            }
+            black_box(total)
+        })
+    });
+    group.bench_function("iterative_reuse", |b| {
+        let mut scratch = WalkScratch::default();
+        let mut list = InteractionList::default();
+        b.iter(|| {
+            let mut total = 0usize;
+            for &g in &groups {
+                tree.walk_mac_into(&tree.nodes[g].bbox, 0.5, &mut scratch, &mut list);
+                total += list.len();
+            }
+            black_box(total)
+        })
+    });
+    group.bench_function("indexed_reuse", |b| {
+        let mut scratch = WalkScratch::default();
+        let mut list = InteractionList::default();
+        b.iter(|| {
+            let mut total = 0usize;
+            for &g in &groups {
+                tree.walk_mac_indexed(&index, &tree.nodes[g].bbox, 0.5, &mut scratch, &mut list);
+                total += list.len();
+            }
+            black_box(total)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_tree_build, bench_group_size, bench_mac_walk);
 criterion_main!(benches);

@@ -31,7 +31,10 @@ fn main() {
         for exp in 14..25 {
             let m_tot = 10f64.powf(exp as f64 * 0.5);
             let label = if n == 1e9 { "barrier" } else { "diagonal" };
-            csv.push_str(&format!("{label}_N{n:.0e},line,{m_tot:.4e},{:.4e},{n}\n", m_tot / n));
+            csv.push_str(&format!(
+                "{label}_N{n:.0e},line,{m_tot:.4e},{:.4e},{n}\n",
+                m_tot / n
+            ));
         }
     }
 

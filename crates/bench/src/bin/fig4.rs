@@ -43,10 +43,8 @@ fn main() {
 
     // The paper's visual signature: central domains are much narrower.
     widths.sort_by(|a, b| a.0.total_cmp(&b.0));
-    let inner_w: f64 =
-        widths[..4].iter().map(|w| w.1).sum::<f64>() / 4.0;
-    let outer_w: f64 =
-        widths[widths.len() - 4..].iter().map(|w| w.1).sum::<f64>() / 4.0;
+    let inner_w: f64 = widths[..4].iter().map(|w| w.1).sum::<f64>() / 4.0;
+    let outer_w: f64 = widths[widths.len() - 4..].iter().map(|w| w.1).sum::<f64>() / 4.0;
     println!(
         "mean central domain width: {inner_w:.0} pc; mean edge domain width: {outer_w:.0} pc \
          (ratio {:.1}x — the concentration the paper's Fig. 4 shows)",

@@ -44,7 +44,10 @@ fn main() {
             println!("    {p:>8} nodes: {t:>10.3} s/step");
         }
         bench::write_artifact(
-            &format!("fig6_strong_{}.csv", label.split_whitespace().next().expect("label")),
+            &format!(
+                "fig6_strong_{}.csv",
+                label.split_whitespace().next().expect("label")
+            ),
             &curve.to_csv(),
         );
     }

@@ -7,7 +7,16 @@ fn main() {
     println!("Table 2: list of runs");
     println!(
         "{:<16} {:>16} {:>7} {:>9} {:>7} {:>9} {:>7} {:>9} {:>9} {:>14}",
-        "Run", "N_node", "m_DM", "N_DM", "m_star", "N_star", "m_gas", "N_gas", "M_tot", "N_tot/node"
+        "Run",
+        "N_node",
+        "m_DM",
+        "N_DM",
+        "m_star",
+        "N_star",
+        "m_gas",
+        "N_gas",
+        "M_tot",
+        "N_tot/node"
     );
     let mut csv = String::from(
         "run,nodes_max,nodes_min,m_dm,n_dm,m_star,n_star,m_gas,n_gas,m_tot,n_per_node_lo,n_per_node_hi\n",

@@ -42,11 +42,7 @@ fn print_breakdown(machine: Machine, run: RunPoint, peak_pf: f64) {
 
 fn main() {
     println!("Table 3: breakdown of calculation time and performance");
-    print_breakdown(
-        Machine::fugaku(),
-        RunPoint::weak_mw2m_anchor(),
-        915.0,
-    );
+    print_breakdown(Machine::fugaku(), RunPoint::weak_mw2m_anchor(), 915.0);
     print_breakdown(
         Machine::rusty(),
         RunPoint {

@@ -64,7 +64,11 @@ fn main() {
         while sim.time < t_target && sim.stats.steps < 5000 {
             sim.step();
         }
-        (sim.stats.steps, sim.stats.dt_min_seen, wall.elapsed().as_secs_f64())
+        (
+            sim.stats.steps,
+            sim.stats.dt_min_seen,
+            wall.elapsed().as_secs_f64(),
+        )
     };
 
     println!("Time-to-solution comparison (paper 5.3), integrating {t_target} Myr:");
@@ -99,7 +103,10 @@ fn main() {
     );
 
     let mut csv = String::from("scheme,steps,dt_min_yr,wall_s\n");
-    csv.push_str(&format!("surrogate,{steps_s},{:.1},{wall_s:.3}\n", dtmin_s * 1e6));
+    csv.push_str(&format!(
+        "surrogate,{steps_s},{:.1},{wall_s:.3}\n",
+        dtmin_s * 1e6
+    ));
     csv.push_str(&format!(
         "conventional,{steps_c},{:.1},{wall_c:.3}\n",
         dtmin_c * 1e6

@@ -7,10 +7,10 @@
 //! * a U-Net trained briefly on synthetic Sedov-in-turbulence data,
 //! * an untrained U-Net (sanity floor).
 
-use asura_core::diagnostics::{histogram_distance, log_histogram};
-use asura_core::pool::{PoolPredictor, SedovOverlayPredictor, UNetPredictor};
 use astro::turbulence::TurbulentField;
 use astro::units::E_SN;
+use asura_core::diagnostics::{histogram_distance, log_histogram};
+use asura_core::pool::{PoolPredictor, SedovOverlayPredictor, UNetPredictor};
 use fdps::Vec3;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -42,11 +42,7 @@ fn turbulent_region(n: usize, seed: u64) -> Vec<GasParticle> {
 
 fn audit(name: &str, before: &[GasParticle], after: &[GasParticle]) -> (f64, f64) {
     let mass = |ps: &[GasParticle]| ps.iter().map(|p| p.mass).sum::<f64>();
-    let ke = |ps: &[GasParticle]| {
-        ps.iter()
-            .map(|p| 0.5 * p.mass * p.vel.norm2())
-            .sum::<f64>()
-    };
+    let ke = |ps: &[GasParticle]| ps.iter().map(|p| 0.5 * p.mass * p.vel.norm2()).sum::<f64>();
     let mom = |ps: &[GasParticle]| {
         ps.iter()
             .fold(Vec3::ZERO, |acc, p| acc + p.vel * p.mass)
@@ -67,9 +63,7 @@ fn audit(name: &str, before: &[GasParticle], after: &[GasParticle]) -> (f64, f64
         36,
     );
     let hot_frac: f64 = after.iter().filter(|p| p.temp > 1e5).count() as f64 / after.len() as f64;
-    println!(
-        "  {name:<22} hot (T > 1e5 K) fraction: {hot_frac:.3}",
-    );
+    println!("  {name:<22} hot (T > 1e5 K) fraction: {hot_frac:.3}",);
     (histogram_sum(&t_hist), hot_frac)
 }
 
@@ -133,6 +127,8 @@ fn main() {
     println!("(paper: the surrogate's density/temperature PDFs are indistinguishable from direct integration)");
 
     let mut csv = String::from("predictor,pdf_distance\n");
-    csv.push_str(&format!("trained,{d_trained:.4}\nuntrained,{d_untrained:.4}\n"));
+    csv.push_str(&format!(
+        "trained,{d_trained:.4}\nuntrained,{d_untrained:.4}\n"
+    ));
     bench::write_artifact("validate_surrogate.csv", &csv);
 }

@@ -72,7 +72,7 @@ impl BlockSchedule {
             .enumerate()
             .filter(|(_, &l)| {
                 let period = 1u64 << (self.max_level - l);
-                k % period == 0
+                k.is_multiple_of(period)
             })
             .map(|(i, _)| i)
             .collect()
@@ -80,10 +80,7 @@ impl BlockSchedule {
 
     /// Total particle-updates over one base step — the useful work.
     pub fn updates_per_base_step(&self) -> u64 {
-        self.levels
-            .iter()
-            .map(|&l| 1u64 << l)
-            .sum()
+        self.levels.iter().map(|&l| 1u64 << l).sum()
     }
 
     /// Parallel efficiency under the paper's cost argument: each of the

@@ -63,7 +63,10 @@ impl SurfaceDensityMap {
             for i in 0..self.n {
                 let x = -self.half + (i as f64 + 0.5) * cell;
                 let y = -self.half + (j as f64 + 0.5) * cell;
-                s.push_str(&format!("{x:.3},{y:.3},{:.6e}\n", self.data[j * self.n + i]));
+                s.push_str(&format!(
+                    "{x:.3},{y:.3},{:.6e}\n",
+                    self.data[j * self.n + i]
+                ));
             }
         }
         s

@@ -164,11 +164,17 @@ fn main_loop(
         // --- Domain decomposition + particle exchange -------------------
         let dd = timer.region(main, phases::EXCHANGE_PARTICLE, || {
             let pos: Vec<Vec3> = particles.iter().map(|p| p.pos).collect();
-            let dd = DomainDecomposition::decompose(main, cfg.grid, &pos, 512);
-            dd
+
+            DomainDecomposition::decompose(main, cfg.grid, &pos, 512)
         });
         particles = timer.region(main, phases::EXCHANGE_PARTICLE, || {
-            exchange_particles(main, &dd, std::mem::take(&mut particles), |p| p.pos, cfg.routing)
+            exchange_particles(
+                main,
+                &dd,
+                std::mem::take(&mut particles),
+                |p| p.pos,
+                cfg.routing,
+            )
         });
 
         // --- (1) Identify SNe -------------------------------------------
@@ -316,14 +322,7 @@ fn main_loop(
                     h: particles[i].h.max(1e-3),
                 })
                 .collect();
-            let ghosts = exchange_ghosts(
-                main,
-                &dd,
-                &locals,
-                |g| g.pos,
-                |g| 2.0 * g.h,
-                cfg.routing,
-            );
+            let ghosts = exchange_ghosts(main, &dd, &locals, |g| g.pos, |g| 2.0 * g.h, cfg.routing);
             for g in ghosts {
                 state.pos.push(g.pos);
                 state.vel.push(g.vel);

@@ -1,0 +1,153 @@
+//! The force-evaluation scratch arena.
+//!
+//! [`ForceBuffers`] owns every per-step staging buffer of the force
+//! pipeline: the global SoA snapshot (`pos`, `mass`) fed to the gravity
+//! tree, the result arrays (`acc`, `pot`, `dudt`), the gas subset index,
+//! the SoA hydro state (which carries the gas `pos`/`vel`/`mass`/`u`/`h`
+//! snapshots), and the SPH staging scratch. All of them are refreshed
+//! **in place** — cleared and re-extended, never re-collected — so after a
+//! warm-up step the arena's capacities stabilize and steady-state stepping
+//! performs zero heap growth here. [`ForceBuffers::capacity_signature`]
+//! exposes the capacities so regression tests can assert exactly that.
+
+use crate::particle::Particle;
+use fdps::Vec3;
+use sph::solver::{HydroState, SphScratch};
+
+/// Reusable buffers for one simulation's force evaluations.
+#[derive(Debug, Clone, Default)]
+pub struct ForceBuffers {
+    /// Positions of all particles, refreshed each evaluation.
+    pub pos: Vec<Vec3>,
+    /// Masses of all particles, refreshed each evaluation.
+    pub mass: Vec<f64>,
+    /// Total acceleration (gravity, then SPH added on the gas subset).
+    pub acc: Vec<Vec3>,
+    /// Gravitational potential (filled by the gravity solver; kept for
+    /// energy audits).
+    pub pot: Vec<f64>,
+    /// du/dt on the gas subset, zero elsewhere.
+    pub dudt: Vec<f64>,
+    /// Indices of gas particles into the particle array.
+    pub gas_idx: Vec<usize>,
+    /// SoA hydro state over the gas subset (holds the gas `pos`, `vel`,
+    /// `mass`, `u`, `h` snapshots plus derived arrays).
+    pub hydro: HydroState,
+    /// SPH staging buffers (search radii, targets, hydro inputs).
+    pub sph: SphScratch,
+}
+
+impl ForceBuffers {
+    /// Refresh the global SoA snapshot and the gas index in place.
+    pub fn refresh(&mut self, particles: &[Particle]) {
+        self.pos.clear();
+        self.mass.clear();
+        self.gas_idx.clear();
+        for (i, p) in particles.iter().enumerate() {
+            self.pos.push(p.pos);
+            self.mass.push(p.mass);
+            if p.is_gas() {
+                self.gas_idx.push(i);
+            }
+        }
+        let n = particles.len();
+        self.dudt.clear();
+        self.dudt.resize(n, 0.0);
+    }
+
+    /// Refresh the gas SoA hydro state from the current particle data
+    /// (requires [`ForceBuffers::refresh`] to have filled `gas_idx`).
+    pub fn refresh_hydro(&mut self, particles: &[Particle]) {
+        let hs = &mut self.hydro;
+        hs.pos.clear();
+        hs.vel.clear();
+        hs.mass.clear();
+        hs.u.clear();
+        hs.h.clear();
+        for &i in &self.gas_idx {
+            let p = &particles[i];
+            hs.pos.push(p.pos);
+            hs.vel.push(p.vel);
+            hs.mass.push(p.mass);
+            hs.u.push(p.u);
+            hs.h.push(p.h.max(1e-3));
+        }
+        hs.resize_derived();
+    }
+
+    /// Capacities of every owned buffer, in a fixed order. Steady-state
+    /// stepping must leave this signature unchanged — the zero-allocation
+    /// regression tests compare it before and after.
+    pub fn capacity_signature(&self) -> Vec<usize> {
+        let hs = &self.hydro;
+        let mut sig = vec![
+            self.pos.capacity(),
+            self.mass.capacity(),
+            self.acc.capacity(),
+            self.pot.capacity(),
+            self.dudt.capacity(),
+            self.gas_idx.capacity(),
+            hs.pos.capacity(),
+            hs.vel.capacity(),
+            hs.mass.capacity(),
+            hs.u.capacity(),
+            hs.h.capacity(),
+            hs.rho.capacity(),
+            hs.acc.capacity(),
+            hs.dudt.capacity(),
+            hs.cs.capacity(),
+            hs.v_sig.capacity(),
+            hs.n_ngb.capacity(),
+        ];
+        sig.extend(self.sph.capacities());
+        sig
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::particle::Particle;
+
+    fn mixed_particles(n: usize) -> Vec<Particle> {
+        (0..n)
+            .map(|i| {
+                let pos = Vec3::new(i as f64, 0.0, 0.0);
+                if i % 3 == 0 {
+                    Particle::gas(i as u64, pos, Vec3::ZERO, 1.0, 1.0, 2.0)
+                } else {
+                    Particle::dm(i as u64, pos, Vec3::ZERO, 5.0)
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn refresh_tracks_particles_and_gas_subset() {
+        let particles = mixed_particles(30);
+        let mut bufs = ForceBuffers::default();
+        bufs.refresh(&particles);
+        assert_eq!(bufs.pos.len(), 30);
+        assert_eq!(bufs.mass.len(), 30);
+        assert_eq!(bufs.dudt.len(), 30);
+        assert_eq!(bufs.gas_idx.len(), 10);
+        assert!(bufs.gas_idx.iter().all(|&i| particles[i].is_gas()));
+        bufs.refresh_hydro(&particles);
+        assert_eq!(bufs.hydro.len(), 10);
+        assert_eq!(bufs.hydro.rho.len(), 10);
+    }
+
+    #[test]
+    fn repeated_refresh_does_not_grow_capacities() {
+        let particles = mixed_particles(100);
+        let mut bufs = ForceBuffers::default();
+        bufs.refresh(&particles);
+        bufs.refresh_hydro(&particles);
+        let sig = bufs.capacity_signature();
+        for _ in 0..5 {
+            bufs.refresh(&particles);
+            bufs.refresh_hydro(&particles);
+        }
+        assert_eq!(bufs.capacity_signature(), sig);
+    }
+}

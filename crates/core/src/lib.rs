@@ -23,11 +23,14 @@ pub mod blocksteps;
 pub mod config;
 pub mod diagnostics;
 pub mod dist;
+pub mod forces;
 pub mod particle;
 pub mod phases;
 pub mod pool;
 pub mod runs;
 pub mod sim;
+
+pub use forces::ForceBuffers;
 
 pub use config::{Scheme, SimConfig};
 pub use particle::{Kind, Particle};

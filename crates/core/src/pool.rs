@@ -144,7 +144,7 @@ mod tests {
 
     #[test]
     fn sedov_overlay_heats_and_expels_the_interior() {
-        let parts = region(500, 1);
+        let parts = region(800, 1);
         let out = SedovOverlayPredictor.predict(Vec3::ZERO, E_SN, 0.1, &parts);
         assert_eq!(out.len(), parts.len());
         let mut heated = 0;

@@ -2,19 +2,20 @@
 //! with either the surrogate or the conventional SN scheme.
 
 use crate::config::{Scheme, SimConfig};
+use crate::forces::ForceBuffers;
 use crate::particle::{Kind, Particle};
 use crate::pool::{PoolPredictor, SedovOverlayPredictor};
 use astro::cooling::CoolingCurve;
 use astro::lifetime::explodes_in_interval;
 use astro::starform::{SfOutcome, StarFormation};
 use astro::supernova::SnFeedback;
-use astro::yields::SnYield;
 use astro::units::{E_SN, G, NH_PER_MSUN_PC3};
+use astro::yields::SnYield;
 use fdps::Vec3;
 use gravity::GravitySolver;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use sph::solver::{HydroState, SphSolver};
+use sph::solver::SphSolver;
 use sph::timestep::quantize_block;
 use sph::GammaLawEos;
 use surrogate::GasParticle;
@@ -58,6 +59,9 @@ pub struct Simulation {
     /// `(particle index, v_sig, h)` from the last SPH force pass, used by
     /// the conventional scheme's CFL estimate.
     last_vsig: Vec<(usize, f64, f64)>,
+    /// The force-evaluation scratch arena: refreshed in place every step,
+    /// zero heap growth in steady state (see [`crate::forces`]).
+    buffers: ForceBuffers,
 }
 
 impl Simulation {
@@ -99,6 +103,7 @@ impl Simulation {
             },
             feedback: SnFeedback::default(),
             last_vsig: Vec::new(),
+            buffers: ForceBuffers::default(),
         }
     }
 
@@ -164,12 +169,7 @@ impl Simulation {
             .filter(|(_, p)| {
                 p.is_star()
                     && !p.exploded
-                    && explodes_in_interval(
-                        p.mass,
-                        p.birth_time,
-                        self.time,
-                        self.config.dt_global,
-                    )
+                    && explodes_in_interval(p.mass, p.birth_time, self.time, self.config.dt_global)
             })
             .map(|(i, p)| (i, p.pos))
             .collect()
@@ -201,9 +201,9 @@ impl Simulation {
         if gas.is_empty() {
             return;
         }
-        let predicted =
-            self.predictor
-                .predict(center, E_SN, self.config.horizon(), &gas);
+        let predicted = self
+            .predictor
+            .predict(center, E_SN, self.config.horizon(), &gas);
         self.pending.push(PendingRegion {
             due_step: self.step_count + self.config.pool_latency_steps as u64,
             predicted,
@@ -316,38 +316,40 @@ impl Simulation {
 
     /// KDK leapfrog with a shared timestep (paper §3.2 step 3).
     fn kdk(&mut self, dt: f64) {
-        let (acc, dudt) = self.compute_forces();
+        self.compute_forces();
         // First kick + drift.
         for (i, p) in self.particles.iter_mut().enumerate() {
-            p.vel += acc[i] * (0.5 * dt);
+            p.vel += self.buffers.acc[i] * (0.5 * dt);
             if p.is_gas() {
-                p.u = (p.u + dudt[i] * 0.5 * dt).max(1e-10);
+                p.u = (p.u + self.buffers.dudt[i] * 0.5 * dt).max(1e-10);
             }
             p.pos += p.vel * dt;
         }
         // Re-evaluate forces at the new positions, second kick.
-        let (acc, dudt) = self.compute_forces();
+        self.compute_forces();
         for (i, p) in self.particles.iter_mut().enumerate() {
-            p.vel += acc[i] * (0.5 * dt);
+            p.vel += self.buffers.acc[i] * (0.5 * dt);
             if p.is_gas() {
-                p.u = (p.u + dudt[i] * 0.5 * dt).max(1e-10);
+                p.u = (p.u + self.buffers.dudt[i] * 0.5 * dt).max(1e-10);
             }
         }
     }
 
-    /// Gravity on everything plus SPH forces on the gas.
-    /// Returns per-particle acceleration and du/dt.
-    fn compute_forces(&mut self) -> (Vec<Vec3>, Vec<f64>) {
+    /// Gravity on everything plus SPH forces on the gas, written into the
+    /// scratch arena's `acc`/`dudt` — every staging buffer is refreshed in
+    /// place, so steady-state steps do not grow the arena.
+    fn compute_forces(&mut self) {
         let n = self.particles.len();
-        let mut acc = vec![Vec3::ZERO; n];
-        let mut dudt = vec![0.0; n];
+        let bufs = &mut self.buffers;
         if n == 0 {
-            return (acc, dudt);
+            bufs.acc.clear();
+            bufs.dudt.clear();
+            self.last_vsig.clear();
+            return;
         }
 
         // Gravity over all species.
-        let pos: Vec<Vec3> = self.particles.iter().map(|p| p.pos).collect();
-        let mass: Vec<f64> = self.particles.iter().map(|p| p.mass).collect();
+        bufs.refresh(&self.particles);
         let solver = GravitySolver {
             g: G,
             theta: self.config.theta,
@@ -356,23 +358,19 @@ impl Simulation {
             eps: self.config.eps,
             mixed_precision: self.config.mixed_precision,
         };
-        let grav = solver.evaluate(&pos, &mass, n);
-        self.stats.gravity_interactions += grav.interactions;
-        acc.copy_from_slice(&grav.acc);
+        let tree = fdps::Tree::build(&bufs.pos, &bufs.mass, solver.n_leaf);
+        self.stats.gravity_interactions += solver.evaluate_into(
+            &tree,
+            &bufs.pos,
+            &bufs.mass,
+            n,
+            &mut bufs.acc,
+            &mut bufs.pot,
+        );
 
         // SPH on the gas subset.
-        let gas_idx: Vec<usize> = (0..n).filter(|&i| self.particles[i].is_gas()).collect();
-        if gas_idx.len() > 1 {
-            let mut state = HydroState::new(
-                gas_idx.iter().map(|&i| self.particles[i].pos).collect(),
-                gas_idx.iter().map(|&i| self.particles[i].vel).collect(),
-                gas_idx.iter().map(|&i| self.particles[i].mass).collect(),
-                gas_idx.iter().map(|&i| self.particles[i].u).collect(),
-                gas_idx
-                    .iter()
-                    .map(|&i| self.particles[i].h.max(1e-3))
-                    .collect(),
-            );
+        if bufs.gas_idx.len() > 1 {
+            bufs.refresh_hydro(&self.particles);
             let sph = SphSolver {
                 density_cfg: sph::density::DensityConfig {
                     n_ngb_target: self.config.n_ngb,
@@ -381,28 +379,32 @@ impl Simulation {
                 cfl: self.config.cfl,
                 ..Default::default()
             };
-            let n_gas = state.len();
-            let dstats = sph.density_pass(&mut state, n_gas);
-            let fstats = sph.force_pass(&mut state, n_gas);
+            let n_gas = bufs.hydro.len();
+            let dstats = sph.density_pass_with(&mut bufs.hydro, n_gas, &mut bufs.sph);
+            let fstats = sph.force_pass_with(&mut bufs.hydro, n_gas, &mut bufs.sph);
             self.stats.hydro_interactions +=
                 dstats.density_interactions + fstats.force_interactions;
-            for (k, &i) in gas_idx.iter().enumerate() {
-                acc[i] += state.acc[k];
-                dudt[i] = state.dudt[k];
+            let state = &bufs.hydro;
+            self.last_vsig.clear();
+            for (k, &i) in bufs.gas_idx.iter().enumerate() {
+                bufs.acc[i] += state.acc[k];
+                bufs.dudt[i] = state.dudt[k];
                 let p = &mut self.particles[i];
                 p.h = state.h[k];
                 p.rho = state.rho[k];
+                // Stash signal speeds for the adaptive timestep.
+                self.last_vsig
+                    .push((i, state.v_sig[k].max(state.cs[k]), state.h[k]));
             }
-            // Stash signal speeds for the adaptive timestep.
-            self.last_vsig = gas_idx
-                .iter()
-                .enumerate()
-                .map(|(k, &i)| (i, state.v_sig[k].max(state.cs[k]), state.h[k]))
-                .collect();
         } else {
             self.last_vsig.clear();
         }
-        (acc, dudt)
+    }
+
+    /// Read-only view of the force scratch arena (regression tests assert
+    /// its steady-state capacities).
+    pub fn force_buffers(&self) -> &ForceBuffers {
+        &self.buffers
     }
 
     /// CFL-adaptive shared timestep (conventional scheme, paper §5.3).
@@ -443,15 +445,18 @@ impl Simulation {
             }
             if self.config.star_formation && p.rho > 0.0 {
                 let temp = eos.temperature_from_u(p.u);
-                match self.starform.try_form(&mut self.rng, p.rho, temp, p.mass, dt) {
+                match self
+                    .starform
+                    .try_form(&mut self.rng, p.rho, temp, p.mass, dt)
+                {
                     SfOutcome::None => {}
-                    SfOutcome::Spawn { star_mass, gas_left } => {
+                    SfOutcome::Spawn {
+                        star_mass,
+                        gas_left,
+                    } => {
                         new_stars.push(Particle::star(
                             0, // assigned below
-                            p.pos,
-                            p.vel,
-                            star_mass,
-                            self.time,
+                            p.pos, p.vel, star_mass, self.time,
                         ));
                         p.mass = gas_left;
                     }
@@ -585,7 +590,13 @@ mod tests {
         // Born so that death lands in the second step.
         let birth = dt * 1.5 - life;
         let star_id = particles.len() as u64;
-        particles.push(Particle::star(star_id, Vec3::ZERO, Vec3::ZERO, m_star, birth));
+        particles.push(Particle::star(
+            star_id,
+            Vec3::ZERO,
+            Vec3::ZERO,
+            m_star,
+            birth,
+        ));
         let cfg = SimConfig {
             dt_global: dt,
             pool_latency_steps: 5,
@@ -742,6 +753,46 @@ mod tests {
             richest.pos.norm() < 10.0,
             "most enriched particle at r = {}",
             richest.pos.norm()
+        );
+    }
+
+    #[test]
+    fn steady_state_stepping_does_not_grow_the_scratch_arena() {
+        // The tentpole zero-allocation property: after a warm-up step, the
+        // force pipeline's scratch arena (SoA snapshots, result arrays, gas
+        // index, hydro state, SPH staging) must not grow — every step
+        // refreshes the same buffers in place.
+        let mut particles = gas_blob(6, 1.0, 1.0);
+        // A couple of collisionless particles so gravity sees mixed species.
+        particles.push(Particle::dm(
+            particles.len() as u64,
+            Vec3::new(10.0, 0.0, 0.0),
+            Vec3::ZERO,
+            100.0,
+        ));
+        particles.push(Particle::star(
+            particles.len() as u64,
+            Vec3::new(-10.0, 0.0, 0.0),
+            Vec3::ZERO,
+            1.0,
+            0.0,
+        ));
+        let cfg = SimConfig {
+            dt_global: 1e-4,
+            ..quiet_config()
+        };
+        let mut sim = Simulation::new(cfg, particles, 8);
+        sim.run(2); // warm-up: capacities reach their high-water mark
+        let sig = sim.force_buffers().capacity_signature();
+        assert!(
+            sig.iter().any(|&c| c > 0),
+            "warm-up must have populated the arena"
+        );
+        sim.run(5);
+        assert_eq!(
+            sim.force_buffers().capacity_signature(),
+            sig,
+            "scratch arena grew after warm-up"
         );
     }
 

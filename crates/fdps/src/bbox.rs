@@ -1,10 +1,9 @@
 //! Axis-aligned bounding boxes (domains, tree-node extents).
 
 use crate::vec3::Vec3;
-use serde::{Deserialize, Serialize};
 
 /// An axis-aligned box `[lo, hi)`.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct BBox {
     pub lo: Vec3,
     pub hi: Vec3,

@@ -122,7 +122,14 @@ impl DomainDecomposition {
         // particles, not just the sample.
         let local_bb = BBox::of_points(local_pos);
         let bounds = comm.allreduce_vec_f64(
-            vec![-local_bb.lo.x, -local_bb.lo.y, -local_bb.lo.z, local_bb.hi.x, local_bb.hi.y, local_bb.hi.z],
+            vec![
+                -local_bb.lo.x,
+                -local_bb.lo.y,
+                -local_bb.lo.z,
+                local_bb.hi.x,
+                local_bb.hi.y,
+                local_bb.hi.z,
+            ],
             mpisim::ReduceOp::Max,
         );
         let global = BBox::new(
@@ -330,7 +337,8 @@ mod tests {
         let _ = dd.owner_of(Vec3::ZERO);
         // Zero samples.
         let mut empty: Vec<Vec3> = vec![];
-        let dd = DomainDecomposition::from_samples((2, 2, 2), &mut empty, BBox::cube(Vec3::ZERO, 1.0));
+        let dd =
+            DomainDecomposition::from_samples((2, 2, 2), &mut empty, BBox::cube(Vec3::ZERO, 1.0));
         assert!(dd.owner_of(Vec3::ZERO) < 8);
     }
 

@@ -67,10 +67,7 @@ where
     let me = comm.rank();
     // Gather every rank's maximum reach so receivers' gather needs are met:
     // rank r needs ghosts within its own particles' reach of its box.
-    let my_max_reach = particles
-        .iter()
-        .map(|pt| reach_of(pt))
-        .fold(0.0f64, f64::max);
+    let my_max_reach = particles.iter().map(&reach_of).fold(0.0f64, f64::max);
     let all_reach = comm.allgather(my_max_reach);
 
     let boxes: Vec<_> = (0..p).map(|r| dd.domain_box(r)).collect();
@@ -158,8 +155,7 @@ mod tests {
                     .step_by(c.size())
                     .cloned()
                     .collect();
-                let after =
-                    exchange_particles(c, &dd, mine, |p| p.pos, routing);
+                let after = exchange_particles(c, &dd, mine, |p| p.pos, routing);
                 for p in &after {
                     assert_eq!(dd.owner_of(p.pos), c.rank(), "misrouted particle");
                 }
@@ -187,8 +183,7 @@ mod tests {
             let ghosts = exchange_ghosts(c, &dd, &mine, |p| p.pos, reach, Routing::Flat);
             // Every pair (i local, j remote) with |r_ij| < 2*max(h_i, h_j)
             // must be covered: j must appear among our ghosts.
-            let ghost_ids: std::collections::HashSet<u64> =
-                ghosts.iter().map(|g| g.id).collect();
+            let ghost_ids: std::collections::HashSet<u64> = ghosts.iter().map(|g| g.id).collect();
             for i in &mine {
                 for j in &full {
                     if dd.owner_of(j.pos) == c.rank() {
@@ -222,8 +217,7 @@ mod tests {
                 .cloned()
                 .collect();
             let my_ids: std::collections::HashSet<u64> = mine.iter().map(|p| p.id).collect();
-            let ghosts =
-                exchange_ghosts(c, &dd, &mine, |p| p.pos, |p| 2.0 * p.h, Routing::Flat);
+            let ghosts = exchange_ghosts(c, &dd, &mine, |p| p.pos, |p| 2.0 * p.h, Routing::Flat);
             for g in &ghosts {
                 assert!(!my_ids.contains(&g.id));
             }
@@ -244,11 +238,10 @@ mod tests {
                         .step_by(c.size())
                         .cloned()
                         .collect();
-                    let mut ids: Vec<u64> =
-                        exchange_particles(c, &dd, mine, |p| p.pos, routing)
-                            .iter()
-                            .map(|p| p.id)
-                            .collect();
+                    let mut ids: Vec<u64> = exchange_particles(c, &dd, mine, |p| p.pos, routing)
+                        .iter()
+                        .map(|p| p.id)
+                        .collect();
                     ids.sort_unstable();
                     ids
                 })

@@ -67,9 +67,7 @@ pub fn exchange_let(
     }
     let recvs = match routing {
         Routing::Flat => comm.alltoallv(sends),
-        Routing::Torus => {
-            comm.alltoallv_torus(TorusDims::new(dd.nx, dd.ny, dd.nz), sends)
-        }
+        Routing::Torus => comm.alltoallv_torus(TorusDims::new(dd.nx, dd.ny, dd.nz), sends),
     };
     recvs.into_iter().flatten().collect()
 }
@@ -194,8 +192,7 @@ mod tests {
             let lmass: Vec<f64> = idx.iter().map(|&i| mass[i]).collect();
             let tree = Tree::build(&lpos, &lmass, 8);
             let imports = exchange_let(c, &dd, &tree, &lpos, &lmass, 0.5, Routing::Flat);
-            let m: f64 =
-                lmass.iter().sum::<f64>() + imports.iter().map(|e| e.mass).sum::<f64>();
+            let m: f64 = lmass.iter().sum::<f64>() + imports.iter().map(|e| e.mass).sum::<f64>();
             assert!(
                 (m - total).abs() < 1e-9 * total,
                 "rank {} sees mass {m} of {total}",
@@ -237,10 +234,8 @@ mod tests {
             let lpos: Vec<Vec3> = idx.iter().map(|&i| pos[i]).collect();
             let lmass: Vec<f64> = idx.iter().map(|&i| mass[i]).collect();
             let tree = Tree::build(&lpos, &lmass, 8);
-            let mut flat =
-                exchange_let(c, &dd, &tree, &lpos, &lmass, 0.5, Routing::Flat);
-            let mut torus =
-                exchange_let(c, &dd, &tree, &lpos, &lmass, 0.5, Routing::Torus);
+            let mut flat = exchange_let(c, &dd, &tree, &lpos, &lmass, 0.5, Routing::Flat);
+            let mut torus = exchange_let(c, &dd, &tree, &lpos, &lmass, 0.5, Routing::Torus);
             let key = |e: &LetEntry| (e.pos[0].to_bits(), e.pos[1].to_bits(), e.mass.to_bits());
             flat.sort_by_key(key);
             torus.sort_by_key(key);

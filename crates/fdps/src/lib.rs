@@ -33,4 +33,4 @@ pub use bbox::BBox;
 pub use domain::DomainDecomposition;
 pub use tree::{Tree, TreeNode};
 pub use vec3::Vec3;
-pub use walk::{InteractionList, SuperParticle};
+pub use walk::{InteractionList, SuperParticle, WalkIndex, WalkScratch};

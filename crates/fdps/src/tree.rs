@@ -168,7 +168,12 @@ impl Tree {
     fn compute_moments(&mut self, node: usize, pos: &[Vec3], mass: &[f64], h: Option<&[f64]>) {
         let (start, end, child_start, child_count) = {
             let n = &self.nodes[node];
-            (n.start as usize, n.end as usize, n.child_start as usize, n.child_count as usize)
+            (
+                n.start as usize,
+                n.end as usize,
+                n.child_start as usize,
+                n.child_count as usize,
+            )
         };
         let mut m = 0.0;
         let mut com = Vec3::ZERO;
@@ -333,7 +338,7 @@ mod tests {
         let tree = Tree::build(&pos, &mass, 10);
         for n in &tree.nodes {
             if n.is_leaf() {
-                assert!(n.len() <= 10 || n.len() > 0);
+                assert!(n.len() <= 10 || !n.is_empty());
             }
         }
         // At least: internal nodes must have > n_leaf particles.

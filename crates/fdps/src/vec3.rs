@@ -1,12 +1,11 @@
 //! Minimal 3-vector used throughout the workspace.
 
-use serde::{Deserialize, Serialize};
 use std::ops::{Add, AddAssign, Div, DivAssign, Index, Mul, MulAssign, Neg, Sub, SubAssign};
 
 /// A 3-D vector of `f64`. Positions and velocities are stored in double
 /// precision (paper §4.3: "positions and velocities of particles are stored
 /// in double-precision variables to handle a wide range of orders").
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct Vec3 {
     pub x: f64,
     pub y: f64,

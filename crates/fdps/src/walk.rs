@@ -5,10 +5,42 @@
 //! one tree walk per group collects the *interaction list* — nearby
 //! particles kept individually plus distant nodes accepted as monopole
 //! "super-particles" — and the user kernel then evaluates group × list.
+//!
+//! # Buffer-reuse contract
+//!
+//! The walk is the hottest loop in the code and is written to perform **no
+//! heap allocation in steady state**. The contract has four parts:
+//!
+//! * [`Tree::walk_mac_into`] takes a caller-owned [`WalkScratch`] (the
+//!   explicit traversal stack) and a caller-owned [`InteractionList`] (the
+//!   `ep`/`sp` output buffers). Both are **cleared, never shrunk**: after a
+//!   warm-up walk their capacities stabilize at the high-water mark and
+//!   subsequent walks reuse the storage.
+//! * Per-thread reuse: parallel drivers thread one `WalkScratch` +
+//!   `InteractionList` pair per worker through rayon's `map_init`, so a
+//!   worker's scratch persists across all groups it processes (see
+//!   [`Tree::interaction_lists`] and the gravity solver).
+//! * Per-tree reuse: hot drivers build one [`WalkIndex`] per tree — a
+//!   compact cache-line-per-node SoA snapshot of the walk-relevant node
+//!   data (bounds, precomputed size², child/leaf encoding, monopole) — and
+//!   walk through [`Tree::walk_mac_indexed`], which also resolves
+//!   accepted/leaf children inline instead of round-tripping them through
+//!   the stack. The index is immutable and shared by all workers.
+//! * [`Tree::walk_mac_into`] is an explicit-stack DFS visiting children in
+//!   index order, so its output is **element-for-element identical** to the
+//!   recursive reference [`Tree::walk_mac_recursive`], which is kept as the
+//!   checked-in naive baseline for tests and benchmarks.
+//!   `walk_mac_indexed` emits the **same EP set and SP multiset** but in a
+//!   different (still deterministic) order, because accepted children are
+//!   emitted before their earlier siblings' subtrees are expanded.
+//!
+//! [`Tree::walk_mac`] remains as the allocation-per-call convenience
+//! wrapper for cold paths and tests.
 
 use crate::bbox::BBox;
 use crate::tree::{Tree, ROOT};
 use crate::vec3::Vec3;
+use rayon::prelude::*;
 
 /// A distant tree node accepted by the multipole acceptance criterion.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -35,6 +67,82 @@ impl InteractionList {
     pub fn is_empty(&self) -> bool {
         self.ep.is_empty() && self.sp.is_empty()
     }
+
+    /// Empty both sides, keeping their capacity for reuse.
+    pub fn clear(&mut self) {
+        self.ep.clear();
+        self.sp.clear();
+    }
+
+    /// Current `(ep, sp)` capacities — used by the zero-allocation
+    /// regression tests to detect steady-state heap growth.
+    pub fn capacities(&self) -> (usize, usize) {
+        (self.ep.capacity(), self.sp.capacity())
+    }
+}
+
+/// Reusable traversal state for the iterative MAC walk: the explicit DFS
+/// stack. Cleared (capacity kept) at the start of every walk.
+#[derive(Debug, Clone, Default)]
+pub struct WalkScratch {
+    stack: Vec<u32>,
+}
+
+impl WalkScratch {
+    /// Current stack capacity (zero-allocation regression tests).
+    pub fn capacity(&self) -> usize {
+        self.stack.capacity()
+    }
+}
+
+/// Leaf marker in [`GeoNode::a`]: set means `(a & !LEAF_BIT, b)` is the
+/// node's particle range into [`Tree::order`]; clear means `(a, b)` is
+/// `(child_start, child_count)`.
+const LEAF_BIT: u32 = 1 << 31;
+
+/// One node of the compact walk index: exactly one 64-byte cache line of
+/// everything the opening test needs.
+#[repr(C)]
+#[derive(Debug, Clone, Copy)]
+struct GeoNode {
+    lo: [f64; 3],
+    hi: [f64; 3],
+    /// Precomputed `size * size` for the acceptance test.
+    size2: f64,
+    a: u32,
+    b: u32,
+}
+
+impl GeoNode {
+    /// Minimum squared distance between this node's box and `[tlo, thi]`.
+    #[inline(always)]
+    fn dist2(&self, tlo: &[f64; 3], thi: &[f64; 3]) -> f64 {
+        let dx = (self.lo[0] - thi[0]).max(0.0).max(tlo[0] - self.hi[0]);
+        let dy = (self.lo[1] - thi[1]).max(0.0).max(tlo[1] - self.hi[1]);
+        let dz = (self.lo[2] - thi[2]).max(0.0).max(tlo[2] - self.hi[2]);
+        dx * dx + dy * dy + dz * dz
+    }
+}
+
+/// Compact per-tree walk acceleration structure (see the module docs'
+/// buffer-reuse contract). Build once per tree with [`Tree::walk_index`];
+/// immutable and shared across worker threads.
+#[derive(Debug, Clone)]
+pub struct WalkIndex {
+    geo: Vec<GeoNode>,
+    /// Monopole `[com.x, com.y, com.z, mass]`, touched only on acceptance.
+    com: Vec<[f64; 4]>,
+}
+
+impl WalkIndex {
+    /// Number of indexed nodes.
+    pub fn len(&self) -> usize {
+        self.geo.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.geo.is_empty()
+    }
 }
 
 impl Tree {
@@ -45,7 +153,81 @@ impl Tree {
     /// box — the standard Barnes–Hut opening criterion generalized to group
     /// targets. Opened leaves contribute their particles as EPJ; accepted
     /// nodes contribute their monopole as SPJ.
+    ///
+    /// Convenience wrapper over [`Tree::walk_mac_into`] that allocates its
+    /// own traversal stack; `out` is appended to (historical behaviour —
+    /// callers pass a fresh list). Hot paths should hold a [`WalkScratch`]
+    /// and call `walk_mac_into` instead.
     pub fn walk_mac(&self, target: &BBox, theta: f64, out: &mut InteractionList) {
+        let mut scratch = WalkScratch::default();
+        self.walk_mac_append(target, theta, &mut scratch, out);
+    }
+
+    /// Iterative explicit-stack MAC walk into caller-owned buffers.
+    ///
+    /// `out` is cleared first (capacity kept); `scratch` holds the DFS
+    /// stack across calls. In steady state this performs zero heap
+    /// allocation. Children are visited in index order, so the output is
+    /// identical to [`Tree::walk_mac_recursive`].
+    pub fn walk_mac_into(
+        &self,
+        target: &BBox,
+        theta: f64,
+        scratch: &mut WalkScratch,
+        out: &mut InteractionList,
+    ) {
+        out.clear();
+        self.walk_mac_append(target, theta, scratch, out);
+    }
+
+    /// The iterative walk core: appends to `out` without clearing.
+    fn walk_mac_append(
+        &self,
+        target: &BBox,
+        theta: f64,
+        scratch: &mut WalkScratch,
+        out: &mut InteractionList,
+    ) {
+        if self.is_empty() {
+            return;
+        }
+        let theta2 = theta * theta;
+        let stack = &mut scratch.stack;
+        stack.clear();
+        stack.push(ROOT as u32);
+        while let Some(node) = stack.pop() {
+            let n = &self.nodes[node as usize];
+            if n.bbox.is_empty() {
+                continue;
+            }
+            let d2 = target.dist2_to_box(&n.bbox);
+            let s = n.size();
+            // Accept as monopole when s^2 <= theta^2 d^2 (and the node is
+            // not overlapping the target, where d2 = 0 forces opening).
+            if d2 > 0.0 && s * s <= theta2 * d2 {
+                out.sp.push(SuperParticle {
+                    pos: n.com,
+                    mass: n.mass,
+                });
+                continue;
+            }
+            if n.is_leaf() {
+                out.ep.extend_from_slice(self.leaf_particles(n));
+            } else {
+                // Push in reverse so the LIFO pop visits children in index
+                // order, matching the recursive reference exactly.
+                for c in (0..n.child_count as u32).rev() {
+                    stack.push(n.child_start + c);
+                }
+            }
+        }
+    }
+
+    /// The naive recursive MAC walk, kept as the checked-in reference
+    /// baseline: tests assert the iterative walk reproduces it
+    /// element-for-element, and `cargo bench --bench force_pipeline`
+    /// measures the iterative walk's speedup against it.
+    pub fn walk_mac_recursive(&self, target: &BBox, theta: f64, out: &mut InteractionList) {
         if self.is_empty() {
             return;
         }
@@ -59,8 +241,6 @@ impl Tree {
         }
         let d2 = target.dist2_to_box(&n.bbox);
         let s = n.size();
-        // Accept as monopole when s^2 <= theta^2 d^2 (and the node is not
-        // overlapping the target, where d2 = 0 forces opening).
         if d2 > 0.0 && s * s <= theta2 * d2 {
             out.sp.push(SuperParticle {
                 pos: n.com,
@@ -77,15 +257,110 @@ impl Tree {
         }
     }
 
+    /// Build the compact walk index for this tree: one pass over the nodes,
+    /// amortized over every group walked against the tree.
+    pub fn walk_index(&self) -> WalkIndex {
+        let mut geo = Vec::with_capacity(self.nodes.len());
+        let mut com = Vec::with_capacity(self.nodes.len());
+        for nd in &self.nodes {
+            let (a, b) = if nd.bbox.is_empty() {
+                // Degenerate (empty tree root): encode as an empty leaf so
+                // the walk skips it without special cases.
+                (LEAF_BIT, 0)
+            } else if nd.is_leaf() {
+                // LEAF_BIT steals bit 31 of the range start: fail loudly
+                // rather than decode a wrong range past 2^31 particles.
+                assert!(
+                    nd.start < LEAF_BIT,
+                    "walk index supports at most 2^31 particles"
+                );
+                (nd.start | LEAF_BIT, nd.end)
+            } else {
+                (nd.child_start, nd.child_count as u32)
+            };
+            let s = nd.size();
+            geo.push(GeoNode {
+                lo: [nd.bbox.lo.x, nd.bbox.lo.y, nd.bbox.lo.z],
+                hi: [nd.bbox.hi.x, nd.bbox.hi.y, nd.bbox.hi.z],
+                size2: s * s,
+                a,
+                b,
+            });
+            com.push([nd.com.x, nd.com.y, nd.com.z, nd.mass]);
+        }
+        WalkIndex { geo, com }
+    }
+
+    /// The hot-path MAC walk over a prebuilt [`WalkIndex`].
+    ///
+    /// Same acceptance criterion as [`Tree::walk_mac_into`] and therefore
+    /// the same EP set and SP multiset, but accepted/leaf children are
+    /// resolved inline (only opened internal nodes touch the stack), so the
+    /// emission *order* differs. `out` is cleared first; `scratch` and
+    /// `out` follow the module's buffer-reuse contract.
+    pub fn walk_mac_indexed(
+        &self,
+        index: &WalkIndex,
+        target: &BBox,
+        theta: f64,
+        scratch: &mut WalkScratch,
+        out: &mut InteractionList,
+    ) {
+        debug_assert_eq!(index.geo.len(), self.nodes.len(), "index/tree mismatch");
+        out.clear();
+        if self.is_empty() {
+            return;
+        }
+        let theta2 = theta * theta;
+        let tlo = [target.lo.x, target.lo.y, target.lo.z];
+        let thi = [target.hi.x, target.hi.y, target.hi.z];
+        let stack = &mut scratch.stack;
+        stack.clear();
+
+        // Examine one node: accepted monopoles and leaves are emitted
+        // inline; only nodes that must be opened go through the stack.
+        macro_rules! examine {
+            ($n:expr) => {{
+                let node = $n;
+                let g = &index.geo[node as usize];
+                let d2 = g.dist2(&tlo, &thi);
+                if d2 > 0.0 && g.size2 <= theta2 * d2 {
+                    let c = &index.com[node as usize];
+                    out.sp.push(SuperParticle {
+                        pos: Vec3::new(c[0], c[1], c[2]),
+                        mass: c[3],
+                    });
+                } else if g.a & LEAF_BIT != 0 {
+                    out.ep
+                        .extend_from_slice(&self.order[(g.a & !LEAF_BIT) as usize..g.b as usize]);
+                } else {
+                    stack.push(node);
+                }
+            }};
+        }
+
+        examine!(ROOT as u32);
+        while let Some(n) = stack.pop() {
+            let g = index.geo[n as usize];
+            for c in (g.a..g.a + g.b).rev() {
+                examine!(c);
+            }
+        }
+    }
+
     /// Walk for every group of at most `n_group` particles: returns
     /// `(group node index, interaction list)` pairs. The group's target box
-    /// is its tight bounding box.
+    /// is its tight bounding box. Groups are walked in parallel over one
+    /// shared [`WalkIndex`]; each rayon worker keeps one [`WalkScratch`]
+    /// across all groups it processes.
     pub fn interaction_lists(&self, theta: f64, n_group: usize) -> Vec<(usize, InteractionList)> {
-        self.groups(n_group)
-            .into_iter()
-            .map(|g| {
+        let groups = self.groups(n_group);
+        let index = self.walk_index();
+        groups
+            .par_iter()
+            .map_init(WalkScratch::default, |scratch, &g| {
                 let mut list = InteractionList::default();
-                self.walk_mac(&self.nodes[g].bbox, theta, &mut list);
+                self.walk_mac_indexed(&index, &self.nodes[g].bbox, theta, scratch, &mut list);
                 (g, list)
             })
             .collect()
@@ -97,6 +372,11 @@ impl Tree {
 /// potential sum — the reference evaluator used by tests and the serial
 /// path. `idx_i` are target particle indices; EPJ indices refer into
 /// `pos`/`mass` as well.
+///
+/// The inner loops run four partial accumulators wide (independent
+/// dependency chains over EP then SP, with `eps2` hoisted) so the compiler
+/// can pipeline the sqrt/divide chain; the lane sums are reduced once per
+/// target.
 #[allow(clippy::too_many_arguments)]
 pub fn eval_gravity_reference(
     idx_i: &[u32],
@@ -111,30 +391,85 @@ pub fn eval_gravity_reference(
     for &i in idx_i {
         let i = i as usize;
         let pi = pos[i];
-        let mut a = Vec3::ZERO;
-        let mut p = 0.0;
-        for &j in &list.ep {
-            let j = j as usize;
-            if skip_self && i == j {
+        let mut ax = [0.0f64; 4];
+        let mut ay = [0.0f64; 4];
+        let mut az = [0.0f64; 4];
+        let mut ps = [0.0f64; 4];
+
+        let ep = &list.ep;
+        let mut j = 0;
+        while j + 4 <= ep.len() {
+            for lane in 0..4 {
+                let jj = ep[j + lane] as usize;
+                if skip_self && i == jj {
+                    continue;
+                }
+                let d = pi - pos[jj];
+                let r2 = d.norm2() + eps2;
+                let rinv = if r2 > 0.0 { 1.0 / r2.sqrt() } else { 0.0 };
+                let mrinv = mass[jj] * rinv;
+                let mr3 = mrinv * rinv * rinv;
+                ax[lane] -= mr3 * d.x;
+                ay[lane] -= mr3 * d.y;
+                az[lane] -= mr3 * d.z;
+                ps[lane] += mrinv;
+            }
+            j += 4;
+        }
+        while j < ep.len() {
+            let jj = ep[j] as usize;
+            j += 1;
+            if skip_self && i == jj {
                 continue;
             }
-            let d = pi - pos[j];
+            let d = pi - pos[jj];
             let r2 = d.norm2() + eps2;
-            let rinv = 1.0 / r2.sqrt();
-            let mr3 = mass[j] * rinv * rinv * rinv;
-            a -= d * mr3;
-            p += mass[j] * rinv;
+            let rinv = if r2 > 0.0 { 1.0 / r2.sqrt() } else { 0.0 };
+            let mrinv = mass[jj] * rinv;
+            let mr3 = mrinv * rinv * rinv;
+            ax[0] -= mr3 * d.x;
+            ay[0] -= mr3 * d.y;
+            az[0] -= mr3 * d.z;
+            ps[0] += mrinv;
         }
-        for s in &list.sp {
+
+        let sp = &list.sp;
+        let mut k = 0;
+        while k + 4 <= sp.len() {
+            for lane in 0..4 {
+                let s = &sp[k + lane];
+                let d = pi - s.pos;
+                let r2 = d.norm2() + eps2;
+                let rinv = if r2 > 0.0 { 1.0 / r2.sqrt() } else { 0.0 };
+                let mrinv = s.mass * rinv;
+                let mr3 = mrinv * rinv * rinv;
+                ax[lane] -= mr3 * d.x;
+                ay[lane] -= mr3 * d.y;
+                az[lane] -= mr3 * d.z;
+                ps[lane] += mrinv;
+            }
+            k += 4;
+        }
+        while k < sp.len() {
+            let s = &sp[k];
+            k += 1;
             let d = pi - s.pos;
             let r2 = d.norm2() + eps2;
-            let rinv = 1.0 / r2.sqrt();
-            let mr3 = s.mass * rinv * rinv * rinv;
-            a -= d * mr3;
-            p += s.mass * rinv;
+            let rinv = if r2 > 0.0 { 1.0 / r2.sqrt() } else { 0.0 };
+            let mrinv = s.mass * rinv;
+            let mr3 = mrinv * rinv * rinv;
+            ax[0] -= mr3 * d.x;
+            ay[0] -= mr3 * d.y;
+            az[0] -= mr3 * d.z;
+            ps[0] += mrinv;
         }
-        acc[i] += a;
-        pot[i] += p;
+
+        acc[i] += Vec3::new(
+            ax[0] + ax[1] + ax[2] + ax[3],
+            ay[0] + ay[1] + ay[2] + ay[3],
+            az[0] + az[1] + az[2] + az[3],
+        );
+        pot[i] += ps[0] + ps[1] + ps[2] + ps[3];
     }
 }
 
@@ -191,8 +526,7 @@ mod tests {
         let mut acc = vec![Vec3::ZERO; pos.len()];
         let mut pot = vec![0.0; pos.len()];
         for (g, list) in tree.interaction_lists(theta, n_group) {
-            let node = tree.nodes[g].clone();
-            let idx: Vec<u32> = tree.leaf_particles(&node).to_vec();
+            let idx: Vec<u32> = tree.leaf_particles(&tree.nodes[g]).to_vec();
             eval_gravity_reference(&idx, pos, mass, eps2, &list, &mut acc, &mut pot, true);
         }
         (acc, pot)
@@ -279,5 +613,145 @@ mod tests {
             net += *a * m;
         }
         assert!(net.norm() < 1e-9, "net force {net:?}");
+    }
+
+    /// Sort key of one super-particle: its bit-exact coordinates and mass.
+    type SpKey = (u64, u64, u64, u64);
+
+    /// Canonical (sorted) form of a list for set-equality comparison.
+    fn canonical(list: &InteractionList) -> (Vec<u32>, Vec<SpKey>) {
+        let mut ep = list.ep.clone();
+        ep.sort_unstable();
+        let mut sp: Vec<SpKey> = list
+            .sp
+            .iter()
+            .map(|s| {
+                (
+                    s.pos.x.to_bits(),
+                    s.pos.y.to_bits(),
+                    s.pos.z.to_bits(),
+                    s.mass.to_bits(),
+                )
+            })
+            .collect();
+        sp.sort_unstable();
+        (ep, sp)
+    }
+
+    /// Property test: the iterative explicit-stack walk emits exactly the
+    /// recursive reference's interaction list — same EP sequence, same SP
+    /// monopoles — and the indexed walk emits the same EP set / SP
+    /// multiset, over random clouds and a grid of `theta`/`n_group`.
+    #[test]
+    fn iterative_walk_matches_recursive_reference() {
+        for seed in 0..24u64 {
+            let mut rng = StdRng::seed_from_u64(seed * 7 + 1);
+            let n = rng.gen_range(2..600usize);
+            let (pos, mass) = random_cloud(n, seed + 100);
+            let tree = Tree::build(&pos, &mass, rng.gen_range(1..12usize));
+            let index = tree.walk_index();
+            let mut scratch = WalkScratch::default();
+            let mut iterative = InteractionList::default();
+            let mut indexed = InteractionList::default();
+            for theta in [0.0, 0.3, 0.5, 0.8, 1.2] {
+                for n_group in [1usize, 16, 64, 1024] {
+                    for g in tree.groups(n_group) {
+                        let target = tree.nodes[g].bbox;
+                        let mut recursive = InteractionList::default();
+                        tree.walk_mac_recursive(&target, theta, &mut recursive);
+                        tree.walk_mac_into(&target, theta, &mut scratch, &mut iterative);
+                        assert_eq!(
+                            iterative.ep, recursive.ep,
+                            "seed {seed} theta {theta} n_group {n_group} group {g}: EP mismatch"
+                        );
+                        assert_eq!(
+                            iterative.sp, recursive.sp,
+                            "seed {seed} theta {theta} n_group {n_group} group {g}: SP mismatch"
+                        );
+                        tree.walk_mac_indexed(&index, &target, theta, &mut scratch, &mut indexed);
+                        assert_eq!(
+                            canonical(&indexed),
+                            canonical(&recursive),
+                            "seed {seed} theta {theta} n_group {n_group} group {g}: indexed set mismatch"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// The walk scratch and output buffers stop growing after a warm-up
+    /// walk: steady-state traversals are allocation-free.
+    #[test]
+    fn walk_buffers_reach_steady_state() {
+        let (pos, mass) = random_cloud(2000, 9);
+        let tree = Tree::build(&pos, &mass, 8);
+        let groups = tree.groups(64);
+        let mut scratch = WalkScratch::default();
+        let mut list = InteractionList::default();
+        // Warm-up pass over every group.
+        for &g in &groups {
+            tree.walk_mac_into(&tree.nodes[g].bbox, 0.5, &mut scratch, &mut list);
+        }
+        let stack_cap = scratch.capacity();
+        let list_caps = list.capacities();
+        // Steady state: identical walks must not grow any buffer.
+        for _ in 0..3 {
+            for &g in &groups {
+                tree.walk_mac_into(&tree.nodes[g].bbox, 0.5, &mut scratch, &mut list);
+            }
+        }
+        assert_eq!(scratch.capacity(), stack_cap, "stack grew after warm-up");
+        assert_eq!(list.capacities(), list_caps, "ep/sp grew after warm-up");
+    }
+
+    /// The 4-wide unrolled evaluator matches a scalar direct sum bit-for-
+    /// tolerance across EP/SP splits and remainder lengths.
+    #[test]
+    fn unrolled_reference_matches_scalar_for_all_remainders() {
+        let (pos, mass) = random_cloud(70, 11);
+        let eps2 = 1e-4;
+        for n_ep in [0usize, 1, 2, 3, 4, 5, 7, 8, 13] {
+            for n_sp in [0usize, 1, 3, 4, 6, 9] {
+                let list = InteractionList {
+                    ep: (0..n_ep as u32).collect(),
+                    sp: (0..n_sp)
+                        .map(|k| SuperParticle {
+                            pos: pos[30 + k],
+                            mass: mass[30 + k] * 3.0,
+                        })
+                        .collect(),
+                };
+                let idx = [20u32, 21, 22];
+                let mut acc = vec![Vec3::ZERO; pos.len()];
+                let mut pot = vec![0.0; pos.len()];
+                eval_gravity_reference(&idx, &pos, &mass, eps2, &list, &mut acc, &mut pot, true);
+                for &i in &idx {
+                    let i = i as usize;
+                    let mut a = Vec3::ZERO;
+                    let mut p = 0.0;
+                    for &j in &list.ep {
+                        let j = j as usize;
+                        if i == j {
+                            continue;
+                        }
+                        let d = pos[i] - pos[j];
+                        let r2 = d.norm2() + eps2;
+                        let rinv = 1.0 / r2.sqrt();
+                        a -= d * (mass[j] * rinv * rinv * rinv);
+                        p += mass[j] * rinv;
+                    }
+                    for s in &list.sp {
+                        let d = pos[i] - s.pos;
+                        let r2 = d.norm2() + eps2;
+                        let rinv = 1.0 / r2.sqrt();
+                        a -= d * (s.mass * rinv * rinv * rinv);
+                        p += s.mass * rinv;
+                    }
+                    assert!((acc[i] - a).norm() < 1e-12, "ep {n_ep} sp {n_sp} acc[{i}]");
+                    assert!((pot[i] - p).abs() < 1e-12, "ep {n_ep} sp {n_sp} pot[{i}]");
+                }
+            }
+        }
     }
 }

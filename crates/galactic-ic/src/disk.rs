@@ -57,7 +57,8 @@ pub fn sample_star<R: Rng + ?Sized>(
 
     let vc = pot.vcirc(big_r);
     // Dispersions falling exponentially with radius (sigma ∝ e^{-R/2Rd}).
-    let sigma_r = disk.sigma_r * (-(big_r - 8000.0_f64.min(disk.r_max)) / (2.0 * disk.r_scale)).exp();
+    let sigma_r =
+        disk.sigma_r * (-(big_r - 8000.0_f64.min(disk.r_max)) / (2.0 * disk.r_scale)).exp();
     let sigma_phi = sigma_r * 0.7;
     let sigma_z = sigma_r * 0.5;
     // Asymmetric drift: mean rotation lags circular speed slightly.

@@ -18,11 +18,7 @@ pub fn sample_halo<R: Rng + ?Sized>(
         let (x, y, z) = isotropic_direction(rng);
         pos.push([r * x, r * y, r * z]);
         let sigma = jeans_dispersion(halo, r);
-        vel.push([
-            gauss(rng) * sigma,
-            gauss(rng) * sigma,
-            gauss(rng) * sigma,
-        ]);
+        vel.push([gauss(rng) * sigma, gauss(rng) * sigma, gauss(rng) * sigma]);
     }
     (pos, vel)
 }
@@ -90,6 +86,7 @@ mod tests {
             a
         });
         let r_typ = 30_000.0;
+        #[allow(clippy::needless_range_loop)]
         for k in 0..3 {
             assert!(mean[k].abs() < 0.05 * r_typ, "axis {k} mean {}", mean[k]);
         }
@@ -129,7 +126,8 @@ mod tests {
         let mut octants = [0usize; 8];
         for _ in 0..8000 {
             let (x, y, z) = isotropic_direction(&mut rng);
-            let idx = ((x > 0.0) as usize) | (((y > 0.0) as usize) << 1) | (((z > 0.0) as usize) << 2);
+            let idx =
+                ((x > 0.0) as usize) | (((y > 0.0) as usize) << 1) | (((z > 0.0) as usize) << 2);
             octants[idx] += 1;
             assert!((x * x + y * y + z * z - 1.0).abs() < 1e-12);
         }

@@ -98,7 +98,13 @@ impl GalaxyModel {
     /// Realize the model with the given particle counts. Generation is
     /// chunked and each chunk independently seeded, so the result is
     /// deterministic *and* parallel (the authors' per-domain AGAMA).
-    pub fn realize(&self, n_dm: usize, n_star: usize, n_gas: usize, seed: u64) -> GalaxyRealization {
+    pub fn realize(
+        &self,
+        n_dm: usize,
+        n_star: usize,
+        n_gas: usize,
+        seed: u64,
+    ) -> GalaxyRealization {
         let pot = self.potential();
         let halo = pot.halo;
 
@@ -123,13 +129,21 @@ impl GalaxyModel {
 
         GalaxyRealization {
             model: *self,
-            m_dm_particle: if n_dm > 0 { self.m_dm / n_dm as f64 } else { 0.0 },
+            m_dm_particle: if n_dm > 0 {
+                self.m_dm / n_dm as f64
+            } else {
+                0.0
+            },
             m_star_particle: if n_star > 0 {
                 self.m_star / n_star as f64
             } else {
                 0.0
             },
-            m_gas_particle: if n_gas > 0 { self.m_gas / n_gas as f64 } else { 0.0 },
+            m_gas_particle: if n_gas > 0 {
+                self.m_gas / n_gas as f64
+            } else {
+                0.0
+            },
             dm,
             stars,
             gas,
@@ -175,7 +189,10 @@ where
     let chunks: Vec<ParticleSet> = (0..n_chunks)
         .into_par_iter()
         .map(|c| {
-            let mut rng = StdRng::seed_from_u64(seed.wrapping_add(c as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            let mut rng = StdRng::seed_from_u64(
+                seed.wrapping_add(c as u64)
+                    .wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            );
             let count = CHUNK.min(n - c * CHUNK);
             let mut out = ParticleSet::default();
             out.pos.reserve(count);

@@ -36,8 +36,7 @@ impl NfwHalo {
     pub fn enclosed_mass(&self, r: f64) -> f64 {
         let r = r.min(self.r_cut);
         let x = (r / self.rs).max(0.0);
-        4.0 * std::f64::consts::PI * self.rho0 * self.rs.powi(3)
-            * (x.ln_1p() - x / (1.0 + x))
+        4.0 * std::f64::consts::PI * self.rho0 * self.rs.powi(3) * (x.ln_1p() - x / (1.0 + x))
     }
 
     /// Invert `M(<r) = frac * M(<r_cut)` by bisection.
@@ -107,8 +106,8 @@ impl CompositePotential {
         // Outer-shell term integrated numerically at coarse resolution
         // would be overkill; for v_z structure the enclosed-mass monopole
         // suffices at disk radii (r << r_cut).
-        let halo_phi = -G * m_in / r - G * (self.halo.enclosed_mass(self.halo.r_cut) - m_in)
-            / self.halo.r_cut;
+        let halo_phi =
+            -G * m_in / r - G * (self.halo.enclosed_mass(self.halo.r_cut) - m_in) / self.halo.r_cut;
         halo_phi + self.stellar_disk.potential(big_r, z) + self.gas_disk.potential(big_r, z)
     }
 }
@@ -135,7 +134,7 @@ mod tests {
         // Between 0.01 rs and 0.1 rs the log-slope should be close to -1.
         let r1 = 160.0;
         let r2 = 1600.0;
-        let slope = (h.density(r2) / h.density(r1)).ln() / (r2 / r1 as f64).ln();
+        let slope = (h.density(r2) / h.density(r1)).ln() / (r2 / r1).ln();
         assert!((-1.25..=-0.95).contains(&slope), "inner slope {slope}");
     }
 
@@ -160,7 +159,12 @@ mod tests {
         let dr = 1.0;
         let dphi = (d.potential(r + dr, 0.0) - d.potential(r - dr, 0.0)) / (2.0 * dr);
         let v2 = r * dphi;
-        assert!((d.vcirc2(r) / v2 - 1.0).abs() < 0.05, "{} vs {}", d.vcirc2(r), v2);
+        assert!(
+            (d.vcirc2(r) / v2 - 1.0).abs() < 0.05,
+            "{} vs {}",
+            d.vcirc2(r),
+            v2
+        );
     }
 
     #[test]

@@ -18,6 +18,10 @@ pub struct GravityAccum {
 /// contributes zero force and a finite self-potential, so callers pass
 /// j-lists that exclude i (FDPS ships i itself in the list; the force is
 /// zero and the potential is corrected by the caller when needed).
+/// The inner j-loop runs four independent accumulator lanes (unrolled by
+/// 4) so the sqrt/divide dependency chains pipeline; a zero `r2` (the
+/// unsoftened self-interaction) contributes zero through a branchless
+/// select rather than a loop-carried branch.
 pub fn accumulate_f64(
     ipos: &[Vec3],
     jpos: &[Vec3],
@@ -27,30 +31,51 @@ pub fn accumulate_f64(
 ) {
     debug_assert_eq!(ipos.len(), out.len());
     debug_assert_eq!(jpos.len(), jmass.len());
+    let n_j = jpos.len();
     for (i, &pi) in ipos.iter().enumerate() {
-        let mut ax = 0.0;
-        let mut ay = 0.0;
-        let mut az = 0.0;
-        let mut pot = 0.0;
-        for (j, &pj) in jpos.iter().enumerate() {
+        let mut ax = [0.0f64; 4];
+        let mut ay = [0.0f64; 4];
+        let mut az = [0.0f64; 4];
+        let mut ps = [0.0f64; 4];
+        let mut j = 0;
+        while j + 4 <= n_j {
+            for lane in 0..4 {
+                let pj = jpos[j + lane];
+                let dx = pi.x - pj.x;
+                let dy = pi.y - pj.y;
+                let dz = pi.z - pj.z;
+                let r2 = dx * dx + dy * dy + dz * dz + eps2;
+                let rinv = if r2 > 0.0 { 1.0 / r2.sqrt() } else { 0.0 };
+                let mrinv = jmass[j + lane] * rinv;
+                let mr3 = mrinv * rinv * rinv;
+                ax[lane] -= mr3 * dx;
+                ay[lane] -= mr3 * dy;
+                az[lane] -= mr3 * dz;
+                ps[lane] += mrinv;
+            }
+            j += 4;
+        }
+        while j < n_j {
+            let pj = jpos[j];
             let dx = pi.x - pj.x;
             let dy = pi.y - pj.y;
             let dz = pi.z - pj.z;
             let r2 = dx * dx + dy * dy + dz * dz + eps2;
-            if r2 == 0.0 {
-                continue; // unsoftened self-interaction
-            }
-            let rinv = 1.0 / r2.sqrt();
-            let rinv2 = rinv * rinv;
+            let rinv = if r2 > 0.0 { 1.0 / r2.sqrt() } else { 0.0 };
             let mrinv = jmass[j] * rinv;
-            let mr3 = mrinv * rinv2;
-            ax -= mr3 * dx;
-            ay -= mr3 * dy;
-            az -= mr3 * dz;
-            pot += mrinv;
+            let mr3 = mrinv * rinv * rinv;
+            ax[0] -= mr3 * dx;
+            ay[0] -= mr3 * dy;
+            az[0] -= mr3 * dz;
+            ps[0] += mrinv;
+            j += 1;
         }
-        out[i].acc += Vec3::new(ax, ay, az);
-        out[i].pot += pot;
+        out[i].acc += Vec3::new(
+            ax[0] + ax[1] + ax[2] + ax[3],
+            ay[0] + ay[1] + ay[2] + ay[3],
+            az[0] + az[1] + az[2] + az[3],
+        );
+        out[i].pot += ps[0] + ps[1] + ps[2] + ps[3];
     }
 }
 
@@ -76,33 +101,52 @@ pub fn accumulate_mixed(
     let jm: Vec<f32> = jmass.iter().map(|&m| m as f32).collect();
     let e2 = eps2 as f32;
 
+    let n_j = jx.len();
     for (i, &pi) in ipos.iter().enumerate() {
         let xi = (pi.x - origin.x) as f32;
         let yi = (pi.y - origin.y) as f32;
         let zi = (pi.z - origin.z) as f32;
-        let mut ax = 0.0f32;
-        let mut ay = 0.0f32;
-        let mut az = 0.0f32;
-        let mut pot = 0.0f32;
-        for j in 0..jx.len() {
+        // 8 f32 lanes: one AVX vector's worth of independent chains.
+        let mut ax = [0.0f32; 8];
+        let mut ay = [0.0f32; 8];
+        let mut az = [0.0f32; 8];
+        let mut ps = [0.0f32; 8];
+        let mut j = 0;
+        while j + 8 <= n_j {
+            for lane in 0..8 {
+                let dx = xi - jx[j + lane];
+                let dy = yi - jy[j + lane];
+                let dz = zi - jz[j + lane];
+                let r2 = dx * dx + dy * dy + dz * dz + e2;
+                let rinv = if r2 > 0.0 { 1.0 / r2.sqrt() } else { 0.0 };
+                let mrinv = jm[j + lane] * rinv;
+                let mr3 = mrinv * rinv * rinv;
+                ax[lane] -= mr3 * dx;
+                ay[lane] -= mr3 * dy;
+                az[lane] -= mr3 * dz;
+                ps[lane] += mrinv;
+            }
+            j += 8;
+        }
+        while j < n_j {
             let dx = xi - jx[j];
             let dy = yi - jy[j];
             let dz = zi - jz[j];
             let r2 = dx * dx + dy * dy + dz * dz + e2;
-            if r2 == 0.0 {
-                continue;
-            }
-            let rinv = 1.0 / r2.sqrt();
-            let rinv2 = rinv * rinv;
+            let rinv = if r2 > 0.0 { 1.0 / r2.sqrt() } else { 0.0 };
             let mrinv = jm[j] * rinv;
-            let mr3 = mrinv * rinv2;
-            ax -= mr3 * dx;
-            ay -= mr3 * dy;
-            az -= mr3 * dz;
-            pot += mrinv;
+            let mr3 = mrinv * rinv * rinv;
+            ax[0] -= mr3 * dx;
+            ay[0] -= mr3 * dy;
+            az[0] -= mr3 * dz;
+            ps[0] += mrinv;
+            j += 1;
         }
-        out[i].acc += Vec3::new(ax as f64, ay as f64, az as f64);
-        out[i].pot += pot as f64;
+        let sum8 = |v: [f32; 8]| -> f64 {
+            ((v[0] + v[4]) + (v[1] + v[5])) as f64 + ((v[2] + v[6]) + (v[3] + v[7])) as f64
+        };
+        out[i].acc += Vec3::new(sum8(ax), sum8(ay), sum8(az));
+        out[i].pot += sum8(ps);
     }
 }
 

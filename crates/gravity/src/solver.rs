@@ -1,10 +1,28 @@
 //! Group-wise tree gravity driver.
+//!
+//! Parallelism follows the fdps walk's buffer-reuse contract: groups are
+//! processed with rayon `map_init`, each worker owning one [`GroupScratch`]
+//! (walk stack, interaction list, and j-side SoA staging buffers) that is
+//! cleared — never reallocated — between groups. Only the per-group outputs
+//! (target indices and accumulators) are freshly allocated, and
+//! [`GravitySolver::evaluate_into`] lets callers own the result arrays too,
+//! so a simulation's steady-state force evaluation does not grow the heap.
 
 use crate::kernel::{accumulate_f64, accumulate_mixed, GravityAccum};
-use fdps::walk::InteractionList;
+use fdps::walk::{InteractionList, WalkScratch};
 use fdps::{Tree, Vec3};
 use rayon::prelude::*;
 use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Per-worker scratch reused across all groups a rayon worker processes.
+#[derive(Default)]
+struct GroupScratch {
+    walk: WalkScratch,
+    list: InteractionList,
+    jpos: Vec<Vec3>,
+    jmass: Vec<f64>,
+    ipos: Vec<Vec3>,
+}
 
 /// Result of a gravity evaluation over the local particles.
 #[derive(Debug, Clone)]
@@ -65,18 +83,50 @@ impl GravitySolver {
         mass: &[f64],
         n_local: usize,
     ) -> GravityResult {
+        let mut acc = Vec::new();
+        let mut pot = Vec::new();
+        let interactions = self.evaluate_into(tree, pos, mass, n_local, &mut acc, &mut pot);
+        GravityResult {
+            acc,
+            pot,
+            interactions,
+        }
+    }
+
+    /// Evaluate into caller-owned result buffers (`acc`/`pot` are resized
+    /// to `n_local` in place, capacity retained), returning the interaction
+    /// count. This is the zero-allocation entry point the simulation driver
+    /// uses every step.
+    pub fn evaluate_into(
+        &self,
+        tree: &Tree,
+        pos: &[Vec3],
+        mass: &[f64],
+        n_local: usize,
+        acc: &mut Vec<Vec3>,
+        pot: &mut Vec<f64>,
+    ) -> u64 {
         let eps2 = 2.0 * self.eps * self.eps; // eps_i^2 + eps_j^2, equal eps
         let interactions = AtomicU64::new(0);
         let groups = tree.groups(self.n_group);
+        // One compact walk index per evaluation, shared by all workers.
+        let index = tree.walk_index();
 
         // Each group owns disjoint i-particles, so groups parallelize
-        // cleanly; results are written into per-group buffers then scattered.
+        // cleanly; a worker's walk/list/SoA scratch persists across its
+        // groups, and only the per-group outputs are freshly allocated.
         let per_group: Vec<(Vec<u32>, Vec<GravityAccum>)> = groups
             .par_iter()
-            .map(|&g| {
+            .map_init(GroupScratch::default, |scratch, &g| {
                 let node = &tree.nodes[g];
-                let mut list = InteractionList::default();
-                tree.walk_mac(&node.bbox, self.theta, &mut list);
+                tree.walk_mac_indexed(
+                    &index,
+                    &node.bbox,
+                    self.theta,
+                    &mut scratch.walk,
+                    &mut scratch.list,
+                );
+                let list = &scratch.list;
 
                 let targets: Vec<u32> = tree
                     .leaf_particles(node)
@@ -87,11 +137,18 @@ impl GravitySolver {
                 if targets.is_empty() {
                     return (targets, Vec::new());
                 }
-                let ipos: Vec<Vec3> = targets.iter().map(|&i| pos[i as usize]).collect();
+                let ipos = &mut scratch.ipos;
+                ipos.clear();
+                ipos.extend(targets.iter().map(|&i| pos[i as usize]));
 
-                // Assemble the j-side SoA: EP entries then SP monopoles.
-                let mut jpos: Vec<Vec3> = Vec::with_capacity(list.len());
-                let mut jmass: Vec<f64> = Vec::with_capacity(list.len());
+                // Assemble the j-side SoA: EP entries then SP monopoles,
+                // fused into one contiguous kernel launch.
+                let jpos = &mut scratch.jpos;
+                let jmass = &mut scratch.jmass;
+                jpos.clear();
+                jmass.clear();
+                jpos.reserve(list.len());
+                jmass.reserve(list.len());
                 for &j in &list.ep {
                     jpos.push(pos[j as usize]);
                     jmass.push(mass[j as usize]);
@@ -100,15 +157,14 @@ impl GravitySolver {
                     jpos.push(s.pos);
                     jmass.push(s.mass);
                 }
-                interactions
-                    .fetch_add((ipos.len() * jpos.len()) as u64, Ordering::Relaxed);
+                interactions.fetch_add((ipos.len() * jpos.len()) as u64, Ordering::Relaxed);
 
                 let mut accum = vec![GravityAccum::default(); ipos.len()];
                 if self.mixed_precision {
                     let origin = node.bbox.center();
-                    accumulate_mixed(origin, &ipos, &jpos, &jmass, eps2, &mut accum);
+                    accumulate_mixed(origin, ipos, jpos, jmass, eps2, &mut accum);
                 } else {
-                    accumulate_f64(&ipos, &jpos, &jmass, eps2, &mut accum);
+                    accumulate_f64(ipos, jpos, jmass, eps2, &mut accum);
                 }
                 // Remove the softened self-interaction: zero force but a
                 // spurious self-potential m_i/eps.
@@ -122,19 +178,17 @@ impl GravitySolver {
             })
             .collect();
 
-        let mut acc = vec![Vec3::ZERO; n_local];
-        let mut pot = vec![0.0; n_local];
+        acc.clear();
+        acc.resize(n_local, Vec3::ZERO);
+        pot.clear();
+        pot.resize(n_local, 0.0);
         for (targets, accum) in per_group {
             for (k, &i) in targets.iter().enumerate() {
                 acc[i as usize] = accum[k].acc * self.g;
                 pot[i as usize] = -self.g * accum[k].pot;
             }
         }
-        GravityResult {
-            acc,
-            pot,
-            interactions: interactions.into_inner(),
-        }
+        interactions.into_inner()
     }
 }
 
@@ -262,6 +316,7 @@ mod tests {
         // Forces on locals must include the imported sources: compare with
         // a direct sum over ALL particles.
         let (acc_all, _) = direct(&pos, &mass, 1.0, 0.01);
+        #[allow(clippy::needless_range_loop)]
         for i in 0..n_local {
             assert!((r.acc[i] - acc_all[i]).norm() < 1e-10);
         }

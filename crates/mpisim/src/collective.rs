@@ -80,7 +80,11 @@ impl Comm {
         let val = have.expect("bcast: internal tree error");
 
         // Forward to children: all set bits above our lowest set bit.
-        let lowest = if vrank == 0 { p.next_power_of_two() } else { vrank & vrank.wrapping_neg() };
+        let lowest = if vrank == 0 {
+            p.next_power_of_two()
+        } else {
+            vrank & vrank.wrapping_neg()
+        };
         let mut mask = 1usize;
         while mask < p {
             if mask < lowest {
@@ -178,6 +182,7 @@ impl Comm {
                 // Accept in any arrival order: each sender uses its own slot tag.
                 // We receive sequentially by source to keep matching simple.
             }
+            #[allow(clippy::needless_range_loop)]
             for src in 1..p {
                 out[src] = Some(self.recv_raw(src, tag));
             }
@@ -372,9 +377,7 @@ mod tests {
     fn alltoallv_exchanges_addressed_data() {
         World::new(5).run(|c| {
             // Rank i sends [i*10 + j] to rank j.
-            let sends: Vec<Vec<u64>> = (0..5)
-                .map(|j| vec![(c.rank() * 10 + j) as u64])
-                .collect();
+            let sends: Vec<Vec<u64>> = (0..5).map(|j| vec![(c.rank() * 10 + j) as u64]).collect();
             let recvs = c.alltoallv(sends);
             for (src, v) in recvs.iter().enumerate() {
                 assert_eq!(v, &vec![(src * 10 + c.rank()) as u64]);

@@ -86,13 +86,7 @@ impl Comm {
         self.send_raw(dst, tag, bytes, data);
     }
 
-    pub(crate) fn send_raw<T: Send + 'static>(
-        &self,
-        dst: usize,
-        tag: u64,
-        bytes: usize,
-        data: T,
-    ) {
+    pub(crate) fn send_raw<T: Send + 'static>(&self, dst: usize, tag: u64, bytes: usize, data: T) {
         let world_dst = self.members[dst];
         self.shared.stats[self.my_world_rank()].record_send(bytes);
         self.shared.mailboxes[world_dst].post(Message::new(self.id, self.rank, tag, bytes, data));

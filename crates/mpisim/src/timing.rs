@@ -128,10 +128,10 @@ impl PhaseReport {
 
     /// Render as an aligned text table.
     pub fn to_table(&self) -> String {
-        let mut s = String::from(format!(
+        let mut s = format!(
             "{:<42} {:>12} {:>8} {:>12}\n",
             "Phase", "Total [s]", "Calls", "Mean [s]"
-        ));
+        );
         for e in &self.entries {
             s.push_str(&format!(
                 "{:<42} {:>12.6} {:>8} {:>12.6}\n",

@@ -34,11 +34,11 @@ impl TorusDims {
         // Enumerate factor triples; p is a rank count, so this stays tiny.
         let mut a = 1;
         while a * a * a <= p {
-            if p % a == 0 {
+            if p.is_multiple_of(a) {
                 let rest = p / a;
                 let mut b = a;
                 while b * b <= rest {
-                    if rest % b == 0 {
+                    if rest.is_multiple_of(b) {
                         let c = rest / b;
                         // Perimeter-like score: smaller means more cubic.
                         let score = (c - a) + (c - b);
@@ -176,7 +176,11 @@ impl Comm {
 
         let mut kept: Vec<Routed<T>> = Vec::new();
         if let Some(local) = buckets.remove(&me) {
-            kept.extend(local.into_iter().map(|(src, dst, data)| Routed { src, dst, data }));
+            kept.extend(
+                local
+                    .into_iter()
+                    .map(|(src, dst, data)| Routed { src, dst, data }),
+            );
         }
         for &peer in &line {
             if peer == me {
@@ -191,7 +195,11 @@ impl Comm {
                 continue;
             }
             let incoming: Vec<(usize, usize, Vec<T>)> = self.recv_raw(peer, tag);
-            kept.extend(incoming.into_iter().map(|(src, dst, data)| Routed { src, dst, data }));
+            kept.extend(
+                incoming
+                    .into_iter()
+                    .map(|(src, dst, data)| Routed { src, dst, data }),
+            );
         }
         kept
     }
@@ -235,7 +243,11 @@ mod tests {
         let dims = TorusDims::new(2, 2, 2);
         World::new(8).run(|c| {
             let sends: Vec<Vec<u64>> = (0..8)
-                .map(|j| (0..=j as u64).map(|k| (c.rank() * 100 + j) as u64 + k).collect())
+                .map(|j| {
+                    (0..=j as u64)
+                        .map(|k| (c.rank() * 100 + j) as u64 + k)
+                        .collect()
+                })
                 .collect();
             let sends2 = sends.clone();
             let flat = c.alltoallv(sends);

@@ -175,8 +175,8 @@ impl StepModel {
 
         // --- Particle exchange: decomposition bookkeeping O(p) + migration.
         let migrate_bytes = n_loc * cal.migrate_frac * 64.0;
-        let t_exch = cal.dd_per_rank_s / speed * p as f64
-            + m.alltoallv_time(p, migrate_bytes / p as f64);
+        let t_exch =
+            cal.dd_per_rank_s / speed * p as f64 + m.alltoallv_time(p, migrate_bytes / p as f64);
         phases.push(PhaseCost {
             name: "Particle exchange",
             seconds: t_exch,
@@ -199,8 +199,7 @@ impl StepModel {
         // --- LET exchange: per-rank LET construction dominates at scale,
         // plus the staged surface volume.
         let surface = n_loc.powf(2.0 / 3.0);
-        let t_let_build = cal.let_build_s / speed * (p as f64 - 1.0) * n_loc.log2().max(1.0)
-            / 21.0; // normalized to the anchor's log2(2e6) = 21 levels
+        let t_let_build = cal.let_build_s / speed * (p as f64 - 1.0) * n_loc.log2().max(1.0) / 21.0; // normalized to the anchor's log2(2e6) = 21 levels
         let t_let_vol = m.alltoallv_time(p, surface * cal.let_surface_bytes / p as f64);
         phases.push(PhaseCost {
             name: "LET exchange (gravity)",
@@ -268,7 +267,10 @@ mod tests {
         let run = RunPoint::weak_mw2m_anchor();
         let b = model.step(&run);
         let check = |name: &str, paper_s: f64, tol: f64| {
-            let got = b.get(name).unwrap_or_else(|| panic!("phase {name}")).seconds;
+            let got = b
+                .get(name)
+                .unwrap_or_else(|| panic!("phase {name}"))
+                .seconds;
             assert!(
                 (got / paper_s - 1.0).abs() < tol,
                 "{name}: modeled {got:.3} s vs paper {paper_s} s"
@@ -387,9 +389,8 @@ mod tests {
             n_g: 65536,
         };
         let miyabi = StepModel::new(Machine::miyabi()).step(&run);
-        let share = |b: &PhaseBreakdown| {
-            b.get("Interaction (hydro force)").unwrap().seconds / b.total_s()
-        };
+        let share =
+            |b: &PhaseBreakdown| b.get("Interaction (hydro force)").unwrap().seconds / b.total_s();
         let rusty = StepModel::new(Machine::rusty()).step(&RunPoint { p: 193, ..run });
         assert!(share(&miyabi) > share(&rusty));
     }

@@ -13,10 +13,7 @@ pub struct ScalingCurve {
 impl ScalingCurve {
     /// Wall-clock totals per node count.
     pub fn totals(&self) -> Vec<(usize, f64)> {
-        self.points
-            .iter()
-            .map(|(p, b)| (*p, b.total_s()))
-            .collect()
+        self.points.iter().map(|(p, b)| (*p, b.total_s())).collect()
     }
 
     /// CSV: node count, total, then one column per phase.
@@ -148,10 +145,7 @@ mod tests {
             &node_sweep(128, 148_896),
         );
         let eff = curve.efficiency(true);
-        assert!(
-            (0.25..0.75).contains(&eff),
-            "raw weak efficiency {eff}"
-        );
+        assert!((0.25..0.75).contains(&eff), "raw weak efficiency {eff}");
         // Correct for the log2(N) growth of the interaction work, as the
         // paper does: the corrected efficiency should land near 54 %.
         let n0: f64 = 2.0e6 * 128.0;

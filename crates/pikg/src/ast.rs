@@ -92,7 +92,10 @@ impl KernelSpec {
         sorted.sort_unstable();
         for w in sorted.windows(2) {
             if w[0] == w[1] {
-                return Err(format!("kernel {}: duplicate declaration `{}`", self.name, w[0]));
+                return Err(format!(
+                    "kernel {}: duplicate declaration `{}`",
+                    self.name, w[0]
+                ));
             }
         }
         for stmt in &self.body {
@@ -166,11 +169,14 @@ mod tests {
             epj: vec!["xj".into()],
             force: vec!["f".into()],
             body: vec![
-                Stmt::Assign("d".into(), Expr::Bin(
-                    BinOp::Sub,
-                    Box::new(Expr::Var("xi".into())),
-                    Box::new(Expr::Var("xj".into())),
-                )),
+                Stmt::Assign(
+                    "d".into(),
+                    Expr::Bin(
+                        BinOp::Sub,
+                        Box::new(Expr::Var("xi".into())),
+                        Box::new(Expr::Var("xj".into())),
+                    ),
+                ),
                 Stmt::Accumulate("f".into(), Expr::Var("d".into())),
             ],
         }
@@ -184,7 +190,8 @@ mod tests {
     #[test]
     fn undefined_variable_rejected() {
         let mut s = minimal_spec();
-        s.body.push(Stmt::Accumulate("f".into(), Expr::Var("nope".into())));
+        s.body
+            .push(Stmt::Accumulate("f".into(), Expr::Var("nope".into())));
         assert!(s.validate().unwrap_err().contains("undefined variable"));
     }
 

@@ -1,5 +1,8 @@
 //! Regenerate the committed generated-kernel sources.
 fn main() {
     let spec = pikg::parser::parse(pikg::kernels::GRAVITY_DSL).expect("bundled kernel");
-    print!("{}", pikg::codegen::generate_rust(&spec, "generated").expect("generate"));
+    print!(
+        "{}",
+        pikg::codegen::generate_rust(&spec, "generated").expect("generate")
+    );
 }

@@ -151,14 +151,7 @@ impl CompiledKernel {
 }
 
 #[inline(always)]
-fn step(
-    instr: &Instr,
-    regs: &mut [f64],
-    acc: &mut [f64],
-    bufs: &SoaBuffers,
-    i: usize,
-    j: usize,
-) {
+fn step(instr: &Instr, regs: &mut [f64], acc: &mut [f64], bufs: &SoaBuffers, i: usize, j: usize) {
     match *instr {
         Instr::Const(d, v) => regs[d as usize] = v,
         Instr::LoadI(d, s) => regs[d as usize] = bufs.epi[s as usize][i],
@@ -281,7 +274,11 @@ mod tests {
         let mut xs = [[0.0f64; 3]; 8];
         let mut ms = [0.0f64; 8];
         for i in 0..n {
-            xs[i] = [i as f64 * 0.37, (i * i % 5) as f64 * 0.21, -(i as f64) * 0.11];
+            xs[i] = [
+                i as f64 * 0.37,
+                (i * i % 5) as f64 * 0.21,
+                -(i as f64) * 0.11,
+            ];
             ms[i] = 1.0 + i as f64 * 0.25;
         }
         let eps2 = 1e-4;

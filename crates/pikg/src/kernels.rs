@@ -132,7 +132,10 @@ mod tests {
     #[test]
     fn gravity_counts_exactly_27_paper_ops() {
         let k = compile(GRAVITY_DSL).unwrap();
-        assert_eq!(k.flops_per_interaction(FlopPolicy::paper()), PAPER_GRAVITY_OPS);
+        assert_eq!(
+            k.flops_per_interaction(FlopPolicy::paper()),
+            PAPER_GRAVITY_OPS
+        );
     }
 
     #[test]
@@ -140,8 +143,7 @@ mod tests {
         let k = compile(DENSITY_DSL).unwrap();
         let n = k.flops_per_interaction(FlopPolicy::paper());
         assert!(
-            (PAPER_DENSITY_OPS as f64 * 0.5..=PAPER_DENSITY_OPS as f64 * 1.5)
-                .contains(&(n as f64)),
+            (PAPER_DENSITY_OPS as f64 * 0.5..=PAPER_DENSITY_OPS as f64 * 1.5).contains(&(n as f64)),
             "density kernel counts {n} ops, expected around {PAPER_DENSITY_OPS}"
         );
     }

@@ -114,7 +114,10 @@ pub fn lex(src: &str) -> Result<Vec<Tok>, String> {
                     toks.push(Tok::Ident(line[i..=end].to_string()));
                 }
                 other => {
-                    return Err(format!("line {}: unexpected character `{other}`", lineno + 1))
+                    return Err(format!(
+                        "line {}: unexpected character `{other}`",
+                        lineno + 1
+                    ))
                 }
             }
         }
@@ -159,7 +162,12 @@ mod tests {
         let t = lex("// header\n\na = 1 # trailing\n").unwrap();
         assert_eq!(
             t,
-            vec![Tok::Ident("a".into()), Tok::Assign, Tok::Num(1.0), Tok::Newline]
+            vec![
+                Tok::Ident("a".into()),
+                Tok::Assign,
+                Tok::Num(1.0),
+                Tok::Newline
+            ]
         );
     }
 

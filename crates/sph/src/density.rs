@@ -94,6 +94,9 @@ pub fn density_one(
 /// Converge smoothing lengths and densities for all `targets` (indices into
 /// `pos`). Runs particles in parallel. `h` is the in/out smoothing-length
 /// array; returns (rho, n_ngb, total_iterations) per target in target order.
+///
+/// Allocates a fresh search-radius buffer per call; hot paths should hold
+/// the buffer and call [`compute_density_into`].
 pub fn compute_density(
     kernel: &dyn SphKernel,
     cfg: &DensityConfig,
@@ -102,10 +105,28 @@ pub fn compute_density(
     h: &mut [f64],
     targets: &[usize],
 ) -> Vec<DensityResult> {
+    let mut radii = Vec::new();
+    compute_density_into(kernel, cfg, pos, mass, h, targets, &mut radii)
+}
+
+/// [`compute_density`] with the per-call search-radius allocation hoisted
+/// into a caller-owned scratch buffer (cleared in place, capacity kept) —
+/// the solver passes its [`crate::solver::SphScratch`] so steady-state
+/// density passes don't grow the heap.
+pub fn compute_density_into(
+    kernel: &dyn SphKernel,
+    cfg: &DensityConfig,
+    pos: &[Vec3],
+    mass: &[f64],
+    h: &mut [f64],
+    targets: &[usize],
+    radii: &mut Vec<f64>,
+) -> Vec<DensityResult> {
     // The tree's stored per-particle radii cover the scatter side; rebuild
     // with the current (pre-iteration) h values.
-    let radii: Vec<f64> = h.iter().map(|&hi| kernel.support() * hi).collect();
-    let tree = Tree::build_with_h(pos, mass, Some(&radii), 16);
+    radii.clear();
+    radii.extend(h.iter().map(|&hi| kernel.support() * hi));
+    let tree = Tree::build_with_h(pos, mass, Some(radii), 16);
     let results: Vec<DensityResult> = targets
         .par_iter()
         .map_init(Vec::new, |scratch, &i| {

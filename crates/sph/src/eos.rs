@@ -74,9 +74,7 @@ mod tests {
     fn pressure_and_p_over_rho2_consistent() {
         let eos = GammaLawEos::default();
         let (rho, u) = (3.0, 7.0);
-        assert!(
-            (eos.pressure(rho, u) / (rho * rho) - eos.p_over_rho2(rho, u)).abs() < 1e-14
-        );
+        assert!((eos.pressure(rho, u) / (rho * rho) - eos.p_over_rho2(rho, u)).abs() < 1e-14);
     }
 
     #[test]

@@ -124,7 +124,12 @@ mod tests {
     #[test]
     fn newtons_third_law_momentum_and_energy() {
         let a = make(Vec3::ZERO, Vec3::new(0.3, 0.0, 0.0), 1.5, 2.0);
-        let b = make(Vec3::new(0.5, 0.4, -0.2), Vec3::new(-0.1, 0.2, 0.0), 0.8, 1.0);
+        let b = make(
+            Vec3::new(0.5, 0.4, -0.2),
+            Vec3::new(-0.1, 0.2, 0.0),
+            0.8,
+            1.0,
+        );
         let mut fa = HydroAccum::default();
         let mut fb = HydroAccum::default();
         let visc = Viscosity::default();
@@ -152,7 +157,12 @@ mod tests {
 
         // Approaching: viscosity raises both the force and v_sig.
         let a2 = make(Vec3::ZERO, Vec3::new(1.0, 0.0, 0.0), 1.0, 1.0);
-        let b2 = make(Vec3::new(0.7, 0.0, 0.0), Vec3::new(-1.0, 0.0, 0.0), 1.0, 1.0);
+        let b2 = make(
+            Vec3::new(0.7, 0.0, 0.0),
+            Vec3::new(-1.0, 0.0, 0.0),
+            1.0,
+            1.0,
+        );
         let mut out2 = HydroAccum::default();
         pair_force(&CubicSpline, &visc, &a2, &b2, &mut out2);
         assert!(out2.dudt > 0.0, "compression must heat: {}", out2.dudt);

@@ -26,7 +26,7 @@ pub mod timestep;
 
 pub use eos::GammaLawEos;
 pub use kernel::{CubicSpline, PpaSpline, SphKernel, WendlandC2};
-pub use solver::{HydroState, SphSolver};
+pub use solver::{HydroState, SphScratch, SphSolver};
 
 /// Paper-convention operations per density interaction (Table 4).
 pub const DENSITY_OPS_PER_INTERACTION: usize = pikg::kernels::PAPER_DENSITY_OPS;

@@ -1,6 +1,13 @@
 //! Rayon-parallel SPH driver over a neighbor-search tree.
+//!
+//! The per-pass staging buffers (search radii, target indices, j-side
+//! hydro inputs) live in a caller-owned [`SphScratch`]: the
+//! `density_pass_with`/`force_pass_with` entry points clear — never shrink
+//! — the scratch, so a simulation's steady-state hydro evaluation performs
+//! no heap allocation in this layer. The scratch-free `density_pass`/
+//! `force_pass` wrappers remain for cold paths and tests.
 
-use crate::density::{compute_density, DensityConfig};
+use crate::density::{compute_density_into, DensityConfig};
 use crate::eos::GammaLawEos;
 use crate::force::{pair_force, HydroAccum, HydroInput, Viscosity};
 use crate::kernel::{CubicSpline, SphKernel};
@@ -73,6 +80,29 @@ impl HydroState {
     }
 }
 
+/// Reusable staging buffers for the SPH passes: cleared in place every
+/// pass, capacities stabilize at the high-water mark after warm-up.
+#[derive(Debug, Clone, Default)]
+pub struct SphScratch {
+    /// Per-particle search radii (`support * h`), fed to the tree build.
+    radii: Vec<f64>,
+    /// Target indices of the density pass.
+    targets: Vec<usize>,
+    /// Per-particle hydro inputs of the force pass.
+    inputs: Vec<HydroInput>,
+}
+
+impl SphScratch {
+    /// Buffer capacities, for zero-allocation regression tests.
+    pub fn capacities(&self) -> [usize; 3] {
+        [
+            self.radii.capacity(),
+            self.targets.capacity(),
+            self.inputs.capacity(),
+        ]
+    }
+}
+
 /// Interaction statistics of one force pass.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct SphStats {
@@ -107,15 +137,28 @@ impl<K: SphKernel> SphSolver<K> {
     /// paper's phase breakdown): converge `h`, fill `rho`, `cs`, `n_ngb` for
     /// the first `n_local` particles. Ghosts contribute as sources.
     pub fn density_pass(&self, state: &mut HydroState, n_local: usize) -> SphStats {
+        self.density_pass_with(state, n_local, &mut SphScratch::default())
+    }
+
+    /// [`SphSolver::density_pass`] with caller-owned staging buffers; the
+    /// zero-allocation entry point the simulation driver uses every step.
+    pub fn density_pass_with(
+        &self,
+        state: &mut HydroState,
+        n_local: usize,
+        scratch: &mut SphScratch,
+    ) -> SphStats {
         state.resize_derived();
-        let targets: Vec<usize> = (0..n_local).collect();
-        let results = compute_density(
+        scratch.targets.clear();
+        scratch.targets.extend(0..n_local);
+        let results = compute_density_into(
             &self.kernel,
             &self.density_cfg,
             &state.pos,
             &state.mass,
             &mut state.h,
-            &targets,
+            &scratch.targets,
+            &mut scratch.radii,
         );
         let mut stats = SphStats::default();
         for (i, r) in results.iter().enumerate() {
@@ -131,22 +174,34 @@ impl<K: SphKernel> SphSolver<K> {
     /// the first `n_local` particles. Requires a prior density pass, and
     /// ghosts (if any) must arrive with converged `rho`, `h`, `u`.
     pub fn force_pass(&self, state: &mut HydroState, n_local: usize) -> SphStats {
+        self.force_pass_with(state, n_local, &mut SphScratch::default())
+    }
+
+    /// [`SphSolver::force_pass`] with caller-owned staging buffers; the
+    /// zero-allocation entry point the simulation driver uses every step.
+    pub fn force_pass_with(
+        &self,
+        state: &mut HydroState,
+        n_local: usize,
+        scratch: &mut SphScratch,
+    ) -> SphStats {
         state.resize_derived();
         let support = self.kernel.support();
-        let radii: Vec<f64> = state.h.iter().map(|&h| support * h).collect();
-        let tree = Tree::build_with_h(&state.pos, &state.mass, Some(&radii), 16);
+        scratch.radii.clear();
+        scratch.radii.extend(state.h.iter().map(|&h| support * h));
+        let tree = Tree::build_with_h(&state.pos, &state.mass, Some(&scratch.radii), 16);
 
-        let inputs: Vec<HydroInput> = (0..state.len())
-            .map(|i| HydroInput {
-                pos: state.pos[i],
-                vel: state.vel[i],
-                mass: state.mass[i],
-                h: state.h[i],
-                rho: state.rho[i].max(1e-300),
-                p_over_rho2: self.eos.p_over_rho2(state.rho[i].max(1e-300), state.u[i]),
-                cs: self.eos.sound_speed(state.u[i]),
-            })
-            .collect();
+        scratch.inputs.clear();
+        scratch.inputs.extend((0..state.len()).map(|i| HydroInput {
+            pos: state.pos[i],
+            vel: state.vel[i],
+            mass: state.mass[i],
+            h: state.h[i],
+            rho: state.rho[i].max(1e-300),
+            p_over_rho2: self.eos.p_over_rho2(state.rho[i].max(1e-300), state.u[i]),
+            cs: self.eos.sound_speed(state.u[i]),
+        }));
+        let inputs = &scratch.inputs;
 
         let results: Vec<(HydroAccum, u64)> = (0..n_local)
             .into_par_iter()
@@ -181,8 +236,11 @@ impl<K: SphKernel> SphSolver<K> {
     pub fn min_timestep(&self, state: &HydroState, n_local: usize) -> f64 {
         (0..n_local)
             .map(|i| {
-                dt_cfl(self.cfl, state.h[i], state.cs[i], state.v_sig[i])
-                    .min(dt_accel(self.cfl, state.h[i], state.acc[i].norm()))
+                dt_cfl(self.cfl, state.h[i], state.cs[i], state.v_sig[i]).min(dt_accel(
+                    self.cfl,
+                    state.h[i],
+                    state.acc[i].norm(),
+                ))
             })
             .fold(f64::INFINITY, f64::min)
     }
@@ -233,9 +291,8 @@ mod tests {
         };
         for i in 0..n {
             let p = s.pos[i];
-            let interior = (2.5..4.5).contains(&p.x)
-                && (2.5..4.5).contains(&p.y)
-                && (2.5..4.5).contains(&p.z);
+            let interior =
+                (2.5..4.5).contains(&p.x) && (2.5..4.5).contains(&p.y) && (2.5..4.5).contains(&p.z);
             if interior {
                 assert!(
                     s.acc[i].norm() < 0.5 * pressure_scale,
@@ -317,10 +374,7 @@ mod tests {
         solver.force_pass(&mut hot, n);
         let dt_cold = solver.min_timestep(&cold, n);
         let dt_hot = solver.min_timestep(&hot, n);
-        assert!(
-            dt_hot < dt_cold / 10.0,
-            "hot {dt_hot} vs cold {dt_cold}"
-        );
+        assert!(dt_hot < dt_cold / 10.0, "hot {dt_hot} vs cold {dt_cold}");
     }
 
     #[test]

@@ -82,6 +82,7 @@ mod tests {
         for i in 0..n * n * n {
             f.density[i] = rho;
             f.temperature[i] = temp;
+            #[allow(clippy::needless_range_loop)]
             for a in 0..3 {
                 f.vel[a][i] = v[a];
             }

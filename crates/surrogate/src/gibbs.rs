@@ -97,8 +97,7 @@ pub fn grid_to_particles<R: Rng + ?Sized>(
         let temp = fields.sample(&fields.temperature, pos).max(1.0);
         let rho_here = fields.sample(&fields.density, pos).max(1e-12);
         // Smoothing length guess from the local density and equal mass.
-        let h = 0.5 * (3.0 * 32.0 * mass / (4.0 * std::f64::consts::PI * rho_here))
-            .powf(1.0 / 3.0);
+        let h = 0.5 * (3.0 * 32.0 * mass / (4.0 * std::f64::consts::PI * rho_here)).powf(1.0 / 3.0);
         out.push(GasParticle {
             pos,
             vel,
@@ -177,6 +176,7 @@ mod tests {
         let mut expect = vec![0.0f64; n];
         for k in 0..n {
             for j in 0..n {
+                #[allow(clippy::needless_range_loop)]
                 for i in 0..n {
                     expect[i] += fields.density[fields.grid.flat(i, j, k)];
                 }

@@ -106,12 +106,7 @@ impl SurrogateModel {
     }
 
     /// Train on encoded samples; returns per-epoch mean losses.
-    pub fn train(
-        &mut self,
-        samples: &[unet::TrainSample],
-        epochs: usize,
-        lr: f64,
-    ) -> Vec<f64> {
+    pub fn train(&mut self, samples: &[unet::TrainSample], epochs: usize, lr: f64) -> Vec<f64> {
         let net = std::mem::replace(
             &mut self.net,
             UNet3d::new(
@@ -247,7 +242,11 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(8);
         let out = model.predict_particles(&mut rng, center, &parts);
         for p in &out {
-            assert!((p.pos - center).norm() < 60.0, "particle strayed: {:?}", p.pos);
+            assert!(
+                (p.pos - center).norm() < 60.0,
+                "particle strayed: {:?}",
+                p.pos
+            );
         }
     }
 }

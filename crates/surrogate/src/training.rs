@@ -72,6 +72,7 @@ pub fn make_fields_pair<R: Rng + ?Sized>(
                 let contrast = (0.5 * speed2 / (setup.v_rms * setup.v_rms).max(1e-12)).min(2.0);
                 input.density[idx] = rho0 * (1.0 + contrast);
                 input.temperature[idx] = setup.t_ambient;
+                #[allow(clippy::needless_range_loop)]
                 for a in 0..3 {
                     input.vel[a][idx] = v[a];
                 }
@@ -171,11 +172,8 @@ mod tests {
                     let r = c.norm();
                     if r > 2.0 && r < blast_r {
                         let idx = grid.flat(i, j, k);
-                        let v = Vec3::new(
-                            target.vel[0][idx],
-                            target.vel[1][idx],
-                            target.vel[2][idx],
-                        );
+                        let v =
+                            Vec3::new(target.vel[0][idx], target.vel[1][idx], target.vel[2][idx]);
                         total += 1;
                         if v.dot(c) > 0.0 {
                             outward += 1;

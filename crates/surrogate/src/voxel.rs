@@ -56,7 +56,12 @@ impl VoxelGrid {
     #[inline]
     pub fn voxel_center(&self, i: usize, j: usize, k: usize) -> Vec3 {
         let d = self.voxel_size();
-        self.origin + Vec3::new((i as f64 + 0.5) * d, (j as f64 + 0.5) * d, (k as f64 + 0.5) * d)
+        self.origin
+            + Vec3::new(
+                (i as f64 + 0.5) * d,
+                (j as f64 + 0.5) * d,
+                (k as f64 + 0.5) * d,
+            )
     }
 
     #[inline]
@@ -116,7 +121,11 @@ impl VoxelFields {
         let cl = |v: f64| v.clamp(0.0, (n - 1) as f64);
         let (fx, fy, fz) = (cl(rel.x), cl(rel.y), cl(rel.z));
         let (i0, j0, k0) = (fx as usize, fy as usize, fz as usize);
-        let (i1, j1, k1) = ((i0 + 1).min(n - 1), (j0 + 1).min(n - 1), (k0 + 1).min(n - 1));
+        let (i1, j1, k1) = (
+            (i0 + 1).min(n - 1),
+            (j0 + 1).min(n - 1),
+            (k0 + 1).min(n - 1),
+        );
         let (tx, ty, tz) = (fx - i0 as f64, fy - j0 as f64, fz - k0 as f64);
         let f = |i: usize, j: usize, k: usize| field[self.grid.flat(i, j, k)];
         let lerp = |a: f64, b: f64, t: f64| a + (b - a) * t;
@@ -190,6 +199,7 @@ pub fn particles_to_grid(grid: VoxelGrid, particles: &[GasParticle]) -> VoxelFie
 
     // Shepard normalization for intensive fields; mass -> density.
     let vol = grid.voxel_volume();
+    #[allow(clippy::needless_range_loop)]
     for f in 0..len {
         if weight[f] > 0.0 {
             out.temperature[f] /= weight[f];

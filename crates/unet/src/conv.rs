@@ -4,13 +4,12 @@ use crate::tensor::Tensor;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rayon::prelude::*;
-use serde::{Deserialize, Serialize};
 
 /// A trainable parameter with its gradient accumulator.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Param {
     pub value: Vec<f32>,
-    #[serde(skip)]
+    /// Not serialized: rebuilt as zeros on load.
     pub grad: Vec<f32>,
 }
 
@@ -18,6 +17,18 @@ impl Param {
     pub fn new(value: Vec<f32>) -> Self {
         let grad = vec![0.0; value.len()];
         Param { value, grad }
+    }
+
+    /// Serialize (values only; gradients are transient) into `out`.
+    pub(crate) fn write_json(&self, out: &mut String) {
+        out.push_str("{\"value\":");
+        crate::json::write_f32_array(&self.value, out);
+        out.push('}');
+    }
+
+    /// Parse [`Param::write_json`] output.
+    pub(crate) fn from_json_value(v: &crate::json::Json) -> Result<Param, String> {
+        Ok(Param::new(v.get("value")?.as_f32_vec()?))
     }
 
     pub fn zero_grad(&mut self) {
@@ -30,7 +41,7 @@ impl Param {
 }
 
 /// 3-D convolution, stride 1, cubic kernel, "same" zero padding.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Conv3d {
     pub c_in: usize,
     pub c_out: usize,
@@ -97,7 +108,8 @@ impl Conv3d {
                                             if ix < 0 || ix >= w as isize {
                                                 continue;
                                             }
-                                            let xi = x.idx(ci, iz as usize, iy as usize, ix as usize);
+                                            let xi =
+                                                x.idx(ci, iz as usize, iy as usize, ix as usize);
                                             let wi = self.widx(co, ci, kz, ky, kx);
                                             acc += x.data[xi] * self.weight.value[wi];
                                         }
@@ -160,8 +172,7 @@ impl Conv3d {
                                             }
                                             let xi =
                                                 x.idx(ci, iz as usize, iy as usize, ix as usize);
-                                            gw[((ci * k + kz) * k + ky) * k + kx] +=
-                                                g * x.data[xi];
+                                            gw[((ci * k + kz) * k + ky) * k + kx] += g * x.data[xi];
                                         }
                                     }
                                 }
@@ -200,12 +211,8 @@ impl Conv3d {
                                             if ox < 0 || ox >= w as isize {
                                                 continue;
                                             }
-                                            let gyi = gy.idx(
-                                                co,
-                                                oz as usize,
-                                                oy as usize,
-                                                ox as usize,
-                                            );
+                                            let gyi =
+                                                gy.idx(co, oz as usize, oy as usize, ox as usize);
                                             let wi =
                                                 (((co * c_in + ci) * k + kz) * k + ky) * k + kx;
                                             acc += gy.data[gyi] * weight[wi];
@@ -224,6 +231,37 @@ impl Conv3d {
     /// Iterate over this layer's parameters (for the optimizer).
     pub fn params_mut(&mut self) -> [&mut Param; 2] {
         [&mut self.weight, &mut self.bias]
+    }
+
+    /// Serialize the layer (shape + weights) into `out`.
+    pub(crate) fn write_json(&self, out: &mut String) {
+        out.push_str(&format!(
+            "{{\"c_in\":{},\"c_out\":{},\"k\":{},\"weight\":",
+            self.c_in, self.c_out, self.k
+        ));
+        self.weight.write_json(out);
+        out.push_str(",\"bias\":");
+        self.bias.write_json(out);
+        out.push('}');
+    }
+
+    /// Parse [`Conv3d::write_json`] output.
+    pub(crate) fn from_json_value(v: &crate::json::Json) -> Result<Conv3d, String> {
+        let c_in = v.get("c_in")?.as_usize()?;
+        let c_out = v.get("c_out")?.as_usize()?;
+        let k = v.get("k")?.as_usize()?;
+        let weight = Param::from_json_value(v.get("weight")?)?;
+        let bias = Param::from_json_value(v.get("bias")?)?;
+        if weight.value.len() != c_out * c_in * k * k * k || bias.value.len() != c_out {
+            return Err("conv3d: weight/bias lengths inconsistent with shape".into());
+        }
+        Ok(Conv3d {
+            c_in,
+            c_out,
+            k,
+            weight,
+            bias,
+        })
     }
 }
 

@@ -29,7 +29,7 @@ pub fn relu_backward(x: &Tensor, gy: &Tensor) -> Tensor {
 /// winning flat indices for the backward pass.
 pub fn maxpool2(x: &Tensor) -> (Tensor, Vec<u32>) {
     assert!(
-        x.d % 2 == 0 && x.h % 2 == 0 && x.w % 2 == 0,
+        x.d.is_multiple_of(2) && x.h.is_multiple_of(2) && x.w.is_multiple_of(2),
         "maxpool2 requires even dims, got {:?}",
         x.shape()
     );
@@ -64,7 +64,11 @@ pub fn maxpool2(x: &Tensor) -> (Tensor, Vec<u32>) {
 }
 
 /// Max-pool backward: route gradients to the argmax positions.
-pub fn maxpool2_backward(x_shape: (usize, usize, usize, usize), arg: &[u32], gy: &Tensor) -> Tensor {
+pub fn maxpool2_backward(
+    x_shape: (usize, usize, usize, usize),
+    arg: &[u32],
+    gy: &Tensor,
+) -> Tensor {
     let (c, d, h, w) = x_shape;
     let mut gx = Tensor::zeros(c, d, h, w);
     assert_eq!(arg.len(), gy.len());
@@ -92,7 +96,7 @@ pub fn upsample2(x: &Tensor) -> Tensor {
 
 /// Upsample backward: each source voxel sums its 8 children's gradients.
 pub fn upsample2_backward(gy: &Tensor) -> Tensor {
-    assert!(gy.d % 2 == 0 && gy.h % 2 == 0 && gy.w % 2 == 0);
+    assert!(gy.d.is_multiple_of(2) && gy.h.is_multiple_of(2) && gy.w.is_multiple_of(2));
     let mut gx = Tensor::zeros(gy.c, gy.d / 2, gy.h / 2, gy.w / 2);
     for c in 0..gy.c {
         for z in 0..gy.d {

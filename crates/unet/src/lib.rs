@@ -7,7 +7,8 @@
 //! SoftNeuro on A64FX) because shipping data to GPUs would bottleneck the
 //! simulation; this crate plays both roles: a from-scratch training stack
 //! (forward + full backprop) and a dependency-free CPU inference path, with
-//! `serde` model serialization standing in for the ONNX interchange format.
+//! hand-rolled JSON model serialization ([`json`]) standing in for the ONNX
+//! interchange format.
 //!
 //! ```
 //! use unet::{Tensor, UNet3d, UNetConfig};
@@ -21,6 +22,7 @@
 
 pub mod adam;
 pub mod conv;
+pub mod json;
 pub mod layers;
 pub mod tensor;
 pub mod train;

@@ -1,10 +1,10 @@
 //! A dense rank-4 tensor: channels × depth × height × width.
 
-use serde::{Deserialize, Serialize};
+use crate::json::{parse_json, write_f32_array, Json};
 
 /// `f32` tensor with CDHW layout (batch size is 1 throughout, as in the
 /// paper's training setup).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Tensor {
     pub c: usize,
     pub d: usize,
@@ -111,6 +111,41 @@ impl Tensor {
     pub fn shape(&self) -> (usize, usize, usize, usize) {
         (self.c, self.d, self.h, self.w)
     }
+
+    /// Serialize to a compact JSON string.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(self.data.len() * 12 + 64);
+        out.push_str(&format!(
+            "{{\"c\":{},\"d\":{},\"h\":{},\"w\":{},\"data\":",
+            self.c, self.d, self.h, self.w
+        ));
+        write_f32_array(&self.data, &mut out);
+        out.push('}');
+        out
+    }
+
+    /// Parse [`Tensor::to_json`] output.
+    pub fn from_json(s: &str) -> Result<Tensor, String> {
+        Self::from_json_value(&parse_json(s)?)
+    }
+
+    /// Build from an already-parsed JSON value.
+    pub fn from_json_value(v: &Json) -> Result<Tensor, String> {
+        let (c, d, h, w) = (
+            v.get("c")?.as_usize()?,
+            v.get("d")?.as_usize()?,
+            v.get("h")?.as_usize()?,
+            v.get("w")?.as_usize()?,
+        );
+        let data = v.get("data")?.as_f32_vec()?;
+        if data.len() != c * d * h * w {
+            return Err(format!(
+                "tensor data length {} != {c}x{d}x{h}x{w}",
+                data.len()
+            ));
+        }
+        Ok(Tensor { c, d, h, w, data })
+    }
 }
 
 #[cfg(test)]
@@ -121,7 +156,7 @@ mod tests {
     fn indexing_is_row_major_cdhw() {
         let mut t = Tensor::zeros(2, 3, 4, 5);
         t.set(1, 2, 3, 4, 7.0);
-        assert_eq!(t.data[((1 * 3 + 2) * 4 + 3) * 5 + 4], 7.0);
+        assert_eq!(t.data[((3 + 2) * 4 + 3) * 5 + 4], 7.0);
         assert_eq!(t.get(1, 2, 3, 4), 7.0);
         assert_eq!(t.len(), 2 * 3 * 4 * 5);
         assert_eq!(t.spatial(), 60);
@@ -152,10 +187,9 @@ mod tests {
     }
 
     #[test]
-    fn serde_roundtrip() {
-        let t = Tensor::from_vec(1, 1, 2, 2, vec![1.5, -2.0, 0.0, 3.25]);
-        let json = serde_json::to_string(&t).unwrap();
-        let back: Tensor = serde_json::from_str(&json).unwrap();
+    fn json_roundtrip() {
+        let t = Tensor::from_vec(1, 1, 2, 2, vec![1.5, -2.0, 0.1, 3.25]);
+        let back = Tensor::from_json(&t.to_json()).unwrap();
         assert_eq!(t, back);
     }
 }

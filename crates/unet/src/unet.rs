@@ -3,14 +3,14 @@
 //! layers" with the classic contracting/expanding U shape).
 
 use crate::conv::{Conv3d, Param};
+use crate::json::parse_json;
 use crate::layers::{
     maxpool2, maxpool2_backward, relu, relu_backward, upsample2, upsample2_backward,
 };
 use crate::tensor::Tensor;
-use serde::{Deserialize, Serialize};
 
 /// Network hyperparameters.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct UNetConfig {
     /// Input channels (8 in the paper: log density, log temperature, and
     /// two signed-log cubes per velocity component).
@@ -22,7 +22,7 @@ pub struct UNetConfig {
 }
 
 /// A two-level 3-D U-Net with full training support.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct UNet3d {
     pub config: UNetConfig,
     enc1a: Conv3d,
@@ -100,7 +100,7 @@ impl UNet3d {
     /// Forward keeping intermediates for backprop.
     pub fn forward_cached(&self, x: &Tensor) -> (Tensor, Cache) {
         assert!(
-            x.d % 4 == 0 && x.h % 4 == 0 && x.w % 4 == 0,
+            x.d.is_multiple_of(4) && x.h.is_multiple_of(4) && x.w.is_multiple_of(4),
             "U-Net input dims must be divisible by 4, got {:?}",
             x.shape()
         );
@@ -245,14 +245,65 @@ impl UNet3d {
         self.params_mut().iter().map(|p| p.value.len()).sum()
     }
 
+    /// Names and references of the layers, in serialization order.
+    fn layers(&self) -> [(&'static str, &Conv3d); 11] {
+        [
+            ("enc1a", &self.enc1a),
+            ("enc1b", &self.enc1b),
+            ("enc2a", &self.enc2a),
+            ("enc2b", &self.enc2b),
+            ("bot_a", &self.bot_a),
+            ("bot_b", &self.bot_b),
+            ("dec2a", &self.dec2a),
+            ("dec2b", &self.dec2b),
+            ("dec1a", &self.dec1a),
+            ("dec1b", &self.dec1b),
+            ("head", &self.head),
+        ]
+    }
+
     /// Serialize to a JSON string (our ONNX-interchange stand-in).
     pub fn to_json(&self) -> String {
-        serde_json::to_string(self).expect("U-Net serialization cannot fail")
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{{\"config\":{{\"in_channels\":{},\"out_channels\":{},\"base_features\":{}}}",
+            self.config.in_channels, self.config.out_channels, self.config.base_features
+        ));
+        for (name, layer) in self.layers() {
+            out.push_str(&format!(",\"{name}\":"));
+            layer.write_json(&mut out);
+        }
+        out.push('}');
+        out
     }
 
     /// Load from [`UNet3d::to_json`] output.
     pub fn from_json(s: &str) -> Result<Self, String> {
-        serde_json::from_str(s).map_err(|e| format!("U-Net deserialize: {e}"))
+        let v = parse_json(s).map_err(|e| format!("U-Net deserialize: {e}"))?;
+        let cfg = v.get("config")?;
+        let config = UNetConfig {
+            in_channels: cfg.get("in_channels")?.as_usize()?,
+            out_channels: cfg.get("out_channels")?.as_usize()?,
+            base_features: cfg.get("base_features")?.as_usize()?,
+        };
+        let layer = |name: &str| -> Result<Conv3d, String> {
+            Conv3d::from_json_value(v.get(name)?)
+                .map_err(|e| format!("U-Net deserialize `{name}`: {e}"))
+        };
+        Ok(UNet3d {
+            config,
+            enc1a: layer("enc1a")?,
+            enc1b: layer("enc1b")?,
+            enc2a: layer("enc2a")?,
+            enc2b: layer("enc2b")?,
+            bot_a: layer("bot_a")?,
+            bot_b: layer("bot_b")?,
+            dec2a: layer("dec2a")?,
+            dec2b: layer("dec2b")?,
+            dec1a: layer("dec1a")?,
+            dec1b: layer("dec1b")?,
+            head: layer("head")?,
+        })
     }
 }
 
@@ -316,7 +367,13 @@ mod tests {
             2,
         );
         let mut rng = StdRng::seed_from_u64(3);
-        let x = Tensor::from_vec(1, 4, 4, 4, (0..64).map(|_| rng.gen_range(-1.0..1.0)).collect());
+        let x = Tensor::from_vec(
+            1,
+            4,
+            4,
+            4,
+            (0..64).map(|_| rng.gen_range(-1.0..1.0)).collect(),
+        );
         // Loss = 0.5 sum y^2 => gy = y.
         let (y, cache) = net.forward_cached(&x);
         net.zero_grad();

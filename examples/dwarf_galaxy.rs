@@ -84,7 +84,11 @@ fn main() {
     };
     let mut sim = Simulation::new(cfg, particles, 23);
 
-    println!("dwarf galaxy ({}), {} particles", model.name, sim.particles.len());
+    println!(
+        "dwarf galaxy ({}), {} particles",
+        model.name,
+        sim.particles.len()
+    );
     println!(
         "{:>8} {:>10} {:>8} {:>8} {:>12} {:>10}",
         "t [Myr]", "N_star", "SNe", "applied", "SFR [M/Myr]", "gas frac"

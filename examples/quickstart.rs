@@ -25,16 +25,17 @@ fn main() {
     // 2. Pack the realization into simulation particles.
     let mut particles = Vec::new();
     let mut id = 0u64;
-    let push = |kind: u8, p: &[f64; 3], v: &[f64; 3], m: f64, id: &mut u64, out: &mut Vec<Particle>| {
-        let pos = Vec3::new(p[0], p[1], p[2]);
-        let vel = Vec3::new(v[0], v[1], v[2]);
-        out.push(match kind {
-            0 => Particle::dm(*id, pos, vel, m),
-            1 => Particle::star(*id, pos, vel, m, -500.0),
-            _ => Particle::gas(*id, pos, vel, m, 8.0, model.gas_disk.r_scale * 0.05),
-        });
-        *id += 1;
-    };
+    let push =
+        |kind: u8, p: &[f64; 3], v: &[f64; 3], m: f64, id: &mut u64, out: &mut Vec<Particle>| {
+            let pos = Vec3::new(p[0], p[1], p[2]);
+            let vel = Vec3::new(v[0], v[1], v[2]);
+            out.push(match kind {
+                0 => Particle::dm(*id, pos, vel, m),
+                1 => Particle::star(*id, pos, vel, m, -500.0),
+                _ => Particle::gas(*id, pos, vel, m, 8.0, model.gas_disk.r_scale * 0.05),
+            });
+            *id += 1;
+        };
     for (p, v) in real.dm.pos.iter().zip(&real.dm.vel) {
         push(0, p, v, real.m_dm_particle, &mut id, &mut particles);
     }

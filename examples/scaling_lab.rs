@@ -88,6 +88,9 @@ fn main() {
     );
     for (p, t) in curve.totals() {
         let bar_len = (t * 3.0) as usize;
-        println!("{p:>8} nodes | {t:6.2} s/step | {}", "#".repeat(bar_len.min(70)));
+        println!(
+            "{p:>8} nodes | {t:6.2} s/step | {}",
+            "#".repeat(bar_len.min(70))
+        );
     }
 }

@@ -10,9 +10,9 @@
 //! cargo run --release --example supernova_remnant
 //! ```
 
-use asura_core::pool::{PoolPredictor, UNetPredictor};
 use astro::units::E_SN;
 use astro::SedovTaylor;
+use asura_core::pool::{PoolPredictor, UNetPredictor};
 use fdps::Vec3;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -151,5 +151,7 @@ fn main() {
             - region.iter().map(|p| p.mass).sum::<f64>())
         .abs()
     );
-    println!("  (a briefly trained net is qualitative; `validate_surrogate` runs the full comparison)");
+    println!(
+        "  (a briefly trained net is qualitative; `validate_surrogate` runs the full comparison)"
+    );
 }

@@ -1,0 +1,17 @@
+//! Umbrella crate for the ASURA-FDPS-ML reproduction workspace.
+//!
+//! Re-exports every subsystem crate so the integration tests under
+//! `tests/` and the runnable `examples/` have a single dependency root.
+//! Library users should depend on the individual crates directly.
+
+pub use astro;
+pub use asura_core;
+pub use fdps;
+pub use galactic_ic;
+pub use gravity;
+pub use mpisim;
+pub use perfmodel;
+pub use pikg;
+pub use sph;
+pub use surrogate;
+pub use unet;

@@ -1,29 +1,37 @@
 //! Property-based tests over the core data structures and invariants,
-//! spanning crates (proptest).
+//! spanning crates. Each property is exercised over many seeded random
+//! cases (a lightweight stand-in for the proptest crate, which is not
+//! available in this offline build environment); the failing seed is
+//! reported on assertion failure so cases reproduce deterministically.
 
 use fdps::domain::DomainDecomposition;
 use fdps::walk::InteractionList;
 use fdps::{BBox, Tree, Vec3};
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
-fn vec3_strategy(limit: f64) -> impl Strategy<Value = Vec3> {
-    (
-        -limit..limit,
-        prop::num::f64::NORMAL.prop_map(move |v| (v % limit).abs() - limit / 2.0),
-        -limit..limit,
-    )
-        .prop_map(|(x, y, z)| Vec3::new(x, y, z))
+const CASES: u64 = 64;
+
+fn random_cloud(rng: &mut StdRng, n: usize, limit: f64) -> Vec<Vec3> {
+    (0..n)
+        .map(|_| {
+            Vec3::new(
+                rng.gen_range(-limit..limit),
+                rng.gen_range(-limit..limit),
+                rng.gen_range(-limit..limit),
+            )
+        })
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Every particle lands in exactly one leaf, for any cloud.
-    #[test]
-    fn tree_partitions_any_cloud(
-        pts in prop::collection::vec(vec3_strategy(100.0), 1..200),
-        n_leaf in 1usize..16,
-    ) {
+/// Every particle lands in exactly one leaf, for any cloud.
+#[test]
+fn tree_partitions_any_cloud() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = rng.gen_range(1..200usize);
+        let n_leaf = rng.gen_range(1..16usize);
+        let pts = random_cloud(&mut rng, n, 100.0);
         let mass = vec![1.0; pts.len()];
         let tree = Tree::build(&pts, &mass, n_leaf);
         let mut seen = vec![0u8; pts.len()];
@@ -34,16 +42,22 @@ proptest! {
                 }
             }
         }
-        prop_assert!(seen.iter().all(|&c| c == 1));
-        prop_assert!((tree.root().mass - pts.len() as f64).abs() < 1e-9);
+        assert!(seen.iter().all(|&c| c == 1), "seed {seed}");
+        assert!(
+            (tree.root().mass - pts.len() as f64).abs() < 1e-9,
+            "seed {seed}"
+        );
     }
+}
 
-    /// The MAC walk never loses mass: EP + SP masses always sum to total.
-    #[test]
-    fn interaction_lists_conserve_mass(
-        pts in prop::collection::vec(vec3_strategy(50.0), 2..150),
-        theta in 0.0f64..1.2,
-    ) {
+/// The MAC walk never loses mass: EP + SP masses always sum to total.
+#[test]
+fn interaction_lists_conserve_mass() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = rng.gen_range(2..150usize);
+        let theta = rng.gen_range(0.0..1.2);
+        let pts = random_cloud(&mut rng, n, 50.0);
         let mass = vec![2.0; pts.len()];
         let total = 2.0 * pts.len() as f64;
         let tree = Tree::build(&pts, &mass, 8);
@@ -52,15 +66,18 @@ proptest! {
         tree.walk_mac(&target, theta, &mut list);
         let m: f64 = list.ep.iter().map(|&j| mass[j as usize]).sum::<f64>()
             + list.sp.iter().map(|s| s.mass).sum::<f64>();
-        prop_assert!((m - total).abs() < 1e-9 * total);
+        assert!((m - total).abs() < 1e-9 * total, "seed {seed}");
     }
+}
 
-    /// Neighbor search returns a superset of the exact neighbours.
-    #[test]
-    fn neighbor_search_is_conservative(
-        pts in prop::collection::vec(vec3_strategy(20.0), 1..120),
-        r in 0.1f64..10.0,
-    ) {
+/// Neighbor search returns a superset of the exact neighbours.
+#[test]
+fn neighbor_search_is_conservative() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = rng.gen_range(1..120usize);
+        let r = rng.gen_range(0.1..10.0);
+        let pts = random_cloud(&mut rng, n, 20.0);
         let mass = vec![1.0; pts.len()];
         let tree = Tree::build(&pts, &mass, 4);
         let q = pts[0];
@@ -68,89 +85,105 @@ proptest! {
         tree.neighbors_within(q, r, &mut found);
         for (i, p) in pts.iter().enumerate() {
             if (*p - q).norm() <= r {
-                prop_assert!(
+                assert!(
                     found.contains(&(i as u32)),
-                    "missed neighbour {} at distance {}",
+                    "seed {seed}: missed neighbour {} at distance {}",
                     i,
                     (*p - q).norm()
                 );
             }
         }
     }
+}
 
-    /// Domain ownership is total and consistent with the clipped boxes.
-    #[test]
-    fn domain_ownership_is_total(
-        pts in prop::collection::vec(vec3_strategy(80.0), 8..300),
-        nx in 1usize..4,
-        ny in 1usize..3,
-        nz in 1usize..3,
-    ) {
+/// Domain ownership is total and consistent with the clipped boxes.
+#[test]
+fn domain_ownership_is_total() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = rng.gen_range(8..300usize);
+        let nx = rng.gen_range(1..4usize);
+        let ny = rng.gen_range(1..3usize);
+        let nz = rng.gen_range(1..3usize);
+        let pts = random_cloud(&mut rng, n, 80.0);
         let global = BBox::of_points(&pts);
         let dd = DomainDecomposition::from_samples((nx, ny, nz), &mut pts.clone(), global);
         for &p in &pts {
             let owner = dd.owner_of(p);
-            prop_assert!(owner < dd.len());
-            prop_assert!(dd.domain_box(owner).inflated(1e-9).contains(p));
+            assert!(owner < dd.len(), "seed {seed}");
+            assert!(
+                dd.domain_box(owner).inflated(1e-9).contains(p),
+                "seed {seed}"
+            );
         }
     }
+}
 
-    /// PPA tables evaluate within their reported error bound on-domain.
-    #[test]
-    fn ppa_error_bound_holds(
-        sections in 2usize..24,
-        degree in 1usize..5,
-        scale in 0.5f64..4.0,
-    ) {
+/// PPA tables evaluate within their reported error bound on-domain.
+#[test]
+fn ppa_error_bound_holds() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let sections = rng.gen_range(2..24usize);
+        let degree = rng.gen_range(1..5usize);
+        let scale: f64 = rng.gen_range(0.5..4.0);
         let f = move |x: f64| (scale * x).sin() + x * x;
         let table = pikg::PpaTable::fit(f, 0.0, 2.0, sections, degree);
         let bound = table.max_error() * 1.5 + 1e-12;
         for i in 0..100 {
             let x = 2.0 * i as f64 / 99.0;
-            prop_assert!((table.eval(x) - f(x)).abs() <= bound);
+            assert!(
+                (table.eval(x) - f(x)).abs() <= bound,
+                "seed {seed} at x={x}"
+            );
         }
     }
+}
 
-    /// The IMF sampler never leaves its mass range and its CDF is exact at
-    /// the edges.
-    #[test]
-    fn imf_samples_stay_in_range(seed in 0u64..1000) {
-        use rand::SeedableRng;
+/// The IMF sampler never leaves its mass range.
+#[test]
+fn imf_samples_stay_in_range() {
+    for seed in 0..1000u64 {
         let imf = astro::KroupaImf::default();
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut rng = StdRng::seed_from_u64(seed);
         let (lo, hi) = imf.mass_range();
         for _ in 0..100 {
             let m = imf.sample(&mut rng);
-            prop_assert!((lo..=hi).contains(&m));
+            assert!((lo..=hi).contains(&m), "seed {seed}: m={m}");
         }
     }
+}
 
-    /// Collectives agree with their serial definitions for any world size.
-    #[test]
-    fn allreduce_matches_serial_sum(
-        values in prop::collection::vec(-1e6f64..1e6, 2..12),
-    ) {
-        use mpisim::{ReduceOp, World};
-        let p = values.len();
+/// Collectives agree with their serial definitions for any world size.
+#[test]
+fn allreduce_matches_serial_sum() {
+    use mpisim::{ReduceOp, World};
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let p = rng.gen_range(2..12usize);
+        let values: Vec<f64> = (0..p).map(|_| rng.gen_range(-1e6..1e6)).collect();
         let expect: f64 = values.iter().sum();
         let values = std::sync::Arc::new(values);
-        let out = World::new(p).run(|c| {
-            c.allreduce_f64(values[c.rank()], ReduceOp::Sum)
-        });
+        let out = World::new(p).run(|c| c.allreduce_f64(values[c.rank()], ReduceOp::Sum));
         for got in out {
-            prop_assert!((got - expect).abs() < 1e-6 * expect.abs().max(1.0));
+            assert!(
+                (got - expect).abs() < 1e-6 * expect.abs().max(1.0),
+                "seed {seed}"
+            );
         }
     }
+}
 
-    /// Encode/decode of the surrogate's 8-channel layout round-trips any
-    /// positive fields to f32 accuracy.
-    #[test]
-    fn surrogate_encoding_roundtrips(
-        rho in 1e-6f64..1e4,
-        temp in 10.0f64..1e8,
-        vx in -1e3f64..1e3,
-    ) {
-        use surrogate::{encode_fields, decode_fields, VoxelFields, VoxelGrid};
+/// Encode/decode of the surrogate's 8-channel layout round-trips any
+/// positive fields to f32 accuracy.
+#[test]
+fn surrogate_encoding_roundtrips() {
+    use surrogate::{decode_fields, encode_fields, VoxelFields, VoxelGrid};
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let rho = 10f64.powf(rng.gen_range(-6.0..4.0));
+        let temp = 10f64.powf(rng.gen_range(1.0..8.0));
+        let vx = rng.gen_range(-1e3..1e3);
         let grid = VoxelGrid::centered(Vec3::ZERO, 60.0, 4);
         let mut f = VoxelFields::zeros(grid);
         for i in 0..64 {
@@ -159,18 +192,29 @@ proptest! {
             f.vel[0][i] = vx;
         }
         let back = decode_fields(&encode_fields(&f), grid);
-        prop_assert!((back.density[0] / rho - 1.0).abs() < 1e-4);
-        prop_assert!((back.temperature[0] / temp - 1.0).abs() < 1e-4);
-        prop_assert!((back.vel[0][0] - vx).abs() < 1e-3 * vx.abs().max(1.0));
+        assert!((back.density[0] / rho - 1.0).abs() < 1e-4, "seed {seed}");
+        assert!(
+            (back.temperature[0] / temp - 1.0).abs() < 1e-4,
+            "seed {seed}"
+        );
+        assert!(
+            (back.vel[0][0] - vx).abs() < 1e-3 * vx.abs().max(1.0),
+            "seed {seed}"
+        );
     }
+}
 
-    /// Block-timestep quantization never exceeds the wanted step and the
-    /// activity schedule performs exactly the promised updates.
-    #[test]
-    fn block_schedule_bookkeeping_is_exact(
-        dts in prop::collection::vec(1e-4f64..1.0, 1..40),
-    ) {
-        use asura_core::blocksteps::BlockSchedule;
+/// Block-timestep quantization never exceeds the wanted step and the
+/// activity schedule performs exactly the promised updates.
+#[test]
+fn block_schedule_bookkeeping_is_exact() {
+    use asura_core::blocksteps::BlockSchedule;
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = rng.gen_range(1..40usize);
+        let dts: Vec<f64> = (0..n)
+            .map(|_| 10f64.powf(rng.gen_range(-4.0..0.0)))
+            .collect();
         let s = BlockSchedule::assign(1.0, &dts, 24);
         let mut updates = vec![0u64; dts.len()];
         for k in 0..s.substeps_per_base_step() {
@@ -179,29 +223,35 @@ proptest! {
             }
         }
         let total: u64 = updates.iter().sum();
-        prop_assert_eq!(total, s.updates_per_base_step());
+        assert_eq!(total, s.updates_per_base_step(), "seed {seed}");
         for (i, (&l, &want)) in s.levels.iter().zip(&dts).enumerate() {
             let dt_assigned = 1.0 / (1u64 << l) as f64;
-            prop_assert!(dt_assigned <= want + 1e-12 || l == 24, "particle {i}");
-            prop_assert_eq!(updates[i], 1u64 << l);
+            assert!(
+                dt_assigned <= want + 1e-12 || l == 24,
+                "seed {seed} particle {i}"
+            );
+            assert_eq!(updates[i], 1u64 << l, "seed {seed} particle {i}");
         }
     }
+}
 
-    /// Voxelization conserves mass for arbitrary particle sets inside the
-    /// cube.
-    #[test]
-    fn voxelization_conserves_interior_mass(
-        offsets in prop::collection::vec((-25.0f64..25.0, -25.0f64..25.0, -25.0f64..25.0, 0.1f64..5.0), 1..60),
-    ) {
-        use surrogate::{particles_to_grid, GasParticle, VoxelGrid};
+/// Voxelization conserves mass for arbitrary particle sets inside the cube.
+#[test]
+fn voxelization_conserves_interior_mass() {
+    use surrogate::{particles_to_grid, GasParticle, VoxelGrid};
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = rng.gen_range(1..60usize);
         let grid = VoxelGrid::centered(Vec3::ZERO, 60.0, 8);
-        let parts: Vec<GasParticle> = offsets
-            .iter()
-            .enumerate()
-            .map(|(i, &(x, y, z, m))| GasParticle {
-                pos: Vec3::new(x, y, z),
+        let parts: Vec<GasParticle> = (0..n)
+            .map(|i| GasParticle {
+                pos: Vec3::new(
+                    rng.gen_range(-25.0..25.0),
+                    rng.gen_range(-25.0..25.0),
+                    rng.gen_range(-25.0..25.0),
+                ),
                 vel: Vec3::ZERO,
-                mass: m,
+                mass: rng.gen_range(0.1..5.0),
                 temp: 100.0,
                 h: 2.0,
                 id: i as u64,
@@ -209,6 +259,9 @@ proptest! {
             .collect();
         let fields = particles_to_grid(grid, &parts);
         let m_in: f64 = parts.iter().map(|p| p.mass).sum();
-        prop_assert!((fields.total_mass() / m_in - 1.0).abs() < 1e-6);
+        assert!(
+            (fields.total_mass() / m_in - 1.0).abs() < 1e-6,
+            "seed {seed}"
+        );
     }
 }

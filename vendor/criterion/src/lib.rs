@@ -1,0 +1,217 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no registry access, so this vendored shim
+//! provides the API surface the workspace's benches use — `Criterion`,
+//! `benchmark_group`, `bench_function`, `bench_with_input`, `BenchmarkId`,
+//! `Throughput`, and the `criterion_group!`/`criterion_main!` macros — as a
+//! plain wall-clock harness: a short warm-up estimates the per-iteration
+//! cost, then a measurement phase of at least `sample_size` iterations (and
+//! at least ~100 ms) reports mean ns/iter and, when a throughput was
+//! declared, elements/second. No statistics, plots, or state directories.
+
+use std::fmt::Display;
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+/// Declared work per iteration, for throughput reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// A benchmark identifier: `name/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    pub fn new(name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{name}/{parameter}"),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+/// Runs closures and accumulates total time and iteration count.
+pub struct Bencher {
+    iters_done: u64,
+    elapsed_ns: f64,
+    target_iters: u64,
+}
+
+impl Bencher {
+    /// Time `f` adaptively: warm up, then measure `target_iters` (or enough
+    /// iterations to fill ~100 ms, whichever is more).
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up: estimate single-iteration cost.
+        let warm_start = Instant::now();
+        black_box(f());
+        let once = warm_start.elapsed().as_secs_f64().max(1e-9);
+        let budget_iters = (0.1 / once).ceil() as u64;
+        let iters = self.target_iters.max(budget_iters.clamp(1, 1_000_000));
+
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        self.elapsed_ns = start.elapsed().as_secs_f64() * 1e9;
+        self.iters_done = iters;
+    }
+}
+
+/// Shared measurement + reporting for groups and ad-hoc benches.
+fn run_bench(
+    full_name: &str,
+    sample_size: u64,
+    throughput: Option<Throughput>,
+    run: &mut dyn FnMut(&mut Bencher),
+) {
+    let mut b = Bencher {
+        iters_done: 0,
+        elapsed_ns: 0.0,
+        target_iters: sample_size,
+    };
+    run(&mut b);
+    if b.iters_done == 0 {
+        println!("bench {full_name:<40} (no iterations run)");
+        return;
+    }
+    let ns_per_iter = b.elapsed_ns / b.iters_done as f64;
+    let thrpt = match throughput {
+        Some(Throughput::Elements(e)) => {
+            let per_sec = e as f64 / (ns_per_iter * 1e-9);
+            format!("  thrpt: {:.3} Melem/s", per_sec / 1e6)
+        }
+        Some(Throughput::Bytes(n)) => {
+            let per_sec = n as f64 / (ns_per_iter * 1e-9);
+            format!("  thrpt: {:.3} MiB/s", per_sec / (1024.0 * 1024.0))
+        }
+        None => String::new(),
+    };
+    println!(
+        "bench {full_name:<40} time: {:>12.1} ns/iter  ({} iters){thrpt}",
+        ns_per_iter, b.iters_done
+    );
+}
+
+/// The top-level harness handle.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            sample_size: 10,
+            throughput: None,
+        }
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) {
+        run_bench(name, 10, None, &mut f);
+    }
+
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F)
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_bench(&id.label, 10, None, &mut |b| f(b, input));
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: u64,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n as u64;
+        self
+    }
+
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: impl Display,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{name}", self.name);
+        run_bench(&full, self.sample_size, self.throughput, &mut f);
+        self
+    }
+
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.label);
+        run_bench(&full, self.sample_size, self.throughput, &mut |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Collect benchmark functions into a runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emit `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_reports_iterations() {
+        let mut ran = 0u64;
+        run_bench("smoke", 5, Some(Throughput::Elements(10)), &mut |b| {
+            b.iter(|| {
+                ran += 1;
+                black_box(ran)
+            })
+        });
+        assert!(ran >= 5);
+    }
+
+    #[test]
+    fn benchmark_ids_format_like_criterion() {
+        assert_eq!(BenchmarkId::new("walk", 100).label, "walk/100");
+        assert_eq!(BenchmarkId::from_parameter("64k").label, "64k");
+    }
+}

@@ -1,0 +1,437 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! The build environment has no registry access, so this vendored shim
+//! reimplements the slice of rayon the workspace uses — `par_iter`,
+//! `into_par_iter` on ranges, `map`, `map_init`, `collect`,
+//! `par_chunks_mut(..).enumerate().for_each(..)` — with *real* parallelism:
+//! work is split into contiguous index chunks, one per worker, executed on
+//! scoped OS threads (`std::thread::scope`), and results are concatenated in
+//! order, so outputs are bit-identical to the sequential evaluation.
+//!
+//! `map_init` keeps one state value per worker chunk, exactly the per-thread
+//! scratch-reuse semantics the force pipeline relies on (rayon initializes
+//! per split; here a split is a worker's whole chunk, so reuse is at least
+//! as good).
+//!
+//! Small inputs (< [`MIN_PARALLEL_LEN`] items) run inline on the calling
+//! thread: thread spawn latency would dominate and tests with a handful of
+//! particles stay deterministic under debuggers.
+
+use std::ops::Range;
+
+/// Below this many items the pipeline runs inline on the caller.
+pub const MIN_PARALLEL_LEN: usize = 64;
+
+/// Number of workers used for parallel execution.
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(16)
+}
+
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, ParallelIterator, ParallelSlice, ParallelSliceMut};
+}
+
+/// A data-parallel pipeline over `par_len` indexed items.
+///
+/// `drive` streams the items of an index sub-range into a sink; executors
+/// split the full range into per-worker chunks and drive each chunk on its
+/// own scoped thread.
+pub trait ParallelIterator: Sized + Sync {
+    type Item: Send;
+
+    /// Total number of items.
+    fn par_len(&self) -> usize;
+
+    /// Produce items for indices `start..end`, in order, into `sink`.
+    fn drive(&self, start: usize, end: usize, sink: &mut dyn FnMut(Self::Item));
+
+    fn map<F, R>(self, f: F) -> Map<Self, F>
+    where
+        F: Fn(Self::Item) -> R + Sync,
+        R: Send,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Like rayon's `map_init`: `init` runs once per worker chunk and the
+    /// state is threaded through every call of `f` in that chunk.
+    fn map_init<INIT, S, F, R>(self, init: INIT, f: F) -> MapInit<Self, INIT, F>
+    where
+        INIT: Fn() -> S + Sync,
+        F: Fn(&mut S, Self::Item) -> R + Sync,
+        R: Send,
+    {
+        MapInit {
+            inner: self,
+            init,
+            f,
+        }
+    }
+
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Sync,
+    {
+        execute_chunks(&self, |me, start, end| {
+            me.drive(start, end, &mut |item| f(item));
+            Vec::<()>::new()
+        });
+    }
+
+    fn collect<C: FromParallelIterator<Self::Item>>(self) -> C {
+        C::from_par_iter(self)
+    }
+}
+
+/// Split `0..par_len` into contiguous chunks (oversubscribed ~8x the
+/// worker count so uneven per-item costs balance), have scoped worker
+/// threads pull chunks from an atomic queue, and return the per-chunk
+/// outputs in chunk order.
+fn execute_chunks<P, T, F>(pipeline: &P, body: F) -> Vec<Vec<T>>
+where
+    P: ParallelIterator,
+    T: Send,
+    F: Fn(&P, usize, usize) -> Vec<T> + Sync,
+{
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
+
+    let n = pipeline.par_len();
+    let workers = current_num_threads();
+    if n < MIN_PARALLEL_LEN || workers <= 1 {
+        return vec![body(pipeline, 0, n)];
+    }
+    let chunk = n.div_ceil(workers * 8).max(MIN_PARALLEL_LEN / 4);
+    let n_chunks = n.div_ceil(chunk);
+    let next = AtomicUsize::new(0);
+    let collected: Mutex<Vec<(usize, Vec<T>)>> = Mutex::new(Vec::with_capacity(n_chunks));
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for _ in 0..workers.min(n_chunks) {
+            let body = &body;
+            let next = &next;
+            let collected = &collected;
+            handles.push(scope.spawn(move || loop {
+                let c = next.fetch_add(1, Ordering::Relaxed);
+                if c >= n_chunks {
+                    break;
+                }
+                let start = c * chunk;
+                let end = ((c + 1) * chunk).min(n);
+                let out = body(pipeline, start, end);
+                collected.lock().expect("collector lock").push((c, out));
+            }));
+        }
+        for h in handles {
+            h.join().expect("parallel worker panicked");
+        }
+    });
+    let mut parts = collected.into_inner().expect("collector lock");
+    parts.sort_unstable_by_key(|&(c, _)| c);
+    parts.into_iter().map(|(_, v)| v).collect()
+}
+
+/// Types constructible from a parallel pipeline (only `Vec` is needed).
+pub trait FromParallelIterator<T: Send>: Sized {
+    fn from_par_iter<P: ParallelIterator<Item = T>>(pipeline: P) -> Self;
+}
+
+impl<T: Send> FromParallelIterator<T> for Vec<T> {
+    fn from_par_iter<P: ParallelIterator<Item = T>>(pipeline: P) -> Self {
+        let parts = execute_chunks(&pipeline, |me, start, end| {
+            let mut out = Vec::with_capacity(end - start);
+            me.drive(start, end, &mut |item| out.push(item));
+            out
+        });
+        let mut all = Vec::with_capacity(parts.iter().map(Vec::len).sum());
+        for p in parts {
+            all.extend(p);
+        }
+        all
+    }
+}
+
+/// `map` adapter.
+pub struct Map<P, F> {
+    inner: P,
+    f: F,
+}
+
+impl<P, F, R> ParallelIterator for Map<P, F>
+where
+    P: ParallelIterator,
+    F: Fn(P::Item) -> R + Sync,
+    R: Send,
+{
+    type Item = R;
+
+    fn par_len(&self) -> usize {
+        self.inner.par_len()
+    }
+
+    fn drive(&self, start: usize, end: usize, sink: &mut dyn FnMut(R)) {
+        self.inner
+            .drive(start, end, &mut |item| sink((self.f)(item)));
+    }
+}
+
+/// `map_init` adapter: per-chunk mutable state.
+pub struct MapInit<P, INIT, F> {
+    inner: P,
+    init: INIT,
+    f: F,
+}
+
+impl<P, INIT, S, F, R> ParallelIterator for MapInit<P, INIT, F>
+where
+    P: ParallelIterator,
+    INIT: Fn() -> S + Sync,
+    F: Fn(&mut S, P::Item) -> R + Sync,
+    R: Send,
+{
+    type Item = R;
+
+    fn par_len(&self) -> usize {
+        self.inner.par_len()
+    }
+
+    fn drive(&self, start: usize, end: usize, sink: &mut dyn FnMut(R)) {
+        let mut state = (self.init)();
+        self.inner
+            .drive(start, end, &mut |item| sink((self.f)(&mut state, item)));
+    }
+}
+
+/// Conversion into a parallel pipeline by value.
+pub trait IntoParallelIterator {
+    type Iter: ParallelIterator<Item = Self::Item>;
+    type Item: Send;
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+/// Parallel pipeline over `Range<usize>`.
+pub struct RangeIter {
+    start: usize,
+    end: usize,
+}
+
+impl ParallelIterator for RangeIter {
+    type Item = usize;
+
+    fn par_len(&self) -> usize {
+        self.end - self.start
+    }
+
+    fn drive(&self, start: usize, end: usize, sink: &mut dyn FnMut(usize)) {
+        for i in self.start + start..self.start + end {
+            sink(i);
+        }
+    }
+}
+
+impl IntoParallelIterator for Range<usize> {
+    type Iter = RangeIter;
+    type Item = usize;
+
+    fn into_par_iter(self) -> RangeIter {
+        RangeIter {
+            start: self.start,
+            end: self.end.max(self.start),
+        }
+    }
+}
+
+/// Parallel pipeline over shared slice elements.
+pub struct SliceIter<'a, T> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync> ParallelIterator for SliceIter<'a, T> {
+    type Item = &'a T;
+
+    fn par_len(&self) -> usize {
+        self.slice.len()
+    }
+
+    fn drive(&self, start: usize, end: usize, sink: &mut dyn FnMut(&'a T)) {
+        for item in &self.slice[start..end] {
+            sink(item);
+        }
+    }
+}
+
+/// `par_iter` on slices (and `Vec` through deref).
+pub trait ParallelSlice<T: Sync> {
+    fn par_iter(&self) -> SliceIter<'_, T>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_iter(&self) -> SliceIter<'_, T> {
+        SliceIter { slice: self }
+    }
+}
+
+/// `par_chunks_mut` on mutable slices (and `Vec` through deref).
+pub trait ParallelSliceMut<T: Send> {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T> {
+        assert!(chunk_size > 0, "par_chunks_mut: chunk size must be > 0");
+        ParChunksMut {
+            chunks: self.chunks_mut(chunk_size).collect(),
+        }
+    }
+}
+
+/// Disjoint mutable chunks of one slice, processed in parallel.
+pub struct ParChunksMut<'a, T> {
+    chunks: Vec<&'a mut [T]>,
+}
+
+impl<'a, T: Send> ParChunksMut<'a, T> {
+    pub fn enumerate(self) -> EnumeratedChunksMut<'a, T> {
+        EnumeratedChunksMut {
+            chunks: self.chunks,
+        }
+    }
+
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&'a mut [T]) + Sync,
+    {
+        self.enumerate().for_each(|(_, chunk)| f(chunk));
+    }
+}
+
+/// `enumerate()` over mutable chunks.
+pub struct EnumeratedChunksMut<'a, T> {
+    chunks: Vec<&'a mut [T]>,
+}
+
+impl<'a, T: Send> EnumeratedChunksMut<'a, T> {
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn((usize, &'a mut [T])) + Sync,
+    {
+        let total: usize = self.chunks.iter().map(|c| c.len()).sum();
+        let n = self.chunks.len();
+        let workers = current_num_threads();
+        if total < MIN_PARALLEL_LEN || workers <= 1 || n <= 1 {
+            for (i, chunk) in self.chunks.into_iter().enumerate() {
+                f((i, chunk));
+            }
+            return;
+        }
+        // Workers pull enumerated chunks from a shared queue so uneven
+        // per-chunk costs balance.
+        use std::sync::Mutex;
+        let queue: Mutex<Vec<(usize, &'a mut [T])>> =
+            Mutex::new(self.chunks.into_iter().enumerate().rev().collect());
+        std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for _ in 0..workers.min(n) {
+                let f = &f;
+                let queue = &queue;
+                handles.push(scope.spawn(move || loop {
+                    let item = queue.lock().expect("chunk queue").pop();
+                    match item {
+                        Some(it) => f(it),
+                        None => break,
+                    }
+                }));
+            }
+            for h in handles {
+                h.join().expect("parallel worker panicked");
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<usize> = (0..10_000).collect();
+        let doubled: Vec<usize> = v.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled.len(), v.len());
+        for (i, &d) in doubled.iter().enumerate() {
+            assert_eq!(d, 2 * i);
+        }
+    }
+
+    #[test]
+    fn range_into_par_iter_matches_serial() {
+        let out: Vec<usize> = (5..5000).into_par_iter().map(|i| i * i).collect();
+        let serial: Vec<usize> = (5..5000).map(|i| i * i).collect();
+        assert_eq!(out, serial);
+    }
+
+    #[test]
+    fn map_init_reuses_state_within_chunks() {
+        // The scratch must be cleared by the closure, as the force pipeline
+        // does; count distinct initializations to prove per-chunk reuse.
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let inits = AtomicUsize::new(0);
+        let n = 10_000;
+        let out: Vec<usize> = (0..n)
+            .into_par_iter()
+            .map_init(
+                || {
+                    inits.fetch_add(1, Ordering::Relaxed);
+                    Vec::<usize>::new()
+                },
+                |scratch, i| {
+                    scratch.clear();
+                    scratch.push(i);
+                    scratch[0]
+                },
+            )
+            .collect();
+        assert_eq!(out, (0..n).collect::<Vec<_>>());
+        // One init per pulled chunk: far fewer than one per item.
+        let distinct = inits.load(Ordering::Relaxed);
+        assert!(
+            distinct <= super::current_num_threads() * 8 + 1,
+            "scratch must be reused across items: {distinct} inits"
+        );
+    }
+
+    #[test]
+    fn par_chunks_mut_enumerate_writes_disjointly() {
+        let mut data = vec![0u64; 4096];
+        data.par_chunks_mut(256).enumerate().for_each(|(i, chunk)| {
+            for v in chunk.iter_mut() {
+                *v = i as u64 + 1;
+            }
+        });
+        for (i, &v) in data.iter().enumerate() {
+            assert_eq!(v, (i / 256) as u64 + 1);
+        }
+    }
+
+    #[test]
+    fn tiny_inputs_run_inline() {
+        let v = [1, 2, 3];
+        let out: Vec<i32> = v.par_iter().map(|&x| x + 1).collect();
+        assert_eq!(out, vec![2, 3, 4]);
+        let empty: Vec<i32> = Vec::<i32>::new().par_iter().map(|&x| x).collect();
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn for_each_visits_every_item() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let sum = AtomicU64::new(0);
+        (0..1000usize).into_par_iter().for_each(|i| {
+            sum.fetch_add(i as u64, Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 999 * 1000 / 2);
+    }
+}
