@@ -42,7 +42,7 @@ impl Default for CoolingCurve {
 }
 
 impl CoolingCurve {
-    /// A standard ISM curve: anchors `(T [K], Lambda [erg cm^3/s])` with
+    /// A standard ISM curve: anchors `(T \[K\], Lambda [erg cm^3/s])` with
     /// power-law interpolation, from fine-structure cooling at 10 K to
     /// bremsstrahlung at 10^8 K.
     pub fn standard_ism() -> Self {
@@ -191,7 +191,7 @@ impl CoolingCurve {
     }
 
     /// Exact-integration cooling update (Townsend 2009): temperature after
-    /// cooling gas at hydrogen density `nh` [cm^-3] from temperature `t` [K]
+    /// cooling gas at hydrogen density `nh` \[cm^-3\] from temperature `t` \[K\]
     /// for `dt_myr` megayears. Heating is applied operator-split afterwards.
     pub fn cool_to(&self, t: f64, nh: f64, dt_myr: f64) -> f64 {
         let t = t.clamp(self.t_floor, self.t_ceil);

@@ -27,7 +27,7 @@ impl Default for KroupaImf {
 }
 
 impl KroupaImf {
-    /// The Kroupa (2001) IMF between `m_min` and `m_max` [M_sun]:
+    /// The Kroupa (2001) IMF between `m_min` and `m_max` \[M_sun\]:
     /// `alpha = 1.3` for `0.08 <= m < 0.5`, `alpha = 2.3` above.
     pub fn kroupa(m_min: f64, m_max: f64) -> Self {
         assert!(m_min > 0.0 && m_max > m_min);

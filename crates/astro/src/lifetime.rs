@@ -2,14 +2,14 @@
 //!
 //! Main-sequence + post-main-sequence lifetime as a function of initial
 //! mass, using the Raiteri, Villata & Navarro (1996) fit at roughly solar
-//! metallicity: `log10 t[yr] = a0 + a1 log10 m + a2 (log10 m)^2`.
+//! metallicity: `log10 t\[yr\] = a0 + a1 log10 m + a2 (log10 m)^2`.
 
 /// Raiteri et al. (1996) coefficients for Z = 0.02.
 const A0: f64 = 10.13;
 const A1: f64 = -4.10;
 const A2: f64 = 1.093;
 
-/// Lifetime [Myr] of a star of initial mass `m` [M_sun].
+/// Lifetime \[Myr\] of a star of initial mass `m` \[M_sun\].
 ///
 /// The quadratic fit turns over near `m ~ 75 M_sun`; beyond the turnover we
 /// clamp to the minimum lifetime (very massive stars all live ~3 Myr).
@@ -21,7 +21,7 @@ pub fn stellar_lifetime_myr(m: f64) -> f64 {
     10f64.powf(log_t_yr) / 1.0e6
 }
 
-/// Minimum initial mass that explodes as a core-collapse SN [M_sun].
+/// Minimum initial mass that explodes as a core-collapse SN \[M_sun\].
 pub const SN_MIN_MASS: f64 = 8.0;
 
 /// Maximum initial mass treated as exploding (above: direct collapse).

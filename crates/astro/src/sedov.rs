@@ -16,7 +16,7 @@ use crate::units::KB_OVER_MP;
 pub struct SedovTaylor {
     /// Explosion energy [code units].
     pub e: f64,
-    /// Ambient density [M_sun/pc^3].
+    /// Ambient density \[M_sun/pc^3\].
     pub rho0: f64,
     /// Adiabatic index.
     pub gamma: f64,
@@ -36,13 +36,13 @@ impl SedovTaylor {
         }
     }
 
-    /// Shock radius [pc] at time `t` [Myr].
+    /// Shock radius \[pc\] at time `t` \[Myr\].
     pub fn shock_radius(&self, t: f64) -> f64 {
         assert!(t >= 0.0);
         self.xi0 * (self.e * t * t / self.rho0).powf(0.2)
     }
 
-    /// Shock speed [pc/Myr]: `dR/dt = 2R / 5t`.
+    /// Shock speed \[pc/Myr\]: `dR/dt = 2R / 5t`.
     pub fn shock_speed(&self, t: f64) -> f64 {
         assert!(t > 0.0);
         0.4 * self.shock_radius(t) / t
@@ -126,7 +126,7 @@ impl SedovTaylor {
         f.clamp(0.05, 1.0)
     }
 
-    /// Temperature [K] at `(r, t)` for mean molecular weight `mu`
+    /// Temperature \[K\] at `(r, t)` for mean molecular weight `mu`
     /// (diverges toward the rarefied centre, as in the true solution).
     pub fn temperature(&self, r: f64, t: f64, mu: f64) -> f64 {
         let rho = self.density(r, t);

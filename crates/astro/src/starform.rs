@@ -13,7 +13,7 @@ use rand::Rng;
 pub struct StarFormationCriteria {
     /// Density threshold [M_sun / pc^3]. ~100 cm^-3 => ~3.2 M_sun/pc^3.
     pub rho_min: f64,
-    /// Temperature ceiling [K] (star-forming gas is ~10-100 K).
+    /// Temperature ceiling \[K\] (star-forming gas is ~10-100 K).
     pub t_max: f64,
     /// Star-formation efficiency per free-fall time.
     pub efficiency: f64,
@@ -47,15 +47,15 @@ pub enum SfOutcome {
     Convert { star_mass: f64 },
 }
 
-/// Local free-fall time [Myr] at density `rho` [M_sun/pc^3].
+/// Local free-fall time \[Myr\] at density `rho` \[M_sun/pc^3\].
 pub fn free_fall_time(rho: f64) -> f64 {
     assert!(rho > 0.0);
     (3.0 * std::f64::consts::PI / (32.0 * G * rho)).sqrt()
 }
 
 impl StarFormation {
-    /// Attempt star formation for one gas particle over `dt` [Myr].
-    /// `rho` [M_sun/pc^3], `temp` [K], `gas_mass` [M_sun].
+    /// Attempt star formation for one gas particle over `dt` \[Myr\].
+    /// `rho` \[M_sun/pc^3\], `temp` \[K\], `gas_mass` \[M_sun\].
     pub fn try_form<R: Rng + ?Sized>(
         &self,
         rng: &mut R,

@@ -13,9 +13,9 @@ use crate::units::E_SN;
 pub struct SnEvent {
     /// Index of the exploding star particle (caller's indexing).
     pub star_index: usize,
-    /// Explosion position [pc].
+    /// Explosion position \[pc\].
     pub pos: [f64; 3],
-    /// Explosion time [Myr].
+    /// Explosion time \[Myr\].
     pub time: f64,
     /// Injected energy [code units]; 10^51 erg by default.
     pub energy: f64,

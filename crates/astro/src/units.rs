@@ -16,7 +16,7 @@ pub const E_SN: f64 = 5.258e7;
 pub const KB_OVER_MP: f64 = 8.254_3e-3;
 
 /// Hydrogen number density of gas at 1 M_sun/pc^3 in cm^-3
-/// (rho [M_sun/pc^3] * this = n_H [cm^-3] for X = 0.76).
+/// (rho \[M_sun/pc^3\] * this = n_H \[cm^-3\] for X = 0.76).
 pub const NH_PER_MSUN_PC3: f64 = 30.77;
 
 /// Seconds per Myr.

@@ -23,7 +23,7 @@ pub const ALL_SPECIES: [Species; 4] = [
     Species::Iron,
 ];
 
-/// Ejected masses [M_sun] from one core-collapse SN.
+/// Ejected masses \[M_sun\] from one core-collapse SN.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct SnYield {
     /// Total ejecta (progenitor minus the ~1.4 M_sun remnant).
@@ -35,7 +35,7 @@ pub struct SnYield {
 }
 
 impl SnYield {
-    /// Yields for a progenitor of initial mass `m` [M_sun] (valid for the
+    /// Yields for a progenitor of initial mass `m` \[M_sun\] (valid for the
     /// 8–40 M_sun core-collapse window).
     pub fn for_progenitor(m: f64) -> SnYield {
         assert!(m > 0.0);

@@ -1,7 +1,8 @@
 //! Ablation bench: flat vs 3-D torus alltoallv (paper §3.4's O(p^{1/3})
-//! optimization), measured on real mpisim ranks.
+//! optimization), measured on real mpisim ranks. Writes the
+//! `BENCH_alltoall.json` trajectory artifact at the repo root.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{criterion_group, BenchmarkId, Criterion};
 use mpisim::{TorusDims, World};
 use std::hint::black_box;
 
@@ -34,4 +35,13 @@ fn bench_alltoall(c: &mut Criterion) {
 }
 
 criterion_group!(benches, bench_alltoall);
-criterion_main!(benches);
+
+fn main() {
+    benches();
+    let records = criterion::take_records();
+    let path = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_alltoall.json");
+    criterion::write_artifact(&path, &records);
+    println!("[artifact] {}", path.display());
+}

@@ -1,0 +1,193 @@
+//! The block-timestep trajectory benchmark (`cargo bench --bench
+//! blockstep`).
+//!
+//! Runs the spiked-dt scenario — a uniform gas blob with one SN-hot
+//! particle — through the real conventional-scheme driver in both
+//! [`TimestepMode::Global`] and [`TimestepMode::Block`], advancing the
+//! same physical horizon, and compares:
+//!
+//! * wall-clock per base step and total particle-updates (the paper's §1
+//!   efficiency argument, measured instead of modeled);
+//! * the measured update ratio against [`BlockSchedule::efficiency`]'s
+//!   prediction for the assigned level population;
+//! * tree refresh-vs-rebuild counts (the cross-substep reuse win).
+//!
+//! Writes `BENCH_blockstep.json` at the repo root so subsequent PRs have a
+//! perf trajectory.
+
+use asura_core::{Particle, Scheme, SimConfig, Simulation, TimestepMode};
+use fdps::Vec3;
+use std::time::Instant;
+
+const N_SIDE: usize = 10;
+const DT_BASE: f64 = 2.0e-3;
+const BASE_STEPS: usize = 3;
+const MAX_LEVEL: u32 = 8;
+
+fn spiked_blob() -> Vec<Particle> {
+    let mut particles = Vec::new();
+    let mut id = 0u64;
+    for i in 0..N_SIDE {
+        for j in 0..N_SIDE {
+            for k in 0..N_SIDE {
+                particles.push(Particle::gas(
+                    id,
+                    Vec3::new(
+                        i as f64 - N_SIDE as f64 / 2.0,
+                        j as f64 - N_SIDE as f64 / 2.0,
+                        k as f64 - N_SIDE as f64 / 2.0,
+                    ),
+                    Vec3::ZERO,
+                    1.0,
+                    1.0,
+                    1.3,
+                ));
+                id += 1;
+            }
+        }
+    }
+    // SN-hot centre particle: ~10^4 km/s signal speed collapses its CFL
+    // step by a factor ~2^5-2^6 below the base step.
+    let center = (N_SIDE / 2) * N_SIDE * N_SIDE + (N_SIDE / 2) * N_SIDE + N_SIDE / 2;
+    particles[center].u = 1.0e8;
+    particles
+}
+
+fn config(mode: TimestepMode) -> SimConfig {
+    SimConfig {
+        scheme: Scheme::Conventional,
+        timestep: mode,
+        dt_global: DT_BASE,
+        cooling: false,
+        star_formation: false,
+        eps: 1.0,
+        ..Default::default()
+    }
+}
+
+struct RunResult {
+    wall_s: f64,
+    steps: u64,
+    substeps: u64,
+    updates: u64,
+    refreshes: u64,
+    rebuilds: u64,
+    dt_min: f64,
+    max_level: u32,
+    predicted_substeps: u64,
+    modeled_efficiency: f64,
+}
+
+fn run(mode: TimestepMode) -> RunResult {
+    let horizon = BASE_STEPS as f64 * DT_BASE;
+    let mut sim = Simulation::new(config(mode), spiked_blob(), 1);
+    let start = Instant::now();
+    while sim.time < horizon - 1e-12 {
+        sim.step();
+    }
+    let wall_s = start.elapsed().as_secs_f64();
+    let (max_level, predicted_substeps, modeled_efficiency) = sim
+        .scheduler()
+        .schedule()
+        .map(|s| {
+            // 1% of a full-system update per substep: the overhead class
+            // blocksteps::tests uses for the paper's argument.
+            (
+                s.max_level(),
+                s.substeps_per_base_step(),
+                s.efficiency(0.01),
+            )
+        })
+        .unwrap_or((0, 1, 1.0));
+    RunResult {
+        wall_s,
+        steps: sim.stats.steps,
+        substeps: sim.stats.substeps,
+        updates: sim.stats.active_updates,
+        refreshes: sim.stats.tree_refreshes,
+        rebuilds: sim.stats.tree_rebuilds,
+        dt_min: sim.stats.dt_min_seen,
+        max_level,
+        predicted_substeps,
+        modeled_efficiency,
+    }
+}
+
+fn main() {
+    let n = N_SIDE * N_SIDE * N_SIDE;
+    println!("blockstep: N={n}, dt_base={DT_BASE}, horizon={BASE_STEPS} base steps");
+
+    let global = run(TimestepMode::Global);
+    println!(
+        "global: {:.3} s, {} steps, {} updates, dt_min {:.3e}",
+        global.wall_s, global.steps, global.updates, global.dt_min
+    );
+    let block = run(TimestepMode::Block {
+        max_level: MAX_LEVEL,
+    });
+    println!(
+        "block:  {:.3} s, {} base steps / {} substeps (schedule says {}/base), \
+         {} updates, max level {}, tree {} refreshes / {} rebuilds, dt_min {:.3e}",
+        block.wall_s,
+        block.steps,
+        block.substeps,
+        block.predicted_substeps,
+        block.updates,
+        block.max_level,
+        block.refreshes,
+        block.rebuilds,
+        block.dt_min
+    );
+    let update_ratio = global.updates as f64 / block.updates.max(1) as f64;
+    let speedup = global.wall_s / block.wall_s.max(1e-12);
+    println!(
+        "update savings: {update_ratio:.2}x, wall-clock speedup: {speedup:.2}x, \
+         modeled block efficiency: {:.3}",
+        block.modeled_efficiency
+    );
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"n\": {},\n",
+            "  \"dt_base\": {},\n",
+            "  \"base_steps\": {},\n",
+            "  \"max_level_cap\": {},\n",
+            "  \"global\": {{\"wall_s\": {:.4}, \"steps\": {}, \"updates\": {}, \"dt_min\": {:.6e}, \"tree_rebuilds\": {}}},\n",
+            "  \"block\": {{\"wall_s\": {:.4}, \"base_steps\": {}, \"substeps\": {}, \"updates\": {}, \"dt_min\": {:.6e},\n",
+            "            \"max_level\": {}, \"substeps_per_base_step\": {}, \"tree_refreshes\": {}, \"tree_rebuilds\": {}}},\n",
+            "  \"update_ratio\": {:.3},\n",
+            "  \"wall_speedup\": {:.3},\n",
+            "  \"modeled_block_efficiency\": {:.4},\n",
+            "  \"threads\": {}\n",
+            "}}\n"
+        ),
+        n,
+        DT_BASE,
+        BASE_STEPS,
+        MAX_LEVEL,
+        global.wall_s,
+        global.steps,
+        global.updates,
+        global.dt_min,
+        global.rebuilds,
+        block.wall_s,
+        block.steps,
+        block.substeps,
+        block.updates,
+        block.dt_min,
+        block.max_level,
+        block.predicted_substeps,
+        block.refreshes,
+        block.rebuilds,
+        update_ratio,
+        speedup,
+        block.modeled_efficiency,
+        rayon::current_num_threads(),
+    );
+    let path = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_blockstep.json");
+    std::fs::write(&path, json).expect("write BENCH_blockstep.json");
+    println!("[artifact] {}", path.display());
+}

@@ -1,7 +1,8 @@
 //! Ablation bench: interaction-list group size n_g (paper §5.2.4 tunes
 //! n_g = 2048 on Fugaku, 65,536 on Miyabi) and tree construction cost.
+//! Writes the `BENCH_tree_walk.json` trajectory artifact at the repo root.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{criterion_group, BenchmarkId, Criterion};
 use fdps::{Tree, Vec3};
 use gravity::GravitySolver;
 use rand::rngs::StdRng;
@@ -100,4 +101,13 @@ fn bench_mac_walk(c: &mut Criterion) {
 }
 
 criterion_group!(benches, bench_tree_build, bench_group_size, bench_mac_walk);
-criterion_main!(benches);
+
+fn main() {
+    benches();
+    let records = criterion::take_records();
+    let path = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_tree_walk.json");
+    criterion::write_artifact(&path, &records);
+    println!("[artifact] {}", path.display());
+}

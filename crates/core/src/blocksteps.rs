@@ -14,7 +14,11 @@
 /// Assignment of particles to power-of-two timestep levels.
 ///
 /// Level 0 steps with `dt_max`; level `l` with `dt_max / 2^l`.
-#[derive(Debug, Clone)]
+///
+/// The `Default` schedule is empty and unusable until
+/// [`BlockSchedule::reassign`] runs (it exists so drivers can embed one
+/// and fill it lazily).
+#[derive(Debug, Clone, Default)]
 pub struct BlockSchedule {
     pub dt_max: f64,
     /// Level per particle.
@@ -27,25 +31,33 @@ impl BlockSchedule {
     /// `dt_max` not exceeding each particle's desired step, capped at
     /// `max_level`.
     pub fn assign(dt_max: f64, dt_wanted: &[f64], max_level: u32) -> Self {
-        assert!(dt_max > 0.0);
-        let levels: Vec<u32> = dt_wanted
-            .iter()
-            .map(|&dt| {
-                assert!(dt > 0.0, "timesteps must be positive");
-                let ratio = dt_max / dt;
-                if ratio <= 1.0 {
-                    0
-                } else {
-                    (ratio.log2().ceil() as u32).min(max_level)
-                }
-            })
-            .collect();
-        let max_used = levels.iter().copied().max().unwrap_or(0);
-        BlockSchedule {
+        let mut s = BlockSchedule {
             dt_max,
-            levels,
-            max_level: max_used,
-        }
+            levels: Vec::new(),
+            max_level: 0,
+        };
+        s.reassign(dt_max, dt_wanted, max_level);
+        s
+    }
+
+    /// In-place [`BlockSchedule::assign`]: the level array is cleared and
+    /// refilled, never re-collected, so a driver reassigning levels every
+    /// base step reuses the same storage (the scheduler's zero-allocation
+    /// contract).
+    pub fn reassign(&mut self, dt_max: f64, dt_wanted: &[f64], max_level: u32) {
+        assert!(dt_max > 0.0);
+        self.dt_max = dt_max;
+        self.levels.clear();
+        self.levels.extend(dt_wanted.iter().map(|&dt| {
+            assert!(dt > 0.0, "timesteps must be positive");
+            let ratio = dt_max / dt;
+            if ratio <= 1.0 {
+                0
+            } else {
+                (ratio.log2().ceil() as u32).min(max_level)
+            }
+        }));
+        self.max_level = self.levels.iter().copied().max().unwrap_or(0);
     }
 
     /// Deepest occupied level.
@@ -67,15 +79,28 @@ impl BlockSchedule {
     /// base step): a particle at level `l` updates every `2^(max - l)`
     /// substeps.
     pub fn active_at(&self, k: u64) -> Vec<usize> {
-        self.levels
-            .iter()
-            .enumerate()
-            .filter(|(_, &l)| {
-                let period = 1u64 << (self.max_level - l);
-                k.is_multiple_of(period)
-            })
-            .map(|(i, _)| i)
-            .collect()
+        let mut out = Vec::new();
+        self.active_at_into(k, &mut out);
+        out.into_iter().map(|i| i as usize).collect()
+    }
+
+    /// [`BlockSchedule::active_at`] into a caller-owned index buffer
+    /// (cleared, capacity kept) — the zero-allocation entry point the
+    /// substep driver uses at every boundary. Also valid at `k = 2^max`
+    /// (the base-step end boundary, where every particle closes a step).
+    pub fn active_at_into(&self, k: u64, out: &mut Vec<u32>) {
+        out.clear();
+        for (i, &l) in self.levels.iter().enumerate() {
+            let period = 1u64 << (self.max_level - l);
+            if k.is_multiple_of(period) {
+                out.push(i as u32);
+            }
+        }
+    }
+
+    /// The quantized timestep of particle `i`: `dt_max / 2^level`.
+    pub fn dt_of(&self, i: usize) -> f64 {
+        self.dt_max / (1u64 << self.levels[i]) as f64
     }
 
     /// Total particle-updates over one base step — the useful work.
@@ -179,5 +204,34 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_timestep_rejected() {
         let _ = BlockSchedule::assign(1.0, &[0.0], 4);
+    }
+
+    #[test]
+    fn reassign_reuses_storage_and_matches_assign() {
+        let mut s = BlockSchedule::assign(1.0, &[1.0, 0.3, 0.1, 0.6], 20);
+        let cap = s.levels.capacity();
+        s.reassign(2.0, &[2.0, 0.5, 0.9], 20);
+        let fresh = BlockSchedule::assign(2.0, &[2.0, 0.5, 0.9], 20);
+        assert_eq!(s.levels, fresh.levels);
+        assert_eq!(s.max_level(), fresh.max_level());
+        assert_eq!(s.levels.capacity(), cap, "reassign must not reallocate");
+    }
+
+    #[test]
+    fn active_at_into_matches_active_at_and_covers_end_boundary() {
+        let s = BlockSchedule::assign(1.0, &[1.0, 0.5, 0.25], 20);
+        let mut buf = Vec::new();
+        for k in 0..s.substeps_per_base_step() {
+            s.active_at_into(k, &mut buf);
+            let via_vec: Vec<usize> = buf.iter().map(|&i| i as usize).collect();
+            assert_eq!(via_vec, s.active_at(k));
+        }
+        // End boundary: everyone closes a step.
+        s.active_at_into(s.substeps_per_base_step(), &mut buf);
+        assert_eq!(buf, vec![0, 1, 2]);
+        // Per-particle quantized dt follows the level.
+        assert_eq!(s.dt_of(0), 1.0);
+        assert_eq!(s.dt_of(1), 0.5);
+        assert_eq!(s.dt_of(2), 0.25);
     }
 }

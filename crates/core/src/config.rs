@@ -10,21 +10,39 @@ pub enum Scheme {
     Conventional,
 }
 
+/// How the integrator advances time within one global step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TimestepMode {
+    /// One shared timestep for every particle (the paper's §3.2 loop; in
+    /// the conventional scheme the shared dt is CFL-adaptive, §5.3).
+    Global,
+    /// Hierarchical block (power-of-two individual) timesteps: particles
+    /// are binned into levels below the base step and only the active
+    /// subset is updated per fine substep — the conventional machinery the
+    /// paper's surrogate scheme replaces (§1, §5.3). Levels are capped at
+    /// `max_level`, i.e. the finest substep is `dt_global / 2^max_level`.
+    Block { max_level: u32 },
+}
+
 /// Driver parameters; defaults follow the paper where it gives numbers.
 #[derive(Debug, Clone, Copy)]
 pub struct SimConfig {
     pub scheme: Scheme,
-    /// Global timestep [Myr] (paper: 2,000 yr = 2e-3 Myr).
+    /// Timestep hierarchy driving the conventional scheme's integration
+    /// loop. The surrogate scheme ignores this: its whole point is the
+    /// fixed global step, so it never leaves `Global` mode.
+    pub timestep: TimestepMode,
+    /// Global timestep \[Myr\] (paper: 2,000 yr = 2e-3 Myr).
     pub dt_global: f64,
     /// Barnes–Hut opening angle.
     pub theta: f64,
     /// Interaction-list group size (paper n_g; scaled down for tests).
     pub n_group: usize,
-    /// Gravitational softening [pc].
+    /// Gravitational softening \[pc\].
     pub eps: f64,
     /// SPH target neighbour count.
     pub n_ngb: usize,
-    /// SN region cube side [pc] (paper: 60).
+    /// SN region cube side \[pc\] (paper: 60).
     pub region_side: f64,
     /// Steps of pool-node latency (paper: 50; the prediction horizon
     /// `50 * dt_global` = 0.1 Myr at the paper's dt).
@@ -35,15 +53,15 @@ pub struct SimConfig {
     pub star_formation: bool,
     /// Courant factor for the conventional scheme.
     pub cfl: f64,
-    /// Floor on the adaptive timestep [Myr].
+    /// Floor on the adaptive timestep \[Myr\].
     pub dt_min: f64,
     /// Use the mixed-precision gravity kernel.
     pub mixed_precision: bool,
-    /// Star-formation density threshold [M_sun/pc^3]. The paper-physical
+    /// Star-formation density threshold \[M_sun/pc^3\]. The paper-physical
     /// value (~3.2, i.e. ~100 cm^-3) suits star-by-star resolution;
     /// coarse-resolution runs lower it.
     pub sf_rho_min: f64,
-    /// Star-formation temperature ceiling [K].
+    /// Star-formation temperature ceiling \[K\].
     pub sf_t_max: f64,
     /// Star-formation efficiency per free-fall time.
     pub sf_efficiency: f64,
@@ -53,6 +71,7 @@ impl Default for SimConfig {
     fn default() -> Self {
         SimConfig {
             scheme: Scheme::Surrogate,
+            timestep: TimestepMode::Global,
             dt_global: 2.0e-3,
             theta: 0.5,
             n_group: 64,
@@ -73,7 +92,7 @@ impl Default for SimConfig {
 }
 
 impl SimConfig {
-    /// Prediction horizon of the surrogate [Myr].
+    /// Prediction horizon of the surrogate \[Myr\].
     pub fn horizon(&self) -> f64 {
         self.pool_latency_steps as f64 * self.dt_global
     }
@@ -87,6 +106,7 @@ mod tests {
     fn paper_defaults() {
         let c = SimConfig::default();
         assert_eq!(c.dt_global, 2.0e-3); // 2,000 yr
+        assert_eq!(c.timestep, TimestepMode::Global);
         assert_eq!(c.pool_latency_steps, 50);
         assert_eq!(c.region_side, 60.0);
         // 50 steps * 2,000 yr = 0.1 Myr, the paper's prediction horizon.

@@ -9,7 +9,7 @@ use fdps::Vec3;
 #[derive(Debug, Clone)]
 pub struct SurfaceDensityMap {
     pub n: usize,
-    /// Half-extent of the map [pc].
+    /// Half-extent of the map \[pc\].
     pub half: f64,
     /// Row-major `n x n` values.
     pub data: Vec<f64>,

@@ -11,8 +11,11 @@
 //! exposes the capacities so regression tests can assert exactly that.
 
 use crate::particle::Particle;
-use fdps::Vec3;
+use fdps::{Tree, Vec3};
 use sph::solver::{HydroState, SphScratch};
+
+/// Sentinel in [`ForceBuffers::gas_local`] marking a non-gas particle.
+pub const NOT_GAS: u32 = u32::MAX;
 
 /// Reusable buffers for one simulation's force evaluations.
 #[derive(Debug, Clone, Default)]
@@ -30,11 +33,30 @@ pub struct ForceBuffers {
     pub dudt: Vec<f64>,
     /// Indices of gas particles into the particle array.
     pub gas_idx: Vec<usize>,
+    /// Inverse of `gas_idx`: particle index → hydro-local index, or
+    /// [`NOT_GAS`] for collisionless species.
+    pub gas_local: Vec<u32>,
     /// SoA hydro state over the gas subset (holds the gas `pos`, `vel`,
     /// `mass`, `u`, `h` snapshots plus derived arrays).
     pub hydro: HydroState,
     /// SPH staging buffers (search radii, targets, hydro inputs).
     pub sph: SphScratch,
+    /// Per-particle desired timestep \[Myr\], input to the level assignment
+    /// (block-timestep mode).
+    pub dt_wanted: Vec<f64>,
+    /// Active particle indices of the current substep boundary.
+    pub active: Vec<u32>,
+    /// Per-particle active flags mirroring `active` (O(1) membership for
+    /// the solvers); reset entry-by-entry, never re-filled wholesale.
+    pub active_mask: Vec<bool>,
+    /// Hydro-local indices of the active gas particles.
+    pub active_gas: Vec<usize>,
+    /// Gravity tree cached across substeps: full rebuild on base steps,
+    /// moment-only [`Tree::refresh`] on fine substeps (until the drift
+    /// bound trips).
+    pub tree: Option<Tree>,
+    /// Position snapshot at the last full tree build, for the drift bound.
+    pub tree_ref_pos: Vec<Vec3>,
 }
 
 impl ForceBuffers {
@@ -43,11 +65,15 @@ impl ForceBuffers {
         self.pos.clear();
         self.mass.clear();
         self.gas_idx.clear();
+        self.gas_local.clear();
         for (i, p) in particles.iter().enumerate() {
             self.pos.push(p.pos);
             self.mass.push(p.mass);
             if p.is_gas() {
+                self.gas_local.push(self.gas_idx.len() as u32);
                 self.gas_idx.push(i);
+            } else {
+                self.gas_local.push(NOT_GAS);
             }
         }
         let n = particles.len();
@@ -87,6 +113,7 @@ impl ForceBuffers {
             self.pot.capacity(),
             self.dudt.capacity(),
             self.gas_idx.capacity(),
+            self.gas_local.capacity(),
             hs.pos.capacity(),
             hs.vel.capacity(),
             hs.mass.capacity(),
@@ -98,6 +125,11 @@ impl ForceBuffers {
             hs.cs.capacity(),
             hs.v_sig.capacity(),
             hs.n_ngb.capacity(),
+            self.dt_wanted.capacity(),
+            self.active.capacity(),
+            self.active_mask.capacity(),
+            self.active_gas.capacity(),
+            self.tree_ref_pos.capacity(),
         ];
         sig.extend(self.sph.capacities());
         sig
@@ -132,6 +164,15 @@ mod tests {
         assert_eq!(bufs.dudt.len(), 30);
         assert_eq!(bufs.gas_idx.len(), 10);
         assert!(bufs.gas_idx.iter().all(|&i| particles[i].is_gas()));
+        // gas_local is the exact inverse of gas_idx.
+        assert_eq!(bufs.gas_local.len(), 30);
+        for (i, &k) in bufs.gas_local.iter().enumerate() {
+            if particles[i].is_gas() {
+                assert_eq!(bufs.gas_idx[k as usize], i);
+            } else {
+                assert_eq!(k, NOT_GAS);
+            }
+        }
         bufs.refresh_hydro(&particles);
         assert_eq!(bufs.hydro.len(), 10);
         assert_eq!(bufs.hydro.rho.len(), 10);

@@ -28,11 +28,14 @@ pub mod particle;
 pub mod phases;
 pub mod pool;
 pub mod runs;
+pub mod scheduler;
 pub mod sim;
 
 pub use forces::ForceBuffers;
 
-pub use config::{Scheme, SimConfig};
+pub use blocksteps::BlockSchedule;
+pub use config::{Scheme, SimConfig, TimestepMode};
 pub use particle::{Kind, Particle};
 pub use pool::{PoolPredictor, SedovOverlayPredictor};
+pub use scheduler::ActiveScheduler;
 pub use sim::{SimStats, Simulation};

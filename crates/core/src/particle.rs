@@ -23,13 +23,13 @@ pub struct Particle {
     pub mass: f64,
     /// Gas: specific internal energy [code units].
     pub u: f64,
-    /// Gas: smoothing length [pc].
+    /// Gas: smoothing length \[pc\].
     pub h: f64,
-    /// Gas: density (derived each step) [M_sun/pc^3].
+    /// Gas: density (derived each step) \[M_sun/pc^3\].
     pub rho: f64,
-    /// Gas: metal mass carried [M_sun] (C+O+Mg+Fe, Figure 1's cycle).
+    /// Gas: metal mass carried \[M_sun\] (C+O+Mg+Fe, Figure 1's cycle).
     pub metals: f64,
-    /// Star: formation time [Myr].
+    /// Star: formation time \[Myr\].
     pub birth_time: f64,
     /// Star: whether its SN has already fired.
     pub exploded: bool,

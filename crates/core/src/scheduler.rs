@@ -1,0 +1,187 @@
+//! Active-set block-timestep scheduler: drives [`BlockSchedule`] inside
+//! the conventional scheme's integration loop.
+//!
+//! The paper's headline comparison (§1, §5.3) is between its surrogate
+//! scheme — which keeps the fixed global timestep of the §3.2 loop — and
+//! conventional direct feedback, which is forced onto hierarchical
+//! individual timesteps whose per-substep synchronization overhead
+//! dominates as soon as a few SN-heated particles demand deep levels.
+//! [`crate::blocksteps`] models that cost argument; this module makes it
+//! *measurable* by actually running the hierarchy. One base step of the
+//! driver maps onto the paper's procedure as follows:
+//!
+//! 1. **Full force pass + level assignment** (the §3.2 step-3 force
+//!    evaluation, done once per base step): forces on everyone from a
+//!    freshly rebuilt tree, then per-particle desired timesteps — the SPH
+//!    CFL criterion `C h / v_sig` from the last force pass's signal speeds
+//!    (the quantity §5.3 says collapses after an SN) and a gravity
+//!    acceleration criterion `C sqrt(eps / |a|)` — are binned into
+//!    power-of-two levels by [`BlockSchedule::reassign`]
+//!    ([`desired_timesteps`]).
+//! 2. **Opening half-kick**: every particle kicks by half of its *own*
+//!    level's step, entering the standard KDK stagger of hierarchical
+//!    leapfrog.
+//! 3. **Binary-subdivision walk**: for each of the `2^max_level` fine
+//!    substeps, *all* particles drift (inactive particles are thereby
+//!    drift-predicted to the boundary — exactly the per-substep
+//!    "prediction for all particles" overhead the paper's §1 argument
+//!    charges against individual timesteps), the tree is moment-refreshed
+//!    rather than rebuilt ([`fdps::Tree::refresh`], falling back to a full
+//!    rebuild when the [`TREE_DRIFT_FRACTION`] bound trips), and only the
+//!    boundary's active set ([`BlockSchedule::active_at_into`]) gets new
+//!    forces and a full kick — closing its old step and opening its next.
+//! 4. **Base-step close**: at the last boundary every level closes with a
+//!    half-kick, re-synchronizing the system so cooling, star formation
+//!    and SN identification (§3.2 steps 1 and 6) run on the shared base
+//!    step, as conventional codes do.
+//!
+//! [`SimStats`](crate::sim::SimStats) counts substeps, active updates and
+//! tree refreshes/rebuilds so [`BlockSchedule::efficiency`]'s modeled
+//! overhead can be checked against measured wall-clock (`cargo bench
+//! --bench blockstep`).
+
+use crate::blocksteps::BlockSchedule;
+use fdps::Vec3;
+use sph::timestep::{dt_accel, dt_cfl};
+
+/// Fraction of the tree's root-cube extent any particle may drift from its
+/// position at the last full build before a substep forces a rebuild
+/// instead of a moment refresh. Refreshed nodes keep the old Morton
+/// partition, so drifting particles gradually loosen the MAC; this bound
+/// keeps the error of the refreshed walk in the same class as the opening
+/// criterion itself.
+pub const TREE_DRIFT_FRACTION: f64 = 0.05;
+
+/// The per-base-step scheduler state: a reusable [`BlockSchedule`] plus
+/// the bookkeeping the substep walk needs. Lives inside the simulation
+/// and is re-assigned (allocation-free after warm-up) every base step.
+#[derive(Debug, Clone, Default)]
+pub struct ActiveScheduler {
+    schedule: BlockSchedule,
+    assigned: bool,
+}
+
+impl ActiveScheduler {
+    /// Bin `dt_wanted` into levels for a new base step of `dt_base`.
+    pub fn assign(&mut self, dt_base: f64, dt_wanted: &[f64], max_level: u32) {
+        self.schedule.reassign(dt_base, dt_wanted, max_level);
+        self.assigned = true;
+    }
+
+    /// The schedule of the current (last assigned) base step, if any.
+    pub fn schedule(&self) -> Option<&BlockSchedule> {
+        self.assigned.then_some(&self.schedule)
+    }
+
+    /// Fine substeps per base step (1 before any assignment).
+    pub fn substeps(&self) -> u64 {
+        if self.assigned {
+            self.schedule.substeps_per_base_step()
+        } else {
+            1
+        }
+    }
+
+    /// The finest substep of the current schedule.
+    pub fn dt_fine(&self) -> f64 {
+        self.schedule.dt_max / self.substeps() as f64
+    }
+
+    /// The quantized step of particle `i` under the current schedule.
+    pub fn dt_of(&self, i: usize) -> f64 {
+        self.schedule.dt_of(i)
+    }
+
+    /// Particles closing (and, mid-base-step, re-opening) a step at
+    /// fine-substep boundary `k` in `1..=substeps()`, written into the
+    /// caller-owned buffer.
+    pub fn active_at_boundary_into(&self, k: u64, out: &mut Vec<u32>) {
+        self.schedule.active_at_into(k, out);
+    }
+}
+
+/// Fill `out[i]` with particle `i`'s desired timestep: the minimum of the
+/// base step, the SPH CFL criterion over the last force pass's signal
+/// speeds (`vsig` entries are `(particle index, v_sig, h)`), and the
+/// gravity acceleration criterion `C sqrt(eps / |a|)` — clamped below by
+/// `dt_min` so one pathological particle cannot demand unbounded depth.
+pub fn desired_timesteps(
+    cfl: f64,
+    eps: f64,
+    dt_base: f64,
+    dt_min: f64,
+    acc: &[Vec3],
+    vsig: &[(usize, f64, f64)],
+    out: &mut Vec<f64>,
+) {
+    out.clear();
+    out.resize(acc.len(), dt_base);
+    for (dt, a) in out.iter_mut().zip(acc) {
+        let a_norm = a.norm();
+        if a_norm > 0.0 {
+            *dt = dt.min(dt_accel(cfl, eps.max(1e-12), a_norm));
+        }
+    }
+    for &(i, v_sig, h) in vsig {
+        if v_sig > 0.0 {
+            out[i] = out[i].min(dt_cfl(cfl, h, 0.0, v_sig));
+        }
+    }
+    for dt in out.iter_mut() {
+        *dt = dt.clamp(dt_min, dt_base);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unassigned_scheduler_reports_one_substep() {
+        let s = ActiveScheduler::default();
+        assert_eq!(s.substeps(), 1);
+        assert!(s.schedule().is_none());
+    }
+
+    #[test]
+    fn assignment_reuses_storage_across_base_steps() {
+        let mut s = ActiveScheduler::default();
+        s.assign(1.0, &[1.0, 0.3, 0.01], 10);
+        assert_eq!(s.schedule().unwrap().max_level(), 7);
+        assert_eq!(s.substeps(), 128);
+        assert!((s.dt_fine() - 1.0 / 128.0).abs() < 1e-15);
+        let mut active = Vec::new();
+        s.active_at_boundary_into(s.substeps(), &mut active);
+        assert_eq!(active, vec![0, 1, 2], "everyone closes at the base end");
+        // Re-assign with uniform steps: no growth, single level.
+        s.assign(1.0, &[1.0, 1.0, 1.0], 10);
+        assert_eq!(s.substeps(), 1);
+        assert_eq!(s.dt_of(1), 1.0);
+    }
+
+    #[test]
+    fn desired_timesteps_combine_cfl_and_acceleration() {
+        let acc = vec![
+            Vec3::ZERO,                  // unconstrained -> dt_base
+            Vec3::new(100.0, 0.0, 0.0),  // accel-limited
+            Vec3::new(1e-12, 0.0, 0.0),  // negligible accel -> dt_base
+            Vec3::new(1.0e12, 0.0, 0.0), // pathological -> clamped to dt_min
+        ];
+        // Particle 2 is gas with a hot signal speed.
+        let vsig = vec![(2usize, 1000.0, 1.0)];
+        let mut out = Vec::new();
+        desired_timesteps(0.3, 1.0, 1.0, 1e-6, &acc, &vsig, &mut out);
+        assert_eq!(out[0], 1.0);
+        assert!((out[1] - 0.3 * (1.0f64 / 100.0).sqrt()).abs() < 1e-12);
+        assert!(
+            (out[2] - 0.3 / 1000.0).abs() < 1e-12,
+            "CFL bites: {}",
+            out[2]
+        );
+        assert_eq!(out[3], 1e-6, "clamped at dt_min");
+        // The buffer is reused, not regrown.
+        let cap = out.capacity();
+        desired_timesteps(0.3, 1.0, 1.0, 1e-6, &acc, &vsig, &mut out);
+        assert_eq!(out.capacity(), cap);
+    }
+}

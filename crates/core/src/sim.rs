@@ -1,10 +1,11 @@
 //! The shared-memory simulation driver: the paper's §3.2 integration loop
 //! with either the surrogate or the conventional SN scheme.
 
-use crate::config::{Scheme, SimConfig};
-use crate::forces::ForceBuffers;
+use crate::config::{Scheme, SimConfig, TimestepMode};
+use crate::forces::{ForceBuffers, NOT_GAS};
 use crate::particle::{Kind, Particle};
 use crate::pool::{PoolPredictor, SedovOverlayPredictor};
+use crate::scheduler::{self, ActiveScheduler};
 use astro::cooling::CoolingCurve;
 use astro::lifetime::explodes_in_interval;
 use astro::starform::{SfOutcome, StarFormation};
@@ -27,12 +28,25 @@ pub struct SimStats {
     pub sn_events: u64,
     pub stars_formed: u64,
     pub regions_applied: u64,
-    /// Smallest timestep taken [Myr].
+    /// Smallest timestep taken \[Myr\].
     pub dt_min_seen: f64,
     /// Total gravity interactions evaluated.
     pub gravity_interactions: u64,
     /// Total SPH force interactions evaluated.
     pub hydro_interactions: u64,
+    /// Fine substeps executed by the block-timestep scheduler (0 in
+    /// `Global` mode — the surrogate scheme by construction).
+    pub substeps: u64,
+    /// Individual particle-step completions: in `Global` mode every KDK
+    /// counts each particle once; in `Block` mode a particle counts once
+    /// per step of its own level. The Surrogate-vs-Conventional update
+    /// economy is exactly the ratio of these.
+    pub active_updates: u64,
+    /// Full octree builds (Morton sort + split + moments).
+    pub tree_rebuilds: u64,
+    /// Moment-only tree refreshes reusing the last build's topology
+    /// (cross-substep reuse; see `fdps::Tree::refresh`).
+    pub tree_refreshes: u64,
 }
 
 /// A prediction in flight between pool dispatch and application.
@@ -62,6 +76,14 @@ pub struct Simulation {
     /// The force-evaluation scratch arena: refreshed in place every step,
     /// zero heap growth in steady state (see [`crate::forces`]).
     buffers: ForceBuffers,
+    /// Block-timestep level machinery (see [`crate::scheduler`]); only the
+    /// conventional scheme in [`TimestepMode::Block`] drives it.
+    scheduler: ActiveScheduler,
+    /// Persistent gas id → particle index map for applying pool
+    /// predictions, invalidated on particle insertion/conversion instead
+    /// of being rebuilt every step that has due regions.
+    id_index: std::collections::HashMap<u64, usize>,
+    id_index_dirty: bool,
 }
 
 impl Simulation {
@@ -104,6 +126,9 @@ impl Simulation {
             feedback: SnFeedback::default(),
             last_vsig: Vec::new(),
             buffers: ForceBuffers::default(),
+            scheduler: ActiveScheduler::default(),
+            id_index: std::collections::HashMap::new(),
+            id_index_dirty: true,
         }
     }
 
@@ -146,12 +171,97 @@ impl Simulation {
                     self.inject_yields(*star_idx, *center);
                     self.inject_thermal(*center);
                 }
-                let dt = self.adaptive_dt();
-                self.kdk(dt);
-                self.cooling_and_star_formation(dt);
-                self.advance(dt);
+                match self.config.timestep {
+                    TimestepMode::Global => {
+                        let dt = self.adaptive_dt();
+                        self.kdk(dt);
+                        self.cooling_and_star_formation(dt);
+                        self.advance(dt);
+                    }
+                    TimestepMode::Block { max_level } => self.block_step(max_level),
+                }
             }
         }
+    }
+
+    /// One base step under hierarchical block timesteps: assign levels
+    /// from per-particle desired dts, then walk the binary subdivision,
+    /// kicking only the active subset at each fine-substep boundary while
+    /// everyone else is drift-predicted (phase-by-phase mapping to the
+    /// paper in the [`crate::scheduler`] module docs).
+    fn block_step(&mut self, max_level: u32) {
+        let dt_base = self.config.dt_global;
+        if self.particles.is_empty() {
+            self.advance(dt_base);
+            return;
+        }
+        // (1) Full forces (fresh tree) + level assignment.
+        self.compute_forces();
+        scheduler::desired_timesteps(
+            self.config.cfl,
+            self.config.eps,
+            dt_base,
+            self.config.dt_min,
+            &self.buffers.acc,
+            &self.last_vsig,
+            &mut self.buffers.dt_wanted,
+        );
+        self.scheduler
+            .assign(dt_base, &self.buffers.dt_wanted, max_level);
+        let n_sub = self.scheduler.substeps();
+        let dt_fine = dt_base / n_sub as f64;
+
+        // (2) Opening half-kick, each particle with its own level's step.
+        {
+            let sched = &self.scheduler;
+            let bufs = &self.buffers;
+            for (i, p) in self.particles.iter_mut().enumerate() {
+                let half = 0.5 * sched.dt_of(i);
+                p.vel += bufs.acc[i] * half;
+                if p.is_gas() {
+                    p.u = (p.u + bufs.dudt[i] * half).max(1e-10);
+                }
+            }
+        }
+
+        // (3) Binary-subdivision walk over the fine substeps.
+        for k in 0..n_sub {
+            // Drift everyone to the boundary: inactive particles are
+            // thereby drift-predicted — the per-substep all-particle
+            // overhead of the paper's efficiency argument (§1).
+            for p in self.particles.iter_mut() {
+                p.pos += p.vel * dt_fine;
+            }
+            let boundary = k + 1;
+            self.scheduler
+                .active_at_boundary_into(boundary, &mut self.buffers.active);
+            self.compute_forces_active();
+            // Closing half-kick; mid-base-step the same force also opens
+            // the particle's next step, so the two halves fuse.
+            let closing_only = boundary == n_sub;
+            {
+                let sched = &self.scheduler;
+                let bufs = &self.buffers;
+                let particles = &mut self.particles;
+                for &ai in &bufs.active {
+                    let i = ai as usize;
+                    let dt_l = sched.dt_of(i);
+                    let kick = if closing_only { 0.5 * dt_l } else { dt_l };
+                    let p = &mut particles[i];
+                    p.vel += bufs.acc[i] * kick;
+                    if p.is_gas() {
+                        p.u = (p.u + bufs.dudt[i] * kick).max(1e-10);
+                    }
+                }
+            }
+            self.stats.substeps += 1;
+            self.stats.active_updates += self.buffers.active.len() as u64;
+        }
+
+        // (4) Shared-base-step physics, re-synchronized.
+        self.cooling_and_star_formation(dt_base);
+        self.stats.dt_min_seen = self.stats.dt_min_seen.min(dt_fine);
+        self.advance(dt_base);
     }
 
     fn advance(&mut self, dt: f64) {
@@ -230,13 +340,19 @@ impl Simulation {
         if due.is_empty() {
             return;
         }
-        use std::collections::HashMap;
-        let mut index: HashMap<u64, usize> = HashMap::new();
-        for (i, p) in self.particles.iter().enumerate() {
-            if p.is_gas() {
-                index.insert(p.id, i);
+        // The gas id → index map persists across steps; insertion and
+        // gas→star conversion mark it dirty, everything else (kicks,
+        // drifts, region replacement by id) leaves it valid.
+        if self.id_index_dirty {
+            self.id_index.clear();
+            for (i, p) in self.particles.iter().enumerate() {
+                if p.is_gas() {
+                    self.id_index.insert(p.id, i);
+                }
             }
+            self.id_index_dirty = false;
         }
+        let index = &self.id_index;
         for region in due {
             for g in region.predicted {
                 if let Some(&i) = index.get(&g.id) {
@@ -316,6 +432,7 @@ impl Simulation {
 
     /// KDK leapfrog with a shared timestep (paper §3.2 step 3).
     fn kdk(&mut self, dt: f64) {
+        self.stats.active_updates += self.particles.len() as u64;
         self.compute_forces();
         // First kick + drift.
         for (i, p) in self.particles.iter_mut().enumerate() {
@@ -335,11 +452,38 @@ impl Simulation {
         }
     }
 
+    /// The gravity solver configured for this run.
+    fn gravity_solver(&self) -> GravitySolver {
+        GravitySolver {
+            g: G,
+            theta: self.config.theta,
+            n_group: self.config.n_group,
+            n_leaf: 8,
+            eps: self.config.eps,
+            mixed_precision: self.config.mixed_precision,
+        }
+    }
+
+    /// The SPH solver configured for this run.
+    fn sph_solver(&self) -> SphSolver {
+        SphSolver {
+            density_cfg: sph::density::DensityConfig {
+                n_ngb_target: self.config.n_ngb,
+                ..Default::default()
+            },
+            cfl: self.config.cfl,
+            ..Default::default()
+        }
+    }
+
     /// Gravity on everything plus SPH forces on the gas, written into the
     /// scratch arena's `acc`/`dudt` — every staging buffer is refreshed in
-    /// place, so steady-state steps do not grow the arena.
+    /// place, so steady-state steps do not grow the arena. The octree is
+    /// fully rebuilt and cached for the substep path to refresh.
     fn compute_forces(&mut self) {
         let n = self.particles.len();
+        let solver = self.gravity_solver();
+        let sph = self.sph_solver();
         let bufs = &mut self.buffers;
         if n == 0 {
             bufs.acc.clear();
@@ -350,15 +494,10 @@ impl Simulation {
 
         // Gravity over all species.
         bufs.refresh(&self.particles);
-        let solver = GravitySolver {
-            g: G,
-            theta: self.config.theta,
-            n_group: self.config.n_group,
-            n_leaf: 8,
-            eps: self.config.eps,
-            mixed_precision: self.config.mixed_precision,
-        };
         let tree = fdps::Tree::build(&bufs.pos, &bufs.mass, solver.n_leaf);
+        self.stats.tree_rebuilds += 1;
+        bufs.tree_ref_pos.clear();
+        bufs.tree_ref_pos.extend_from_slice(&bufs.pos);
         self.stats.gravity_interactions += solver.evaluate_into(
             &tree,
             &bufs.pos,
@@ -367,18 +506,11 @@ impl Simulation {
             &mut bufs.acc,
             &mut bufs.pot,
         );
+        bufs.tree = Some(tree);
 
         // SPH on the gas subset.
         if bufs.gas_idx.len() > 1 {
             bufs.refresh_hydro(&self.particles);
-            let sph = SphSolver {
-                density_cfg: sph::density::DensityConfig {
-                    n_ngb_target: self.config.n_ngb,
-                    ..Default::default()
-                },
-                cfl: self.config.cfl,
-                ..Default::default()
-            };
             let n_gas = bufs.hydro.len();
             let dstats = sph.density_pass_with(&mut bufs.hydro, n_gas, &mut bufs.sph);
             let fstats = sph.force_pass_with(&mut bufs.hydro, n_gas, &mut bufs.sph);
@@ -399,6 +531,125 @@ impl Simulation {
         } else {
             self.last_vsig.clear();
         }
+    }
+
+    /// Force evaluation restricted to the current active set
+    /// (`buffers.active`): the whole system acts as sources at its
+    /// drift-predicted positions, but only active particles receive new
+    /// gravity (skipping the tree walk of fully-inactive groups) and only
+    /// active gas re-sums density/hydro forces. The cached octree is
+    /// moment-refreshed in place unless a particle drifted beyond
+    /// [`scheduler::TREE_DRIFT_FRACTION`] of the root cube, which forces a
+    /// full rebuild.
+    fn compute_forces_active(&mut self) {
+        let n = self.particles.len();
+        let solver = self.gravity_solver();
+        let sph = self.sph_solver();
+        let bufs = &mut self.buffers;
+        if n == 0 || bufs.active.is_empty() {
+            return;
+        }
+        // Source snapshot at the drift-predicted positions; also rebuilds
+        // the gas index maps (species are fixed within a base step).
+        bufs.refresh(&self.particles);
+        {
+            let ForceBuffers {
+                active,
+                active_mask,
+                active_gas,
+                gas_local,
+                ..
+            } = &mut *bufs;
+            // The mask is all-false between calls; only touched entries
+            // are set and later reset.
+            active_mask.resize(n, false);
+            active_gas.clear();
+            for &ai in active.iter() {
+                let i = ai as usize;
+                active_mask[i] = true;
+                let k = gas_local[i];
+                if k != NOT_GAS {
+                    active_gas.push(k as usize);
+                }
+            }
+        }
+
+        // Cross-substep tree reuse with the drift sanity bound.
+        let cached = bufs.tree.take();
+        let reuse = cached.as_ref().is_some_and(|t| {
+            t.len() == n && bufs.tree_ref_pos.len() == n && {
+                let bound = t.cube.max_extent() * scheduler::TREE_DRIFT_FRACTION;
+                let b2 = bound * bound;
+                bufs.pos
+                    .iter()
+                    .zip(&bufs.tree_ref_pos)
+                    .all(|(p, q)| (*p - *q).norm2() <= b2)
+            }
+        });
+        let tree = if reuse {
+            let mut t = cached.unwrap();
+            t.refresh(&bufs.pos, &bufs.mass);
+            self.stats.tree_refreshes += 1;
+            t
+        } else {
+            self.stats.tree_rebuilds += 1;
+            bufs.tree_ref_pos.clear();
+            bufs.tree_ref_pos.extend_from_slice(&bufs.pos);
+            fdps::Tree::build(&bufs.pos, &bufs.mass, solver.n_leaf)
+        };
+        self.stats.gravity_interactions += solver.evaluate_into_active(
+            &tree,
+            &bufs.pos,
+            &bufs.mass,
+            n,
+            &bufs.active_mask,
+            &mut bufs.acc,
+            &mut bufs.pot,
+        );
+        bufs.tree = Some(tree);
+
+        // SPH on the active gas subset.
+        if bufs.gas_idx.len() > 1 && !bufs.active_gas.is_empty() {
+            bufs.refresh_hydro(&self.particles);
+            let dstats = sph.density_pass_active(&mut bufs.hydro, &bufs.active_gas, &mut bufs.sph);
+            let fstats = sph.force_pass_active(&mut bufs.hydro, &bufs.active_gas, &mut bufs.sph);
+            self.stats.hydro_interactions +=
+                dstats.density_interactions + fstats.force_interactions;
+            let ForceBuffers {
+                hydro,
+                active_gas,
+                gas_idx,
+                acc,
+                dudt,
+                ..
+            } = &mut *bufs;
+            for &k in active_gas.iter() {
+                let i = gas_idx[k];
+                acc[i] += hydro.acc[k];
+                dudt[i] = hydro.dudt[k];
+                let p = &mut self.particles[i];
+                p.h = hydro.h[k];
+                p.rho = hydro.rho[k];
+            }
+        }
+
+        // Restore the all-false mask invariant.
+        {
+            let ForceBuffers {
+                active,
+                active_mask,
+                ..
+            } = &mut *bufs;
+            for &ai in active.iter() {
+                active_mask[ai as usize] = false;
+            }
+        }
+    }
+
+    /// The block-timestep scheduler (its schedule reflects the last base
+    /// step integrated in [`TimestepMode::Block`]).
+    pub fn scheduler(&self) -> &ActiveScheduler {
+        &self.scheduler
     }
 
     /// Read-only view of the force scratch arena (regression tests assert
@@ -465,9 +716,14 @@ impl Simulation {
                         p.mass = star_mass;
                         p.birth_time = self.time;
                         p.exploded = false;
+                        // A gas id just left the gas population.
+                        self.id_index_dirty = true;
                     }
                 }
             }
+        }
+        if !new_stars.is_empty() {
+            self.id_index_dirty = true;
         }
         for mut s in new_stars {
             s.id = self.next_id;
@@ -666,6 +922,143 @@ mod tests {
     }
 
     #[test]
+    fn block_mode_conserves_energy_across_levels() {
+        // Central massive body with a tight and a wide circular satellite:
+        // the acceleration criterion puts the tight orbit several levels
+        // below the wide one, so the hierarchy actually engages.
+        let m = 1.0e6;
+        let sat = |r: f64, id: u64| {
+            let v = (G * m / r).sqrt();
+            Particle::dm(id, Vec3::new(r, 0.0, 0.0), Vec3::new(0.0, v, 0.0), 1.0)
+        };
+        let particles = vec![
+            Particle::dm(0, Vec3::ZERO, Vec3::ZERO, m),
+            sat(20.0, 1),
+            sat(200.0, 2),
+        ];
+        let cfg = SimConfig {
+            scheme: Scheme::Conventional,
+            timestep: TimestepMode::Block { max_level: 8 },
+            dt_global: 0.25,
+            ..quiet_config()
+        };
+        let mut sim = Simulation::new(cfg, particles, 11);
+        let e0 = sim.total_energy();
+        sim.run(100); // ~3 orbits of the tight satellite
+        let e1 = sim.total_energy();
+        assert!(
+            ((e1 - e0) / e0).abs() < 0.01,
+            "energy drift {e0} -> {e1} under block timesteps"
+        );
+        let schedule = sim.scheduler().schedule().expect("block mode ran");
+        assert!(
+            schedule.max_level() >= 2,
+            "hierarchy must engage: max level {}",
+            schedule.max_level()
+        );
+        assert!(
+            sim.stats.substeps > sim.stats.steps,
+            "substeps {} should exceed base steps {}",
+            sim.stats.substeps,
+            sim.stats.steps
+        );
+        // The tight satellite stays on its orbit.
+        let r1 = (sim.particles[1].pos - sim.particles[0].pos).norm();
+        assert!((10.0..40.0).contains(&r1), "tight orbit radius {r1}");
+    }
+
+    /// Blob with one SN-hot particle: the spiked-dt scenario of
+    /// `blocksteps::tests::one_hot_particle_destroys_efficiency`, run
+    /// through the real driver.
+    fn spiked_config(mode: TimestepMode) -> (SimConfig, Vec<Particle>) {
+        let mut particles = gas_blob(8, 1.0, 1.0);
+        // ~10^4 km/s signal speed at the blob centre: CFL wants a step
+        // ~2^5-2^6 below base for the hot particle and its neighbourhood,
+        // while the bulk of the 512-particle blob stays at level 0.
+        particles[292].u = 1.0e8;
+        let cfg = SimConfig {
+            scheme: Scheme::Conventional,
+            timestep: mode,
+            dt_global: 2.0e-3,
+            cooling: false,
+            star_formation: false,
+            eps: 1.0,
+            ..Default::default()
+        };
+        (cfg, particles)
+    }
+
+    #[test]
+    fn block_mode_spends_fewer_updates_than_global_on_spiked_dt() {
+        let horizon = 2.0 * 2.0e-3;
+        let (cfg_g, particles_g) = spiked_config(TimestepMode::Global);
+        let mut global = Simulation::new(cfg_g, particles_g, 13);
+        while global.time < horizon - 1e-12 {
+            global.step();
+        }
+        let (cfg_b, particles_b) = spiked_config(TimestepMode::Block { max_level: 10 });
+        let mut block = Simulation::new(cfg_b, particles_b, 13);
+        // First base step: measured substeps must match the schedule.
+        block.step();
+        let schedule = block.scheduler().schedule().expect("schedule assigned");
+        assert!(
+            schedule.max_level() >= 3,
+            "the hot particle must force deep levels, got {}",
+            schedule.max_level()
+        );
+        assert_eq!(
+            block.stats.substeps,
+            schedule.substeps_per_base_step(),
+            "driver substeps must match the schedule"
+        );
+        while block.time < horizon - 1e-12 {
+            block.step();
+        }
+        // The global scheme dragged every particle down to the spiked dt;
+        // the block scheme only pays for the hot subset.
+        assert!(
+            global.stats.dt_min_seen < cfg_b.dt_global / 8.0,
+            "global dt must collapse: {}",
+            global.stats.dt_min_seen
+        );
+        assert!(
+            block.stats.active_updates < global.stats.active_updates / 2,
+            "block updates {} must undercut global {}",
+            block.stats.active_updates,
+            global.stats.active_updates
+        );
+        // Cross-substep tree reuse happened.
+        assert!(
+            block.stats.tree_refreshes > 0,
+            "substeps should refresh, not rebuild, the tree"
+        );
+        assert!(block.stats.tree_rebuilds > 0);
+    }
+
+    #[test]
+    fn surrogate_scheme_never_leaves_global_mode() {
+        // Even when configured with a block hierarchy, the surrogate
+        // scheme's whole point is the fixed global step: the scheduler
+        // must never engage.
+        let particles = gas_blob(5, 1.0, 1.0);
+        let dt = 2.0e-3;
+        let cfg = SimConfig {
+            scheme: Scheme::Surrogate,
+            timestep: TimestepMode::Block { max_level: 10 },
+            dt_global: dt,
+            cooling: false,
+            star_formation: false,
+            eps: 1.0,
+            ..Default::default()
+        };
+        let mut sim = Simulation::new(cfg, particles, 17);
+        sim.run(4);
+        assert_eq!(sim.stats.substeps, 0, "no fine substeps ever");
+        assert!(sim.scheduler().schedule().is_none(), "never assigned");
+        assert_eq!(sim.stats.dt_min_seen, dt, "the global step never shrank");
+    }
+
+    #[test]
     fn star_formation_converts_cold_dense_gas() {
         // Dense cold blob: rho above threshold, T below.
         let mut particles = gas_blob(5, 0.5, 1e-4);
@@ -793,6 +1186,32 @@ mod tests {
             sim.force_buffers().capacity_signature(),
             sig,
             "scratch arena grew after warm-up"
+        );
+    }
+
+    #[test]
+    fn steady_state_block_substeps_do_not_grow_the_scratch_arena() {
+        // The same zero-allocation contract, now through the block-timestep
+        // path: after a warm-up base step populates the active-index,
+        // prediction and tree-reuse scratch, further base steps (including
+        // all their fine substeps) must not grow the arena.
+        let (cfg, mut particles) = spiked_config(TimestepMode::Block { max_level: 6 });
+        particles.push(Particle::dm(
+            particles.len() as u64,
+            Vec3::new(10.0, 0.0, 0.0),
+            Vec3::ZERO,
+            100.0,
+        ));
+        let mut sim = Simulation::new(cfg, particles, 19);
+        sim.run(2);
+        assert!(sim.stats.substeps > 2, "substepping must engage");
+        let sig = sim.force_buffers().capacity_signature();
+        assert!(sig.iter().any(|&c| c > 0));
+        sim.run(3);
+        assert_eq!(
+            sim.force_buffers().capacity_signature(),
+            sig,
+            "scratch arena grew after block-mode warm-up"
         );
     }
 

@@ -215,6 +215,43 @@ impl Tree {
         n.h_max = h_max;
     }
 
+    /// Refresh the tree in place for updated particle positions/masses:
+    /// keep the Morton ordering and node topology from the last full build
+    /// and only re-accumulate the node moments (monopole, tight bounding
+    /// box, `h_max`).
+    ///
+    /// This is the cross-substep reuse path of hierarchical block
+    /// timesteps: between force evaluations only a small active subset
+    /// moves appreciably, so re-sorting and re-splitting the octree every
+    /// substep is wasted work — moments are an O(N) bottom-up pass with
+    /// **zero heap allocation**. The node ranges stay tied to the *old*
+    /// Morton partition, so bounding boxes of sibling nodes may start to
+    /// overlap as particles drift; walks stay correct (boxes always contain
+    /// their particles) but the MAC gets gradually looser, which is why
+    /// drivers re-[`Tree::build`] on base steps or when a drift bound
+    /// trips.
+    ///
+    /// The particle count must match the build; grown or shrunk particle
+    /// sets need a full rebuild.
+    pub fn refresh(&mut self, pos: &[Vec3], mass: &[f64]) {
+        self.refresh_with_h(pos, mass, None);
+    }
+
+    /// [`Tree::refresh`] carrying per-particle search radii, matching
+    /// [`Tree::build_with_h`].
+    pub fn refresh_with_h(&mut self, pos: &[Vec3], mass: &[f64], h: Option<&[f64]>) {
+        assert_eq!(pos.len(), mass.len(), "tree: pos/mass length mismatch");
+        if let Some(h) = h {
+            assert_eq!(pos.len(), h.len(), "tree: pos/h length mismatch");
+        }
+        assert_eq!(
+            pos.len(),
+            self.len(),
+            "tree: refresh requires an unchanged particle count"
+        );
+        self.compute_moments(ROOT, pos, mass, h);
+    }
+
     /// Root node.
     pub fn root(&self) -> &TreeNode {
         &self.nodes[ROOT]
@@ -435,6 +472,95 @@ mod tests {
         assert_eq!(tree.len(), 1);
         assert_eq!(tree.root().mass, 2.0);
         assert_eq!(tree.root().com, Vec3::splat(1.0));
+    }
+
+    #[test]
+    fn refresh_reaccumulates_moments_without_retopology() {
+        let (mut pos, mut mass) = grid(5);
+        let mut tree = Tree::build(&pos, &mass, 4);
+        let nodes_before: Vec<(u32, u32, u32, u8)> = tree
+            .nodes
+            .iter()
+            .map(|n| (n.start, n.end, n.child_start, n.child_count))
+            .collect();
+        let order_before = tree.order.clone();
+        // Drift every particle a little and perturb the masses.
+        for (i, p) in pos.iter_mut().enumerate() {
+            *p += Vec3::new(0.01 * i as f64, -0.02, 0.03);
+        }
+        for m in mass.iter_mut() {
+            *m *= 1.5;
+        }
+        tree.refresh(&pos, &mass);
+        // Topology untouched.
+        let nodes_after: Vec<(u32, u32, u32, u8)> = tree
+            .nodes
+            .iter()
+            .map(|n| (n.start, n.end, n.child_start, n.child_count))
+            .collect();
+        assert_eq!(nodes_before, nodes_after);
+        assert_eq!(order_before, tree.order);
+        // Moments match the updated arrays exactly.
+        let total: f64 = mass.iter().sum();
+        assert!((tree.root().mass - total).abs() < 1e-9);
+        let mut com = Vec3::ZERO;
+        for (p, m) in pos.iter().zip(&mass) {
+            com += *p * *m;
+        }
+        com /= total;
+        assert!((tree.root().com - com).norm() < 1e-9);
+        // Every node still bounds its particles.
+        for n in &tree.nodes {
+            for &pi in tree.leaf_particles_range(n) {
+                let p = pos[pi as usize];
+                assert!(n.bbox.dist2_to_point(p) <= 1e-12);
+            }
+        }
+        // Internal consistency: parent mass equals the sum of children.
+        for n in &tree.nodes {
+            if !n.is_leaf() {
+                let m: f64 = (0..n.child_count as usize)
+                    .map(|c| tree.nodes[n.child_start as usize + c].mass)
+                    .sum();
+                assert!((n.mass - m).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn refreshed_tree_walks_match_a_fresh_build_monopole() {
+        // After a small drift the refreshed tree's neighbor search must
+        // still find everything a fresh build finds.
+        let (mut pos, mass) = grid(6);
+        let mut tree = Tree::build(&pos, &mass, 8);
+        for (i, p) in pos.iter_mut().enumerate() {
+            *p += Vec3::new(0.05 * ((i % 7) as f64 - 3.0), 0.04, -0.03);
+        }
+        tree.refresh(&pos, &mass);
+        let center = Vec3::new(2.3, 2.7, 3.1);
+        let r = 1.8;
+        let mut found = Vec::new();
+        tree.neighbors_within(center, r, &mut found);
+        let mut found_exact: Vec<u32> = found
+            .into_iter()
+            .filter(|&i| (pos[i as usize] - center).norm() <= r)
+            .collect();
+        found_exact.sort_unstable();
+        let brute: Vec<u32> = pos
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| (**p - center).norm() <= r)
+            .map(|(i, _)| i as u32)
+            .collect();
+        assert_eq!(found_exact, brute);
+    }
+
+    #[test]
+    #[should_panic(expected = "unchanged particle count")]
+    fn refresh_rejects_a_changed_particle_count() {
+        let (pos, mass) = grid(3);
+        let mut tree = Tree::build(&pos, &mass, 4);
+        tree.refresh(&pos[..10], &mass[..10]);
     }
 
     #[test]

@@ -14,13 +14,13 @@ use rand::Rng;
 /// Parameters of one exponential disk component.
 #[derive(Debug, Clone, Copy)]
 pub struct DiskParams {
-    /// Radial scale length [pc].
+    /// Radial scale length \[pc\].
     pub r_scale: f64,
-    /// Vertical scale height [pc].
+    /// Vertical scale height \[pc\].
     pub z_scale: f64,
-    /// Truncation radius [pc].
+    /// Truncation radius \[pc\].
     pub r_max: f64,
-    /// Radial velocity dispersion at the solar radius [pc/Myr] (stars).
+    /// Radial velocity dispersion at the solar radius \[pc/Myr\] (stars).
     pub sigma_r: f64,
 }
 
@@ -77,7 +77,7 @@ pub fn sample_star<R: Rng + ?Sized>(
 
 /// Sample a gas particle with the potential method: rejection-sample `z`
 /// from the hydrostatic profile at the particle's radius, circular rotation.
-/// `cs` is the isothermal sound speed of the gas [pc/Myr].
+/// `cs` is the isothermal sound speed of the gas \[pc/Myr\].
 pub fn sample_gas<R: Rng + ?Sized>(
     rng: &mut R,
     disk: &DiskParams,

@@ -18,7 +18,7 @@ pub struct GalaxyModel {
     pub halo_rcut: f64,
     pub star_disk: DiskParams,
     pub gas_disk: DiskParams,
-    /// Isothermal gas sound speed [pc/Myr] (~10^4 K warm ISM).
+    /// Isothermal gas sound speed \[pc/Myr\] (~10^4 K warm ISM).
     pub gas_cs: f64,
 }
 

@@ -5,11 +5,11 @@ use astro::units::G;
 /// NFW halo described by total mass within `r_cut` and scale radius.
 #[derive(Debug, Clone, Copy)]
 pub struct NfwHalo {
-    /// Characteristic density [M_sun/pc^3].
+    /// Characteristic density \[M_sun/pc^3\].
     pub rho0: f64,
-    /// Scale radius [pc].
+    /// Scale radius \[pc\].
     pub rs: f64,
-    /// Truncation radius [pc].
+    /// Truncation radius \[pc\].
     pub r_cut: f64,
 }
 
@@ -60,9 +60,9 @@ impl NfwHalo {
 #[derive(Debug, Clone, Copy)]
 pub struct MiyamotoNagaiDisk {
     pub mass: f64,
-    /// Radial scale [pc].
+    /// Radial scale \[pc\].
     pub a: f64,
-    /// Vertical scale [pc].
+    /// Vertical scale \[pc\].
     pub b: f64,
 }
 
@@ -91,7 +91,7 @@ pub struct CompositePotential {
 }
 
 impl CompositePotential {
-    /// Midplane circular velocity [pc/Myr] at cylindrical radius `big_r`.
+    /// Midplane circular velocity \[pc/Myr\] at cylindrical radius `big_r`.
     pub fn vcirc(&self, big_r: f64) -> f64 {
         let halo_part = G * self.halo.enclosed_mass(big_r) / big_r.max(1.0);
         (halo_part + self.stellar_disk.vcirc2(big_r) + self.gas_disk.vcirc2(big_r)).sqrt()

@@ -1,7 +1,7 @@
 //! Group-wise tree gravity driver.
 //!
 //! Parallelism follows the fdps walk's buffer-reuse contract: groups are
-//! processed with rayon `map_init`, each worker owning one [`GroupScratch`]
+//! processed with rayon `map_init`, each worker owning one `GroupScratch`
 //! (walk stack, interaction list, and j-side SoA staging buffers) that is
 //! cleared — never reallocated — between groups. Only the per-group outputs
 //! (target indices and accumulators) are freshly allocated, and
@@ -106,19 +106,61 @@ impl GravitySolver {
         acc: &mut Vec<Vec3>,
         pot: &mut Vec<f64>,
     ) -> u64 {
-        let eps2 = 2.0 * self.eps * self.eps; // eps_i^2 + eps_j^2, equal eps
         let interactions = AtomicU64::new(0);
+        let per_group = self.accumulate_groups(tree, pos, mass, n_local, None, &interactions);
+        acc.clear();
+        acc.resize(n_local, Vec3::ZERO);
+        pot.clear();
+        pot.resize(n_local, 0.0);
+        for (targets, accum) in per_group {
+            for (k, &i) in targets.iter().enumerate() {
+                acc[i as usize] = accum[k].acc * self.g;
+                pot[i as usize] = -self.g * accum[k].pot;
+            }
+        }
+        interactions.into_inner()
+    }
+
+    /// The group kernel shared by the full and active-subset entry points:
+    /// per group, filter targets (locality plus the optional active mask),
+    /// walk the tree, stage the j-side SoA (EP entries then SP monopoles,
+    /// fused into one contiguous kernel launch), run the monopole kernel
+    /// and subtract the softened self-interaction. Groups with no
+    /// surviving target skip their walk entirely — with a sparse mask that
+    /// is where the block-timestep savings come from.
+    ///
+    /// Each group owns disjoint i-particles, so groups parallelize
+    /// cleanly; a worker's walk/list/SoA scratch persists across its
+    /// groups, and only the per-group outputs are freshly allocated.
+    fn accumulate_groups(
+        &self,
+        tree: &Tree,
+        pos: &[Vec3],
+        mass: &[f64],
+        n_local: usize,
+        active_mask: Option<&[bool]>,
+        interactions: &AtomicU64,
+    ) -> Vec<(Vec<u32>, Vec<GravityAccum>)> {
+        let eps2 = 2.0 * self.eps * self.eps; // eps_i^2 + eps_j^2, equal eps
         let groups = tree.groups(self.n_group);
         // One compact walk index per evaluation, shared by all workers.
         let index = tree.walk_index();
 
-        // Each group owns disjoint i-particles, so groups parallelize
-        // cleanly; a worker's walk/list/SoA scratch persists across its
-        // groups, and only the per-group outputs are freshly allocated.
-        let per_group: Vec<(Vec<u32>, Vec<GravityAccum>)> = groups
+        groups
             .par_iter()
             .map_init(GroupScratch::default, |scratch, &g| {
                 let node = &tree.nodes[g];
+                let targets: Vec<u32> = tree
+                    .leaf_particles(node)
+                    .iter()
+                    .copied()
+                    .filter(|&i| {
+                        (i as usize) < n_local && active_mask.is_none_or(|m| m[i as usize])
+                    })
+                    .collect();
+                if targets.is_empty() {
+                    return (targets, Vec::new());
+                }
                 tree.walk_mac_indexed(
                     &index,
                     &node.bbox,
@@ -128,21 +170,10 @@ impl GravitySolver {
                 );
                 let list = &scratch.list;
 
-                let targets: Vec<u32> = tree
-                    .leaf_particles(node)
-                    .iter()
-                    .copied()
-                    .filter(|&i| (i as usize) < n_local)
-                    .collect();
-                if targets.is_empty() {
-                    return (targets, Vec::new());
-                }
                 let ipos = &mut scratch.ipos;
                 ipos.clear();
                 ipos.extend(targets.iter().map(|&i| pos[i as usize]));
 
-                // Assemble the j-side SoA: EP entries then SP monopoles,
-                // fused into one contiguous kernel launch.
                 let jpos = &mut scratch.jpos;
                 let jmass = &mut scratch.jmass;
                 jpos.clear();
@@ -176,12 +207,43 @@ impl GravitySolver {
                 }
                 (targets, accum)
             })
-            .collect();
+            .collect()
+    }
 
-        acc.clear();
-        acc.resize(n_local, Vec3::ZERO);
-        pot.clear();
-        pot.resize(n_local, 0.0);
+    /// Evaluate gravity only on the particles flagged in `active_mask`
+    /// while the full `pos`/`mass` set still acts as sources — the
+    /// hierarchical-block-timestep entry point: on a fine substep only the
+    /// active level bins need fresh forces, and groups whose leaves contain
+    /// no active target skip their tree walk entirely, which is where the
+    /// active-set savings come from.
+    ///
+    /// `acc`/`pot` must already be sized to at least `n_local` (a base
+    /// step's [`GravitySolver::evaluate_into`] does that); only the entries
+    /// of active targets are overwritten, everything else keeps the value
+    /// from its own last update.
+    #[allow(clippy::too_many_arguments)]
+    pub fn evaluate_into_active(
+        &self,
+        tree: &Tree,
+        pos: &[Vec3],
+        mass: &[f64],
+        n_local: usize,
+        active_mask: &[bool],
+        acc: &mut [Vec3],
+        pot: &mut [f64],
+    ) -> u64 {
+        assert!(n_local <= pos.len());
+        assert!(
+            active_mask.len() >= n_local,
+            "active mask must cover all local particles"
+        );
+        assert!(
+            acc.len() >= n_local && pot.len() >= n_local,
+            "result buffers must be pre-sized (run a full evaluation first)"
+        );
+        let interactions = AtomicU64::new(0);
+        let per_group =
+            self.accumulate_groups(tree, pos, mass, n_local, Some(active_mask), &interactions);
         for (targets, accum) in per_group {
             for (k, &i) in targets.iter().enumerate() {
                 acc[i as usize] = accum[k].acc * self.g;
@@ -320,6 +382,58 @@ mod tests {
         for i in 0..n_local {
             assert!((r.acc[i] - acc_all[i]).norm() < 1e-10);
         }
+    }
+
+    #[test]
+    fn active_subset_matches_full_evaluation_and_preserves_the_rest() {
+        let (pos, mass) = plummer_like(600, 7);
+        let n = pos.len();
+        let solver = GravitySolver {
+            theta: 0.4,
+            eps: 0.02,
+            ..Default::default()
+        };
+        let tree = Tree::build(&pos, &mass, solver.n_leaf);
+        let mut acc = Vec::new();
+        let mut pot = Vec::new();
+        solver.evaluate_into(&tree, &pos, &mass, n, &mut acc, &mut pot);
+
+        // Poison the result arrays everywhere, then re-evaluate only a
+        // scattered active subset: active entries must be restored exactly,
+        // inactive ones must keep the poison.
+        let mut active_mask = vec![false; n];
+        for i in (0..n).step_by(7) {
+            active_mask[i] = true;
+        }
+        let sentinel_a = Vec3::new(1e30, -1e30, 1e30);
+        let mut acc2 = vec![sentinel_a; n];
+        let mut pot2 = vec![1e30; n];
+        let inter =
+            solver.evaluate_into_active(&tree, &pos, &mass, n, &active_mask, &mut acc2, &mut pot2);
+        assert!(inter > 0);
+        for i in 0..n {
+            if active_mask[i] {
+                assert!((acc2[i] - acc[i]).norm() < 1e-12, "acc[{i}]");
+                assert!((pot2[i] - pot[i]).abs() < 1e-12, "pot[{i}]");
+            } else {
+                assert_eq!(acc2[i], sentinel_a, "inactive acc[{i}] overwritten");
+                assert_eq!(pot2[i], 1e30, "inactive pot[{i}] overwritten");
+            }
+        }
+
+        // A sparse active set must evaluate far fewer interactions than the
+        // full pass — the block-timestep savings.
+        let mut one_hot = vec![false; n];
+        one_hot[13] = true;
+        let mut acc3 = vec![Vec3::ZERO; n];
+        let mut pot3 = vec![0.0; n];
+        let full = solver.evaluate_into(&tree, &pos, &mass, n, &mut acc, &mut pot);
+        let sparse =
+            solver.evaluate_into_active(&tree, &pos, &mass, n, &one_hot, &mut acc3, &mut pot3);
+        assert!(
+            sparse * 10 < full,
+            "one-hot active set should prune interactions: {sparse} vs {full}"
+        );
     }
 
     #[test]

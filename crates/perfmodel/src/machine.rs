@@ -3,10 +3,10 @@
 /// Interconnect model.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Network {
-    /// TofuD-like 3-D (6-D folded) torus: per-link bandwidth [B/s] and
-    /// per-message latency [s]; alltoallv runs in three axis stages.
+    /// TofuD-like 3-D (6-D folded) torus: per-link bandwidth \[B/s\] and
+    /// per-message latency \[s\]; alltoallv runs in three axis stages.
     Torus3d { link_bw: f64, latency: f64 },
-    /// InfiniBand-like fat tree: injection bandwidth [B/s], latency [s];
+    /// InfiniBand-like fat tree: injection bandwidth \[B/s\], latency \[s\];
     /// alltoallv is direct pairwise.
     FatTree { injection_bw: f64, latency: f64 },
 }
@@ -21,7 +21,7 @@ pub struct Machine {
     /// Double-precision peak per node [FLOP/s].
     pub peak_dp_node: f64,
     pub cores_per_node: usize,
-    /// Memory bandwidth per node [B/s] (tree walks are bound by this).
+    /// Memory bandwidth per node \[B/s\] (tree walks are bound by this).
     pub mem_bw_node: f64,
     pub network: Network,
     /// Measured kernel efficiencies from paper Table 4 (fraction of SP peak).

@@ -1,7 +1,7 @@
 //! FLOP accounting for compiled kernels.
 //!
 //! The paper measures non-Fugaku systems by "counting the number of
-//! interactions ... multiplied [by] the number of operations of those
+//! interactions ... multiplied \[by\] the number of operations of those
 //! interactions" (§4.3), with per-interaction operation counts fixed in
 //! Table 4: gravity 27, hydro density/pressure 73, hydro force 101. The
 //! counts weigh transcendental operations by their classic N-body

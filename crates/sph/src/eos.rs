@@ -38,13 +38,13 @@ impl GammaLawEos {
         (self.gamma * (self.gamma - 1.0) * u.max(0.0)).sqrt()
     }
 
-    /// Specific internal energy of gas at temperature `T` [K].
+    /// Specific internal energy of gas at temperature `T` \[K\].
     #[inline]
     pub fn u_from_temperature(&self, t: f64) -> f64 {
         KB_OVER_MP * t / (self.mu * (self.gamma - 1.0))
     }
 
-    /// Temperature [K] of gas with specific internal energy `u`.
+    /// Temperature \[K\] of gas with specific internal energy `u`.
     #[inline]
     pub fn temperature_from_u(&self, u: f64) -> f64 {
         u * self.mu * (self.gamma - 1.0) / KB_OVER_MP

@@ -148,9 +148,34 @@ impl<K: SphKernel> SphSolver<K> {
         n_local: usize,
         scratch: &mut SphScratch,
     ) -> SphStats {
-        state.resize_derived();
         scratch.targets.clear();
         scratch.targets.extend(0..n_local);
+        self.density_on_staged_targets(state, scratch)
+    }
+
+    /// Converge `h`/`rho` only for the `targets` subset (hydro-local
+    /// indices) while the whole state still acts as sources — the
+    /// hierarchical-block-timestep entry point: on a fine substep only the
+    /// active level bins re-sum their density; everyone else keeps the
+    /// converged values from their own last update.
+    pub fn density_pass_active(
+        &self,
+        state: &mut HydroState,
+        targets: &[usize],
+        scratch: &mut SphScratch,
+    ) -> SphStats {
+        scratch.targets.clear();
+        scratch.targets.extend_from_slice(targets);
+        self.density_on_staged_targets(state, scratch)
+    }
+
+    /// The shared density core: `scratch.targets` is already staged.
+    fn density_on_staged_targets(
+        &self,
+        state: &mut HydroState,
+        scratch: &mut SphScratch,
+    ) -> SphStats {
+        state.resize_derived();
         let results = compute_density_into(
             &self.kernel,
             &self.density_cfg,
@@ -161,7 +186,7 @@ impl<K: SphKernel> SphSolver<K> {
             &mut scratch.radii,
         );
         let mut stats = SphStats::default();
-        for (i, r) in results.iter().enumerate() {
+        for (&i, r) in scratch.targets.iter().zip(&results) {
             state.rho[i] = r.rho;
             state.n_ngb[i] = r.n_ngb as u32;
             state.cs[i] = self.eos.sound_speed(state.u[i]);
@@ -185,14 +210,45 @@ impl<K: SphKernel> SphSolver<K> {
         n_local: usize,
         scratch: &mut SphScratch,
     ) -> SphStats {
+        scratch.targets.clear();
+        scratch.targets.extend(0..n_local);
+        self.force_on_staged_targets(state, scratch)
+    }
+
+    /// Hydro forces only for the `targets` subset (hydro-local indices),
+    /// with the whole state as sources — the block-timestep companion of
+    /// [`SphSolver::density_pass_active`]. Inactive particles keep the
+    /// `acc`/`dudt`/`v_sig` from their own last update.
+    pub fn force_pass_active(
+        &self,
+        state: &mut HydroState,
+        targets: &[usize],
+        scratch: &mut SphScratch,
+    ) -> SphStats {
+        scratch.targets.clear();
+        scratch.targets.extend_from_slice(targets);
+        self.force_on_staged_targets(state, scratch)
+    }
+
+    /// The shared force core: `scratch.targets` is already staged.
+    fn force_on_staged_targets(
+        &self,
+        state: &mut HydroState,
+        scratch: &mut SphScratch,
+    ) -> SphStats {
         state.resize_derived();
         let support = self.kernel.support();
-        scratch.radii.clear();
-        scratch.radii.extend(state.h.iter().map(|&h| support * h));
-        let tree = Tree::build_with_h(&state.pos, &state.mass, Some(&scratch.radii), 16);
+        let SphScratch {
+            radii,
+            targets,
+            inputs,
+        } = scratch;
+        radii.clear();
+        radii.extend(state.h.iter().map(|&h| support * h));
+        let tree = Tree::build_with_h(&state.pos, &state.mass, Some(radii), 16);
 
-        scratch.inputs.clear();
-        scratch.inputs.extend((0..state.len()).map(|i| HydroInput {
+        inputs.clear();
+        inputs.extend((0..state.len()).map(|i| HydroInput {
             pos: state.pos[i],
             vel: state.vel[i],
             mass: state.mass[i],
@@ -201,16 +257,16 @@ impl<K: SphKernel> SphSolver<K> {
             p_over_rho2: self.eos.p_over_rho2(state.rho[i].max(1e-300), state.u[i]),
             cs: self.eos.sound_speed(state.u[i]),
         }));
-        let inputs = &scratch.inputs;
+        let inputs = &*inputs;
 
-        let results: Vec<(HydroAccum, u64)> = (0..n_local)
-            .into_par_iter()
-            .map_init(Vec::new, |scratch: &mut Vec<u32>, i| {
-                scratch.clear();
-                tree.neighbors_within(inputs[i].pos, support * inputs[i].h, scratch);
+        let results: Vec<(HydroAccum, u64)> = targets
+            .par_iter()
+            .map_init(Vec::new, |ngb: &mut Vec<u32>, &i| {
+                ngb.clear();
+                tree.neighbors_within(inputs[i].pos, support * inputs[i].h, ngb);
                 let mut out = HydroAccum::default();
                 let mut count = 0u64;
-                for &j in scratch.iter() {
+                for &j in ngb.iter() {
                     let j = j as usize;
                     if j == i {
                         continue;
@@ -223,7 +279,7 @@ impl<K: SphKernel> SphSolver<K> {
             .collect();
 
         let mut stats = SphStats::default();
-        for (i, (r, count)) in results.into_iter().enumerate() {
+        for (&i, (r, count)) in targets.iter().zip(results) {
             state.acc[i] = r.acc;
             state.dudt[i] = r.dudt;
             state.v_sig[i] = r.v_sig_max;
@@ -375,6 +431,62 @@ mod tests {
         let dt_cold = solver.min_timestep(&cold, n);
         let dt_hot = solver.min_timestep(&hot, n);
         assert!(dt_hot < dt_cold / 10.0, "hot {dt_hot} vs cold {dt_cold}");
+    }
+
+    #[test]
+    fn active_passes_match_full_passes_on_the_subset() {
+        // Converge a full reference state, then re-run density+force on a
+        // scattered active subset of a *poisoned* copy: active entries must
+        // reproduce the reference, inactive ones must keep their values.
+        let mut reference = uniform_box(6, 1.0, 1.0);
+        let n = reference.len();
+        for i in 0..n {
+            let d = reference.pos[i] - Vec3::splat(2.5);
+            reference.vel[i] = -d * 0.1;
+        }
+        let solver = SphSolver::default();
+        let mut scratch = SphScratch::default();
+        solver.density_pass_with(&mut reference, n, &mut scratch);
+        solver.force_pass_with(&mut reference, n, &mut scratch);
+
+        let mut state = reference.clone();
+        let targets: Vec<usize> = (0..n).step_by(5).collect();
+        let mut is_active = vec![false; n];
+        for &t in &targets {
+            is_active[t] = true;
+        }
+        for &i in &targets {
+            // Poison only derived values the passes must restore.
+            state.rho[i] = -1.0;
+            state.acc[i] = Vec3::splat(1e30);
+            state.dudt[i] = 1e30;
+            state.v_sig[i] = 1e30;
+        }
+        let d = solver.density_pass_active(&mut state, &targets, &mut scratch);
+        let f = solver.force_pass_active(&mut state, &targets, &mut scratch);
+        assert!(d.density_interactions > 0 && f.force_interactions > 0);
+        for (i, &active) in is_active.iter().enumerate() {
+            if active {
+                assert!((state.rho[i] - reference.rho[i]).abs() < 1e-12, "rho[{i}]");
+                assert!((state.acc[i] - reference.acc[i]).norm() < 1e-12, "acc[{i}]");
+                assert!(
+                    (state.dudt[i] - reference.dudt[i]).abs() < 1e-12,
+                    "dudt[{i}]"
+                );
+                assert!(state.h[i] > 0.0);
+            } else {
+                assert_eq!(state.rho[i], reference.rho[i], "inactive rho[{i}] touched");
+                assert_eq!(state.acc[i], reference.acc[i], "inactive acc[{i}] touched");
+            }
+        }
+        // The subset pass does proportionally less interaction work.
+        let full = solver.force_pass_with(&mut state, n, &mut scratch);
+        assert!(
+            f.force_interactions * 2 < full.force_interactions,
+            "active force pass should prune work: {} vs {}",
+            f.force_interactions,
+            full.force_interactions
+        );
     }
 
     #[test]

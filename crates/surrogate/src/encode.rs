@@ -12,12 +12,12 @@ use unet::Tensor;
 /// Floor inserted before logarithms so empty voxels stay finite.
 pub const LOG_FLOOR: f64 = 1e-10;
 
-/// Physical ceiling on decoded velocities [pc/Myr] (~3x10^4 km/s, beyond
+/// Physical ceiling on decoded velocities \[pc/Myr\] (~3x10^4 km/s, beyond
 /// any SN ejecta): keeps an undertrained network from injecting absurd
 /// kinetic energy into the simulation.
 pub const V_CEIL: f64 = 3.0e4;
 
-/// Physical ceiling on decoded temperatures [K].
+/// Physical ceiling on decoded temperatures \[K\].
 pub const T_CEIL: f64 = 1.0e10;
 
 /// Encode the five physical fields into the eight-channel tensor:

@@ -12,7 +12,7 @@ use unet::{Tensor, Trainer, UNet3d, UNetConfig};
 pub struct SurrogateConfig {
     /// Voxels per edge (64 in the paper; tests use smaller cubes).
     pub grid_n: usize,
-    /// Region side [pc] (60 in the paper).
+    /// Region side \[pc\] (60 in the paper).
     pub side: f64,
     /// U-Net width.
     pub base_features: usize,

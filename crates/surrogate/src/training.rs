@@ -20,17 +20,17 @@ use unet::TrainSample;
 pub struct TrainingSetup {
     /// Voxels per edge.
     pub grid_n: usize,
-    /// Cube side [pc] (60 in the paper).
+    /// Cube side \[pc\] (60 in the paper).
     pub side: f64,
-    /// Ambient density range [M_sun/pc^3] sampled log-uniformly.
+    /// Ambient density range \[M_sun/pc^3\] sampled log-uniformly.
     pub rho0_range: (f64, f64),
-    /// Ambient temperature [K].
+    /// Ambient temperature \[K\].
     pub t_ambient: f64,
-    /// Turbulent rms velocity [pc/Myr].
+    /// Turbulent rms velocity \[pc/Myr\].
     pub v_rms: f64,
     /// Explosion energy [code units].
     pub e_sn: f64,
-    /// Prediction horizon [Myr] (0.1 in the paper).
+    /// Prediction horizon \[Myr\] (0.1 in the paper).
     pub horizon: f64,
 }
 

@@ -11,9 +11,9 @@ pub struct GasParticle {
     pub pos: Vec3,
     pub vel: Vec3,
     pub mass: f64,
-    /// Temperature [K].
+    /// Temperature \[K\].
     pub temp: f64,
-    /// Smoothing length [pc].
+    /// Smoothing length \[pc\].
     pub h: f64,
     /// Particle identifier (the main nodes replace particles by ID,
     /// paper §3.2 step 4).
@@ -25,7 +25,7 @@ pub struct GasParticle {
 pub struct VoxelGrid {
     /// Voxels per edge (64 in the paper).
     pub n: usize,
-    /// Physical edge length [pc] (60 in the paper).
+    /// Physical edge length \[pc\] (60 in the paper).
     pub side: f64,
     /// Low corner of the cube.
     pub origin: Vec3,

@@ -8,11 +8,59 @@
 //! cost, then a measurement phase of at least `sample_size` iterations (and
 //! at least ~100 ms) reports mean ns/iter and, when a throughput was
 //! declared, elements/second. No statistics, plots, or state directories.
+//!
+//! Beyond the upstream API, every finished measurement is also pushed to a
+//! process-wide registry: bench mains drain it with [`take_records`] and
+//! persist a `BENCH_*.json` trajectory artifact via [`write_artifact`], so
+//! criterion-style benches leave the same perf breadcrumbs the hand-rolled
+//! harnesses do.
 
 use std::fmt::Display;
+use std::sync::Mutex;
 use std::time::Instant;
 
 pub use std::hint::black_box;
+
+/// One finished measurement, captured by the results registry.
+#[derive(Debug, Clone)]
+pub struct BenchRecord {
+    /// Full bench name (`group/bench` or `group/name/param`).
+    pub name: String,
+    /// Mean wall-clock nanoseconds per iteration.
+    pub ns_per_iter: f64,
+    /// Iterations measured.
+    pub iters: u64,
+}
+
+static RECORDS: Mutex<Vec<BenchRecord>> = Mutex::new(Vec::new());
+
+/// Drain every record measured since the last call.
+pub fn take_records() -> Vec<BenchRecord> {
+    std::mem::take(&mut RECORDS.lock().unwrap())
+}
+
+/// Minimal JSON string escape for bench names (quotes and backslashes;
+/// names are plain identifiers in practice).
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Write `records` as a JSON trajectory artifact:
+/// `{"records": [{"name": ..., "ns_per_iter": ..., "iters": ...}, ...]}`.
+pub fn write_artifact(path: &std::path::Path, records: &[BenchRecord]) {
+    let mut json = String::from("{\n  \"records\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"ns_per_iter\": {:.2}, \"iters\": {}}}{}\n",
+            escape(&r.name),
+            r.ns_per_iter,
+            r.iters,
+            if i + 1 < records.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(path, json).unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+}
 
 /// Declared work per iteration, for throughput reporting.
 #[derive(Debug, Clone, Copy)]
@@ -86,6 +134,11 @@ fn run_bench(
         return;
     }
     let ns_per_iter = b.elapsed_ns / b.iters_done as f64;
+    RECORDS.lock().unwrap().push(BenchRecord {
+        name: full_name.to_string(),
+        ns_per_iter,
+        iters: b.iters_done,
+    });
     let thrpt = match throughput {
         Some(Throughput::Elements(e)) => {
             let per_sec = e as f64 / (ns_per_iter * 1e-9);
@@ -207,6 +260,27 @@ mod tests {
             })
         });
         assert!(ran >= 5);
+    }
+
+    #[test]
+    fn records_registry_captures_and_serializes_measurements() {
+        let _ = take_records(); // drain concurrent test noise
+        run_bench("artifact/\"quoted\"", 3, None, &mut |b| {
+            b.iter(|| black_box(1 + 1))
+        });
+        let records: Vec<BenchRecord> = take_records()
+            .into_iter()
+            .filter(|r| r.name.starts_with("artifact/"))
+            .collect();
+        assert_eq!(records.len(), 1);
+        assert!(records[0].ns_per_iter >= 0.0);
+        assert!(records[0].iters >= 3);
+        let dir = std::env::temp_dir().join("criterion_shim_artifact_test.json");
+        write_artifact(&dir, &records);
+        let body = std::fs::read_to_string(&dir).unwrap();
+        assert!(body.contains("\"records\""));
+        assert!(body.contains("artifact/\\\"quoted\\\""), "escaped: {body}");
+        let _ = std::fs::remove_file(&dir);
     }
 
     #[test]
