@@ -1,9 +1,22 @@
 //! U-Net CPU inference cost: the pool-node budget. The paper gives the
 //! prediction 50 global steps (~0.1 Myr, tens of wall seconds at scale) to
-//! finish; this bench measures what our CPU inference path needs per region.
+//! finish; this bench measures what our CPU inference path needs per
+//! region and writes the `BENCH_unet_infer.json` trajectory artifact at
+//! the repo root.
+//!
+//! Two tiers:
+//!
+//! * iterated criterion-style measurements at small test grids (16^3 and
+//!   32^3) for stable per-stage numbers;
+//! * a single-shot encode → forward → decode pipeline at the paper's 64^3
+//!   region grid (width-reduced to `base_features = 4`: the full-width
+//!   64^3 forward costs minutes on 2 vCPUs, which is exactly the
+//!   conv3d-blocking ROADMAP item — the artifact tracks it).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{criterion_group, BenchRecord, BenchmarkId, Criterion};
 use std::hint::black_box;
+use std::time::Instant;
+use surrogate::{decode_fields, encode_fields, particles_to_grid, VoxelGrid};
 use unet::{Tensor, UNet3d, UNetConfig};
 
 fn bench_inference(c: &mut Criterion) {
@@ -28,28 +41,99 @@ fn bench_inference(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_encode_decode(c: &mut Criterion) {
+    // The tensor boundary around the net at a small test grid: voxel fields
+    // → 8-channel log tensor → fields.
+    let n = 16usize;
+    let grid = VoxelGrid::centered(fdps::Vec3::ZERO, 60.0, n);
+    let fields = particles_to_grid(grid, &synthetic_region(4000, 60.0));
+    let mut group = c.benchmark_group("encode_decode_16cubed");
+    group.sample_size(20);
+    group.bench_function("encode", |b| b.iter(|| black_box(encode_fields(&fields))));
+    let t = encode_fields(&fields);
+    group.bench_function("decode", |b| b.iter(|| black_box(decode_fields(&t, grid))));
+    group.finish();
+}
+
 fn bench_voxel_pipeline(c: &mut Criterion) {
-    use fdps::Vec3;
-    use surrogate::{particles_to_grid, GasParticle, VoxelGrid};
-    let parts: Vec<GasParticle> = (0..5000)
-        .map(|i| GasParticle {
-            pos: Vec3::new(
-                ((i * 7) % 600) as f64 / 10.0 - 30.0,
-                ((i * 13) % 600) as f64 / 10.0 - 30.0,
-                ((i * 29) % 600) as f64 / 10.0 - 30.0,
-            ),
-            vel: Vec3::ZERO,
-            mass: 1.0,
-            temp: 100.0,
-            h: 2.0,
-            id: i as u64,
-        })
-        .collect();
+    let parts = synthetic_region(5000, 60.0);
     c.bench_function("voxelize_5k_particles_16cubed", |b| {
-        let grid = VoxelGrid::centered(Vec3::ZERO, 60.0, 16);
+        let grid = VoxelGrid::centered(fdps::Vec3::ZERO, 60.0, 16);
         b.iter(|| black_box(particles_to_grid(grid, &parts)))
     });
 }
 
-criterion_group!(benches, bench_inference, bench_voxel_pipeline);
-criterion_main!(benches);
+fn synthetic_region(n: usize, side: f64) -> Vec<surrogate::GasParticle> {
+    (0..n)
+        .map(|i| surrogate::GasParticle {
+            pos: fdps::Vec3::new(
+                ((i * 7) % 600) as f64 / 600.0 * side - side / 2.0,
+                ((i * 13) % 600) as f64 / 600.0 * side - side / 2.0,
+                ((i * 29) % 600) as f64 / 600.0 * side - side / 2.0,
+            ),
+            vel: fdps::Vec3::new((i % 11) as f64 - 5.0, 0.0, 0.0),
+            mass: 1.0,
+            temp: 100.0 + (i % 97) as f64 * 50.0,
+            h: 2.0,
+            id: i as u64,
+        })
+        .collect()
+}
+
+/// Single-shot timings of the full tensor pipeline at the paper's 64^3
+/// region grid, appended to the artifact as one-iteration records.
+fn paper_grid_single_shot() -> Vec<BenchRecord> {
+    const N: usize = 64;
+    const FEATS: usize = 4;
+    let grid = VoxelGrid::centered(fdps::Vec3::ZERO, 60.0, N);
+    let fields = particles_to_grid(grid, &synthetic_region(20_000, 60.0));
+    let net = UNet3d::new(
+        &UNetConfig {
+            in_channels: 8,
+            out_channels: 8,
+            base_features: FEATS,
+        },
+        1,
+    );
+    let mut records = Vec::new();
+    let mut shot = |name: &str, ns: f64| {
+        println!("bench {name:<40} time: {ns:>14.1} ns/iter  (1 iter, single shot)");
+        records.push(BenchRecord {
+            name: format!("paper_grid_64cubed_f{FEATS}/{name}"),
+            ns_per_iter: ns,
+            iters: 1,
+        });
+    };
+
+    let t0 = Instant::now();
+    let x = encode_fields(&fields);
+    shot("encode", t0.elapsed().as_secs_f64() * 1e9);
+
+    let t0 = Instant::now();
+    let y = black_box(net.forward(&x));
+    shot("forward", t0.elapsed().as_secs_f64() * 1e9);
+
+    let t0 = Instant::now();
+    let out = black_box(decode_fields(&y, grid));
+    shot("decode", t0.elapsed().as_secs_f64() * 1e9);
+    assert_eq!(out.grid.n, N);
+    records
+}
+
+criterion_group!(
+    benches,
+    bench_inference,
+    bench_encode_decode,
+    bench_voxel_pipeline
+);
+
+fn main() {
+    benches();
+    let mut records = criterion::take_records();
+    records.extend(paper_grid_single_shot());
+    let path = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_unet_infer.json");
+    criterion::write_artifact(&path, &records);
+    println!("[artifact] {}", path.display());
+}

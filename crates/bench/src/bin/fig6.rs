@@ -5,7 +5,7 @@
 //! have no Fugaku; see DESIGN.md); a small-scale *executed* run over mpisim
 //! ranks cross-checks the phase structure.
 
-use asura_core::dist::{run_distributed, DistConfig};
+use asura_core::dist::{run_distributed, DistConfig, PredictorKind};
 use asura_core::{Particle, Scheme, SimConfig};
 use fdps::exchange::Routing;
 use fdps::Vec3;
@@ -89,6 +89,8 @@ fn main() {
                 ..Default::default()
             },
             steps: 3,
+            predictor: PredictorKind::SedovOverlay,
+            snapshot_every: 0,
         };
         let report = run_distributed(&cfg, &ic);
         let t = report.phases.total_s() / report.steps as f64;

@@ -60,6 +60,17 @@ impl BlockSchedule {
         self.max_level = self.levels.iter().copied().max().unwrap_or(0);
     }
 
+    /// Restore a previously captured level assignment verbatim (snapshot
+    /// restart): unlike [`BlockSchedule::reassign`] the levels are taken as
+    /// given, not re-derived from desired timesteps.
+    pub fn restore(&mut self, dt_max: f64, levels: &[u32]) {
+        assert!(dt_max > 0.0);
+        self.dt_max = dt_max;
+        self.levels.clear();
+        self.levels.extend_from_slice(levels);
+        self.max_level = levels.iter().copied().max().unwrap_or(0);
+    }
+
     /// Deepest occupied level.
     pub fn max_level(&self) -> u32 {
         self.max_level

@@ -25,7 +25,7 @@ pub enum TimestepMode {
 }
 
 /// Driver parameters; defaults follow the paper where it gives numbers.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SimConfig {
     pub scheme: Scheme,
     /// Timestep hierarchy driving the conventional scheme's integration
@@ -65,6 +65,13 @@ pub struct SimConfig {
     pub sf_t_max: f64,
     /// Star-formation efficiency per free-fall time.
     pub sf_efficiency: f64,
+    /// Checkpoint cadence in steps: every `snapshot_every`-th completed
+    /// step [`Simulation::run_with_snapshots`](crate::sim::Simulation::run_with_snapshots)
+    /// hands the caller a [`SimSnapshot`](crate::snapshot::SimSnapshot)
+    /// (and the distributed driver gathers a
+    /// [`DistSnapshot`](crate::dist::DistSnapshot)). `0` disables periodic
+    /// checkpointing.
+    pub snapshot_every: u64,
 }
 
 impl Default for SimConfig {
@@ -87,6 +94,7 @@ impl Default for SimConfig {
             sf_rho_min: 3.2,
             sf_t_max: 100.0,
             sf_efficiency: 0.02,
+            snapshot_every: 0,
         }
     }
 }

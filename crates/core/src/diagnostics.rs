@@ -1,9 +1,12 @@
 //! Run diagnostics: surface-density maps (Fig. 5), energy audits, star
-//! formation rates, and phase-space histograms used by the validation
-//! experiments.
+//! formation rates, phase-space histograms used by the validation
+//! experiments, and the [`TimeSeries`] writer behind the `asura` CLI's
+//! per-run diagnostics JSON.
 
 use crate::particle::Particle;
+use crate::sim::Simulation;
 use fdps::Vec3;
+use unet::json::{write_json, Json};
 
 /// A 2-D column-density map [M_sun / pc^2] on a square grid.
 #[derive(Debug, Clone)]
@@ -112,6 +115,140 @@ pub fn star_formation_rate(particles: &[Particle], t0: f64, t1: f64) -> f64 {
     formed / (t1 - t0)
 }
 
+/// One diagnostics sample of a running simulation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimeSample {
+    pub step: u64,
+    /// Simulation time \[Myr\].
+    pub time: f64,
+    pub n_gas: u64,
+    pub n_star: u64,
+    /// Cumulative SN count.
+    pub sn_events: u64,
+    /// Cumulative pool predictions applied.
+    pub regions_applied: u64,
+    /// Predictions currently in flight.
+    pub pending_regions: u64,
+    /// Star-formation rate over the window since the previous sample
+    /// \[M_sun/Myr\].
+    pub sfr: f64,
+    /// Total metal mass carried by the gas \[M_sun\].
+    pub total_metals: f64,
+    /// Total energy (kinetic + internal + exact-potential audit).
+    pub total_energy: f64,
+    /// Peak face-on gas column density \[M_sun/pc^2\].
+    pub sigma_peak: f64,
+}
+
+impl TimeSample {
+    /// Measure a sample from a live simulation. `t_prev` is the previous
+    /// sample's time (the SFR window); `map_half` the half-extent of the
+    /// face-on surface-density map.
+    pub fn measure(sim: &Simulation, t_prev: f64, map_half: f64) -> Self {
+        let map = surface_density(&sim.particles, Projection::FaceOn, map_half, 32);
+        TimeSample {
+            step: sim.step_count,
+            time: sim.time,
+            n_gas: sim.particles.iter().filter(|p| p.is_gas()).count() as u64,
+            n_star: sim.particles.iter().filter(|p| p.is_star()).count() as u64,
+            sn_events: sim.stats.sn_events,
+            regions_applied: sim.stats.regions_applied,
+            pending_regions: sim.pending_regions() as u64,
+            sfr: if sim.time > t_prev {
+                star_formation_rate(&sim.particles, t_prev, sim.time)
+            } else {
+                0.0
+            },
+            total_metals: sim
+                .particles
+                .iter()
+                .filter(|p| p.is_gas())
+                .map(|p| p.metals)
+                .sum(),
+            total_energy: sim.total_energy(),
+            sigma_peak: map.data.iter().cloned().fold(0.0f64, f64::max),
+        }
+    }
+}
+
+/// A diagnostics time series — energy, SFR, surface density and the SN
+/// pipeline counters over a run — rendered to column-oriented JSON for the
+/// `results/` directory (the `asura` CLI writes one per scenario run).
+#[derive(Debug, Clone, Default)]
+pub struct TimeSeries {
+    pub scenario: String,
+    samples: Vec<TimeSample>,
+}
+
+impl TimeSeries {
+    pub fn new(scenario: impl Into<String>) -> Self {
+        TimeSeries {
+            scenario: scenario.into(),
+            samples: Vec::new(),
+        }
+    }
+
+    pub fn record(&mut self, sample: TimeSample) {
+        self.samples.push(sample);
+    }
+
+    pub fn samples(&self) -> &[TimeSample] {
+        &self.samples
+    }
+
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Column-oriented JSON rendering:
+    /// `{"scenario": ..., "samples": N, "columns": {"time": [...], ...}}`.
+    pub fn to_json(&self) -> String {
+        fn ncol(samples: &[TimeSample], f: impl Fn(&TimeSample) -> f64) -> Json {
+            Json::Arr(samples.iter().map(|s| Json::Num(f(s))).collect())
+        }
+        let columns = Json::Obj(vec![
+            ("step".into(), ncol(&self.samples, |s| s.step as f64)),
+            ("time".into(), ncol(&self.samples, |s| s.time)),
+            ("n_gas".into(), ncol(&self.samples, |s| s.n_gas as f64)),
+            ("n_star".into(), ncol(&self.samples, |s| s.n_star as f64)),
+            (
+                "sn_events".into(),
+                ncol(&self.samples, |s| s.sn_events as f64),
+            ),
+            (
+                "regions_applied".into(),
+                ncol(&self.samples, |s| s.regions_applied as f64),
+            ),
+            (
+                "pending_regions".into(),
+                ncol(&self.samples, |s| s.pending_regions as f64),
+            ),
+            ("sfr".into(), ncol(&self.samples, |s| s.sfr)),
+            (
+                "total_metals".into(),
+                ncol(&self.samples, |s| s.total_metals),
+            ),
+            (
+                "total_energy".into(),
+                ncol(&self.samples, |s| s.total_energy),
+            ),
+            ("sigma_peak".into(), ncol(&self.samples, |s| s.sigma_peak)),
+        ]);
+        let doc = Json::Obj(vec![
+            ("scenario".into(), Json::Str(self.scenario.clone())),
+            ("samples".into(), Json::Num(self.samples.len() as f64)),
+            ("columns".into(), columns),
+        ]);
+        let mut out = String::new();
+        write_json(&doc, &mut out);
+        out
+    }
+}
+
 /// Centre of mass of a particle set.
 pub fn center_of_mass(particles: &[Particle]) -> Vec3 {
     let mut m = 0.0;
@@ -199,6 +336,53 @@ mod tests {
         parts.push(gas_at(Vec3::ZERO, 10.0));
         let sfr = star_formation_rate(&parts, 10.0, 20.0);
         assert!((sfr - 0.3).abs() < 1e-12); // 3 M_sun over 10 Myr
+    }
+
+    #[test]
+    fn time_series_measures_and_serializes() {
+        use crate::config::SimConfig;
+        use crate::sim::Simulation;
+        let particles: Vec<Particle> = (0..8)
+            .map(|i| gas_at(Vec3::new(i as f64, 0.0, 0.0), 2.0))
+            .enumerate()
+            .map(|(i, mut p)| {
+                p.id = i as u64;
+                p
+            })
+            .collect();
+        let cfg = SimConfig {
+            dt_global: 1e-3,
+            cooling: false,
+            star_formation: false,
+            eps: 1.0,
+            ..Default::default()
+        };
+        let mut sim = Simulation::new(cfg, particles, 1);
+        let mut series = TimeSeries::new("unit-test");
+        let mut t_prev = 0.0;
+        for _ in 0..3 {
+            sim.step();
+            series.record(TimeSample::measure(&sim, t_prev, 10.0));
+            t_prev = sim.time;
+        }
+        assert_eq!(series.len(), 3);
+        assert_eq!(series.samples()[2].step, 3);
+        assert!(series.samples()[0].n_gas == 8);
+        assert!(series.samples()[0].sigma_peak > 0.0);
+        let json = series.to_json();
+        let doc = unet::json::parse_json(&json).expect("valid JSON");
+        assert_eq!(
+            doc.get("scenario").unwrap(),
+            &unet::json::Json::Str("unit-test".into())
+        );
+        assert_eq!(doc.get("samples").unwrap().as_usize().unwrap(), 3);
+        let cols = doc.get("columns").unwrap();
+        for key in ["step", "time", "total_energy", "sfr", "sigma_peak"] {
+            match cols.get(key).unwrap() {
+                unet::json::Json::Arr(a) => assert_eq!(a.len(), 3, "column {key}"),
+                other => panic!("column {key} must be an array, got {other:?}"),
+            }
+        }
     }
 
     #[test]

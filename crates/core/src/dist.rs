@@ -11,7 +11,8 @@
 use crate::config::SimConfig;
 use crate::particle::Particle;
 use crate::phases;
-use crate::pool::{PoolPredictor, SedovOverlayPredictor};
+use crate::pool::{PoolPredictor, SedovOverlayPredictor, UNetPredictor};
+pub use crate::snapshot::{DistPending, DistSnapshot};
 use astro::lifetime::explodes_in_interval;
 use astro::units::{E_SN, G, NH_PER_MSUN_PC3};
 use fdps::domain::DomainDecomposition;
@@ -22,11 +23,51 @@ use gravity::GravitySolver;
 use mpisim::{Comm, PhaseReport, PhaseTimer, World};
 use sph::solver::{HydroState, SphScratch, SphSolver};
 use sph::GammaLawEos;
-use surrogate::GasParticle;
+use surrogate::{GasParticle, SurrogateConfig, SurrogateModel};
 
 const TAG_REGION: u64 = 50;
 const TAG_SHUTDOWN: u64 = 51;
 const TAG_REPLY_BASE: u64 = 1_000_000;
+
+/// Which predictor the pool ranks run (paper Fig. 3 step 3). A config-level
+/// enum rather than a trait object so [`DistConfig`] stays `Copy` and every
+/// pool rank can construct its own instance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PredictorKind {
+    /// Analytic Sedov–Taylor overlay: deterministic and cheap (the default,
+    /// and the reference the U-Net is trained to imitate).
+    SedovOverlay,
+    /// The U-Net surrogate pipeline (voxelize → net → Gibbs resample) with
+    /// freshly initialized weights — the full paper data path on the pool
+    /// ranks; production use would load trained weights instead.
+    UNetUntrained {
+        grid_n: usize,
+        base_features: usize,
+        seed: u64,
+    },
+}
+
+impl PredictorKind {
+    /// Instantiate the predictor for regions of side `region_side`.
+    pub fn build(&self, region_side: f64) -> Box<dyn PoolPredictor> {
+        match *self {
+            PredictorKind::SedovOverlay => Box::new(SedovOverlayPredictor),
+            PredictorKind::UNetUntrained {
+                grid_n,
+                base_features,
+                seed,
+            } => Box::new(UNetPredictor::new(
+                SurrogateModel::new(SurrogateConfig {
+                    grid_n,
+                    side: region_side,
+                    base_features,
+                    seed,
+                }),
+                seed,
+            )),
+        }
+    }
+}
 
 /// Distributed run parameters.
 #[derive(Debug, Clone, Copy)]
@@ -40,6 +81,12 @@ pub struct DistConfig {
     pub sim: SimConfig,
     /// Steps to integrate.
     pub steps: usize,
+    /// The predictor served by the pool ranks.
+    pub predictor: PredictorKind,
+    /// Checkpoint cadence in steps (0 = off): every `snapshot_every`-th
+    /// completed step the main ranks gather a [`DistSnapshot`] into the
+    /// report, resumable with [`run_distributed_resume`].
+    pub snapshot_every: u64,
 }
 
 impl DistConfig {
@@ -65,12 +112,22 @@ pub struct DistReport {
     pub final_particles: u64,
     /// Communication volume per rank (bytes sent), main ranks only.
     pub bytes_sent: Vec<u64>,
+    /// Checkpoints gathered at the [`DistConfig::snapshot_every`] cadence.
+    pub snapshots: Vec<DistSnapshot>,
+    /// The complete final particle state, sorted by id (restart-determinism
+    /// audits compare this across runs).
+    pub final_state: Vec<Particle>,
 }
 
 struct Pending {
     event_id: u64,
     due_step: u64,
     origin: usize,
+    /// The dispatched request `(center, region gas)`, retained only when
+    /// the run checkpoints (`snapshot_every > 0`) so a snapshot can capture
+    /// in-flight regions (the pool's reply is deterministic in the
+    /// request); `None` otherwise — no copy overhead on plain runs.
+    payload: Option<([f64; 3], Vec<GasParticle>)>,
 }
 
 /// Run `cfg.steps` steps of the surrogate scheme across
@@ -78,6 +135,29 @@ struct Pending {
 /// main ranks claim strided slices and immediately re-balance via domain
 /// decomposition.
 pub fn run_distributed(cfg: &DistConfig, particles: &[Particle]) -> DistReport {
+    run_inner(cfg, particles, None)
+}
+
+/// Continue a distributed run from a checkpoint: each main rank takes back
+/// exactly its snapshotted particle list (local order preserved, so force
+/// evaluation is bitwise identical to the uninterrupted run) and in-flight
+/// SN regions are re-dispatched to the pool with their original due steps.
+/// `cfg.steps` more steps are integrated. The main-rank grid must match
+/// the snapshotting run's.
+pub fn run_distributed_resume(cfg: &DistConfig, snapshot: &DistSnapshot) -> DistReport {
+    assert_eq!(
+        snapshot.rank_particles.len(),
+        cfg.n_main(),
+        "resume requires the same main-rank grid as the snapshotting run"
+    );
+    run_inner(cfg, &[], Some(snapshot))
+}
+
+fn run_inner(
+    cfg: &DistConfig,
+    particles: &[Particle],
+    resume: Option<&DistSnapshot>,
+) -> DistReport {
     let n_main = cfg.n_main();
     assert!(n_main >= 1 && cfg.n_pool >= 1, "need main and pool ranks");
     let world = World::new(cfg.world_size());
@@ -85,10 +165,11 @@ pub fn run_distributed(cfg: &DistConfig, particles: &[Particle]) -> DistReport {
         let is_pool = comm.rank() >= n_main;
         let sub = comm.split(is_pool as u64, comm.rank() as i64);
         if is_pool {
-            pool_loop(comm, n_main, &SedovOverlayPredictor, cfg);
+            let predictor = cfg.predictor.build(cfg.sim.region_side);
+            pool_loop(comm, n_main, predictor.as_ref(), cfg);
             None
         } else {
-            Some(main_loop(comm, &sub, cfg, particles))
+            Some(main_loop(comm, &sub, cfg, particles, resume))
         }
     });
     let mut report = results
@@ -135,6 +216,7 @@ fn main_loop(
     main: &Comm,
     cfg: &DistConfig,
     all_particles: &[Particle],
+    resume: Option<&DistSnapshot>,
 ) -> DistReport {
     let me = main.rank();
     let n_main = main.size();
@@ -143,22 +225,52 @@ fn main_loop(
     let cooling = astro::CoolingCurve::standard_ism();
     let mut timer = PhaseTimer::new();
 
-    // Strided initial distribution, then balance.
-    let mut particles: Vec<Particle> = all_particles
-        .iter()
-        .skip(me)
-        .step_by(n_main)
-        .copied()
-        .collect();
+    // Fresh runs claim strided slices of the initial condition (then
+    // balance); resumed runs take back exactly their snapshotted list.
+    let (mut particles, mut time, step0): (Vec<Particle>, f64, u64) = match resume {
+        Some(s) => (s.rank_particles[me].clone(), s.time, s.step),
+        None => (
+            all_particles
+                .iter()
+                .skip(me)
+                .step_by(n_main)
+                .copied()
+                .collect(),
+            0.0,
+            0,
+        ),
+    };
 
-    let mut time = 0.0f64;
-    let mut step: u64 = 0;
+    let mut step: u64 = step0;
     let mut event_counter: u64 = 0;
     let mut pending: Vec<Pending> = Vec::new();
+    let mut snapshots: Vec<DistSnapshot> = Vec::new();
     let mut sn_events = 0u64;
     let mut regions_applied = 0u64;
     let mut grav_inter = 0u64;
     let mut hydro_inter = 0u64;
+
+    // Re-dispatch the checkpoint's in-flight regions (round-robin over the
+    // main ranks — any rank may own a replay; replies come back by event
+    // tag). The deterministic predictor reproduces the original replies,
+    // due at their original absolute steps.
+    if let Some(s) = resume {
+        for (k, p) in s.pending.iter().enumerate() {
+            if k % n_main != me {
+                continue;
+            }
+            let event_id = event_counter * n_main as u64 + me as u64;
+            let pool_rank = n_main + (event_id as usize % cfg.n_pool);
+            world.send(pool_rank, TAG_REGION, (event_id, p.center, p.gas.clone()));
+            pending.push(Pending {
+                event_id,
+                due_step: p.due_step,
+                origin: pool_rank,
+                payload: (cfg.snapshot_every > 0).then(|| (p.center, p.gas.clone())),
+            });
+            event_counter += 1;
+        }
+    }
     // Per-rank scratch arenas threaded through every step's force
     // evaluations: gravity results and SPH staging are refreshed in place,
     // so the steady-state loop does not re-collect them (the same
@@ -251,11 +363,13 @@ fn main_loop(
                 }
                 let event_id = event_counter * n_main as u64 + me as u64;
                 let pool_rank = n_main + (event_id as usize % cfg.n_pool);
+                let payload = (cfg.snapshot_every > 0).then(|| (c, region.clone()));
                 world.send(pool_rank, TAG_REGION, (event_id, c, region));
                 pending.push(Pending {
                     event_id,
                     due_step: step + sim.pool_latency_steps as u64,
                     origin: pool_rank,
+                    payload,
                 });
                 sn_events += 1;
                 event_counter += 1;
@@ -456,6 +570,34 @@ fn main_loop(
 
         time += sim.dt_global;
         step += 1;
+
+        // --- Checkpoint at the configured cadence -----------------------
+        if cfg.snapshot_every > 0 && step.is_multiple_of(cfg.snapshot_every) {
+            let all_parts = main.allgatherv(particles.clone());
+            let my_pending: Vec<DistPending> = pending
+                .iter()
+                .map(|p| {
+                    let (center, gas) = p
+                        .payload
+                        .clone()
+                        .expect("pending payload is retained when snapshot_every > 0");
+                    DistPending {
+                        due_step: p.due_step,
+                        center,
+                        gas,
+                    }
+                })
+                .collect();
+            let all_pending = main.allgatherv(my_pending);
+            if me == 0 {
+                snapshots.push(DistSnapshot {
+                    step,
+                    time,
+                    rank_particles: all_parts,
+                    pending: all_pending.into_iter().flatten().collect(),
+                });
+            }
+        }
     }
 
     // Drain any remaining pool replies so messages don't leak, then stop
@@ -472,15 +614,27 @@ fn main_loop(
 
     let phases = timer.report_max(main);
     let total_particles = main.allreduce_sum_u64(particles.len() as u64);
+    let final_state = {
+        let all = main.allgatherv(particles.clone());
+        if me == 0 {
+            let mut flat: Vec<Particle> = all.into_iter().flatten().collect();
+            flat.sort_by_key(|p| p.id);
+            flat
+        } else {
+            Vec::new()
+        }
+    };
     DistReport {
         phases,
-        steps: step,
+        steps: step - step0,
         sn_events: main.allreduce_sum_u64(sn_events),
         regions_applied: main.allreduce_sum_u64(regions_applied),
         gravity_interactions: main.allreduce_sum_u64(grav_inter),
         hydro_interactions: main.allreduce_sum_u64(hydro_inter),
         final_particles: total_particles,
         bytes_sent: Vec::new(),
+        snapshots,
+        final_state,
     }
 }
 
@@ -548,6 +702,8 @@ mod tests {
                 ..Default::default()
             },
             steps,
+            predictor: PredictorKind::SedovOverlay,
+            snapshot_every: 0,
         }
     }
 
@@ -607,5 +763,65 @@ mod tests {
         cfg.routing = Routing::Torus;
         let torus = run_distributed(&cfg, &ic);
         assert_eq!(flat.final_particles, torus.final_particles);
+    }
+
+    #[test]
+    fn unet_predictor_kind_serves_the_pool_ranks() {
+        // The satellite fix for the hardcoded SedovOverlayPredictor: a
+        // U-Net predictor configured through DistConfig must serve the
+        // round-trip end to end.
+        let dt = 2.0e-3;
+        let ic = disk_ic(300, 0, true, dt);
+        let mut cfg = test_cfg(5, 2);
+        cfg.predictor = PredictorKind::UNetUntrained {
+            grid_n: 8,
+            base_features: 2,
+            seed: 7,
+        };
+        let report = run_distributed(&cfg, &ic);
+        assert_eq!(report.sn_events, 1);
+        assert_eq!(
+            report.regions_applied, 1,
+            "the U-Net prediction must come back and be applied"
+        );
+    }
+
+    #[test]
+    fn distributed_resume_reproduces_the_uninterrupted_run_bitwise() {
+        // 6 steps straight vs snapshot-at-3 + resume-for-3 — with an SN
+        // region still pending in the pool queue at the snapshot step
+        // (latency 4 > snapshot step 3 - explosion step 1).
+        let dt = 2.0e-3;
+        let ic = disk_ic(300, 60, true, dt);
+        let mut cfg = test_cfg(6, 4);
+        cfg.snapshot_every = 3;
+        let full = run_distributed(&cfg, &ic);
+        assert_eq!(full.sn_events, 1);
+        assert_eq!(full.regions_applied, 1);
+        assert_eq!(full.snapshots.len(), 2, "snapshots at steps 3 and 6");
+
+        let snap = &full.snapshots[0];
+        assert_eq!(snap.step, 3);
+        assert_eq!(
+            snap.pending.len(),
+            1,
+            "the SN region must still be in flight at the snapshot"
+        );
+        // The checkpoint survives its binary encoding.
+        let snap = crate::snapshot::DistSnapshot::from_bytes(&snap.to_bytes()).expect("roundtrip");
+
+        let mut resume_cfg = cfg;
+        resume_cfg.steps = 3;
+        let resumed = run_distributed_resume(&resume_cfg, &snap);
+        assert_eq!(resumed.steps, 3);
+        assert_eq!(
+            resumed.regions_applied, 1,
+            "the replayed region must be applied after the restart"
+        );
+        assert_eq!(full.final_state.len(), ic.len());
+        assert_eq!(resumed.final_state.len(), ic.len());
+        for (a, b) in full.final_state.iter().zip(&resumed.final_state) {
+            assert_eq!(a, b, "resumed particle {} diverged", a.id);
+        }
     }
 }

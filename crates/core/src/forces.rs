@@ -11,6 +11,7 @@
 //! exposes the capacities so regression tests can assert exactly that.
 
 use crate::particle::Particle;
+use fdps::walk::WalkIndex;
 use fdps::{Tree, Vec3};
 use sph::solver::{HydroState, SphScratch};
 
@@ -55,6 +56,10 @@ pub struct ForceBuffers {
     /// moment-only [`Tree::refresh`] on fine substeps (until the drift
     /// bound trips).
     pub tree: Option<Tree>,
+    /// Compact walk index paired with `tree`: rebuilt (storage reused) on
+    /// full tree builds, [`WalkIndex::refresh`]ed in place on moment-only
+    /// refreshes — never reconstructed per force evaluation.
+    pub walk_index: Option<WalkIndex>,
     /// Position snapshot at the last full tree build, for the drift bound.
     pub tree_ref_pos: Vec<Vec3>,
 }

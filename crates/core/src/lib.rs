@@ -18,6 +18,21 @@
 //! [`sim::Simulation`] is the shared-memory driver (rayon-parallel);
 //! [`dist`] runs the same scheme across `mpisim` ranks with the paper's
 //! main/pool communicator split and phase-timing breakdown.
+//!
+//! ## Snapshots & CLI
+//!
+//! The [`snapshot`] module provides versioned, checksummed checkpoint
+//! serialization (compact binary and inspectable JSON) of the complete
+//! driver state; [`Simulation::snapshot`]/[`Simulation::restore`] and the
+//! distributed [`dist::DistSnapshot`]/[`dist::run_distributed_resume`] pair
+//! guarantee that a restored run continues bit-for-bit identically to one
+//! that never stopped — including with SN-region predictions still in
+//! flight in the pool queue. Periodic checkpointing is driven by
+//! [`SimConfig::snapshot_every`]; the `asura` scenario-runner binary (in
+//! the workspace root package) exposes the registered scenarios, snapshot
+//! cadence, `--resume`, and a diagnostics time-series writer from one
+//! command line. The snapshot format version policy lives in the
+//! [`snapshot`] module docs.
 
 pub mod blocksteps;
 pub mod config;
@@ -30,6 +45,7 @@ pub mod pool;
 pub mod runs;
 pub mod scheduler;
 pub mod sim;
+pub mod snapshot;
 
 pub use forces::ForceBuffers;
 
@@ -39,3 +55,4 @@ pub use particle::{Kind, Particle};
 pub use pool::{PoolPredictor, SedovOverlayPredictor};
 pub use scheduler::ActiveScheduler;
 pub use sim::{SimStats, Simulation};
+pub use snapshot::{SimSnapshot, SnapshotError};

@@ -73,6 +73,12 @@ impl ActiveScheduler {
         self.assigned.then_some(&self.schedule)
     }
 
+    /// Restore a snapshotted level assignment (see [`BlockSchedule::restore`]).
+    pub fn restore(&mut self, dt_max: f64, levels: &[u32]) {
+        self.schedule.restore(dt_max, levels);
+        self.assigned = true;
+    }
+
     /// Fine substeps per base step (1 before any assignment).
     pub fn substeps(&self) -> u64 {
         if self.assigned {

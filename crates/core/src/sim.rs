@@ -6,6 +6,7 @@ use crate::forces::{ForceBuffers, NOT_GAS};
 use crate::particle::{Kind, Particle};
 use crate::pool::{PoolPredictor, SedovOverlayPredictor};
 use crate::scheduler::{self, ActiveScheduler};
+use crate::snapshot::{PendingPrediction, ScheduleState, SimSnapshot};
 use astro::cooling::CoolingCurve;
 use astro::lifetime::explodes_in_interval;
 use astro::starform::{SfOutcome, StarFormation};
@@ -22,7 +23,7 @@ use sph::GammaLawEos;
 use surrogate::GasParticle;
 
 /// Counters accumulated over a run.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct SimStats {
     pub steps: u64,
     pub sn_events: u64,
@@ -137,6 +138,98 @@ impl Simulation {
         for _ in 0..n {
             self.step();
         }
+    }
+
+    /// Advance `n` steps, handing the caller a checkpoint after every
+    /// [`SimConfig::snapshot_every`]-th completed step (no callbacks when
+    /// the cadence is 0). The callback receives the live simulation so it
+    /// can call [`Simulation::snapshot`] — or cheaper observers — itself.
+    pub fn run_with_snapshots<F: FnMut(&Simulation)>(&mut self, n: usize, mut on_snapshot: F) {
+        let every = self.config.snapshot_every;
+        for _ in 0..n {
+            self.step();
+            if every > 0 && self.step_count.is_multiple_of(every) {
+                on_snapshot(self);
+            }
+        }
+    }
+
+    /// Capture the complete state of the run as a serializable
+    /// [`SimSnapshot`] (see [`crate::snapshot`] for the format and the
+    /// restart-determinism contract). Cheap relative to a step: one deep
+    /// copy of the particle set and the pending-region queue; none of the
+    /// force scratch arena is captured because [`Simulation::restore`]
+    /// rebuilds it on the next force evaluation.
+    pub fn snapshot(&self) -> SimSnapshot {
+        SimSnapshot {
+            config: self.config,
+            time: self.time,
+            step_count: self.step_count,
+            next_id: self.next_id,
+            rng_state: self.rng.state(),
+            stats: self.stats,
+            particles: self.particles.clone(),
+            last_vsig: self
+                .last_vsig
+                .iter()
+                .map(|&(i, v, h)| (i as u64, v, h))
+                .collect(),
+            pending: self
+                .pending
+                .iter()
+                .map(|r| PendingPrediction {
+                    due_step: r.due_step,
+                    predicted: r.predicted.clone(),
+                })
+                .collect(),
+            schedule: self.scheduler.schedule().map(|s| ScheduleState {
+                dt_max: s.dt_max,
+                levels: s.levels.clone(),
+            }),
+        }
+    }
+
+    /// Rebuild a simulation from a snapshot with the default
+    /// (Sedov-overlay) pool predictor. The continued run reproduces an
+    /// uninterrupted one bit-for-bit: every piece of cross-step driver
+    /// state (RNG stream, pending pool predictions — stored *predicted*,
+    /// so the predictor is never re-run for them — CFL signal-speed stash,
+    /// id counter, schedule) is reinstated.
+    pub fn restore(snapshot: &SimSnapshot) -> Self {
+        Self::restore_with_predictor(snapshot, Box::new(SedovOverlayPredictor))
+    }
+
+    /// [`Simulation::restore`] with an explicit pool predictor for regions
+    /// dispatched *after* the restart (in-flight predictions are replayed
+    /// from the snapshot verbatim).
+    pub fn restore_with_predictor(
+        snapshot: &SimSnapshot,
+        predictor: Box<dyn PoolPredictor>,
+    ) -> Self {
+        let mut sim =
+            Simulation::with_predictor(snapshot.config, snapshot.particles.clone(), 0, predictor);
+        sim.time = snapshot.time;
+        sim.step_count = snapshot.step_count;
+        sim.next_id = snapshot.next_id;
+        sim.rng = StdRng::from_state(snapshot.rng_state);
+        sim.stats = snapshot.stats;
+        sim.last_vsig = snapshot
+            .last_vsig
+            .iter()
+            .map(|&(i, v, h)| (i as usize, v, h))
+            .collect();
+        sim.pending = snapshot
+            .pending
+            .iter()
+            .map(|p| PendingRegion {
+                due_step: p.due_step,
+                predicted: p.predicted.clone(),
+            })
+            .collect();
+        if let Some(s) = &snapshot.schedule {
+            sim.scheduler.restore(s.dt_max, &s.levels);
+        }
+        sim
     }
 
     /// One full step of the paper's §3.2 procedure.
@@ -498,8 +591,18 @@ impl Simulation {
         self.stats.tree_rebuilds += 1;
         bufs.tree_ref_pos.clear();
         bufs.tree_ref_pos.extend_from_slice(&bufs.pos);
-        self.stats.gravity_interactions += solver.evaluate_into(
+        // The walk index rides along with the tree: re-derived (storage
+        // reused) on every full build, moment-refreshed on substeps.
+        let index = match bufs.walk_index.take() {
+            Some(mut ix) => {
+                ix.rebuild_from(&tree);
+                ix
+            }
+            None => tree.walk_index(),
+        };
+        self.stats.gravity_interactions += solver.evaluate_into_indexed(
             &tree,
+            &index,
             &bufs.pos,
             &bufs.mass,
             n,
@@ -507,6 +610,7 @@ impl Simulation {
             &mut bufs.pot,
         );
         bufs.tree = Some(tree);
+        bufs.walk_index = Some(index);
 
         // SPH on the gas subset.
         if bufs.gas_idx.len() > 1 {
@@ -576,6 +680,7 @@ impl Simulation {
 
         // Cross-substep tree reuse with the drift sanity bound.
         let cached = bufs.tree.take();
+        let cached_index = bufs.walk_index.take();
         let reuse = cached.as_ref().is_some_and(|t| {
             t.len() == n && bufs.tree_ref_pos.len() == n && {
                 let bound = t.cube.max_extent() * scheduler::TREE_DRIFT_FRACTION;
@@ -586,19 +691,36 @@ impl Simulation {
                     .all(|(p, q)| (*p - *q).norm2() <= b2)
             }
         });
-        let tree = if reuse {
+        let (tree, index) = if reuse {
             let mut t = cached.unwrap();
             t.refresh(&bufs.pos, &bufs.mass);
             self.stats.tree_refreshes += 1;
-            t
+            // Topology unchanged: the walk index refreshes in place too.
+            let ix = match cached_index {
+                Some(mut ix) if ix.len() == t.nodes.len() => {
+                    ix.refresh(&t);
+                    ix
+                }
+                _ => t.walk_index(),
+            };
+            (t, ix)
         } else {
             self.stats.tree_rebuilds += 1;
             bufs.tree_ref_pos.clear();
             bufs.tree_ref_pos.extend_from_slice(&bufs.pos);
-            fdps::Tree::build(&bufs.pos, &bufs.mass, solver.n_leaf)
+            let t = fdps::Tree::build(&bufs.pos, &bufs.mass, solver.n_leaf);
+            let ix = match cached_index {
+                Some(mut ix) => {
+                    ix.rebuild_from(&t);
+                    ix
+                }
+                None => t.walk_index(),
+            };
+            (t, ix)
         };
-        self.stats.gravity_interactions += solver.evaluate_into_active(
+        self.stats.gravity_interactions += solver.evaluate_into_active_indexed(
             &tree,
+            &index,
             &bufs.pos,
             &bufs.mass,
             n,
@@ -607,6 +729,7 @@ impl Simulation {
             &mut bufs.pot,
         );
         bufs.tree = Some(tree);
+        bufs.walk_index = Some(index);
 
         // SPH on the active gas subset.
         if bufs.gas_idx.len() > 1 && !bufs.active_gas.is_empty() {

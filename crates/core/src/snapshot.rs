@@ -1,0 +1,1502 @@
+//! Versioned snapshot / checkpoint-restart serialization.
+//!
+//! A [`SimSnapshot`] captures the **complete** state of a
+//! [`Simulation`](crate::sim::Simulation) — particle set, [`SimConfig`],
+//! the RNG stream, the block-timestep schedule, run statistics, and the
+//! surrogate scheme's in-flight pool predictions — such that
+//! `restore(snapshot)` continues the run bit-for-bit identically to a run
+//! that never stopped (`tests/snapshot_restart.rs` asserts this in both
+//! timestep modes, with an SN region pending in the pool queue).
+//!
+//! ## Snapshots & CLI
+//!
+//! Two interchangeable encodings are provided, both self-describing and
+//! checksummed:
+//!
+//! * **Binary** ([`SimSnapshot::to_bytes`] / [`SimSnapshot::from_bytes`]):
+//!   the compact production format. Layout: the 8-byte magic
+//!   [`SNAPSHOT_MAGIC`], a little-endian `u32` format version, a `u64`
+//!   payload length, the payload, and a trailing FNV-1a 64-bit checksum of
+//!   the payload. Floats are stored as raw IEEE-754 bits, so restart state
+//!   is exact.
+//! * **JSON** ([`SimSnapshot::to_json`] / [`SimSnapshot::from_json`]): a
+//!   human-inspectable rendering through [`unet::json`] (the workspace has
+//!   no serde). Finite floats use Rust's shortest-roundtrip formatting
+//!   (exact on reload); non-finite floats and `u64` values above 2^53 fall
+//!   back to tagged hex strings (`"bits:..."` / `"u64:..."`). The
+//!   checksum field covers the rendered `"state"` sub-document.
+//!
+//! **Format version policy**: [`SNAPSHOT_VERSION`] is bumped whenever the
+//! payload layout changes in any way (field added, removed, reordered, or
+//! re-encoded). Readers accept exactly the current version and reject
+//! everything else with [`SnapshotError::UnsupportedVersion`] — snapshots
+//! are short-lived operational artifacts (crash recovery, scenario replay),
+//! not archival storage, so no migration shims are kept. Corruption is
+//! reported as [`SnapshotError::ChecksumMismatch`]; every decode error is a
+//! `Result`, never a panic.
+//!
+//! The `asura` scenario-runner CLI (`src/bin/asura.rs`) writes snapshots at
+//! the [`SimConfig::snapshot_every`] cadence under `results/<scenario>/` and
+//! resumes from either encoding via [`SimSnapshot::load`], which sniffs the
+//! format from the leading bytes.
+
+use crate::config::{Scheme, SimConfig, TimestepMode};
+use crate::particle::{Kind, Particle};
+use crate::sim::SimStats;
+use fdps::Vec3;
+use std::fmt;
+use surrogate::GasParticle;
+use unet::json::{parse_json, write_json, Json};
+
+/// Leading magic of binary snapshots.
+pub const SNAPSHOT_MAGIC: [u8; 8] = *b"ASURSNAP";
+/// Leading magic of binary *distributed* snapshots (see [`DistSnapshot`]).
+pub const DIST_SNAPSHOT_MAGIC: [u8; 8] = *b"ASURDSNP";
+/// Current snapshot format version (see the module docs for the policy).
+pub const SNAPSHOT_VERSION: u32 = 1;
+
+/// Why a snapshot failed to decode. Every variant is a recoverable error —
+/// corrupt or foreign input never panics the reader.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnapshotError {
+    /// The input does not start with [`SNAPSHOT_MAGIC`] (binary) or is not
+    /// an `asura-snapshot` document (JSON).
+    BadMagic,
+    /// The snapshot was written by a different format version.
+    UnsupportedVersion { found: u32, supported: u32 },
+    /// The stored checksum does not match the payload.
+    ChecksumMismatch { stored: u64, computed: u64 },
+    /// Structurally invalid input (truncated, wrong types, bad field).
+    Malformed(String),
+    /// The snapshot file could not be read.
+    Io(String),
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::BadMagic => write!(f, "not an asura snapshot (bad magic)"),
+            SnapshotError::UnsupportedVersion { found, supported } => write!(
+                f,
+                "unsupported snapshot format version {found} (this build reads {supported})"
+            ),
+            SnapshotError::ChecksumMismatch { stored, computed } => write!(
+                f,
+                "snapshot checksum mismatch: stored {stored:016x}, computed {computed:016x}"
+            ),
+            SnapshotError::Malformed(why) => write!(f, "malformed snapshot: {why}"),
+            SnapshotError::Io(why) => write!(f, "snapshot i/o error: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+/// One in-flight pool prediction (paper §3.2 step 2→4): the predicted
+/// region state and the absolute step at which it falls due.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PendingPrediction {
+    pub due_step: u64,
+    pub predicted: Vec<GasParticle>,
+}
+
+/// The block-timestep scheduler's level assignment at snapshot time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScheduleState {
+    pub dt_max: f64,
+    pub levels: Vec<u32>,
+}
+
+/// Complete serializable state of a shared-memory simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimSnapshot {
+    pub config: SimConfig,
+    pub time: f64,
+    pub step_count: u64,
+    /// Next particle id to hand out (star formation).
+    pub next_id: u64,
+    /// Raw xoshiro256** state of the driver's RNG stream.
+    pub rng_state: [u64; 4],
+    pub stats: SimStats,
+    pub particles: Vec<Particle>,
+    /// `(particle index, v_sig, h)` stash from the last SPH force pass —
+    /// hidden driver state that seeds the *next* step's CFL estimate, so
+    /// restart determinism requires it.
+    pub last_vsig: Vec<(u64, f64, f64)>,
+    /// The surrogate scheme's pending-region queue.
+    pub pending: Vec<PendingPrediction>,
+    /// The scheduler's last level assignment, if block mode has run.
+    pub schedule: Option<ScheduleState>,
+}
+
+/// FNV-1a 64-bit checksum.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+// ---------------------------------------------------------------------------
+// Binary encoding
+// ---------------------------------------------------------------------------
+
+#[derive(Default)]
+struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+    fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+    fn vec3(&mut self, v: Vec3) {
+        self.f64(v.x);
+        self.f64(v.y);
+        self.f64(v.z);
+    }
+    fn bool(&mut self, v: bool) {
+        self.u8(v as u8);
+    }
+}
+
+struct Reader<'a> {
+    b: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], SnapshotError> {
+        if self.pos + n > self.b.len() {
+            return Err(SnapshotError::Malformed(format!(
+                "truncated payload: wanted {n} bytes at offset {}, have {}",
+                self.pos,
+                self.b.len() - self.pos
+            )));
+        }
+        let s = &self.b[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+    fn u8(&mut self) -> Result<u8, SnapshotError> {
+        Ok(self.take(1)?[0])
+    }
+    fn u32(&mut self) -> Result<u32, SnapshotError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+    fn u64(&mut self) -> Result<u64, SnapshotError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+    fn f64(&mut self) -> Result<f64, SnapshotError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+    fn vec3(&mut self) -> Result<Vec3, SnapshotError> {
+        Ok(Vec3::new(self.f64()?, self.f64()?, self.f64()?))
+    }
+    fn bool(&mut self) -> Result<bool, SnapshotError> {
+        Ok(self.u8()? != 0)
+    }
+    /// A length prefix, sanity-bounded so corrupt input cannot trigger a
+    /// huge allocation before the checksum is even consulted.
+    fn len(&mut self) -> Result<usize, SnapshotError> {
+        let n = self.u64()?;
+        let remaining = (self.b.len() - self.pos) as u64;
+        if n > remaining {
+            return Err(SnapshotError::Malformed(format!(
+                "length prefix {n} exceeds remaining payload {remaining}"
+            )));
+        }
+        Ok(n as usize)
+    }
+}
+
+fn write_config(w: &mut Writer, c: &SimConfig) {
+    w.u8(match c.scheme {
+        Scheme::Surrogate => 0,
+        Scheme::Conventional => 1,
+    });
+    match c.timestep {
+        TimestepMode::Global => {
+            w.u8(0);
+            w.u32(0);
+        }
+        TimestepMode::Block { max_level } => {
+            w.u8(1);
+            w.u32(max_level);
+        }
+    }
+    w.f64(c.dt_global);
+    w.f64(c.theta);
+    w.u64(c.n_group as u64);
+    w.f64(c.eps);
+    w.u64(c.n_ngb as u64);
+    w.f64(c.region_side);
+    w.u64(c.pool_latency_steps as u64);
+    w.bool(c.cooling);
+    w.bool(c.star_formation);
+    w.f64(c.cfl);
+    w.f64(c.dt_min);
+    w.bool(c.mixed_precision);
+    w.f64(c.sf_rho_min);
+    w.f64(c.sf_t_max);
+    w.f64(c.sf_efficiency);
+    w.u64(c.snapshot_every);
+}
+
+fn read_config(r: &mut Reader) -> Result<SimConfig, SnapshotError> {
+    let scheme = match r.u8()? {
+        0 => Scheme::Surrogate,
+        1 => Scheme::Conventional,
+        k => return Err(SnapshotError::Malformed(format!("unknown scheme tag {k}"))),
+    };
+    let mode_tag = r.u8()?;
+    let max_level = r.u32()?;
+    let timestep = match mode_tag {
+        0 => TimestepMode::Global,
+        1 => TimestepMode::Block { max_level },
+        k => {
+            return Err(SnapshotError::Malformed(format!(
+                "unknown timestep mode tag {k}"
+            )))
+        }
+    };
+    Ok(SimConfig {
+        scheme,
+        timestep,
+        dt_global: r.f64()?,
+        theta: r.f64()?,
+        n_group: r.u64()? as usize,
+        eps: r.f64()?,
+        n_ngb: r.u64()? as usize,
+        region_side: r.f64()?,
+        pool_latency_steps: r.u64()? as usize,
+        cooling: r.bool()?,
+        star_formation: r.bool()?,
+        cfl: r.f64()?,
+        dt_min: r.f64()?,
+        mixed_precision: r.bool()?,
+        sf_rho_min: r.f64()?,
+        sf_t_max: r.f64()?,
+        sf_efficiency: r.f64()?,
+        snapshot_every: r.u64()?,
+    })
+}
+
+fn write_stats(w: &mut Writer, s: &SimStats) {
+    w.u64(s.steps);
+    w.u64(s.sn_events);
+    w.u64(s.stars_formed);
+    w.u64(s.regions_applied);
+    w.f64(s.dt_min_seen);
+    w.u64(s.gravity_interactions);
+    w.u64(s.hydro_interactions);
+    w.u64(s.substeps);
+    w.u64(s.active_updates);
+    w.u64(s.tree_rebuilds);
+    w.u64(s.tree_refreshes);
+}
+
+fn read_stats(r: &mut Reader) -> Result<SimStats, SnapshotError> {
+    Ok(SimStats {
+        steps: r.u64()?,
+        sn_events: r.u64()?,
+        stars_formed: r.u64()?,
+        regions_applied: r.u64()?,
+        dt_min_seen: r.f64()?,
+        gravity_interactions: r.u64()?,
+        hydro_interactions: r.u64()?,
+        substeps: r.u64()?,
+        active_updates: r.u64()?,
+        tree_rebuilds: r.u64()?,
+        tree_refreshes: r.u64()?,
+    })
+}
+
+fn write_particle(w: &mut Writer, p: &Particle) {
+    w.u64(p.id);
+    w.u8(match p.kind {
+        Kind::Dm => 0,
+        Kind::Star => 1,
+        Kind::Gas => 2,
+    });
+    w.vec3(p.pos);
+    w.vec3(p.vel);
+    w.f64(p.mass);
+    w.f64(p.u);
+    w.f64(p.h);
+    w.f64(p.rho);
+    w.f64(p.metals);
+    w.f64(p.birth_time);
+    w.bool(p.exploded);
+}
+
+fn read_particle(r: &mut Reader) -> Result<Particle, SnapshotError> {
+    let id = r.u64()?;
+    let kind = match r.u8()? {
+        0 => Kind::Dm,
+        1 => Kind::Star,
+        2 => Kind::Gas,
+        k => {
+            return Err(SnapshotError::Malformed(format!(
+                "unknown particle kind tag {k}"
+            )))
+        }
+    };
+    Ok(Particle {
+        id,
+        kind,
+        pos: r.vec3()?,
+        vel: r.vec3()?,
+        mass: r.f64()?,
+        u: r.f64()?,
+        h: r.f64()?,
+        rho: r.f64()?,
+        metals: r.f64()?,
+        birth_time: r.f64()?,
+        exploded: r.bool()?,
+    })
+}
+
+fn write_gas(w: &mut Writer, g: &GasParticle) {
+    w.vec3(g.pos);
+    w.vec3(g.vel);
+    w.f64(g.mass);
+    w.f64(g.temp);
+    w.f64(g.h);
+    w.u64(g.id);
+}
+
+fn read_gas(r: &mut Reader) -> Result<GasParticle, SnapshotError> {
+    Ok(GasParticle {
+        pos: r.vec3()?,
+        vel: r.vec3()?,
+        mass: r.f64()?,
+        temp: r.f64()?,
+        h: r.f64()?,
+        id: r.u64()?,
+    })
+}
+
+impl SimSnapshot {
+    /// Serialize to the compact binary format (see the module docs).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = Writer::default();
+        write_config(&mut w, &self.config);
+        w.f64(self.time);
+        w.u64(self.step_count);
+        w.u64(self.next_id);
+        for s in self.rng_state {
+            w.u64(s);
+        }
+        write_stats(&mut w, &self.stats);
+        w.u64(self.particles.len() as u64);
+        for p in &self.particles {
+            write_particle(&mut w, p);
+        }
+        w.u64(self.last_vsig.len() as u64);
+        for &(i, v, h) in &self.last_vsig {
+            w.u64(i);
+            w.f64(v);
+            w.f64(h);
+        }
+        w.u64(self.pending.len() as u64);
+        for pend in &self.pending {
+            w.u64(pend.due_step);
+            w.u64(pend.predicted.len() as u64);
+            for g in &pend.predicted {
+                write_gas(&mut w, g);
+            }
+        }
+        match &self.schedule {
+            None => w.u8(0),
+            Some(s) => {
+                w.u8(1);
+                w.f64(s.dt_max);
+                w.u64(s.levels.len() as u64);
+                for &l in &s.levels {
+                    w.u32(l);
+                }
+            }
+        }
+
+        let payload = w.buf;
+        let mut out = Vec::with_capacity(payload.len() + 28);
+        out.extend_from_slice(&SNAPSHOT_MAGIC);
+        out.extend_from_slice(&SNAPSHOT_VERSION.to_le_bytes());
+        out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        let sum = fnv1a(&payload);
+        out.extend_from_slice(&payload);
+        out.extend_from_slice(&sum.to_le_bytes());
+        out
+    }
+
+    /// Decode the binary format, verifying magic, version and checksum.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, SnapshotError> {
+        if bytes.len() < 20 || bytes[..8] != SNAPSHOT_MAGIC {
+            return Err(SnapshotError::BadMagic);
+        }
+        let version = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
+        if version != SNAPSHOT_VERSION {
+            return Err(SnapshotError::UnsupportedVersion {
+                found: version,
+                supported: SNAPSHOT_VERSION,
+            });
+        }
+        let payload_len = u64::from_le_bytes(bytes[12..20].try_into().unwrap()) as usize;
+        let body_end = 20usize
+            .checked_add(payload_len)
+            .ok_or_else(|| SnapshotError::Malformed("payload length overflow".into()))?;
+        if bytes.len() < body_end + 8 {
+            return Err(SnapshotError::Malformed(format!(
+                "truncated: header promises {payload_len} payload bytes + checksum, file has {}",
+                bytes.len()
+            )));
+        }
+        let payload = &bytes[20..body_end];
+        let stored = u64::from_le_bytes(bytes[body_end..body_end + 8].try_into().unwrap());
+        let computed = fnv1a(payload);
+        if stored != computed {
+            return Err(SnapshotError::ChecksumMismatch { stored, computed });
+        }
+
+        let mut r = Reader { b: payload, pos: 0 };
+        let config = read_config(&mut r)?;
+        let time = r.f64()?;
+        let step_count = r.u64()?;
+        let next_id = r.u64()?;
+        let rng_state = [r.u64()?, r.u64()?, r.u64()?, r.u64()?];
+        let stats = read_stats(&mut r)?;
+        let n = r.len()?;
+        let mut particles = Vec::with_capacity(n);
+        for _ in 0..n {
+            particles.push(read_particle(&mut r)?);
+        }
+        let n = r.len()?;
+        let mut last_vsig = Vec::with_capacity(n);
+        for _ in 0..n {
+            last_vsig.push((r.u64()?, r.f64()?, r.f64()?));
+        }
+        let n = r.len()?;
+        let mut pending = Vec::with_capacity(n);
+        for _ in 0..n {
+            let due_step = r.u64()?;
+            let m = r.len()?;
+            let mut predicted = Vec::with_capacity(m);
+            for _ in 0..m {
+                predicted.push(read_gas(&mut r)?);
+            }
+            pending.push(PendingPrediction {
+                due_step,
+                predicted,
+            });
+        }
+        let schedule = match r.u8()? {
+            0 => None,
+            1 => {
+                let dt_max = r.f64()?;
+                let m = r.len()?;
+                let mut levels = Vec::with_capacity(m);
+                for _ in 0..m {
+                    levels.push(r.u32()?);
+                }
+                Some(ScheduleState { dt_max, levels })
+            }
+            k => {
+                return Err(SnapshotError::Malformed(format!(
+                    "unknown schedule tag {k}"
+                )))
+            }
+        };
+        if r.pos != payload.len() {
+            return Err(SnapshotError::Malformed(format!(
+                "{} trailing payload bytes",
+                payload.len() - r.pos
+            )));
+        }
+        Ok(SimSnapshot {
+            config,
+            time,
+            step_count,
+            next_id,
+            rng_state,
+            stats,
+            particles,
+            last_vsig,
+            pending,
+            schedule,
+        })
+    }
+
+    /// Serialize to the JSON format (see the module docs).
+    pub fn to_json(&self) -> String {
+        let state = self.state_json();
+        let mut state_str = String::new();
+        write_json(&state, &mut state_str);
+        let sum = fnv1a(state_str.as_bytes());
+        let doc = Json::Obj(vec![
+            ("format".into(), Json::Str("asura-snapshot".into())),
+            ("version".into(), Json::Num(SNAPSHOT_VERSION as f64)),
+            ("state".into(), state),
+            ("checksum".into(), Json::Str(format!("fnv1a:{sum:016x}"))),
+        ]);
+        let mut out = String::new();
+        write_json(&doc, &mut out);
+        out
+    }
+
+    /// Decode the JSON format, verifying the document type, version and
+    /// checksum.
+    pub fn from_json(text: &str) -> Result<Self, SnapshotError> {
+        let doc = parse_json(text).map_err(|_| SnapshotError::BadMagic)?;
+        let format = doc.get("format").map_err(|_| SnapshotError::BadMagic)?;
+        if format != &Json::Str("asura-snapshot".into()) {
+            return Err(SnapshotError::BadMagic);
+        }
+        let version = doc
+            .get("version")
+            .and_then(|v| v.as_usize())
+            .map_err(SnapshotError::Malformed)? as u32;
+        if version != SNAPSHOT_VERSION {
+            return Err(SnapshotError::UnsupportedVersion {
+                found: version,
+                supported: SNAPSHOT_VERSION,
+            });
+        }
+        let state = doc.get("state").map_err(SnapshotError::Malformed)?;
+        let mut state_str = String::new();
+        write_json(state, &mut state_str);
+        let computed = fnv1a(state_str.as_bytes());
+        let stored_str = match doc.get("checksum").map_err(SnapshotError::Malformed)? {
+            Json::Str(s) => s.clone(),
+            other => {
+                return Err(SnapshotError::Malformed(format!(
+                    "checksum must be a string, got {other:?}"
+                )))
+            }
+        };
+        let stored = stored_str
+            .strip_prefix("fnv1a:")
+            .and_then(|h| u64::from_str_radix(h, 16).ok())
+            .ok_or_else(|| SnapshotError::Malformed(format!("bad checksum `{stored_str}`")))?;
+        if stored != computed {
+            return Err(SnapshotError::ChecksumMismatch { stored, computed });
+        }
+        Self::state_from_json(state)
+    }
+
+    /// Load a snapshot file, sniffing the encoding: binary snapshots start
+    /// with [`SNAPSHOT_MAGIC`], JSON ones with `{`.
+    pub fn load(path: &std::path::Path) -> Result<Self, SnapshotError> {
+        let bytes = std::fs::read(path).map_err(|e| SnapshotError::Io(e.to_string()))?;
+        if bytes.starts_with(&SNAPSHOT_MAGIC) {
+            Self::from_bytes(&bytes)
+        } else {
+            let text =
+                std::str::from_utf8(&bytes).map_err(|e| SnapshotError::Malformed(e.to_string()))?;
+            Self::from_json(text)
+        }
+    }
+
+    // -- JSON value tree --------------------------------------------------
+
+    fn state_json(&self) -> Json {
+        let c = &self.config;
+        let config = Json::Obj(vec![
+            (
+                "scheme".into(),
+                Json::Str(
+                    match c.scheme {
+                        Scheme::Surrogate => "surrogate",
+                        Scheme::Conventional => "conventional",
+                    }
+                    .into(),
+                ),
+            ),
+            (
+                "timestep".into(),
+                match c.timestep {
+                    TimestepMode::Global => {
+                        Json::Obj(vec![("mode".into(), Json::Str("global".into()))])
+                    }
+                    TimestepMode::Block { max_level } => Json::Obj(vec![
+                        ("mode".into(), Json::Str("block".into())),
+                        ("max_level".into(), Json::Num(max_level as f64)),
+                    ]),
+                },
+            ),
+            ("dt_global".into(), jf(c.dt_global)),
+            ("theta".into(), jf(c.theta)),
+            ("n_group".into(), ju(c.n_group as u64)),
+            ("eps".into(), jf(c.eps)),
+            ("n_ngb".into(), ju(c.n_ngb as u64)),
+            ("region_side".into(), jf(c.region_side)),
+            ("pool_latency_steps".into(), ju(c.pool_latency_steps as u64)),
+            ("cooling".into(), Json::Bool(c.cooling)),
+            ("star_formation".into(), Json::Bool(c.star_formation)),
+            ("cfl".into(), jf(c.cfl)),
+            ("dt_min".into(), jf(c.dt_min)),
+            ("mixed_precision".into(), Json::Bool(c.mixed_precision)),
+            ("sf_rho_min".into(), jf(c.sf_rho_min)),
+            ("sf_t_max".into(), jf(c.sf_t_max)),
+            ("sf_efficiency".into(), jf(c.sf_efficiency)),
+            ("snapshot_every".into(), ju(c.snapshot_every)),
+        ]);
+        let s = &self.stats;
+        let stats = Json::Obj(vec![
+            ("steps".into(), ju(s.steps)),
+            ("sn_events".into(), ju(s.sn_events)),
+            ("stars_formed".into(), ju(s.stars_formed)),
+            ("regions_applied".into(), ju(s.regions_applied)),
+            ("dt_min_seen".into(), jf(s.dt_min_seen)),
+            ("gravity_interactions".into(), ju(s.gravity_interactions)),
+            ("hydro_interactions".into(), ju(s.hydro_interactions)),
+            ("substeps".into(), ju(s.substeps)),
+            ("active_updates".into(), ju(s.active_updates)),
+            ("tree_rebuilds".into(), ju(s.tree_rebuilds)),
+            ("tree_refreshes".into(), ju(s.tree_refreshes)),
+        ]);
+        // Particles as SoA with flat coordinate triplets: compact enough to
+        // stay inspectable without one object per particle.
+        let particles = Json::Obj(vec![
+            (
+                "id".into(),
+                Json::Arr(self.particles.iter().map(|p| ju(p.id)).collect()),
+            ),
+            (
+                "kind".into(),
+                Json::Arr(
+                    self.particles
+                        .iter()
+                        .map(|p| {
+                            Json::Num(match p.kind {
+                                Kind::Dm => 0.0,
+                                Kind::Star => 1.0,
+                                Kind::Gas => 2.0,
+                            })
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "pos".into(),
+                flat_vec3(self.particles.iter().map(|p| p.pos)),
+            ),
+            (
+                "vel".into(),
+                flat_vec3(self.particles.iter().map(|p| p.vel)),
+            ),
+            (
+                "mass".into(),
+                Json::Arr(self.particles.iter().map(|p| jf(p.mass)).collect()),
+            ),
+            (
+                "u".into(),
+                Json::Arr(self.particles.iter().map(|p| jf(p.u)).collect()),
+            ),
+            (
+                "h".into(),
+                Json::Arr(self.particles.iter().map(|p| jf(p.h)).collect()),
+            ),
+            (
+                "rho".into(),
+                Json::Arr(self.particles.iter().map(|p| jf(p.rho)).collect()),
+            ),
+            (
+                "metals".into(),
+                Json::Arr(self.particles.iter().map(|p| jf(p.metals)).collect()),
+            ),
+            (
+                "birth_time".into(),
+                Json::Arr(self.particles.iter().map(|p| jf(p.birth_time)).collect()),
+            ),
+            (
+                "exploded".into(),
+                Json::Arr(
+                    self.particles
+                        .iter()
+                        .map(|p| Json::Bool(p.exploded))
+                        .collect(),
+                ),
+            ),
+        ]);
+        let last_vsig = Json::Arr(
+            self.last_vsig
+                .iter()
+                .map(|&(i, v, h)| Json::Arr(vec![ju(i), jf(v), jf(h)]))
+                .collect(),
+        );
+        let pending = Json::Arr(
+            self.pending
+                .iter()
+                .map(|p| {
+                    Json::Obj(vec![
+                        ("due_step".into(), ju(p.due_step)),
+                        (
+                            "predicted".into(),
+                            Json::Obj(vec![
+                                (
+                                    "id".into(),
+                                    Json::Arr(p.predicted.iter().map(|g| ju(g.id)).collect()),
+                                ),
+                                ("pos".into(), flat_vec3(p.predicted.iter().map(|g| g.pos))),
+                                ("vel".into(), flat_vec3(p.predicted.iter().map(|g| g.vel))),
+                                (
+                                    "mass".into(),
+                                    Json::Arr(p.predicted.iter().map(|g| jf(g.mass)).collect()),
+                                ),
+                                (
+                                    "temp".into(),
+                                    Json::Arr(p.predicted.iter().map(|g| jf(g.temp)).collect()),
+                                ),
+                                (
+                                    "h".into(),
+                                    Json::Arr(p.predicted.iter().map(|g| jf(g.h)).collect()),
+                                ),
+                            ]),
+                        ),
+                    ])
+                })
+                .collect(),
+        );
+        let schedule = match &self.schedule {
+            None => Json::Null,
+            Some(s) => Json::Obj(vec![
+                ("dt_max".into(), jf(s.dt_max)),
+                (
+                    "levels".into(),
+                    Json::Arr(s.levels.iter().map(|&l| Json::Num(l as f64)).collect()),
+                ),
+            ]),
+        };
+        Json::Obj(vec![
+            ("config".into(), config),
+            ("time".into(), jf(self.time)),
+            ("step_count".into(), ju(self.step_count)),
+            ("next_id".into(), ju(self.next_id)),
+            (
+                "rng".into(),
+                Json::Arr(
+                    self.rng_state
+                        .iter()
+                        .map(|&s| Json::Str(format!("u64:{s:016x}")))
+                        .collect(),
+                ),
+            ),
+            ("stats".into(), stats),
+            ("particles".into(), particles),
+            ("last_vsig".into(), last_vsig),
+            ("pending".into(), pending),
+            ("schedule".into(), schedule),
+        ])
+    }
+
+    fn state_from_json(state: &Json) -> Result<Self, SnapshotError> {
+        let config = {
+            let c = state.get("config").map_err(SnapshotError::Malformed)?;
+            let scheme = match c.get("scheme").map_err(SnapshotError::Malformed)? {
+                Json::Str(s) if s == "surrogate" => Scheme::Surrogate,
+                Json::Str(s) if s == "conventional" => Scheme::Conventional,
+                other => {
+                    return Err(SnapshotError::Malformed(format!(
+                        "unknown scheme {other:?}"
+                    )))
+                }
+            };
+            let ts = c.get("timestep").map_err(SnapshotError::Malformed)?;
+            let timestep = match ts.get("mode").map_err(SnapshotError::Malformed)? {
+                Json::Str(m) if m == "global" => TimestepMode::Global,
+                Json::Str(m) if m == "block" => TimestepMode::Block {
+                    max_level: get_u64(ts, "max_level")? as u32,
+                },
+                other => {
+                    return Err(SnapshotError::Malformed(format!(
+                        "unknown timestep mode {other:?}"
+                    )))
+                }
+            };
+            SimConfig {
+                scheme,
+                timestep,
+                dt_global: get_f64(c, "dt_global")?,
+                theta: get_f64(c, "theta")?,
+                n_group: get_u64(c, "n_group")? as usize,
+                eps: get_f64(c, "eps")?,
+                n_ngb: get_u64(c, "n_ngb")? as usize,
+                region_side: get_f64(c, "region_side")?,
+                pool_latency_steps: get_u64(c, "pool_latency_steps")? as usize,
+                cooling: get_bool(c, "cooling")?,
+                star_formation: get_bool(c, "star_formation")?,
+                cfl: get_f64(c, "cfl")?,
+                dt_min: get_f64(c, "dt_min")?,
+                mixed_precision: get_bool(c, "mixed_precision")?,
+                sf_rho_min: get_f64(c, "sf_rho_min")?,
+                sf_t_max: get_f64(c, "sf_t_max")?,
+                sf_efficiency: get_f64(c, "sf_efficiency")?,
+                snapshot_every: get_u64(c, "snapshot_every")?,
+            }
+        };
+        let stats = {
+            let s = state.get("stats").map_err(SnapshotError::Malformed)?;
+            SimStats {
+                steps: get_u64(s, "steps")?,
+                sn_events: get_u64(s, "sn_events")?,
+                stars_formed: get_u64(s, "stars_formed")?,
+                regions_applied: get_u64(s, "regions_applied")?,
+                dt_min_seen: get_f64(s, "dt_min_seen")?,
+                gravity_interactions: get_u64(s, "gravity_interactions")?,
+                hydro_interactions: get_u64(s, "hydro_interactions")?,
+                substeps: get_u64(s, "substeps")?,
+                active_updates: get_u64(s, "active_updates")?,
+                tree_rebuilds: get_u64(s, "tree_rebuilds")?,
+                tree_refreshes: get_u64(s, "tree_refreshes")?,
+            }
+        };
+        let particles = {
+            let p = state.get("particles").map_err(SnapshotError::Malformed)?;
+            let id = arr(p, "id")?;
+            let kind = arr(p, "kind")?;
+            let pos = read_flat_vec3(p, "pos", id.len())?;
+            let vel = read_flat_vec3(p, "vel", id.len())?;
+            let mass = arr(p, "mass")?;
+            let u = arr(p, "u")?;
+            let h = arr(p, "h")?;
+            let rho = arr(p, "rho")?;
+            let metals = arr(p, "metals")?;
+            let birth_time = arr(p, "birth_time")?;
+            let exploded = arr(p, "exploded")?;
+            for (name, a) in [
+                ("kind", &kind),
+                ("mass", &mass),
+                ("u", &u),
+                ("h", &h),
+                ("rho", &rho),
+                ("metals", &metals),
+                ("birth_time", &birth_time),
+                ("exploded", &exploded),
+            ] {
+                if a.len() != id.len() {
+                    return Err(SnapshotError::Malformed(format!(
+                        "particle column `{name}` has {} entries, id has {}",
+                        a.len(),
+                        id.len()
+                    )));
+                }
+            }
+            let mut out = Vec::with_capacity(id.len());
+            for i in 0..id.len() {
+                out.push(Particle {
+                    id: as_u64(&id[i])?,
+                    kind: match as_u64(&kind[i])? {
+                        0 => Kind::Dm,
+                        1 => Kind::Star,
+                        2 => Kind::Gas,
+                        k => {
+                            return Err(SnapshotError::Malformed(format!(
+                                "unknown particle kind {k}"
+                            )))
+                        }
+                    },
+                    pos: pos[i],
+                    vel: vel[i],
+                    mass: as_f64(&mass[i])?,
+                    u: as_f64(&u[i])?,
+                    h: as_f64(&h[i])?,
+                    rho: as_f64(&rho[i])?,
+                    metals: as_f64(&metals[i])?,
+                    birth_time: as_f64(&birth_time[i])?,
+                    exploded: as_bool(&exploded[i])?,
+                });
+            }
+            out
+        };
+        let last_vsig = {
+            let entries = arr(state, "last_vsig")?;
+            let mut out = Vec::with_capacity(entries.len());
+            for e in entries {
+                match e {
+                    Json::Arr(t) if t.len() == 3 => {
+                        out.push((as_u64(&t[0])?, as_f64(&t[1])?, as_f64(&t[2])?))
+                    }
+                    other => {
+                        return Err(SnapshotError::Malformed(format!(
+                            "last_vsig entry must be a triple, got {other:?}"
+                        )))
+                    }
+                }
+            }
+            out
+        };
+        let pending = {
+            let entries = arr(state, "pending")?;
+            let mut out = Vec::with_capacity(entries.len());
+            for e in entries {
+                let due_step = get_u64(e, "due_step")?;
+                let pr = e.get("predicted").map_err(SnapshotError::Malformed)?;
+                let id = arr(pr, "id")?;
+                let pos = read_flat_vec3(pr, "pos", id.len())?;
+                let vel = read_flat_vec3(pr, "vel", id.len())?;
+                let mass = arr(pr, "mass")?;
+                let temp = arr(pr, "temp")?;
+                let h = arr(pr, "h")?;
+                if mass.len() != id.len() || temp.len() != id.len() || h.len() != id.len() {
+                    return Err(SnapshotError::Malformed(
+                        "pending region columns disagree on length".into(),
+                    ));
+                }
+                let mut predicted = Vec::with_capacity(id.len());
+                for i in 0..id.len() {
+                    predicted.push(GasParticle {
+                        pos: pos[i],
+                        vel: vel[i],
+                        mass: as_f64(&mass[i])?,
+                        temp: as_f64(&temp[i])?,
+                        h: as_f64(&h[i])?,
+                        id: as_u64(&id[i])?,
+                    });
+                }
+                out.push(PendingPrediction {
+                    due_step,
+                    predicted,
+                });
+            }
+            out
+        };
+        let schedule = match state.get("schedule").map_err(SnapshotError::Malformed)? {
+            Json::Null => None,
+            s => {
+                let levels = arr(s, "levels")?
+                    .iter()
+                    .map(|l| as_u64(l).map(|v| v as u32))
+                    .collect::<Result<Vec<u32>, _>>()?;
+                Some(ScheduleState {
+                    dt_max: get_f64(s, "dt_max")?,
+                    levels,
+                })
+            }
+        };
+        let rng_state = {
+            let entries = arr(state, "rng")?;
+            if entries.len() != 4 {
+                return Err(SnapshotError::Malformed(format!(
+                    "rng state must have 4 words, got {}",
+                    entries.len()
+                )));
+            }
+            [
+                as_u64(&entries[0])?,
+                as_u64(&entries[1])?,
+                as_u64(&entries[2])?,
+                as_u64(&entries[3])?,
+            ]
+        };
+        Ok(SimSnapshot {
+            config,
+            time: get_f64(state, "time")?,
+            step_count: get_u64(state, "step_count")?,
+            next_id: get_u64(state, "next_id")?,
+            rng_state,
+            stats,
+            particles,
+            last_vsig,
+            pending,
+            schedule,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Distributed snapshots
+// ---------------------------------------------------------------------------
+
+/// One in-flight pool dispatch of the distributed driver, captured as the
+/// *request* (center + region gas): the predictor is deterministic, so a
+/// resumed run re-dispatches the region and receives the identical reply,
+/// due at the same absolute step.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DistPending {
+    pub due_step: u64,
+    pub center: [f64; 3],
+    pub gas: Vec<GasParticle>,
+}
+
+/// Checkpoint of a distributed run
+/// ([`run_distributed`](crate::dist::run_distributed) with
+/// [`DistConfig::snapshot_every`](crate::dist::DistConfig) > 0), resumable
+/// via [`run_distributed_resume`](crate::dist::run_distributed_resume).
+///
+/// Per-rank particle lists keep each main rank's **local order** so the
+/// resumed ranks rebuild identical trees and sum forces in the identical
+/// order — the bitwise-determinism contract extends to the distributed
+/// driver as long as the resuming configuration uses the same main-rank
+/// grid. The binary encoding mirrors the shared-memory format (own magic
+/// [`DIST_SNAPSHOT_MAGIC`], same version/checksum discipline); as an
+/// operational artifact of the in-process `mpisim` harness it has no JSON
+/// rendering — inspectability is the shared-memory snapshot's job.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DistSnapshot {
+    /// Completed steps at capture (the resume continues from here).
+    pub step: u64,
+    pub time: f64,
+    /// Particle lists per main rank, local order preserved.
+    pub rank_particles: Vec<Vec<Particle>>,
+    /// In-flight pool dispatches across all ranks.
+    pub pending: Vec<DistPending>,
+}
+
+impl DistSnapshot {
+    /// Serialize to the compact binary format.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = Writer::default();
+        w.u64(self.step);
+        w.f64(self.time);
+        w.u64(self.rank_particles.len() as u64);
+        for rank in &self.rank_particles {
+            w.u64(rank.len() as u64);
+            for p in rank {
+                write_particle(&mut w, p);
+            }
+        }
+        w.u64(self.pending.len() as u64);
+        for p in &self.pending {
+            w.u64(p.due_step);
+            for c in p.center {
+                w.f64(c);
+            }
+            w.u64(p.gas.len() as u64);
+            for g in &p.gas {
+                write_gas(&mut w, g);
+            }
+        }
+        let payload = w.buf;
+        let mut out = Vec::with_capacity(payload.len() + 28);
+        out.extend_from_slice(&DIST_SNAPSHOT_MAGIC);
+        out.extend_from_slice(&SNAPSHOT_VERSION.to_le_bytes());
+        out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        let sum = fnv1a(&payload);
+        out.extend_from_slice(&payload);
+        out.extend_from_slice(&sum.to_le_bytes());
+        out
+    }
+
+    /// Decode the binary format, verifying magic, version and checksum.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, SnapshotError> {
+        if bytes.len() < 20 || bytes[..8] != DIST_SNAPSHOT_MAGIC {
+            return Err(SnapshotError::BadMagic);
+        }
+        let version = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
+        if version != SNAPSHOT_VERSION {
+            return Err(SnapshotError::UnsupportedVersion {
+                found: version,
+                supported: SNAPSHOT_VERSION,
+            });
+        }
+        let payload_len = u64::from_le_bytes(bytes[12..20].try_into().unwrap()) as usize;
+        let body_end = 20usize
+            .checked_add(payload_len)
+            .ok_or_else(|| SnapshotError::Malformed("payload length overflow".into()))?;
+        if bytes.len() < body_end + 8 {
+            return Err(SnapshotError::Malformed(format!(
+                "truncated: header promises {payload_len} payload bytes + checksum, file has {}",
+                bytes.len()
+            )));
+        }
+        let payload = &bytes[20..body_end];
+        let stored = u64::from_le_bytes(bytes[body_end..body_end + 8].try_into().unwrap());
+        let computed = fnv1a(payload);
+        if stored != computed {
+            return Err(SnapshotError::ChecksumMismatch { stored, computed });
+        }
+        let mut r = Reader { b: payload, pos: 0 };
+        let step = r.u64()?;
+        let time = r.f64()?;
+        let n_ranks = r.len()?;
+        let mut rank_particles = Vec::with_capacity(n_ranks);
+        for _ in 0..n_ranks {
+            let n = r.len()?;
+            let mut rank = Vec::with_capacity(n);
+            for _ in 0..n {
+                rank.push(read_particle(&mut r)?);
+            }
+            rank_particles.push(rank);
+        }
+        let n = r.len()?;
+        let mut pending = Vec::with_capacity(n);
+        for _ in 0..n {
+            let due_step = r.u64()?;
+            let center = [r.f64()?, r.f64()?, r.f64()?];
+            let m = r.len()?;
+            let mut gas = Vec::with_capacity(m);
+            for _ in 0..m {
+                gas.push(read_gas(&mut r)?);
+            }
+            pending.push(DistPending {
+                due_step,
+                center,
+                gas,
+            });
+        }
+        if r.pos != payload.len() {
+            return Err(SnapshotError::Malformed(format!(
+                "{} trailing payload bytes",
+                payload.len() - r.pos
+            )));
+        }
+        Ok(DistSnapshot {
+            step,
+            time,
+            rank_particles,
+            pending,
+        })
+    }
+}
+
+// -- JSON encoding helpers --------------------------------------------------
+//
+// Finite floats render as plain numbers (shortest-roundtrip, exact on
+// reload); non-finite floats and u64 values that do not fit the f64
+// mantissa fall back to tagged hex strings, so every value of either type
+// survives a JSON round-trip bit-exactly.
+
+fn jf(x: f64) -> Json {
+    if x.is_finite() {
+        Json::Num(x)
+    } else {
+        Json::Str(format!("bits:{:016x}", x.to_bits()))
+    }
+}
+
+fn ju(x: u64) -> Json {
+    if x <= (1u64 << 53) {
+        Json::Num(x as f64)
+    } else {
+        Json::Str(format!("u64:{x:016x}"))
+    }
+}
+
+fn as_f64(v: &Json) -> Result<f64, SnapshotError> {
+    match v {
+        Json::Num(n) => Ok(*n),
+        Json::Str(s) => s
+            .strip_prefix("bits:")
+            .and_then(|h| u64::from_str_radix(h, 16).ok())
+            .map(f64::from_bits)
+            .ok_or_else(|| SnapshotError::Malformed(format!("bad float `{s}`"))),
+        other => Err(SnapshotError::Malformed(format!(
+            "expected float, got {other:?}"
+        ))),
+    }
+}
+
+fn as_u64(v: &Json) -> Result<u64, SnapshotError> {
+    match v {
+        Json::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= (1u64 << 53) as f64 => Ok(*n as u64),
+        Json::Str(s) => s
+            .strip_prefix("u64:")
+            .and_then(|h| u64::from_str_radix(h, 16).ok())
+            .ok_or_else(|| SnapshotError::Malformed(format!("bad u64 `{s}`"))),
+        other => Err(SnapshotError::Malformed(format!(
+            "expected unsigned integer, got {other:?}"
+        ))),
+    }
+}
+
+fn as_bool(v: &Json) -> Result<bool, SnapshotError> {
+    match v {
+        Json::Bool(b) => Ok(*b),
+        other => Err(SnapshotError::Malformed(format!(
+            "expected bool, got {other:?}"
+        ))),
+    }
+}
+
+fn get_f64(obj: &Json, key: &str) -> Result<f64, SnapshotError> {
+    as_f64(obj.get(key).map_err(SnapshotError::Malformed)?)
+}
+
+fn get_u64(obj: &Json, key: &str) -> Result<u64, SnapshotError> {
+    as_u64(obj.get(key).map_err(SnapshotError::Malformed)?)
+}
+
+fn get_bool(obj: &Json, key: &str) -> Result<bool, SnapshotError> {
+    as_bool(obj.get(key).map_err(SnapshotError::Malformed)?)
+}
+
+fn arr<'a>(obj: &'a Json, key: &str) -> Result<&'a [Json], SnapshotError> {
+    match obj.get(key).map_err(SnapshotError::Malformed)? {
+        Json::Arr(items) => Ok(items),
+        other => Err(SnapshotError::Malformed(format!(
+            "field `{key}` must be an array, got {other:?}"
+        ))),
+    }
+}
+
+fn flat_vec3(vs: impl Iterator<Item = Vec3>) -> Json {
+    Json::Arr(vs.flat_map(|v| [jf(v.x), jf(v.y), jf(v.z)]).collect())
+}
+
+fn read_flat_vec3(obj: &Json, key: &str, n: usize) -> Result<Vec<Vec3>, SnapshotError> {
+    let flat = arr(obj, key)?;
+    if flat.len() != 3 * n {
+        return Err(SnapshotError::Malformed(format!(
+            "field `{key}` must hold {} floats, got {}",
+            3 * n,
+            flat.len()
+        )));
+    }
+    flat.chunks_exact(3)
+        .map(|c| Ok(Vec3::new(as_f64(&c[0])?, as_f64(&c[1])?, as_f64(&c[2])?)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_snapshot(seed: u64, n: usize) -> SimSnapshot {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let rv3 = |rng: &mut StdRng| {
+            Vec3::new(
+                rng.gen_range(-1.0e3..1.0e3),
+                rng.gen_range(-1.0e3..1.0e3),
+                rng.gen_range(-1.0e3..1.0e3),
+            )
+        };
+        let particles: Vec<Particle> = (0..n)
+            .map(|i| {
+                let kind = match rng.gen_range(0..3u32) {
+                    0 => Kind::Dm,
+                    1 => Kind::Star,
+                    _ => Kind::Gas,
+                };
+                Particle {
+                    id: i as u64,
+                    kind,
+                    pos: rv3(&mut rng),
+                    vel: rv3(&mut rng),
+                    mass: rng.gen_range(0.1..100.0),
+                    u: rng.gen_range(0.0..1.0e6),
+                    h: rng.gen_range(1.0e-3..10.0),
+                    rho: rng.gen_range(0.0..50.0),
+                    metals: rng.gen_range(0.0..1.0),
+                    birth_time: rng.gen_range(-500.0..500.0),
+                    exploded: rng.gen_bool(0.2),
+                }
+            })
+            .collect();
+        let pending = (0..rng.gen_range(0..3usize))
+            .map(|_| PendingPrediction {
+                due_step: rng.gen::<u32>() as u64,
+                predicted: (0..rng.gen_range(1..5usize))
+                    .map(|j| GasParticle {
+                        pos: rv3(&mut rng),
+                        vel: rv3(&mut rng),
+                        mass: rng.gen_range(0.1..10.0),
+                        temp: rng.gen_range(10.0..1.0e8),
+                        h: rng.gen_range(0.1..5.0),
+                        id: j as u64,
+                    })
+                    .collect(),
+            })
+            .collect();
+        SimSnapshot {
+            config: SimConfig {
+                scheme: if seed.is_multiple_of(2) {
+                    Scheme::Surrogate
+                } else {
+                    Scheme::Conventional
+                },
+                timestep: if seed.is_multiple_of(3) {
+                    TimestepMode::Global
+                } else {
+                    TimestepMode::Block {
+                        max_level: rng.gen_range(1..12u32),
+                    }
+                },
+                snapshot_every: rng.gen_range(0..10u64),
+                ..Default::default()
+            },
+            time: rng.gen_range(0.0..100.0),
+            step_count: rng.gen::<u32>() as u64,
+            next_id: n as u64,
+            rng_state: [rng.gen(), rng.gen(), rng.gen(), rng.gen()],
+            stats: SimStats {
+                steps: rng.gen::<u32>() as u64,
+                dt_min_seen: if seed.is_multiple_of(4) {
+                    f64::INFINITY // a fresh run's sentinel must survive
+                } else {
+                    rng.gen_range(1e-9..1e-2)
+                },
+                gravity_interactions: rng.gen(), // full-range u64
+                ..Default::default()
+            },
+            particles,
+            last_vsig: (0..n / 3)
+                .map(|i| (i as u64, rng.gen_range(0.0..1e4), rng.gen_range(1e-3..10.0)))
+                .collect(),
+            pending,
+            schedule: if seed.is_multiple_of(2) {
+                Some(ScheduleState {
+                    dt_max: rng.gen_range(1e-4..1.0),
+                    levels: (0..n).map(|_| rng.gen_range(0..10u32)).collect(),
+                })
+            } else {
+                None
+            },
+        }
+    }
+
+    #[test]
+    fn binary_roundtrip_is_exact_and_reserialization_is_byte_identical() {
+        for seed in 0..8u64 {
+            let snap = random_snapshot(seed, 40);
+            let bytes = snap.to_bytes();
+            let back = SimSnapshot::from_bytes(&bytes).expect("roundtrip");
+            assert_eq!(back, snap, "seed {seed}");
+            assert_eq!(back.to_bytes(), bytes, "seed {seed}: reserialize differs");
+        }
+    }
+
+    #[test]
+    fn json_roundtrip_is_exact_and_reserialization_is_byte_identical() {
+        for seed in 0..8u64 {
+            let snap = random_snapshot(seed, 25);
+            let text = snap.to_json();
+            let back = SimSnapshot::from_json(&text).expect("roundtrip");
+            assert_eq!(back, snap, "seed {seed}");
+            assert_eq!(back.to_json(), text, "seed {seed}: reserialize differs");
+        }
+    }
+
+    #[test]
+    fn corrupted_binary_payload_is_rejected_not_panicked() {
+        let snap = random_snapshot(1, 20);
+        let mut bytes = snap.to_bytes();
+        // Flip one payload byte (past the 20-byte header).
+        let k = 20 + bytes.len() / 2;
+        bytes[k] ^= 0x40;
+        match SimSnapshot::from_bytes(&bytes) {
+            Err(SnapshotError::ChecksumMismatch { .. }) | Err(SnapshotError::Malformed(_)) => {}
+            other => panic!("corrupted snapshot must be rejected, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncated_binary_is_rejected() {
+        let snap = random_snapshot(2, 10);
+        let bytes = snap.to_bytes();
+        for cut in [0, 4, 19, bytes.len() / 2, bytes.len() - 1] {
+            assert!(
+                SimSnapshot::from_bytes(&bytes[..cut]).is_err(),
+                "cut at {cut} must fail"
+            );
+        }
+        assert!(SimSnapshot::from_bytes(b"not a snapshot at all").is_err());
+    }
+
+    #[test]
+    fn wrong_version_is_rejected_with_the_found_version() {
+        let snap = random_snapshot(3, 5);
+        let mut bytes = snap.to_bytes();
+        bytes[8..12].copy_from_slice(&999u32.to_le_bytes());
+        match SimSnapshot::from_bytes(&bytes) {
+            Err(SnapshotError::UnsupportedVersion { found, supported }) => {
+                assert_eq!(found, 999);
+                assert_eq!(supported, SNAPSHOT_VERSION);
+            }
+            other => panic!("expected UnsupportedVersion, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn tampered_json_state_fails_the_checksum() {
+        let snap = random_snapshot(4, 8);
+        let text = snap.to_json();
+        // Tamper with a state value without touching the checksum field.
+        let tampered = text.replacen("\"time\":", "\"time_x\":", 1);
+        assert_ne!(tampered, text);
+        match SimSnapshot::from_json(&tampered) {
+            Err(SnapshotError::ChecksumMismatch { .. }) | Err(SnapshotError::Malformed(_)) => {}
+            other => panic!("tampered JSON must be rejected, got {other:?}"),
+        }
+        // Wrong version in JSON.
+        let vx = text.replacen(
+            &format!("\"version\":{SNAPSHOT_VERSION}"),
+            "\"version\":42",
+            1,
+        );
+        assert!(matches!(
+            SimSnapshot::from_json(&vx),
+            Err(SnapshotError::UnsupportedVersion { found: 42, .. })
+        ));
+        // Entirely foreign JSON.
+        assert_eq!(
+            SimSnapshot::from_json("{\"hello\": 1}"),
+            Err(SnapshotError::BadMagic)
+        );
+    }
+
+    #[test]
+    fn dist_snapshot_binary_roundtrip_and_rejection() {
+        let base = random_snapshot(6, 30);
+        let snap = DistSnapshot {
+            step: 17,
+            time: 0.034,
+            rank_particles: base.particles.chunks(7).map(|c| c.to_vec()).collect(),
+            pending: base
+                .pending
+                .iter()
+                .map(|p| DistPending {
+                    due_step: p.due_step,
+                    center: [1.0, -2.0, 3.5],
+                    gas: p.predicted.clone(),
+                })
+                .collect(),
+        };
+        let bytes = snap.to_bytes();
+        assert_eq!(DistSnapshot::from_bytes(&bytes).expect("roundtrip"), snap);
+        assert_eq!(DistSnapshot::from_bytes(&bytes).unwrap().to_bytes(), bytes);
+        // The two binary formats are not confusable.
+        assert_eq!(
+            SimSnapshot::from_bytes(&bytes),
+            Err(SnapshotError::BadMagic)
+        );
+        let mut corrupt = bytes.clone();
+        let k = 20 + corrupt.len() / 3;
+        corrupt[k] ^= 1;
+        assert!(matches!(
+            DistSnapshot::from_bytes(&corrupt),
+            Err(SnapshotError::ChecksumMismatch { .. }) | Err(SnapshotError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn load_sniffs_binary_and_json_files() {
+        let snap = random_snapshot(5, 12);
+        let dir = std::env::temp_dir();
+        let bin_path = dir.join("asura_snapshot_sniff_test.bin");
+        let json_path = dir.join("asura_snapshot_sniff_test.json");
+        std::fs::write(&bin_path, snap.to_bytes()).unwrap();
+        std::fs::write(&json_path, snap.to_json()).unwrap();
+        assert_eq!(SimSnapshot::load(&bin_path).expect("binary load"), snap);
+        assert_eq!(SimSnapshot::load(&json_path).expect("json load"), snap);
+        assert!(matches!(
+            SimSnapshot::load(&dir.join("asura_snapshot_missing_file")),
+            Err(SnapshotError::Io(_))
+        ));
+        let _ = std::fs::remove_file(&bin_path);
+        let _ = std::fs::remove_file(&json_path);
+    }
+}

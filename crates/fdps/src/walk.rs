@@ -143,6 +143,48 @@ impl WalkIndex {
     pub fn is_empty(&self) -> bool {
         self.geo.is_empty()
     }
+
+    /// Capacities of the two node arrays (zero-allocation regression
+    /// bookkeeping, like [`InteractionList::capacities`]).
+    pub fn capacities(&self) -> (usize, usize) {
+        (self.geo.capacity(), self.com.capacity())
+    }
+
+    /// Refresh the index in place after a moment-only [`Tree::refresh`]:
+    /// the node topology (child links, leaf ranges) is unchanged, so only
+    /// the geometry (bounding boxes, sizes) and monopoles are rewritten.
+    /// O(nodes), zero heap allocation — the per-substep companion of
+    /// [`Tree::refresh`] that spares rebuilding the index every force
+    /// evaluation.
+    ///
+    /// The tree must have the same node count as the build this index came
+    /// from (a changed topology needs [`WalkIndex::rebuild_from`]).
+    pub fn refresh(&mut self, tree: &Tree) {
+        assert_eq!(
+            self.geo.len(),
+            tree.nodes.len(),
+            "walk index refresh requires an unchanged tree topology"
+        );
+        for (nd, (g, c)) in tree
+            .nodes
+            .iter()
+            .zip(self.geo.iter_mut().zip(self.com.iter_mut()))
+        {
+            let s = nd.size();
+            g.lo = [nd.bbox.lo.x, nd.bbox.lo.y, nd.bbox.lo.z];
+            g.hi = [nd.bbox.hi.x, nd.bbox.hi.y, nd.bbox.hi.z];
+            g.size2 = s * s;
+            *c = [nd.com.x, nd.com.y, nd.com.z, nd.mass];
+        }
+    }
+
+    /// Re-derive the index from a freshly built tree, reusing this index's
+    /// storage (clear + refill; grows only past the high-water mark).
+    pub fn rebuild_from(&mut self, tree: &Tree) {
+        self.geo.clear();
+        self.com.clear();
+        tree.fill_walk_index(&mut self.geo, &mut self.com);
+    }
 }
 
 impl Tree {
@@ -262,6 +304,13 @@ impl Tree {
     pub fn walk_index(&self) -> WalkIndex {
         let mut geo = Vec::with_capacity(self.nodes.len());
         let mut com = Vec::with_capacity(self.nodes.len());
+        self.fill_walk_index(&mut geo, &mut com);
+        WalkIndex { geo, com }
+    }
+
+    /// The index-construction core shared by [`Tree::walk_index`] and
+    /// [`WalkIndex::rebuild_from`]: appends one entry per node.
+    fn fill_walk_index(&self, geo: &mut Vec<GeoNode>, com: &mut Vec<[f64; 4]>) {
         for nd in &self.nodes {
             let (a, b) = if nd.bbox.is_empty() {
                 // Degenerate (empty tree root): encode as an empty leaf so
@@ -288,7 +337,6 @@ impl Tree {
             });
             com.push([nd.com.x, nd.com.y, nd.com.z, nd.mass]);
         }
-        WalkIndex { geo, com }
     }
 
     /// The hot-path MAC walk over a prebuilt [`WalkIndex`].
@@ -753,5 +801,89 @@ mod tests {
                 }
             }
         }
+    }
+
+    /// Walk the whole tree per-leaf and collect (sorted EP, sorted SP bits)
+    /// per target node, for index-equivalence assertions.
+    fn walk_all_indexed(tree: &Tree, index: &WalkIndex, theta: f64) -> Vec<(Vec<u32>, Vec<u64>)> {
+        let mut scratch = WalkScratch::default();
+        let mut list = InteractionList::default();
+        tree.groups(16)
+            .into_iter()
+            .map(|g| {
+                tree.walk_mac_indexed(index, &tree.nodes[g].bbox, theta, &mut scratch, &mut list);
+                let mut ep = list.ep.clone();
+                ep.sort_unstable();
+                let mut sp: Vec<u64> = list
+                    .sp
+                    .iter()
+                    .flat_map(|s| {
+                        [
+                            s.pos.x.to_bits(),
+                            s.pos.y.to_bits(),
+                            s.pos.z.to_bits(),
+                            s.mass.to_bits(),
+                        ]
+                    })
+                    .collect();
+                sp.sort_unstable();
+                (ep, sp)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn refreshed_index_matches_a_fresh_build_after_tree_refresh() {
+        let (mut pos, mass) = random_cloud(600, 9);
+        let mut tree = Tree::build(&pos, &mass, 8);
+        let mut index = tree.walk_index();
+        let caps = index.capacities();
+        // Drift the particles a little (tree topology kept), then
+        // moment-refresh both structures in place.
+        let mut rng = StdRng::seed_from_u64(10);
+        for p in pos.iter_mut() {
+            *p += Vec3::new(
+                rng.gen_range(-0.01..0.01),
+                rng.gen_range(-0.01..0.01),
+                rng.gen_range(-0.01..0.01),
+            );
+        }
+        tree.refresh(&pos, &mass);
+        index.refresh(&tree);
+        assert_eq!(index.capacities(), caps, "refresh must not reallocate");
+        let fresh = tree.walk_index();
+        assert_eq!(
+            walk_all_indexed(&tree, &index, 0.5),
+            walk_all_indexed(&tree, &fresh, 0.5),
+            "refreshed index must walk identically to a rebuilt one"
+        );
+    }
+
+    #[test]
+    fn rebuild_from_reuses_storage_and_matches_walk_index() {
+        let (pos, mass) = random_cloud(400, 11);
+        let tree = Tree::build(&pos, &mass, 8);
+        let mut index = tree.walk_index();
+        // Rebuild against a differently shaped tree: same result as a
+        // fresh walk_index, storage reused where capacity allows.
+        let (pos2, mass2) = random_cloud(350, 12);
+        let tree2 = Tree::build(&pos2, &mass2, 8);
+        index.rebuild_from(&tree2);
+        assert_eq!(index.len(), tree2.nodes.len());
+        let fresh = tree2.walk_index();
+        assert_eq!(
+            walk_all_indexed(&tree2, &index, 0.4),
+            walk_all_indexed(&tree2, &fresh, 0.4)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "unchanged tree topology")]
+    fn refresh_rejects_a_topology_change() {
+        let (pos, mass) = random_cloud(300, 13);
+        let tree = Tree::build(&pos, &mass, 8);
+        let mut index = tree.walk_index();
+        let small = Tree::build(&pos[..100], &mass[..100], 8);
+        index.refresh(&small);
     }
 }

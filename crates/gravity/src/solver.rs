@@ -9,7 +9,7 @@
 //! so a simulation's steady-state force evaluation does not grow the heap.
 
 use crate::kernel::{accumulate_f64, accumulate_mixed, GravityAccum};
-use fdps::walk::{InteractionList, WalkScratch};
+use fdps::walk::{InteractionList, WalkIndex, WalkScratch};
 use fdps::{Tree, Vec3};
 use rayon::prelude::*;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -106,8 +106,30 @@ impl GravitySolver {
         acc: &mut Vec<Vec3>,
         pot: &mut Vec<f64>,
     ) -> u64 {
+        let index = tree.walk_index();
+        self.evaluate_into_indexed(tree, &index, pos, mass, n_local, acc, pot)
+    }
+
+    /// [`GravitySolver::evaluate_into`] over a caller-owned [`WalkIndex`].
+    ///
+    /// The index must belong to `tree` (same build, or [`WalkIndex::refresh`]ed
+    /// after a [`Tree::refresh`]). Drivers that evaluate forces repeatedly on
+    /// the same or a moment-refreshed tree keep the index alongside the tree
+    /// instead of paying an O(nodes) index build per evaluation.
+    #[allow(clippy::too_many_arguments)]
+    pub fn evaluate_into_indexed(
+        &self,
+        tree: &Tree,
+        index: &WalkIndex,
+        pos: &[Vec3],
+        mass: &[f64],
+        n_local: usize,
+        acc: &mut Vec<Vec3>,
+        pot: &mut Vec<f64>,
+    ) -> u64 {
         let interactions = AtomicU64::new(0);
-        let per_group = self.accumulate_groups(tree, pos, mass, n_local, None, &interactions);
+        let per_group =
+            self.accumulate_groups(tree, index, pos, mass, n_local, None, &interactions);
         acc.clear();
         acc.resize(n_local, Vec3::ZERO);
         pot.clear();
@@ -132,9 +154,11 @@ impl GravitySolver {
     /// Each group owns disjoint i-particles, so groups parallelize
     /// cleanly; a worker's walk/list/SoA scratch persists across its
     /// groups, and only the per-group outputs are freshly allocated.
+    #[allow(clippy::too_many_arguments)]
     fn accumulate_groups(
         &self,
         tree: &Tree,
+        index: &WalkIndex,
         pos: &[Vec3],
         mass: &[f64],
         n_local: usize,
@@ -143,8 +167,6 @@ impl GravitySolver {
     ) -> Vec<(Vec<u32>, Vec<GravityAccum>)> {
         let eps2 = 2.0 * self.eps * self.eps; // eps_i^2 + eps_j^2, equal eps
         let groups = tree.groups(self.n_group);
-        // One compact walk index per evaluation, shared by all workers.
-        let index = tree.walk_index();
 
         groups
             .par_iter()
@@ -162,7 +184,7 @@ impl GravitySolver {
                     return (targets, Vec::new());
                 }
                 tree.walk_mac_indexed(
-                    &index,
+                    index,
                     &node.bbox,
                     self.theta,
                     &mut scratch.walk,
@@ -232,6 +254,26 @@ impl GravitySolver {
         acc: &mut [Vec3],
         pot: &mut [f64],
     ) -> u64 {
+        let index = tree.walk_index();
+        self.evaluate_into_active_indexed(tree, &index, pos, mass, n_local, active_mask, acc, pot)
+    }
+
+    /// [`GravitySolver::evaluate_into_active`] over a caller-owned
+    /// [`WalkIndex`] — the block-timestep hot path: on fine substeps the
+    /// tree is moment-refreshed and the index [`WalkIndex::refresh`]ed in
+    /// place, so neither structure is rebuilt per force evaluation.
+    #[allow(clippy::too_many_arguments)]
+    pub fn evaluate_into_active_indexed(
+        &self,
+        tree: &Tree,
+        index: &WalkIndex,
+        pos: &[Vec3],
+        mass: &[f64],
+        n_local: usize,
+        active_mask: &[bool],
+        acc: &mut [Vec3],
+        pot: &mut [f64],
+    ) -> u64 {
         assert!(n_local <= pos.len());
         assert!(
             active_mask.len() >= n_local,
@@ -242,8 +284,15 @@ impl GravitySolver {
             "result buffers must be pre-sized (run a full evaluation first)"
         );
         let interactions = AtomicU64::new(0);
-        let per_group =
-            self.accumulate_groups(tree, pos, mass, n_local, Some(active_mask), &interactions);
+        let per_group = self.accumulate_groups(
+            tree,
+            index,
+            pos,
+            mass,
+            n_local,
+            Some(active_mask),
+            &interactions,
+        );
         for (targets, accum) in per_group {
             for (k, &i) in targets.iter().enumerate() {
                 acc[i as usize] = accum[k].acc * self.g;

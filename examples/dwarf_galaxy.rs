@@ -2,91 +2,26 @@
 //! paper lists in §4.2) with the full physics loop: gravity, SPH, cooling,
 //! star formation, and surrogate-handled supernovae.
 //!
+//! The workload is the `dwarf_galaxy` entry of the scenario registry
+//! (`asura::scenarios`), shared with the `asura` CLI:
+//!
 //! ```sh
 //! cargo run --release --example dwarf_galaxy
+//! cargo run --release --bin asura -- --scenario dwarf_galaxy
 //! ```
 
+use asura::scenarios;
 use asura_core::diagnostics::{star_formation_rate, surface_density, Projection};
-use asura_core::{Particle, Scheme, SimConfig, Simulation};
-use fdps::Vec3;
-use galactic_ic::GalaxyModel;
+use asura_core::Simulation;
 
 fn main() {
-    let model = GalaxyModel::mw_mini();
-    let real = model.realize(2000, 1000, 3000, 11);
-
-    let mut particles = Vec::new();
-    let mut id = 0u64;
-    for (p, v) in real.dm.pos.iter().zip(&real.dm.vel) {
-        particles.push(Particle::dm(
-            id,
-            Vec3::new(p[0], p[1], p[2]),
-            Vec3::new(v[0], v[1], v[2]),
-            real.m_dm_particle,
-        ));
-        id += 1;
-    }
-    for (p, v) in real.stars.pos.iter().zip(&real.stars.vel) {
-        particles.push(Particle::star(
-            id,
-            Vec3::new(p[0], p[1], p[2]),
-            Vec3::new(v[0], v[1], v[2]),
-            real.m_star_particle,
-            -500.0,
-        ));
-        id += 1;
-    }
-    for (p, v) in real.gas.pos.iter().zip(&real.gas.vel) {
-        particles.push(Particle::gas(
-            id,
-            Vec3::new(p[0], p[1], p[2]),
-            Vec3::new(v[0], v[1], v[2]),
-            real.m_gas_particle,
-            2.0, // cooler start: closer to star-forming conditions
-            model.gas_disk.r_scale * 0.04,
-        ));
-        id += 1;
-    }
-
-    // Young massive stars scattered through the disk, timed to explode
-    // during the run — the surrogate path in action.
-    use rand::{rngs::StdRng, Rng, SeedableRng};
-    let mut rng = StdRng::seed_from_u64(77);
-    for k in 0..12 {
-        let m = rng.gen_range(9.0..20.0);
-        let life = astro::lifetime::stellar_lifetime_myr(m);
-        let t_explode = rng.gen_range(1.0..7.5);
-        let r = rng.gen_range(100.0..1500.0);
-        let th = rng.gen_range(0.0..std::f64::consts::TAU);
-        particles.push(Particle::star(
-            id + k,
-            Vec3::new(r * th.cos(), r * th.sin(), 0.0),
-            Vec3::ZERO,
-            m,
-            t_explode - life,
-        ));
-    }
-
-    let cfg = SimConfig {
-        scheme: Scheme::Surrogate,
-        dt_global: 0.25,
-        pool_latency_steps: 4,
-        eps: 15.0,
-        n_ngb: 24,
-        cooling: true,
-        star_formation: true,
-        // Coarse-resolution thresholds: 80,000 M_sun gas particles never
-        // reach the star-by-star 100 cm^-3 criterion.
-        sf_rho_min: 0.005,
-        sf_t_max: 2.0e4,
-        sf_efficiency: 0.05,
-        ..Default::default()
-    };
+    let scenario = scenarios::find("dwarf_galaxy").expect("registered scenario");
+    let (cfg, particles) = scenario.build(42);
     let mut sim = Simulation::new(cfg, particles, 23);
 
     println!(
         "dwarf galaxy ({}), {} particles",
-        model.name,
+        scenario.description,
         sim.particles.len()
     );
     println!(
@@ -129,12 +64,7 @@ fn main() {
     );
 
     // Gas morphology at the end (the Fig. 5-style map).
-    let map = surface_density(
-        &sim.particles,
-        Projection::FaceOn,
-        model.gas_disk.r_max * 0.5,
-        32,
-    );
+    let map = surface_density(&sim.particles, Projection::FaceOn, scenario.map_half, 32);
     let peak = map.data.iter().cloned().fold(0.0f64, f64::max);
     println!(
         "\nface-on gas map: total {:.2e} M_sun, peak column {:.2e} M_sun/pc^2",

@@ -1,61 +1,27 @@
 //! Quickstart: a star-by-star disk-galaxy patch integrated with the
 //! surrogate SN scheme in under a minute.
 //!
+//! The initial condition and configuration come from the `quickstart`
+//! entry of the scenario registry (`asura::scenarios`) — the same workload
+//! the `asura` CLI runs by name:
+//!
 //! ```sh
 //! cargo run --release --example quickstart
+//! cargo run --release --bin asura -- --scenario quickstart
 //! ```
 
-use asura_core::{Particle, Scheme, SimConfig, Simulation};
-use fdps::Vec3;
-use galactic_ic::GalaxyModel;
+use asura::scenarios;
+use asura_core::Simulation;
 
 fn main() {
-    // 1. Realize a scaled-down Milky Way (Model MW-mini, paper §4.2).
-    let model = GalaxyModel::mw_mini();
-    let real = model.realize(1500, 1000, 1500, 42);
-    println!(
-        "Model {}: {:.1e} M_sun DM + {:.1e} M_sun stars + {:.1e} M_sun gas",
-        model.name, model.m_dm, model.m_star, model.m_gas
-    );
-    println!(
-        "particle masses: DM {:.0} / star {:.0} / gas {:.0} M_sun",
-        real.m_dm_particle, real.m_star_particle, real.m_gas_particle
-    );
+    // 1. Realize the registered scenario (Model MW-mini, paper §4.2).
+    let scenario = scenarios::find("quickstart").expect("registered scenario");
+    let (cfg, particles) = scenario.build(42);
+    println!("scenario {}: {}", scenario.name, scenario.description);
+    println!("{} particles realized", particles.len());
 
-    // 2. Pack the realization into simulation particles.
-    let mut particles = Vec::new();
-    let mut id = 0u64;
-    let push =
-        |kind: u8, p: &[f64; 3], v: &[f64; 3], m: f64, id: &mut u64, out: &mut Vec<Particle>| {
-            let pos = Vec3::new(p[0], p[1], p[2]);
-            let vel = Vec3::new(v[0], v[1], v[2]);
-            out.push(match kind {
-                0 => Particle::dm(*id, pos, vel, m),
-                1 => Particle::star(*id, pos, vel, m, -500.0),
-                _ => Particle::gas(*id, pos, vel, m, 8.0, model.gas_disk.r_scale * 0.05),
-            });
-            *id += 1;
-        };
-    for (p, v) in real.dm.pos.iter().zip(&real.dm.vel) {
-        push(0, p, v, real.m_dm_particle, &mut id, &mut particles);
-    }
-    for (p, v) in real.stars.pos.iter().zip(&real.stars.vel) {
-        push(1, p, v, real.m_star_particle, &mut id, &mut particles);
-    }
-    for (p, v) in real.gas.pos.iter().zip(&real.gas.vel) {
-        push(2, p, v, real.m_gas_particle, &mut id, &mut particles);
-    }
-
-    // 3. Integrate with the paper's scheme: fixed global timestep, SN
+    // 2. Integrate with the paper's scheme: fixed global timestep, SN
     //    regions bypassed by the (here: analytic) surrogate.
-    let cfg = SimConfig {
-        scheme: Scheme::Surrogate,
-        dt_global: 0.1,
-        pool_latency_steps: 5,
-        eps: 20.0,
-        n_ngb: 24,
-        ..Default::default()
-    };
     let mut sim = Simulation::new(cfg, particles, 7);
     let e0 = sim.total_energy();
     for chunk in 0..4 {

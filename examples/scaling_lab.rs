@@ -6,7 +6,7 @@
 //! cargo run --release --example scaling_lab
 //! ```
 
-use asura_core::dist::{run_distributed, DistConfig};
+use asura_core::dist::{run_distributed, DistConfig, PredictorKind};
 use asura_core::{Particle, Scheme, SimConfig};
 use fdps::exchange::Routing;
 use fdps::Vec3;
@@ -59,6 +59,8 @@ fn main() {
             ..Default::default()
         },
         steps: 6,
+        predictor: PredictorKind::SedovOverlay,
+        snapshot_every: 0,
     };
     println!(
         "executing {} steps on {} main + {} pool ranks ({} particles) ...\n",

@@ -1,0 +1,356 @@
+//! `asura` — the scenario-runner CLI.
+//!
+//! One operational entry point over the registered scenarios
+//! (see [`asura::scenarios`]): pick a workload by name, override the
+//! scheme/timestep mode/step count, checkpoint at a cadence, resume from a
+//! snapshot, and collect a diagnostics time series — all under `results/`.
+//!
+//! ```sh
+//! asura --list
+//! asura --scenario quickstart --steps 5 --snapshot-every 2
+//! asura --scenario quickstart --resume results/quickstart/checkpoint.bin --steps 5
+//! asura --scenario supernova_remnant --snapshot-format json
+//! asura --scenario spiked_dt --scheme conventional --timestep block:8
+//! ```
+//!
+//! Exit codes: 0 success, 1 runtime failure (unreadable snapshot, I/O),
+//! 2 usage error.
+
+use asura::scenarios;
+use asura_core::diagnostics::{TimeSample, TimeSeries};
+use asura_core::snapshot::SimSnapshot;
+use asura_core::{Scheme, Simulation, TimestepMode};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+asura — ASURA-FDPS-ML scenario runner
+
+USAGE:
+    asura --list
+    asura --scenario <name> [OPTIONS]
+    asura --resume <snapshot> [--scenario <name>] [OPTIONS]
+
+OPTIONS:
+    --list                     list registered scenarios and exit
+    --scenario <name>          scenario to run (also names the results/ subdirectory)
+    --resume <path>            continue from a snapshot file (binary or JSON)
+    --steps <n>                steps to integrate (default: the scenario's default)
+    --scheme <s>               surrogate | conventional
+    --timestep <t>             global | block | block:<max_level>
+    --snapshot-every <k>       checkpoint cadence in steps (0 = off)
+    --snapshot-format <f>      bin | json (default bin)
+    --seed <s>                 scenario realization / RNG seed (default 42)
+    --diag-every <k>           diagnostics sampling cadence (default 1)
+    --out-dir <dir>            output root (default results)
+    --help                     this text
+";
+
+struct Args {
+    list: bool,
+    scenario: Option<String>,
+    resume: Option<PathBuf>,
+    steps: Option<usize>,
+    scheme: Option<Scheme>,
+    timestep: Option<TimestepMode>,
+    snapshot_every: Option<u64>,
+    snapshot_format: SnapFormat,
+    seed: u64,
+    diag_every: u64,
+    out_dir: PathBuf,
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum SnapFormat {
+    Bin,
+    Json,
+}
+
+impl SnapFormat {
+    fn ext(self) -> &'static str {
+        match self {
+            SnapFormat::Bin => "bin",
+            SnapFormat::Json => "json",
+        }
+    }
+}
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut args = Args {
+        list: false,
+        scenario: None,
+        resume: None,
+        steps: None,
+        scheme: None,
+        timestep: None,
+        snapshot_every: None,
+        snapshot_format: SnapFormat::Bin,
+        seed: 42,
+        diag_every: 1,
+        out_dir: PathBuf::from("results"),
+    };
+    let mut it = argv.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> Result<&String, String> {
+            it.next().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--help" | "-h" => return Err(String::new()),
+            "--list" => args.list = true,
+            "--scenario" => args.scenario = Some(value("--scenario")?.clone()),
+            "--resume" => args.resume = Some(PathBuf::from(value("--resume")?)),
+            "--steps" => {
+                args.steps = Some(
+                    value("--steps")?
+                        .parse()
+                        .map_err(|e| format!("--steps: {e}"))?,
+                )
+            }
+            "--scheme" => {
+                args.scheme = Some(match value("--scheme")?.as_str() {
+                    "surrogate" => Scheme::Surrogate,
+                    "conventional" => Scheme::Conventional,
+                    other => return Err(format!("unknown scheme `{other}`")),
+                })
+            }
+            "--timestep" => {
+                let v = value("--timestep")?.clone();
+                args.timestep = Some(match v.as_str() {
+                    "global" => TimestepMode::Global,
+                    "block" => TimestepMode::Block { max_level: 8 },
+                    other => match other.strip_prefix("block:") {
+                        Some(l) => TimestepMode::Block {
+                            max_level: l.parse().map_err(|e| format!("--timestep block: {e}"))?,
+                        },
+                        None => return Err(format!("unknown timestep mode `{other}`")),
+                    },
+                })
+            }
+            "--snapshot-every" => {
+                args.snapshot_every = Some(
+                    value("--snapshot-every")?
+                        .parse()
+                        .map_err(|e| format!("--snapshot-every: {e}"))?,
+                )
+            }
+            "--snapshot-format" => {
+                args.snapshot_format = match value("--snapshot-format")?.as_str() {
+                    "bin" => SnapFormat::Bin,
+                    "json" => SnapFormat::Json,
+                    other => return Err(format!("unknown snapshot format `{other}`")),
+                }
+            }
+            "--seed" => {
+                args.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?
+            }
+            "--diag-every" => {
+                args.diag_every = value("--diag-every")?
+                    .parse()
+                    .map_err(|e| format!("--diag-every: {e}"))?
+            }
+            "--out-dir" => args.out_dir = PathBuf::from(value("--out-dir")?),
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    Ok(args)
+}
+
+fn write_snapshot(
+    sim: &Simulation,
+    dir: &Path,
+    format: SnapFormat,
+    written: &mut Vec<PathBuf>,
+) -> std::io::Result<()> {
+    let snap = sim.snapshot();
+    let stamped = dir.join(format!("snap_step{:06}.{}", sim.step_count, format.ext()));
+    let checkpoint = dir.join(format!("checkpoint.{}", format.ext()));
+    match format {
+        SnapFormat::Bin => {
+            let bytes = snap.to_bytes();
+            std::fs::write(&stamped, &bytes)?;
+            std::fs::write(&checkpoint, &bytes)?;
+        }
+        SnapFormat::Json => {
+            let text = snap.to_json();
+            std::fs::write(&stamped, &text)?;
+            std::fs::write(&checkpoint, &text)?;
+        }
+    }
+    written.push(stamped);
+    Ok(())
+}
+
+fn run() -> Result<(), String> {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = parse_args(&argv).map_err(|e| {
+        if e.is_empty() {
+            String::new()
+        } else {
+            format!("usage: {e}")
+        }
+    })?;
+
+    if args.list {
+        println!("registered scenarios:");
+        for s in scenarios::SCENARIOS {
+            println!(
+                "  {:<18} {:>4} default steps   {}",
+                s.name, s.default_steps, s.description
+            );
+        }
+        return Ok(());
+    }
+
+    // Resolve the run: a fresh scenario build, or a snapshot restore.
+    let (mut sim, run_name, default_steps) = match (&args.resume, &args.scenario) {
+        (Some(path), scenario) => {
+            let snap = SimSnapshot::load(path).map_err(|e| format!("--resume {path:?}: {e}"))?;
+            let name = scenario.clone().unwrap_or_else(|| "resumed".to_string());
+            println!(
+                "resumed from {} (step {}, t = {:.4} Myr, {} particles, {} regions in flight)",
+                path.display(),
+                snap.step_count,
+                snap.time,
+                snap.particles.len(),
+                snap.pending.len()
+            );
+            let sim = Simulation::restore(&snap);
+            // When the scenario is named alongside --resume, honour its
+            // registered default step count; otherwise fall back to 10.
+            let default_steps = scenarios::find(&name).map_or(10, |s| s.default_steps);
+            (sim, name, default_steps)
+        }
+        (None, Some(name)) => {
+            let scenario = scenarios::find(name).ok_or_else(|| {
+                format!(
+                    "unknown scenario `{name}` (available: {})",
+                    scenarios::SCENARIOS
+                        .iter()
+                        .map(|s| s.name)
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                )
+            })?;
+            let (cfg, particles) = scenario.build(args.seed);
+            println!(
+                "scenario {} ({} particles): {}",
+                scenario.name,
+                particles.len(),
+                scenario.description
+            );
+            (
+                Simulation::new(cfg, particles, args.seed),
+                scenario.name.to_string(),
+                scenario.default_steps,
+            )
+        }
+        (None, None) => {
+            return Err("usage: either --scenario <name> or --resume <snapshot> is required".into())
+        }
+    };
+
+    // Flag overrides on top of the scenario/snapshot config.
+    if let Some(s) = args.scheme {
+        sim.config.scheme = s;
+    }
+    if let Some(t) = args.timestep {
+        sim.config.timestep = t;
+    }
+    if let Some(k) = args.snapshot_every {
+        sim.config.snapshot_every = k;
+    }
+    let steps = args.steps.unwrap_or(default_steps);
+    let map_half = scenarios::find(&run_name).map_or(100.0, |s| s.map_half);
+
+    let dir = args.out_dir.join(&run_name);
+    std::fs::create_dir_all(&dir).map_err(|e| format!("create {}: {e}", dir.display()))?;
+
+    println!(
+        "integrating {steps} steps (dt = {} Myr, scheme {:?}, timestep {:?}, snapshot every {})",
+        sim.config.dt_global, sim.config.scheme, sim.config.timestep, sim.config.snapshot_every
+    );
+
+    let mut series = TimeSeries::new(run_name.clone());
+    let mut written: Vec<PathBuf> = Vec::new();
+    let mut t_prev = sim.time;
+    let mut snap_io: Option<std::io::Error> = None;
+    for _ in 0..steps {
+        // One step at a time through the core cadence API so the periodic
+        // checkpoint logic under test here is the library's, not the CLI's.
+        let dir_ref = &dir;
+        let written_ref = &mut written;
+        let err_ref = &mut snap_io;
+        sim.run_with_snapshots(1, |s| {
+            if err_ref.is_none() {
+                if let Err(e) = write_snapshot(s, dir_ref, args.snapshot_format, written_ref) {
+                    *err_ref = Some(e);
+                }
+            }
+        });
+        if let Some(e) = snap_io.take() {
+            return Err(format!("writing snapshot under {}: {e}", dir.display()));
+        }
+        if args.diag_every > 0 && sim.step_count % args.diag_every == 0 {
+            series.record(TimeSample::measure(&sim, t_prev, map_half));
+            t_prev = sim.time;
+        }
+    }
+
+    // Always leave a final checkpoint + the diagnostics series (unless the
+    // cadence already produced it on the last step).
+    let final_stamped = dir.join(format!(
+        "snap_step{:06}.{}",
+        sim.step_count,
+        args.snapshot_format.ext()
+    ));
+    if written.last() != Some(&final_stamped) {
+        write_snapshot(&sim, &dir, args.snapshot_format, &mut written)
+            .map_err(|e| format!("writing final snapshot: {e}"))?;
+    }
+    let diag_path = dir.join("diagnostics.json");
+    std::fs::write(&diag_path, series.to_json())
+        .map_err(|e| format!("write {}: {e}", diag_path.display()))?;
+
+    println!(
+        "done: t = {:.4} Myr after {} total steps | {} SNe, {} regions applied, {} in flight, {} stars formed",
+        sim.time,
+        sim.step_count,
+        sim.stats.sn_events,
+        sim.stats.regions_applied,
+        sim.pending_regions(),
+        sim.stats.stars_formed,
+    );
+    for p in &written {
+        println!("[snapshot] {}", p.display());
+    }
+    println!(
+        "[snapshot] {}",
+        dir.join(format!("checkpoint.{}", args.snapshot_format.ext()))
+            .display()
+    );
+    println!(
+        "[diagnostics] {} ({} samples)",
+        diag_path.display(),
+        series.len()
+    );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) if e.is_empty() || e.starts_with("usage:") => {
+            if !e.is_empty() {
+                eprintln!("{e}\n");
+            }
+            eprint!("{USAGE}");
+            ExitCode::from(2)
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,8 +1,12 @@
 //! Umbrella crate for the ASURA-FDPS-ML reproduction workspace.
 //!
 //! Re-exports every subsystem crate so the integration tests under
-//! `tests/` and the runnable `examples/` have a single dependency root.
-//! Library users should depend on the individual crates directly.
+//! `tests/` and the runnable `examples/` have a single dependency root,
+//! and hosts the [`scenarios`] registry behind the `asura` scenario-runner
+//! binary (`src/bin/asura.rs`). Library users should depend on the
+//! individual crates directly.
+
+pub mod scenarios;
 
 pub use astro;
 pub use asura_core;

@@ -1,7 +1,7 @@
 //! Integration tests of the distributed main/pool driver across mpisim
 //! ranks, including the SN pool round trip and routing equivalence.
 
-use asura_core::dist::{run_distributed, DistConfig};
+use asura_core::dist::{run_distributed, DistConfig, PredictorKind};
 use asura_core::{Particle, Scheme, SimConfig};
 use fdps::exchange::Routing;
 use fdps::Vec3;
@@ -68,6 +68,8 @@ fn base_cfg(steps: usize) -> DistConfig {
             eps: 2.0,
             ..Default::default()
         },
+        predictor: PredictorKind::SedovOverlay,
+        snapshot_every: 0,
         steps,
     }
 }

@@ -1,0 +1,235 @@
+//! Restart determinism: the checkpoint/restore subsystem's acceptance
+//! tests. A run of `2k` steps must be **bitwise identical** to running `k`
+//! steps, snapshotting, serializing the snapshot through the on-disk
+//! format, restoring, and running `k` more — in both timestep modes and
+//! with an SN region prediction still pending in the pool queue at the
+//! snapshot step. This forces every piece of hidden driver state (RNG
+//! stream, CFL signal-speed stash, pending predictions, schedule, id
+//! counter) to be explicit and serialized.
+
+use asura::scenarios;
+use asura_core::snapshot::SimSnapshot;
+use asura_core::{Particle, Scheme, SimConfig, Simulation, TimestepMode};
+use fdps::Vec3;
+
+/// Exact-state comparison: particle vectors (all fields, f64 `==`), clocks
+/// and cumulative statistics.
+fn assert_states_identical(full: &Simulation, resumed: &Simulation, label: &str) {
+    assert_eq!(full.step_count, resumed.step_count, "{label}: step_count");
+    assert_eq!(full.time.to_bits(), resumed.time.to_bits(), "{label}: time");
+    assert_eq!(
+        full.particles.len(),
+        resumed.particles.len(),
+        "{label}: particle count"
+    );
+    for (a, b) in full.particles.iter().zip(&resumed.particles) {
+        assert_eq!(a, b, "{label}: particle {} diverged", a.id);
+    }
+    assert_eq!(full.stats, resumed.stats, "{label}: stats");
+    assert_eq!(
+        full.pending_regions(),
+        resumed.pending_regions(),
+        "{label}: pending queue length"
+    );
+}
+
+/// Run `2k` steps straight; independently run `k`, push the snapshot
+/// through the **serialized** binary format, restore, run `k` more.
+fn restart_roundtrip(
+    cfg: SimConfig,
+    particles: Vec<Particle>,
+    seed: u64,
+    k: usize,
+    label: &str,
+) -> (Simulation, Simulation, SimSnapshot) {
+    let mut full = Simulation::new(cfg, particles.clone(), seed);
+    full.run(2 * k);
+
+    let mut first = Simulation::new(cfg, particles, seed);
+    first.run(k);
+    let snap = first.snapshot();
+    // On-disk round trip: restart from bytes, not from the live object.
+    let snap = SimSnapshot::from_bytes(&snap.to_bytes()).expect("binary roundtrip");
+    // The JSON encoding must restart identically too.
+    let via_json = SimSnapshot::from_json(&snap.to_json()).expect("json roundtrip");
+    assert_eq!(via_json, snap, "{label}: JSON and binary restarts disagree");
+
+    let mut resumed = Simulation::restore(&snap);
+    resumed.run(k);
+    assert_states_identical(&full, &resumed, label);
+    (full, resumed, snap)
+}
+
+fn gas_blob(n_side: usize, spacing: f64, u: f64) -> Vec<Particle> {
+    let mut out = Vec::new();
+    let mut id = 0;
+    for i in 0..n_side {
+        for j in 0..n_side {
+            for k in 0..n_side {
+                out.push(Particle::gas(
+                    id,
+                    Vec3::new(
+                        (i as f64 - n_side as f64 / 2.0) * spacing,
+                        (j as f64 - n_side as f64 / 2.0) * spacing,
+                        (k as f64 - n_side as f64 / 2.0) * spacing,
+                    ),
+                    Vec3::ZERO,
+                    1.0,
+                    u,
+                    spacing * 1.3,
+                ));
+                id += 1;
+            }
+        }
+    }
+    out
+}
+
+#[test]
+fn surrogate_global_restart_with_pending_sn_region_is_bitwise_identical() {
+    // The supernova_remnant scenario: SN fires on step 2, pool latency 5,
+    // so at the snapshot step (4) the prediction is still in flight — the
+    // pending queue must survive serialization and apply on schedule.
+    let (cfg, particles) = scenarios::find("supernova_remnant")
+        .expect("registered")
+        .build(1);
+    let (full, _, snap) = restart_roundtrip(cfg, particles, 5, 4, "surrogate/global");
+    assert_eq!(full.stats.sn_events, 1, "the SN must fire before step 4");
+    assert_eq!(
+        snap.pending.len(),
+        1,
+        "the prediction must be in flight at the snapshot step"
+    );
+    assert_eq!(
+        full.stats.regions_applied, 1,
+        "and must have been applied by step 8"
+    );
+}
+
+#[test]
+fn conventional_global_restart_is_bitwise_identical() {
+    // The CFL-adaptive shared step consumes the *previous* step's
+    // signal-speed stash — restart determinism proves last_vsig is
+    // serialized, not silently recomputed. Hot gas so the CFL criterion
+    // actually undercuts the global step.
+    let mut particles = gas_blob(6, 0.5, 1.0e5);
+    particles.push(Particle::dm(
+        particles.len() as u64,
+        Vec3::new(6.0, 0.0, 0.0),
+        Vec3::ZERO,
+        50.0,
+    ));
+    let cfg = SimConfig {
+        scheme: Scheme::Conventional,
+        dt_global: 2.0e-3,
+        cooling: false,
+        star_formation: false,
+        eps: 1.0,
+        ..Default::default()
+    };
+    let (full, resumed, _) = restart_roundtrip(cfg, particles, 3, 3, "conventional/global");
+    assert!(full.stats.dt_min_seen < cfg.dt_global, "CFL engaged");
+    assert_eq!(
+        full.stats.dt_min_seen.to_bits(),
+        resumed.stats.dt_min_seen.to_bits()
+    );
+}
+
+#[test]
+fn conventional_block_restart_is_bitwise_identical() {
+    // The spiked-dt stress scenario under hierarchical block timesteps:
+    // schedule assignment, substep bookkeeping and cross-substep tree reuse
+    // must all re-derive identically after the restore.
+    let (cfg, particles) = scenarios::find("spiked_dt").expect("registered").build(1);
+    assert!(matches!(cfg.timestep, TimestepMode::Block { .. }));
+    let (full, resumed, snap) = restart_roundtrip(cfg, particles, 7, 3, "conventional/block");
+    assert!(
+        full.stats.substeps > full.stats.steps,
+        "the hierarchy must engage"
+    );
+    assert!(
+        snap.schedule.is_some(),
+        "the snapshot must carry the level assignment"
+    );
+    assert_eq!(full.stats.substeps, resumed.stats.substeps);
+    assert_eq!(full.stats.tree_refreshes, resumed.stats.tree_refreshes);
+    assert_eq!(full.stats.tree_rebuilds, resumed.stats.tree_rebuilds);
+}
+
+#[test]
+fn restart_preserves_the_star_formation_rng_stream() {
+    // Stochastic star formation draws from the driver RNG every step; a
+    // restart that re-seeded instead of restoring the stream would fork the
+    // history. Dense cold gas so stars actually form on both sides of the
+    // snapshot.
+    let mut particles = gas_blob(5, 0.5, 1e-4);
+    for p in particles.iter_mut() {
+        p.mass = 5.0;
+    }
+    let cfg = SimConfig {
+        dt_global: 0.5,
+        cooling: false,
+        star_formation: true,
+        eps: 0.5,
+        ..Default::default()
+    };
+    let (full, resumed, _) = restart_roundtrip(cfg, particles, 6, 3, "sf-rng");
+    assert!(
+        full.stats.stars_formed > 0,
+        "stars must form for the test to bite"
+    );
+    assert_eq!(full.stats.stars_formed, resumed.stats.stars_formed);
+    // New stars got ids from the restored counter, not duplicates.
+    let mut ids: Vec<u64> = resumed.particles.iter().map(|p| p.id).collect();
+    let n = ids.len();
+    ids.sort_unstable();
+    ids.dedup();
+    assert_eq!(ids.len(), n, "duplicate ids after restart");
+}
+
+#[test]
+fn snapshot_cadence_fires_through_run_with_snapshots() {
+    let (cfg, particles) = scenarios::find("spiked_dt").expect("registered").build(2);
+    let cfg = SimConfig {
+        snapshot_every: 2,
+        ..cfg
+    };
+    let mut sim = Simulation::new(cfg, particles, 9);
+    let mut captured: Vec<u64> = Vec::new();
+    sim.run_with_snapshots(5, |s| captured.push(s.step_count));
+    assert_eq!(captured, vec![2, 4], "cadence 2 over 5 steps");
+    // Cadence 0 never fires.
+    sim.config.snapshot_every = 0;
+    sim.run_with_snapshots(2, |_| panic!("cadence 0 must never snapshot"));
+}
+
+#[test]
+fn corrupt_and_foreign_snapshot_files_are_rejected_without_panic() {
+    let (cfg, particles) = scenarios::find("supernova_remnant")
+        .expect("registered")
+        .build(3);
+    let mut sim = Simulation::new(cfg, particles, 1);
+    sim.run(3);
+    let snap = sim.snapshot();
+
+    // Corrupt every single payload byte position? Too slow — sample a
+    // spread of positions; each flip must produce an error, never a panic.
+    let bytes = snap.to_bytes();
+    for k in (20..bytes.len()).step_by(bytes.len() / 37 + 1) {
+        let mut corrupt = bytes.clone();
+        corrupt[k] ^= 0x10;
+        assert!(
+            SimSnapshot::from_bytes(&corrupt).is_err(),
+            "flip at byte {k} must be detected"
+        );
+    }
+    // Truncations at every header boundary.
+    for cut in [0, 7, 8, 12, 19, 20, bytes.len() - 1] {
+        assert!(SimSnapshot::from_bytes(&bytes[..cut]).is_err());
+    }
+    // JSON with a flipped state digit fails the checksum.
+    let text = snap.to_json();
+    let tampered = text.replacen("\"step_count\":3", "\"step_count\":4", 1);
+    assert_ne!(tampered, text, "test must actually tamper");
+    assert!(SimSnapshot::from_json(&tampered).is_err());
+}

@@ -140,6 +140,21 @@ pub mod rngs {
         s: [u64; 4],
     }
 
+    impl StdRng {
+        /// The raw xoshiro256** state, for checkpoint serialization.
+        /// Not part of the upstream `rand` API (ChaCha12 state is opaque);
+        /// the offline shim exposes it so simulations can restart their
+        /// random streams exactly where a snapshot left them.
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuild a generator from a state captured by [`StdRng::state`].
+        pub fn from_state(s: [u64; 4]) -> Self {
+            StdRng { s }
+        }
+    }
+
     #[inline]
     fn splitmix64(state: &mut u64) -> u64 {
         *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
