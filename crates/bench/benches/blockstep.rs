@@ -72,6 +72,8 @@ struct RunResult {
     updates: u64,
     refreshes: u64,
     rebuilds: u64,
+    sph_refreshes: u64,
+    sph_rebuilds: u64,
     dt_min: f64,
     max_level: u32,
     predicted_substeps: u64,
@@ -106,6 +108,8 @@ fn run(mode: TimestepMode) -> RunResult {
         updates: sim.stats.active_updates,
         refreshes: sim.stats.tree_refreshes,
         rebuilds: sim.stats.tree_rebuilds,
+        sph_refreshes: sim.stats.sph_tree_refreshes,
+        sph_rebuilds: sim.stats.sph_tree_rebuilds,
         dt_min: sim.stats.dt_min_seen,
         max_level,
         predicted_substeps,
@@ -127,7 +131,8 @@ fn main() {
     });
     println!(
         "block:  {:.3} s, {} base steps / {} substeps (schedule says {}/base), \
-         {} updates, max level {}, tree {} refreshes / {} rebuilds, dt_min {:.3e}",
+         {} updates, max level {}, gravity tree {} refreshes / {} rebuilds, \
+         sph tree {} refreshes / {} rebuilds, dt_min {:.3e}",
         block.wall_s,
         block.steps,
         block.substeps,
@@ -136,6 +141,8 @@ fn main() {
         block.max_level,
         block.refreshes,
         block.rebuilds,
+        block.sph_refreshes,
+        block.sph_rebuilds,
         block.dt_min
     );
     let update_ratio = global.updates as f64 / block.updates.max(1) as f64;
@@ -153,9 +160,11 @@ fn main() {
             "  \"dt_base\": {},\n",
             "  \"base_steps\": {},\n",
             "  \"max_level_cap\": {},\n",
-            "  \"global\": {{\"wall_s\": {:.4}, \"steps\": {}, \"updates\": {}, \"dt_min\": {:.6e}, \"tree_rebuilds\": {}}},\n",
+            "  \"global\": {{\"wall_s\": {:.4}, \"steps\": {}, \"updates\": {}, \"dt_min\": {:.6e}, \"tree_rebuilds\": {},\n",
+            "             \"sph_tree_refreshes\": {}, \"sph_tree_rebuilds\": {}}},\n",
             "  \"block\": {{\"wall_s\": {:.4}, \"base_steps\": {}, \"substeps\": {}, \"updates\": {}, \"dt_min\": {:.6e},\n",
-            "            \"max_level\": {}, \"substeps_per_base_step\": {}, \"tree_refreshes\": {}, \"tree_rebuilds\": {}}},\n",
+            "            \"max_level\": {}, \"substeps_per_base_step\": {}, \"tree_refreshes\": {}, \"tree_rebuilds\": {},\n",
+            "            \"sph_tree_refreshes\": {}, \"sph_tree_rebuilds\": {}}},\n",
             "  \"update_ratio\": {:.3},\n",
             "  \"wall_speedup\": {:.3},\n",
             "  \"modeled_block_efficiency\": {:.4},\n",
@@ -171,6 +180,8 @@ fn main() {
         global.updates,
         global.dt_min,
         global.rebuilds,
+        global.sph_refreshes,
+        global.sph_rebuilds,
         block.wall_s,
         block.steps,
         block.substeps,
@@ -180,6 +191,8 @@ fn main() {
         block.predicted_substeps,
         block.refreshes,
         block.rebuilds,
+        block.sph_refreshes,
+        block.sph_rebuilds,
         update_ratio,
         speedup,
         block.modeled_efficiency,

@@ -138,6 +138,14 @@ pub struct TimeSample {
     pub total_energy: f64,
     /// Peak face-on gas column density \[M_sun/pc^2\].
     pub sigma_peak: f64,
+    /// Cumulative moment-only gravity-tree refreshes (cross-substep reuse).
+    pub tree_refreshes: u64,
+    /// Cumulative full gravity-tree rebuilds.
+    pub tree_rebuilds: u64,
+    /// Cumulative moment-only SPH neighbor-tree refreshes.
+    pub sph_tree_refreshes: u64,
+    /// Cumulative full SPH neighbor-tree rebuilds.
+    pub sph_tree_rebuilds: u64,
 }
 
 impl TimeSample {
@@ -167,6 +175,10 @@ impl TimeSample {
                 .sum(),
             total_energy: sim.total_energy(),
             sigma_peak: map.data.iter().cloned().fold(0.0f64, f64::max),
+            tree_refreshes: sim.stats.tree_refreshes,
+            tree_rebuilds: sim.stats.tree_rebuilds,
+            sph_tree_refreshes: sim.stats.sph_tree_refreshes,
+            sph_tree_rebuilds: sim.stats.sph_tree_rebuilds,
         }
     }
 }
@@ -237,6 +249,22 @@ impl TimeSeries {
                 ncol(&self.samples, |s| s.total_energy),
             ),
             ("sigma_peak".into(), ncol(&self.samples, |s| s.sigma_peak)),
+            (
+                "tree_refreshes".into(),
+                ncol(&self.samples, |s| s.tree_refreshes as f64),
+            ),
+            (
+                "tree_rebuilds".into(),
+                ncol(&self.samples, |s| s.tree_rebuilds as f64),
+            ),
+            (
+                "sph_tree_refreshes".into(),
+                ncol(&self.samples, |s| s.sph_tree_refreshes as f64),
+            ),
+            (
+                "sph_tree_rebuilds".into(),
+                ncol(&self.samples, |s| s.sph_tree_rebuilds as f64),
+            ),
         ]);
         let doc = Json::Obj(vec![
             ("scenario".into(), Json::Str(self.scenario.clone())),

@@ -40,7 +40,11 @@ pub struct ForceBuffers {
     /// SoA hydro state over the gas subset (holds the gas `pos`, `vel`,
     /// `mass`, `u`, `h` snapshots plus derived arrays).
     pub hydro: HydroState,
-    /// SPH staging buffers (search radii, targets, hydro inputs).
+    /// SPH staging buffers (search radii, targets, hydro inputs) plus the
+    /// cached SPH neighbor tree (`sph::solver::SphTreeCache`): rebuilt by
+    /// each density pass on base steps, moment-refreshed by force and
+    /// substep passes — the hydro counterpart of `tree`/`walk_index`
+    /// below.
     pub sph: SphScratch,
     /// Per-particle desired timestep \[Myr\], input to the level assignment
     /// (block-timestep mode).

@@ -43,11 +43,18 @@ pub struct SimStats {
     /// per step of its own level. The Surrogate-vs-Conventional update
     /// economy is exactly the ratio of these.
     pub active_updates: u64,
-    /// Full octree builds (Morton sort + split + moments).
+    /// Full *gravity* octree builds (Morton sort + split + moments).
     pub tree_rebuilds: u64,
-    /// Moment-only tree refreshes reusing the last build's topology
-    /// (cross-substep reuse; see `fdps::Tree::refresh`).
+    /// Moment-only *gravity* tree refreshes reusing the last build's
+    /// topology (cross-substep reuse; see `fdps::Tree::refresh`).
     pub tree_refreshes: u64,
+    /// Full *SPH* neighbor-tree builds (the gas-subset tree the
+    /// density/force passes walk; split from the gravity counters so the
+    /// two reuse pipelines are reported separately).
+    pub sph_tree_rebuilds: u64,
+    /// Moment-only *SPH* neighbor-tree refreshes
+    /// (see `sph::solver::SphTreeCache`).
+    pub sph_tree_refreshes: u64,
 }
 
 /// A prediction in flight between pool dispatch and application.
@@ -612,12 +619,17 @@ impl Simulation {
         bufs.tree = Some(tree);
         bufs.walk_index = Some(index);
 
-        // SPH on the gas subset.
+        // SPH on the gas subset: the density pass rebuilds the neighbor
+        // tree, the force pass refreshes it (same positions, converged h).
         if bufs.gas_idx.len() > 1 {
             bufs.refresh_hydro(&self.particles);
             let n_gas = bufs.hydro.len();
+            let (r0, b0) = bufs.sph.tree_counts();
             let dstats = sph.density_pass_with(&mut bufs.hydro, n_gas, &mut bufs.sph);
             let fstats = sph.force_pass_with(&mut bufs.hydro, n_gas, &mut bufs.sph);
+            let (r1, b1) = bufs.sph.tree_counts();
+            self.stats.sph_tree_refreshes += r1 - r0;
+            self.stats.sph_tree_rebuilds += b1 - b0;
             self.stats.hydro_interactions +=
                 dstats.density_interactions + fstats.force_interactions;
             let state = &bufs.hydro;
@@ -731,11 +743,17 @@ impl Simulation {
         bufs.tree = Some(tree);
         bufs.walk_index = Some(index);
 
-        // SPH on the active gas subset.
+        // SPH on the active gas subset: both passes refresh the neighbor
+        // tree cached at the base step (full rebuild only when the drift
+        // bound trips or the gas population changed).
         if bufs.gas_idx.len() > 1 && !bufs.active_gas.is_empty() {
             bufs.refresh_hydro(&self.particles);
+            let (r0, b0) = bufs.sph.tree_counts();
             let dstats = sph.density_pass_active(&mut bufs.hydro, &bufs.active_gas, &mut bufs.sph);
             let fstats = sph.force_pass_active(&mut bufs.hydro, &bufs.active_gas, &mut bufs.sph);
+            let (r1, b1) = bufs.sph.tree_counts();
+            self.stats.sph_tree_refreshes += r1 - r0;
+            self.stats.sph_tree_rebuilds += b1 - b0;
             self.stats.hydro_interactions +=
                 dstats.density_interactions + fstats.force_interactions;
             let ForceBuffers {
@@ -1150,12 +1168,25 @@ mod tests {
             block.stats.active_updates,
             global.stats.active_updates
         );
-        // Cross-substep tree reuse happened.
+        // Cross-substep tree reuse happened — on both pipelines.
         assert!(
             block.stats.tree_refreshes > 0,
-            "substeps should refresh, not rebuild, the tree"
+            "substeps should refresh, not rebuild, the gravity tree"
         );
         assert!(block.stats.tree_rebuilds > 0);
+        assert!(
+            block.stats.sph_tree_refreshes > block.stats.sph_tree_rebuilds,
+            "substeps should mostly refresh the SPH neighbor tree: {} refreshes vs {} rebuilds",
+            block.stats.sph_tree_refreshes,
+            block.stats.sph_tree_rebuilds
+        );
+        // Global mode reuses too: one rebuild (density) + one refresh
+        // (force) per evaluation.
+        assert_eq!(
+            global.stats.sph_tree_refreshes, global.stats.sph_tree_rebuilds,
+            "global mode pairs each density rebuild with a force refresh"
+        );
+        assert!(global.stats.sph_tree_rebuilds > 0);
     }
 
     #[test]

@@ -53,7 +53,9 @@ pub const SNAPSHOT_MAGIC: [u8; 8] = *b"ASURSNAP";
 /// Leading magic of binary *distributed* snapshots (see [`DistSnapshot`]).
 pub const DIST_SNAPSHOT_MAGIC: [u8; 8] = *b"ASURDSNP";
 /// Current snapshot format version (see the module docs for the policy).
-pub const SNAPSHOT_VERSION: u32 = 1;
+/// v2: [`SimStats`] gained the split SPH neighbor-tree reuse counters
+/// (`sph_tree_rebuilds` / `sph_tree_refreshes`).
+pub const SNAPSHOT_VERSION: u32 = 2;
 
 /// Why a snapshot failed to decode. Every variant is a recoverable error —
 /// corrupt or foreign input never panics the reader.
@@ -305,6 +307,8 @@ fn write_stats(w: &mut Writer, s: &SimStats) {
     w.u64(s.active_updates);
     w.u64(s.tree_rebuilds);
     w.u64(s.tree_refreshes);
+    w.u64(s.sph_tree_rebuilds);
+    w.u64(s.sph_tree_refreshes);
 }
 
 fn read_stats(r: &mut Reader) -> Result<SimStats, SnapshotError> {
@@ -320,6 +324,8 @@ fn read_stats(r: &mut Reader) -> Result<SimStats, SnapshotError> {
         active_updates: r.u64()?,
         tree_rebuilds: r.u64()?,
         tree_refreshes: r.u64()?,
+        sph_tree_rebuilds: r.u64()?,
+        sph_tree_refreshes: r.u64()?,
     })
 }
 
@@ -665,6 +671,8 @@ impl SimSnapshot {
             ("active_updates".into(), ju(s.active_updates)),
             ("tree_rebuilds".into(), ju(s.tree_rebuilds)),
             ("tree_refreshes".into(), ju(s.tree_refreshes)),
+            ("sph_tree_rebuilds".into(), ju(s.sph_tree_rebuilds)),
+            ("sph_tree_refreshes".into(), ju(s.sph_tree_refreshes)),
         ]);
         // Particles as SoA with flat coordinate triplets: compact enough to
         // stay inspectable without one object per particle.
@@ -860,6 +868,8 @@ impl SimSnapshot {
                 active_updates: get_u64(s, "active_updates")?,
                 tree_rebuilds: get_u64(s, "tree_rebuilds")?,
                 tree_refreshes: get_u64(s, "tree_refreshes")?,
+                sph_tree_rebuilds: get_u64(s, "sph_tree_rebuilds")?,
+                sph_tree_refreshes: get_u64(s, "sph_tree_refreshes")?,
             }
         };
         let particles = {

@@ -127,10 +127,28 @@ pub fn compute_density_into(
     radii.clear();
     radii.extend(h.iter().map(|&hi| kernel.support() * hi));
     let tree = Tree::build_with_h(pos, mass, Some(radii), 16);
+    compute_density_on_tree(kernel, cfg, &tree, pos, mass, h, targets)
+}
+
+/// The density-iteration core over a caller-provided neighbor tree: the
+/// cross-substep tree-reuse entry point. The tree must index exactly
+/// `pos`, with its bounding boxes current (a fresh
+/// [`Tree::build_with_h`] or a [`Tree::refresh_with_h`] over these
+/// positions) — correctness needs only containment, since the gather
+/// search prunes by node bounding box, not by the stored radii.
+pub fn compute_density_on_tree(
+    kernel: &dyn SphKernel,
+    cfg: &DensityConfig,
+    tree: &Tree,
+    pos: &[Vec3],
+    mass: &[f64],
+    h: &mut [f64],
+    targets: &[usize],
+) -> Vec<DensityResult> {
     let results: Vec<DensityResult> = targets
         .par_iter()
         .map_init(Vec::new, |scratch, &i| {
-            density_one(kernel, cfg, &tree, pos, mass, i, h[i], scratch)
+            density_one(kernel, cfg, tree, pos, mass, i, h[i], scratch)
         })
         .collect();
     for (&i, r) in targets.iter().zip(&results) {

@@ -6,8 +6,44 @@
 //! — the scratch, so a simulation's steady-state hydro evaluation performs
 //! no heap allocation in this layer. The scratch-free `density_pass`/
 //! `force_pass` wrappers remain for cold paths and tests.
+//!
+//! # Neighbor-tree reuse lifecycle
+//!
+//! The scratch also carries a [`SphTreeCache`]: the neighbor tree built by
+//! one pass is kept and *reused* by later passes instead of being re-sorted
+//! and re-split from scratch, mirroring the gravity tree's cross-substep
+//! reuse. The lifecycle over one base step of the block-timestep driver:
+//!
+//! 1. **Base-step density pass** ([`SphSolver::density_pass_with`]):
+//!    [`TreeReuse::Rebuild`] — a full [`fdps::Tree::build_with_h`] from the
+//!    current positions. This is the only *mandatory* build per force
+//!    evaluation, and anchors the drift-bound reference positions.
+//! 2. **Force pass** ([`SphSolver::force_pass_with`] /
+//!    [`SphSolver::force_pass_active`]): [`TreeReuse::Refresh`] — positions
+//!    are unchanged since the density pass, only the smoothing lengths
+//!    converged, so [`fdps::Tree::refresh_with_h`] re-accumulates node
+//!    `h_max` (and bounds) on the cached Morton topology in O(N) with zero
+//!    heap allocation.
+//! 3. **Substep passes** ([`SphSolver::density_pass_active`] /
+//!    [`SphSolver::force_pass_active`]): [`TreeReuse::Refresh`] — the
+//!    active subset drifted a little; the refreshed tree stays *exact*
+//!    (bounding boxes always contain their particles and stored radii are
+//!    re-accumulated), it only gradually loses Morton locality. When any
+//!    particle drifts beyond [`SphTreeCache::DRIFT_FRACTION`] of the root
+//!    cube — or the particle count changes — `Refresh` silently degrades
+//!    to a full rebuild.
+//!
+//! Reuse never changes *which* neighbors a pass finds, but a refreshed and
+//! a rebuilt tree group particles into different leaves, so candidate
+//! lists arrive in different orders and floating-point sums differ at the
+//! last ULP. Results are therefore equivalent to a documented `1e-12`
+//! relative tolerance, not bitwise (the integration tests pin this), while
+//! *repeating* a pass against the same cache state is exactly
+//! deterministic — which is what the snapshot-restart bitwise contract
+//! needs, since full rebuilds happen at base-step boundaries where
+//! checkpoints are taken.
 
-use crate::density::{compute_density_into, DensityConfig};
+use crate::density::{compute_density_on_tree, DensityConfig};
 use crate::eos::GammaLawEos;
 use crate::force::{pair_force, HydroAccum, HydroInput, Viscosity};
 use crate::kernel::{CubicSpline, SphKernel};
@@ -80,8 +116,84 @@ impl HydroState {
     }
 }
 
+/// How a pass obtains its neighbor tree (see the module docs' lifecycle).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TreeReuse {
+    /// Re-sort and re-split from the current positions: base steps, or
+    /// whenever the particle set itself changed.
+    Rebuild,
+    /// Keep the cached Morton topology and only re-accumulate node
+    /// moments, bounds and `h_max`. Degrades to [`TreeReuse::Rebuild`]
+    /// when no valid cache exists, the particle count changed, or the
+    /// drift bound tripped.
+    Refresh,
+}
+
+/// The cached neighbor tree threaded through [`SphScratch`]: topology from
+/// the last full build, re-accumulated in place on refreshes.
+#[derive(Debug, Clone, Default)]
+pub struct SphTreeCache {
+    tree: Option<Tree>,
+    /// Positions at the last full build — the drift-bound reference.
+    ref_pos: Vec<Vec3>,
+    /// Cumulative full builds served through this cache.
+    pub rebuilds: u64,
+    /// Cumulative moment-only refreshes served through this cache.
+    pub refreshes: u64,
+}
+
+impl SphTreeCache {
+    /// Fraction of the root-cube extent any particle may drift from the
+    /// last full build before [`TreeReuse::Refresh`] degrades to a
+    /// rebuild. Unlike the gravity MAC — where drift loosens the opening
+    /// criterion — a refreshed neighbor tree remains *exact*, so this
+    /// bound is purely a performance guard against a degenerate Morton
+    /// partition.
+    pub const DRIFT_FRACTION: f64 = 0.05;
+
+    /// Cumulative `(refreshes, rebuilds)` served by this cache.
+    pub fn counts(&self) -> (u64, u64) {
+        (self.refreshes, self.rebuilds)
+    }
+
+    /// Obtain a tree over `pos`/`mass` carrying search radii `radii`,
+    /// honouring the reuse policy.
+    fn obtain(
+        &mut self,
+        pos: &[Vec3],
+        mass: &[f64],
+        radii: &[f64],
+        n_leaf: usize,
+        reuse: TreeReuse,
+    ) -> &Tree {
+        let refresh = reuse == TreeReuse::Refresh
+            && self.ref_pos.len() == pos.len()
+            && self.tree.as_ref().is_some_and(|t| {
+                t.len() == pos.len() && {
+                    let bound = t.cube.max_extent() * Self::DRIFT_FRACTION;
+                    let b2 = bound * bound;
+                    pos.iter()
+                        .zip(&self.ref_pos)
+                        .all(|(p, q)| (*p - *q).norm2() <= b2)
+                }
+            });
+        if refresh {
+            let t = self.tree.as_mut().expect("cache validated above");
+            t.refresh_with_h(pos, mass, Some(radii));
+            self.refreshes += 1;
+        } else {
+            self.ref_pos.clear();
+            self.ref_pos.extend_from_slice(pos);
+            self.tree = Some(Tree::build_with_h(pos, mass, Some(radii), n_leaf));
+            self.rebuilds += 1;
+        }
+        self.tree.as_ref().expect("tree set above")
+    }
+}
+
 /// Reusable staging buffers for the SPH passes: cleared in place every
-/// pass, capacities stabilize at the high-water mark after warm-up.
+/// pass, capacities stabilize at the high-water mark after warm-up. Also
+/// carries the cross-pass [`SphTreeCache`].
 #[derive(Debug, Clone, Default)]
 pub struct SphScratch {
     /// Per-particle search radii (`support * h`), fed to the tree build.
@@ -90,16 +202,28 @@ pub struct SphScratch {
     targets: Vec<usize>,
     /// Per-particle hydro inputs of the force pass.
     inputs: Vec<HydroInput>,
+    /// The cached neighbor tree (see the module docs' reuse lifecycle).
+    tree: SphTreeCache,
 }
 
 impl SphScratch {
     /// Buffer capacities, for zero-allocation regression tests.
-    pub fn capacities(&self) -> [usize; 3] {
+    pub fn capacities(&self) -> [usize; 4] {
         [
             self.radii.capacity(),
             self.targets.capacity(),
             self.inputs.capacity(),
+            self.tree.ref_pos.capacity(),
         ]
+    }
+
+    /// Cumulative `(refreshes, rebuilds)` of the neighbor-tree cache —
+    /// drivers report the delta per force evaluation in their stats.
+    /// (Cache *safety* needs no manual invalidation hook: `obtain` falls
+    /// back to a rebuild on any particle-count change or drift-bound
+    /// trip, and a refreshed tree is exact regardless.)
+    pub fn tree_counts(&self) -> (u64, u64) {
+        self.tree.counts()
     }
 }
 
@@ -150,14 +274,15 @@ impl<K: SphKernel> SphSolver<K> {
     ) -> SphStats {
         scratch.targets.clear();
         scratch.targets.extend(0..n_local);
-        self.density_on_staged_targets(state, scratch)
+        self.density_on_staged_targets(state, scratch, TreeReuse::Rebuild)
     }
 
     /// Converge `h`/`rho` only for the `targets` subset (hydro-local
     /// indices) while the whole state still acts as sources — the
     /// hierarchical-block-timestep entry point: on a fine substep only the
     /// active level bins re-sum their density; everyone else keeps the
-    /// converged values from their own last update.
+    /// converged values from their own last update. Consumes the cached
+    /// neighbor-tree topology ([`TreeReuse::Refresh`]).
     pub fn density_pass_active(
         &self,
         state: &mut HydroState,
@@ -166,7 +291,7 @@ impl<K: SphKernel> SphSolver<K> {
     ) -> SphStats {
         scratch.targets.clear();
         scratch.targets.extend_from_slice(targets);
-        self.density_on_staged_targets(state, scratch)
+        self.density_on_staged_targets(state, scratch, TreeReuse::Refresh)
     }
 
     /// The shared density core: `scratch.targets` is already staged.
@@ -174,19 +299,33 @@ impl<K: SphKernel> SphSolver<K> {
         &self,
         state: &mut HydroState,
         scratch: &mut SphScratch,
+        reuse: TreeReuse,
     ) -> SphStats {
         state.resize_derived();
-        let results = compute_density_into(
+        let SphScratch {
+            radii,
+            targets,
+            tree: cache,
+            ..
+        } = scratch;
+        // Stored radii cover the scatter side from the current
+        // (pre-iteration) h values; the gather search prunes by node
+        // bounding box, so the h-iteration below stays exact even as its
+        // query radii outgrow them.
+        radii.clear();
+        radii.extend(state.h.iter().map(|&hi| self.kernel.support() * hi));
+        let tree = cache.obtain(&state.pos, &state.mass, radii, 16, reuse);
+        let results = compute_density_on_tree(
             &self.kernel,
             &self.density_cfg,
+            tree,
             &state.pos,
             &state.mass,
             &mut state.h,
-            &scratch.targets,
-            &mut scratch.radii,
+            targets,
         );
         let mut stats = SphStats::default();
-        for (&i, r) in scratch.targets.iter().zip(&results) {
+        for (&i, r) in targets.iter().zip(&results) {
             state.rho[i] = r.rho;
             state.n_ngb[i] = r.n_ngb as u32;
             state.cs[i] = self.eos.sound_speed(state.u[i]);
@@ -204,6 +343,8 @@ impl<K: SphKernel> SphSolver<K> {
 
     /// [`SphSolver::force_pass`] with caller-owned staging buffers; the
     /// zero-allocation entry point the simulation driver uses every step.
+    /// Refreshes the neighbor tree cached by the preceding density pass
+    /// (positions unchanged, only `h` converged) instead of rebuilding it.
     pub fn force_pass_with(
         &self,
         state: &mut HydroState,
@@ -212,13 +353,14 @@ impl<K: SphKernel> SphSolver<K> {
     ) -> SphStats {
         scratch.targets.clear();
         scratch.targets.extend(0..n_local);
-        self.force_on_staged_targets(state, scratch)
+        self.force_on_staged_targets(state, scratch, TreeReuse::Refresh)
     }
 
     /// Hydro forces only for the `targets` subset (hydro-local indices),
     /// with the whole state as sources — the block-timestep companion of
     /// [`SphSolver::density_pass_active`]. Inactive particles keep the
-    /// `acc`/`dudt`/`v_sig` from their own last update.
+    /// `acc`/`dudt`/`v_sig` from their own last update. Consumes the
+    /// cached neighbor-tree topology ([`TreeReuse::Refresh`]).
     pub fn force_pass_active(
         &self,
         state: &mut HydroState,
@@ -227,7 +369,7 @@ impl<K: SphKernel> SphSolver<K> {
     ) -> SphStats {
         scratch.targets.clear();
         scratch.targets.extend_from_slice(targets);
-        self.force_on_staged_targets(state, scratch)
+        self.force_on_staged_targets(state, scratch, TreeReuse::Refresh)
     }
 
     /// The shared force core: `scratch.targets` is already staged.
@@ -235,6 +377,7 @@ impl<K: SphKernel> SphSolver<K> {
         &self,
         state: &mut HydroState,
         scratch: &mut SphScratch,
+        reuse: TreeReuse,
     ) -> SphStats {
         state.resize_derived();
         let support = self.kernel.support();
@@ -242,10 +385,11 @@ impl<K: SphKernel> SphSolver<K> {
             radii,
             targets,
             inputs,
+            tree: cache,
         } = scratch;
         radii.clear();
         radii.extend(state.h.iter().map(|&h| support * h));
-        let tree = Tree::build_with_h(&state.pos, &state.mass, Some(radii), 16);
+        let tree = cache.obtain(&state.pos, &state.mass, radii, 16, reuse);
 
         inputs.clear();
         inputs.extend((0..state.len()).map(|i| HydroInput {
@@ -487,6 +631,127 @@ mod tests {
             f.force_interactions,
             full.force_interactions
         );
+    }
+
+    #[test]
+    fn force_pass_refreshes_the_density_pass_tree() {
+        // One full density+force evaluation through a shared scratch must
+        // cost exactly one tree build: the force pass refreshes the
+        // density pass's topology (same positions, converged h).
+        let mut s = uniform_box(6, 1.0, 1.0);
+        let n = s.len();
+        let solver = SphSolver::default();
+        let mut scratch = SphScratch::default();
+        solver.density_pass_with(&mut s, n, &mut scratch);
+        solver.force_pass_with(&mut s, n, &mut scratch);
+        assert_eq!(scratch.tree_counts(), (1, 1), "(refreshes, rebuilds)");
+        // A second evaluation: density rebuilds, force refreshes again.
+        solver.density_pass_with(&mut s, n, &mut scratch);
+        solver.force_pass_with(&mut s, n, &mut scratch);
+        assert_eq!(scratch.tree_counts(), (2, 2));
+    }
+
+    #[test]
+    fn refreshed_tree_passes_match_a_rebuilt_tree() {
+        // Drift a converged state a little (the substep situation), then
+        // run the active passes twice: once consuming the cached topology
+        // (Refresh) and once from a cold cache (Rebuild). The physics must
+        // agree to the documented 1e-12 relative tolerance — candidate
+        // ordering differs between the two topologies, so bitwise equality
+        // is not guaranteed, but the neighbor *sets* are identical.
+        let mut warm = uniform_box(7, 1.0, 1.0);
+        let n = warm.len();
+        for i in 0..n {
+            let d = warm.pos[i] - Vec3::splat(3.0);
+            warm.vel[i] = -d * 0.05;
+        }
+        let solver = SphSolver::default();
+        let mut warm_scratch = SphScratch::default();
+        solver.density_pass_with(&mut warm, n, &mut warm_scratch);
+        solver.force_pass_with(&mut warm, n, &mut warm_scratch);
+        // Substep drift: everyone moves a little; topology kept.
+        for i in 0..n {
+            warm.pos[i] += warm.vel[i] * 1e-3;
+        }
+        let mut cold = warm.clone();
+        let mut cold_scratch = SphScratch::default();
+        let targets: Vec<usize> = (0..n).step_by(3).collect();
+
+        let (r0, _) = warm_scratch.tree_counts();
+        solver.density_pass_active(&mut warm, &targets, &mut warm_scratch);
+        solver.force_pass_active(&mut warm, &targets, &mut warm_scratch);
+        let (r1, _) = warm_scratch.tree_counts();
+        assert_eq!(r1 - r0, 2, "both active passes must refresh, not rebuild");
+
+        solver.density_pass_active(&mut cold, &targets, &mut cold_scratch);
+        solver.force_pass_active(&mut cold, &targets, &mut cold_scratch);
+        // The cold density pass falls back to a rebuild (fresh topology
+        // from the *drifted* positions — different from warm's cached
+        // pre-drift topology); the cold force pass then refreshes it.
+        let (cold_r, cold_b) = cold_scratch.tree_counts();
+        assert_eq!((cold_r, cold_b), (1, 1), "(refreshes, rebuilds)");
+
+        for &i in &targets {
+            let rho_rel = (warm.rho[i] - cold.rho[i]).abs() / cold.rho[i].abs().max(1e-300);
+            assert!(rho_rel < 1e-12, "rho[{i}] rel err {rho_rel}");
+            assert_eq!(warm.h[i], cold.h[i], "h[{i}] iteration must agree");
+            assert_eq!(warm.n_ngb[i], cold.n_ngb[i], "n_ngb[{i}]");
+            let acc_rel =
+                (warm.acc[i] - cold.acc[i]).norm() / cold.acc[i].norm().max(1e-300).max(1e-12);
+            assert!(acc_rel < 1e-12, "acc[{i}] rel err {acc_rel}");
+            let dudt_rel = (warm.dudt[i] - cold.dudt[i]).abs() / cold.dudt[i].abs().max(1e-12);
+            assert!(dudt_rel < 1e-12, "dudt[{i}] rel err {dudt_rel}");
+        }
+    }
+
+    #[test]
+    fn full_force_pass_on_refreshed_tree_matches_rebuilt_tree() {
+        // The Global-mode usage pattern: every evaluation runs density
+        // (rebuild) then force (refresh). The refreshed-tree force results
+        // must match a force pass that rebuilds its own tree, within the
+        // documented 1e-12 relative tolerance.
+        let mut a = uniform_box(6, 1.0, 1.0);
+        let n = a.len();
+        for i in 0..n {
+            let d = a.pos[i] - Vec3::splat(2.5);
+            a.vel[i] = -d * 0.1;
+        }
+        let mut b = a.clone();
+        let solver = SphSolver::default();
+
+        let mut shared = SphScratch::default();
+        solver.density_pass_with(&mut a, n, &mut shared);
+        solver.force_pass_with(&mut a, n, &mut shared); // refresh path
+
+        let mut first = SphScratch::default();
+        solver.density_pass_with(&mut b, n, &mut first);
+        let mut fresh = SphScratch::default();
+        solver.force_pass_with(&mut b, n, &mut fresh); // rebuild path
+        assert_eq!(fresh.tree_counts(), (0, 1), "cold force pass rebuilds");
+
+        for i in 0..n {
+            let acc_rel = (a.acc[i] - b.acc[i]).norm() / b.acc[i].norm().max(1e-12);
+            assert!(acc_rel < 1e-12, "acc[{i}] rel err {acc_rel}");
+            let dudt_rel = (a.dudt[i] - b.dudt[i]).abs() / b.dudt[i].abs().max(1e-12);
+            assert!(dudt_rel < 1e-12, "dudt[{i}] rel err {dudt_rel}");
+            assert_eq!(a.rho[i], b.rho[i], "density paths are identical");
+        }
+    }
+
+    #[test]
+    fn large_drift_degrades_refresh_to_rebuild() {
+        let mut s = uniform_box(6, 1.0, 1.0);
+        let n = s.len();
+        let solver = SphSolver::default();
+        let mut scratch = SphScratch::default();
+        solver.density_pass_with(&mut s, n, &mut scratch);
+        // Teleport one particle across the box: beyond DRIFT_FRACTION.
+        s.pos[0] += Vec3::splat(3.0);
+        let targets: Vec<usize> = (0..n).collect();
+        let (_, b0) = scratch.tree_counts();
+        solver.density_pass_active(&mut s, &targets, &mut scratch);
+        let (_, b1) = scratch.tree_counts();
+        assert_eq!(b1 - b0, 1, "the drift bound must force a rebuild");
     }
 
     #[test]

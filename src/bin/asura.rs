@@ -11,15 +11,26 @@
 //! asura --scenario quickstart --resume results/quickstart/checkpoint.bin --steps 5
 //! asura --scenario supernova_remnant --snapshot-format json
 //! asura --scenario spiked_dt --scheme conventional --timestep block:8
+//! asura --scenario quickstart --dist 2x1x1+1 --steps 6 --snapshot-every 3
+//! asura --scenario quickstart --dist 2x1x1+1 --resume results/quickstart/dist_checkpoint.bin
 //! ```
+//!
+//! `--dist NXxNYxNZ+P` routes the scenario through the distributed
+//! (`mpisim`) driver — `NX*NY*NZ` main ranks plus `P` pool ranks — writing
+//! `dist_checkpoint.bin` (resumable with `--dist --resume`) and
+//! `dist_report.json` instead of the shared-memory outputs.
 //!
 //! Exit codes: 0 success, 1 runtime failure (unreadable snapshot, I/O),
 //! 2 usage error.
 
 use asura::scenarios;
 use asura_core::diagnostics::{TimeSample, TimeSeries};
+use asura_core::dist::{
+    run_distributed, run_distributed_resume, DistConfig, DistSnapshot, PredictorKind,
+};
 use asura_core::snapshot::SimSnapshot;
 use asura_core::{Scheme, Simulation, TimestepMode};
+use fdps::exchange::Routing;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
@@ -43,6 +54,8 @@ OPTIONS:
     --seed <s>                 scenario realization / RNG seed (default 42)
     --diag-every <k>           diagnostics sampling cadence (default 1)
     --out-dir <dir>            output root (default results)
+    --dist <NXxNYxNZ+P>        run through the distributed (mpisim) driver:
+                               NX*NY*NZ main ranks + P pool ranks
     --help                     this text
 ";
 
@@ -56,8 +69,36 @@ struct Args {
     snapshot_every: Option<u64>,
     snapshot_format: SnapFormat,
     seed: u64,
-    diag_every: u64,
+    /// Diagnostics sampling cadence; `None` means the default of every
+    /// step (explicitly passing the flag with `--dist` is rejected).
+    diag_every: Option<u64>,
     out_dir: PathBuf,
+    /// Main-rank grid + pool rank count of `--dist`.
+    dist: Option<((usize, usize, usize), usize)>,
+}
+
+/// Parse `--dist`'s `NXxNYxNZ+P` spec.
+fn parse_dist_spec(spec: &str) -> Result<((usize, usize, usize), usize), String> {
+    let bad = || format!("--dist expects NXxNYxNZ+P (e.g. 2x1x1+1), got `{spec}`");
+    let (grid, pool) = spec.split_once('+').ok_or_else(bad)?;
+    let dims: Vec<usize> = grid
+        .split('x')
+        .map(|d| d.parse::<usize>().map_err(|_| bad()))
+        .collect::<Result<_, _>>()?;
+    let [nx, ny, nz] = dims[..] else {
+        return Err(bad());
+    };
+    let n_pool = pool.parse::<usize>().map_err(|_| bad())?;
+    if nx * ny * nz == 0 {
+        return Err(format!("--dist needs at least one main rank, got `{spec}`"));
+    }
+    if n_pool == 0 {
+        return Err(format!(
+            "--dist needs at least one pool rank (the surrogate scheme ships SN regions \
+             to the pool), got `{spec}`"
+        ));
+    }
+    Ok(((nx, ny, nz), n_pool))
 }
 
 #[derive(Clone, Copy, PartialEq)]
@@ -86,8 +127,9 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         snapshot_every: None,
         snapshot_format: SnapFormat::Bin,
         seed: 42,
-        diag_every: 1,
+        diag_every: None,
         out_dir: PathBuf::from("results"),
+        dist: None,
     };
     let mut it = argv.iter();
     while let Some(flag) = it.next() {
@@ -146,11 +188,14 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                     .map_err(|e| format!("--seed: {e}"))?
             }
             "--diag-every" => {
-                args.diag_every = value("--diag-every")?
-                    .parse()
-                    .map_err(|e| format!("--diag-every: {e}"))?
+                args.diag_every = Some(
+                    value("--diag-every")?
+                        .parse()
+                        .map_err(|e| format!("--diag-every: {e}"))?,
+                )
             }
             "--out-dir" => args.out_dir = PathBuf::from(value("--out-dir")?),
+            "--dist" => args.dist = Some(parse_dist_spec(value("--dist")?)?),
             other => return Err(format!("unknown flag `{other}`")),
         }
     }
@@ -182,6 +227,173 @@ fn write_snapshot(
     Ok(())
 }
 
+/// The `--dist` path: route the scenario through the mpisim driver, with
+/// snapshot→resume support mirroring the shared-memory CLI.
+fn run_dist(args: &Args, grid: (usize, usize, usize), n_pool: usize) -> Result<(), String> {
+    let name = args
+        .scenario
+        .as_deref()
+        .ok_or("--dist requires --scenario (it provides the config and initial condition)")?;
+    let scenario = scenarios::find(name).ok_or_else(|| format!("unknown scenario `{name}`"))?;
+    // The distributed driver integrates the surrogate scheme on the fixed
+    // global step only; reject flags it would silently ignore rather than
+    // hand back a run the user didn't ask for.
+    if args.scheme == Some(Scheme::Conventional) {
+        return Err(
+            "--dist runs the surrogate scheme only (--scheme conventional is the \
+                    shared-memory driver's comparison baseline)"
+                .into(),
+        );
+    }
+    if matches!(args.timestep, Some(TimestepMode::Block { .. })) {
+        return Err(
+            "--dist integrates on the fixed global step; --timestep block is not \
+                    wired through the mpisim driver yet"
+                .into(),
+        );
+    }
+    if args.snapshot_format == SnapFormat::Json {
+        return Err(
+            "--dist checkpoints are binary only (dist_checkpoint.bin); --snapshot-format \
+                    json applies to the shared-memory driver"
+                .into(),
+        );
+    }
+    if args.diag_every.is_some() {
+        return Err(
+            "--dist writes dist_report.json instead of a diagnostics time series; \
+                    --diag-every applies to the shared-memory driver"
+                .into(),
+        );
+    }
+    // Resume replaces the particle state wholesale, so only realize the
+    // initial condition on a fresh run; the config alone is cheap.
+    let (mut sim_cfg, particles) = match args.resume {
+        Some(_) => (scenario.config(), Vec::new()),
+        None => scenario.build(args.seed),
+    };
+    sim_cfg.scheme = Scheme::Surrogate;
+    let steps = args.steps.unwrap_or(scenario.default_steps);
+    let cfg = DistConfig {
+        grid,
+        n_pool,
+        routing: Routing::Flat,
+        sim: sim_cfg,
+        steps,
+        predictor: PredictorKind::SedovOverlay,
+        snapshot_every: args.snapshot_every.unwrap_or(0),
+    };
+    let dir = args.out_dir.join(scenario.name);
+    std::fs::create_dir_all(&dir).map_err(|e| format!("create {}: {e}", dir.display()))?;
+
+    let report = match &args.resume {
+        Some(path) => {
+            let bytes = std::fs::read(path).map_err(|e| format!("--resume {path:?}: {e}"))?;
+            let snap =
+                DistSnapshot::from_bytes(&bytes).map_err(|e| format!("--resume {path:?}: {e}"))?;
+            if snap.rank_particles.len() != cfg.n_main() {
+                return Err(format!(
+                    "--resume {}: checkpoint was written by {} main ranks but --dist \
+                     asks for {} ({}x{}x{}) — resume requires the same main-rank grid",
+                    path.display(),
+                    snap.rank_particles.len(),
+                    cfg.n_main(),
+                    grid.0,
+                    grid.1,
+                    grid.2,
+                ));
+            }
+            println!(
+                "dist resume from {} (step {}, t = {:.4} Myr, {} ranks, {} regions in flight): \
+                 {} more steps on {}x{}x{}+{} ranks",
+                path.display(),
+                snap.step,
+                snap.time,
+                snap.rank_particles.len(),
+                snap.pending.len(),
+                steps,
+                grid.0,
+                grid.1,
+                grid.2,
+                n_pool,
+            );
+            // Unlike shared-memory snapshots, a DistSnapshot carries no
+            // SimConfig — the named scenario supplies it, so resuming
+            // under a different scenario's name would integrate the
+            // checkpointed particles with the wrong physics.
+            println!(
+                "note: resuming with scenario `{}`'s config — it must be the scenario \
+                 that wrote the checkpoint",
+                scenario.name
+            );
+            run_distributed_resume(&cfg, &snap)
+        }
+        None => {
+            println!(
+                "dist scenario {} ({} particles) on {}x{}x{}+{} ranks for {} steps",
+                scenario.name,
+                particles.len(),
+                grid.0,
+                grid.1,
+                grid.2,
+                n_pool,
+                steps,
+            );
+            run_distributed(&cfg, &particles)
+        }
+    };
+
+    // Last gathered checkpoint becomes the resumable artifact.
+    if let Some(snap) = report.snapshots.last() {
+        let path = dir.join("dist_checkpoint.bin");
+        std::fs::write(&path, snap.to_bytes())
+            .map_err(|e| format!("write {}: {e}", path.display()))?;
+        println!("[snapshot] {} (step {})", path.display(), snap.step);
+    }
+    // Counter summary (hand-rendered JSON, like the bench artifacts).
+    let total_bytes: u64 = report.bytes_sent.iter().sum();
+    let phases: String = report
+        .phases
+        .entries
+        .iter()
+        .map(|e| {
+            format!(
+                "    {{\"name\": \"{}\", \"total_s\": {:.6}}}",
+                e.name, e.total_s
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n");
+    let json = format!(
+        "{{\n  \"steps\": {},\n  \"sn_events\": {},\n  \"regions_applied\": {},\n  \
+         \"gravity_interactions\": {},\n  \"hydro_interactions\": {},\n  \
+         \"final_particles\": {},\n  \"bytes_sent_total\": {},\n  \"snapshots\": {},\n  \
+         \"phases\": [\n{}\n  ]\n}}\n",
+        report.steps,
+        report.sn_events,
+        report.regions_applied,
+        report.gravity_interactions,
+        report.hydro_interactions,
+        report.final_particles,
+        total_bytes,
+        report.snapshots.len(),
+        phases,
+    );
+    let report_path = dir.join("dist_report.json");
+    std::fs::write(&report_path, json)
+        .map_err(|e| format!("write {}: {e}", report_path.display()))?;
+    println!(
+        "dist done: {} steps | {} SNe, {} regions applied, {} particles, {} snapshot(s)",
+        report.steps,
+        report.sn_events,
+        report.regions_applied,
+        report.final_particles,
+        report.snapshots.len(),
+    );
+    println!("[report] {}", report_path.display());
+    Ok(())
+}
+
 fn run() -> Result<(), String> {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let args = parse_args(&argv).map_err(|e| {
@@ -201,6 +413,10 @@ fn run() -> Result<(), String> {
             );
         }
         return Ok(());
+    }
+
+    if let Some((grid, n_pool)) = args.dist {
+        return run_dist(&args, grid, n_pool);
     }
 
     // Resolve the run: a fresh scenario build, or a snapshot restore.
@@ -292,7 +508,8 @@ fn run() -> Result<(), String> {
         if let Some(e) = snap_io.take() {
             return Err(format!("writing snapshot under {}: {e}", dir.display()));
         }
-        if args.diag_every > 0 && sim.step_count % args.diag_every == 0 {
+        let diag_every = args.diag_every.unwrap_or(1);
+        if diag_every > 0 && sim.step_count % diag_every == 0 {
             series.record(TimeSample::measure(&sim, t_prev, map_half));
             t_prev = sim.time;
         }

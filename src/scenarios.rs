@@ -15,7 +15,9 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 /// A named, reproducible workload: `build(seed)` returns the driver config
-/// and the initial particle set.
+/// and the initial particle set; `config()` returns the config alone
+/// (resume paths need it without paying for an IC realization they will
+/// immediately discard).
 pub struct Scenario {
     pub name: &'static str,
     pub description: &'static str,
@@ -23,13 +25,19 @@ pub struct Scenario {
     pub default_steps: usize,
     /// Half-extent of diagnostic surface-density maps \[pc\].
     pub map_half: f64,
-    build: fn(u64) -> (SimConfig, Vec<Particle>),
+    config: fn() -> SimConfig,
+    build_ic: fn(u64) -> Vec<Particle>,
 }
 
 impl Scenario {
+    /// The driver config alone (no particle realization).
+    pub fn config(&self) -> SimConfig {
+        (self.config)()
+    }
+
     /// Realize the scenario: `(config, initial particles)`.
     pub fn build(&self, seed: u64) -> (SimConfig, Vec<Particle>) {
-        (self.build)(seed)
+        ((self.config)(), (self.build_ic)(seed))
     }
 }
 
@@ -40,28 +48,32 @@ pub const SCENARIOS: &[Scenario] = &[
         description: "scaled-down Milky Way patch, surrogate SN scheme, fixed global step",
         default_steps: 20,
         map_half: 4000.0,
-        build: build_quickstart,
+        config: config_quickstart,
+        build_ic: ic_quickstart,
     },
     Scenario {
         name: "dwarf_galaxy",
         description: "star-forming dwarf with cooling, star formation and timed SNe",
         default_steps: 32,
         map_half: 3000.0,
-        build: build_dwarf_galaxy,
+        config: config_dwarf_galaxy,
+        build_ic: ic_dwarf_galaxy,
     },
     Scenario {
         name: "supernova_remnant",
         description: "one SN inside a uniform gas lattice, surrogate prediction in flight",
         default_steps: 12,
         map_half: 12.0,
-        build: build_supernova_remnant,
+        config: config_supernova_remnant,
+        build_ic: ic_supernova_remnant,
     },
     Scenario {
         name: "spiked_dt",
         description: "SN-hot particle in a cold blob: block-timestep stress (conventional scheme)",
         default_steps: 6,
         map_half: 6.0,
-        build: build_spiked_dt,
+        config: config_spiked_dt,
+        build_ic: ic_spiked_dt,
     },
 ];
 
@@ -115,22 +127,42 @@ fn pack_galaxy(
     particles
 }
 
-fn build_quickstart(seed: u64) -> (SimConfig, Vec<Particle>) {
-    let model = GalaxyModel::mw_mini();
-    let real = model.realize(1500, 1000, 1500, seed);
-    let particles = pack_galaxy(&model, &real, 8.0, 0.05);
-    let cfg = SimConfig {
+fn config_quickstart() -> SimConfig {
+    SimConfig {
         scheme: Scheme::Surrogate,
         dt_global: 0.1,
         pool_latency_steps: 5,
         eps: 20.0,
         n_ngb: 24,
         ..Default::default()
-    };
-    (cfg, particles)
+    }
 }
 
-fn build_dwarf_galaxy(seed: u64) -> (SimConfig, Vec<Particle>) {
+fn ic_quickstart(seed: u64) -> Vec<Particle> {
+    let model = GalaxyModel::mw_mini();
+    let real = model.realize(1500, 1000, 1500, seed);
+    pack_galaxy(&model, &real, 8.0, 0.05)
+}
+
+fn config_dwarf_galaxy() -> SimConfig {
+    SimConfig {
+        scheme: Scheme::Surrogate,
+        dt_global: 0.25,
+        pool_latency_steps: 4,
+        eps: 15.0,
+        n_ngb: 24,
+        cooling: true,
+        star_formation: true,
+        // Coarse-resolution thresholds: 80,000 M_sun gas particles never
+        // reach the star-by-star 100 cm^-3 criterion.
+        sf_rho_min: 0.005,
+        sf_t_max: 2.0e4,
+        sf_efficiency: 0.05,
+        ..Default::default()
+    }
+}
+
+fn ic_dwarf_galaxy(seed: u64) -> Vec<Particle> {
     let model = GalaxyModel::mw_mini();
     let real = model.realize(2000, 1000, 3000, seed);
     let mut particles = pack_galaxy(&model, &real, 2.0, 0.04);
@@ -152,25 +184,25 @@ fn build_dwarf_galaxy(seed: u64) -> (SimConfig, Vec<Particle>) {
             t_explode - life,
         ));
     }
-    let cfg = SimConfig {
-        scheme: Scheme::Surrogate,
-        dt_global: 0.25,
-        pool_latency_steps: 4,
-        eps: 15.0,
-        n_ngb: 24,
-        cooling: true,
-        star_formation: true,
-        // Coarse-resolution thresholds: 80,000 M_sun gas particles never
-        // reach the star-by-star 100 cm^-3 criterion.
-        sf_rho_min: 0.005,
-        sf_t_max: 2.0e4,
-        sf_efficiency: 0.05,
-        ..Default::default()
-    };
-    (cfg, particles)
+    particles
 }
 
-fn build_supernova_remnant(seed: u64) -> (SimConfig, Vec<Particle>) {
+/// Global step shared by the SN-remnant config and its star's birth time.
+const SN_REMNANT_DT: f64 = 2.0e-3;
+
+fn config_supernova_remnant() -> SimConfig {
+    SimConfig {
+        scheme: Scheme::Surrogate,
+        dt_global: SN_REMNANT_DT,
+        pool_latency_steps: 5,
+        cooling: false,
+        star_formation: false,
+        eps: 1.0,
+        ..Default::default()
+    }
+}
+
+fn ic_supernova_remnant(seed: u64) -> Vec<Particle> {
     // A uniform gas lattice with one massive star at the centre that
     // explodes on the second step; with latency 5 the prediction is in
     // flight until step 7 — snapshots before that capture a non-empty
@@ -205,22 +237,24 @@ fn build_supernova_remnant(seed: u64) -> (SimConfig, Vec<Particle>) {
         }
     }
     let m_star = 12.0;
-    let dt = 2.0e-3;
-    let birth = dt * 1.5 - stellar_lifetime_myr(m_star);
+    let birth = SN_REMNANT_DT * 1.5 - stellar_lifetime_myr(m_star);
     particles.push(Particle::star(id, Vec3::ZERO, Vec3::ZERO, m_star, birth));
-    let cfg = SimConfig {
-        scheme: Scheme::Surrogate,
-        dt_global: dt,
-        pool_latency_steps: 5,
+    particles
+}
+
+fn config_spiked_dt() -> SimConfig {
+    SimConfig {
+        scheme: Scheme::Conventional,
+        timestep: TimestepMode::Block { max_level: 10 },
+        dt_global: 2.0e-3,
         cooling: false,
         star_formation: false,
         eps: 1.0,
         ..Default::default()
-    };
-    (cfg, particles)
+    }
 }
 
-fn build_spiked_dt(_seed: u64) -> (SimConfig, Vec<Particle>) {
+fn ic_spiked_dt(_seed: u64) -> Vec<Particle> {
     // The block-timestep stress scenario of `cargo bench --bench blockstep`:
     // a uniform blob whose centre particle carries SN-level internal energy,
     // collapsing its CFL step ~2^5-2^6 below the base step.
@@ -248,16 +282,7 @@ fn build_spiked_dt(_seed: u64) -> (SimConfig, Vec<Particle>) {
     }
     let center = (n_side / 2) * n_side * n_side + (n_side / 2) * n_side + n_side / 2;
     particles[center].u = 1.0e8;
-    let cfg = SimConfig {
-        scheme: Scheme::Conventional,
-        timestep: TimestepMode::Block { max_level: 10 },
-        dt_global: 2.0e-3,
-        cooling: false,
-        star_formation: false,
-        eps: 1.0,
-        ..Default::default()
-    };
-    (cfg, particles)
+    particles
 }
 
 #[cfg(test)]
@@ -280,6 +305,14 @@ mod tests {
             assert_eq!(ids.len(), n, "{}: duplicate ids", s.name);
         }
         assert!(find("no_such_scenario").is_none());
+    }
+
+    #[test]
+    fn config_alone_matches_the_full_build() {
+        for s in SCENARIOS {
+            let (cfg, _) = s.build(1);
+            assert_eq!(s.config(), cfg, "{}: config() must equal build().0", s.name);
+        }
     }
 
     #[test]

@@ -1,0 +1,537 @@
+//! `bench-gate` — the CI bench-regression gate.
+//!
+//! The workspace's benches emit `BENCH_*.json` perf trajectories at the
+//! repo root, and the checked-in copies double as the *baselines* of the
+//! last merged PR. CI stashes those baselines before the bench step
+//! overwrites them, then runs this gate to diff fresh results against
+//! them:
+//!
+//! ```sh
+//! bench-gate --baseline-dir bench-baselines --current-dir . --tolerance 0.30
+//! ```
+//!
+//! Metrics fall into three classes, because CI runners are noisy:
+//!
+//! * **Gated ratios** — machine-independent quantities (speedup ratios,
+//!   update savings, modeled efficiencies) measured *within* one run, so
+//!   runner throttling cancels out. A gated metric regressing by more
+//!   than `--tolerance` (default 30%) fails the job.
+//! * **Counters** — deterministic per-run counts (tree refreshes vs
+//!   rebuilds). Reported, and gated only in the *wrong direction* (e.g.
+//!   reuse disappearing entirely would show up as a gated ratio anyway).
+//! * **Informational** — absolute wall-clock and ns-per-iter numbers.
+//!   Reported with their delta but never failing: a shared runner's
+//!   absolute timings swing far more than any real regression they could
+//!   catch (this repo has measured 2x run-to-run variance on idle
+//!   containers with CPU shares).
+//!
+//! The gate prints one markdown table per file to the job log and exits
+//! non-zero iff a gated metric regressed. A *missing baseline* for a file
+//! is reported and passes (first run of a new bench); a missing *current*
+//! file fails — that's a CI wiring error, not a perf result.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+use unet::json::{parse_json, Json};
+
+/// Which way "better" points for a metric.
+#[derive(Clone, Copy, PartialEq)]
+enum Direction {
+    Higher,
+    Lower,
+}
+
+/// How a metric participates in the gate.
+#[derive(Clone, Copy, PartialEq)]
+enum Class {
+    /// Machine-independent ratio: regression beyond tolerance fails CI.
+    Gated,
+    /// Reported only; never fails.
+    Info,
+}
+
+/// One tracked scalar inside a `BENCH_*.json` document.
+struct Metric {
+    /// Object path from the document root, e.g. `["block", "wall_s"]`.
+    path: &'static [&'static str],
+    direction: Direction,
+    class: Class,
+}
+
+/// Tracked per-file metric specs. Files with a top-level `records` array
+/// (the criterion-shim registry format) are handled generically instead:
+/// every record's `ns_per_iter` is an informational lower-is-better row.
+fn tracked(file: &str) -> &'static [Metric] {
+    const BLOCKSTEP: &[Metric] = &[
+        Metric {
+            path: &["update_ratio"],
+            direction: Direction::Higher,
+            class: Class::Gated,
+        },
+        Metric {
+            path: &["wall_speedup"],
+            direction: Direction::Higher,
+            class: Class::Gated,
+        },
+        Metric {
+            path: &["modeled_block_efficiency"],
+            direction: Direction::Higher,
+            class: Class::Gated,
+        },
+        Metric {
+            path: &["block", "tree_refreshes"],
+            direction: Direction::Higher,
+            class: Class::Info,
+        },
+        Metric {
+            path: &["block", "tree_rebuilds"],
+            direction: Direction::Lower,
+            class: Class::Info,
+        },
+        Metric {
+            path: &["block", "sph_tree_refreshes"],
+            direction: Direction::Higher,
+            class: Class::Info,
+        },
+        Metric {
+            path: &["block", "sph_tree_rebuilds"],
+            direction: Direction::Lower,
+            class: Class::Info,
+        },
+        Metric {
+            path: &["global", "wall_s"],
+            direction: Direction::Lower,
+            class: Class::Info,
+        },
+        Metric {
+            path: &["block", "wall_s"],
+            direction: Direction::Lower,
+            class: Class::Info,
+        },
+    ];
+    const FORCE: &[Metric] = &[
+        Metric {
+            path: &["walk_speedup"],
+            direction: Direction::Higher,
+            class: Class::Gated,
+        },
+        Metric {
+            path: &["walk_indexed_parallel_lists_per_sec"],
+            direction: Direction::Higher,
+            class: Class::Info,
+        },
+        Metric {
+            path: &["kernel_f64_ns_per_interaction"],
+            direction: Direction::Lower,
+            class: Class::Info,
+        },
+    ];
+    match file {
+        "BENCH_blockstep.json" => BLOCKSTEP,
+        "BENCH_force.json" => FORCE,
+        _ => &[],
+    }
+}
+
+/// Outcome of one metric comparison.
+struct Row {
+    name: String,
+    baseline: Option<f64>,
+    current: Option<f64>,
+    /// Relative change in the *worse* direction (positive = regressed).
+    regression: Option<f64>,
+    gated: bool,
+}
+
+impl Row {
+    fn status(&self, tolerance: f64) -> &'static str {
+        match (self.baseline, self.current, self.regression) {
+            (None, Some(_), _) => "new",
+            (Some(_), None, _) => "MISSING",
+            (Some(_), Some(_), Some(r)) if self.gated && r > tolerance => "REGRESSED",
+            (Some(_), Some(_), Some(r)) if r > tolerance => "info (worse)",
+            (Some(_), Some(_), _) if self.gated => "ok",
+            _ => "info",
+        }
+    }
+
+    fn failed(&self, tolerance: f64) -> bool {
+        if !self.gated {
+            return false;
+        }
+        match (self.baseline, self.current) {
+            // A gated metric that vanished from the fresh output is the
+            // likeliest silent-bypass accident (renamed/dropped field):
+            // treat it as a failure, not a shrug.
+            (Some(_), None) => true,
+            (Some(_), Some(_)) => self.regression.is_some_and(|r| r > tolerance),
+            _ => false,
+        }
+    }
+}
+
+/// Relative regression of `current` vs `baseline` given the direction:
+/// positive means worse, negative means improved.
+fn regression(baseline: f64, current: f64, direction: Direction) -> Option<f64> {
+    if !baseline.is_finite() || !current.is_finite() || baseline == 0.0 {
+        return None;
+    }
+    let rel = (current - baseline) / baseline.abs();
+    Some(match direction {
+        Direction::Higher => -rel,
+        Direction::Lower => rel,
+    })
+}
+
+/// Walk an object path; `None` when any hop is missing or non-numeric.
+fn lookup(doc: &Json, path: &[&str]) -> Option<f64> {
+    let mut v = doc;
+    for key in path {
+        v = v.get(key).ok()?;
+    }
+    match v {
+        Json::Num(n) => Some(*n),
+        _ => None,
+    }
+}
+
+/// `records`-format documents: `name -> ns_per_iter`.
+fn record_map(doc: &Json) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    if let Ok(Json::Arr(records)) = doc.get("records") {
+        for r in records {
+            if let (Ok(Json::Str(name)), Ok(Json::Num(ns))) = (r.get("name"), r.get("ns_per_iter"))
+            {
+                out.push((name.clone(), *ns));
+            }
+        }
+    }
+    out
+}
+
+/// Compare one bench file; returns the rendered rows.
+fn compare_file(file: &str, baseline: Option<&Json>, current: &Json) -> Vec<Row> {
+    let mut rows = Vec::new();
+    for m in tracked(file) {
+        let name = m.path.join(".");
+        let b = baseline.and_then(|d| lookup(d, m.path));
+        let c = lookup(current, m.path);
+        let reg = match (b, c) {
+            (Some(b), Some(c)) => regression(b, c, m.direction),
+            _ => None,
+        };
+        rows.push(Row {
+            name,
+            baseline: b,
+            current: c,
+            regression: reg,
+            gated: m.class == Class::Gated,
+        });
+    }
+    // Generic records-format handling (tree_walk, alltoall, unet_infer):
+    // informational ns-per-iter rows keyed by record name.
+    let current_records = record_map(current);
+    if !current_records.is_empty() {
+        let baseline_records = baseline.map(record_map).unwrap_or_default();
+        for (name, c) in current_records {
+            let b = baseline_records
+                .iter()
+                .find(|(n, _)| *n == name)
+                .map(|&(_, v)| v);
+            let reg = b.and_then(|b| regression(b, c, Direction::Lower));
+            rows.push(Row {
+                name: format!("{name} (ns/iter)"),
+                baseline: b,
+                current: Some(c),
+                regression: reg,
+                gated: false,
+            });
+        }
+    }
+    rows
+}
+
+fn fmt_value(v: Option<f64>) -> String {
+    match v {
+        None => "—".into(),
+        Some(0.0) => "0".into(),
+        Some(v) if v.abs() >= 1e6 || v.abs() < 1e-3 => format!("{v:.4e}"),
+        Some(v) => format!("{v:.4}"),
+    }
+}
+
+fn fmt_delta(r: Option<f64>) -> String {
+    match r {
+        None => "—".into(),
+        // `regression` is positive-when-worse; label the direction plainly
+        // instead of leaving the reader to remember each metric's sign.
+        Some(r) if r.abs() < 5e-4 => "±0.0%".into(),
+        Some(r) if r > 0.0 => format!("{:.1}% worse", r * 100.0),
+        Some(r) => format!("{:.1}% better", -r * 100.0),
+    }
+}
+
+/// Render one file's comparison as a markdown table into `out`.
+fn render(file: &str, rows: &[Row], tolerance: f64, out: &mut String) {
+    use std::fmt::Write;
+    writeln!(out, "\n### {file}\n").unwrap();
+    writeln!(out, "| metric | baseline | current | change | status |").unwrap();
+    writeln!(out, "|---|---:|---:|---:|---|").unwrap();
+    for r in rows {
+        writeln!(
+            out,
+            "| {} | {} | {} | {} | {} |",
+            r.name,
+            fmt_value(r.baseline),
+            fmt_value(r.current),
+            fmt_delta(r.regression),
+            r.status(tolerance),
+        )
+        .unwrap();
+    }
+}
+
+struct Args {
+    baseline_dir: PathBuf,
+    current_dir: PathBuf,
+    tolerance: f64,
+    files: Vec<String>,
+}
+
+const DEFAULT_FILES: &[&str] = &[
+    "BENCH_force.json",
+    "BENCH_blockstep.json",
+    "BENCH_tree_walk.json",
+    "BENCH_alltoall.json",
+    "BENCH_unet_infer.json",
+];
+
+const USAGE: &str = "\
+bench-gate — diff fresh BENCH_*.json against checked-in baselines
+
+USAGE:
+    bench-gate [--baseline-dir <dir>] [--current-dir <dir>]
+               [--tolerance <frac>] [--files <a.json,b.json,...>]
+
+Exits non-zero iff a gated (machine-independent) metric regressed by more
+than the tolerance (default 0.30). Absolute timings are reported but never
+gate. A missing baseline passes (new bench); a missing current file fails.
+";
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut args = Args {
+        baseline_dir: PathBuf::from("bench-baselines"),
+        current_dir: PathBuf::from("."),
+        tolerance: 0.30,
+        files: DEFAULT_FILES.iter().map(|s| s.to_string()).collect(),
+    };
+    let mut it = argv.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> Result<&String, String> {
+            it.next().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--help" | "-h" => return Err(String::new()),
+            "--baseline-dir" => args.baseline_dir = PathBuf::from(value("--baseline-dir")?),
+            "--current-dir" => args.current_dir = PathBuf::from(value("--current-dir")?),
+            "--tolerance" => {
+                args.tolerance = value("--tolerance")?
+                    .parse()
+                    .map_err(|e| format!("--tolerance: {e}"))?;
+                if !(0.0..10.0).contains(&args.tolerance) {
+                    return Err("--tolerance must be a fraction in [0, 10)".into());
+                }
+            }
+            "--files" => {
+                args.files = value("--files")?
+                    .split(',')
+                    .map(|s| s.trim().to_string())
+                    .filter(|s| !s.is_empty())
+                    .collect();
+            }
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    Ok(args)
+}
+
+fn load(path: &Path) -> Result<Option<Json>, String> {
+    match std::fs::read_to_string(path) {
+        Ok(text) => parse_json(&text)
+            .map(Some)
+            .map_err(|e| format!("{}: {e}", path.display())),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
+        Err(e) => Err(format!("{}: {e}", path.display())),
+    }
+}
+
+fn run() -> Result<bool, String> {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = parse_args(&argv).map_err(|e| {
+        if e.is_empty() {
+            String::new()
+        } else {
+            format!("usage: {e}")
+        }
+    })?;
+
+    let mut report = String::from("## Bench regression gate\n");
+    let mut failures: Vec<String> = Vec::new();
+    for file in &args.files {
+        let current = load(&args.current_dir.join(file))?;
+        let baseline = load(&args.baseline_dir.join(file))?;
+        let Some(current) = current else {
+            failures.push(format!(
+                "{file}: no fresh result under {} — did the bench step run?",
+                args.current_dir.display()
+            ));
+            continue;
+        };
+        if baseline.is_none() {
+            report.push_str(&format!(
+                "\n### {file}\n\nno checked-in baseline — first run, passing.\n"
+            ));
+        }
+        let rows = compare_file(file, baseline.as_ref(), &current);
+        render(file, &rows, args.tolerance, &mut report);
+        for r in &rows {
+            if r.failed(args.tolerance) {
+                failures.push(if r.current.is_none() {
+                    format!(
+                        "{file}: gated metric {} disappeared from the fresh output \
+                         (baseline {})",
+                        r.name,
+                        fmt_value(r.baseline),
+                    )
+                } else {
+                    format!(
+                        "{file}: {} regressed {:.1}% (baseline {}, current {}, tolerance {:.0}%)",
+                        r.name,
+                        r.regression.unwrap_or(0.0) * 100.0,
+                        fmt_value(r.baseline),
+                        fmt_value(r.current),
+                        args.tolerance * 100.0,
+                    )
+                });
+            }
+        }
+    }
+    println!("{report}");
+    if failures.is_empty() {
+        println!(
+            "\nbench-gate: all gated metrics within {:.0}% of baseline",
+            args.tolerance * 100.0
+        );
+        Ok(true)
+    } else {
+        eprintln!("\nbench-gate: FAILED");
+        for f in &failures {
+            eprintln!("  ✗ {f}");
+        }
+        Ok(false)
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::FAILURE,
+        Err(e) if e.is_empty() || e.starts_with("usage:") => {
+            if !e.is_empty() {
+                eprintln!("{e}\n");
+            }
+            eprint!("{USAGE}");
+            ExitCode::from(2)
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc(text: &str) -> Json {
+        parse_json(text).expect("test doc parses")
+    }
+
+    #[test]
+    fn regression_signs_follow_direction() {
+        // Higher-is-better dropping 50% is a +0.5 regression.
+        assert!((regression(2.0, 1.0, Direction::Higher).unwrap() - 0.5).abs() < 1e-12);
+        // Higher-is-better improving reads negative.
+        assert!(regression(2.0, 3.0, Direction::Higher).unwrap() < 0.0);
+        // Lower-is-better growing 50% is a +0.5 regression.
+        assert!((regression(2.0, 3.0, Direction::Lower).unwrap() - 0.5).abs() < 1e-12);
+        assert_eq!(regression(0.0, 1.0, Direction::Lower), None);
+    }
+
+    #[test]
+    fn gated_metric_beyond_tolerance_fails() {
+        let base = doc(r#"{"update_ratio": 6.0, "wall_speedup": 3.0}"#);
+        let worse = doc(r#"{"update_ratio": 6.0, "wall_speedup": 1.8}"#);
+        let rows = compare_file("BENCH_blockstep.json", Some(&base), &worse);
+        let speedup = rows.iter().find(|r| r.name == "wall_speedup").unwrap();
+        assert!(speedup.failed(0.30), "40% drop must fail at 30% tolerance");
+        assert!(!speedup.failed(0.50), "but pass at 50% tolerance");
+        let ratio = rows.iter().find(|r| r.name == "update_ratio").unwrap();
+        assert!(!ratio.failed(0.30), "unchanged metric passes");
+    }
+
+    #[test]
+    fn gated_metric_missing_from_fresh_output_fails() {
+        let base = doc(r#"{"update_ratio": 6.0, "wall_speedup": 3.0}"#);
+        let renamed = doc(r#"{"update_ratio": 6.0, "wallclock_speedup": 3.0}"#);
+        let rows = compare_file("BENCH_blockstep.json", Some(&base), &renamed);
+        let speedup = rows.iter().find(|r| r.name == "wall_speedup").unwrap();
+        assert_eq!(speedup.current, None);
+        assert_eq!(speedup.status(0.3), "MISSING");
+        assert!(
+            speedup.failed(0.3),
+            "a vanished gated metric must fail the gate, not bypass it"
+        );
+    }
+
+    #[test]
+    fn informational_metrics_never_fail() {
+        let base = doc(r#"{"global": {"wall_s": 1.0}, "update_ratio": 6.0}"#);
+        let worse = doc(r#"{"global": {"wall_s": 100.0}, "update_ratio": 6.0}"#);
+        let rows = compare_file("BENCH_blockstep.json", Some(&base), &worse);
+        let wall = rows.iter().find(|r| r.name == "global.wall_s").unwrap();
+        assert!(wall.regression.unwrap() > 10.0, "huge slowdown measured");
+        assert!(!wall.failed(0.30), "...but absolute timings never gate");
+    }
+
+    #[test]
+    fn records_format_is_compared_by_name() {
+        let base = doc(
+            r#"{"records": [{"name": "a/1", "ns_per_iter": 100.0, "iters": 5},
+                            {"name": "b/2", "ns_per_iter": 200.0, "iters": 5}]}"#,
+        );
+        let cur = doc(
+            r#"{"records": [{"name": "a/1", "ns_per_iter": 150.0, "iters": 5},
+                            {"name": "c/3", "ns_per_iter": 50.0, "iters": 5}]}"#,
+        );
+        let rows = compare_file("BENCH_tree_walk.json", Some(&base), &cur);
+        let a = rows.iter().find(|r| r.name.starts_with("a/1")).unwrap();
+        assert!((a.regression.unwrap() - 0.5).abs() < 1e-12);
+        assert!(!a.failed(0.01), "records are informational");
+        let c = rows.iter().find(|r| r.name.starts_with("c/3")).unwrap();
+        assert_eq!(c.baseline, None);
+        assert_eq!(c.status(0.3), "new");
+    }
+
+    #[test]
+    fn missing_baseline_passes_and_renders() {
+        let cur = doc(r#"{"update_ratio": 6.0, "wall_speedup": 3.0}"#);
+        let rows = compare_file("BENCH_blockstep.json", None, &cur);
+        assert!(rows.iter().all(|r| !r.failed(0.0)), "no baseline, no fail");
+        let mut out = String::new();
+        render("BENCH_blockstep.json", &rows, 0.3, &mut out);
+        assert!(out.contains("| update_ratio |"));
+        assert!(out.contains("| new |"));
+    }
+}

@@ -4,9 +4,17 @@
 //! reimplements the slice of rayon the workspace uses — `par_iter`,
 //! `into_par_iter` on ranges, `map`, `map_init`, `collect`,
 //! `par_chunks_mut(..).enumerate().for_each(..)` — with *real* parallelism:
-//! work is split into contiguous index chunks, one per worker, executed on
-//! scoped OS threads (`std::thread::scope`), and results are concatenated in
-//! order, so outputs are bit-identical to the sequential evaluation.
+//! work is split into contiguous index chunks that a **persistent pool of
+//! parked worker threads** (see [`pool`]) pulls from an atomic queue, and
+//! results are concatenated in chunk order, so outputs are bit-identical
+//! to the sequential evaluation.
+//!
+//! The pool is spawned lazily on the first parallel call and lives for
+//! the process: a parallel region costs a couple of condvar wakeups
+//! instead of the thread spawn + join per call the first-generation
+//! scoped-thread shim paid. That difference is invisible on big
+//! full-system evaluations and decisive on the block-timestep substep
+//! path, where thousands of tiny active-set regions run per base step.
 //!
 //! `map_init` keeps one state value per worker chunk, exactly the per-thread
 //! scratch-reuse semantics the force pipeline relies on (rayon initializes
@@ -14,8 +22,13 @@
 //! as good).
 //!
 //! Small inputs (< [`MIN_PARALLEL_LEN`] items) run inline on the calling
-//! thread: thread spawn latency would dominate and tests with a handful of
-//! particles stay deterministic under debuggers.
+//! thread: even pool wakeup latency would dominate, and tests with a
+//! handful of particles stay deterministic under debuggers. Nested
+//! parallel calls (from a worker, or from the submitting thread's own
+//! body) also run inline — see the [`pool`] module docs for the
+//! deadlock-freedom argument.
+
+pub mod pool;
 
 use std::ops::Range;
 
@@ -87,9 +100,9 @@ pub trait ParallelIterator: Sized + Sync {
 }
 
 /// Split `0..par_len` into contiguous chunks (oversubscribed ~8x the
-/// worker count so uneven per-item costs balance), have scoped worker
-/// threads pull chunks from an atomic queue, and return the per-chunk
-/// outputs in chunk order.
+/// worker count so uneven per-item costs balance), have the persistent
+/// pool's workers and the calling thread pull chunks from an atomic
+/// queue, and return the per-chunk outputs in chunk order.
 fn execute_chunks<P, T, F>(pipeline: &P, body: F) -> Vec<Vec<T>>
 where
     P: ParallelIterator,
@@ -101,33 +114,22 @@ where
 
     let n = pipeline.par_len();
     let workers = current_num_threads();
-    if n < MIN_PARALLEL_LEN || workers <= 1 {
+    if n < MIN_PARALLEL_LEN || workers <= 1 || pool::must_run_inline() {
         return vec![body(pipeline, 0, n)];
     }
     let chunk = n.div_ceil(workers * 8).max(MIN_PARALLEL_LEN / 4);
     let n_chunks = n.div_ceil(chunk);
     let next = AtomicUsize::new(0);
     let collected: Mutex<Vec<(usize, Vec<T>)>> = Mutex::new(Vec::with_capacity(n_chunks));
-    std::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for _ in 0..workers.min(n_chunks) {
-            let body = &body;
-            let next = &next;
-            let collected = &collected;
-            handles.push(scope.spawn(move || loop {
-                let c = next.fetch_add(1, Ordering::Relaxed);
-                if c >= n_chunks {
-                    break;
-                }
-                let start = c * chunk;
-                let end = ((c + 1) * chunk).min(n);
-                let out = body(pipeline, start, end);
-                collected.lock().expect("collector lock").push((c, out));
-            }));
+    pool::broadcast(&|| loop {
+        let c = next.fetch_add(1, Ordering::Relaxed);
+        if c >= n_chunks {
+            break;
         }
-        for h in handles {
-            h.join().expect("parallel worker panicked");
-        }
+        let start = c * chunk;
+        let end = ((c + 1) * chunk).min(n);
+        let out = body(pipeline, start, end);
+        collected.lock().expect("collector lock").push((c, out));
     });
     let mut parts = collected.into_inner().expect("collector lock");
     parts.sort_unstable_by_key(|&(c, _)| c);
@@ -321,32 +323,22 @@ impl<'a, T: Send> EnumeratedChunksMut<'a, T> {
         let total: usize = self.chunks.iter().map(|c| c.len()).sum();
         let n = self.chunks.len();
         let workers = current_num_threads();
-        if total < MIN_PARALLEL_LEN || workers <= 1 || n <= 1 {
+        if total < MIN_PARALLEL_LEN || workers <= 1 || n <= 1 || pool::must_run_inline() {
             for (i, chunk) in self.chunks.into_iter().enumerate() {
                 f((i, chunk));
             }
             return;
         }
-        // Workers pull enumerated chunks from a shared queue so uneven
-        // per-chunk costs balance.
+        // Pool workers and the caller pull enumerated chunks from a shared
+        // queue so uneven per-chunk costs balance.
         use std::sync::Mutex;
         let queue: Mutex<Vec<(usize, &'a mut [T])>> =
             Mutex::new(self.chunks.into_iter().enumerate().rev().collect());
-        std::thread::scope(|scope| {
-            let mut handles = Vec::new();
-            for _ in 0..workers.min(n) {
-                let f = &f;
-                let queue = &queue;
-                handles.push(scope.spawn(move || loop {
-                    let item = queue.lock().expect("chunk queue").pop();
-                    match item {
-                        Some(it) => f(it),
-                        None => break,
-                    }
-                }));
-            }
-            for h in handles {
-                h.join().expect("parallel worker panicked");
+        pool::broadcast(&|| loop {
+            let item = queue.lock().expect("chunk queue").pop();
+            match item {
+                Some(it) => f(it),
+                None => break,
             }
         });
     }
@@ -433,5 +425,88 @@ mod tests {
             sum.fetch_add(i as u64, Ordering::Relaxed);
         });
         assert_eq!(sum.load(Ordering::Relaxed), 999 * 1000 / 2);
+    }
+
+    #[test]
+    fn nested_parallel_calls_do_not_deadlock() {
+        // An outer region whose items each open an inner region: the inner
+        // calls run inline (on pool workers and on the submitting thread)
+        // instead of re-entering the one-job-at-a-time pool.
+        let out: Vec<usize> = (0..256usize)
+            .into_par_iter()
+            .map(|i| {
+                let inner: Vec<usize> = (0..256usize).into_par_iter().map(|j| i + j).collect();
+                inner.iter().sum::<usize>()
+            })
+            .collect();
+        for (i, &s) in out.iter().enumerate() {
+            assert_eq!(s, 256 * i + 255 * 256 / 2);
+        }
+    }
+
+    #[test]
+    fn concurrent_top_level_calls_from_many_threads_serialize_safely() {
+        // Independent user threads (mpisim rank threads, the test harness)
+        // submitting simultaneously must queue on the pool, not deadlock or
+        // corrupt each other's chunk accounting.
+        let handles: Vec<_> = (0..4u64)
+            .map(|t| {
+                std::thread::spawn(move || {
+                    let v: Vec<u64> = (0..4096usize)
+                        .into_par_iter()
+                        .map(|i| i as u64 * (t + 1))
+                        .collect();
+                    v.iter().sum::<u64>()
+                })
+            })
+            .collect();
+        let expected = 4095u64 * 4096 / 2;
+        for (t, h) in handles.into_iter().enumerate() {
+            let sum = h.join().expect("submitting thread panicked");
+            assert_eq!(sum, expected * (t as u64 + 1));
+        }
+    }
+
+    #[test]
+    fn pool_survives_a_panicking_region() {
+        // A panic inside one region must propagate to its caller and leave
+        // the pool reusable for the next region.
+        let result = std::panic::catch_unwind(|| {
+            (0..10_000usize).into_par_iter().for_each(|i| {
+                if i == 7777 {
+                    panic!("injected");
+                }
+            });
+        });
+        assert!(result.is_err(), "the panic must propagate");
+        let doubled: Vec<usize> = (0..1000usize).into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn map_init_state_count_is_bounded_by_workers_times_chunks() {
+        // The satellite contract: one init per pulled chunk, so the number
+        // of distinct states never exceeds the chunk count (itself ~8x the
+        // worker count) regardless of how the pool schedules them.
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let inits = AtomicUsize::new(0);
+        let n = 50_000usize;
+        let chunk = n.div_ceil(super::current_num_threads() * 8).max(16);
+        let n_chunks = n.div_ceil(chunk);
+        let out: Vec<usize> = (0..n)
+            .into_par_iter()
+            .map_init(
+                || {
+                    inits.fetch_add(1, Ordering::Relaxed);
+                },
+                |_, i| i,
+            )
+            .collect();
+        assert_eq!(out.len(), n);
+        let distinct = inits.load(Ordering::Relaxed);
+        assert!(
+            distinct <= n_chunks,
+            "states ({distinct}) must be bounded by chunks ({n_chunks})"
+        );
     }
 }

@@ -1,0 +1,265 @@
+//! The persistent worker-pool runtime behind the shim's parallel
+//! executors.
+//!
+//! The first shim generation spawned scoped OS threads
+//! (`std::thread::scope`) on *every* parallel call. That was correct but
+//! charged a full thread spawn + join (~100 µs each on this class of
+//! hardware) per call — fatal once hierarchical block timesteps made the
+//! hot path thousands of *tiny* active-set force evaluations per base
+//! step. This module replaces it with a classic persistent pool:
+//!
+//! * **Lazily-initialized global pool**: the first parallel call spawns
+//!   `current_num_threads() - 1` detached worker threads (the submitting
+//!   thread always participates as the remaining worker) that live for the
+//!   process lifetime, parked on a condvar between jobs.
+//! * **Broadcast jobs**: a job is one type-erased `&(dyn Fn() + Sync)`
+//!   body. `broadcast` publishes it under the pool lock, wakes the
+//!   workers, runs the body on the calling thread too, then retires the
+//!   job. Chunk distribution stays in the executors (`execute_chunks` in
+//!   the crate root): the body loops on an atomic chunk counter, so every
+//!   participating thread — caller included — pulls chunks until the
+//!   queue drains, exactly the oversubscribed load-balancing scheme the
+//!   scoped-thread version used.
+//! * **One job at a time**: a process-wide submit lock serializes
+//!   top-level parallel regions. Concurrent submitters (e.g. `mpisim`
+//!   rank threads) queue up; each still gets the whole pool.
+//! * **Nested calls run inline**: a parallel call made from inside a pool
+//!   worker, or from a body already executing on the submitting thread,
+//!   runs sequentially on the calling thread. This keeps nesting
+//!   deadlock-free (a worker can never block waiting for pool capacity it
+//!   is itself occupying) at the cost of serialized inner loops — the
+//!   force pipeline only nests trivially, so the outer region already
+//!   saturates the machine.
+//!
+//! # Safety protocol
+//!
+//! The job body is a borrow of the submitter's stack frame, promoted to
+//! `'static` for the worker channel. The protocol that keeps this sound:
+//! workers take the body pointer only under the pool lock while the job
+//! slot is occupied and increment `running` in the same critical section;
+//! `broadcast` clears the slot and then blocks until `running` drains to
+//! zero before returning (or unwinding). A worker that wakes late finds
+//! the slot empty and goes back to sleep — it can never observe a dangling
+//! body.
+//!
+//! Worker panics are caught per-invocation (the worker thread survives),
+//! recorded on the job, and re-raised on the submitting thread as
+//! `"parallel worker panicked"`, matching the scoped-thread shim's
+//! behaviour.
+
+use std::cell::Cell;
+use std::panic::AssertUnwindSafe;
+use std::sync::{Condvar, Mutex, OnceLock};
+
+/// Type-erased job body with the submitter-stack lifetime erased; see the
+/// module docs for the protocol that makes dereferencing it sound.
+#[derive(Clone, Copy)]
+struct JobPtr(*const (dyn Fn() + Sync));
+
+// SAFETY: the pointee is `Sync` (shared calls from many threads are fine)
+// and the retire protocol bounds its lifetime; the raw pointer is only a
+// channel between the submitter and the workers.
+unsafe impl Send for JobPtr {}
+
+/// Pool state guarded by one mutex.
+struct State {
+    /// Monotone submission counter: a worker joins each published job at
+    /// most once, even across spurious wakeups.
+    epoch: u64,
+    /// The body of the in-flight job; `None` between jobs, so late-waking
+    /// workers cannot join a retired job.
+    job: Option<JobPtr>,
+    /// Workers currently executing the body.
+    running: usize,
+    /// Some worker invocation of the current job panicked.
+    panicked: bool,
+}
+
+struct Pool {
+    state: Mutex<State>,
+    /// Workers park here between jobs.
+    work: Condvar,
+    /// The submitter parks here while joined workers finish.
+    done: Condvar,
+    /// Number of pool worker threads (the submitter participates too, so
+    /// total parallelism is `helpers + 1`).
+    helpers: usize,
+}
+
+/// Serializes top-level parallel regions: held by the submitting thread
+/// for the whole job.
+static SUBMIT: Mutex<()> = Mutex::new(());
+static POOL: OnceLock<&'static Pool> = OnceLock::new();
+
+thread_local! {
+    /// Set once on pool worker threads.
+    static IS_POOL_WORKER: Cell<bool> = const { Cell::new(false) };
+    /// Set on any thread while it is inside a `broadcast` body.
+    static IN_PARALLEL: Cell<bool> = const { Cell::new(false) };
+}
+
+/// True when a parallel call must run inline on the calling thread: on a
+/// pool worker, or nested inside an in-flight parallel region on the
+/// submitting thread (either would deadlock against the one-job-at-a-time
+/// pool).
+pub(crate) fn must_run_inline() -> bool {
+    IS_POOL_WORKER.with(Cell::get) || IN_PARALLEL.with(Cell::get)
+}
+
+/// The process-wide pool, spawning its workers on first use.
+fn pool() -> &'static Pool {
+    POOL.get_or_init(|| {
+        let helpers = crate::current_num_threads().saturating_sub(1);
+        let p: &'static Pool = Box::leak(Box::new(Pool {
+            state: Mutex::new(State {
+                epoch: 0,
+                job: None,
+                running: 0,
+                panicked: false,
+            }),
+            work: Condvar::new(),
+            done: Condvar::new(),
+            helpers,
+        }));
+        for i in 0..helpers {
+            std::thread::Builder::new()
+                .name(format!("rayon-shim-{i}"))
+                .spawn(move || worker_loop(p))
+                .expect("spawn pool worker");
+        }
+        p
+    })
+}
+
+fn worker_loop(pool: &'static Pool) {
+    IS_POOL_WORKER.with(|f| f.set(true));
+    let mut seen = 0u64;
+    loop {
+        let job = {
+            let mut st = pool.state.lock().expect("pool state");
+            loop {
+                if st.epoch != seen {
+                    seen = st.epoch;
+                    if let Some(j) = st.job {
+                        st.running += 1;
+                        break j;
+                    }
+                }
+                st = pool.work.wait(st).expect("pool state");
+            }
+        };
+        // SAFETY: the pointer was taken under the lock while the job slot
+        // was occupied and `running` was incremented; the submitter keeps
+        // the body alive until `running` returns to zero.
+        let body = unsafe { &*job.0 };
+        let ok = std::panic::catch_unwind(AssertUnwindSafe(body)).is_ok();
+        let mut st = pool.state.lock().expect("pool state");
+        st.running -= 1;
+        if !ok {
+            st.panicked = true;
+        }
+        if st.running == 0 {
+            pool.done.notify_all();
+        }
+    }
+}
+
+/// Run `body` on every pool worker concurrently with the calling thread,
+/// returning once all participants are done. The body must distribute its
+/// own work (atomic chunk counter / work queue); extra invocations that
+/// find nothing to do simply return.
+///
+/// Panics with `"parallel worker panicked"` if any worker invocation
+/// panicked (the caller's own panic, if any, is resumed verbatim).
+pub(crate) fn broadcast(body: &(dyn Fn() + Sync)) {
+    let pool = pool();
+    if pool.helpers == 0 {
+        // Single-core machine: no workers to coordinate with.
+        body();
+        return;
+    }
+    // A previous region that propagated a panic poisons this lock while
+    // holding no broken invariants (the retire step below always runs
+    // before unwinding), so poisoning is recovered, not propagated.
+    let _submit = SUBMIT.lock().unwrap_or_else(|e| e.into_inner());
+    // Publish the job and wake the workers.
+    {
+        let mut st = pool.state.lock().expect("pool state");
+        debug_assert!(st.job.is_none() && st.running == 0, "job overlap");
+        st.epoch = st.epoch.wrapping_add(1);
+        // SAFETY: promotes the body borrow to `'static` for the worker
+        // channel; the retire step below outlives every dereference.
+        st.job = Some(JobPtr(unsafe {
+            std::mem::transmute::<&(dyn Fn() + Sync), &'static (dyn Fn() + Sync)>(body)
+        }));
+        st.panicked = false;
+        pool.work.notify_all();
+    }
+    // Participate from the calling thread; nested parallel calls made by
+    // the body run inline rather than re-entering the pool.
+    IN_PARALLEL.with(|f| f.set(true));
+    let caller = std::panic::catch_unwind(AssertUnwindSafe(body));
+    IN_PARALLEL.with(|f| f.set(false));
+    // Retire: close the slot to new joins, then wait out joined workers.
+    let worker_panicked = {
+        let mut st = pool.state.lock().expect("pool state");
+        st.job = None;
+        while st.running > 0 {
+            st = pool.done.wait(st).expect("pool state");
+        }
+        st.panicked
+    };
+    if let Err(payload) = caller {
+        std::panic::resume_unwind(payload);
+    }
+    if worker_panicked {
+        panic!("parallel worker panicked");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn broadcast_runs_on_caller_and_workers() {
+        let calls = AtomicUsize::new(0);
+        broadcast(&|| {
+            calls.fetch_add(1, Ordering::Relaxed);
+        });
+        let n = calls.load(Ordering::Relaxed);
+        // At least the caller ran it; at most caller + every helper.
+        assert!(n >= 1 && n <= pool().helpers + 1, "{n} invocations");
+    }
+
+    #[test]
+    fn sequential_broadcasts_reuse_the_pool() {
+        for round in 0..100 {
+            let sum = AtomicUsize::new(0);
+            let next = AtomicUsize::new(0);
+            broadcast(&|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= 1000 {
+                    break;
+                }
+                sum.fetch_add(i, Ordering::Relaxed);
+            });
+            assert_eq!(sum.load(Ordering::Relaxed), 999 * 1000 / 2, "round {round}");
+        }
+    }
+
+    #[test]
+    fn worker_threads_report_inline_mode() {
+        // From inside a body, every participant must see must_run_inline()
+        // (caller via IN_PARALLEL, workers via IS_POOL_WORKER).
+        let violations = AtomicUsize::new(0);
+        broadcast(&|| {
+            if !must_run_inline() {
+                violations.fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        assert_eq!(violations.load(Ordering::Relaxed), 0);
+        assert!(!must_run_inline(), "flag must clear after the region");
+    }
+}
