@@ -1,0 +1,249 @@
+//! The distributed block-timestep trajectory benchmark (`cargo bench
+//! --bench dist_blockstep`).
+//!
+//! Runs the spiked-dt scenario — a uniform gas blob with one SN-hot
+//! particle — through the **distributed** (`mpisim`) driver in both
+//! [`TimestepMode::Global`] (the surrogate scheme's fixed-dt KDK) and
+//! [`TimestepMode::Block`] (the conventional hierarchy's substep walk,
+//! world-reduced schedule), over the same number of base steps, and
+//! compares:
+//!
+//! * the Fig. 6/7 phase breakdown of each mode — in Block mode the
+//!   per-substep ghost refreshes and barrier-bracketed walk phases carry
+//!   the synchronization cost the paper's §1 argument charges against
+//!   individual timesteps, now measured across ranks instead of modeled;
+//! * the gated `update_ratio`: what a lockstep walk at the schedule's
+//!   depth would cost (`N × substeps` particle-updates) over what the
+//!   active-set hierarchy actually paid — the machine-independent update
+//!   economy of block timesteps (deterministic counters, so CI can gate
+//!   on it);
+//! * `block_sync_share` (informational): the fraction of Block-mode wall
+//!   time spent in exchange/ghost phases.
+//!
+//! Writes `BENCH_dist_blockstep.json` at the repo root so subsequent PRs
+//! have a perf trajectory.
+
+use asura_core::dist::{run_distributed, DistConfig, DistReport, PredictorKind};
+use asura_core::{Particle, Scheme, SimConfig, TimestepMode};
+use fdps::exchange::Routing;
+use fdps::Vec3;
+use std::time::Instant;
+
+const N_SIDE: usize = 8;
+const DT_BASE: f64 = 2.0e-3;
+const BASE_STEPS: usize = 2;
+const MAX_LEVEL: u32 = 6;
+const GRID: (usize, usize, usize) = (2, 1, 1);
+const N_POOL: usize = 1;
+
+fn spiked_blob() -> Vec<Particle> {
+    let mut particles = Vec::new();
+    let mut id = 0u64;
+    for i in 0..N_SIDE {
+        for j in 0..N_SIDE {
+            for k in 0..N_SIDE {
+                particles.push(Particle::gas(
+                    id,
+                    Vec3::new(
+                        i as f64 - N_SIDE as f64 / 2.0,
+                        j as f64 - N_SIDE as f64 / 2.0,
+                        k as f64 - N_SIDE as f64 / 2.0,
+                    ),
+                    Vec3::ZERO,
+                    1.0,
+                    1.0,
+                    1.3,
+                ));
+                id += 1;
+            }
+        }
+    }
+    // SN-hot centre particle: ~10^4 km/s signal speed collapses its CFL
+    // step well below the base step on whichever rank owns it.
+    let center = (N_SIDE / 2) * N_SIDE * N_SIDE + (N_SIDE / 2) * N_SIDE + N_SIDE / 2;
+    particles[center].u = 1.0e8;
+    particles
+}
+
+fn config(mode: TimestepMode) -> DistConfig {
+    DistConfig {
+        grid: GRID,
+        n_pool: N_POOL,
+        routing: Routing::Flat,
+        sim: SimConfig {
+            scheme: Scheme::Surrogate,
+            timestep: mode,
+            dt_global: DT_BASE,
+            cooling: false,
+            star_formation: false,
+            eps: 1.0,
+            n_ngb: 16,
+            ..Default::default()
+        },
+        steps: BASE_STEPS,
+        predictor: PredictorKind::SedovOverlay,
+        snapshot_every: 0,
+    }
+}
+
+/// Phases whose time is inter-rank synchronization/communication rather
+/// than local compute — the per-substep overhead class of the paper's §1
+/// argument.
+const SYNC_PHASES: &[&str] = &[
+    asura_core::phases::EXCHANGE_PARTICLE,
+    asura_core::phases::PREPROCESS_FEEDBACK,
+    asura_core::phases::EXCHANGE_LET_1,
+    asura_core::phases::EXCHANGE_LET_2,
+    asura_core::phases::SEND_SNE,
+    asura_core::phases::RECEIVE_SNE,
+];
+
+struct RunResult {
+    wall_s: f64,
+    report: DistReport,
+    sync_s: f64,
+    phase_total_s: f64,
+}
+
+fn run(mode: TimestepMode) -> RunResult {
+    let ic = spiked_blob();
+    let cfg = config(mode);
+    let start = Instant::now();
+    let report = run_distributed(&cfg, &ic);
+    let wall_s = start.elapsed().as_secs_f64();
+    let sync_s: f64 = SYNC_PHASES
+        .iter()
+        .filter_map(|name| report.phases.get(name).map(|e| e.total_s))
+        .sum();
+    let phase_total_s = report.phases.total_s();
+    RunResult {
+        wall_s,
+        report,
+        sync_s,
+        phase_total_s,
+    }
+}
+
+fn main() {
+    let n = N_SIDE * N_SIDE * N_SIDE;
+    println!(
+        "dist_blockstep: N={n}, grid {}x{}x{}+{}, dt_base={DT_BASE}, {BASE_STEPS} base steps",
+        GRID.0, GRID.1, GRID.2, N_POOL
+    );
+
+    let global = run(TimestepMode::Global);
+    let g_updates: u64 = global
+        .report
+        .rank_stats
+        .iter()
+        .map(|s| s.active_updates)
+        .sum();
+    println!(
+        "global: {:.3} s wall ({:.3} s phases, {:.3} s sync), {} steps, {} updates",
+        global.wall_s, global.phase_total_s, global.sync_s, global.report.steps, g_updates
+    );
+
+    let block = run(TimestepMode::Block {
+        max_level: MAX_LEVEL,
+    });
+    let b_updates: u64 = block
+        .report
+        .rank_stats
+        .iter()
+        .map(|s| s.active_updates)
+        .sum();
+    let substeps = block
+        .report
+        .rank_stats
+        .iter()
+        .map(|s| s.substeps)
+        .max()
+        .unwrap_or(0);
+    let (refreshes, rebuilds, sph_refreshes, sph_rebuilds) =
+        block.report.rank_stats.iter().fold((0, 0, 0, 0), |a, s| {
+            (
+                a.0 + s.tree_refreshes,
+                a.1 + s.tree_rebuilds,
+                a.2 + s.sph_tree_refreshes,
+                a.3 + s.sph_tree_rebuilds,
+            )
+        });
+    println!(
+        "block:  {:.3} s wall ({:.3} s phases, {:.3} s sync), {} base steps / {} substeps, \
+         {} updates, gravity tree {} refreshes / {} rebuilds, sph tree {} refreshes / {} rebuilds",
+        block.wall_s,
+        block.phase_total_s,
+        block.sync_s,
+        block.report.steps,
+        substeps,
+        b_updates,
+        refreshes,
+        rebuilds,
+        sph_refreshes,
+        sph_rebuilds,
+    );
+
+    // The paper's update economy, measured: a lockstep walk at the agreed
+    // depth updates every particle at every fine substep; the active-set
+    // hierarchy only pays for the levels that are due.
+    let lockstep_updates = n as u64 * substeps.max(1);
+    let update_ratio = lockstep_updates as f64 / b_updates.max(1) as f64;
+    let block_sync_share = block.sync_s / block.phase_total_s.max(1e-12);
+    let global_sync_share = global.sync_s / global.phase_total_s.max(1e-12);
+    println!(
+        "update economy: {update_ratio:.2}x vs lockstep at depth, \
+         sync share: global {global_sync_share:.3} -> block {block_sync_share:.3}"
+    );
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"n\": {},\n",
+            "  \"grid\": \"{}x{}x{}+{}\",\n",
+            "  \"dt_base\": {},\n",
+            "  \"base_steps\": {},\n",
+            "  \"max_level_cap\": {},\n",
+            "  \"global\": {{\"wall_s\": {:.4}, \"steps\": {}, \"updates\": {}, \"phase_total_s\": {:.4},\n",
+            "             \"sync_s\": {:.4}, \"sync_share\": {:.4}}},\n",
+            "  \"block\": {{\"wall_s\": {:.4}, \"base_steps\": {}, \"substeps\": {}, \"updates\": {},\n",
+            "            \"phase_total_s\": {:.4}, \"sync_s\": {:.4}, \"tree_refreshes\": {}, \"tree_rebuilds\": {},\n",
+            "            \"sph_tree_refreshes\": {}, \"sph_tree_rebuilds\": {}}},\n",
+            "  \"update_ratio\": {:.3},\n",
+            "  \"block_sync_share\": {:.4},\n",
+            "  \"threads\": {}\n",
+            "}}\n"
+        ),
+        n,
+        GRID.0,
+        GRID.1,
+        GRID.2,
+        N_POOL,
+        DT_BASE,
+        BASE_STEPS,
+        MAX_LEVEL,
+        global.wall_s,
+        global.report.steps,
+        g_updates,
+        global.phase_total_s,
+        global.sync_s,
+        global_sync_share,
+        block.wall_s,
+        block.report.steps,
+        substeps,
+        b_updates,
+        block.phase_total_s,
+        block.sync_s,
+        refreshes,
+        rebuilds,
+        sph_refreshes,
+        sph_rebuilds,
+        update_ratio,
+        block_sync_share,
+        rayon::current_num_threads(),
+    );
+    let path = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_dist_blockstep.json");
+    std::fs::write(&path, json).expect("write BENCH_dist_blockstep.json");
+    println!("[artifact] {}", path.display());
+}

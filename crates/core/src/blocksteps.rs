@@ -71,7 +71,22 @@ impl BlockSchedule {
         self.max_level = levels.iter().copied().max().unwrap_or(0);
     }
 
-    /// Deepest occupied level.
+    /// Deepen the substep walk to `depth` without touching any particle's
+    /// level: the base step is subdivided as if level `depth` were
+    /// occupied, so `substeps_per_base_step` becomes `2^depth` and every
+    /// `active_at*` period is computed against the deeper hierarchy. This
+    /// is the distributed schedule-agreement hook — every rank raises its
+    /// local schedule to the allreduced world maximum so all ranks walk
+    /// the same fine-substep boundaries (and hit the same collectives),
+    /// while ranks with only shallow levels simply have empty active sets
+    /// at the extra boundaries. A `depth` below the deepest occupied
+    /// level is a no-op.
+    pub fn raise_depth(&mut self, depth: u32) {
+        self.max_level = self.max_level.max(depth);
+    }
+
+    /// Deepest level the substep walk subdivides to: the deepest occupied
+    /// level, or the [`BlockSchedule::raise_depth`] override if deeper.
     pub fn max_level(&self) -> u32 {
         self.max_level
     }
@@ -215,6 +230,28 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_timestep_rejected() {
         let _ = BlockSchedule::assign(1.0, &[0.0], 4);
+    }
+
+    #[test]
+    fn raise_depth_widens_the_walk_without_moving_levels() {
+        let mut s = BlockSchedule::assign(1.0, &[1.0, 0.5], 20);
+        assert_eq!(s.max_level(), 1);
+        s.raise_depth(3);
+        assert_eq!(s.max_level(), 3);
+        assert_eq!(s.substeps_per_base_step(), 8);
+        // Particle levels (and their quantized dts) are untouched.
+        assert_eq!(s.levels, vec![0, 1]);
+        assert_eq!(s.dt_of(1), 0.5);
+        // Level-1 particles now update every 4 of the 8 fine substeps.
+        assert_eq!(s.active_at(4), vec![1]);
+        assert_eq!(s.active_at(1), Vec::<usize>::new());
+        assert_eq!(s.active_at(0), vec![0, 1]);
+        // Raising below the occupied depth is a no-op.
+        s.raise_depth(2);
+        assert_eq!(s.max_level(), 3);
+        // Reassignment re-derives the depth from the levels again.
+        s.reassign(1.0, &[1.0, 0.5], 20);
+        assert_eq!(s.max_level(), 1);
     }
 
     #[test]

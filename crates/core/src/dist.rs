@@ -1,24 +1,93 @@
 //! Distributed driver: the paper's main/pool architecture over `mpisim`.
 //!
 //! The world communicator is split (paper §3.1): *main* ranks integrate the
-//! galaxy with domain decomposition, LET gravity, ghost-exchange SPH, and a
-//! fixed global timestep; *pool* ranks sit in a service loop running the SN
+//! galaxy with domain decomposition, LET gravity, ghost-exchange SPH and a
+//! KDK leapfrog; *pool* ranks sit in a service loop running the SN
 //! predictor. Regions travel main → pool when an SN is identified and come
 //! back `pool_latency_steps` later, exactly as in Fig. 3. Every phase is
 //! timed with barrier brackets under the paper's phase names, which is what
 //! Figures 6/7 and Table 3 plot.
+//!
+//! # Phase map (paper Fig. 6/7 legend → where it is measured here)
+//!
+//! | Legend entry | Global (KDK) | Block (substepped) |
+//! |---|---|---|
+//! | `Exchange_Particle` | decomposition + migration, once per step | once per base step |
+//! | `Identify_SNe` / `Send_SNe` | SN scan + region gather/dispatch | same, at base cadence |
+//! | `1st Make_Local_Tree` / `1st Exchange_LET` | gravity tree + LET of the opening force pass | base-step full pass |
+//! | `1st Calc_Force` | gravity + SPH forces of the opening pass | base-step full pass |
+//! | `Preprocess_of_Feedback` | SPH ghost exchange (pre-density + owner-value refresh) | **per-substep ghost refresh** — the synchronization cost §1 charges against individual timesteps |
+//! | `1st Calc_Kernel_Size_and_Density` | kernel-size/density of the opening pass | base-step full pass |
+//! | `Integration` | opening half-kick + drift | level assignment, schedule reduction, opening half-kick and per-substep drift-prediction of *all* particles |
+//! | `2nd Make_Tree` / `2nd Exchange_LET` | gravity tree + LET of the closing (re-force) pass | per-substep moment refresh of the cached source tree (LET imports reused) |
+//! | `2nd Calc_Kernel_Size` | density of the closing pass | per-substep active-set density |
+//! | `2nd Calc_Force` | gravity + SPH forces of the closing pass | per-substep active-set forces |
+//! | `Final_kick (brdg asso)` | closing half-kick | per-substep closing/opening kicks of the active set |
+//! | `Receive_SNe` / `Feedback_and_Cooling (direct)` / `Star Formation` | pool replies, cooling, (timed placeholder) | same, at base cadence |
+//!
+//! In `Global` mode the loop is a true kick–drift–kick: the opening force
+//! pass (`1st *` phases) feeds the half-kick + drift, a full re-force at
+//! the drifted positions (`2nd *` phases — a real evaluation, not a timed
+//! placeholder) feeds the closing half-kick under `Final_kick`. This
+//! matches the shared-memory driver's integration order.
+//!
+//! # Distributed block timesteps
+//!
+//! [`TimestepMode::Block`](crate::config::TimestepMode) runs the paper's
+//! *conventional* hierarchy across ranks so its per-substep
+//! synchronization cost (§1, §5.3, Figs. 6/7) is measured rather than
+//! modeled. The schedule-reduction protocol per base step:
+//!
+//! 1. each rank computes per-particle desired dts from the base-step full
+//!    force pass ([`scheduler::desired_timesteps`]) and bins them into
+//!    power-of-two levels locally ([`ActiveScheduler::assign`] — the level
+//!    of a particle depends only on its own dt and the shared `dt_global`,
+//!    so binning needs no communication);
+//! 2. the deepest occupied level is allreduce-maxed over the main ranks
+//!    (equivalently: allreduce-min of the finest quantized dt) and every
+//!    rank raises its schedule to the agreed depth
+//!    ([`scheduler::reduce_depth_world`]), so all ranks walk the identical
+//!    `2^depth` fine-substep boundaries and enter the identical sequence
+//!    of collectives;
+//! 3. each fine substep drifts *all* particles (inactive ones are thereby
+//!    drift-predicted), refreshes the SPH ghosts (two collective
+//!    exchanges: pre-density, then owner-converged values — this is the
+//!    cost that dominates Fig. 6/7 when active fractions are small),
+//!    moment-refreshes the cached gravity source tree
+//!    ([`fdps::Tree::refresh`], LET imports frozen at their base-step
+//!    positions, full rebuild when the 5%-of-cube drift bound trips) and
+//!    the SPH neighbor tree, and gives only the boundary's active set new
+//!    forces and kicks.
+//!
+//! Domain decomposition, SN identification/dispatch, pool replies and
+//! cooling stay at the base cadence, as conventional codes re-synchronize
+//! there. Per-rank [`SimStats`] (substeps, active updates, tree
+//! refresh/rebuild splits) are gathered into [`DistReport::rank_stats`].
+//!
+//! # Ghost exchange
+//!
+//! SPH ghosts are exchanged twice per force evaluation: once before the
+//! density pass (positions/masses make boundary densities exact), and
+//! again after it with the *owner's* freshly converged `rho`/`h` and
+//! current `u`/`vel` — the second exchange re-selects with the identical
+//! per-particle reach, so it returns the same ghosts in the same order and
+//! the entries are overwritten in place. Ghost densities are therefore the
+//! owning rank's same-pass values, never a locally invented clamp.
 
-use crate::config::SimConfig;
+use crate::config::{SimConfig, TimestepMode};
 use crate::particle::Particle;
 use crate::phases;
 use crate::pool::{PoolPredictor, SedovOverlayPredictor, UNetPredictor};
+use crate::scheduler::{self, ActiveScheduler};
+pub use crate::sim::SimStats;
+use crate::snapshot::ScheduleState;
 pub use crate::snapshot::{DistPending, DistSnapshot};
 use astro::lifetime::explodes_in_interval;
 use astro::units::{E_SN, G, NH_PER_MSUN_PC3};
 use fdps::domain::DomainDecomposition;
 use fdps::exchange::{exchange_ghosts, exchange_particles, Routing};
 use fdps::let_exchange::exchange_let;
-use fdps::{Tree, Vec3};
+use fdps::{Tree, Vec3, WalkIndex};
 use gravity::GravitySolver;
 use mpisim::{Comm, PhaseReport, PhaseTimer, World};
 use sph::solver::{HydroState, SphScratch, SphSolver};
@@ -79,7 +148,7 @@ pub struct DistConfig {
     /// Alltoallv routing for decomposition/LET traffic.
     pub routing: Routing,
     pub sim: SimConfig,
-    /// Steps to integrate.
+    /// Steps to integrate (base steps in [`TimestepMode::Block`]).
     pub steps: usize,
     /// The predictor served by the pool ranks.
     pub predictor: PredictorKind,
@@ -117,6 +186,11 @@ pub struct DistReport {
     /// The complete final particle state, sorted by id (restart-determinism
     /// audits compare this across runs).
     pub final_state: Vec<Particle>,
+    /// Per-main-rank integration counters (substeps, active updates, tree
+    /// refresh/rebuild splits, dt floor) — [`TimestepMode::Block`] runs
+    /// populate the substep counters on every rank, and schedule agreement
+    /// shows up as identical `substeps` across the vector.
+    pub rank_stats: Vec<SimStats>,
 }
 
 struct Pending {
@@ -210,6 +284,471 @@ fn pool_loop(world: &Comm, n_main: usize, predictor: &dyn PoolPredictor, cfg: &D
     }
 }
 
+/// One SPH ghost record: the owner's current state plus the exchange
+/// reach it was selected with (stored so the post-density refresh
+/// re-selects the identical ghost set — see the module docs).
+#[derive(Clone)]
+struct Ghost {
+    pos: Vec3,
+    vel: Vec3,
+    mass: f64,
+    u: f64,
+    h: f64,
+    rho: f64,
+    reach: f64,
+}
+
+/// Phase names of one full force evaluation; the opening (base-step) pass
+/// records under the `1st *` legend entries, the KDK re-force and the
+/// substep path under the `2nd *` ones.
+struct PassPhases {
+    tree: &'static str,
+    let_exchange: &'static str,
+    grav_force: &'static str,
+    density: &'static str,
+    sph_force: &'static str,
+}
+
+const PASS_OPENING: PassPhases = PassPhases {
+    tree: phases::MAKE_LOCAL_TREE_1,
+    let_exchange: phases::EXCHANGE_LET_1,
+    grav_force: phases::CALC_FORCE_1,
+    density: phases::CALC_KERNEL_DENSITY_1,
+    sph_force: phases::CALC_FORCE_1,
+};
+
+const PASS_CLOSING: PassPhases = PassPhases {
+    tree: phases::MAKE_TREE_2,
+    let_exchange: phases::EXCHANGE_LET_2,
+    grav_force: phases::CALC_FORCE_2,
+    density: phases::CALC_KERNEL_SIZE_2,
+    sph_force: phases::CALC_FORCE_2,
+};
+
+/// Per-rank force-evaluation state: persistent scratch arenas (the same
+/// zero-allocation contract the shared-memory driver keeps) plus the
+/// base-step source caches — gravity tree over locals + LET imports, walk
+/// index, hydro state — that the substep walk moment-refreshes instead of
+/// rebuilding.
+struct RankForces {
+    grav_acc: Vec<Vec3>,
+    grav_pot: Vec<f64>,
+    sph: SphScratch,
+    /// Combined gravity + SPH acceleration per local particle.
+    acc: Vec<Vec3>,
+    /// Specific-energy rate per local particle (0 for collisionless).
+    dudt: Vec<f64>,
+    /// `(particle index, v_sig, h)` from the last SPH force pass.
+    vsig: Vec<(usize, f64, f64)>,
+    /// Gravity source system: local positions followed by LET imports.
+    jpos: Vec<Vec3>,
+    jmass: Vec<f64>,
+    jtree: Option<Tree>,
+    jwalk: Option<WalkIndex>,
+    /// Source positions at the last full build (drift-bound reference).
+    ref_pos: Vec<Vec3>,
+    /// Hydro state: local gas first, then ghosts.
+    state: HydroState,
+    gas_idx: Vec<usize>,
+    /// Particle index → hydro-local index (`NOT_GAS_LOCAL` for non-gas).
+    gas_local: Vec<u32>,
+    n_gas_local: usize,
+    /// Pre-density exchange reach per local gas particle, reused by the
+    /// post-density ghost refresh so the selection is identical.
+    reach0: Vec<f64>,
+    active_mask: Vec<bool>,
+    active_gas: Vec<usize>,
+    dt_wanted: Vec<f64>,
+    active: Vec<u32>,
+}
+
+const NOT_GAS_LOCAL: u32 = u32::MAX;
+
+impl RankForces {
+    fn new() -> Self {
+        RankForces {
+            grav_acc: Vec::new(),
+            grav_pot: Vec::new(),
+            sph: SphScratch::default(),
+            acc: Vec::new(),
+            dudt: Vec::new(),
+            vsig: Vec::new(),
+            jpos: Vec::new(),
+            jmass: Vec::new(),
+            jtree: None,
+            jwalk: None,
+            ref_pos: Vec::new(),
+            state: HydroState::default(),
+            gas_idx: Vec::new(),
+            gas_local: Vec::new(),
+            n_gas_local: 0,
+            reach0: Vec::new(),
+            active_mask: Vec::new(),
+            active_gas: Vec::new(),
+            dt_wanted: Vec::new(),
+            active: Vec::new(),
+        }
+    }
+
+    fn gravity_solver(sim: &SimConfig) -> GravitySolver {
+        GravitySolver {
+            g: G,
+            theta: sim.theta,
+            n_group: sim.n_group,
+            n_leaf: 8,
+            eps: sim.eps,
+            mixed_precision: sim.mixed_precision,
+        }
+    }
+
+    fn sph_solver(sim: &SimConfig) -> SphSolver {
+        SphSolver {
+            density_cfg: sph::density::DensityConfig {
+                n_ngb_target: sim.n_ngb,
+                ..Default::default()
+            },
+            cfl: sim.cfl,
+            ..Default::default()
+        }
+    }
+
+    /// Refill the hydro-local arrays from the particle state (positions,
+    /// velocities and energies move between passes; `h`/`rho` carry each
+    /// particle's latest converged values).
+    fn stage_hydro_locals(&mut self, particles: &[Particle]) {
+        let st = &mut self.state;
+        st.pos.clear();
+        st.vel.clear();
+        st.mass.clear();
+        st.u.clear();
+        st.h.clear();
+        st.rho.clear();
+        for &i in &self.gas_idx {
+            let p = &particles[i];
+            st.pos.push(p.pos);
+            st.vel.push(p.vel);
+            st.mass.push(p.mass);
+            st.u.push(p.u);
+            st.h.push(p.h.max(1e-3));
+            st.rho.push(p.rho);
+        }
+    }
+
+    /// Export the local gas as ghost payloads (current owner values).
+    fn ghost_payloads(&self) -> Vec<Ghost> {
+        let st = &self.state;
+        (0..self.n_gas_local)
+            .map(|k| Ghost {
+                pos: st.pos[k],
+                vel: st.vel[k],
+                mass: st.mass[k],
+                u: st.u[k],
+                h: st.h[k],
+                rho: st.rho[k],
+                reach: self.reach0[k],
+            })
+            .collect()
+    }
+
+    /// Pre-density ghost exchange: append the other ranks' boundary gas to
+    /// the hydro state (their `rho` is the owner's previous value; the
+    /// post-density [`RankForces::refresh_ghosts`] replaces it with the
+    /// same-pass one).
+    fn exchange_ghosts_initial(&mut self, main: &Comm, dd: &DomainDecomposition, routing: Routing) {
+        self.reach0.clear();
+        self.reach0
+            .extend(self.state.h[..self.n_gas_local].iter().map(|&h| 2.0 * h));
+        let locals = self.ghost_payloads();
+        let ghosts = exchange_ghosts(main, dd, &locals, |g| g.pos, |g| g.reach, routing);
+        let st = &mut self.state;
+        st.acc.clear();
+        st.dudt.clear();
+        st.cs.clear();
+        st.v_sig.clear();
+        st.n_ngb.clear();
+        for g in ghosts {
+            st.pos.push(g.pos);
+            st.vel.push(g.vel);
+            st.mass.push(g.mass);
+            st.u.push(g.u);
+            st.h.push(g.h);
+            st.rho.push(g.rho);
+        }
+        st.resize_derived();
+    }
+
+    /// Post-density ghost refresh: re-run the exchange with the identical
+    /// per-particle reach (same positions, same selection, same order) so
+    /// every ghost entry receives the owner's freshly converged `rho`/`h`
+    /// and current `u`/`vel`.
+    fn refresh_ghosts(&mut self, main: &Comm, dd: &DomainDecomposition, routing: Routing) {
+        let locals = self.ghost_payloads();
+        let ghosts = exchange_ghosts(main, dd, &locals, |g| g.pos, |g| g.reach, routing);
+        let st = &mut self.state;
+        assert_eq!(
+            ghosts.len(),
+            st.len() - self.n_gas_local,
+            "ghost refresh must re-select the identical ghost set"
+        );
+        for (k, g) in ghosts.into_iter().enumerate() {
+            let j = self.n_gas_local + k;
+            st.vel[j] = g.vel;
+            st.u[j] = g.u;
+            st.h[j] = g.h;
+            st.rho[j] = g.rho;
+        }
+    }
+
+    /// One full force evaluation — gravity (local tree → LET → walk) plus
+    /// SPH (ghosts → density → owner-value ghost refresh → force) — for
+    /// *all* local particles, recorded under `ph`'s phase names. Rebuilds
+    /// and caches the gravity source system for the substep path.
+    #[allow(clippy::too_many_arguments)]
+    fn full_pass(
+        &mut self,
+        timer: &mut PhaseTimer,
+        main: &Comm,
+        dd: &DomainDecomposition,
+        cfg: &DistConfig,
+        particles: &mut [Particle],
+        ph: &PassPhases,
+        stats: &mut SimStats,
+    ) {
+        let sim = &cfg.sim;
+        let solver = Self::gravity_solver(sim);
+        let sph_solver = Self::sph_solver(sim);
+        let n_local = particles.len();
+
+        // --- Gravity: local tree, LET, force over locals + imports ------
+        self.jpos.clear();
+        self.jpos.extend(particles.iter().map(|p| p.pos));
+        self.jmass.clear();
+        self.jmass.extend(particles.iter().map(|p| p.mass));
+        let local_tree = timer.region(main, ph.tree, || Tree::build(&self.jpos, &self.jmass, 8));
+        let imports = timer.region(main, ph.let_exchange, || {
+            exchange_let(
+                main,
+                dd,
+                &local_tree,
+                &self.jpos,
+                &self.jmass,
+                sim.theta,
+                cfg.routing,
+            )
+        });
+        for e in &imports {
+            self.jpos.push(e.position());
+            self.jmass.push(e.mass);
+        }
+        stats.gravity_interactions += timer.region(main, ph.grav_force, || {
+            let jtree = Tree::build(&self.jpos, &self.jmass, solver.n_leaf);
+            let jwalk = match self.jwalk.take() {
+                Some(mut ix) => {
+                    ix.rebuild_from(&jtree);
+                    ix
+                }
+                None => jtree.walk_index(),
+            };
+            let n = solver.evaluate_into_indexed(
+                &jtree,
+                &jwalk,
+                &self.jpos,
+                &self.jmass,
+                n_local,
+                &mut self.grav_acc,
+                &mut self.grav_pot,
+            );
+            self.jtree = Some(jtree);
+            self.jwalk = Some(jwalk);
+            n
+        });
+        stats.tree_rebuilds += 1;
+        self.ref_pos.clear();
+        self.ref_pos.extend_from_slice(&self.jpos);
+
+        // --- SPH: ghosts, density, owner-value refresh, force -----------
+        self.gas_idx.clear();
+        self.gas_idx
+            .extend((0..n_local).filter(|&i| particles[i].is_gas()));
+        self.gas_local.clear();
+        self.gas_local.resize(n_local, NOT_GAS_LOCAL);
+        for (k, &i) in self.gas_idx.iter().enumerate() {
+            self.gas_local[i] = k as u32;
+        }
+        self.n_gas_local = self.gas_idx.len();
+        self.stage_hydro_locals(particles);
+        timer.region(main, phases::PREPROCESS_FEEDBACK, || {
+            self.exchange_ghosts_initial(main, dd, cfg.routing);
+        });
+        let (r0, b0) = self.sph.tree_counts();
+        let dstats = timer.region(main, ph.density, || {
+            sph_solver.density_pass_with(&mut self.state, self.n_gas_local, &mut self.sph)
+        });
+        timer.region(main, phases::PREPROCESS_FEEDBACK, || {
+            self.refresh_ghosts(main, dd, cfg.routing);
+        });
+        let fstats = timer.region(main, ph.sph_force, || {
+            sph_solver.force_pass_with(&mut self.state, self.n_gas_local, &mut self.sph)
+        });
+        let (r1, b1) = self.sph.tree_counts();
+        stats.sph_tree_refreshes += r1 - r0;
+        stats.sph_tree_rebuilds += b1 - b0;
+        stats.hydro_interactions += dstats.density_interactions + fstats.force_interactions;
+
+        // --- Combine into per-particle acc/dudt, write back h/rho -------
+        self.acc.clear();
+        self.acc.extend_from_slice(&self.grav_acc[..n_local]);
+        self.dudt.clear();
+        self.dudt.resize(n_local, 0.0);
+        self.vsig.clear();
+        for (k, &i) in self.gas_idx.iter().enumerate() {
+            self.acc[i] += self.state.acc[k];
+            self.dudt[i] = self.state.dudt[k];
+            self.vsig.push((
+                i,
+                self.state.v_sig[k].max(self.state.cs[k]),
+                self.state.h[k],
+            ));
+            let p = &mut particles[i];
+            p.h = self.state.h[k];
+            p.rho = self.state.rho[k];
+        }
+    }
+
+    /// One substep's force evaluation for the active set: ghost refresh at
+    /// the drifted positions, moment-refreshed gravity source tree (LET
+    /// imports frozen at their base-step positions — the same error class
+    /// as the refreshed MAC under the drift bound), active-set density and
+    /// hydro forces through the cached SPH neighbor tree. Must be entered
+    /// by every main rank each substep (the ghost exchanges are
+    /// collective), including ranks whose active set is empty.
+    fn active_pass(
+        &mut self,
+        timer: &mut PhaseTimer,
+        main: &Comm,
+        dd: &DomainDecomposition,
+        cfg: &DistConfig,
+        particles: &mut [Particle],
+        stats: &mut SimStats,
+    ) {
+        let sim = &cfg.sim;
+        let solver = Self::gravity_solver(sim);
+        let sph_solver = Self::sph_solver(sim);
+        let n_local = particles.len();
+
+        // --- Gravity: refresh the cached source system at the drifted
+        // local positions (imports keep their base-step coordinates).
+        timer.region(main, phases::MAKE_TREE_2, || {
+            for (i, p) in particles.iter().enumerate() {
+                self.jpos[i] = p.pos;
+            }
+            let reuse = self.jtree.as_ref().is_some_and(|t| {
+                t.len() == self.jpos.len() && self.ref_pos.len() == self.jpos.len() && {
+                    let bound = t.cube.max_extent() * scheduler::TREE_DRIFT_FRACTION;
+                    let b2 = bound * bound;
+                    self.jpos
+                        .iter()
+                        .zip(&self.ref_pos)
+                        .all(|(p, q)| (*p - *q).norm2() <= b2)
+                }
+            });
+            if reuse {
+                let t = self.jtree.as_mut().expect("cache validated above");
+                t.refresh(&self.jpos, &self.jmass);
+                stats.tree_refreshes += 1;
+                match self.jwalk.as_mut() {
+                    Some(ix) if ix.len() == t.nodes.len() => ix.refresh(t),
+                    other => *other.expect("walk index rides with the tree") = t.walk_index(),
+                }
+            } else {
+                let t = Tree::build(&self.jpos, &self.jmass, solver.n_leaf);
+                stats.tree_rebuilds += 1;
+                self.ref_pos.clear();
+                self.ref_pos.extend_from_slice(&self.jpos);
+                match self.jwalk.take() {
+                    Some(mut ix) => {
+                        ix.rebuild_from(&t);
+                        self.jwalk = Some(ix);
+                    }
+                    None => self.jwalk = Some(t.walk_index()),
+                }
+                self.jtree = Some(t);
+            }
+        });
+        self.active_mask.resize(n_local, false);
+        self.active_gas.clear();
+        for &ai in &self.active {
+            let i = ai as usize;
+            self.active_mask[i] = true;
+            let k = self.gas_local[i];
+            if k != NOT_GAS_LOCAL {
+                self.active_gas.push(k as usize);
+            }
+        }
+        stats.gravity_interactions += timer.region(main, phases::CALC_FORCE_2, || {
+            let tree = self.jtree.as_ref().expect("cached by full_pass");
+            let index = self.jwalk.as_ref().expect("rides with the tree");
+            solver.evaluate_into_active_indexed(
+                tree,
+                index,
+                &self.jpos,
+                &self.jmass,
+                n_local,
+                &self.active_mask,
+                &mut self.grav_acc,
+                &mut self.grav_pot,
+            )
+        });
+
+        // --- SPH: ghost refresh at the drifted positions, then
+        // active-subset density + force through the cached neighbor tree.
+        // Every region here runs unconditionally — the ghost exchanges and
+        // the barrier brackets are collective over the main communicator,
+        // so a rank whose domain holds no gas (or no active gas this
+        // boundary) still enters them with empty payloads/targets; a
+        // data-dependent skip would desynchronize the collective sequence
+        // and deadlock the walk.
+        self.stage_hydro_locals(particles);
+        timer.region(main, phases::PREPROCESS_FEEDBACK, || {
+            self.exchange_ghosts_initial(main, dd, cfg.routing);
+        });
+        let (r0, b0) = self.sph.tree_counts();
+        let dstats = timer.region(main, phases::CALC_KERNEL_SIZE_2, || {
+            sph_solver.density_pass_active(&mut self.state, &self.active_gas, &mut self.sph)
+        });
+        timer.region(main, phases::PREPROCESS_FEEDBACK, || {
+            self.refresh_ghosts(main, dd, cfg.routing);
+        });
+        let fstats = timer.region(main, phases::CALC_FORCE_2, || {
+            sph_solver.force_pass_active(&mut self.state, &self.active_gas, &mut self.sph)
+        });
+        let (r1, b1) = self.sph.tree_counts();
+        stats.sph_tree_refreshes += r1 - r0;
+        stats.sph_tree_rebuilds += b1 - b0;
+        stats.hydro_interactions += dstats.density_interactions + fstats.force_interactions;
+
+        // --- Scatter fresh forces for the active set ---------------------
+        for &k in &self.active_gas {
+            let i = self.gas_idx[k];
+            self.acc[i] = self.grav_acc[i] + self.state.acc[k];
+            self.dudt[i] = self.state.dudt[k];
+            let p = &mut particles[i];
+            p.h = self.state.h[k];
+            p.rho = self.state.rho[k];
+        }
+        for &ai in &self.active {
+            let i = ai as usize;
+            if self.gas_local[i] == NOT_GAS_LOCAL {
+                self.acc[i] = self.grav_acc[i];
+            }
+        }
+        // Restore the all-false mask invariant.
+        for &ai in &self.active {
+            self.active_mask[ai as usize] = false;
+        }
+    }
+}
+
 /// One main rank's integration loop.
 fn main_loop(
     world: &Comm,
@@ -245,10 +784,11 @@ fn main_loop(
     let mut event_counter: u64 = 0;
     let mut pending: Vec<Pending> = Vec::new();
     let mut snapshots: Vec<DistSnapshot> = Vec::new();
-    let mut sn_events = 0u64;
-    let mut regions_applied = 0u64;
-    let mut grav_inter = 0u64;
-    let mut hydro_inter = 0u64;
+    let mut stats = SimStats {
+        dt_min_seen: f64::INFINITY,
+        ..Default::default()
+    };
+    let mut sched = ActiveScheduler::default();
 
     // Re-dispatch the checkpoint's in-flight regions (round-robin over the
     // main ranks — any rank may own a replay; replies come back by event
@@ -270,14 +810,17 @@ fn main_loop(
             });
             event_counter += 1;
         }
+        // The snapshotted block schedule (if any) is reinstated for
+        // observability — the next base step re-derives it from forces.
+        if s.schedules.len() == n_main {
+            let sc = &s.schedules[me];
+            sched.restore(sc.dt_max, &sc.levels);
+        }
     }
-    // Per-rank scratch arenas threaded through every step's force
-    // evaluations: gravity results and SPH staging are refreshed in place,
-    // so the steady-state loop does not re-collect them (the same
-    // zero-allocation contract the shared-memory driver keeps).
-    let mut grav_acc: Vec<Vec3> = Vec::new();
-    let mut grav_pot: Vec<f64> = Vec::new();
-    let mut sph_scratch = SphScratch::default();
+    // Per-rank force scratch + source caches threaded through every step
+    // (see [`RankForces`]): gravity results and SPH staging are refreshed
+    // in place, so the steady-state loop does not re-collect them.
+    let mut forces = RankForces::new();
 
     for _ in 0..cfg.steps {
         // --- Domain decomposition + particle exchange -------------------
@@ -371,122 +914,125 @@ fn main_loop(
                     origin: pool_rank,
                     payload,
                 });
-                sn_events += 1;
+                stats.sn_events += 1;
                 event_counter += 1;
             }
         });
 
-        // --- Gravity: local tree, LET, force ----------------------------
-        let pos: Vec<Vec3> = particles.iter().map(|p| p.pos).collect();
-        let mass: Vec<f64> = particles.iter().map(|p| p.mass).collect();
-        let local_tree = timer.region(main, phases::MAKE_LOCAL_TREE_1, || {
-            Tree::build(&pos, &mass, 8)
-        });
-        let imports = timer.region(main, phases::EXCHANGE_LET_1, || {
-            exchange_let(main, &dd, &local_tree, &pos, &mass, sim.theta, cfg.routing)
-        });
-        let n_local = particles.len();
-        grav_inter += timer.region(main, phases::CALC_FORCE_1, || {
-            let mut jpos = pos.clone();
-            let mut jmass = mass.clone();
-            for e in &imports {
-                jpos.push(e.position());
-                jmass.push(e.mass);
+        // --- (3) Integrate one (base) step -------------------------------
+        match sim.timestep {
+            TimestepMode::Global => {
+                // KDK with the fixed global step: opening forces, half-kick
+                // + drift, full re-force at the new positions, closing
+                // half-kick — matching the shared-memory driver's order.
+                forces.full_pass(
+                    &mut timer,
+                    main,
+                    &dd,
+                    cfg,
+                    &mut particles,
+                    &PASS_OPENING,
+                    &mut stats,
+                );
+                let dt = sim.dt_global;
+                timer.region(main, phases::INTEGRATION, || {
+                    for (i, p) in particles.iter_mut().enumerate() {
+                        p.vel += forces.acc[i] * (0.5 * dt);
+                        if p.is_gas() {
+                            p.u = (p.u + forces.dudt[i] * (0.5 * dt)).max(1e-10);
+                        }
+                        p.pos += p.vel * dt;
+                    }
+                });
+                forces.full_pass(
+                    &mut timer,
+                    main,
+                    &dd,
+                    cfg,
+                    &mut particles,
+                    &PASS_CLOSING,
+                    &mut stats,
+                );
+                timer.region(main, phases::FINAL_KICK, || {
+                    for (i, p) in particles.iter_mut().enumerate() {
+                        p.vel += forces.acc[i] * (0.5 * dt);
+                        if p.is_gas() {
+                            p.u = (p.u + forces.dudt[i] * (0.5 * dt)).max(1e-10);
+                        }
+                    }
+                });
+                stats.active_updates += particles.len() as u64;
+                stats.dt_min_seen = stats.dt_min_seen.min(dt);
             }
-            let solver = GravitySolver {
-                g: G,
-                theta: sim.theta,
-                n_group: sim.n_group,
-                n_leaf: 8,
-                eps: sim.eps,
-                mixed_precision: sim.mixed_precision,
-            };
-            let jtree = Tree::build(&jpos, &jmass, solver.n_leaf);
-            solver.evaluate_into(&jtree, &jpos, &jmass, n_local, &mut grav_acc, &mut grav_pot)
-        });
-
-        // --- SPH: ghosts, kernel size + density, hydro force ------------
-        let gas_idx: Vec<usize> = (0..n_local).filter(|&i| particles[i].is_gas()).collect();
-        let mut state = HydroState::new(
-            gas_idx.iter().map(|&i| particles[i].pos).collect(),
-            gas_idx.iter().map(|&i| particles[i].vel).collect(),
-            gas_idx.iter().map(|&i| particles[i].mass).collect(),
-            gas_idx.iter().map(|&i| particles[i].u).collect(),
-            gas_idx.iter().map(|&i| particles[i].h.max(1e-3)).collect(),
-        );
-        let n_gas_local = state.len();
-        let sph_solver = SphSolver {
-            density_cfg: sph::density::DensityConfig {
-                n_ngb_target: sim.n_ngb,
-                ..Default::default()
-            },
-            cfl: sim.cfl,
-            ..Default::default()
-        };
-        timer.region(main, phases::PREPROCESS_FEEDBACK, || {
-            // Ghost exchange for cross-domain SPH sums.
-            #[derive(Clone)]
-            struct Ghost {
-                pos: Vec3,
-                vel: Vec3,
-                mass: f64,
-                u: f64,
-                h: f64,
-            }
-            let locals: Vec<Ghost> = gas_idx
-                .iter()
-                .map(|&i| Ghost {
-                    pos: particles[i].pos,
-                    vel: particles[i].vel,
-                    mass: particles[i].mass,
-                    u: particles[i].u,
-                    h: particles[i].h.max(1e-3),
-                })
-                .collect();
-            let ghosts = exchange_ghosts(main, &dd, &locals, |g| g.pos, |g| 2.0 * g.h, cfg.routing);
-            for g in ghosts {
-                state.pos.push(g.pos);
-                state.vel.push(g.vel);
-                state.mass.push(g.mass);
-                state.u.push(g.u);
-                state.h.push(g.h);
-            }
-            state.resize_derived();
-        });
-        let dstats = timer.region(main, phases::CALC_KERNEL_DENSITY_1, || {
-            sph_solver.density_pass_with(&mut state, n_gas_local, &mut sph_scratch)
-        });
-        // Ghosts keep their exported h; approximate their rho by their own
-        // value from the owner next step (first step: local estimate).
-        for k in n_gas_local..state.len() {
-            state.rho[k] = state.rho.get(k).copied().unwrap_or(0.0).max(1e-8);
-        }
-        let fstats = timer.region(main, phases::CALC_FORCE_1, || {
-            sph_solver.force_pass_with(&mut state, n_gas_local, &mut sph_scratch)
-        });
-        hydro_inter += dstats.density_interactions + fstats.force_interactions;
-
-        // --- Integration (kick-drift with the shared timestep) ----------
-        timer.region(main, phases::INTEGRATION, || {
-            let dt = sim.dt_global;
-            for (k, &i) in gas_idx.iter().enumerate() {
-                particles[i].vel += (grav_acc[i] + state.acc[k]) * dt;
-                particles[i].u = (particles[i].u + state.dudt[k] * dt).max(1e-10);
-                particles[i].h = state.h[k];
-                particles[i].rho = state.rho[k];
-            }
-            for (i, p) in particles.iter_mut().enumerate() {
-                if !p.is_gas() {
-                    p.vel += grav_acc[i] * dt;
+            TimestepMode::Block { max_level } => {
+                // Hierarchical block timesteps across ranks (module docs:
+                // "Distributed block timesteps").
+                forces.full_pass(
+                    &mut timer,
+                    main,
+                    &dd,
+                    cfg,
+                    &mut particles,
+                    &PASS_OPENING,
+                    &mut stats,
+                );
+                let dt_base = sim.dt_global;
+                let n_sub = timer.region(main, phases::INTEGRATION, || {
+                    scheduler::desired_timesteps(
+                        sim.cfl,
+                        sim.eps,
+                        dt_base,
+                        sim.dt_min,
+                        &forces.acc,
+                        &forces.vsig,
+                        &mut forces.dt_wanted,
+                    );
+                    sched.assign(dt_base, &forces.dt_wanted, max_level);
+                    scheduler::reduce_depth_world(main, &mut sched)
+                });
+                let dt_fine = dt_base / n_sub as f64;
+                // Opening half-kick, each particle with its own level's step.
+                timer.region(main, phases::INTEGRATION, || {
+                    for (i, p) in particles.iter_mut().enumerate() {
+                        let half = 0.5 * sched.dt_of(i);
+                        p.vel += forces.acc[i] * half;
+                        if p.is_gas() {
+                            p.u = (p.u + forces.dudt[i] * half).max(1e-10);
+                        }
+                    }
+                });
+                for k in 0..n_sub {
+                    // Drift-predict everyone to the boundary (the paper's
+                    // per-substep all-particle overhead).
+                    timer.region(main, phases::INTEGRATION, || {
+                        for p in particles.iter_mut() {
+                            p.pos += p.vel * dt_fine;
+                        }
+                    });
+                    let boundary = k + 1;
+                    sched.active_at_boundary_into(boundary, &mut forces.active);
+                    forces.active_pass(&mut timer, main, &dd, cfg, &mut particles, &mut stats);
+                    // Closing half-kick; mid-base-step the same force also
+                    // opens the particle's next step, so the halves fuse.
+                    let closing_only = boundary == n_sub;
+                    timer.region(main, phases::FINAL_KICK, || {
+                        for &ai in &forces.active {
+                            let i = ai as usize;
+                            let dt_l = sched.dt_of(i);
+                            let kick = if closing_only { 0.5 * dt_l } else { dt_l };
+                            let p = &mut particles[i];
+                            p.vel += forces.acc[i] * kick;
+                            if p.is_gas() {
+                                p.u = (p.u + forces.dudt[i] * kick).max(1e-10);
+                            }
+                        }
+                    });
+                    stats.substeps += 1;
+                    stats.active_updates += forces.active.len() as u64;
                 }
-                p.pos += p.vel * dt;
+                stats.dt_min_seen = stats.dt_min_seen.min(dt_fine);
             }
-        });
-        timer.region(main, phases::FINAL_KICK, || {
-            // Placeholder for the second half-kick of the full KDK; the
-            // shared-memory driver integrates KDK exactly, here the phase
-            // exists so the breakdown matches the paper's legend.
-        });
+        }
 
         // --- (4) Receive due pool predictions ---------------------------
         timer.region(main, phases::RECEIVE_SNE, || {
@@ -510,7 +1056,7 @@ fn main_loop(
                 let predicted: Vec<GasParticle> =
                     world.recv_vec(d.origin, TAG_REPLY_BASE + d.event_id);
                 mine.extend(predicted);
-                regions_applied += 1;
+                stats.regions_applied += 1;
             }
             let shared = main.allgatherv(mine);
             use std::collections::HashMap;
@@ -550,26 +1096,9 @@ fn main_loop(
             // timed here for the breakdown's completeness.
         });
 
-        // --- (7) Second kernel/force pass after the energy update -------
-        let d2 = timer.region(main, phases::CALC_KERNEL_SIZE_2, || {
-            sph_solver.density_pass_with(&mut state, n_gas_local, &mut sph_scratch)
-        });
-        timer.region(main, phases::MAKE_TREE_2, || {
-            let pos2: Vec<Vec3> = particles.iter().map(|p| p.pos).collect();
-            let mass2: Vec<f64> = particles.iter().map(|p| p.mass).collect();
-            Tree::build(&pos2, &mass2, 8)
-        });
-        timer.region(main, phases::EXCHANGE_LET_2, || {
-            // The hydro LET is much smaller than the gravity one; reuse the
-            // ghost machinery's volume by a no-op barrier-timed phase here.
-        });
-        let f2 = timer.region(main, phases::CALC_FORCE_2, || {
-            sph_solver.force_pass_with(&mut state, n_gas_local, &mut sph_scratch)
-        });
-        hydro_inter += d2.density_interactions + f2.force_interactions;
-
         time += sim.dt_global;
         step += 1;
+        stats.steps += 1;
 
         // --- Checkpoint at the configured cadence -----------------------
         if cfg.snapshot_every > 0 && step.is_multiple_of(cfg.snapshot_every) {
@@ -589,12 +1118,25 @@ fn main_loop(
                 })
                 .collect();
             let all_pending = main.allgatherv(my_pending);
+            // The current block schedule (one per rank, level arrays in
+            // local particle order) travels with the checkpoint; Global
+            // runs contribute nothing and the field stays empty.
+            let my_sched: Vec<ScheduleState> = sched
+                .schedule()
+                .map(|s| ScheduleState {
+                    dt_max: s.dt_max,
+                    levels: s.levels.clone(),
+                })
+                .into_iter()
+                .collect();
+            let all_scheds = main.allgatherv(my_sched);
             if me == 0 {
                 snapshots.push(DistSnapshot {
                     step,
                     time,
                     rank_particles: all_parts,
                     pending: all_pending.into_iter().flatten().collect(),
+                    schedules: all_scheds.into_iter().flatten().collect(),
                 });
             }
         }
@@ -614,6 +1156,7 @@ fn main_loop(
 
     let phases = timer.report_max(main);
     let total_particles = main.allreduce_sum_u64(particles.len() as u64);
+    let rank_stats = main.allgather(stats);
     let final_state = {
         let all = main.allgatherv(particles.clone());
         if me == 0 {
@@ -627,14 +1170,15 @@ fn main_loop(
     DistReport {
         phases,
         steps: step - step0,
-        sn_events: main.allreduce_sum_u64(sn_events),
-        regions_applied: main.allreduce_sum_u64(regions_applied),
-        gravity_interactions: main.allreduce_sum_u64(grav_inter),
-        hydro_interactions: main.allreduce_sum_u64(hydro_inter),
+        sn_events: main.allreduce_sum_u64(stats.sn_events),
+        regions_applied: main.allreduce_sum_u64(stats.regions_applied),
+        gravity_interactions: main.allreduce_sum_u64(stats.gravity_interactions),
+        hydro_interactions: main.allreduce_sum_u64(stats.hydro_interactions),
         final_particles: total_particles,
         bytes_sent: Vec::new(),
         snapshots,
         final_state,
+        rank_stats,
     }
 }
 
@@ -717,6 +1261,13 @@ mod tests {
         assert_eq!(report.sn_events, 0);
         assert!(report.gravity_interactions > 0);
         assert!(report.hydro_interactions > 0);
+        // Per-rank counters are gathered for every main rank.
+        assert_eq!(report.rank_stats.len(), 4);
+        assert!(report.rank_stats.iter().all(|s| s.steps == 3));
+        assert!(report
+            .rank_stats
+            .iter()
+            .all(|s| s.active_updates > 0 && s.substeps == 0));
     }
 
     #[test]
@@ -746,6 +1297,13 @@ mod tests {
             phases::INTEGRATION,
             phases::RECEIVE_SNE,
             phases::SEND_SNE,
+            // The KDK re-force pass makes the 2nd-pass legend entries and
+            // the final kick real measurements.
+            phases::MAKE_TREE_2,
+            phases::EXCHANGE_LET_2,
+            phases::CALC_KERNEL_SIZE_2,
+            phases::CALC_FORCE_2,
+            phases::FINAL_KICK,
         ] {
             assert!(
                 report.phases.get(name).is_some(),
@@ -753,6 +1311,8 @@ mod tests {
             );
         }
         assert!(report.phases.total_s() > 0.0);
+        let final_kick = report.phases.get(phases::FINAL_KICK).expect("recorded");
+        assert!(final_kick.count > 0, "the final kick must actually run");
     }
 
     #[test]
@@ -807,6 +1367,10 @@ mod tests {
             1,
             "the SN region must still be in flight at the snapshot"
         );
+        assert!(
+            snap.schedules.is_empty(),
+            "Global runs carry no block schedule"
+        );
         // The checkpoint survives its binary encoding.
         let snap = crate::snapshot::DistSnapshot::from_bytes(&snap.to_bytes()).expect("roundtrip");
 
@@ -823,5 +1387,43 @@ mod tests {
         for (a, b) in full.final_state.iter().zip(&resumed.final_state) {
             assert_eq!(a, b, "resumed particle {} diverged", a.id);
         }
+    }
+
+    #[test]
+    fn block_mode_substeps_agree_across_ranks() {
+        // A hot particle forces deep levels on whichever rank owns it; the
+        // schedule reduction must still march every rank through the same
+        // number of fine substeps.
+        let mut ic = disk_ic(300, 0, false, 2.0e-3);
+        ic[40].u = 1.0e8;
+        let mut cfg = test_cfg(2, 2);
+        cfg.sim.timestep = TimestepMode::Block { max_level: 8 };
+        let report = run_distributed(&cfg, &ic);
+        assert_eq!(report.final_particles, ic.len() as u64);
+        assert_eq!(report.rank_stats.len(), 4);
+        let subs: Vec<u64> = report.rank_stats.iter().map(|s| s.substeps).collect();
+        assert!(
+            subs.iter().all(|&s| s == subs[0]),
+            "world-consistent schedule: {subs:?}"
+        );
+        assert!(
+            subs[0] > report.steps,
+            "the hierarchy must engage: {} substeps over {} base steps",
+            subs[0],
+            report.steps
+        );
+        // Substeps refresh, rather than rebuild, the cached source trees.
+        assert!(report
+            .rank_stats
+            .iter()
+            .all(|s| s.tree_refreshes > 0 && s.tree_rebuilds > 0));
+        assert!(report
+            .rank_stats
+            .iter()
+            .all(|s| s.sph_tree_refreshes > s.sph_tree_rebuilds));
+        // Fewer particle updates than Global mode would have paid for the
+        // same number of fine steps.
+        let updates: u64 = report.rank_stats.iter().map(|s| s.active_updates).sum();
+        assert!(updates < subs[0] * ic.len() as u64);
     }
 }

@@ -79,6 +79,14 @@ impl ActiveScheduler {
         self.assigned = true;
     }
 
+    /// Deepen the substep walk to `depth` without moving any particle's
+    /// level (see [`BlockSchedule::raise_depth`]). Panics if no schedule
+    /// has been assigned.
+    pub fn raise_depth(&mut self, depth: u32) {
+        assert!(self.assigned, "raise_depth requires an assigned schedule");
+        self.schedule.raise_depth(depth);
+    }
+
     /// Fine substeps per base step (1 before any assignment).
     pub fn substeps(&self) -> u64 {
         if self.assigned {
@@ -104,6 +112,27 @@ impl ActiveScheduler {
     pub fn active_at_boundary_into(&self, k: u64, out: &mut Vec<u32>) {
         self.schedule.active_at_into(k, out);
     }
+}
+
+/// Reduce per-rank schedules to a world-consistent substep walk — the
+/// distributed block-timestep agreement protocol. Every rank bins its own
+/// particles' desired dts locally ([`ActiveScheduler::assign`], same
+/// `dt_base` everywhere), then contributes its deepest occupied level to
+/// an allreduce-max; each rank raises its schedule to the agreed depth
+/// ([`ActiveScheduler::raise_depth`]), so all ranks walk the identical
+/// fine-substep boundaries — and therefore enter the identical sequence of
+/// per-substep collectives (ghost refresh, barrier-bracketed timing) — with
+/// ranks whose particles are all shallow simply contributing empty active
+/// sets at the extra boundaries. Equivalent to an allreduce-min of the
+/// finest quantized dt, since levels are powers of two below the shared
+/// base step. Returns the world-consistent fine-substep count.
+pub fn reduce_depth_world(comm: &mpisim::Comm, sched: &mut ActiveScheduler) -> u64 {
+    let local = sched.schedule().map_or(0, |s| s.max_level()) as u64;
+    let world = comm.allreduce_max_u64(local) as u32;
+    if sched.schedule().is_some() {
+        sched.raise_depth(world);
+    }
+    sched.substeps()
 }
 
 /// Fill `out[i]` with particle `i`'s desired timestep: the minimum of the
@@ -163,6 +192,27 @@ mod tests {
         s.assign(1.0, &[1.0, 1.0, 1.0], 10);
         assert_eq!(s.substeps(), 1);
         assert_eq!(s.dt_of(1), 1.0);
+    }
+
+    #[test]
+    fn world_depth_reduction_aligns_every_rank() {
+        mpisim::World::new(3).run(|c| {
+            let mut s = ActiveScheduler::default();
+            // Rank 1 wants a 4x finer step than the others.
+            let dt = if c.rank() == 1 { 0.25 } else { 1.0 };
+            s.assign(1.0, &[dt], 10);
+            let n_sub = reduce_depth_world(c, &mut s);
+            assert_eq!(n_sub, 4, "rank {} walks the world depth", c.rank());
+            assert_eq!(s.schedule().unwrap().max_level(), 2);
+            // Shallow ranks are active only at the base-step boundaries.
+            let mut active = Vec::new();
+            s.active_at_boundary_into(2, &mut active);
+            if c.rank() == 1 {
+                assert_eq!(active, vec![0]);
+            } else {
+                assert!(active.is_empty());
+            }
+        });
     }
 
     #[test]

@@ -876,34 +876,41 @@ impl Simulation {
 
     /// Total energy: kinetic + internal + gravitational potential.
     pub fn total_energy(&self) -> f64 {
-        let pos: Vec<Vec3> = self.particles.iter().map(|p| p.pos).collect();
-        let mass: Vec<f64> = self.particles.iter().map(|p| p.mass).collect();
-        let solver = GravitySolver {
-            g: G,
-            theta: 0.0, // exact for the energy audit
-            eps: self.config.eps,
-            ..Default::default()
-        };
-        let grav = solver.evaluate(&pos, &mass, pos.len());
-        let w: f64 = 0.5
-            * grav
-                .pot
-                .iter()
-                .zip(&mass)
-                .map(|(phi, m)| phi * m)
-                .sum::<f64>();
-        let ke_ie: f64 = self
-            .particles
-            .iter()
-            .map(|p| p.mass * (0.5 * p.vel.norm2() + if p.is_gas() { p.u } else { 0.0 }))
-            .sum();
-        w + ke_ie
+        total_energy_of(&self.particles, self.config.eps)
     }
 
     /// Number of in-flight pool predictions.
     pub fn pending_regions(&self) -> usize {
         self.pending.len()
     }
+}
+
+/// Total energy of a particle set — kinetic + internal + exact
+/// (`theta = 0`) gravitational potential at softening `eps`. The audit the
+/// shared-memory and distributed drivers' conservation tests share
+/// (the latter runs it over [`DistReport::final_state`](crate::dist::DistReport)).
+pub fn total_energy_of(particles: &[Particle], eps: f64) -> f64 {
+    let pos: Vec<Vec3> = particles.iter().map(|p| p.pos).collect();
+    let mass: Vec<f64> = particles.iter().map(|p| p.mass).collect();
+    let solver = GravitySolver {
+        g: G,
+        theta: 0.0, // exact for the energy audit
+        eps,
+        ..Default::default()
+    };
+    let grav = solver.evaluate(&pos, &mass, pos.len());
+    let w: f64 = 0.5
+        * grav
+            .pot
+            .iter()
+            .zip(&mass)
+            .map(|(phi, m)| phi * m)
+            .sum::<f64>();
+    let ke_ie: f64 = particles
+        .iter()
+        .map(|p| p.mass * (0.5 * p.vel.norm2() + if p.is_gas() { p.u } else { 0.0 }))
+        .sum();
+    w + ke_ie
 }
 
 #[cfg(test)]

@@ -52,10 +52,19 @@ use unet::json::{parse_json, write_json, Json};
 pub const SNAPSHOT_MAGIC: [u8; 8] = *b"ASURSNAP";
 /// Leading magic of binary *distributed* snapshots (see [`DistSnapshot`]).
 pub const DIST_SNAPSHOT_MAGIC: [u8; 8] = *b"ASURDSNP";
-/// Current snapshot format version (see the module docs for the policy).
+/// Current shared-memory snapshot format version (see the module docs for
+/// the policy).
 /// v2: [`SimStats`] gained the split SPH neighbor-tree reuse counters
 /// (`sph_tree_rebuilds` / `sph_tree_refreshes`).
 pub const SNAPSHOT_VERSION: u32 = 2;
+
+/// Current *distributed* snapshot format version. Versioned separately
+/// from [`SNAPSHOT_VERSION`] so a layout change in one format never
+/// invalidates checkpoints of the other (the two magics already keep the
+/// byte streams apart). History: v2 and below shared the common counter;
+/// v3: [`DistSnapshot`] carries the per-rank block-timestep schedules
+/// ([`DistSnapshot::schedules`]) and gained a JSON encoding.
+pub const DIST_SNAPSHOT_VERSION: u32 = 3;
 
 /// Why a snapshot failed to decode. Every variant is a recoverable error —
 /// corrupt or foreign input never panics the reader.
@@ -676,68 +685,7 @@ impl SimSnapshot {
         ]);
         // Particles as SoA with flat coordinate triplets: compact enough to
         // stay inspectable without one object per particle.
-        let particles = Json::Obj(vec![
-            (
-                "id".into(),
-                Json::Arr(self.particles.iter().map(|p| ju(p.id)).collect()),
-            ),
-            (
-                "kind".into(),
-                Json::Arr(
-                    self.particles
-                        .iter()
-                        .map(|p| {
-                            Json::Num(match p.kind {
-                                Kind::Dm => 0.0,
-                                Kind::Star => 1.0,
-                                Kind::Gas => 2.0,
-                            })
-                        })
-                        .collect(),
-                ),
-            ),
-            (
-                "pos".into(),
-                flat_vec3(self.particles.iter().map(|p| p.pos)),
-            ),
-            (
-                "vel".into(),
-                flat_vec3(self.particles.iter().map(|p| p.vel)),
-            ),
-            (
-                "mass".into(),
-                Json::Arr(self.particles.iter().map(|p| jf(p.mass)).collect()),
-            ),
-            (
-                "u".into(),
-                Json::Arr(self.particles.iter().map(|p| jf(p.u)).collect()),
-            ),
-            (
-                "h".into(),
-                Json::Arr(self.particles.iter().map(|p| jf(p.h)).collect()),
-            ),
-            (
-                "rho".into(),
-                Json::Arr(self.particles.iter().map(|p| jf(p.rho)).collect()),
-            ),
-            (
-                "metals".into(),
-                Json::Arr(self.particles.iter().map(|p| jf(p.metals)).collect()),
-            ),
-            (
-                "birth_time".into(),
-                Json::Arr(self.particles.iter().map(|p| jf(p.birth_time)).collect()),
-            ),
-            (
-                "exploded".into(),
-                Json::Arr(
-                    self.particles
-                        .iter()
-                        .map(|p| Json::Bool(p.exploded))
-                        .collect(),
-                ),
-            ),
-        ]);
+        let particles = particles_json(&self.particles);
         let last_vsig = Json::Arr(
             self.last_vsig
                 .iter()
@@ -750,42 +698,14 @@ impl SimSnapshot {
                 .map(|p| {
                     Json::Obj(vec![
                         ("due_step".into(), ju(p.due_step)),
-                        (
-                            "predicted".into(),
-                            Json::Obj(vec![
-                                (
-                                    "id".into(),
-                                    Json::Arr(p.predicted.iter().map(|g| ju(g.id)).collect()),
-                                ),
-                                ("pos".into(), flat_vec3(p.predicted.iter().map(|g| g.pos))),
-                                ("vel".into(), flat_vec3(p.predicted.iter().map(|g| g.vel))),
-                                (
-                                    "mass".into(),
-                                    Json::Arr(p.predicted.iter().map(|g| jf(g.mass)).collect()),
-                                ),
-                                (
-                                    "temp".into(),
-                                    Json::Arr(p.predicted.iter().map(|g| jf(g.temp)).collect()),
-                                ),
-                                (
-                                    "h".into(),
-                                    Json::Arr(p.predicted.iter().map(|g| jf(g.h)).collect()),
-                                ),
-                            ]),
-                        ),
+                        ("predicted".into(), gas_json(&p.predicted)),
                     ])
                 })
                 .collect(),
         );
         let schedule = match &self.schedule {
             None => Json::Null,
-            Some(s) => Json::Obj(vec![
-                ("dt_max".into(), jf(s.dt_max)),
-                (
-                    "levels".into(),
-                    Json::Arr(s.levels.iter().map(|&l| Json::Num(l as f64)).collect()),
-                ),
-            ]),
+            Some(s) => schedule_json(s),
         };
         Json::Obj(vec![
             ("config".into(), config),
@@ -872,64 +792,8 @@ impl SimSnapshot {
                 sph_tree_refreshes: get_u64(s, "sph_tree_refreshes")?,
             }
         };
-        let particles = {
-            let p = state.get("particles").map_err(SnapshotError::Malformed)?;
-            let id = arr(p, "id")?;
-            let kind = arr(p, "kind")?;
-            let pos = read_flat_vec3(p, "pos", id.len())?;
-            let vel = read_flat_vec3(p, "vel", id.len())?;
-            let mass = arr(p, "mass")?;
-            let u = arr(p, "u")?;
-            let h = arr(p, "h")?;
-            let rho = arr(p, "rho")?;
-            let metals = arr(p, "metals")?;
-            let birth_time = arr(p, "birth_time")?;
-            let exploded = arr(p, "exploded")?;
-            for (name, a) in [
-                ("kind", &kind),
-                ("mass", &mass),
-                ("u", &u),
-                ("h", &h),
-                ("rho", &rho),
-                ("metals", &metals),
-                ("birth_time", &birth_time),
-                ("exploded", &exploded),
-            ] {
-                if a.len() != id.len() {
-                    return Err(SnapshotError::Malformed(format!(
-                        "particle column `{name}` has {} entries, id has {}",
-                        a.len(),
-                        id.len()
-                    )));
-                }
-            }
-            let mut out = Vec::with_capacity(id.len());
-            for i in 0..id.len() {
-                out.push(Particle {
-                    id: as_u64(&id[i])?,
-                    kind: match as_u64(&kind[i])? {
-                        0 => Kind::Dm,
-                        1 => Kind::Star,
-                        2 => Kind::Gas,
-                        k => {
-                            return Err(SnapshotError::Malformed(format!(
-                                "unknown particle kind {k}"
-                            )))
-                        }
-                    },
-                    pos: pos[i],
-                    vel: vel[i],
-                    mass: as_f64(&mass[i])?,
-                    u: as_f64(&u[i])?,
-                    h: as_f64(&h[i])?,
-                    rho: as_f64(&rho[i])?,
-                    metals: as_f64(&metals[i])?,
-                    birth_time: as_f64(&birth_time[i])?,
-                    exploded: as_bool(&exploded[i])?,
-                });
-            }
-            out
-        };
+        let particles =
+            particles_from_json(state.get("particles").map_err(SnapshotError::Malformed)?)?;
         let last_vsig = {
             let entries = arr(state, "last_vsig")?;
             let mut out = Vec::with_capacity(entries.len());
@@ -951,49 +815,18 @@ impl SimSnapshot {
             let entries = arr(state, "pending")?;
             let mut out = Vec::with_capacity(entries.len());
             for e in entries {
-                let due_step = get_u64(e, "due_step")?;
-                let pr = e.get("predicted").map_err(SnapshotError::Malformed)?;
-                let id = arr(pr, "id")?;
-                let pos = read_flat_vec3(pr, "pos", id.len())?;
-                let vel = read_flat_vec3(pr, "vel", id.len())?;
-                let mass = arr(pr, "mass")?;
-                let temp = arr(pr, "temp")?;
-                let h = arr(pr, "h")?;
-                if mass.len() != id.len() || temp.len() != id.len() || h.len() != id.len() {
-                    return Err(SnapshotError::Malformed(
-                        "pending region columns disagree on length".into(),
-                    ));
-                }
-                let mut predicted = Vec::with_capacity(id.len());
-                for i in 0..id.len() {
-                    predicted.push(GasParticle {
-                        pos: pos[i],
-                        vel: vel[i],
-                        mass: as_f64(&mass[i])?,
-                        temp: as_f64(&temp[i])?,
-                        h: as_f64(&h[i])?,
-                        id: as_u64(&id[i])?,
-                    });
-                }
                 out.push(PendingPrediction {
-                    due_step,
-                    predicted,
+                    due_step: get_u64(e, "due_step")?,
+                    predicted: gas_from_json(
+                        e.get("predicted").map_err(SnapshotError::Malformed)?,
+                    )?,
                 });
             }
             out
         };
         let schedule = match state.get("schedule").map_err(SnapshotError::Malformed)? {
             Json::Null => None,
-            s => {
-                let levels = arr(s, "levels")?
-                    .iter()
-                    .map(|l| as_u64(l).map(|v| v as u32))
-                    .collect::<Result<Vec<u32>, _>>()?;
-                Some(ScheduleState {
-                    dt_max: get_f64(s, "dt_max")?,
-                    levels,
-                })
-            }
+            s => Some(schedule_from_json(s)?),
         };
         let rng_state = {
             let entries = arr(state, "rng")?;
@@ -1049,10 +882,11 @@ pub struct DistPending {
 /// resumed ranks rebuild identical trees and sum forces in the identical
 /// order — the bitwise-determinism contract extends to the distributed
 /// driver as long as the resuming configuration uses the same main-rank
-/// grid. The binary encoding mirrors the shared-memory format (own magic
-/// [`DIST_SNAPSHOT_MAGIC`], same version/checksum discipline); as an
-/// operational artifact of the in-process `mpisim` harness it has no JSON
-/// rendering — inspectability is the shared-memory snapshot's job.
+/// grid. Both encodings mirror the shared-memory pair: compact binary
+/// (own magic [`DIST_SNAPSHOT_MAGIC`], same version/checksum discipline)
+/// and inspectable JSON (`asura-dist-snapshot` documents through
+/// [`unet::json`]); [`DistSnapshot::load`] sniffs the format from the
+/// leading bytes.
 #[derive(Debug, Clone, PartialEq)]
 pub struct DistSnapshot {
     /// Completed steps at capture (the resume continues from here).
@@ -1062,6 +896,13 @@ pub struct DistSnapshot {
     pub rank_particles: Vec<Vec<Particle>>,
     /// In-flight pool dispatches across all ranks.
     pub pending: Vec<DistPending>,
+    /// Block-timestep schedules, one per main rank in rank order (level
+    /// arrays in the rank's local particle order), from the base step
+    /// during which the checkpoint was gathered; empty for
+    /// `TimestepMode::Global` runs. Restored for observability — the next
+    /// base step re-derives levels from forces, so resume determinism
+    /// never depends on it.
+    pub schedules: Vec<ScheduleState>,
 }
 
 impl DistSnapshot {
@@ -1088,10 +929,18 @@ impl DistSnapshot {
                 write_gas(&mut w, g);
             }
         }
+        w.u64(self.schedules.len() as u64);
+        for s in &self.schedules {
+            w.f64(s.dt_max);
+            w.u64(s.levels.len() as u64);
+            for &l in &s.levels {
+                w.u32(l);
+            }
+        }
         let payload = w.buf;
         let mut out = Vec::with_capacity(payload.len() + 28);
         out.extend_from_slice(&DIST_SNAPSHOT_MAGIC);
-        out.extend_from_slice(&SNAPSHOT_VERSION.to_le_bytes());
+        out.extend_from_slice(&DIST_SNAPSHOT_VERSION.to_le_bytes());
         out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
         let sum = fnv1a(&payload);
         out.extend_from_slice(&payload);
@@ -1105,10 +954,10 @@ impl DistSnapshot {
             return Err(SnapshotError::BadMagic);
         }
         let version = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
-        if version != SNAPSHOT_VERSION {
+        if version != DIST_SNAPSHOT_VERSION {
             return Err(SnapshotError::UnsupportedVersion {
                 found: version,
-                supported: SNAPSHOT_VERSION,
+                supported: DIST_SNAPSHOT_VERSION,
             });
         }
         let payload_len = u64::from_le_bytes(bytes[12..20].try_into().unwrap()) as usize;
@@ -1156,6 +1005,17 @@ impl DistSnapshot {
                 gas,
             });
         }
+        let n = r.len()?;
+        let mut schedules = Vec::with_capacity(n);
+        for _ in 0..n {
+            let dt_max = r.f64()?;
+            let m = r.len()?;
+            let mut levels = Vec::with_capacity(m);
+            for _ in 0..m {
+                levels.push(r.u32()?);
+            }
+            schedules.push(ScheduleState { dt_max, levels });
+        }
         if r.pos != payload.len() {
             return Err(SnapshotError::Malformed(format!(
                 "{} trailing payload bytes",
@@ -1167,7 +1027,147 @@ impl DistSnapshot {
             time,
             rank_particles,
             pending,
+            schedules,
         })
+    }
+
+    /// Serialize to the JSON format: an `asura-dist-snapshot` document with
+    /// the same version/checksum discipline as [`SimSnapshot::to_json`].
+    pub fn to_json(&self) -> String {
+        let state = Json::Obj(vec![
+            ("step".into(), ju(self.step)),
+            ("time".into(), jf(self.time)),
+            (
+                "rank_particles".into(),
+                Json::Arr(
+                    self.rank_particles
+                        .iter()
+                        .map(|rank| particles_json(rank))
+                        .collect(),
+                ),
+            ),
+            (
+                "pending".into(),
+                Json::Arr(
+                    self.pending
+                        .iter()
+                        .map(|p| {
+                            Json::Obj(vec![
+                                ("due_step".into(), ju(p.due_step)),
+                                (
+                                    "center".into(),
+                                    Json::Arr(p.center.iter().map(|&c| jf(c)).collect()),
+                                ),
+                                ("gas".into(), gas_json(&p.gas)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "schedules".into(),
+                Json::Arr(self.schedules.iter().map(schedule_json).collect()),
+            ),
+        ]);
+        let mut state_str = String::new();
+        write_json(&state, &mut state_str);
+        let sum = fnv1a(state_str.as_bytes());
+        let doc = Json::Obj(vec![
+            ("format".into(), Json::Str("asura-dist-snapshot".into())),
+            ("version".into(), Json::Num(DIST_SNAPSHOT_VERSION as f64)),
+            ("state".into(), state),
+            ("checksum".into(), Json::Str(format!("fnv1a:{sum:016x}"))),
+        ]);
+        let mut out = String::new();
+        write_json(&doc, &mut out);
+        out
+    }
+
+    /// Decode the JSON format, verifying the document type, version and
+    /// checksum.
+    pub fn from_json(text: &str) -> Result<Self, SnapshotError> {
+        let doc = parse_json(text).map_err(|_| SnapshotError::BadMagic)?;
+        let format = doc.get("format").map_err(|_| SnapshotError::BadMagic)?;
+        if format != &Json::Str("asura-dist-snapshot".into()) {
+            return Err(SnapshotError::BadMagic);
+        }
+        let version = doc
+            .get("version")
+            .and_then(|v| v.as_usize())
+            .map_err(SnapshotError::Malformed)? as u32;
+        if version != DIST_SNAPSHOT_VERSION {
+            return Err(SnapshotError::UnsupportedVersion {
+                found: version,
+                supported: DIST_SNAPSHOT_VERSION,
+            });
+        }
+        let state = doc.get("state").map_err(SnapshotError::Malformed)?;
+        let mut state_str = String::new();
+        write_json(state, &mut state_str);
+        let computed = fnv1a(state_str.as_bytes());
+        let stored_str = match doc.get("checksum").map_err(SnapshotError::Malformed)? {
+            Json::Str(s) => s.clone(),
+            other => {
+                return Err(SnapshotError::Malformed(format!(
+                    "checksum must be a string, got {other:?}"
+                )))
+            }
+        };
+        let stored = stored_str
+            .strip_prefix("fnv1a:")
+            .and_then(|h| u64::from_str_radix(h, 16).ok())
+            .ok_or_else(|| SnapshotError::Malformed(format!("bad checksum `{stored_str}`")))?;
+        if stored != computed {
+            return Err(SnapshotError::ChecksumMismatch { stored, computed });
+        }
+        let rank_particles = arr(state, "rank_particles")?
+            .iter()
+            .map(particles_from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        let pending = arr(state, "pending")?
+            .iter()
+            .map(|e| {
+                let center = match e.get("center").map_err(SnapshotError::Malformed)? {
+                    Json::Arr(c) if c.len() == 3 => {
+                        [as_f64(&c[0])?, as_f64(&c[1])?, as_f64(&c[2])?]
+                    }
+                    other => {
+                        return Err(SnapshotError::Malformed(format!(
+                            "pending center must be a triple, got {other:?}"
+                        )))
+                    }
+                };
+                Ok(DistPending {
+                    due_step: get_u64(e, "due_step")?,
+                    center,
+                    gas: gas_from_json(e.get("gas").map_err(SnapshotError::Malformed)?)?,
+                })
+            })
+            .collect::<Result<Vec<_>, SnapshotError>>()?;
+        let schedules = arr(state, "schedules")?
+            .iter()
+            .map(schedule_from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(DistSnapshot {
+            step: get_u64(state, "step")?,
+            time: get_f64(state, "time")?,
+            rank_particles,
+            pending,
+            schedules,
+        })
+    }
+
+    /// Load a distributed snapshot file, sniffing the encoding: binary
+    /// snapshots start with [`DIST_SNAPSHOT_MAGIC`], JSON ones with `{`.
+    pub fn load(path: &std::path::Path) -> Result<Self, SnapshotError> {
+        let bytes = std::fs::read(path).map_err(|e| SnapshotError::Io(e.to_string()))?;
+        if bytes.starts_with(&DIST_SNAPSHOT_MAGIC) {
+            Self::from_bytes(&bytes)
+        } else {
+            let text =
+                std::str::from_utf8(&bytes).map_err(|e| SnapshotError::Malformed(e.to_string()))?;
+            Self::from_json(text)
+        }
     }
 }
 
@@ -1253,6 +1253,189 @@ fn arr<'a>(obj: &'a Json, key: &str) -> Result<&'a [Json], SnapshotError> {
 
 fn flat_vec3(vs: impl Iterator<Item = Vec3>) -> Json {
     Json::Arr(vs.flat_map(|v| [jf(v.x), jf(v.y), jf(v.z)]).collect())
+}
+
+/// Particle list as a column-oriented (SoA) JSON object — compact enough
+/// to stay inspectable without one object per particle. Shared between the
+/// shared-memory and distributed snapshot encodings.
+fn particles_json(particles: &[Particle]) -> Json {
+    Json::Obj(vec![
+        (
+            "id".into(),
+            Json::Arr(particles.iter().map(|p| ju(p.id)).collect()),
+        ),
+        (
+            "kind".into(),
+            Json::Arr(
+                particles
+                    .iter()
+                    .map(|p| {
+                        Json::Num(match p.kind {
+                            Kind::Dm => 0.0,
+                            Kind::Star => 1.0,
+                            Kind::Gas => 2.0,
+                        })
+                    })
+                    .collect(),
+            ),
+        ),
+        ("pos".into(), flat_vec3(particles.iter().map(|p| p.pos))),
+        ("vel".into(), flat_vec3(particles.iter().map(|p| p.vel))),
+        (
+            "mass".into(),
+            Json::Arr(particles.iter().map(|p| jf(p.mass)).collect()),
+        ),
+        (
+            "u".into(),
+            Json::Arr(particles.iter().map(|p| jf(p.u)).collect()),
+        ),
+        (
+            "h".into(),
+            Json::Arr(particles.iter().map(|p| jf(p.h)).collect()),
+        ),
+        (
+            "rho".into(),
+            Json::Arr(particles.iter().map(|p| jf(p.rho)).collect()),
+        ),
+        (
+            "metals".into(),
+            Json::Arr(particles.iter().map(|p| jf(p.metals)).collect()),
+        ),
+        (
+            "birth_time".into(),
+            Json::Arr(particles.iter().map(|p| jf(p.birth_time)).collect()),
+        ),
+        (
+            "exploded".into(),
+            Json::Arr(particles.iter().map(|p| Json::Bool(p.exploded)).collect()),
+        ),
+    ])
+}
+
+fn particles_from_json(p: &Json) -> Result<Vec<Particle>, SnapshotError> {
+    let id = arr(p, "id")?;
+    let kind = arr(p, "kind")?;
+    let pos = read_flat_vec3(p, "pos", id.len())?;
+    let vel = read_flat_vec3(p, "vel", id.len())?;
+    let mass = arr(p, "mass")?;
+    let u = arr(p, "u")?;
+    let h = arr(p, "h")?;
+    let rho = arr(p, "rho")?;
+    let metals = arr(p, "metals")?;
+    let birth_time = arr(p, "birth_time")?;
+    let exploded = arr(p, "exploded")?;
+    for (name, a) in [
+        ("kind", &kind),
+        ("mass", &mass),
+        ("u", &u),
+        ("h", &h),
+        ("rho", &rho),
+        ("metals", &metals),
+        ("birth_time", &birth_time),
+        ("exploded", &exploded),
+    ] {
+        if a.len() != id.len() {
+            return Err(SnapshotError::Malformed(format!(
+                "particle column `{name}` has {} entries, id has {}",
+                a.len(),
+                id.len()
+            )));
+        }
+    }
+    let mut out = Vec::with_capacity(id.len());
+    for i in 0..id.len() {
+        out.push(Particle {
+            id: as_u64(&id[i])?,
+            kind: match as_u64(&kind[i])? {
+                0 => Kind::Dm,
+                1 => Kind::Star,
+                2 => Kind::Gas,
+                k => {
+                    return Err(SnapshotError::Malformed(format!(
+                        "unknown particle kind {k}"
+                    )))
+                }
+            },
+            pos: pos[i],
+            vel: vel[i],
+            mass: as_f64(&mass[i])?,
+            u: as_f64(&u[i])?,
+            h: as_f64(&h[i])?,
+            rho: as_f64(&rho[i])?,
+            metals: as_f64(&metals[i])?,
+            birth_time: as_f64(&birth_time[i])?,
+            exploded: as_bool(&exploded[i])?,
+        });
+    }
+    Ok(out)
+}
+
+/// Gas-region list (pool requests/replies) as a column-oriented object.
+fn gas_json(gas: &[GasParticle]) -> Json {
+    Json::Obj(vec![
+        (
+            "id".into(),
+            Json::Arr(gas.iter().map(|g| ju(g.id)).collect()),
+        ),
+        ("pos".into(), flat_vec3(gas.iter().map(|g| g.pos))),
+        ("vel".into(), flat_vec3(gas.iter().map(|g| g.vel))),
+        (
+            "mass".into(),
+            Json::Arr(gas.iter().map(|g| jf(g.mass)).collect()),
+        ),
+        (
+            "temp".into(),
+            Json::Arr(gas.iter().map(|g| jf(g.temp)).collect()),
+        ),
+        ("h".into(), Json::Arr(gas.iter().map(|g| jf(g.h)).collect())),
+    ])
+}
+
+fn gas_from_json(pr: &Json) -> Result<Vec<GasParticle>, SnapshotError> {
+    let id = arr(pr, "id")?;
+    let pos = read_flat_vec3(pr, "pos", id.len())?;
+    let vel = read_flat_vec3(pr, "vel", id.len())?;
+    let mass = arr(pr, "mass")?;
+    let temp = arr(pr, "temp")?;
+    let h = arr(pr, "h")?;
+    if mass.len() != id.len() || temp.len() != id.len() || h.len() != id.len() {
+        return Err(SnapshotError::Malformed(
+            "gas region columns disagree on length".into(),
+        ));
+    }
+    let mut out = Vec::with_capacity(id.len());
+    for i in 0..id.len() {
+        out.push(GasParticle {
+            pos: pos[i],
+            vel: vel[i],
+            mass: as_f64(&mass[i])?,
+            temp: as_f64(&temp[i])?,
+            h: as_f64(&h[i])?,
+            id: as_u64(&id[i])?,
+        });
+    }
+    Ok(out)
+}
+
+fn schedule_json(s: &ScheduleState) -> Json {
+    Json::Obj(vec![
+        ("dt_max".into(), jf(s.dt_max)),
+        (
+            "levels".into(),
+            Json::Arr(s.levels.iter().map(|&l| Json::Num(l as f64)).collect()),
+        ),
+    ])
+}
+
+fn schedule_from_json(s: &Json) -> Result<ScheduleState, SnapshotError> {
+    let levels = arr(s, "levels")?
+        .iter()
+        .map(|l| as_u64(l).map(|v| v as u32))
+        .collect::<Result<Vec<u32>, _>>()?;
+    Ok(ScheduleState {
+        dt_max: get_f64(s, "dt_max")?,
+        levels,
+    })
 }
 
 fn read_flat_vec3(obj: &Json, key: &str, n: usize) -> Result<Vec<Vec3>, SnapshotError> {
@@ -1458,13 +1641,26 @@ mod tests {
         );
     }
 
-    #[test]
-    fn dist_snapshot_binary_roundtrip_and_rejection() {
-        let base = random_snapshot(6, 30);
-        let snap = DistSnapshot {
+    fn random_dist_snapshot(seed: u64) -> DistSnapshot {
+        let base = random_snapshot(seed, 30);
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(77).wrapping_add(5));
+        let rank_particles: Vec<Vec<Particle>> =
+            base.particles.chunks(7).map(|c| c.to_vec()).collect();
+        let schedules = if seed.is_multiple_of(2) {
+            rank_particles
+                .iter()
+                .map(|rank| ScheduleState {
+                    dt_max: rng.gen_range(1e-4..1.0),
+                    levels: rank.iter().map(|_| rng.gen_range(0..10u32)).collect(),
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
+        DistSnapshot {
             step: 17,
             time: 0.034,
-            rank_particles: base.particles.chunks(7).map(|c| c.to_vec()).collect(),
+            rank_particles,
             pending: base
                 .pending
                 .iter()
@@ -1474,7 +1670,14 @@ mod tests {
                     gas: p.predicted.clone(),
                 })
                 .collect(),
-        };
+            schedules,
+        }
+    }
+
+    #[test]
+    fn dist_snapshot_binary_roundtrip_and_rejection() {
+        let snap = random_dist_snapshot(6);
+        assert!(!snap.schedules.is_empty(), "schedules exercised");
         let bytes = snap.to_bytes();
         assert_eq!(DistSnapshot::from_bytes(&bytes).expect("roundtrip"), snap);
         assert_eq!(DistSnapshot::from_bytes(&bytes).unwrap().to_bytes(), bytes);
@@ -1490,6 +1693,70 @@ mod tests {
             DistSnapshot::from_bytes(&corrupt),
             Err(SnapshotError::ChecksumMismatch { .. }) | Err(SnapshotError::Malformed(_))
         ));
+    }
+
+    #[test]
+    fn dist_snapshot_json_roundtrip_and_rejection() {
+        for seed in [6u64, 7] {
+            let snap = random_dist_snapshot(seed);
+            let text = snap.to_json();
+            let back = DistSnapshot::from_json(&text).expect("roundtrip");
+            assert_eq!(back, snap, "seed {seed}");
+            assert_eq!(back.to_json(), text, "seed {seed}: reserialize differs");
+            // The two JSON document types are not confusable.
+            assert_eq!(
+                SimSnapshot::from_json(&text),
+                Err(SnapshotError::BadMagic),
+                "seed {seed}"
+            );
+        }
+        let snap = random_dist_snapshot(6);
+        let text = snap.to_json();
+        assert_eq!(
+            DistSnapshot::from_json(&snap.rank_particles.len().to_string()),
+            Err(SnapshotError::BadMagic)
+        );
+        let tampered = text.replacen("\"step\":17", "\"step\":18", 1);
+        assert_ne!(tampered, text, "test must actually tamper");
+        assert!(matches!(
+            DistSnapshot::from_json(&tampered),
+            Err(SnapshotError::ChecksumMismatch { .. }) | Err(SnapshotError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn dist_snapshot_versions_independently_of_the_shared_memory_format() {
+        // The two formats version separately: bumping DIST_SNAPSHOT_VERSION
+        // (v3: schedules + JSON codec) must not invalidate shared-memory
+        // v2 snapshots, and a dist snapshot stamped with the shared-memory
+        // version is rejected with the dist reader's expectation.
+        assert_ne!(SNAPSHOT_VERSION, DIST_SNAPSHOT_VERSION);
+        let sim = random_snapshot(3, 5);
+        assert!(SimSnapshot::from_bytes(&sim.to_bytes()).is_ok());
+        let dist = random_dist_snapshot(6);
+        let mut bytes = dist.to_bytes();
+        bytes[8..12].copy_from_slice(&SNAPSHOT_VERSION.to_le_bytes());
+        match DistSnapshot::from_bytes(&bytes) {
+            Err(SnapshotError::UnsupportedVersion { found, supported }) => {
+                assert_eq!(found, SNAPSHOT_VERSION);
+                assert_eq!(supported, DIST_SNAPSHOT_VERSION);
+            }
+            other => panic!("expected UnsupportedVersion, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn dist_snapshot_load_sniffs_binary_and_json_files() {
+        let snap = random_dist_snapshot(8);
+        let dir = std::env::temp_dir();
+        let bin_path = dir.join("asura_dist_snapshot_sniff_test.bin");
+        let json_path = dir.join("asura_dist_snapshot_sniff_test.json");
+        std::fs::write(&bin_path, snap.to_bytes()).unwrap();
+        std::fs::write(&json_path, snap.to_json()).unwrap();
+        assert_eq!(DistSnapshot::load(&bin_path).expect("binary load"), snap);
+        assert_eq!(DistSnapshot::load(&json_path).expect("json load"), snap);
+        let _ = std::fs::remove_file(&bin_path);
+        let _ = std::fs::remove_file(&json_path);
     }
 
     #[test]

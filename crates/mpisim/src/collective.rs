@@ -165,6 +165,12 @@ impl Comm {
         self.allreduce_with(value, |a, b| a + b)
     }
 
+    /// Allreduce a single `u64` maximum (world-consistent depth/level
+    /// agreement, e.g. the block-timestep schedule reduction).
+    pub fn allreduce_max_u64(&self, value: u64) -> u64 {
+        self.allreduce_with(value, |a, b| a.max(b))
+    }
+
     /// Gather one value from every rank onto all ranks, indexed by rank.
     pub fn allgather<T: Clone + Send + 'static>(&self, value: T) -> Vec<T> {
         let p = self.size();
@@ -341,6 +347,14 @@ mod tests {
             assert_eq!(c.allreduce_f64(x, ReduceOp::Sum), 15.0);
             assert_eq!(c.allreduce_f64(x, ReduceOp::Min), 1.0);
             assert_eq!(c.allreduce_f64(x, ReduceOp::Max), 5.0);
+        });
+    }
+
+    #[test]
+    fn allreduce_u64_max() {
+        World::new(5).run(|c| {
+            let x = (c.rank() as u64 + 3) * 7;
+            assert_eq!(c.allreduce_max_u64(x), 49);
         });
     }
 

@@ -13,12 +13,16 @@
 //! asura --scenario spiked_dt --scheme conventional --timestep block:8
 //! asura --scenario quickstart --dist 2x1x1+1 --steps 6 --snapshot-every 3
 //! asura --scenario quickstart --dist 2x1x1+1 --resume results/quickstart/dist_checkpoint.bin
+//! asura --scenario spiked_dt --dist 2x2x1+1 --timestep block:8 --snapshot-every 2
 //! ```
 //!
 //! `--dist NXxNYxNZ+P` routes the scenario through the distributed
 //! (`mpisim`) driver — `NX*NY*NZ` main ranks plus `P` pool ranks — writing
-//! `dist_checkpoint.bin` (resumable with `--dist --resume`) and
-//! `dist_report.json` instead of the shared-memory outputs.
+//! `dist_checkpoint.{bin,json}` per `--snapshot-format` (resumable with
+//! `--dist --resume`, either encoding) and `dist_report.json` instead of
+//! the shared-memory outputs. `--timestep block[:<max_level>]` runs the
+//! conventional hierarchy's substep walk across the ranks so its
+//! per-substep synchronization cost is measured (paper Figs. 6/7).
 //!
 //! Exit codes: 0 success, 1 runtime failure (unreadable snapshot, I/O),
 //! 2 usage error.
@@ -235,27 +239,13 @@ fn run_dist(args: &Args, grid: (usize, usize, usize), n_pool: usize) -> Result<(
         .as_deref()
         .ok_or("--dist requires --scenario (it provides the config and initial condition)")?;
     let scenario = scenarios::find(name).ok_or_else(|| format!("unknown scenario `{name}`"))?;
-    // The distributed driver integrates the surrogate scheme on the fixed
-    // global step only; reject flags it would silently ignore rather than
-    // hand back a run the user didn't ask for.
+    // The distributed driver handles SNe through the pool ranks (the
+    // surrogate data path) in either timestep mode; reject flags it would
+    // silently ignore rather than hand back a run the user didn't ask for.
     if args.scheme == Some(Scheme::Conventional) {
         return Err(
-            "--dist runs the surrogate scheme only (--scheme conventional is the \
-                    shared-memory driver's comparison baseline)"
-                .into(),
-        );
-    }
-    if matches!(args.timestep, Some(TimestepMode::Block { .. })) {
-        return Err(
-            "--dist integrates on the fixed global step; --timestep block is not \
-                    wired through the mpisim driver yet"
-                .into(),
-        );
-    }
-    if args.snapshot_format == SnapFormat::Json {
-        return Err(
-            "--dist checkpoints are binary only (dist_checkpoint.bin); --snapshot-format \
-                    json applies to the shared-memory driver"
+            "--dist handles SNe through the pool ranks (the surrogate data path); \
+                    --scheme conventional is the shared-memory driver's comparison baseline"
                 .into(),
         );
     }
@@ -273,6 +263,12 @@ fn run_dist(args: &Args, grid: (usize, usize, usize), n_pool: usize) -> Result<(
         None => scenario.build(args.seed),
     };
     sim_cfg.scheme = Scheme::Surrogate;
+    // `--timestep block[:<max_level>]` runs the conventional hierarchy's
+    // substep walk across the mpisim ranks (dist.rs module docs:
+    // "Distributed block timesteps").
+    if let Some(t) = args.timestep {
+        sim_cfg.timestep = t;
+    }
     let steps = args.steps.unwrap_or(scenario.default_steps);
     let cfg = DistConfig {
         grid,
@@ -288,9 +284,7 @@ fn run_dist(args: &Args, grid: (usize, usize, usize), n_pool: usize) -> Result<(
 
     let report = match &args.resume {
         Some(path) => {
-            let bytes = std::fs::read(path).map_err(|e| format!("--resume {path:?}: {e}"))?;
-            let snap =
-                DistSnapshot::from_bytes(&bytes).map_err(|e| format!("--resume {path:?}: {e}"))?;
+            let snap = DistSnapshot::load(path).map_err(|e| format!("--resume {path:?}: {e}"))?;
             if snap.rank_particles.len() != cfg.n_main() {
                 return Err(format!(
                     "--resume {}: checkpoint was written by {} main ranks but --dist \
@@ -343,15 +337,28 @@ fn run_dist(args: &Args, grid: (usize, usize, usize), n_pool: usize) -> Result<(
         }
     };
 
-    // Last gathered checkpoint becomes the resumable artifact.
+    // Last gathered checkpoint becomes the resumable artifact, in the
+    // requested encoding (binary by default, JSON for inspectability).
     if let Some(snap) = report.snapshots.last() {
-        let path = dir.join("dist_checkpoint.bin");
-        std::fs::write(&path, snap.to_bytes())
-            .map_err(|e| format!("write {}: {e}", path.display()))?;
+        let path = dir.join(format!("dist_checkpoint.{}", args.snapshot_format.ext()));
+        match args.snapshot_format {
+            SnapFormat::Bin => std::fs::write(&path, snap.to_bytes()),
+            SnapFormat::Json => std::fs::write(&path, snap.to_json()),
+        }
+        .map_err(|e| format!("write {}: {e}", path.display()))?;
         println!("[snapshot] {} (step {})", path.display(), snap.step);
     }
     // Counter summary (hand-rendered JSON, like the bench artifacts).
     let total_bytes: u64 = report.bytes_sent.iter().sum();
+    let substeps_max = report
+        .rank_stats
+        .iter()
+        .map(|s| s.substeps)
+        .max()
+        .unwrap_or(0);
+    let active_updates: u64 = report.rank_stats.iter().map(|s| s.active_updates).sum();
+    let tree_refreshes: u64 = report.rank_stats.iter().map(|s| s.tree_refreshes).sum();
+    let tree_rebuilds: u64 = report.rank_stats.iter().map(|s| s.tree_rebuilds).sum();
     let phases: String = report
         .phases
         .entries
@@ -368,7 +375,8 @@ fn run_dist(args: &Args, grid: (usize, usize, usize), n_pool: usize) -> Result<(
         "{{\n  \"steps\": {},\n  \"sn_events\": {},\n  \"regions_applied\": {},\n  \
          \"gravity_interactions\": {},\n  \"hydro_interactions\": {},\n  \
          \"final_particles\": {},\n  \"bytes_sent_total\": {},\n  \"snapshots\": {},\n  \
-         \"phases\": [\n{}\n  ]\n}}\n",
+         \"substeps\": {},\n  \"active_updates\": {},\n  \"tree_refreshes\": {},\n  \
+         \"tree_rebuilds\": {},\n  \"phases\": [\n{}\n  ]\n}}\n",
         report.steps,
         report.sn_events,
         report.regions_applied,
@@ -377,14 +385,20 @@ fn run_dist(args: &Args, grid: (usize, usize, usize), n_pool: usize) -> Result<(
         report.final_particles,
         total_bytes,
         report.snapshots.len(),
+        substeps_max,
+        active_updates,
+        tree_refreshes,
+        tree_rebuilds,
         phases,
     );
     let report_path = dir.join("dist_report.json");
     std::fs::write(&report_path, json)
         .map_err(|e| format!("write {}: {e}", report_path.display()))?;
     println!(
-        "dist done: {} steps | {} SNe, {} regions applied, {} particles, {} snapshot(s)",
+        "dist done: {} steps ({} substeps) | {} SNe, {} regions applied, {} particles, \
+         {} snapshot(s)",
         report.steps,
+        substeps_max,
         report.sn_events,
         report.regions_applied,
         report.final_particles,

@@ -1,8 +1,11 @@
 //! Integration tests of the distributed main/pool driver across mpisim
-//! ranks, including the SN pool round trip and routing equivalence.
+//! ranks: the SN pool round trip, routing equivalence, KDK integration
+//! order against the shared-memory driver, and block-timestep schedule
+//! agreement/energy conservation.
 
 use asura_core::dist::{run_distributed, DistConfig, PredictorKind};
-use asura_core::{Particle, Scheme, SimConfig};
+use asura_core::sim::total_energy_of;
+use asura_core::{Particle, Scheme, SimConfig, Simulation, TimestepMode};
 use fdps::exchange::Routing;
 use fdps::Vec3;
 use rand::rngs::StdRng;
@@ -114,6 +117,216 @@ fn communication_volume_is_recorded_per_main_rank() {
         "every main rank communicates: {:?}",
         report.bytes_sent
     );
+}
+
+#[test]
+fn distributed_kdk_energy_drift_matches_the_shared_memory_driver() {
+    // The dist integrator used to be a first-order kick-drift with an
+    // empty FINAL_KICK and locally clamped ghost densities; both bugs blow
+    // up the energy budget. With true KDK and owner-imported ghost rho,
+    // the distributed run must hold total energy as well as the
+    // shared-memory KDK on the identical IC.
+    let ic = slab_ic(300, 80, 0, 2.0e-3, 7);
+    let steps = 4;
+    let cfg = base_cfg(steps);
+    let e0 = total_energy_of(&ic, cfg.sim.eps);
+
+    let mut shared = Simulation::new(cfg.sim, ic.clone(), 1);
+    shared.run(steps);
+    let shared_drift = ((total_energy_of(&shared.particles, cfg.sim.eps) - e0) / e0).abs();
+
+    let report = run_distributed(&cfg, &ic);
+    assert_eq!(report.final_particles, ic.len() as u64);
+    let dist_drift = ((total_energy_of(&report.final_state, cfg.sim.eps) - e0) / e0).abs();
+
+    assert!(
+        shared_drift < 5e-3,
+        "shared-memory KDK drift {shared_drift:.3e}"
+    );
+    assert!(
+        dist_drift < 5e-3,
+        "distributed KDK drift {dist_drift:.3e} (shared: {shared_drift:.3e})"
+    );
+    // Same integration order ⇒ same drift class: the distributed run may
+    // differ by domain-cut force ordering, not by a missing half-kick.
+    assert!(
+        dist_drift < 10.0 * shared_drift + 1e-4,
+        "distributed drift {dist_drift:.3e} out of class vs shared {shared_drift:.3e}"
+    );
+}
+
+#[test]
+fn distributed_block_mode_conserves_energy_on_the_spiked_ic() {
+    // The spiked-dt stress case across ranks: a blob with one SN-hot
+    // particle forces deep levels on one rank while the bulk stays at the
+    // base step. The distributed hierarchy (opening half-kicks, fused
+    // substep kicks, closing half-kicks) must conserve energy through the
+    // whole walk.
+    let (sim_cfg, particles) = asura::scenarios::find("spiked_dt")
+        .expect("registered")
+        .build(1);
+    assert!(matches!(sim_cfg.timestep, TimestepMode::Block { .. }));
+    let cfg = DistConfig {
+        grid: (2, 2, 1),
+        n_pool: 1,
+        routing: Routing::Flat,
+        sim: SimConfig {
+            timestep: TimestepMode::Block { max_level: 6 },
+            ..sim_cfg
+        },
+        predictor: PredictorKind::SedovOverlay,
+        snapshot_every: 0,
+        steps: 2,
+    };
+    let e0 = total_energy_of(&particles, cfg.sim.eps);
+    // Reference: the shared-memory driver's hierarchy on the identical IC
+    // and horizon. The spiked IC is deliberately violent (the SN-hot
+    // particle is CFL-marginal at the level cap), so "conserves" means
+    // "the same drift class as the proven shared-memory walk", not an
+    // absolute bound.
+    let mut shared = Simulation::new(
+        SimConfig {
+            scheme: Scheme::Conventional,
+            ..cfg.sim
+        },
+        particles.clone(),
+        1,
+    );
+    shared.run(cfg.steps);
+    let shared_drift = ((total_energy_of(&shared.particles, cfg.sim.eps) - e0) / e0).abs();
+
+    let report = run_distributed(&cfg, &particles);
+    assert_eq!(report.final_particles, particles.len() as u64);
+    assert!(
+        report.final_state.iter().all(|p| {
+            p.pos.x.is_finite() && p.vel.x.is_finite() && p.u.is_finite() && p.rho.is_finite()
+        }),
+        "block substepping must stay finite"
+    );
+    let e1 = total_energy_of(&report.final_state, cfg.sim.eps);
+    let drift = ((e1 - e0) / e0).abs();
+    assert!(
+        drift < 2.0 * shared_drift + 1e-3,
+        "distributed block drift {drift:.3e} out of class vs shared-memory {shared_drift:.3e}"
+    );
+    // The hierarchy actually engaged, on every rank's counter.
+    assert!(report
+        .rank_stats
+        .iter()
+        .all(|s| s.substeps == report.rank_stats[0].substeps && s.substeps > report.steps));
+}
+
+#[test]
+fn distributed_block_schedule_is_identical_on_every_rank_and_snapshotted() {
+    let mut ic = slab_ic(250, 0, 0, 2.0e-3, 9);
+    ic[17].u = 1.0e8; // hot particle: deep levels on its owner rank
+    let cfg = DistConfig {
+        grid: (2, 1, 1),
+        n_pool: 1,
+        routing: Routing::Flat,
+        sim: SimConfig {
+            scheme: Scheme::Surrogate,
+            timestep: TimestepMode::Block { max_level: 6 },
+            dt_global: 2.0e-3,
+            pool_latency_steps: 2,
+            cooling: false,
+            star_formation: false,
+            n_ngb: 16,
+            eps: 2.0,
+            ..Default::default()
+        },
+        predictor: PredictorKind::SedovOverlay,
+        snapshot_every: 2,
+        steps: 2,
+    };
+    let report = run_distributed(&cfg, &ic);
+    // World-consistent walk: every rank ran the same number of substeps,
+    // and the hot particle forced more than one per base step.
+    let subs: Vec<u64> = report.rank_stats.iter().map(|s| s.substeps).collect();
+    assert!(subs.iter().all(|&s| s == subs[0]), "substeps {subs:?}");
+    assert!(subs[0] > report.steps, "hierarchy engaged: {subs:?}");
+    // The checkpoint carries one schedule per main rank, level arrays in
+    // the rank's local particle order.
+    let snap = &report.snapshots[0];
+    assert_eq!(snap.schedules.len(), cfg.n_main());
+    for (rank, sched) in snap.schedules.iter().enumerate() {
+        assert_eq!(
+            sched.levels.len(),
+            snap.rank_particles[rank].len(),
+            "rank {rank} schedule covers its particles"
+        );
+        assert_eq!(sched.dt_max, cfg.sim.dt_global);
+    }
+    // The deep levels live on the rank that owns the hot particle.
+    let deepest = snap
+        .schedules
+        .iter()
+        .map(|s| s.levels.iter().copied().max().unwrap_or(0))
+        .max()
+        .unwrap();
+    assert!(deepest >= 1, "hot particle must sit below the base level");
+}
+
+#[test]
+fn block_mode_survives_a_rank_with_no_gas() {
+    // Gas confined to x < -10 and DM to x > 10 on a 2x1x1 grid: the domain
+    // cut leaves one main rank gas-free. The substep walk's ghost
+    // exchanges and barrier brackets are collective, so that rank must
+    // still enter every region with empty payloads — a data-dependent
+    // skip deadlocks the walk.
+    let mut rng = StdRng::seed_from_u64(21);
+    let mut ic = Vec::new();
+    for id in 0..200u64 {
+        ic.push(Particle::gas(
+            id,
+            Vec3::new(
+                rng.gen_range(-60.0..-10.0),
+                rng.gen_range(-30.0..30.0),
+                rng.gen_range(-10.0..10.0),
+            ),
+            Vec3::ZERO,
+            1.0,
+            1.0,
+            5.0,
+        ));
+    }
+    for id in 200..400u64 {
+        ic.push(Particle::dm(
+            id,
+            Vec3::new(
+                rng.gen_range(10.0..60.0),
+                rng.gen_range(-30.0..30.0),
+                rng.gen_range(-10.0..10.0),
+            ),
+            Vec3::ZERO,
+            10.0,
+        ));
+    }
+    ic[7].u = 1.0e8; // force deep levels on the gas rank
+    let cfg = DistConfig {
+        grid: (2, 1, 1),
+        n_pool: 1,
+        routing: Routing::Flat,
+        sim: SimConfig {
+            scheme: Scheme::Surrogate,
+            timestep: TimestepMode::Block { max_level: 5 },
+            dt_global: 2.0e-3,
+            pool_latency_steps: 2,
+            cooling: false,
+            star_formation: false,
+            n_ngb: 16,
+            eps: 2.0,
+            ..Default::default()
+        },
+        predictor: PredictorKind::SedovOverlay,
+        snapshot_every: 0,
+        steps: 2,
+    };
+    let report = run_distributed(&cfg, &ic);
+    assert_eq!(report.final_particles, ic.len() as u64);
+    let subs: Vec<u64> = report.rank_stats.iter().map(|s| s.substeps).collect();
+    assert!(subs.iter().all(|&s| s == subs[0]), "substeps {subs:?}");
+    assert!(subs[0] > report.steps, "hierarchy engaged: {subs:?}");
 }
 
 #[test]

@@ -8,8 +8,10 @@
 //! counter) to be explicit and serialized.
 
 use asura::scenarios;
-use asura_core::snapshot::SimSnapshot;
+use asura_core::dist::{run_distributed, run_distributed_resume, DistConfig, PredictorKind};
+use asura_core::snapshot::{DistSnapshot, SimSnapshot};
 use asura_core::{Particle, Scheme, SimConfig, Simulation, TimestepMode};
+use fdps::exchange::Routing;
 use fdps::Vec3;
 
 /// Exact-state comparison: particle vectors (all fields, f64 `==`), clocks
@@ -185,6 +187,78 @@ fn restart_preserves_the_star_formation_rng_stream() {
     ids.sort_unstable();
     ids.dedup();
     assert_eq!(ids.len(), n, "duplicate ids after restart");
+}
+
+#[test]
+fn distributed_block_resume_is_bitwise_with_the_schedule_in_the_snapshot() {
+    // The distributed analogue of the conventional/block restart: 4 base
+    // steps straight vs snapshot-at-2 + resume-for-2 under the
+    // world-reduced block hierarchy, with the checkpoint pushed through
+    // *both* DistSnapshot codecs. The snapshot carries the per-rank
+    // schedule of the base step it was gathered in.
+    let mut particles = gas_blob(6, 1.0, 1.0);
+    particles[100].u = 1.0e8; // deep levels on the owning rank
+    particles.push(Particle::dm(
+        particles.len() as u64,
+        Vec3::new(8.0, 0.0, 0.0),
+        Vec3::ZERO,
+        50.0,
+    ));
+    let cfg = DistConfig {
+        grid: (2, 1, 1),
+        n_pool: 1,
+        routing: Routing::Flat,
+        sim: SimConfig {
+            scheme: Scheme::Surrogate,
+            timestep: TimestepMode::Block { max_level: 5 },
+            dt_global: 2.0e-3,
+            pool_latency_steps: 2,
+            cooling: false,
+            star_formation: false,
+            n_ngb: 16,
+            eps: 1.0,
+            ..Default::default()
+        },
+        predictor: PredictorKind::SedovOverlay,
+        snapshot_every: 2,
+        steps: 4,
+    };
+    let full = run_distributed(&cfg, &particles);
+    assert!(
+        full.rank_stats.iter().all(|s| s.substeps > full.steps),
+        "the hierarchy must engage"
+    );
+    let snap = &full.snapshots[0];
+    assert_eq!(snap.step, 2);
+    assert_eq!(
+        snap.schedules.len(),
+        cfg.n_main(),
+        "the checkpoint must carry one schedule per rank"
+    );
+
+    // Binary and JSON codecs must agree and both restart bitwise.
+    let via_bin = DistSnapshot::from_bytes(&snap.to_bytes()).expect("binary roundtrip");
+    let via_json = DistSnapshot::from_json(&snap.to_json()).expect("json roundtrip");
+    assert_eq!(via_bin, *snap);
+    assert_eq!(via_json, *snap);
+
+    let mut resume_cfg = cfg;
+    resume_cfg.steps = 2;
+    let resumed = run_distributed_resume(&resume_cfg, &via_json);
+    assert_eq!(resumed.steps, 2);
+    assert_eq!(full.final_state.len(), resumed.final_state.len());
+    for (a, b) in full.final_state.iter().zip(&resumed.final_state) {
+        assert_eq!(a, b, "resumed particle {} diverged", a.id);
+    }
+    // The resumed ranks re-derive the same world schedule: substep totals
+    // over the overlapping base steps agree.
+    let full_subs: Vec<u64> = full.rank_stats.iter().map(|s| s.substeps).collect();
+    let resumed_subs: Vec<u64> = resumed.rank_stats.iter().map(|s| s.substeps).collect();
+    assert!(resumed_subs.iter().all(|&s| s == resumed_subs[0]));
+    assert!(
+        resumed_subs[0] <= full_subs[0],
+        "resume covers the tail of the full run's substeps"
+    );
 }
 
 #[test]

@@ -126,8 +126,48 @@ fn tracked(file: &str) -> &'static [Metric] {
             class: Class::Info,
         },
     ];
+    const DIST_BLOCKSTEP: &[Metric] = &[
+        Metric {
+            // Deterministic update economy of the distributed active-set
+            // walk vs a lockstep walk at the same schedule depth.
+            path: &["update_ratio"],
+            direction: Direction::Higher,
+            class: Class::Gated,
+        },
+        Metric {
+            path: &["block_sync_share"],
+            direction: Direction::Lower,
+            class: Class::Info,
+        },
+        Metric {
+            path: &["block", "substeps"],
+            direction: Direction::Lower,
+            class: Class::Info,
+        },
+        Metric {
+            path: &["block", "tree_refreshes"],
+            direction: Direction::Higher,
+            class: Class::Info,
+        },
+        Metric {
+            path: &["block", "tree_rebuilds"],
+            direction: Direction::Lower,
+            class: Class::Info,
+        },
+        Metric {
+            path: &["global", "wall_s"],
+            direction: Direction::Lower,
+            class: Class::Info,
+        },
+        Metric {
+            path: &["block", "wall_s"],
+            direction: Direction::Lower,
+            class: Class::Info,
+        },
+    ];
     match file {
         "BENCH_blockstep.json" => BLOCKSTEP,
+        "BENCH_dist_blockstep.json" => DIST_BLOCKSTEP,
         "BENCH_force.json" => FORCE,
         _ => &[],
     }
@@ -301,6 +341,7 @@ struct Args {
 const DEFAULT_FILES: &[&str] = &[
     "BENCH_force.json",
     "BENCH_blockstep.json",
+    "BENCH_dist_blockstep.json",
     "BENCH_tree_walk.json",
     "BENCH_alltoall.json",
     "BENCH_unet_infer.json",
@@ -522,6 +563,21 @@ mod tests {
         let c = rows.iter().find(|r| r.name.starts_with("c/3")).unwrap();
         assert_eq!(c.baseline, None);
         assert_eq!(c.status(0.3), "new");
+    }
+
+    #[test]
+    fn dist_blockstep_gates_only_the_update_ratio() {
+        let base = doc(r#"{"update_ratio": 8.0, "block_sync_share": 0.1,
+                "block": {"wall_s": 1.0, "substeps": 128}}"#);
+        let worse = doc(r#"{"update_ratio": 4.0, "block_sync_share": 0.9,
+                "block": {"wall_s": 50.0, "substeps": 512}}"#);
+        let rows = compare_file("BENCH_dist_blockstep.json", Some(&base), &worse);
+        let ratio = rows.iter().find(|r| r.name == "update_ratio").unwrap();
+        assert!(ratio.failed(0.30), "halved update economy must gate");
+        for name in ["block_sync_share", "block.wall_s", "block.substeps"] {
+            let row = rows.iter().find(|r| r.name == name).unwrap();
+            assert!(!row.failed(0.30), "{name} is informational");
+        }
     }
 
     #[test]
