@@ -109,7 +109,7 @@ fn run(mode: TimestepMode) -> RunResult {
     let ic = spiked_blob();
     let cfg = config(mode);
     let start = Instant::now();
-    let report = run_distributed(&cfg, &ic);
+    let report = run_distributed(&cfg, &ic).expect("dist run");
     let wall_s = start.elapsed().as_secs_f64();
     let sync_s: f64 = SYNC_PHASES
         .iter()

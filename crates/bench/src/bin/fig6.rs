@@ -92,7 +92,7 @@ fn main() {
             predictor: PredictorKind::SedovOverlay,
             snapshot_every: 0,
         };
-        let report = run_distributed(&cfg, &ic);
+        let report = run_distributed(&cfg, &ic).expect("dist run");
         let t = report.phases.total_s() / report.steps as f64;
         println!("  {n_main} main ranks, {n} particles: {t:.4} s/step");
         csv.push_str(&format!("{n_main},{t:.6}\n"));

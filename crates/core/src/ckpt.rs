@@ -1,0 +1,559 @@
+//! Atomic, rotated checkpoint store.
+//!
+//! Every checkpoint the drivers write used to be a bare
+//! `std::fs::write` over the live `checkpoint.*` — a crash mid-write
+//! destroyed the only recovery point. This module replaces that with a
+//! crash-safe store built from two pieces:
+//!
+//! * [`atomic_write`]: tmp-file → write → `fsync` → `rename`, so a file
+//!   is either its complete old contents or its complete new contents,
+//!   never a torn hybrid. Used for *every* output file (checkpoints,
+//!   manifests, diagnostics, reports, incident logs).
+//! * [`CkptStore`]: a rotation of the last `keep` stamped snapshots
+//!   (`<base>-<step:06>.<ext>`) plus a checksummed JSON manifest
+//!   (`<base>.manifest.json`). Commits prune the oldest entries beyond
+//!   `keep`; [`CkptStore::latest_valid_with`] walks the rotation
+//!   newest-first and returns the first entry that passes *all* of:
+//!   file readable, length matches the manifest, FNV-1a checksum matches
+//!   the manifest, and the payload decodes (the codec's own magic,
+//!   version, and internal-checksum checks). Anything that fails is
+//!   skipped, so a damaged newest checkpoint silently falls back to the
+//!   previous one.
+//!
+//! The manifest records the *intended* length and checksum of each commit
+//! (captured before any injected [`WriteFault`](crate::faults::WriteFault)
+//! damage is applied), which is what makes storage-level corruption
+//! detectable at read time. If the manifest itself is missing or fails
+//! its own checksum, the store falls back to scanning the directory for
+//! rotation-shaped file names and leans on payload decoding alone — a
+//! corrupt manifest never strands an intact checkpoint.
+//!
+//! # Manifest schema
+//!
+//! ```json
+//! {
+//!   "format": "asura-ckpt-manifest",
+//!   "version": 1,
+//!   "base": "checkpoint",
+//!   "entries": [
+//!     {"file": "checkpoint-000004.bin", "step": 4,
+//!      "len": 31240, "checksum": "fnv1a:8c5a1e0d9b2f4711"}
+//!   ],
+//!   "checksum": "fnv1a:..."  // FNV-1a over the serialized entries array
+//! }
+//! ```
+
+use crate::faults::{apply_write_fault, FaultInjector};
+use crate::snapshot::{fnv1a, DistSnapshot, SimSnapshot};
+use std::fs::{self, File};
+use std::io::{self, Write as _};
+use std::path::{Path, PathBuf};
+use unet::json::{parse_json, write_json, Json};
+
+/// `format` field of the rotation manifest.
+pub const MANIFEST_FORMAT: &str = "asura-ckpt-manifest";
+/// Manifest schema version.
+pub const MANIFEST_VERSION: u64 = 1;
+/// Default rotation depth.
+pub const DEFAULT_KEEP: usize = 3;
+
+/// Checkpoint encoding, selecting the snapshot codec and file extension.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CkptFormat {
+    Bin,
+    Json,
+}
+
+impl CkptFormat {
+    pub fn ext(self) -> &'static str {
+        match self {
+            CkptFormat::Bin => "bin",
+            CkptFormat::Json => "json",
+        }
+    }
+}
+
+/// Write `bytes` to `path` atomically: the data lands in a hidden
+/// temporary file in the same directory, is flushed to stable storage
+/// (`fsync`), and is then `rename`d over the destination — readers see
+/// either the complete old file or the complete new file, never a torn
+/// mix. The directory is fsynced best-effort afterwards so the rename
+/// itself survives power loss.
+pub fn atomic_write(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    let file_name = path
+        .file_name()
+        .ok_or_else(|| io::Error::other(format!("no file name in `{}`", path.display())))?
+        .to_string_lossy()
+        .into_owned();
+    let dir = match path.parent() {
+        Some(p) if !p.as_os_str().is_empty() => p.to_path_buf(),
+        _ => PathBuf::from("."),
+    };
+    let tmp = dir.join(format!(".{file_name}.{}.tmp", std::process::id()));
+    let result = (|| {
+        let mut f = File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+        drop(f);
+        fs::rename(&tmp, path)
+    })();
+    if result.is_err() {
+        let _ = fs::remove_file(&tmp);
+    }
+    result?;
+    if let Ok(d) = File::open(&dir) {
+        let _ = d.sync_all();
+    }
+    Ok(())
+}
+
+/// One rotation entry as recorded in the manifest: the file name relative
+/// to the store directory, the step it captures, and the intended length
+/// and FNV-1a checksum of its payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CkptEntry {
+    pub file: String,
+    pub step: u64,
+    pub len: u64,
+    pub checksum: u64,
+}
+
+/// A rotated checkpoint store rooted at a directory. All files it owns
+/// share a `base` name: rotation entries are `<base>-<step:06>.<ext>`,
+/// the manifest is `<base>.manifest.json`. See the module docs for the
+/// validation walk.
+#[derive(Debug, Clone)]
+pub struct CkptStore {
+    dir: PathBuf,
+    base: String,
+    keep: usize,
+}
+
+impl CkptStore {
+    /// Store under `dir` with the default base name `checkpoint`.
+    pub fn new(dir: impl Into<PathBuf>, keep: usize) -> CkptStore {
+        CkptStore::with_base(dir, "checkpoint", keep)
+    }
+
+    /// Store under `dir` with an explicit base name (the dist driver uses
+    /// `dist_checkpoint` so both stores can share a run directory).
+    pub fn with_base(dir: impl Into<PathBuf>, base: impl Into<String>, keep: usize) -> CkptStore {
+        CkptStore {
+            dir: dir.into(),
+            base: base.into(),
+            keep: keep.max(1),
+        }
+    }
+
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    pub fn base(&self) -> &str {
+        &self.base
+    }
+
+    pub fn keep(&self) -> usize {
+        self.keep
+    }
+
+    /// Path of the rotation manifest.
+    pub fn manifest_path(&self) -> PathBuf {
+        self.dir.join(format!("{}.manifest.json", self.base))
+    }
+
+    /// Absolute path of a rotation entry.
+    pub fn entry_path(&self, entry: &CkptEntry) -> PathBuf {
+        self.dir.join(&entry.file)
+    }
+
+    fn entry_file(&self, step: u64, format: CkptFormat) -> String {
+        format!("{}-{step:06}.{}", self.base, format.ext())
+    }
+
+    /// Commit one snapshot payload for `step`: apply any armed write
+    /// fault (torn/corrupt damage the committed bytes, a synthetic I/O
+    /// fault fails the commit), write the entry atomically, then update
+    /// the manifest and prune the rotation to the newest `keep` entries.
+    /// The manifest records the *intended* length/checksum, so injected
+    /// damage is detectable at read time. Returns the entry path.
+    pub fn commit_bytes(
+        &self,
+        step: u64,
+        format: CkptFormat,
+        bytes: Vec<u8>,
+        faults: &mut FaultInjector,
+    ) -> io::Result<PathBuf> {
+        fs::create_dir_all(&self.dir)?;
+        let intended_len = bytes.len() as u64;
+        let intended_checksum = fnv1a(&bytes);
+        let mut payload = bytes;
+        if let Some(fault) = faults.on_commit() {
+            eprintln!("[fault] checkpoint commit {}: {fault}", faults.commits());
+            apply_write_fault(fault, &mut payload)?;
+        }
+        let file = self.entry_file(step, format);
+        let path = self.dir.join(&file);
+        atomic_write(&path, &payload)?;
+
+        let mut entries = self.entries_oldest_first();
+        entries.retain(|e| e.file != file);
+        entries.push(CkptEntry {
+            file,
+            step,
+            len: intended_len,
+            checksum: intended_checksum,
+        });
+        entries.sort_by(|a, b| a.step.cmp(&b.step).then_with(|| a.file.cmp(&b.file)));
+        while entries.len() > self.keep {
+            let dropped = entries.remove(0);
+            let _ = fs::remove_file(self.dir.join(&dropped.file));
+        }
+        self.write_manifest(&entries)?;
+        Ok(path)
+    }
+
+    /// Encode and commit a shared-memory snapshot.
+    pub fn commit_sim(
+        &self,
+        snap: &SimSnapshot,
+        format: CkptFormat,
+        faults: &mut FaultInjector,
+    ) -> io::Result<PathBuf> {
+        let bytes = match format {
+            CkptFormat::Bin => snap.to_bytes(),
+            CkptFormat::Json => snap.to_json().into_bytes(),
+        };
+        self.commit_bytes(snap.step_count, format, bytes, faults)
+    }
+
+    /// Encode and commit a distributed snapshot.
+    pub fn commit_dist(
+        &self,
+        snap: &DistSnapshot,
+        format: CkptFormat,
+        faults: &mut FaultInjector,
+    ) -> io::Result<PathBuf> {
+        let bytes = match format {
+            CkptFormat::Bin => snap.to_bytes(),
+            CkptFormat::Json => snap.to_json().into_bytes(),
+        };
+        self.commit_bytes(snap.step, format, bytes, faults)
+    }
+
+    /// Rotation entries, newest-first: from the manifest when it is
+    /// present and passes its own checksum, otherwise by scanning the
+    /// directory for rotation-shaped file names (in which case lengths
+    /// and checksums are recomputed from the files themselves, and
+    /// payload decoding is the only real validation left).
+    pub fn entries(&self) -> Vec<CkptEntry> {
+        let mut entries = self.entries_oldest_first();
+        entries.reverse();
+        entries
+    }
+
+    fn entries_oldest_first(&self) -> Vec<CkptEntry> {
+        let mut entries = self.read_manifest().unwrap_or_else(|| self.scan_dir());
+        entries.sort_by(|a, b| a.step.cmp(&b.step).then_with(|| a.file.cmp(&b.file)));
+        entries
+    }
+
+    /// Walk the rotation newest-first and return the first entry whose
+    /// payload is intact: readable, length and FNV-1a checksum matching
+    /// the manifest, and accepted by `decode`. Damaged or missing entries
+    /// are skipped — this is the auto-resume fallback.
+    pub fn latest_valid_with<T>(
+        &self,
+        mut decode: impl FnMut(&[u8]) -> Option<T>,
+    ) -> Option<(CkptEntry, T)> {
+        for entry in self.entries() {
+            let Ok(bytes) = fs::read(self.entry_path(&entry)) else {
+                continue;
+            };
+            if bytes.len() as u64 != entry.len || fnv1a(&bytes) != entry.checksum {
+                continue;
+            }
+            if let Some(value) = decode(&bytes) {
+                return Some((entry, value));
+            }
+        }
+        None
+    }
+
+    /// Newest intact shared-memory snapshot in the rotation.
+    pub fn latest_valid_sim(&self) -> Option<(CkptEntry, SimSnapshot)> {
+        self.latest_valid_with(|bytes| SimSnapshot::decode(bytes).ok())
+    }
+
+    /// Newest intact distributed snapshot in the rotation.
+    pub fn latest_valid_dist(&self) -> Option<(CkptEntry, DistSnapshot)> {
+        self.latest_valid_with(|bytes| DistSnapshot::decode(bytes).ok())
+    }
+
+    // -- manifest ---------------------------------------------------------
+
+    /// Canonical rendering of the entries array — integers are written
+    /// plain (not as `f64`), and the manifest's self-checksum is defined
+    /// over exactly this text, so reading re-renders parsed entries
+    /// through the same function before comparing.
+    fn render_entries(entries: &[CkptEntry]) -> String {
+        let mut out = String::from("[");
+        for (i, e) in entries.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"file\":");
+            write_json(&Json::Str(e.file.clone()), &mut out);
+            out.push_str(&format!(
+                ",\"step\":{},\"len\":{},\"checksum\":\"fnv1a:{:016x}\"}}",
+                e.step, e.len, e.checksum
+            ));
+        }
+        out.push(']');
+        out
+    }
+
+    fn write_manifest(&self, entries: &[CkptEntry]) -> io::Result<()> {
+        let entries_text = Self::render_entries(entries);
+        let mut text = String::from("{\"format\":");
+        write_json(&Json::Str(MANIFEST_FORMAT.into()), &mut text);
+        text.push_str(&format!(",\"version\":{MANIFEST_VERSION},\"base\":"));
+        write_json(&Json::Str(self.base.clone()), &mut text);
+        text.push_str(&format!(
+            ",\"entries\":{entries_text},\"checksum\":\"fnv1a:{:016x}\"}}\n",
+            fnv1a(entries_text.as_bytes())
+        ));
+        atomic_write(&self.manifest_path(), text.as_bytes())
+    }
+
+    /// Parse and validate the manifest. `None` on any failure (missing,
+    /// unparseable, wrong format/version, self-checksum mismatch,
+    /// malformed entry) — the caller then falls back to the dir scan.
+    fn read_manifest(&self) -> Option<Vec<CkptEntry>> {
+        let text = fs::read_to_string(self.manifest_path()).ok()?;
+        let doc = parse_json(&text).ok()?;
+        match doc.get("format").ok()? {
+            Json::Str(s) if s == MANIFEST_FORMAT => {}
+            _ => return None,
+        }
+        if doc.get("version").ok()?.as_usize().ok()? != MANIFEST_VERSION as usize {
+            return None;
+        }
+        let Json::Arr(items) = doc.get("entries").ok()? else {
+            return None;
+        };
+        let mut entries = Vec::with_capacity(items.len());
+        for item in items {
+            entries.push(CkptEntry {
+                file: match item.get("file").ok()? {
+                    Json::Str(s) => s.clone(),
+                    _ => return None,
+                },
+                step: item.get("step").ok()?.as_usize().ok()? as u64,
+                len: item.get("len").ok()?.as_usize().ok()? as u64,
+                checksum: parse_checksum(item.get("checksum").ok()?)?,
+            });
+        }
+        // The self-checksum is defined over the canonical rendering, so
+        // re-render the parsed entries rather than hashing raw file text.
+        let canonical = Self::render_entries(&entries);
+        if parse_checksum(doc.get("checksum").ok()?)? != fnv1a(canonical.as_bytes()) {
+            return None;
+        }
+        Some(entries)
+    }
+
+    /// Recover rotation entries from file names alone: anything matching
+    /// `<base>-<digits>.<bin|json>` in the store directory. Length and
+    /// checksum come from the file contents, so only payload decoding can
+    /// reject a damaged entry on this path.
+    fn scan_dir(&self) -> Vec<CkptEntry> {
+        let Ok(rd) = fs::read_dir(&self.dir) else {
+            return Vec::new();
+        };
+        let prefix = format!("{}-", self.base);
+        let mut entries = Vec::new();
+        for dent in rd.flatten() {
+            let name = dent.file_name().to_string_lossy().into_owned();
+            let Some(rest) = name.strip_prefix(&prefix) else {
+                continue;
+            };
+            let Some((digits, ext)) = rest.split_once('.') else {
+                continue;
+            };
+            if !(ext == "bin" || ext == "json") || digits.is_empty() {
+                continue;
+            }
+            let Ok(step) = digits.parse::<u64>() else {
+                continue;
+            };
+            let Ok(bytes) = fs::read(dent.path()) else {
+                continue;
+            };
+            entries.push(CkptEntry {
+                file: name,
+                step,
+                len: bytes.len() as u64,
+                checksum: fnv1a(&bytes),
+            });
+        }
+        entries
+    }
+}
+
+fn parse_checksum(v: &Json) -> Option<u64> {
+    match v {
+        Json::Str(s) => u64::from_str_radix(s.strip_prefix("fnv1a:")?, 16).ok(),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::faults::FaultPlan;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "asura-ckpt-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn store(tag: &str, keep: usize) -> CkptStore {
+        CkptStore::new(tmpdir(tag), keep)
+    }
+
+    /// Commit raw payloads with a trivial "decode" that accepts payloads
+    /// starting with `OK`.
+    fn ok_decode(bytes: &[u8]) -> Option<Vec<u8>> {
+        bytes.starts_with(b"OK").then(|| bytes.to_vec())
+    }
+
+    #[test]
+    fn rotation_prunes_to_keep_and_walks_newest_first() {
+        let st = store("rotate", 2);
+        let mut inj = FaultInjector::none();
+        for step in [2u64, 4, 6] {
+            st.commit_bytes(
+                step,
+                CkptFormat::Bin,
+                format!("OK step {step}").into_bytes(),
+                &mut inj,
+            )
+            .unwrap();
+        }
+        let entries = st.entries();
+        assert_eq!(
+            entries.iter().map(|e| e.step).collect::<Vec<_>>(),
+            vec![6, 4],
+            "oldest entry pruned, newest first"
+        );
+        assert!(
+            !st.dir().join("checkpoint-000002.bin").exists(),
+            "pruned file deleted"
+        );
+        let (entry, payload) = st.latest_valid_with(ok_decode).unwrap();
+        assert_eq!(entry.step, 6);
+        assert_eq!(payload, b"OK step 6");
+    }
+
+    #[test]
+    fn damaged_newest_falls_back_to_previous_entry() {
+        let st = store("fallback", 3);
+        let mut inj = FaultInjector::none();
+        st.commit_bytes(1, CkptFormat::Bin, b"OK one".to_vec(), &mut inj)
+            .unwrap();
+        st.commit_bytes(2, CkptFormat::Bin, b"OK two".to_vec(), &mut inj)
+            .unwrap();
+        // Corrupt the newest entry on disk (bypassing the store).
+        let newest = st.dir().join("checkpoint-000002.bin");
+        fs::write(&newest, b"XX two").unwrap();
+        let (entry, payload) = st.latest_valid_with(ok_decode).unwrap();
+        assert_eq!(entry.step, 1, "checksum mismatch skips to previous");
+        assert_eq!(payload, b"OK one");
+    }
+
+    #[test]
+    fn injected_torn_and_corrupt_commits_are_skipped() {
+        let st = store("faults", 4);
+        let plan = FaultPlan::parse("torn@2:3,corrupt@3:1").unwrap();
+        let mut inj = FaultInjector::from_plan(&plan, 0);
+        st.commit_bytes(1, CkptFormat::Bin, b"OK aaaa".to_vec(), &mut inj)
+            .unwrap();
+        st.commit_bytes(2, CkptFormat::Bin, b"OK bbbb".to_vec(), &mut inj)
+            .unwrap();
+        st.commit_bytes(3, CkptFormat::Bin, b"OK cccc".to_vec(), &mut inj)
+            .unwrap();
+        assert_eq!(
+            fs::read(st.dir().join("checkpoint-000002.bin")).unwrap(),
+            b"OK ",
+            "torn"
+        );
+        let (entry, _) = st.latest_valid_with(ok_decode).unwrap();
+        assert_eq!(entry.step, 1, "both damaged commits skipped");
+    }
+
+    #[test]
+    fn injected_io_fault_fails_the_commit_but_keeps_the_store_intact() {
+        let st = store("io", 3);
+        let plan = FaultPlan::parse("io@2").unwrap();
+        let mut inj = FaultInjector::from_plan(&plan, 0);
+        st.commit_bytes(1, CkptFormat::Bin, b"OK one".to_vec(), &mut inj)
+            .unwrap();
+        let err = st
+            .commit_bytes(2, CkptFormat::Bin, b"OK two".to_vec(), &mut inj)
+            .unwrap_err();
+        assert!(err.to_string().contains("injected"));
+        let (entry, _) = st.latest_valid_with(ok_decode).unwrap();
+        assert_eq!(entry.step, 1);
+    }
+
+    #[test]
+    fn corrupt_manifest_falls_back_to_dir_scan() {
+        let st = store("manifest", 3);
+        let mut inj = FaultInjector::none();
+        st.commit_bytes(5, CkptFormat::Json, b"OK json".to_vec(), &mut inj)
+            .unwrap();
+        fs::write(st.manifest_path(), b"{ not json").unwrap();
+        let (entry, payload) = st.latest_valid_with(ok_decode).unwrap();
+        assert_eq!(entry.step, 5);
+        assert_eq!(payload, b"OK json");
+        // Missing manifest too.
+        fs::remove_file(st.manifest_path()).unwrap();
+        assert_eq!(st.latest_valid_with(ok_decode).unwrap().0.step, 5);
+    }
+
+    #[test]
+    fn recommit_of_same_step_replaces_the_entry() {
+        let st = store("recommit", 3);
+        let mut inj = FaultInjector::none();
+        st.commit_bytes(4, CkptFormat::Bin, b"OK old".to_vec(), &mut inj)
+            .unwrap();
+        st.commit_bytes(4, CkptFormat::Bin, b"OK new".to_vec(), &mut inj)
+            .unwrap();
+        let entries = st.entries();
+        assert_eq!(entries.len(), 1);
+        let (_, payload) = st.latest_valid_with(ok_decode).unwrap();
+        assert_eq!(payload, b"OK new");
+    }
+
+    #[test]
+    fn atomic_write_replaces_contents_and_cleans_tmp() {
+        let dir = tmpdir("atomic");
+        let path = dir.join("out.json");
+        atomic_write(&path, b"first").unwrap();
+        atomic_write(&path, b"second").unwrap();
+        assert_eq!(fs::read(&path).unwrap(), b"second");
+        let leftovers: Vec<_> = fs::read_dir(&dir)
+            .unwrap()
+            .flatten()
+            .filter(|d| d.file_name().to_string_lossy().ends_with(".tmp"))
+            .collect();
+        assert!(leftovers.is_empty(), "no tmp files left behind");
+    }
+}

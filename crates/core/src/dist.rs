@@ -92,6 +92,7 @@ use gravity::GravitySolver;
 use mpisim::{Comm, PhaseReport, PhaseTimer, World};
 use sph::solver::{HydroState, SphScratch, SphSolver};
 use sph::GammaLawEos;
+use std::fmt;
 use surrogate::{GasParticle, SurrogateConfig, SurrogateModel};
 
 const TAG_REGION: u64 = 50;
@@ -168,6 +169,57 @@ impl DistConfig {
     }
 }
 
+/// Typed failure of the distributed driver. Conditions that used to
+/// `expect()`-panic on recoverable state now surface as values: the
+/// up-front configuration errors are returned as `Err` from
+/// [`run_distributed`]/[`run_distributed_resume`] before any rank is
+/// spawned, and mid-run degradation is recorded in
+/// [`DistReport::error`] — the run breaks out of its step loop at a
+/// collective point (so no rank deadlocks in a collective), gathers a
+/// final checkpoint, shuts the pool down cleanly, and returns what it
+/// has instead of panicking.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DistError {
+    /// The main-rank grid is empty (`grid` multiplies to zero).
+    NoMainRank,
+    /// No pool ranks are configured to serve SN-region predictions.
+    NoPoolRank,
+    /// A resume snapshot's rank count does not match the configured grid.
+    GridMismatch {
+        snapshot_ranks: usize,
+        config_ranks: usize,
+    },
+    /// A checkpoint gather found in-flight SN regions whose request
+    /// payloads were not retained (world total across ranks) — the run
+    /// can no longer produce a resumable snapshot and aborts with its
+    /// last complete state.
+    MissingPendingPayload { count: u64 },
+}
+
+impl fmt::Display for DistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DistError::NoMainRank => write!(f, "distributed run needs at least one main rank"),
+            DistError::NoPoolRank => write!(f, "distributed run needs at least one pool rank"),
+            DistError::GridMismatch {
+                snapshot_ranks,
+                config_ranks,
+            } => write!(
+                f,
+                "resume requires the snapshotting run's main-rank grid: \
+                 snapshot has {snapshot_ranks} ranks, config has {config_ranks}"
+            ),
+            DistError::MissingPendingPayload { count } => write!(
+                f,
+                "{count} in-flight SN region(s) lost their request payload; \
+                 aborting with the last complete checkpoint"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DistError {}
+
 /// Aggregated result of a distributed run.
 #[derive(Debug, Clone)]
 pub struct DistReport {
@@ -191,6 +243,11 @@ pub struct DistReport {
     /// populate the substep counters on every rank, and schedule agreement
     /// shows up as identical `substeps` across the vector.
     pub rank_stats: Vec<SimStats>,
+    /// `Some` when the run degraded mid-flight and aborted early: the
+    /// report then holds everything integrated up to the abort, including
+    /// a final checkpoint in `snapshots`, and callers should treat the
+    /// run as failed-but-recoverable rather than complete.
+    pub error: Option<DistError>,
 }
 
 struct Pending {
@@ -208,7 +265,7 @@ struct Pending {
 /// `n_main + n_pool` ranks. `particles` is the full initial condition;
 /// main ranks claim strided slices and immediately re-balance via domain
 /// decomposition.
-pub fn run_distributed(cfg: &DistConfig, particles: &[Particle]) -> DistReport {
+pub fn run_distributed(cfg: &DistConfig, particles: &[Particle]) -> Result<DistReport, DistError> {
     run_inner(cfg, particles, None)
 }
 
@@ -217,13 +274,17 @@ pub fn run_distributed(cfg: &DistConfig, particles: &[Particle]) -> DistReport {
 /// evaluation is bitwise identical to the uninterrupted run) and in-flight
 /// SN regions are re-dispatched to the pool with their original due steps.
 /// `cfg.steps` more steps are integrated. The main-rank grid must match
-/// the snapshotting run's.
-pub fn run_distributed_resume(cfg: &DistConfig, snapshot: &DistSnapshot) -> DistReport {
-    assert_eq!(
-        snapshot.rank_particles.len(),
-        cfg.n_main(),
-        "resume requires the same main-rank grid as the snapshotting run"
-    );
+/// the snapshotting run's (a mismatch is [`DistError::GridMismatch`]).
+pub fn run_distributed_resume(
+    cfg: &DistConfig,
+    snapshot: &DistSnapshot,
+) -> Result<DistReport, DistError> {
+    if snapshot.rank_particles.len() != cfg.n_main() {
+        return Err(DistError::GridMismatch {
+            snapshot_ranks: snapshot.rank_particles.len(),
+            config_ranks: cfg.n_main(),
+        });
+    }
     run_inner(cfg, &[], Some(snapshot))
 }
 
@@ -231,9 +292,14 @@ fn run_inner(
     cfg: &DistConfig,
     particles: &[Particle],
     resume: Option<&DistSnapshot>,
-) -> DistReport {
+) -> Result<DistReport, DistError> {
     let n_main = cfg.n_main();
-    assert!(n_main >= 1 && cfg.n_pool >= 1, "need main and pool ranks");
+    if n_main < 1 {
+        return Err(DistError::NoMainRank);
+    }
+    if cfg.n_pool < 1 {
+        return Err(DistError::NoPoolRank);
+    }
     let world = World::new(cfg.world_size());
     let (results, stats) = world.run_with_stats(|comm| {
         let is_pool = comm.rank() >= n_main;
@@ -250,9 +316,9 @@ fn run_inner(
         .into_iter()
         .flatten()
         .next()
-        .expect("at least one main rank");
+        .ok_or(DistError::NoMainRank)?;
     report.bytes_sent = stats[..n_main].iter().map(|s| s.bytes_sent).collect();
-    report
+    Ok(report)
 }
 
 /// The pool-rank service loop (paper Fig. 3 right half).
@@ -821,6 +887,11 @@ fn main_loop(
     // (see [`RankForces`]): gravity results and SPH staging are refreshed
     // in place, so the steady-state loop does not re-collect them.
     let mut forces = RankForces::new();
+    // Set when the run degrades mid-flight (see [`DistError`]): every
+    // rank agrees on it at a collective point, breaks the step loop
+    // together, and the report carries it instead of a panic unwinding
+    // through the world.
+    let mut degraded: Option<DistError> = None;
 
     for _ in 0..cfg.steps {
         // --- Domain decomposition + particle exchange -------------------
@@ -1103,20 +1174,28 @@ fn main_loop(
         // --- Checkpoint at the configured cadence -----------------------
         if cfg.snapshot_every > 0 && step.is_multiple_of(cfg.snapshot_every) {
             let all_parts = main.allgatherv(particles.clone());
+            // Pending payloads are retained whenever `snapshot_every > 0`;
+            // a rank that finds them missing anyway has degraded state.
+            // The gather is already a collective point, so the ranks
+            // agree on the world total here and abort together below —
+            // a final (best-effort) checkpoint is still assembled from
+            // what remains.
+            let mut missing: u64 = 0;
             let my_pending: Vec<DistPending> = pending
                 .iter()
-                .map(|p| {
-                    let (center, gas) = p
-                        .payload
-                        .clone()
-                        .expect("pending payload is retained when snapshot_every > 0");
-                    DistPending {
+                .filter_map(|p| match p.payload.clone() {
+                    Some((center, gas)) => Some(DistPending {
                         due_step: p.due_step,
                         center,
                         gas,
+                    }),
+                    None => {
+                        missing += 1;
+                        None
                     }
                 })
                 .collect();
+            let world_missing = main.allreduce_sum_u64(missing);
             let all_pending = main.allgatherv(my_pending);
             // The current block schedule (one per rank, level arrays in
             // local particle order) travels with the checkpoint; Global
@@ -1138,6 +1217,12 @@ fn main_loop(
                     pending: all_pending.into_iter().flatten().collect(),
                     schedules: all_scheds.into_iter().flatten().collect(),
                 });
+            }
+            if world_missing > 0 {
+                degraded = Some(DistError::MissingPendingPayload {
+                    count: world_missing,
+                });
+                break;
             }
         }
     }
@@ -1179,6 +1264,7 @@ fn main_loop(
         snapshots,
         final_state,
         rank_stats,
+        error: degraded,
     }
 }
 
@@ -1252,11 +1338,49 @@ mod tests {
     }
 
     #[test]
+    fn config_errors_are_typed_not_panics() {
+        let ic = disk_ic(10, 0, false, 2.0e-3);
+        let mut no_main = test_cfg(1, 1);
+        no_main.grid = (0, 2, 1);
+        assert_eq!(
+            run_distributed(&no_main, &ic).unwrap_err(),
+            DistError::NoMainRank
+        );
+
+        let mut no_pool = test_cfg(1, 1);
+        no_pool.n_pool = 0;
+        assert_eq!(
+            run_distributed(&no_pool, &ic).unwrap_err(),
+            DistError::NoPoolRank
+        );
+    }
+
+    #[test]
+    fn resume_grid_mismatch_is_a_typed_error() {
+        let snap = DistSnapshot {
+            step: 2,
+            time: 4.0e-3,
+            rank_particles: vec![Vec::new(); 2],
+            pending: Vec::new(),
+            schedules: Vec::new(),
+        };
+        let cfg = test_cfg(1, 1); // grid (2,2,1) = 4 main ranks
+        assert_eq!(
+            run_distributed_resume(&cfg, &snap).unwrap_err(),
+            DistError::GridMismatch {
+                snapshot_ranks: 2,
+                config_ranks: 4
+            }
+        );
+    }
+
+    #[test]
     fn distributed_run_completes_and_conserves_particles() {
         let ic = disk_ic(300, 100, false, 2.0e-3);
         let cfg = test_cfg(3, 2);
-        let report = run_distributed(&cfg, &ic);
+        let report = run_distributed(&cfg, &ic).expect("dist run");
         assert_eq!(report.steps, 3);
+        assert!(report.error.is_none(), "clean run reports no degradation");
         assert_eq!(report.final_particles, ic.len() as u64);
         assert_eq!(report.sn_events, 0);
         assert!(report.gravity_interactions > 0);
@@ -1275,7 +1399,7 @@ mod tests {
         let dt = 2.0e-3;
         let ic = disk_ic(400, 0, true, dt);
         let cfg = test_cfg(6, 3);
-        let report = run_distributed(&cfg, &ic);
+        let report = run_distributed(&cfg, &ic).expect("dist run");
         assert_eq!(report.sn_events, 1, "the SN must be identified once");
         assert_eq!(
             report.regions_applied, 1,
@@ -1287,7 +1411,7 @@ mod tests {
     fn phase_report_contains_paper_phases() {
         let ic = disk_ic(200, 50, false, 2.0e-3);
         let cfg = test_cfg(2, 2);
-        let report = run_distributed(&cfg, &ic);
+        let report = run_distributed(&cfg, &ic).expect("dist run");
         for name in [
             phases::EXCHANGE_PARTICLE,
             phases::MAKE_LOCAL_TREE_1,
@@ -1319,9 +1443,9 @@ mod tests {
     fn torus_routing_produces_same_particle_totals() {
         let ic = disk_ic(250, 80, false, 2.0e-3);
         let mut cfg = test_cfg(2, 2);
-        let flat = run_distributed(&cfg, &ic);
+        let flat = run_distributed(&cfg, &ic).expect("dist run");
         cfg.routing = Routing::Torus;
-        let torus = run_distributed(&cfg, &ic);
+        let torus = run_distributed(&cfg, &ic).expect("dist run");
         assert_eq!(flat.final_particles, torus.final_particles);
     }
 
@@ -1338,7 +1462,7 @@ mod tests {
             base_features: 2,
             seed: 7,
         };
-        let report = run_distributed(&cfg, &ic);
+        let report = run_distributed(&cfg, &ic).expect("dist run");
         assert_eq!(report.sn_events, 1);
         assert_eq!(
             report.regions_applied, 1,
@@ -1355,7 +1479,7 @@ mod tests {
         let ic = disk_ic(300, 60, true, dt);
         let mut cfg = test_cfg(6, 4);
         cfg.snapshot_every = 3;
-        let full = run_distributed(&cfg, &ic);
+        let full = run_distributed(&cfg, &ic).expect("dist run");
         assert_eq!(full.sn_events, 1);
         assert_eq!(full.regions_applied, 1);
         assert_eq!(full.snapshots.len(), 2, "snapshots at steps 3 and 6");
@@ -1376,7 +1500,7 @@ mod tests {
 
         let mut resume_cfg = cfg;
         resume_cfg.steps = 3;
-        let resumed = run_distributed_resume(&resume_cfg, &snap);
+        let resumed = run_distributed_resume(&resume_cfg, &snap).expect("dist resume");
         assert_eq!(resumed.steps, 3);
         assert_eq!(
             resumed.regions_applied, 1,
@@ -1398,7 +1522,7 @@ mod tests {
         ic[40].u = 1.0e8;
         let mut cfg = test_cfg(2, 2);
         cfg.sim.timestep = TimestepMode::Block { max_level: 8 };
-        let report = run_distributed(&cfg, &ic);
+        let report = run_distributed(&cfg, &ic).expect("dist run");
         assert_eq!(report.final_particles, ic.len() as u64);
         assert_eq!(report.rank_stats.len(), 4);
         let subs: Vec<u64> = report.rank_stats.iter().map(|s| s.substeps).collect();

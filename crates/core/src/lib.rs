@@ -33,11 +33,28 @@
 //! cadence, `--resume`, and a diagnostics time-series writer from one
 //! command line. The snapshot format version policy lives in the
 //! [`snapshot`] module docs.
+//!
+//! ## Crash safety & supervision
+//!
+//! On top of the snapshot codecs sit three modules that make long runs
+//! survivable: [`ckpt`] (atomic tmp→fsync→rename writes and a rotated,
+//! manifest-checksummed checkpoint store whose
+//! [`latest_valid`](ckpt::CkptStore::latest_valid_sim) walk skips damaged
+//! entries), [`supervise`] (a heartbeat-watching parent that detects
+//! crashes and hangs and auto-resumes from the newest intact checkpoint
+//! under a bounded retry budget, logging every incident to
+//! `supervisor.json`), and [`faults`] (a deterministic, attempt-scoped
+//! fault-injection plan — kills, stalls, torn/corrupt/failed checkpoint
+//! writes — so the recovery paths are exercised by tests and CI rather
+//! than trusted). `asura run <scenario> --supervised` wires all three
+//! together.
 
 pub mod blocksteps;
+pub mod ckpt;
 pub mod config;
 pub mod diagnostics;
 pub mod dist;
+pub mod faults;
 pub mod forces;
 pub mod particle;
 pub mod phases;
@@ -46,13 +63,17 @@ pub mod runs;
 pub mod scheduler;
 pub mod sim;
 pub mod snapshot;
+pub mod supervise;
 
 pub use forces::ForceBuffers;
 
 pub use blocksteps::BlockSchedule;
+pub use ckpt::{atomic_write, CkptEntry, CkptFormat, CkptStore};
 pub use config::{Scheme, SimConfig, TimestepMode};
+pub use faults::{FaultInjector, FaultPlan, FAULT_KILL_EXIT};
 pub use particle::{Kind, Particle};
 pub use pool::{PoolPredictor, SedovOverlayPredictor};
 pub use scheduler::ActiveScheduler;
 pub use sim::{SimStats, Simulation};
 pub use snapshot::{SimSnapshot, SnapshotError};
+pub use supervise::{Heartbeat, IncidentLog, RetryPolicy, Supervisor};

@@ -1,7 +1,9 @@
 //! The shared-memory simulation driver: the paper's §3.2 integration loop
 //! with either the surrogate or the conventional SN scheme.
 
+use crate::ckpt::{CkptFormat, CkptStore};
 use crate::config::{Scheme, SimConfig, TimestepMode};
+use crate::faults::FaultInjector;
 use crate::forces::{ForceBuffers, NOT_GAS};
 use crate::particle::{Kind, Particle};
 use crate::pool::{PoolPredictor, SedovOverlayPredictor};
@@ -159,6 +161,37 @@ impl Simulation {
                 on_snapshot(self);
             }
         }
+    }
+
+    /// Advance `n` steps, committing a checkpoint into `store` after every
+    /// [`SimConfig::snapshot_every`]-th completed step (atomic write +
+    /// rotation + manifest — see [`crate::ckpt`]). This is the crash-safe
+    /// run loop: `on_step` fires after *every* step (heartbeat,
+    /// diagnostics), then any armed step fault is enforced
+    /// ([`FaultInjector::enforce_step`] — deliberately *before* the
+    /// cadence commit, so an injected kill costs the newest checkpoint,
+    /// the most adversarial timing for recovery), then the cadence commit
+    /// runs with write faults threaded through the store. Returns the
+    /// committed checkpoint paths.
+    pub fn run_with_store<F: FnMut(&Simulation)>(
+        &mut self,
+        n: usize,
+        store: &CkptStore,
+        format: CkptFormat,
+        faults: &mut FaultInjector,
+        mut on_step: F,
+    ) -> std::io::Result<Vec<std::path::PathBuf>> {
+        let every = self.config.snapshot_every;
+        let mut written = Vec::new();
+        for _ in 0..n {
+            self.step();
+            on_step(self);
+            faults.enforce_step(self.step_count);
+            if every > 0 && self.step_count.is_multiple_of(every) {
+                written.push(store.commit_sim(&self.snapshot(), format, faults)?);
+            }
+        }
+        Ok(written)
     }
 
     /// Capture the complete state of the run as a serializable

@@ -610,17 +610,26 @@ impl SimSnapshot {
         Self::state_from_json(state)
     }
 
+    /// Decode a snapshot from raw bytes, sniffing the encoding: binary
+    /// snapshots start with [`SNAPSHOT_MAGIC`], anything else is parsed as
+    /// JSON. This is the validation entry point the checkpoint store's
+    /// [`latest_valid`](crate::ckpt::CkptStore::latest_valid_sim) walk
+    /// uses to decide whether a rotation entry is intact.
+    pub fn decode(bytes: &[u8]) -> Result<Self, SnapshotError> {
+        if bytes.starts_with(&SNAPSHOT_MAGIC) {
+            Self::from_bytes(bytes)
+        } else {
+            let text =
+                std::str::from_utf8(bytes).map_err(|e| SnapshotError::Malformed(e.to_string()))?;
+            Self::from_json(text)
+        }
+    }
+
     /// Load a snapshot file, sniffing the encoding: binary snapshots start
     /// with [`SNAPSHOT_MAGIC`], JSON ones with `{`.
     pub fn load(path: &std::path::Path) -> Result<Self, SnapshotError> {
         let bytes = std::fs::read(path).map_err(|e| SnapshotError::Io(e.to_string()))?;
-        if bytes.starts_with(&SNAPSHOT_MAGIC) {
-            Self::from_bytes(&bytes)
-        } else {
-            let text =
-                std::str::from_utf8(&bytes).map_err(|e| SnapshotError::Malformed(e.to_string()))?;
-            Self::from_json(text)
-        }
+        Self::decode(&bytes)
     }
 
     // -- JSON value tree --------------------------------------------------
@@ -1157,17 +1166,25 @@ impl DistSnapshot {
         })
     }
 
+    /// Decode a distributed snapshot from raw bytes, sniffing the
+    /// encoding: binary snapshots start with [`DIST_SNAPSHOT_MAGIC`],
+    /// anything else is parsed as JSON. Used by the checkpoint store's
+    /// [`latest_valid`](crate::ckpt::CkptStore::latest_valid_dist) walk.
+    pub fn decode(bytes: &[u8]) -> Result<Self, SnapshotError> {
+        if bytes.starts_with(&DIST_SNAPSHOT_MAGIC) {
+            Self::from_bytes(bytes)
+        } else {
+            let text =
+                std::str::from_utf8(bytes).map_err(|e| SnapshotError::Malformed(e.to_string()))?;
+            Self::from_json(text)
+        }
+    }
+
     /// Load a distributed snapshot file, sniffing the encoding: binary
     /// snapshots start with [`DIST_SNAPSHOT_MAGIC`], JSON ones with `{`.
     pub fn load(path: &std::path::Path) -> Result<Self, SnapshotError> {
         let bytes = std::fs::read(path).map_err(|e| SnapshotError::Io(e.to_string()))?;
-        if bytes.starts_with(&DIST_SNAPSHOT_MAGIC) {
-            Self::from_bytes(&bytes)
-        } else {
-            let text =
-                std::str::from_utf8(&bytes).map_err(|e| SnapshotError::Malformed(e.to_string()))?;
-            Self::from_json(text)
-        }
+        Self::decode(&bytes)
     }
 }
 

@@ -1,0 +1,644 @@
+//! Run supervision: heartbeat, crash/hang detection, bounded auto-resume.
+//!
+//! A supervised run is a parent/child pair. The child is the ordinary
+//! scenario driver plus one extra duty: it touches a heartbeat file every
+//! step ([`Heartbeat::beat`]). The parent ([`Supervisor::run`]) polls the
+//! child for two failure signals:
+//!
+//! * **crash** — the child exited with a non-zero status;
+//! * **hang** — the child is still alive but its heartbeat has not
+//!   changed for longer than `heartbeat_timeout_ms` (the child is then
+//!   killed).
+//!
+//! On either signal the supervisor consults the checkpoint store for the
+//! newest intact snapshot
+//! ([`latest_valid`](crate::ckpt::CkptStore::latest_valid_sim)), records
+//! an [`Incident`] in `supervisor.json`, sleeps an exponential backoff,
+//! and respawns the child resuming from that snapshot — up to
+//! `max_retries` resumes. Exit codes listed as *permanent* (usage
+//! errors) are never retried. Because restarts are bitwise-deterministic
+//! (see `tests/snapshot_restart.rs`), a supervised run that suffers
+//! crashes ends in exactly the state of an uninterrupted run — that
+//! property is enforced by `tests/supervised_chaos.rs`.
+//!
+//! The process-spawning side is abstracted behind [`ChildHandle`] so the
+//! retry/verdict logic is unit-testable with in-process fakes; the
+//! `asura` CLI provides the real `std::process::Child`-backed
+//! implementation.
+
+use crate::ckpt::atomic_write;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+use unet::json::{parse_json, Json};
+
+/// `format` field of the incident log.
+pub const LOG_FORMAT: &str = "asura-supervisor-log";
+/// Incident-log schema version.
+pub const LOG_VERSION: u64 = 1;
+
+/// Retry budget and backoff schedule for auto-resume.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Maximum number of resumes (attempt 0 is free; `max_retries = 3`
+    /// allows attempts 0..=3).
+    pub max_retries: u32,
+    /// Backoff before retry `k` is `base << k`, capped.
+    pub backoff_base_ms: u64,
+    pub backoff_cap_ms: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_retries: 3,
+            backoff_base_ms: 500,
+            backoff_cap_ms: 8000,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Backoff before the retry that follows failed attempt `attempt`.
+    pub fn backoff_ms(&self, attempt: u32) -> u64 {
+        self.backoff_base_ms
+            .checked_shl(attempt)
+            .unwrap_or(u64::MAX)
+            .min(self.backoff_cap_ms)
+    }
+}
+
+/// Content-based heartbeat file. The child rewrites it every step; the
+/// supervisor treats *any content change* as proof of life, so there is
+/// no wall-clock skew between the two processes to reason about.
+#[derive(Debug)]
+pub struct Heartbeat {
+    path: PathBuf,
+    seq: u64,
+}
+
+impl Heartbeat {
+    pub fn new(path: impl Into<PathBuf>) -> Heartbeat {
+        Heartbeat {
+            path: path.into(),
+            seq: 0,
+        }
+    }
+
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Record one unit of progress (`seq step\n`). Atomic so the
+    /// supervisor can never read a half-written beat.
+    pub fn beat(&mut self, step: u64) -> io::Result<()> {
+        self.seq += 1;
+        atomic_write(&self.path, format!("{} {step}\n", self.seq).as_bytes())
+    }
+
+    /// Read a heartbeat file: `(seq, step)`.
+    pub fn read(path: &Path) -> Option<(u64, u64)> {
+        let text = std::fs::read_to_string(path).ok()?;
+        let mut it = text.split_whitespace();
+        Some((it.next()?.parse().ok()?, it.next()?.parse().ok()?))
+    }
+}
+
+/// Why an attempt was declared failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IncidentKind {
+    /// The child exited with this non-zero code.
+    Crash { exit_code: i32 },
+    /// The heartbeat went stale for this long and the child was killed.
+    Hang { stale_ms: u64 },
+}
+
+/// One recorded failure of a supervised attempt.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Incident {
+    /// The attempt index that failed (0 = the original run).
+    pub attempt: u32,
+    pub kind: IncidentKind,
+    /// Step of the checkpoint the next attempt resumed from, if one was
+    /// found (`None` means the next attempt restarted from scratch).
+    pub resumed_from_step: Option<u64>,
+    /// Backoff slept before the resume.
+    pub backoff_ms: u64,
+}
+
+/// Terminal state of a supervised run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Outcome {
+    /// An attempt finished with exit code 0.
+    Completed { attempts: u32 },
+    /// The retry budget was exhausted.
+    GaveUp { attempts: u32 },
+    /// The child exited with a code configured as not retryable.
+    Permanent { exit_code: i32 },
+}
+
+/// The `supervisor.json` incident log: every incident plus the final
+/// outcome, written atomically after each state change so a crash of the
+/// supervisor itself still leaves a parseable log.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct IncidentLog {
+    pub incidents: Vec<Incident>,
+    pub outcome: Option<Outcome>,
+}
+
+impl IncidentLog {
+    pub fn to_json(&self) -> String {
+        // Hand-rendered so integers stay integers (the `Json` writer
+        // formats every number as `f64`, which turns `2` into `2.0` —
+        // hostile to the CI greps that assert on this file).
+        let mut text =
+            format!("{{\"format\":\"{LOG_FORMAT}\",\"version\":{LOG_VERSION},\"outcome\":");
+        match self.outcome {
+            None => text.push_str("\"running\""),
+            Some(Outcome::Completed { attempts }) => {
+                text.push_str(&format!("\"completed\",\"attempts\":{attempts}"));
+            }
+            Some(Outcome::GaveUp { attempts }) => {
+                text.push_str(&format!("\"gave_up\",\"attempts\":{attempts}"));
+            }
+            Some(Outcome::Permanent { exit_code }) => {
+                text.push_str(&format!("\"permanent\",\"exit_code\":{exit_code}"));
+            }
+        }
+        text.push_str(",\"incidents\":[");
+        for (n, i) in self.incidents.iter().enumerate() {
+            if n > 0 {
+                text.push(',');
+            }
+            text.push_str(&format!("{{\"attempt\":{}", i.attempt));
+            match i.kind {
+                IncidentKind::Crash { exit_code } => {
+                    text.push_str(&format!(",\"kind\":\"crash\",\"exit_code\":{exit_code}"));
+                }
+                IncidentKind::Hang { stale_ms } => {
+                    text.push_str(&format!(",\"kind\":\"hang\",\"stale_ms\":{stale_ms}"));
+                }
+            }
+            match i.resumed_from_step {
+                Some(s) => text.push_str(&format!(",\"resumed_from_step\":{s}")),
+                None => text.push_str(",\"resumed_from_step\":null"),
+            }
+            text.push_str(&format!(",\"backoff_ms\":{}}}", i.backoff_ms));
+        }
+        text.push_str("]}\n");
+        text
+    }
+
+    /// Parse a `supervisor.json` document (used by tests and tooling to
+    /// assert exactly which incidents a run suffered).
+    pub fn from_json(text: &str) -> Result<IncidentLog, String> {
+        let doc = parse_json(text)?;
+        match doc.get("format")? {
+            Json::Str(s) if s == LOG_FORMAT => {}
+            other => return Err(format!("not a supervisor log: format {other:?}")),
+        }
+        let version = doc.get("version")?.as_usize()?;
+        if version != LOG_VERSION as usize {
+            return Err(format!("unsupported supervisor log version {version}"));
+        }
+        let outcome = match doc.get("outcome")? {
+            Json::Str(s) => match s.as_str() {
+                "running" => None,
+                "completed" => Some(Outcome::Completed {
+                    attempts: doc.get("attempts")?.as_usize()? as u32,
+                }),
+                "gave_up" => Some(Outcome::GaveUp {
+                    attempts: doc.get("attempts")?.as_usize()? as u32,
+                }),
+                "permanent" => Some(Outcome::Permanent {
+                    exit_code: match doc.get("exit_code")? {
+                        Json::Num(n) => *n as i32,
+                        other => return Err(format!("bad exit_code {other:?}")),
+                    },
+                }),
+                other => return Err(format!("unknown outcome `{other}`")),
+            },
+            other => return Err(format!("bad outcome field {other:?}")),
+        };
+        let Json::Arr(items) = doc.get("incidents")? else {
+            return Err("incidents is not an array".into());
+        };
+        let mut incidents = Vec::with_capacity(items.len());
+        for item in items {
+            let kind = match item.get("kind")? {
+                Json::Str(s) if s == "crash" => IncidentKind::Crash {
+                    exit_code: match item.get("exit_code")? {
+                        Json::Num(n) => *n as i32,
+                        other => return Err(format!("bad exit_code {other:?}")),
+                    },
+                },
+                Json::Str(s) if s == "hang" => IncidentKind::Hang {
+                    stale_ms: item.get("stale_ms")?.as_usize()? as u64,
+                },
+                other => return Err(format!("unknown incident kind {other:?}")),
+            };
+            incidents.push(Incident {
+                attempt: item.get("attempt")?.as_usize()? as u32,
+                kind,
+                resumed_from_step: match item.get("resumed_from_step")? {
+                    Json::Null => None,
+                    v => Some(v.as_usize()? as u64),
+                },
+                backoff_ms: item.get("backoff_ms")?.as_usize()? as u64,
+            });
+        }
+        Ok(IncidentLog { incidents, outcome })
+    }
+
+    /// Atomically persist the log.
+    pub fn save(&self, path: &Path) -> io::Result<()> {
+        atomic_write(path, self.to_json().as_bytes())
+    }
+}
+
+/// Minimal process handle the supervisor drives, so the loop is testable
+/// with in-process fakes.
+pub trait ChildHandle {
+    /// Non-blocking: `Some(exit_code)` once the child has exited.
+    fn poll_exit(&mut self) -> io::Result<Option<i32>>;
+    /// Forcibly terminate the child (used on hang) and reap it.
+    fn kill(&mut self);
+}
+
+/// The checkpoint a resumed attempt should start from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResumePoint {
+    pub step: u64,
+    pub path: PathBuf,
+}
+
+/// Crash/hang supervisor (see the module docs).
+#[derive(Debug, Clone)]
+pub struct Supervisor {
+    pub policy: RetryPolicy,
+    /// Heartbeat silence after which a live child is declared hung.
+    pub heartbeat_timeout_ms: u64,
+    /// Poll cadence for exit status and heartbeat content.
+    pub poll_interval_ms: u64,
+    /// Exit codes that are never retried (e.g. usage errors).
+    pub permanent_exit_codes: Vec<i32>,
+    /// Where the incident log is written (typically `supervisor.json`).
+    pub log_path: PathBuf,
+    /// The heartbeat file the child writes to.
+    pub heartbeat_path: PathBuf,
+}
+
+enum Verdict {
+    Done,
+    Failed(IncidentKind),
+}
+
+impl Supervisor {
+    /// Drive attempts until one completes, a permanent failure occurs, or
+    /// the retry budget runs out.
+    ///
+    /// * `spawn(attempt, resume)` launches attempt `attempt`, resuming
+    ///   from `resume` when given (always `None` for attempt 0).
+    /// * `resume_point()` queries the newest intact checkpoint — called
+    ///   after each failure, so it sees exactly what the crashed attempt
+    ///   managed to persist.
+    ///
+    /// Returns the final outcome plus the full incident log (also
+    /// persisted to `log_path` after every state change).
+    pub fn run<H: ChildHandle>(
+        &self,
+        mut spawn: impl FnMut(u32, Option<&ResumePoint>) -> io::Result<H>,
+        mut resume_point: impl FnMut() -> Option<ResumePoint>,
+    ) -> io::Result<(Outcome, IncidentLog)> {
+        let mut log = IncidentLog::default();
+        let mut attempt: u32 = 0;
+        let mut resume: Option<ResumePoint> = None;
+        loop {
+            // A beat left by the previous attempt must not count as life.
+            let _ = std::fs::remove_file(&self.heartbeat_path);
+            let mut child = spawn(attempt, resume.as_ref())?;
+            let verdict = self.watch(&mut child)?;
+            match verdict {
+                Verdict::Done => {
+                    let outcome = Outcome::Completed {
+                        attempts: attempt + 1,
+                    };
+                    log.outcome = Some(outcome);
+                    log.save(&self.log_path)?;
+                    return Ok((outcome, log));
+                }
+                Verdict::Failed(kind) => {
+                    if let IncidentKind::Crash { exit_code } = kind {
+                        if self.permanent_exit_codes.contains(&exit_code) {
+                            let outcome = Outcome::Permanent { exit_code };
+                            log.incidents.push(Incident {
+                                attempt,
+                                kind,
+                                resumed_from_step: None,
+                                backoff_ms: 0,
+                            });
+                            log.outcome = Some(outcome);
+                            log.save(&self.log_path)?;
+                            return Ok((outcome, log));
+                        }
+                    }
+                    if attempt >= self.policy.max_retries {
+                        let outcome = Outcome::GaveUp {
+                            attempts: attempt + 1,
+                        };
+                        log.incidents.push(Incident {
+                            attempt,
+                            kind,
+                            resumed_from_step: None,
+                            backoff_ms: 0,
+                        });
+                        log.outcome = Some(outcome);
+                        log.save(&self.log_path)?;
+                        return Ok((outcome, log));
+                    }
+                    let backoff_ms = self.policy.backoff_ms(attempt);
+                    resume = resume_point();
+                    log.incidents.push(Incident {
+                        attempt,
+                        kind,
+                        resumed_from_step: resume.as_ref().map(|r| r.step),
+                        backoff_ms,
+                    });
+                    log.save(&self.log_path)?;
+                    std::thread::sleep(Duration::from_millis(backoff_ms));
+                    attempt += 1;
+                }
+            }
+        }
+    }
+
+    /// Poll one attempt to a verdict: exit status wins, then heartbeat
+    /// staleness. Staleness is measured from spawn or the last *content
+    /// change* of the heartbeat file, so the child must produce its first
+    /// beat within the timeout too.
+    fn watch<H: ChildHandle>(&self, child: &mut H) -> io::Result<Verdict> {
+        let timeout = Duration::from_millis(self.heartbeat_timeout_ms);
+        let poll = Duration::from_millis(self.poll_interval_ms.max(1));
+        let mut last_content: Option<String> = None;
+        let mut last_change = Instant::now();
+        loop {
+            if let Some(code) = child.poll_exit()? {
+                return Ok(if code == 0 {
+                    Verdict::Done
+                } else {
+                    Verdict::Failed(IncidentKind::Crash { exit_code: code })
+                });
+            }
+            let content = std::fs::read_to_string(&self.heartbeat_path).ok();
+            if content.is_some() && content != last_content {
+                last_content = content;
+                last_change = Instant::now();
+            } else if last_change.elapsed() >= timeout {
+                child.kill();
+                return Ok(Verdict::Failed(IncidentKind::Hang {
+                    stale_ms: last_change.elapsed().as_millis() as u64,
+                }));
+            }
+            std::thread::sleep(poll);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "asura-sup-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn supervisor(dir: &Path, max_retries: u32, hb_timeout_ms: u64) -> Supervisor {
+        Supervisor {
+            policy: RetryPolicy {
+                max_retries,
+                backoff_base_ms: 1,
+                backoff_cap_ms: 4,
+            },
+            heartbeat_timeout_ms: hb_timeout_ms,
+            poll_interval_ms: 2,
+            permanent_exit_codes: vec![2],
+            log_path: dir.join("supervisor.json"),
+            heartbeat_path: dir.join("heartbeat"),
+        }
+    }
+
+    /// Fake child: exits with a scripted code after a few polls, or never
+    /// exits (None) to simulate a hang.
+    struct FakeChild {
+        exit: Option<i32>,
+        polls_left: u32,
+        killed: Rc<RefCell<bool>>,
+    }
+
+    impl ChildHandle for FakeChild {
+        fn poll_exit(&mut self) -> io::Result<Option<i32>> {
+            match self.exit {
+                Some(code) => {
+                    if self.polls_left == 0 {
+                        Ok(Some(code))
+                    } else {
+                        self.polls_left -= 1;
+                        Ok(None)
+                    }
+                }
+                None => Ok(None),
+            }
+        }
+        fn kill(&mut self) {
+            *self.killed.borrow_mut() = true;
+        }
+    }
+
+    #[test]
+    fn crash_then_success_records_one_incident_with_resume_step() {
+        let dir = tmpdir("crash");
+        let sup = supervisor(&dir, 3, 10_000);
+        let exits = RefCell::new(vec![86, 0]);
+        let spawned = RefCell::new(Vec::new());
+        let (outcome, log) = sup
+            .run(
+                |attempt, resume| {
+                    spawned.borrow_mut().push((attempt, resume.cloned()));
+                    Ok(FakeChild {
+                        exit: Some(exits.borrow_mut().remove(0)),
+                        polls_left: 1,
+                        killed: Rc::new(RefCell::new(false)),
+                    })
+                },
+                || {
+                    Some(ResumePoint {
+                        step: 4,
+                        path: dir.join("checkpoint-000004.bin"),
+                    })
+                },
+            )
+            .unwrap();
+        assert_eq!(outcome, Outcome::Completed { attempts: 2 });
+        assert_eq!(log.incidents.len(), 1);
+        assert_eq!(log.incidents[0].kind, IncidentKind::Crash { exit_code: 86 });
+        assert_eq!(log.incidents[0].resumed_from_step, Some(4));
+        let spawned = spawned.borrow();
+        assert_eq!(spawned[0].0, 0);
+        assert!(spawned[0].1.is_none(), "attempt 0 starts fresh");
+        assert_eq!(spawned[1].1.as_ref().unwrap().step, 4);
+        // The persisted log round-trips.
+        let text = std::fs::read_to_string(dir.join("supervisor.json")).unwrap();
+        assert_eq!(IncidentLog::from_json(&text).unwrap(), log);
+    }
+
+    #[test]
+    fn hang_is_detected_via_stale_heartbeat_and_child_is_killed() {
+        let dir = tmpdir("hang");
+        let sup = supervisor(&dir, 0, 30);
+        let killed = Rc::new(RefCell::new(false));
+        let killed2 = killed.clone();
+        let (outcome, log) = sup
+            .run(
+                move |_, _| {
+                    Ok(FakeChild {
+                        exit: None,
+                        polls_left: 0,
+                        killed: killed2.clone(),
+                    })
+                },
+                || None,
+            )
+            .unwrap();
+        assert_eq!(outcome, Outcome::GaveUp { attempts: 1 });
+        assert!(matches!(
+            log.incidents[0].kind,
+            IncidentKind::Hang { stale_ms } if stale_ms >= 30
+        ));
+        assert!(*killed.borrow(), "hung child must be killed");
+    }
+
+    #[test]
+    fn fresh_heartbeats_keep_a_slow_child_alive() {
+        let dir = tmpdir("beat");
+        let sup = supervisor(&dir, 0, 40);
+        let hb_path = sup.heartbeat_path.clone();
+        // Child "runs" for ~8 polls, beating every poll, then exits 0 —
+        // total runtime well past the 40ms timeout, but never stale.
+        struct BeatingChild {
+            hb: Heartbeat,
+            polls_left: u32,
+        }
+        impl ChildHandle for BeatingChild {
+            fn poll_exit(&mut self) -> io::Result<Option<i32>> {
+                if self.polls_left == 0 {
+                    return Ok(Some(0));
+                }
+                self.polls_left -= 1;
+                std::thread::sleep(Duration::from_millis(15));
+                self.hb.beat(self.polls_left as u64).unwrap();
+                Ok(None)
+            }
+            fn kill(&mut self) {}
+        }
+        let (outcome, log) = sup
+            .run(
+                move |_, _| {
+                    Ok(BeatingChild {
+                        hb: Heartbeat::new(hb_path.clone()),
+                        polls_left: 8,
+                    })
+                },
+                || None,
+            )
+            .unwrap();
+        assert_eq!(outcome, Outcome::Completed { attempts: 1 });
+        assert!(log.incidents.is_empty(), "no incident for a live child");
+    }
+
+    #[test]
+    fn permanent_exit_codes_are_not_retried() {
+        let dir = tmpdir("permanent");
+        let sup = supervisor(&dir, 5, 10_000);
+        let spawns = RefCell::new(0u32);
+        let (outcome, log) = sup
+            .run(
+                |_, _| {
+                    *spawns.borrow_mut() += 1;
+                    Ok(FakeChild {
+                        exit: Some(2),
+                        polls_left: 0,
+                        killed: Rc::new(RefCell::new(false)),
+                    })
+                },
+                || None,
+            )
+            .unwrap();
+        assert_eq!(outcome, Outcome::Permanent { exit_code: 2 });
+        assert_eq!(*spawns.borrow(), 1, "usage errors respawn nothing");
+        assert_eq!(log.incidents.len(), 1);
+    }
+
+    #[test]
+    fn retry_budget_is_bounded_and_backoff_grows() {
+        let dir = tmpdir("budget");
+        let sup = supervisor(&dir, 2, 10_000);
+        let spawns = RefCell::new(0u32);
+        let (outcome, log) = sup
+            .run(
+                |_, _| {
+                    *spawns.borrow_mut() += 1;
+                    Ok(FakeChild {
+                        exit: Some(1),
+                        polls_left: 0,
+                        killed: Rc::new(RefCell::new(false)),
+                    })
+                },
+                || None,
+            )
+            .unwrap();
+        assert_eq!(outcome, Outcome::GaveUp { attempts: 3 });
+        assert_eq!(*spawns.borrow(), 3, "attempt 0 + 2 retries");
+        assert_eq!(log.incidents.len(), 3);
+        assert!(
+            log.incidents[1].backoff_ms >= log.incidents[0].backoff_ms,
+            "exponential backoff"
+        );
+        let policy = RetryPolicy::default();
+        assert_eq!(policy.backoff_ms(0), 500);
+        assert_eq!(policy.backoff_ms(1), 1000);
+        assert_eq!(policy.backoff_ms(10), 8000, "capped");
+    }
+
+    #[test]
+    fn incident_log_json_round_trips_every_variant() {
+        let log = IncidentLog {
+            incidents: vec![
+                Incident {
+                    attempt: 0,
+                    kind: IncidentKind::Crash { exit_code: 86 },
+                    resumed_from_step: Some(2),
+                    backoff_ms: 500,
+                },
+                Incident {
+                    attempt: 1,
+                    kind: IncidentKind::Hang { stale_ms: 1200 },
+                    resumed_from_step: None,
+                    backoff_ms: 1000,
+                },
+            ],
+            outcome: Some(Outcome::Completed { attempts: 3 }),
+        };
+        assert_eq!(IncidentLog::from_json(&log.to_json()).unwrap(), log);
+        let running = IncidentLog::default();
+        assert_eq!(IncidentLog::from_json(&running.to_json()).unwrap(), running);
+    }
+}

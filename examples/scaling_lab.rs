@@ -69,7 +69,7 @@ fn main() {
         cfg.n_pool,
         ic.len()
     );
-    let report = run_distributed(&cfg, &ic);
+    let report = run_distributed(&cfg, &ic).expect("dist run");
     println!("{}", report.phases.to_table());
     println!(
         "SN events: {} | regions applied: {} | gravity interactions: {:.2e} | comm bytes/rank: {:?}",

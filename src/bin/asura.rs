@@ -8,31 +8,57 @@
 //! ```sh
 //! asura --list
 //! asura --scenario quickstart --steps 5 --snapshot-every 2
-//! asura --scenario quickstart --resume results/quickstart/checkpoint.bin --steps 5
+//! asura --scenario quickstart --resume results/quickstart --steps 5
 //! asura --scenario supernova_remnant --snapshot-format json
 //! asura --scenario spiked_dt --scheme conventional --timestep block:8
+//! asura --scenario spiked_dt --supervised --snapshot-every 2
 //! asura --scenario quickstart --dist 2x1x1+1 --steps 6 --snapshot-every 3
-//! asura --scenario quickstart --dist 2x1x1+1 --resume results/quickstart/dist_checkpoint.bin
-//! asura --scenario spiked_dt --dist 2x2x1+1 --timestep block:8 --snapshot-every 2
+//! asura --scenario quickstart --dist 2x1x1+1 --resume results/quickstart
 //! ```
 //!
-//! `--dist NXxNYxNZ+P` routes the scenario through the distributed
-//! (`mpisim`) driver — `NX*NY*NZ` main ranks plus `P` pool ranks — writing
-//! `dist_checkpoint.{bin,json}` per `--snapshot-format` (resumable with
-//! `--dist --resume`, either encoding) and `dist_report.json` instead of
-//! the shared-memory outputs. `--timestep block[:<max_level>]` runs the
-//! conventional hierarchy's substep walk across the ranks so its
-//! per-substep synchronization cost is measured (paper Figs. 6/7).
+//! # Checkpoints
 //!
-//! Exit codes: 0 success, 1 runtime failure (unreadable snapshot, I/O),
-//! 2 usage error.
+//! Checkpoints are managed by the atomic rotated store
+//! ([`asura_core::ckpt`]): every commit is tmp → fsync → rename, the run
+//! directory keeps the last `--keep` stamped snapshots
+//! (`checkpoint-<step>.<ext>`, `dist_checkpoint-<step>.<ext>` for
+//! `--dist`) plus a checksummed manifest, and `--resume` accepts either a
+//! snapshot file or a run *directory* — the latter loads the newest
+//! rotation entry that passes validation, silently skipping damaged ones.
+//!
+//! # Supervision
+//!
+//! `--supervised` runs the scenario as a child process that touches a
+//! heartbeat file every step. The parent detects crashes (exit status)
+//! and hangs (stale heartbeat) and auto-resumes from the newest intact
+//! checkpoint under a bounded retry budget with exponential backoff,
+//! recording every incident in `supervisor.json`. Deterministic fault
+//! injection for testing this machinery is driven by the `ASURA_FAULTS` /
+//! `ASURA_ATTEMPT` environment variables ([`asura_core::faults`]).
+//!
+//! `--dist NXxNYxNZ+P` routes the scenario through the distributed
+//! (`mpisim`) driver — `NX*NY*NZ` main ranks plus `P` pool ranks —
+//! rotating `dist_checkpoint-<step>.{bin,json}` per `--snapshot-format`
+//! (resumable with `--dist --resume`, either encoding) and writing
+//! `dist_report.json` instead of the shared-memory outputs. `--timestep
+//! block[:<max_level>]` runs the conventional hierarchy's substep walk
+//! across the ranks so its per-substep synchronization cost is measured
+//! (paper Figs. 6/7).
+//!
+//! Exit codes: 0 success, 1 runtime failure (unreadable snapshot, I/O,
+//! supervision gave up), 2 usage error.
 
 use asura::scenarios;
+use asura_core::ckpt::{atomic_write, CkptFormat, CkptStore, DEFAULT_KEEP};
 use asura_core::diagnostics::{TimeSample, TimeSeries};
 use asura_core::dist::{
     run_distributed, run_distributed_resume, DistConfig, DistSnapshot, PredictorKind,
 };
+use asura_core::faults::{self, FaultInjector};
 use asura_core::snapshot::SimSnapshot;
+use asura_core::supervise::{
+    ChildHandle, Heartbeat, Outcome, ResumePoint, RetryPolicy, Supervisor,
+};
 use asura_core::{Scheme, Simulation, TimestepMode};
 use fdps::exchange::Routing;
 use std::path::{Path, PathBuf};
@@ -44,12 +70,14 @@ asura — ASURA-FDPS-ML scenario runner
 USAGE:
     asura --list
     asura --scenario <name> [OPTIONS]
-    asura --resume <snapshot> [--scenario <name>] [OPTIONS]
+    asura --resume <snapshot|run-dir> [--scenario <name>] [OPTIONS]
+    asura --scenario <name> --supervised [OPTIONS]
 
 OPTIONS:
     --list                     list registered scenarios and exit
     --scenario <name>          scenario to run (also names the results/ subdirectory)
-    --resume <path>            continue from a snapshot file (binary or JSON)
+    --resume <path>            continue from a snapshot file, or from a run directory's
+                               newest intact rotation entry
     --steps <n>                steps to integrate (default: the scenario's default)
     --scheme <s>               surrogate | conventional
     --timestep <t>             global | block | block:<max_level>
@@ -58,9 +86,21 @@ OPTIONS:
     --seed <s>                 scenario realization / RNG seed (default 42)
     --diag-every <k>           diagnostics sampling cadence (default 1)
     --out-dir <dir>            output root (default results)
+    --keep <k>                 checkpoint rotation depth (default 3)
     --dist <NXxNYxNZ+P>        run through the distributed (mpisim) driver:
                                NX*NY*NZ main ranks + P pool ranks
+    --supervised               run as a heartbeat-monitored child with crash/hang
+                               detection and auto-resume from the rotation
+    --max-retries <n>          supervised: resume budget (default 3)
+    --backoff-ms <ms>          supervised: exponential backoff base (default 500)
+    --heartbeat-timeout-ms <ms>  supervised: stale-heartbeat hang threshold
+                               (default 30000)
+    --heartbeat <path>         (internal) heartbeat file touched every step
     --help                     this text
+
+Deterministic fault injection (for testing the crash-safety machinery) is
+read from ASURA_FAULTS, e.g. `ASURA_FAULTS=\"torn@2:64#0,kill@5#0\"`; see
+the asura-core faults module docs for the grammar.
 ";
 
 struct Args {
@@ -71,14 +111,23 @@ struct Args {
     scheme: Option<Scheme>,
     timestep: Option<TimestepMode>,
     snapshot_every: Option<u64>,
-    snapshot_format: SnapFormat,
+    snapshot_format: CkptFormat,
     seed: u64,
     /// Diagnostics sampling cadence; `None` means the default of every
     /// step (explicitly passing the flag with `--dist` is rejected).
     diag_every: Option<u64>,
     out_dir: PathBuf,
+    /// Checkpoint rotation depth.
+    keep: usize,
     /// Main-rank grid + pool rank count of `--dist`.
     dist: Option<((usize, usize, usize), usize)>,
+    supervised: bool,
+    max_retries: u32,
+    backoff_ms: u64,
+    heartbeat_timeout_ms: u64,
+    /// Heartbeat file the (supervised) child touches after every step —
+    /// set by the supervisor when it spawns the child.
+    heartbeat: Option<PathBuf>,
 }
 
 /// Parse `--dist`'s `NXxNYxNZ+P` spec.
@@ -105,21 +154,6 @@ fn parse_dist_spec(spec: &str) -> Result<((usize, usize, usize), usize), String>
     Ok(((nx, ny, nz), n_pool))
 }
 
-#[derive(Clone, Copy, PartialEq)]
-enum SnapFormat {
-    Bin,
-    Json,
-}
-
-impl SnapFormat {
-    fn ext(self) -> &'static str {
-        match self {
-            SnapFormat::Bin => "bin",
-            SnapFormat::Json => "json",
-        }
-    }
-}
-
 fn parse_args(argv: &[String]) -> Result<Args, String> {
     let mut args = Args {
         list: false,
@@ -129,11 +163,17 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         scheme: None,
         timestep: None,
         snapshot_every: None,
-        snapshot_format: SnapFormat::Bin,
+        snapshot_format: CkptFormat::Bin,
         seed: 42,
         diag_every: None,
         out_dir: PathBuf::from("results"),
+        keep: DEFAULT_KEEP,
         dist: None,
+        supervised: false,
+        max_retries: 3,
+        backoff_ms: 500,
+        heartbeat_timeout_ms: 30_000,
+        heartbeat: None,
     };
     let mut it = argv.iter();
     while let Some(flag) = it.next() {
@@ -181,8 +221,8 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             }
             "--snapshot-format" => {
                 args.snapshot_format = match value("--snapshot-format")?.as_str() {
-                    "bin" => SnapFormat::Bin,
-                    "json" => SnapFormat::Json,
+                    "bin" => CkptFormat::Bin,
+                    "json" => CkptFormat::Json,
                     other => return Err(format!("unknown snapshot format `{other}`")),
                 }
             }
@@ -199,41 +239,83 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                 )
             }
             "--out-dir" => args.out_dir = PathBuf::from(value("--out-dir")?),
+            "--keep" => {
+                args.keep = value("--keep")?
+                    .parse()
+                    .map_err(|e| format!("--keep: {e}"))?;
+                if args.keep == 0 {
+                    return Err("--keep must be at least 1".into());
+                }
+            }
             "--dist" => args.dist = Some(parse_dist_spec(value("--dist")?)?),
+            "--supervised" => args.supervised = true,
+            "--max-retries" => {
+                args.max_retries = value("--max-retries")?
+                    .parse()
+                    .map_err(|e| format!("--max-retries: {e}"))?
+            }
+            "--backoff-ms" => {
+                args.backoff_ms = value("--backoff-ms")?
+                    .parse()
+                    .map_err(|e| format!("--backoff-ms: {e}"))?
+            }
+            "--heartbeat-timeout-ms" => {
+                args.heartbeat_timeout_ms = value("--heartbeat-timeout-ms")?
+                    .parse()
+                    .map_err(|e| format!("--heartbeat-timeout-ms: {e}"))?
+            }
+            "--heartbeat" => args.heartbeat = Some(PathBuf::from(value("--heartbeat")?)),
             other => return Err(format!("unknown flag `{other}`")),
         }
     }
     Ok(args)
 }
 
-fn write_snapshot(
-    sim: &Simulation,
-    dir: &Path,
-    format: SnapFormat,
-    written: &mut Vec<PathBuf>,
-) -> std::io::Result<()> {
-    let snap = sim.snapshot();
-    let stamped = dir.join(format!("snap_step{:06}.{}", sim.step_count, format.ext()));
-    let checkpoint = dir.join(format!("checkpoint.{}", format.ext()));
-    match format {
-        SnapFormat::Bin => {
-            let bytes = snap.to_bytes();
-            std::fs::write(&stamped, &bytes)?;
-            std::fs::write(&checkpoint, &bytes)?;
-        }
-        SnapFormat::Json => {
-            let text = snap.to_json();
-            std::fs::write(&stamped, &text)?;
-            std::fs::write(&checkpoint, &text)?;
-        }
+/// Resolve `--resume` for the shared-memory path: a snapshot file, or a
+/// run directory whose rotation supplies the newest intact checkpoint.
+fn load_sim_resume(path: &Path, keep: usize) -> Result<(SimSnapshot, PathBuf), String> {
+    if path.is_dir() {
+        let store = CkptStore::new(path, keep);
+        let (entry, snap) = store.latest_valid_sim().ok_or_else(|| {
+            format!(
+                "--resume {}: no intact checkpoint in the rotation",
+                path.display()
+            )
+        })?;
+        let p = store.entry_path(&entry);
+        Ok((snap, p))
+    } else {
+        let snap = SimSnapshot::load(path).map_err(|e| format!("--resume {path:?}: {e}"))?;
+        Ok((snap, path.to_path_buf()))
     }
-    written.push(stamped);
-    Ok(())
+}
+
+/// Resolve `--resume` for the `--dist` path (base `dist_checkpoint`).
+fn load_dist_resume(path: &Path, keep: usize) -> Result<(DistSnapshot, PathBuf), String> {
+    if path.is_dir() {
+        let store = CkptStore::with_base(path, "dist_checkpoint", keep);
+        let (entry, snap) = store.latest_valid_dist().ok_or_else(|| {
+            format!(
+                "--resume {}: no intact dist checkpoint in the rotation",
+                path.display()
+            )
+        })?;
+        let p = store.entry_path(&entry);
+        Ok((snap, p))
+    } else {
+        let snap = DistSnapshot::load(path).map_err(|e| format!("--resume {path:?}: {e}"))?;
+        Ok((snap, path.to_path_buf()))
+    }
 }
 
 /// The `--dist` path: route the scenario through the mpisim driver, with
 /// snapshot→resume support mirroring the shared-memory CLI.
-fn run_dist(args: &Args, grid: (usize, usize, usize), n_pool: usize) -> Result<(), String> {
+fn run_dist(
+    args: &Args,
+    grid: (usize, usize, usize),
+    n_pool: usize,
+    injector: &mut FaultInjector,
+) -> Result<(), String> {
     let name = args
         .scenario
         .as_deref()
@@ -284,12 +366,12 @@ fn run_dist(args: &Args, grid: (usize, usize, usize), n_pool: usize) -> Result<(
 
     let report = match &args.resume {
         Some(path) => {
-            let snap = DistSnapshot::load(path).map_err(|e| format!("--resume {path:?}: {e}"))?;
+            let (snap, resolved) = load_dist_resume(path, args.keep)?;
             if snap.rank_particles.len() != cfg.n_main() {
                 return Err(format!(
                     "--resume {}: checkpoint was written by {} main ranks but --dist \
                      asks for {} ({}x{}x{}) — resume requires the same main-rank grid",
-                    path.display(),
+                    resolved.display(),
                     snap.rank_particles.len(),
                     cfg.n_main(),
                     grid.0,
@@ -300,7 +382,7 @@ fn run_dist(args: &Args, grid: (usize, usize, usize), n_pool: usize) -> Result<(
             println!(
                 "dist resume from {} (step {}, t = {:.4} Myr, {} ranks, {} regions in flight): \
                  {} more steps on {}x{}x{}+{} ranks",
-                path.display(),
+                resolved.display(),
                 snap.step,
                 snap.time,
                 snap.rank_particles.len(),
@@ -335,18 +417,20 @@ fn run_dist(args: &Args, grid: (usize, usize, usize), n_pool: usize) -> Result<(
             );
             run_distributed(&cfg, &particles)
         }
-    };
+    }
+    .map_err(|e| format!("distributed run: {e}"))?;
 
-    // Last gathered checkpoint becomes the resumable artifact, in the
-    // requested encoding (binary by default, JSON for inspectability).
-    if let Some(snap) = report.snapshots.last() {
-        let path = dir.join(format!("dist_checkpoint.{}", args.snapshot_format.ext()));
-        match args.snapshot_format {
-            SnapFormat::Bin => std::fs::write(&path, snap.to_bytes()),
-            SnapFormat::Json => std::fs::write(&path, snap.to_json()),
-        }
-        .map_err(|e| format!("write {}: {e}", path.display()))?;
-        println!("[snapshot] {} (step {})", path.display(), snap.step);
+    // Gathered checkpoints rotate through the atomic store — the newest
+    // `--keep` of them, in the requested encoding, plus the manifest.
+    let store = CkptStore::with_base(&dir, "dist_checkpoint", args.keep);
+    for snap in &report.snapshots {
+        let path = store
+            .commit_dist(snap, args.snapshot_format, injector)
+            .map_err(|e| format!("writing dist checkpoint under {}: {e}", dir.display()))?;
+        println!("[checkpoint] {} (step {})", path.display(), snap.step);
+    }
+    if !report.snapshots.is_empty() {
+        println!("[manifest] {}", store.manifest_path().display());
     }
     // Counter summary (hand-rendered JSON, like the bench artifacts).
     let total_bytes: u64 = report.bytes_sent.iter().sum();
@@ -371,12 +455,16 @@ fn run_dist(args: &Args, grid: (usize, usize, usize), n_pool: usize) -> Result<(
         })
         .collect::<Vec<_>>()
         .join(",\n");
+    let degraded = match &report.error {
+        Some(e) => format!("\"{e}\""),
+        None => "null".to_string(),
+    };
     let json = format!(
         "{{\n  \"steps\": {},\n  \"sn_events\": {},\n  \"regions_applied\": {},\n  \
          \"gravity_interactions\": {},\n  \"hydro_interactions\": {},\n  \
          \"final_particles\": {},\n  \"bytes_sent_total\": {},\n  \"snapshots\": {},\n  \
          \"substeps\": {},\n  \"active_updates\": {},\n  \"tree_refreshes\": {},\n  \
-         \"tree_rebuilds\": {},\n  \"phases\": [\n{}\n  ]\n}}\n",
+         \"tree_rebuilds\": {},\n  \"error\": {},\n  \"phases\": [\n{}\n  ]\n}}\n",
         report.steps,
         report.sn_events,
         report.regions_applied,
@@ -389,10 +477,11 @@ fn run_dist(args: &Args, grid: (usize, usize, usize), n_pool: usize) -> Result<(
         active_updates,
         tree_refreshes,
         tree_rebuilds,
+        degraded,
         phases,
     );
     let report_path = dir.join("dist_report.json");
-    std::fs::write(&report_path, json)
+    atomic_write(&report_path, json.as_bytes())
         .map_err(|e| format!("write {}: {e}", report_path.display()))?;
     println!(
         "dist done: {} steps ({} substeps) | {} SNe, {} regions applied, {} particles, \
@@ -405,7 +494,158 @@ fn run_dist(args: &Args, grid: (usize, usize, usize), n_pool: usize) -> Result<(
         report.snapshots.len(),
     );
     println!("[report] {}", report_path.display());
+    // A degraded run aborted early at a collective point: its final
+    // checkpoint and report are on disk, but the run did not complete —
+    // surface that as a failure after persisting everything.
+    if let Some(err) = &report.error {
+        return Err(format!(
+            "distributed run degraded: {err} (checkpoint and report retained under {})",
+            dir.display()
+        ));
+    }
     Ok(())
+}
+
+/// Real-process implementation of the supervisor's child handle.
+struct ProcChild(std::process::Child);
+
+impl ChildHandle for ProcChild {
+    fn poll_exit(&mut self) -> std::io::Result<Option<i32>> {
+        // A signal-terminated child has no code; map it to -1 (abnormal).
+        Ok(self.0.try_wait()?.map(|s| s.code().unwrap_or(-1)))
+    }
+    fn kill(&mut self) {
+        let _ = self.0.kill();
+        let _ = self.0.wait();
+    }
+}
+
+/// The `--supervised` parent: spawn the scenario as a heartbeat-monitored
+/// child, auto-resume it from the checkpoint rotation on crash or hang,
+/// and record every incident in `supervisor.json`.
+fn run_supervised(args: &Args) -> Result<(), String> {
+    let name = args
+        .scenario
+        .as_deref()
+        .ok_or("usage: --supervised requires --scenario")?;
+    if args.dist.is_some() {
+        return Err(
+            "usage: --supervised drives the shared-memory runner; it cannot be combined \
+             with --dist"
+                .into(),
+        );
+    }
+    if args.resume.is_some() {
+        return Err(
+            "usage: --supervised resumes automatically from the run directory's rotation; \
+             drop --resume"
+                .into(),
+        );
+    }
+    let scenario = scenarios::find(name).ok_or_else(|| format!("unknown scenario `{name}`"))?;
+    // `--steps` is the run's *target* in absolute steps: every resumed
+    // attempt is handed `target - resume_step` so all attempts end at the
+    // same final step, which is what makes the chaos tests' bitwise
+    // final-state comparison meaningful.
+    let target_steps = args.steps.unwrap_or(scenario.default_steps);
+    let dir = args.out_dir.join(scenario.name);
+    std::fs::create_dir_all(&dir).map_err(|e| format!("create {}: {e}", dir.display()))?;
+    let store = CkptStore::new(&dir, args.keep);
+    let exe = std::env::current_exe().map_err(|e| format!("current_exe: {e}"))?;
+    let hb_path = dir.join("heartbeat");
+    let supervisor = Supervisor {
+        policy: RetryPolicy {
+            max_retries: args.max_retries,
+            backoff_base_ms: args.backoff_ms,
+            backoff_cap_ms: args.backoff_ms.max(1) * 16,
+        },
+        heartbeat_timeout_ms: args.heartbeat_timeout_ms,
+        poll_interval_ms: 20,
+        permanent_exit_codes: vec![2],
+        log_path: dir.join("supervisor.json"),
+        heartbeat_path: hb_path.clone(),
+    };
+    println!(
+        "supervising scenario {name}: target {target_steps} steps, rotation keep {}, \
+         up to {} resume(s)",
+        args.keep, args.max_retries
+    );
+    let (outcome, log) = supervisor
+        .run(
+            |attempt, resume| {
+                let mut cmd = std::process::Command::new(&exe);
+                cmd.arg("--scenario").arg(name);
+                let child_steps = match resume {
+                    Some(rp) => target_steps.saturating_sub(rp.step as usize),
+                    None => target_steps,
+                };
+                cmd.arg("--steps").arg(child_steps.to_string());
+                if let Some(rp) = resume {
+                    cmd.arg("--resume").arg(&rp.path);
+                }
+                if let Some(s) = args.scheme {
+                    cmd.arg("--scheme").arg(match s {
+                        Scheme::Surrogate => "surrogate",
+                        Scheme::Conventional => "conventional",
+                    });
+                }
+                if let Some(t) = args.timestep {
+                    cmd.arg("--timestep").arg(match t {
+                        TimestepMode::Global => "global".to_string(),
+                        TimestepMode::Block { max_level } => format!("block:{max_level}"),
+                    });
+                }
+                if let Some(k) = args.snapshot_every {
+                    cmd.arg("--snapshot-every").arg(k.to_string());
+                }
+                cmd.arg("--snapshot-format").arg(args.snapshot_format.ext());
+                cmd.arg("--seed").arg(args.seed.to_string());
+                if let Some(d) = args.diag_every {
+                    cmd.arg("--diag-every").arg(d.to_string());
+                }
+                cmd.arg("--out-dir").arg(&args.out_dir);
+                cmd.arg("--keep").arg(args.keep.to_string());
+                cmd.arg("--heartbeat").arg(&hb_path);
+                // Attempt-scoped fault arming: ASURA_FAULTS is inherited
+                // from this process's environment untouched.
+                cmd.env(faults::ATTEMPT_ENV, attempt.to_string());
+                match resume {
+                    Some(rp) => println!(
+                        "[supervisor] attempt {attempt}: resuming from step {} ({})",
+                        rp.step,
+                        rp.path.display()
+                    ),
+                    None => println!("[supervisor] attempt {attempt}: fresh start"),
+                }
+                cmd.spawn().map(ProcChild)
+            },
+            || {
+                store.latest_valid_sim().map(|(entry, _)| ResumePoint {
+                    step: entry.step,
+                    path: store.entry_path(&entry),
+                })
+            },
+        )
+        .map_err(|e| format!("supervisor: {e}"))?;
+    println!(
+        "[supervisor] {} incident(s), log {}",
+        log.incidents.len(),
+        supervisor.log_path.display()
+    );
+    match outcome {
+        Outcome::Completed { attempts } => {
+            println!("[supervisor] run completed after {attempts} attempt(s)");
+            Ok(())
+        }
+        Outcome::GaveUp { attempts } => Err(format!(
+            "supervised run gave up after {attempts} attempt(s); see {}",
+            supervisor.log_path.display()
+        )),
+        Outcome::Permanent { exit_code } => Err(format!(
+            "supervised child failed permanently (exit {exit_code}); see {}",
+            supervisor.log_path.display()
+        )),
+    }
 }
 
 fn run() -> Result<(), String> {
@@ -429,18 +669,26 @@ fn run() -> Result<(), String> {
         return Ok(());
     }
 
+    if args.supervised {
+        return run_supervised(&args);
+    }
+
+    // A malformed fault plan is a usage error (exit 2, never retried) so a
+    // typo'd ASURA_FAULTS can't silently run fault-free.
+    let mut injector = FaultInjector::from_env().map_err(|e| format!("usage: {e}"))?;
+
     if let Some((grid, n_pool)) = args.dist {
-        return run_dist(&args, grid, n_pool);
+        return run_dist(&args, grid, n_pool, &mut injector);
     }
 
     // Resolve the run: a fresh scenario build, or a snapshot restore.
     let (mut sim, run_name, default_steps) = match (&args.resume, &args.scenario) {
         (Some(path), scenario) => {
-            let snap = SimSnapshot::load(path).map_err(|e| format!("--resume {path:?}: {e}"))?;
+            let (snap, resolved) = load_sim_resume(path, args.keep)?;
             let name = scenario.clone().unwrap_or_else(|| "resumed".to_string());
             println!(
                 "resumed from {} (step {}, t = {:.4} Myr, {} particles, {} regions in flight)",
-                path.display(),
+                resolved.display(),
                 snap.step_count,
                 snap.time,
                 snap.particles.len(),
@@ -496,6 +744,7 @@ fn run() -> Result<(), String> {
 
     let dir = args.out_dir.join(&run_name);
     std::fs::create_dir_all(&dir).map_err(|e| format!("create {}: {e}", dir.display()))?;
+    let store = CkptStore::new(&dir, args.keep);
 
     println!(
         "integrating {steps} steps (dt = {} Myr, scheme {:?}, timestep {:?}, snapshot every {})",
@@ -503,45 +752,46 @@ fn run() -> Result<(), String> {
     );
 
     let mut series = TimeSeries::new(run_name.clone());
-    let mut written: Vec<PathBuf> = Vec::new();
     let mut t_prev = sim.time;
-    let mut snap_io: Option<std::io::Error> = None;
-    for _ in 0..steps {
-        // One step at a time through the core cadence API so the periodic
-        // checkpoint logic under test here is the library's, not the CLI's.
-        let dir_ref = &dir;
-        let written_ref = &mut written;
-        let err_ref = &mut snap_io;
-        sim.run_with_snapshots(1, |s| {
-            if err_ref.is_none() {
-                if let Err(e) = write_snapshot(s, dir_ref, args.snapshot_format, written_ref) {
-                    *err_ref = Some(e);
+    let diag_every = args.diag_every.unwrap_or(1);
+    let mut heartbeat = args.heartbeat.as_ref().map(Heartbeat::new);
+    let mut hb_io: Option<std::io::Error> = None;
+    // The crash-safe run loop: heartbeat + diagnostics after every step,
+    // then (fault enforcement and) the cadence commit through the atomic
+    // rotated store — see `Simulation::run_with_store`.
+    let mut written = sim
+        .run_with_store(steps, &store, args.snapshot_format, &mut injector, |s| {
+            if let Some(hb) = heartbeat.as_mut() {
+                if hb_io.is_none() {
+                    if let Err(e) = hb.beat(s.step_count) {
+                        hb_io = Some(e);
+                    }
                 }
             }
-        });
-        if let Some(e) = snap_io.take() {
-            return Err(format!("writing snapshot under {}: {e}", dir.display()));
-        }
-        let diag_every = args.diag_every.unwrap_or(1);
-        if diag_every > 0 && sim.step_count % diag_every == 0 {
-            series.record(TimeSample::measure(&sim, t_prev, map_half));
-            t_prev = sim.time;
-        }
+            if diag_every > 0 && s.step_count.is_multiple_of(diag_every) {
+                series.record(TimeSample::measure(s, t_prev, map_half));
+                t_prev = s.time;
+            }
+        })
+        .map_err(|e| format!("writing checkpoint under {}: {e}", dir.display()))?;
+    if let Some(e) = hb_io {
+        return Err(format!("writing heartbeat: {e}"));
     }
 
-    // Always leave a final checkpoint + the diagnostics series (unless the
-    // cadence already produced it on the last step).
-    let final_stamped = dir.join(format!(
-        "snap_step{:06}.{}",
-        sim.step_count,
-        args.snapshot_format.ext()
-    ));
-    if written.last() != Some(&final_stamped) {
-        write_snapshot(&sim, &dir, args.snapshot_format, &mut written)
-            .map_err(|e| format!("writing final snapshot: {e}"))?;
+    // Always leave a final checkpoint (unless the cadence already
+    // committed the last step) + the diagnostics series.
+    let cadence_hit = steps > 0
+        && sim.config.snapshot_every > 0
+        && sim.step_count.is_multiple_of(sim.config.snapshot_every);
+    if !cadence_hit {
+        written.push(
+            store
+                .commit_sim(&sim.snapshot(), args.snapshot_format, &mut injector)
+                .map_err(|e| format!("writing final checkpoint: {e}"))?,
+        );
     }
     let diag_path = dir.join("diagnostics.json");
-    std::fs::write(&diag_path, series.to_json())
+    atomic_write(&diag_path, series.to_json().as_bytes())
         .map_err(|e| format!("write {}: {e}", diag_path.display()))?;
 
     println!(
@@ -554,13 +804,9 @@ fn run() -> Result<(), String> {
         sim.stats.stars_formed,
     );
     for p in &written {
-        println!("[snapshot] {}", p.display());
+        println!("[checkpoint] {}", p.display());
     }
-    println!(
-        "[snapshot] {}",
-        dir.join(format!("checkpoint.{}", args.snapshot_format.ext()))
-            .display()
-    );
+    println!("[manifest] {}", store.manifest_path().display());
     println!(
         "[diagnostics] {} ({} samples)",
         diag_path.display(),

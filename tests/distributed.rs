@@ -81,7 +81,7 @@ fn base_cfg(steps: usize) -> DistConfig {
 fn multiple_sne_round_trip_through_multiple_pools() {
     let dt = 2.0e-3;
     let ic = slab_ic(500, 100, 3, dt, 1);
-    let report = run_distributed(&base_cfg(5), &ic);
+    let report = run_distributed(&base_cfg(5), &ic).expect("dist run");
     assert_eq!(report.sn_events, 3, "all three SNe identified");
     assert_eq!(report.regions_applied, 3, "all three predictions applied");
     assert_eq!(report.final_particles, ic.len() as u64);
@@ -97,7 +97,7 @@ fn particle_count_invariant_under_routing_and_grid() {
                 routing,
                 ..base_cfg(2)
             };
-            let report = run_distributed(&cfg, &ic);
+            let report = run_distributed(&cfg, &ic).expect("dist run");
             assert_eq!(
                 report.final_particles,
                 ic.len() as u64,
@@ -110,7 +110,7 @@ fn particle_count_invariant_under_routing_and_grid() {
 #[test]
 fn communication_volume_is_recorded_per_main_rank() {
     let ic = slab_ic(300, 100, 0, 2.0e-3, 3);
-    let report = run_distributed(&base_cfg(2), &ic);
+    let report = run_distributed(&base_cfg(2), &ic).expect("dist run");
     assert_eq!(report.bytes_sent.len(), 4);
     assert!(
         report.bytes_sent.iter().all(|&b| b > 0),
@@ -135,7 +135,7 @@ fn distributed_kdk_energy_drift_matches_the_shared_memory_driver() {
     shared.run(steps);
     let shared_drift = ((total_energy_of(&shared.particles, cfg.sim.eps) - e0) / e0).abs();
 
-    let report = run_distributed(&cfg, &ic);
+    let report = run_distributed(&cfg, &ic).expect("dist run");
     assert_eq!(report.final_particles, ic.len() as u64);
     let dist_drift = ((total_energy_of(&report.final_state, cfg.sim.eps) - e0) / e0).abs();
 
@@ -195,7 +195,7 @@ fn distributed_block_mode_conserves_energy_on_the_spiked_ic() {
     shared.run(cfg.steps);
     let shared_drift = ((total_energy_of(&shared.particles, cfg.sim.eps) - e0) / e0).abs();
 
-    let report = run_distributed(&cfg, &particles);
+    let report = run_distributed(&cfg, &particles).expect("dist run");
     assert_eq!(report.final_particles, particles.len() as u64);
     assert!(
         report.final_state.iter().all(|p| {
@@ -239,7 +239,7 @@ fn distributed_block_schedule_is_identical_on_every_rank_and_snapshotted() {
         snapshot_every: 2,
         steps: 2,
     };
-    let report = run_distributed(&cfg, &ic);
+    let report = run_distributed(&cfg, &ic).expect("dist run");
     // World-consistent walk: every rank ran the same number of substeps,
     // and the hot particle forced more than one per base step.
     let subs: Vec<u64> = report.rank_stats.iter().map(|s| s.substeps).collect();
@@ -322,7 +322,7 @@ fn block_mode_survives_a_rank_with_no_gas() {
         snapshot_every: 0,
         steps: 2,
     };
-    let report = run_distributed(&cfg, &ic);
+    let report = run_distributed(&cfg, &ic).expect("dist run");
     assert_eq!(report.final_particles, ic.len() as u64);
     let subs: Vec<u64> = report.rank_stats.iter().map(|s| s.substeps).collect();
     assert!(subs.iter().all(|&s| s == subs[0]), "substeps {subs:?}");
@@ -337,7 +337,7 @@ fn single_main_rank_degenerate_case_works() {
         n_pool: 1,
         ..base_cfg(4)
     };
-    let report = run_distributed(&cfg, &ic);
+    let report = run_distributed(&cfg, &ic).expect("dist run");
     assert_eq!(report.sn_events, 1);
     assert_eq!(report.regions_applied, 1);
 }

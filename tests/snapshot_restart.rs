@@ -223,7 +223,7 @@ fn distributed_block_resume_is_bitwise_with_the_schedule_in_the_snapshot() {
         snapshot_every: 2,
         steps: 4,
     };
-    let full = run_distributed(&cfg, &particles);
+    let full = run_distributed(&cfg, &particles).expect("dist run");
     assert!(
         full.rank_stats.iter().all(|s| s.substeps > full.steps),
         "the hierarchy must engage"
@@ -244,7 +244,7 @@ fn distributed_block_resume_is_bitwise_with_the_schedule_in_the_snapshot() {
 
     let mut resume_cfg = cfg;
     resume_cfg.steps = 2;
-    let resumed = run_distributed_resume(&resume_cfg, &via_json);
+    let resumed = run_distributed_resume(&resume_cfg, &via_json).expect("dist resume");
     assert_eq!(resumed.steps, 2);
     assert_eq!(full.final_state.len(), resumed.final_state.len());
     for (a, b) in full.final_state.iter().zip(&resumed.final_state) {

@@ -1,0 +1,193 @@
+//! Chaos tests of the supervised runner: inject deterministic faults
+//! (kill-at-step, torn checkpoint writes, stalled heartbeats) into real
+//! `asura` child processes and assert the supervisor auto-resumes from the
+//! newest valid rotation entry, finishes at the same absolute step, and
+//! produces a final checkpoint **bitwise identical** to an uninterrupted
+//! run — in both Block and Global timestep modes.
+
+use asura_core::faults::FAULT_KILL_EXIT;
+use asura_core::supervise::{IncidentKind, IncidentLog, Outcome};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+const BIN: &str = env!("CARGO_BIN_EXE_asura");
+const STEPS: u64 = 6;
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "asura-chaos-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// All artifacts land in `<out-dir>/<scenario>/`.
+fn run_dir(out_dir: &Path) -> PathBuf {
+    out_dir.join("spiked_dt")
+}
+
+fn base_cmd(out_dir: &Path, timestep: Option<&str>) -> Command {
+    let mut cmd = Command::new(BIN);
+    cmd.args(["--scenario", "spiked_dt"])
+        .args(["--steps", &STEPS.to_string()])
+        .args(["--snapshot-every", "2"])
+        .args(["--seed", "123"])
+        .arg("--out-dir")
+        .arg(out_dir)
+        // Never inherit a fault plan from the test runner's environment.
+        .env_remove(asura_core::faults::FAULTS_ENV)
+        .env_remove(asura_core::faults::ATTEMPT_ENV);
+    if let Some(mode) = timestep {
+        cmd.args(["--timestep", mode]);
+    }
+    cmd
+}
+
+/// Fault-free reference run; returns the bytes of its final checkpoint.
+fn baseline(tag: &str, timestep: Option<&str>) -> Vec<u8> {
+    let dir = tmpdir(tag);
+    let status = base_cmd(&dir, timestep).status().unwrap();
+    assert!(status.success(), "baseline run failed");
+    fs::read(run_dir(&dir).join(format!("checkpoint-{STEPS:06}.bin"))).unwrap()
+}
+
+fn supervised_cmd(out_dir: &Path, timestep: Option<&str>, faults: &str) -> Command {
+    let mut cmd = base_cmd(out_dir, timestep);
+    cmd.arg("--supervised")
+        .args(["--backoff-ms", "10"])
+        .env(asura_core::faults::FAULTS_ENV, faults);
+    cmd
+}
+
+fn read_log(out_dir: &Path) -> IncidentLog {
+    let text = fs::read_to_string(run_dir(out_dir).join("supervisor.json")).unwrap();
+    IncidentLog::from_json(&text).unwrap()
+}
+
+#[test]
+fn kill_at_seeded_random_step_resumes_bitwise_identical() {
+    // Both timestep modes, a handful of seeded kill steps each. Killing
+    // happens after the step but before that step's cadence commit, so the
+    // attempt always loses its newest progress — the most adversarial
+    // resume point.
+    for (mode_tag, timestep) in [("block", None), ("global", Some("global"))] {
+        let reference = baseline(&format!("base-{mode_tag}"), timestep);
+        let mut rng = StdRng::seed_from_u64(0xC4A0 + mode_tag.len() as u64);
+        for case in 0..3u32 {
+            let kill_step = rng.gen_range(1..STEPS + 1);
+            let dir = tmpdir(&format!("kill-{mode_tag}-{case}"));
+            let status = supervised_cmd(&dir, timestep, &format!("kill@{kill_step}#0"))
+                .status()
+                .unwrap();
+            assert!(
+                status.success(),
+                "{mode_tag} kill@{kill_step}: supervised run should complete"
+            );
+
+            let log = read_log(&dir);
+            assert_eq!(log.outcome, Some(Outcome::Completed { attempts: 2 }));
+            assert_eq!(
+                log.incidents.len(),
+                1,
+                "{mode_tag} kill@{kill_step}: exactly the injected incident"
+            );
+            let inc = &log.incidents[0];
+            assert_eq!(inc.attempt, 0);
+            assert_eq!(
+                inc.kind,
+                IncidentKind::Crash {
+                    exit_code: FAULT_KILL_EXIT
+                }
+            );
+            // Checkpoints land at even steps; the kill fires before the
+            // same-step commit, so the resume point is the last even step
+            // strictly below the kill step (none before step 2).
+            let expect_resume = ((kill_step - 1) / 2 * 2 != 0).then(|| (kill_step - 1) / 2 * 2);
+            assert_eq!(
+                inc.resumed_from_step, expect_resume,
+                "{mode_tag} kill@{kill_step}: wrong resume point"
+            );
+
+            let final_bytes =
+                fs::read(run_dir(&dir).join(format!("checkpoint-{STEPS:06}.bin"))).unwrap();
+            assert_eq!(
+                final_bytes, reference,
+                "{mode_tag} kill@{kill_step}: final checkpoint differs from uninterrupted run"
+            );
+        }
+    }
+}
+
+#[test]
+fn torn_checkpoint_plus_kill_falls_back_past_the_torn_entry() {
+    // Commit 2 (step 4) is torn mid-write; the kill at step 5 then forces
+    // a resume, which must skip the damaged step-4 entry and restart from
+    // step 2 — and still converge to the reference final state.
+    let reference = baseline("base-torn", None);
+    let dir = tmpdir("torn-kill");
+    let status = supervised_cmd(&dir, None, "torn@2:64#0,kill@5#0")
+        .status()
+        .unwrap();
+    assert!(status.success());
+
+    let log = read_log(&dir);
+    assert_eq!(log.outcome, Some(Outcome::Completed { attempts: 2 }));
+    assert_eq!(log.incidents.len(), 1);
+    assert_eq!(
+        log.incidents[0].resumed_from_step,
+        Some(2),
+        "resume must fall back past the torn step-4 checkpoint"
+    );
+
+    let final_bytes = fs::read(run_dir(&dir).join(format!("checkpoint-{STEPS:06}.bin"))).unwrap();
+    assert_eq!(final_bytes, reference);
+}
+
+#[test]
+fn stalled_heartbeat_is_detected_killed_and_resumed() {
+    let reference = baseline("base-stall", None);
+    let dir = tmpdir("stall");
+    let mut cmd = supervised_cmd(&dir, None, "stall@3#0");
+    cmd.args(["--heartbeat-timeout-ms", "1500"]);
+    let status = cmd.status().unwrap();
+    assert!(status.success(), "supervised run should survive the hang");
+
+    let log = read_log(&dir);
+    assert_eq!(log.outcome, Some(Outcome::Completed { attempts: 2 }));
+    assert_eq!(log.incidents.len(), 1);
+    match log.incidents[0].kind {
+        IncidentKind::Hang { stale_ms } => {
+            assert!(stale_ms >= 1500, "stale for at least the timeout")
+        }
+        other => panic!("expected a hang incident, got {other:?}"),
+    }
+    assert_eq!(log.incidents[0].resumed_from_step, Some(2));
+
+    let final_bytes = fs::read(run_dir(&dir).join(format!("checkpoint-{STEPS:06}.bin"))).unwrap();
+    assert_eq!(final_bytes, reference);
+}
+
+#[test]
+fn unrecoverable_fault_budget_exhaustion_gives_up() {
+    // Kill on every attempt the budget allows: the supervisor must stop
+    // after max-retries, leave a gave_up outcome, and exit non-zero.
+    let dir = tmpdir("giveup");
+    let mut cmd = supervised_cmd(&dir, None, "kill@2#0,kill@2#1,kill@2#2");
+    cmd.args(["--max-retries", "2"]);
+    let status = cmd.status().unwrap();
+    assert!(!status.success(), "exhausted retries must exit non-zero");
+
+    let log = read_log(&dir);
+    assert_eq!(log.outcome, Some(Outcome::GaveUp { attempts: 3 }));
+    assert_eq!(log.incidents.len(), 3);
+    assert!(log.incidents.iter().all(|i| i.kind
+        == IncidentKind::Crash {
+            exit_code: FAULT_KILL_EXIT
+        }));
+}
