@@ -13,14 +13,17 @@
 //! 3. **walk_indexed_parallel** — the production path: rayon-parallel
 //!    indexed walk with per-worker `WalkScratch` + `InteractionList` reuse
 //!    (what `Tree::interaction_lists` and the gravity solver run);
-//! 4. the monopole kernel's ns/interaction (f64 and mixed precision).
+//! 4. the monopole kernel's ns/interaction: AoS f64 (the retained scalar
+//!    reference), SoA f64 (the vectorized production kernel — their ratio
+//!    is the gated `simd_speedup`), and the staged mixed-precision kernel.
 //!
 //! Writes `BENCH_force.json` at the repo root so subsequent PRs have a
-//! perf trajectory, and prints the walk speedup (target: >= 2x).
+//! perf trajectory, and prints the walk speedup (target: >= 2x) and the
+//! kernel simd speedup (target: >= 1.5x).
 
 use fdps::walk::{InteractionList, WalkScratch};
 use fdps::{Tree, Vec3};
-use gravity::kernel::{accumulate_f64, accumulate_mixed, GravityAccum};
+use gravity::kernel::{accumulate_f64, accumulate_f64_soa, accumulate_mixed_staged, GravityAccum};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rayon::prelude::*;
@@ -132,12 +135,25 @@ fn main() {
     );
     println!("walk speedup: {speedup:.2}x (target >= 2x)");
 
-    // 3. Kernel ns/interaction at the paper's Fugaku group size.
+    // 4. Kernel ns/interaction at the paper's Fugaku group size. The AoS
+    //    f64 kernel is the retained scalar-layout reference; the SoA form
+    //    is what the solver stages per group (bitwise-identical results,
+    //    packed loads) — their ratio is the gated `simd_speedup`. The
+    //    mixed-precision kernel is measured through its staged entry
+    //    point, exactly as the solver launches it (caller-owned f32
+    //    scratch, no per-launch allocation).
     let n_i = 64;
     let n_j = 2048;
     let ipos = &pos[..n_i];
     let jpos = &pos[1000..1000 + n_j];
     let jmass = &mass[1000..1000 + n_j];
+    let jx: Vec<f64> = jpos.iter().map(|p| p.x).collect();
+    let jy: Vec<f64> = jpos.iter().map(|p| p.y).collect();
+    let jz: Vec<f64> = jpos.iter().map(|p| p.z).collect();
+    let jx32: Vec<f32> = jpos.iter().map(|p| p.x as f32).collect();
+    let jy32: Vec<f32> = jpos.iter().map(|p| p.y as f32).collect();
+    let jz32: Vec<f32> = jpos.iter().map(|p| p.z as f32).collect();
+    let jm32: Vec<f32> = jmass.iter().map(|&m| m as f32).collect();
     let mut out = vec![GravityAccum::default(); n_i];
     let kernel_reps = 200;
     let (t_f64, _) = time_best(3, || {
@@ -153,12 +169,13 @@ fn main() {
         out.len() as u64
     });
     let ns_per_inter_f64 = t_f64 * 1e9 / (kernel_reps * n_i * n_j) as f64;
-    let (t_mixed, _) = time_best(3, || {
+    let (t_soa, _) = time_best(3, || {
         for _ in 0..kernel_reps {
-            accumulate_mixed(
-                Vec3::ZERO,
+            accumulate_f64_soa(
                 black_box(ipos),
-                black_box(jpos),
+                black_box(&jx),
+                black_box(&jy),
+                black_box(&jz),
                 black_box(jmass),
                 1e-4,
                 &mut out,
@@ -166,9 +183,28 @@ fn main() {
         }
         out.len() as u64
     });
+    let ns_per_inter_soa = t_soa * 1e9 / (kernel_reps * n_i * n_j) as f64;
+    let (t_mixed, _) = time_best(3, || {
+        for _ in 0..kernel_reps {
+            accumulate_mixed_staged(
+                Vec3::ZERO,
+                black_box(ipos),
+                black_box(&jx32),
+                black_box(&jy32),
+                black_box(&jz32),
+                black_box(&jm32),
+                1e-4,
+                &mut out,
+            );
+        }
+        out.len() as u64
+    });
     let ns_per_inter_mixed = t_mixed * 1e9 / (kernel_reps * n_i * n_j) as f64;
-    println!("kernel f64:   {ns_per_inter_f64:.3} ns/interaction");
-    println!("kernel mixed: {ns_per_inter_mixed:.3} ns/interaction");
+    let simd_speedup = ns_per_inter_f64 / ns_per_inter_soa;
+    println!("kernel f64 (AoS ref):  {ns_per_inter_f64:.3} ns/interaction");
+    println!("kernel f64 (SoA):      {ns_per_inter_soa:.3} ns/interaction");
+    println!("kernel mixed (staged): {ns_per_inter_mixed:.3} ns/interaction");
+    println!("simd_speedup: {simd_speedup:.2}x (target >= 1.5x)");
 
     // Trajectory artifact at the repo root.
     let json = format!(
@@ -184,7 +220,9 @@ fn main() {
             "  \"walk_indexed_parallel_lists_per_sec\": {:.1},\n",
             "  \"walk_speedup\": {:.3},\n",
             "  \"kernel_f64_ns_per_interaction\": {:.4},\n",
+            "  \"kernel_f64_soa_ns_per_interaction\": {:.4},\n",
             "  \"kernel_mixed_ns_per_interaction\": {:.4},\n",
+            "  \"simd_speedup\": {:.3},\n",
             "  \"threads\": {}\n",
             "}}\n"
         ),
@@ -198,7 +236,9 @@ fn main() {
         lists_per_sec_par,
         speedup,
         ns_per_inter_f64,
+        ns_per_inter_soa,
         ns_per_inter_mixed,
+        simd_speedup,
         rayon::current_num_threads(),
     );
     let path = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"))

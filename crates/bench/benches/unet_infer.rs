@@ -4,14 +4,19 @@
 //! region and writes the `BENCH_unet_infer.json` trajectory artifact at
 //! the repo root.
 //!
-//! Two tiers:
+//! Three tiers:
 //!
 //! * iterated criterion-style measurements at small test grids (16^3 and
-//!   32^3) for stable per-stage numbers;
+//!   32^3, both feature widths) for stable per-stage numbers;
 //! * a single-shot encode → forward → decode pipeline at the paper's 64^3
-//!   region grid (width-reduced to `base_features = 4`: the full-width
-//!   64^3 forward costs minutes on 2 vCPUs, which is exactly the
-//!   conv3d-blocking ROADMAP item — the artifact tracks it).
+//!   region grid — *informational* absolute timings (the <1 s
+//!   interactivity target is asserted by the integration tests, not
+//!   gated here, because absolute wall-clock swings with the runner);
+//! * the **gated** `conv_gflops_ratio` top-level metric: achieved
+//!   convolution throughput of the im2col+GEMM forward over the retained
+//!   scalar loop-nest reference on the same net and input. Same op
+//!   count, same run, same machine — throughput ratio = time ratio, so
+//!   runner speed cancels and the bench-gate can hold the line on it.
 
 use criterion::{criterion_group, BenchRecord, BenchmarkId, Criterion};
 use std::hint::black_box;
@@ -22,7 +27,7 @@ use unet::{Tensor, UNet3d, UNetConfig};
 fn bench_inference(c: &mut Criterion) {
     let mut group = c.benchmark_group("unet_inference");
     group.sample_size(10);
-    for &(n, feats) in &[(16usize, 4usize), (32, 8)] {
+    for &(n, feats) in &[(16usize, 4usize), (32, 4), (32, 8)] {
         let net = UNet3d::new(
             &UNetConfig {
                 in_channels: 8,
@@ -80,6 +85,31 @@ fn synthetic_region(n: usize, side: f64) -> Vec<surrogate::GasParticle> {
         .collect()
 }
 
+/// The gated convolution-throughput ratio: time the scalar loop-nest
+/// reference against the im2col+GEMM production forward on one
+/// representative interior convolution (8 -> 8 channels, k = 3, 32^3),
+/// best-of-`reps` each. Identical op count, so the time ratio *is* the
+/// achieved-GFLOPs ratio and runner speed cancels out.
+fn conv_gflops_ratio() -> f64 {
+    use unet::conv::Conv3d;
+    let conv = Conv3d::new(8, 8, 3, 7);
+    let x = Tensor::zeros(8, 32, 32, 32);
+    let best = |f: &mut dyn FnMut() -> Tensor, reps: usize| -> f64 {
+        let mut best = f64::INFINITY;
+        for _ in 0..reps {
+            let t0 = Instant::now();
+            black_box(f());
+            best = best.min(t0.elapsed().as_secs_f64());
+        }
+        best
+    };
+    let t_ref = best(&mut || conv.forward_reference(&x), 3);
+    let t_gemm = best(&mut || conv.forward(&x), 10);
+    let ratio = t_ref / t_gemm;
+    println!("conv_gflops_ratio: {ratio:.2}x (scalar reference {t_ref:.4} s, gemm {t_gemm:.6} s)");
+    ratio
+}
+
 /// Single-shot timings of the full tensor pipeline at the paper's 64^3
 /// region grid, appended to the artifact as one-iteration records.
 fn paper_grid_single_shot() -> Vec<BenchRecord> {
@@ -131,9 +161,10 @@ fn main() {
     benches();
     let mut records = criterion::take_records();
     records.extend(paper_grid_single_shot());
+    let ratio = conv_gflops_ratio();
     let path = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"))
         .join("../..")
         .join("BENCH_unet_infer.json");
-    criterion::write_artifact(&path, &records);
+    criterion::write_artifact_with_metrics(&path, &records, &[("conv_gflops_ratio", ratio)]);
     println!("[artifact] {}", path.display());
 }

@@ -9,6 +9,16 @@
 //! warm-up step the arena's capacities stabilize and steady-state stepping
 //! performs zero heap growth here. [`ForceBuffers::capacity_signature`]
 //! exposes the capacities so regression tests can assert exactly that.
+//!
+//! Downstream of this arena the solvers stage per *worker*, not per step:
+//! the gravity solver packs each interaction list into SoA `GroupScratch`
+//! for the runtime-dispatched SIMD monopole kernels, and the SPH solver
+//! carries a candidate `NeighborCache` (shared across the h-iteration)
+//! plus a `ForceBatch` per worker. Those live inside the solvers'
+//! `map_init` closures — worker-lifetime scratch, reused across every
+//! item a worker processes — which is why they do not appear in the
+//! capacity signature: they are not per-step state and never travel
+//! through snapshots.
 
 use crate::particle::Particle;
 use fdps::walk::WalkIndex;

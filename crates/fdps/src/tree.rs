@@ -274,6 +274,13 @@ impl Tree {
     /// Collect all particle indices within `r` of `p` (gather) or within a
     /// particle's own stored search radius of `p` (scatter); the caller
     /// passes candidate filtering. Appends to `out`.
+    ///
+    /// Caching contract: the traversal order is a fixed depth-first walk
+    /// and the pruning bound `max(r, h_max)` is monotone in `r`, so for
+    /// `r' <= r` the candidate list is an *order-preserving sublist* of
+    /// the list at `r`. Callers may therefore cache one wide walk and
+    /// re-filter it exactly for any smaller radius — the SPH
+    /// smoothing-length iteration relies on this.
     pub fn neighbors_within(&self, p: Vec3, r: f64, out: &mut Vec<u32>) {
         if self.is_empty() {
             return;
@@ -427,6 +434,33 @@ mod tests {
             .collect();
         found_exact.sort_unstable();
         assert_eq!(found_exact, brute);
+    }
+
+    #[test]
+    fn neighbor_lists_shrink_to_ordered_sublists() {
+        // Pins `neighbors_within`'s caching contract: the candidate list
+        // at any radius r' <= r is an order-preserving sublist of the
+        // list at r, so one wide walk can be cached and re-filtered
+        // exactly for smaller radii.
+        let (pos, mass) = grid(6);
+        let h: Vec<f64> = (0..pos.len())
+            .map(|i| 0.3 + 0.05 * (i % 5) as f64)
+            .collect();
+        let tree = Tree::build_with_h(&pos, &mass, Some(&h), 4);
+        let center = Vec3::new(2.3, 2.7, 3.1);
+        let mut wide = Vec::new();
+        tree.neighbors_within(center, 2.6, &mut wide);
+        for r in [2.6, 2.0, 1.3, 0.6, 0.1] {
+            let mut narrow = Vec::new();
+            tree.neighbors_within(center, r, &mut narrow);
+            let mut it = wide.iter();
+            for s in &narrow {
+                assert!(
+                    it.any(|w| w == s),
+                    "candidate {s} at r={r} missing from (or reordered in) the wide list"
+                );
+            }
+        }
     }
 
     #[test]

@@ -1,4 +1,29 @@
 //! The inner interaction kernels.
+//!
+//! Two generations live here. The AoS kernels ([`accumulate_f64`],
+//! [`accumulate_mixed`]) are the original unrolled forms, retained as the
+//! equivalence references and the convenience API for small callers. The
+//! SoA kernels ([`accumulate_f64_soa`], [`accumulate_mixed_staged`]) take
+//! struct-of-arrays j-side inputs staged by the caller (the solver's
+//! per-worker `GroupScratch`), which turns the per-lane coordinate loads
+//! into contiguous packed loads, and on x86-64 they dispatch at runtime to
+//! an AVX2 body (one 256-bit vector per 4 × f64 / 8 × f32 lane block) —
+//! the portable fallback is the same loop in explicit-unrolled form. The
+//! AoS `Vec3` layout forces stride-3 gathers that never vectorize, which
+//! is why the SoA staging exists at all.
+//!
+//! # Determinism
+//!
+//! Every kernel uses a fixed lane count (4 × f64, 8 × f32), a remainder
+//! loop that folds into lane 0, and a fixed final lane-sum order, so
+//! results are bit-reproducible across machines and thread counts, and
+//! `accumulate_f64_soa` is *bitwise identical* to `accumulate_f64` on the
+//! same interaction list. The AVX2 bodies use only exactly-rounded IEEE
+//! operations (add/sub/mul/div/sqrt/compare-select — never FMA, which
+//! contracts the rounding step) with the identical association order, so
+//! the dispatched and portable paths are bitwise identical too: which CPU
+//! ran the kernel can never leak into a snapshot. See `## Kernel
+//! determinism` in ROADMAP.md.
 
 use fdps::Vec3;
 
@@ -79,29 +104,140 @@ pub fn accumulate_f64(
     }
 }
 
-/// Mixed-precision kernel (paper §4.3): coordinates are re-expressed
-/// relative to `origin` (the representative point of the receiving group),
-/// narrowed to `f32`, and the interaction loop runs in single precision.
-/// The relative accuracy of the *interaction* is single precision while
-/// absolute positions keep their double-precision resolution.
-pub fn accumulate_mixed(
-    origin: Vec3,
+/// Double-precision kernel over struct-of-arrays j-side inputs.
+///
+/// Semantics and determinism contract are identical to
+/// [`accumulate_f64`] — same 4-lane structure, same remainder handling,
+/// same `lane0+lane1+lane2+lane3` reduction — so the two produce bitwise
+/// equal results. On x86-64 with AVX2 the 4-lane block runs as one
+/// 256-bit vector (`vsqrtpd`/`vdivpd` over 4 interactions at once);
+/// elsewhere the explicit-unrolled portable body runs. Both paths are
+/// bitwise identical (exactly-rounded ops, same association order).
+pub fn accumulate_f64_soa(
     ipos: &[Vec3],
-    jpos: &[Vec3],
+    jx: &[f64],
+    jy: &[f64],
+    jz: &[f64],
     jmass: &[f64],
     eps2: f64,
     out: &mut [GravityAccum],
 ) {
     debug_assert_eq!(ipos.len(), out.len());
-    debug_assert_eq!(jpos.len(), jmass.len());
-    // Narrow once per launch: SoA f32 relative coordinates.
-    let jx: Vec<f32> = jpos.iter().map(|p| (p.x - origin.x) as f32).collect();
-    let jy: Vec<f32> = jpos.iter().map(|p| (p.y - origin.y) as f32).collect();
-    let jz: Vec<f32> = jpos.iter().map(|p| (p.z - origin.z) as f32).collect();
-    let jm: Vec<f32> = jmass.iter().map(|&m| m as f32).collect();
-    let e2 = eps2 as f32;
+    debug_assert_eq!(jx.len(), jmass.len());
+    debug_assert_eq!(jy.len(), jmass.len());
+    debug_assert_eq!(jz.len(), jmass.len());
+    #[cfg(target_arch = "x86_64")]
+    if std::arch::is_x86_feature_detected!("avx2") {
+        // SAFETY: feature presence just checked; slice lengths validated.
+        unsafe { avx2::accumulate_f64_soa(ipos, jx, jy, jz, jmass, eps2, out) };
+        return;
+    }
+    accumulate_f64_soa_portable(ipos, jx, jy, jz, jmass, eps2, out);
+}
 
-    let n_j = jx.len();
+/// Portable explicit-unrolled body of [`accumulate_f64_soa`]; public so
+/// the equivalence tests can pin the dispatched path against it.
+pub fn accumulate_f64_soa_portable(
+    ipos: &[Vec3],
+    jx: &[f64],
+    jy: &[f64],
+    jz: &[f64],
+    jmass: &[f64],
+    eps2: f64,
+    out: &mut [GravityAccum],
+) {
+    let n_j = jmass.len();
+    for (i, &pi) in ipos.iter().enumerate() {
+        let mut ax = [0.0f64; 4];
+        let mut ay = [0.0f64; 4];
+        let mut az = [0.0f64; 4];
+        let mut ps = [0.0f64; 4];
+        let mut j = 0;
+        while j + 4 <= n_j {
+            for lane in 0..4 {
+                let dx = pi.x - jx[j + lane];
+                let dy = pi.y - jy[j + lane];
+                let dz = pi.z - jz[j + lane];
+                let r2 = dx * dx + dy * dy + dz * dz + eps2;
+                let rinv = if r2 > 0.0 { 1.0 / r2.sqrt() } else { 0.0 };
+                let mrinv = jmass[j + lane] * rinv;
+                let mr3 = mrinv * rinv * rinv;
+                ax[lane] -= mr3 * dx;
+                ay[lane] -= mr3 * dy;
+                az[lane] -= mr3 * dz;
+                ps[lane] += mrinv;
+            }
+            j += 4;
+        }
+        while j < n_j {
+            let dx = pi.x - jx[j];
+            let dy = pi.y - jy[j];
+            let dz = pi.z - jz[j];
+            let r2 = dx * dx + dy * dy + dz * dz + eps2;
+            let rinv = if r2 > 0.0 { 1.0 / r2.sqrt() } else { 0.0 };
+            let mrinv = jmass[j] * rinv;
+            let mr3 = mrinv * rinv * rinv;
+            ax[0] -= mr3 * dx;
+            ay[0] -= mr3 * dy;
+            az[0] -= mr3 * dz;
+            ps[0] += mrinv;
+            j += 1;
+        }
+        out[i].acc += Vec3::new(
+            ax[0] + ax[1] + ax[2] + ax[3],
+            ay[0] + ay[1] + ay[2] + ay[3],
+            az[0] + az[1] + az[2] + az[3],
+        );
+        out[i].pot += ps[0] + ps[1] + ps[2] + ps[3];
+    }
+}
+
+/// Mixed-precision kernel over pre-staged f32 relative SoA coordinates.
+///
+/// `jx/jy/jz` are `(p - origin) as f32`, `jm` is the narrowed mass; the
+/// caller owns the staging buffers (the solver reuses per-worker scratch,
+/// which is what makes this variant actually faster than f64 — the
+/// original [`accumulate_mixed`] allocated four fresh `Vec<f32>` per
+/// launch and paid more in allocator traffic than it saved in arithmetic).
+#[allow(clippy::too_many_arguments)]
+pub fn accumulate_mixed_staged(
+    origin: Vec3,
+    ipos: &[Vec3],
+    jx: &[f32],
+    jy: &[f32],
+    jz: &[f32],
+    jm: &[f32],
+    eps2: f64,
+    out: &mut [GravityAccum],
+) {
+    debug_assert_eq!(ipos.len(), out.len());
+    debug_assert_eq!(jx.len(), jm.len());
+    debug_assert_eq!(jy.len(), jm.len());
+    debug_assert_eq!(jz.len(), jm.len());
+    #[cfg(target_arch = "x86_64")]
+    if std::arch::is_x86_feature_detected!("avx2") {
+        // SAFETY: feature presence just checked; slice lengths validated.
+        unsafe { avx2::accumulate_mixed_staged(origin, ipos, jx, jy, jz, jm, eps2, out) };
+        return;
+    }
+    accumulate_mixed_staged_portable(origin, ipos, jx, jy, jz, jm, eps2, out);
+}
+
+/// Portable explicit-unrolled body of [`accumulate_mixed_staged`]; public
+/// so the equivalence tests can pin the dispatched path against it.
+#[allow(clippy::too_many_arguments)]
+pub fn accumulate_mixed_staged_portable(
+    origin: Vec3,
+    ipos: &[Vec3],
+    jx: &[f32],
+    jy: &[f32],
+    jz: &[f32],
+    jm: &[f32],
+    eps2: f64,
+    out: &mut [GravityAccum],
+) {
+    let e2 = eps2 as f32;
+    let n_j = jm.len();
     for (i, &pi) in ipos.iter().enumerate() {
         let xi = (pi.x - origin.x) as f32;
         let yi = (pi.y - origin.y) as f32;
@@ -147,6 +283,207 @@ pub fn accumulate_mixed(
         };
         out[i].acc += Vec3::new(sum8(ax), sum8(ay), sum8(az));
         out[i].pot += sum8(ps);
+    }
+}
+
+/// Mixed-precision kernel (paper §4.3): coordinates are re-expressed
+/// relative to `origin` (the representative point of the receiving group),
+/// narrowed to `f32`, and the interaction loop runs in single precision.
+/// The relative accuracy of the *interaction* is single precision while
+/// absolute positions keep their double-precision resolution.
+///
+/// Convenience wrapper over [`accumulate_mixed_staged`] that allocates
+/// the staging arrays per launch; hot callers stage into reused scratch
+/// and call the staged kernel directly.
+pub fn accumulate_mixed(
+    origin: Vec3,
+    ipos: &[Vec3],
+    jpos: &[Vec3],
+    jmass: &[f64],
+    eps2: f64,
+    out: &mut [GravityAccum],
+) {
+    debug_assert_eq!(jpos.len(), jmass.len());
+    // Narrow once per launch: SoA f32 relative coordinates.
+    let jx: Vec<f32> = jpos.iter().map(|p| (p.x - origin.x) as f32).collect();
+    let jy: Vec<f32> = jpos.iter().map(|p| (p.y - origin.y) as f32).collect();
+    let jz: Vec<f32> = jpos.iter().map(|p| (p.z - origin.z) as f32).collect();
+    let jm: Vec<f32> = jmass.iter().map(|&m| m as f32).collect();
+    accumulate_mixed_staged(origin, ipos, &jx, &jy, &jz, &jm, eps2, out);
+}
+
+/// AVX2 bodies of the SoA kernels. One 256-bit vector carries the whole
+/// fixed lane block (4 × f64 / 8 × f32), so the lane-wise arithmetic of
+/// the portable forms maps 1:1 onto packed ops with the *same* per-lane
+/// values; the accumulator vector is then spilled to an array and the
+/// remainder loop + final reduction run in exactly the portable order.
+/// Only exactly-rounded instructions are used — `vaddp*`, `vsubp*`,
+/// `vmulp*`, `vdivp*`, `vsqrtp*`, compare+mask — never FMA, so every
+/// intermediate rounds exactly like the scalar expression and the results
+/// are bitwise identical to the portable path.
+#[cfg(target_arch = "x86_64")]
+mod avx2 {
+    use super::GravityAccum;
+    use fdps::Vec3;
+    use std::arch::x86_64::*;
+
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn accumulate_f64_soa(
+        ipos: &[Vec3],
+        jx: &[f64],
+        jy: &[f64],
+        jz: &[f64],
+        jmass: &[f64],
+        eps2: f64,
+        out: &mut [GravityAccum],
+    ) {
+        let n_j = jmass.len();
+        let e2v = _mm256_set1_pd(eps2);
+        let zero = _mm256_setzero_pd();
+        let one = _mm256_set1_pd(1.0);
+        for (i, &pi) in ipos.iter().enumerate() {
+            let pix = _mm256_set1_pd(pi.x);
+            let piy = _mm256_set1_pd(pi.y);
+            let piz = _mm256_set1_pd(pi.z);
+            let mut axv = zero;
+            let mut ayv = zero;
+            let mut azv = zero;
+            let mut psv = zero;
+            let mut j = 0;
+            while j + 4 <= n_j {
+                let dx = _mm256_sub_pd(pix, _mm256_loadu_pd(jx.as_ptr().add(j)));
+                let dy = _mm256_sub_pd(piy, _mm256_loadu_pd(jy.as_ptr().add(j)));
+                let dz = _mm256_sub_pd(piz, _mm256_loadu_pd(jz.as_ptr().add(j)));
+                // ((dx*dx + dy*dy) + dz*dz) + eps2 — the scalar association.
+                let r2 = _mm256_add_pd(
+                    _mm256_add_pd(
+                        _mm256_add_pd(_mm256_mul_pd(dx, dx), _mm256_mul_pd(dy, dy)),
+                        _mm256_mul_pd(dz, dz),
+                    ),
+                    e2v,
+                );
+                // rinv = r2 > 0 ? 1/sqrt(r2) : 0. The masked-off lane
+                // computes 1/sqrt(0) = +inf, then the AND clears it — no
+                // trap, no NaN escapes.
+                let mask = _mm256_cmp_pd::<_CMP_GT_OQ>(r2, zero);
+                let rinv = _mm256_and_pd(_mm256_div_pd(one, _mm256_sqrt_pd(r2)), mask);
+                let mrinv = _mm256_mul_pd(_mm256_loadu_pd(jmass.as_ptr().add(j)), rinv);
+                let mr3 = _mm256_mul_pd(_mm256_mul_pd(mrinv, rinv), rinv);
+                axv = _mm256_sub_pd(axv, _mm256_mul_pd(mr3, dx));
+                ayv = _mm256_sub_pd(ayv, _mm256_mul_pd(mr3, dy));
+                azv = _mm256_sub_pd(azv, _mm256_mul_pd(mr3, dz));
+                psv = _mm256_add_pd(psv, mrinv);
+                j += 4;
+            }
+            let mut ax = [0.0f64; 4];
+            let mut ay = [0.0f64; 4];
+            let mut az = [0.0f64; 4];
+            let mut ps = [0.0f64; 4];
+            _mm256_storeu_pd(ax.as_mut_ptr(), axv);
+            _mm256_storeu_pd(ay.as_mut_ptr(), ayv);
+            _mm256_storeu_pd(az.as_mut_ptr(), azv);
+            _mm256_storeu_pd(ps.as_mut_ptr(), psv);
+            while j < n_j {
+                let dx = pi.x - jx[j];
+                let dy = pi.y - jy[j];
+                let dz = pi.z - jz[j];
+                let r2 = dx * dx + dy * dy + dz * dz + eps2;
+                let rinv = if r2 > 0.0 { 1.0 / r2.sqrt() } else { 0.0 };
+                let mrinv = jmass[j] * rinv;
+                let mr3 = mrinv * rinv * rinv;
+                ax[0] -= mr3 * dx;
+                ay[0] -= mr3 * dy;
+                az[0] -= mr3 * dz;
+                ps[0] += mrinv;
+                j += 1;
+            }
+            out[i].acc += Vec3::new(
+                ax[0] + ax[1] + ax[2] + ax[3],
+                ay[0] + ay[1] + ay[2] + ay[3],
+                az[0] + az[1] + az[2] + az[3],
+            );
+            out[i].pot += ps[0] + ps[1] + ps[2] + ps[3];
+        }
+    }
+
+    #[target_feature(enable = "avx2")]
+    #[allow(clippy::too_many_arguments)]
+    pub unsafe fn accumulate_mixed_staged(
+        origin: Vec3,
+        ipos: &[Vec3],
+        jx: &[f32],
+        jy: &[f32],
+        jz: &[f32],
+        jm: &[f32],
+        eps2: f64,
+        out: &mut [GravityAccum],
+    ) {
+        let e2 = eps2 as f32;
+        let n_j = jm.len();
+        let e2v = _mm256_set1_ps(e2);
+        let zero = _mm256_setzero_ps();
+        let one = _mm256_set1_ps(1.0);
+        for (i, &pi) in ipos.iter().enumerate() {
+            let xi = (pi.x - origin.x) as f32;
+            let yi = (pi.y - origin.y) as f32;
+            let zi = (pi.z - origin.z) as f32;
+            let xiv = _mm256_set1_ps(xi);
+            let yiv = _mm256_set1_ps(yi);
+            let ziv = _mm256_set1_ps(zi);
+            let mut axv = zero;
+            let mut ayv = zero;
+            let mut azv = zero;
+            let mut psv = zero;
+            let mut j = 0;
+            while j + 8 <= n_j {
+                let dx = _mm256_sub_ps(xiv, _mm256_loadu_ps(jx.as_ptr().add(j)));
+                let dy = _mm256_sub_ps(yiv, _mm256_loadu_ps(jy.as_ptr().add(j)));
+                let dz = _mm256_sub_ps(ziv, _mm256_loadu_ps(jz.as_ptr().add(j)));
+                let r2 = _mm256_add_ps(
+                    _mm256_add_ps(
+                        _mm256_add_ps(_mm256_mul_ps(dx, dx), _mm256_mul_ps(dy, dy)),
+                        _mm256_mul_ps(dz, dz),
+                    ),
+                    e2v,
+                );
+                let mask = _mm256_cmp_ps::<_CMP_GT_OQ>(r2, zero);
+                let rinv = _mm256_and_ps(_mm256_div_ps(one, _mm256_sqrt_ps(r2)), mask);
+                let mrinv = _mm256_mul_ps(_mm256_loadu_ps(jm.as_ptr().add(j)), rinv);
+                let mr3 = _mm256_mul_ps(_mm256_mul_ps(mrinv, rinv), rinv);
+                axv = _mm256_sub_ps(axv, _mm256_mul_ps(mr3, dx));
+                ayv = _mm256_sub_ps(ayv, _mm256_mul_ps(mr3, dy));
+                azv = _mm256_sub_ps(azv, _mm256_mul_ps(mr3, dz));
+                psv = _mm256_add_ps(psv, mrinv);
+                j += 8;
+            }
+            let mut ax = [0.0f32; 8];
+            let mut ay = [0.0f32; 8];
+            let mut az = [0.0f32; 8];
+            let mut ps = [0.0f32; 8];
+            _mm256_storeu_ps(ax.as_mut_ptr(), axv);
+            _mm256_storeu_ps(ay.as_mut_ptr(), ayv);
+            _mm256_storeu_ps(az.as_mut_ptr(), azv);
+            _mm256_storeu_ps(ps.as_mut_ptr(), psv);
+            while j < n_j {
+                let dx = xi - jx[j];
+                let dy = yi - jy[j];
+                let dz = zi - jz[j];
+                let r2 = dx * dx + dy * dy + dz * dz + e2;
+                let rinv = if r2 > 0.0 { 1.0 / r2.sqrt() } else { 0.0 };
+                let mrinv = jm[j] * rinv;
+                let mr3 = mrinv * rinv * rinv;
+                ax[0] -= mr3 * dx;
+                ay[0] -= mr3 * dy;
+                az[0] -= mr3 * dz;
+                ps[0] += mrinv;
+                j += 1;
+            }
+            let sum8 = |v: [f32; 8]| -> f64 {
+                ((v[0] + v[4]) + (v[1] + v[5])) as f64 + ((v[2] + v[6]) + (v[3] + v[7])) as f64
+            };
+            out[i].acc += Vec3::new(sum8(ax), sum8(ay), sum8(az));
+            out[i].pot += sum8(ps);
+        }
     }
 }
 
@@ -250,6 +587,122 @@ mod tests {
         // ...but survives in relative coordinates.
         let rel = (a.x - far.x) as f32;
         assert!((rel - 1e-4_f32).abs() < 1e-9);
+    }
+
+    /// The SoA kernel keeps the AoS kernel's lane structure and reduction
+    /// order exactly, so on the same list it must agree to the bit.
+    #[test]
+    fn soa_kernel_matches_aos_bitwise() {
+        for &(n_i, n_j, eps2) in &[(1usize, 1usize, 0.0f64), (16, 67, 0.0), (32, 130, 1e-4)] {
+            let (jpos, jm) = cloud(n_j, 10 + n_j as u64, Vec3::new(0.3, -0.2, 0.1));
+            let (ipos, _) = cloud(n_i, 20 + n_i as u64, Vec3::ZERO);
+            let mut aos = vec![GravityAccum::default(); n_i];
+            accumulate_f64(&ipos, &jpos, &jm, eps2, &mut aos);
+            let jx: Vec<f64> = jpos.iter().map(|p| p.x).collect();
+            let jy: Vec<f64> = jpos.iter().map(|p| p.y).collect();
+            let jz: Vec<f64> = jpos.iter().map(|p| p.z).collect();
+            let mut soa = vec![GravityAccum::default(); n_i];
+            accumulate_f64_soa(&ipos, &jx, &jy, &jz, &jm, eps2, &mut soa);
+            for (i, (a, s)) in aos.iter().zip(&soa).enumerate() {
+                assert!(
+                    a.acc.x.to_bits() == s.acc.x.to_bits()
+                        && a.acc.y.to_bits() == s.acc.y.to_bits()
+                        && a.acc.z.to_bits() == s.acc.z.to_bits()
+                        && a.pot.to_bits() == s.pot.to_bits(),
+                    "i={i} ({n_i}x{n_j}): {a:?} vs {s:?}"
+                );
+            }
+        }
+    }
+
+    /// Staged mixed kernel == allocating wrapper, bitwise (same math, the
+    /// wrapper just owns the staging buffers).
+    #[test]
+    fn staged_mixed_matches_wrapper_bitwise() {
+        let far = Vec3::new(1.0e4, -3.0e4, 2.0e4);
+        let (jpos, jm) = cloud(100, 6, far);
+        let (ipos, _) = cloud(10, 7, far);
+        let mut a = vec![GravityAccum::default(); ipos.len()];
+        accumulate_mixed(far, &ipos, &jpos, &jm, 1e-4, &mut a);
+        let jx: Vec<f32> = jpos.iter().map(|p| (p.x - far.x) as f32).collect();
+        let jy: Vec<f32> = jpos.iter().map(|p| (p.y - far.y) as f32).collect();
+        let jz: Vec<f32> = jpos.iter().map(|p| (p.z - far.z) as f32).collect();
+        let jmf: Vec<f32> = jm.iter().map(|&m| m as f32).collect();
+        let mut b = vec![GravityAccum::default(); ipos.len()];
+        accumulate_mixed_staged(far, &ipos, &jx, &jy, &jz, &jmf, 1e-4, &mut b);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.acc.x.to_bits(), y.acc.x.to_bits());
+            assert_eq!(x.pot.to_bits(), y.pot.to_bits());
+        }
+    }
+
+    /// The runtime-dispatched SoA kernels (AVX2 where detected) must match
+    /// the portable explicit-unrolled bodies to the bit: which CPU ran the
+    /// kernel must never leak into results. Odd lengths exercise both the
+    /// packed block and the lane-0 remainder.
+    #[test]
+    fn dispatched_kernels_match_portable_bitwise() {
+        for &(n_i, n_j) in &[(1usize, 3usize), (7, 61), (16, 256), (5, 1029)] {
+            let (jpos, jm) = cloud(n_j, 40 + n_j as u64, Vec3::new(0.5, 0.1, -0.4));
+            let (ipos, _) = cloud(n_i, 50 + n_i as u64, Vec3::ZERO);
+            let jx: Vec<f64> = jpos.iter().map(|p| p.x).collect();
+            let jy: Vec<f64> = jpos.iter().map(|p| p.y).collect();
+            let jz: Vec<f64> = jpos.iter().map(|p| p.z).collect();
+            let mut disp = vec![GravityAccum::default(); n_i];
+            accumulate_f64_soa(&ipos, &jx, &jy, &jz, &jm, 1e-4, &mut disp);
+            let mut port = vec![GravityAccum::default(); n_i];
+            accumulate_f64_soa_portable(&ipos, &jx, &jy, &jz, &jm, 1e-4, &mut port);
+            for (d, p) in disp.iter().zip(&port) {
+                assert_eq!(d.acc.x.to_bits(), p.acc.x.to_bits());
+                assert_eq!(d.acc.y.to_bits(), p.acc.y.to_bits());
+                assert_eq!(d.acc.z.to_bits(), p.acc.z.to_bits());
+                assert_eq!(d.pot.to_bits(), p.pot.to_bits());
+            }
+            let jx32: Vec<f32> = jpos.iter().map(|p| p.x as f32).collect();
+            let jy32: Vec<f32> = jpos.iter().map(|p| p.y as f32).collect();
+            let jz32: Vec<f32> = jpos.iter().map(|p| p.z as f32).collect();
+            let jm32: Vec<f32> = jm.iter().map(|&m| m as f32).collect();
+            let mut disp = vec![GravityAccum::default(); n_i];
+            accumulate_mixed_staged(
+                Vec3::ZERO,
+                &ipos,
+                &jx32,
+                &jy32,
+                &jz32,
+                &jm32,
+                1e-4,
+                &mut disp,
+            );
+            let mut port = vec![GravityAccum::default(); n_i];
+            accumulate_mixed_staged_portable(
+                Vec3::ZERO,
+                &ipos,
+                &jx32,
+                &jy32,
+                &jz32,
+                &jm32,
+                1e-4,
+                &mut port,
+            );
+            for (d, p) in disp.iter().zip(&port) {
+                assert_eq!(d.acc.x.to_bits(), p.acc.x.to_bits());
+                assert_eq!(d.pot.to_bits(), p.pot.to_bits());
+            }
+        }
+    }
+
+    /// Unsoftened self-interaction stays excluded through the masked
+    /// select on the dispatched (possibly AVX2) path too.
+    #[test]
+    fn dispatched_soa_skips_unsoftened_self_interaction() {
+        let p = [Vec3::new(1.0, 2.0, 3.0); 4];
+        let jx = [1.0; 4];
+        let jy = [2.0; 4];
+        let jz = [3.0; 4];
+        let jm = [5.0; 4];
+        let mut out = [GravityAccum::default()];
+        accumulate_f64_soa(&p[..1], &jx, &jy, &jz, &jm, 0.0, &mut out);
+        assert_eq!(out[0], GravityAccum::default());
     }
 
     #[test]

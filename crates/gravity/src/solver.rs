@@ -8,19 +8,33 @@
 //! [`GravitySolver::evaluate_into`] lets callers own the result arrays too,
 //! so a simulation's steady-state force evaluation does not grow the heap.
 
-use crate::kernel::{accumulate_f64, accumulate_mixed, GravityAccum};
+use crate::kernel::{accumulate_f64_soa, accumulate_mixed_staged, GravityAccum};
 use fdps::walk::{InteractionList, WalkIndex, WalkScratch};
 use fdps::{Tree, Vec3};
 use rayon::prelude::*;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Per-worker scratch reused across all groups a rayon worker processes.
+///
+/// The j-side is staged as struct-of-arrays (`jx/jy/jz/jmass`, or the f32
+/// relative-coordinate quartet for the mixed-precision kernel) so the
+/// interaction kernels read contiguous per-axis streams — the layout the
+/// SIMD lanes need. Staging order is always EP entries then SP monopoles,
+/// which fixes the kernel's reduction order and keeps results
+/// bit-reproducible.
 #[derive(Default)]
 struct GroupScratch {
     walk: WalkScratch,
     list: InteractionList,
-    jpos: Vec<Vec3>,
+    jx: Vec<f64>,
+    jy: Vec<f64>,
+    jz: Vec<f64>,
     jmass: Vec<f64>,
+    // f32 relative-coordinate staging for the mixed-precision kernel.
+    jx32: Vec<f32>,
+    jy32: Vec<f32>,
+    jz32: Vec<f32>,
+    jm32: Vec<f32>,
     ipos: Vec<Vec3>,
 }
 
@@ -196,28 +210,73 @@ impl GravitySolver {
                 ipos.clear();
                 ipos.extend(targets.iter().map(|&i| pos[i as usize]));
 
-                let jpos = &mut scratch.jpos;
-                let jmass = &mut scratch.jmass;
-                jpos.clear();
-                jmass.clear();
-                jpos.reserve(list.len());
-                jmass.reserve(list.len());
-                for &j in &list.ep {
-                    jpos.push(pos[j as usize]);
-                    jmass.push(mass[j as usize]);
-                }
-                for s in &list.sp {
-                    jpos.push(s.pos);
-                    jmass.push(s.mass);
-                }
-                interactions.fetch_add((ipos.len() * jpos.len()) as u64, Ordering::Relaxed);
+                let n_j = list.len();
+                interactions.fetch_add((ipos.len() * n_j) as u64, Ordering::Relaxed);
 
                 let mut accum = vec![GravityAccum::default(); ipos.len()];
                 if self.mixed_precision {
+                    // Narrow straight from the list into reused f32 SoA
+                    // scratch — no intermediate f64 copy and no per-group
+                    // allocation (the old allocating path made "mixed"
+                    // slower than f64).
                     let origin = node.bbox.center();
-                    accumulate_mixed(origin, ipos, jpos, jmass, eps2, &mut accum);
+                    let (jx, jy, jz, jm) = (
+                        &mut scratch.jx32,
+                        &mut scratch.jy32,
+                        &mut scratch.jz32,
+                        &mut scratch.jm32,
+                    );
+                    jx.clear();
+                    jy.clear();
+                    jz.clear();
+                    jm.clear();
+                    jx.reserve(n_j);
+                    jy.reserve(n_j);
+                    jz.reserve(n_j);
+                    jm.reserve(n_j);
+                    for &j in &list.ep {
+                        let p = pos[j as usize];
+                        jx.push((p.x - origin.x) as f32);
+                        jy.push((p.y - origin.y) as f32);
+                        jz.push((p.z - origin.z) as f32);
+                        jm.push(mass[j as usize] as f32);
+                    }
+                    for s in &list.sp {
+                        jx.push((s.pos.x - origin.x) as f32);
+                        jy.push((s.pos.y - origin.y) as f32);
+                        jz.push((s.pos.z - origin.z) as f32);
+                        jm.push(s.mass as f32);
+                    }
+                    accumulate_mixed_staged(origin, ipos, jx, jy, jz, jm, eps2, &mut accum);
                 } else {
-                    accumulate_f64(ipos, jpos, jmass, eps2, &mut accum);
+                    let (jx, jy, jz, jm) = (
+                        &mut scratch.jx,
+                        &mut scratch.jy,
+                        &mut scratch.jz,
+                        &mut scratch.jmass,
+                    );
+                    jx.clear();
+                    jy.clear();
+                    jz.clear();
+                    jm.clear();
+                    jx.reserve(n_j);
+                    jy.reserve(n_j);
+                    jz.reserve(n_j);
+                    jm.reserve(n_j);
+                    for &j in &list.ep {
+                        let p = pos[j as usize];
+                        jx.push(p.x);
+                        jy.push(p.y);
+                        jz.push(p.z);
+                        jm.push(mass[j as usize]);
+                    }
+                    for s in &list.sp {
+                        jx.push(s.pos.x);
+                        jy.push(s.pos.y);
+                        jz.push(s.pos.z);
+                        jm.push(s.mass);
+                    }
+                    accumulate_f64_soa(ipos, jx, jy, jz, jm, eps2, &mut accum);
                 }
                 // Remove the softened self-interaction: zero force but a
                 // spurious self-potential m_i/eps.

@@ -3,6 +3,22 @@
 //! calculation, and they are repeated until the results converge. The
 //! iterations are usually twice, if we can set the initial guess of the
 //! kernel size properly.").
+//!
+//! # Shared interaction lists across the h-iteration
+//!
+//! The iteration no longer walks the tree once per trial `h`. The first
+//! walk's candidate list — indices, distances and masses — is cached in a
+//! per-worker [`NeighborCache`] and later iterations *re-filter* it by the
+//! updated support radius. This is exact because positions are fixed
+//! during the iteration and [`fdps::Tree::neighbors_within`]'s pruning
+//! bound `max(r, h_max)` is monotone in the query radius: the candidate
+//! list at any radius `r' <= r` is an order-preserving sublist of the list
+//! at `r` (pinned by a test in `fdps`), and the gather filter
+//! `r_j < support * h` is applied exactly on the superset. Only when `h`
+//! grows past the cached radius does the iteration fall back to a fresh
+//! walk — padded by [`NeighborCache::REWALK_MARGIN`] so further modest
+//! growth re-filters again. [`DensityResult::walks`] over
+//! [`DensityResult::iterations`] is the gated `h_iter_walk_ratio` metric.
 
 use crate::kernel::SphKernel;
 use fdps::{Tree, Vec3};
@@ -15,6 +31,10 @@ pub struct DensityResult {
     pub h: f64,
     /// Number of neighbours inside the support radius.
     pub n_ngb: usize,
+    /// Smoothing-length iterations taken.
+    pub iterations: u32,
+    /// Tree walks issued — `<= iterations` thanks to the candidate cache.
+    pub walks: u32,
 }
 
 /// Parameters of the smoothing-length iteration.
@@ -39,11 +59,146 @@ impl Default for DensityConfig {
     }
 }
 
+/// Per-worker candidate cache shared across one particle's h-iteration
+/// (see the module docs): indices, distances and masses from the last
+/// tree walk, valid for any query radius up to `radius`. Cleared in place
+/// between particles, so steady-state passes reuse its capacity.
+#[derive(Debug, Clone, Default)]
+pub struct NeighborCache {
+    /// Candidate indices of the cached walk.
+    idx: Vec<u32>,
+    /// `|x_i - x_j|` per candidate — positions are fixed during the
+    /// iteration, so distances are computed once per walk, not per trial h.
+    r: Vec<f64>,
+    /// Source mass per candidate.
+    m: Vec<f64>,
+    /// Kernel-value scratch for the batched `W` evaluation.
+    w: Vec<f64>,
+    /// Query radius the cached walk covers.
+    radius: f64,
+}
+
+impl NeighborCache {
+    /// Padding applied to the search radius of a *re*-walk (one forced by
+    /// `h` outgrowing the cache): once the iteration is known to be live,
+    /// walking slightly wide lets further growth up to this factor
+    /// re-filter instead of walking again. The first walk is unpadded so
+    /// the common converged-in-one case costs exactly what it used to.
+    pub const REWALK_MARGIN: f64 = 1.2;
+
+    /// Walk the tree at `radius` around `xi` and stage candidates.
+    fn stage(&mut self, tree: &Tree, pos: &[Vec3], mass: &[f64], xi: Vec3, radius: f64) {
+        self.idx.clear();
+        tree.neighbors_within(xi, radius, &mut self.idx);
+        self.r.clear();
+        self.m.clear();
+        for &j in &self.idx {
+            let j = j as usize;
+            self.r.push((xi - pos[j]).norm());
+            self.m.push(mass[j]);
+        }
+        self.radius = radius;
+    }
+
+    /// Sum `rho = sum m_j W(r_j, h)` and count neighbours over the cached
+    /// candidates with the exact gather filter `r_j < rad`. `W` is
+    /// evaluated through the kernel's batch method; the masked
+    /// accumulation runs over 4 independent lanes reduced in a fixed
+    /// order — deterministic for a given candidate order.
+    fn sum_density(&mut self, kernel: &dyn SphKernel, h: f64, rad: f64) -> (f64, usize) {
+        const L: usize = 4;
+        let n = self.r.len();
+        self.w.clear();
+        self.w.resize(n, 0.0);
+        kernel.w_batch(&self.r, h, &mut self.w);
+        let mut rho_l = [0.0f64; L];
+        let mut n_ngb = 0usize;
+        let chunks = n / L;
+        for c in 0..chunks {
+            let base = c * L;
+            for (l, acc) in rho_l.iter_mut().enumerate() {
+                let j = base + l;
+                let in_range = self.r[j] < rad;
+                *acc += if in_range { self.m[j] * self.w[j] } else { 0.0 };
+                n_ngb += in_range as usize;
+            }
+        }
+        for j in chunks * L..n {
+            let in_range = self.r[j] < rad;
+            rho_l[0] += if in_range { self.m[j] * self.w[j] } else { 0.0 };
+            n_ngb += in_range as usize;
+        }
+        ((rho_l[0] + rho_l[1]) + (rho_l[2] + rho_l[3]), n_ngb)
+    }
+}
+
 /// Iterate the smoothing length of particle `i` and sum its density.
 /// `tree` must be built with per-particle search radii (`build_with_h`) over
-/// the same `pos`; `h0` is the initial guess.
+/// the same `pos`; `h0` is the initial guess. The candidate list of the
+/// first walk is cached in `cache` and re-filtered for later trial `h`
+/// values (see the module docs) — `h`, `n_ngb` and the iteration
+/// trajectory are exactly those of [`density_one_reference`]; `rho`
+/// agrees to lane-reassociation rounding (`~1e-15` relative).
 #[allow(clippy::too_many_arguments)]
 pub fn density_one(
+    kernel: &dyn SphKernel,
+    cfg: &DensityConfig,
+    tree: &Tree,
+    pos: &[Vec3],
+    mass: &[f64],
+    i: usize,
+    h0: f64,
+    cache: &mut NeighborCache,
+) -> DensityResult {
+    let xi = pos[i];
+    let mut h = h0.max(1e-12);
+    let support = kernel.support();
+    let mut result;
+    let mut iterations = 0u32;
+    let mut walks = 0u32;
+    loop {
+        let rad = support * h;
+        if walks == 0 || rad > cache.radius {
+            let target = if iterations == 0 {
+                rad
+            } else {
+                rad * NeighborCache::REWALK_MARGIN
+            };
+            cache.stage(tree, pos, mass, xi, target);
+            walks += 1;
+        }
+        let (rho, n_ngb) = cache.sum_density(kernel, h, rad);
+        iterations += 1;
+        result = DensityResult {
+            rho,
+            h,
+            n_ngb,
+            iterations,
+            walks,
+        };
+        let err = (n_ngb as f64 - cfg.n_ngb_target as f64).abs() / cfg.n_ngb_target as f64;
+        if err <= cfg.tolerance || iterations >= cfg.max_iter as u32 {
+            break;
+        }
+        // Neighbour count scales with h^3: correct h geometrically, clamped
+        // to avoid oscillation around sparse regions.
+        let ratio = if n_ngb == 0 {
+            2.0
+        } else {
+            (cfg.n_ngb_target as f64 / n_ngb as f64)
+                .powf(1.0 / 3.0)
+                .clamp(0.5, 2.0)
+        };
+        h *= ratio;
+    }
+    result
+}
+
+/// The scalar pre-cache reference: one tree walk and one scalar gather per
+/// trial `h`. Retained as the equivalence baseline for [`density_one`]
+/// (property tests) and the `h_iter_walk_ratio` bench denominator.
+#[allow(clippy::too_many_arguments)]
+pub fn density_one_reference(
     kernel: &dyn SphKernel,
     cfg: &DensityConfig,
     tree: &Tree,
@@ -57,7 +212,7 @@ pub fn density_one(
     let mut h = h0.max(1e-12);
     let support = kernel.support();
     let mut result;
-    let mut iterations = 0;
+    let mut iterations = 0u32;
     loop {
         scratch.clear();
         tree.neighbors_within(xi, support * h, scratch);
@@ -71,10 +226,16 @@ pub fn density_one(
                 n_ngb += 1;
             }
         }
-        result = DensityResult { rho, h, n_ngb };
         iterations += 1;
+        result = DensityResult {
+            rho,
+            h,
+            n_ngb,
+            iterations,
+            walks: iterations,
+        };
         let err = (n_ngb as f64 - cfg.n_ngb_target as f64).abs() / cfg.n_ngb_target as f64;
-        if err <= cfg.tolerance || iterations >= cfg.max_iter {
+        if err <= cfg.tolerance || iterations >= cfg.max_iter as u32 {
             break;
         }
         // Neighbour count scales with h^3: correct h geometrically, clamped
@@ -147,8 +308,8 @@ pub fn compute_density_on_tree(
 ) -> Vec<DensityResult> {
     let results: Vec<DensityResult> = targets
         .par_iter()
-        .map_init(Vec::new, |scratch, &i| {
-            density_one(kernel, cfg, tree, pos, mass, i, h[i], scratch)
+        .map_init(NeighborCache::default, |cache, &i| {
+            density_one(kernel, cfg, tree, pos, mass, i, h[i], cache)
         })
         .collect();
     for (&i, r) in targets.iter().zip(&results) {
@@ -268,6 +429,79 @@ mod tests {
         // larger h and a finite density.
         assert!(h[0] > 0.1);
         assert!(r[0].rho >= 0.0);
+    }
+
+    #[test]
+    fn cached_iteration_matches_reference_and_saves_walks() {
+        // The cached h-iteration must reproduce the walk-per-iteration
+        // reference exactly in its integer trajectory (h, n_ngb,
+        // iterations) and to reassociation rounding in rho — across
+        // shrinking (h too big), growing (h too small) and converged
+        // initial guesses.
+        let (pos, mass) = lattice(10, 1.0);
+        let radii: Vec<f64> = pos.iter().map(|_| 2.0 * 1.3).collect();
+        let tree = Tree::build_with_h(&pos, &mass, Some(&radii), 16);
+        let cfg = DensityConfig {
+            n_ngb_target: 56,
+            tolerance: 0.05,
+            max_iter: 12,
+        };
+        let mut cache = NeighborCache::default();
+        let mut scratch = Vec::new();
+        let mut saved_walks = false;
+        for i in 0..pos.len() {
+            for h0 in [0.5, 0.9, 1.3, 1.9, 2.6] {
+                let a = density_one(&CubicSpline, &cfg, &tree, &pos, &mass, i, h0, &mut cache);
+                let b = density_one_reference(
+                    &CubicSpline,
+                    &cfg,
+                    &tree,
+                    &pos,
+                    &mass,
+                    i,
+                    h0,
+                    &mut scratch,
+                );
+                assert_eq!(a.h.to_bits(), b.h.to_bits(), "h i={i} h0={h0}");
+                assert_eq!(a.n_ngb, b.n_ngb, "n_ngb i={i} h0={h0}");
+                assert_eq!(a.iterations, b.iterations, "iterations i={i} h0={h0}");
+                assert!(a.walks <= a.iterations, "walks i={i} h0={h0}");
+                let rel = (a.rho - b.rho).abs() / b.rho.abs().max(1e-300);
+                assert!(rel < 1e-12, "rho i={i} h0={h0} rel {rel}");
+                if a.iterations > 1 && a.walks < a.iterations {
+                    saved_walks = true;
+                }
+            }
+        }
+        assert!(saved_walks, "no particle ever re-filtered its cached list");
+    }
+
+    #[test]
+    fn shrinking_h_iterations_reuse_one_walk() {
+        // An overestimated h only ever shrinks, so the whole iteration
+        // must be served by the single initial walk.
+        let (pos, mass) = lattice(10, 1.0);
+        let radii = vec![2.0 * 3.0; pos.len()];
+        let tree = Tree::build_with_h(&pos, &mass, Some(&radii), 16);
+        let cfg = DensityConfig {
+            n_ngb_target: 40,
+            tolerance: 0.1,
+            max_iter: 12,
+        };
+        let center = pos.iter().position(|p| *p == Vec3::splat(4.0)).unwrap();
+        let mut cache = NeighborCache::default();
+        let r = density_one(
+            &CubicSpline,
+            &cfg,
+            &tree,
+            &pos,
+            &mass,
+            center,
+            3.0,
+            &mut cache,
+        );
+        assert!(r.iterations >= 2, "h0=3.0 must actually iterate");
+        assert_eq!(r.walks, 1, "shrinking h must never re-walk");
     }
 
     #[test]

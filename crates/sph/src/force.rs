@@ -1,5 +1,15 @@
 //! Symmetrized SPH momentum and energy equations with Monaghan artificial
 //! viscosity.
+//!
+//! Two force paths live here: [`pair_force`], the scalar per-pair
+//! reference with early-out branches, and [`force_batch`], the production
+//! kernel — one target against its whole staged candidate list
+//! ([`ForceBatch`]), with the early-outs replaced by multiplicative masks
+//! and the kernel gradients evaluated through the batch trait methods so
+//! the inner loop is branch-free and vectorizable. Both evaluate the
+//! identical per-pair arithmetic; they differ only in summation order
+//! (the batch reduces over fixed lanes), so results agree to
+//! reassociation rounding and each path is individually deterministic.
 
 use crate::kernel::SphKernel;
 use fdps::Vec3;
@@ -89,6 +99,186 @@ pub fn pair_force(
     out.acc -= grad * (pj.mass * fac);
     out.dudt += pj.mass * (pi.p_over_rho2 + 0.5 * visc_term) * dv.dot(grad);
     out.v_sig_max = out.v_sig_max.max(v_sig);
+}
+
+/// Lane count of [`force_batch`]'s accumulators. Fixed — never derived
+/// from the machine — so the reduction order, and with it every bit of
+/// the result, is identical across hosts and thread counts.
+pub const FORCE_LANES: usize = 4;
+
+/// One target's candidate list staged struct-of-arrays: separations,
+/// velocity differences and j-side scalars laid out column-wise so
+/// [`force_batch`]'s inner loop runs over contiguous lanes instead of
+/// gathering through `HydroInput` structs. Owned per rayon worker by the
+/// solver; [`ForceBatch::stage`] clears in place, keeping capacity.
+#[derive(Debug, Clone, Default)]
+pub struct ForceBatch {
+    dx: Vec<f64>,
+    dy: Vec<f64>,
+    dz: Vec<f64>,
+    dvx: Vec<f64>,
+    dvy: Vec<f64>,
+    dvz: Vec<f64>,
+    r2: Vec<f64>,
+    r: Vec<f64>,
+    hj: Vec<f64>,
+    mj: Vec<f64>,
+    rhoj: Vec<f64>,
+    p2j: Vec<f64>,
+    csj: Vec<f64>,
+    /// `dW/dr (r, h_i)` scratch.
+    dwi: Vec<f64>,
+    /// `dW/dr (r, h_j)` scratch.
+    dwj: Vec<f64>,
+}
+
+impl ForceBatch {
+    /// Stage the candidates `ngb` (indices into `inputs`) against target
+    /// `pi`. The target's own index needs no exclusion: `r2 == 0` rows
+    /// are masked to an exactly-zero contribution by [`force_batch`].
+    pub fn stage(&mut self, pi: &HydroInput, inputs: &[HydroInput], ngb: &[u32]) {
+        self.dx.clear();
+        self.dy.clear();
+        self.dz.clear();
+        self.dvx.clear();
+        self.dvy.clear();
+        self.dvz.clear();
+        self.r2.clear();
+        self.r.clear();
+        self.hj.clear();
+        self.mj.clear();
+        self.rhoj.clear();
+        self.p2j.clear();
+        self.csj.clear();
+        for &j in ngb {
+            let pj = &inputs[j as usize];
+            let d = pi.pos - pj.pos;
+            let dv = pi.vel - pj.vel;
+            let r2 = d.norm2();
+            self.dx.push(d.x);
+            self.dy.push(d.y);
+            self.dz.push(d.z);
+            self.dvx.push(dv.x);
+            self.dvy.push(dv.y);
+            self.dvz.push(dv.z);
+            self.r2.push(r2);
+            self.r.push(r2.sqrt());
+            self.hj.push(pj.h);
+            self.mj.push(pj.mass);
+            self.rhoj.push(pj.rho);
+            self.p2j.push(pj.p_over_rho2);
+            self.csj.push(pj.cs);
+        }
+    }
+
+    /// Number of staged candidates.
+    pub fn len(&self) -> usize {
+        self.r.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.r.is_empty()
+    }
+}
+
+/// Accumulate the hydro force on `pi` from every candidate staged in
+/// `batch` — the branchless batched form of [`pair_force`].
+///
+/// [`pair_force`]'s early-outs become masks: `r2 == 0` rows zero the
+/// inverse distance (so the gradient, and with it the acceleration and
+/// heating terms, vanish exactly), and the signal velocity is gated on
+/// `r2 > 0 && r < support * max(h_i, h_j)`. Out-of-support rows need no
+/// gradient mask because every kernel here has `dW/dr = 0` at and beyond
+/// its support radius — which force_batch requires of the kernel.
+/// Accumulation runs over [`FORCE_LANES`] lanes reduced in a fixed order.
+pub fn force_batch(
+    kernel: &dyn SphKernel,
+    visc: &Viscosity,
+    pi: &HydroInput,
+    batch: &mut ForceBatch,
+    out: &mut HydroAccum,
+) {
+    let n = batch.r.len();
+    batch.dwi.clear();
+    batch.dwi.resize(n, 0.0);
+    batch.dwj.clear();
+    batch.dwj.resize(n, 0.0);
+    kernel.dwdr_batch(&batch.r, pi.h, &mut batch.dwi);
+    kernel.dwdr_batch_per_h(&batch.r, &batch.hj, &mut batch.dwj);
+    let support = kernel.support();
+
+    let mut ax = [0.0f64; FORCE_LANES];
+    let mut ay = [0.0f64; FORCE_LANES];
+    let mut az = [0.0f64; FORCE_LANES];
+    let mut du = [0.0f64; FORCE_LANES];
+    let mut vs = [0.0f64; FORCE_LANES];
+
+    let body = |batch: &ForceBatch, j: usize| -> (f64, f64, f64, f64, f64) {
+        let r2 = batch.r2[j];
+        let r = batch.r[j];
+        let hj = batch.hj[j];
+        let in_range = r2 > 0.0 && r < support * pi.h.max(hj);
+        let rinv = if r2 > 0.0 { 1.0 / r } else { 0.0 };
+        let dw = 0.5 * (batch.dwi[j] + batch.dwj[j]);
+        let gf = dw * rinv;
+        let gx = batch.dx[j] * gf;
+        let gy = batch.dy[j] * gf;
+        let gz = batch.dz[j] * gf;
+        let vdotr =
+            batch.dvx[j] * batch.dx[j] + batch.dvy[j] * batch.dy[j] + batch.dvz[j] * batch.dz[j];
+        let h_mean = 0.5 * (pi.h + hj);
+        let c_mean = 0.5 * (pi.cs + batch.csj[j]);
+        let rho_mean = 0.5 * (pi.rho + batch.rhoj[j]);
+        let mu_all = h_mean * vdotr / (r2 + visc.eta2 * h_mean * h_mean);
+        let mu = if vdotr < 0.0 { mu_all } else { 0.0 };
+        let visc_term = (-visc.alpha * c_mean * mu + visc.beta * mu * mu) / rho_mean;
+        let v_sig = if in_range {
+            pi.cs + batch.csj[j] - 3.0 * mu
+        } else {
+            0.0
+        };
+        let mj = batch.mj[j];
+        let fac = pi.p_over_rho2 + batch.p2j[j] + visc_term;
+        let dudt = mj
+            * (pi.p_over_rho2 + 0.5 * visc_term)
+            * (batch.dvx[j] * gx + batch.dvy[j] * gy + batch.dvz[j] * gz);
+        (
+            -(gx * (mj * fac)),
+            -(gy * (mj * fac)),
+            -(gz * (mj * fac)),
+            dudt,
+            v_sig,
+        )
+    };
+
+    let chunks = n / FORCE_LANES;
+    for c in 0..chunks {
+        let base = c * FORCE_LANES;
+        for l in 0..FORCE_LANES {
+            let (x, y, z, d, v) = body(batch, base + l);
+            ax[l] += x;
+            ay[l] += y;
+            az[l] += z;
+            du[l] += d;
+            vs[l] = vs[l].max(v);
+        }
+    }
+    for j in chunks * FORCE_LANES..n {
+        let (x, y, z, d, v) = body(batch, j);
+        ax[0] += x;
+        ay[0] += y;
+        az[0] += z;
+        du[0] += d;
+        vs[0] = vs[0].max(v);
+    }
+
+    out.acc += Vec3::new(
+        (ax[0] + ax[1]) + (ax[2] + ax[3]),
+        (ay[0] + ay[1]) + (ay[2] + ay[3]),
+        (az[0] + az[1]) + (az[2] + az[3]),
+    );
+    out.dudt += (du[0] + du[1]) + (du[2] + du[3]);
+    out.v_sig_max = out.v_sig_max.max(vs[0].max(vs[1]).max(vs[2].max(vs[3])));
 }
 
 #[cfg(test)]
@@ -184,6 +374,109 @@ mod tests {
         let mut out = HydroAccum::default();
         pair_force(&CubicSpline, &Viscosity::default(), &a, &a, &mut out);
         assert_eq!(out, HydroAccum::default());
+    }
+
+    #[test]
+    fn force_batch_matches_pair_force_loop() {
+        // The branchless batched kernel against the scalar reference, over
+        // a candidate list that exercises every masked early-out: the
+        // target itself (r2 == 0), out-of-support rows, approaching and
+        // receding pairs, asymmetric smoothing lengths.
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(1234);
+        let n = 57;
+        let inputs: Vec<HydroInput> = (0..n)
+            .map(|_| {
+                let eos = GammaLawEos::default();
+                let rho = rng.gen_range(0.5..2.0);
+                let u = rng.gen_range(0.2..3.0);
+                HydroInput {
+                    pos: Vec3::new(
+                        rng.gen_range(-2.0..2.0),
+                        rng.gen_range(-2.0..2.0),
+                        rng.gen_range(-2.0..2.0),
+                    ),
+                    vel: Vec3::new(
+                        rng.gen_range(-1.0..1.0),
+                        rng.gen_range(-1.0..1.0),
+                        rng.gen_range(-1.0..1.0),
+                    ),
+                    mass: rng.gen_range(0.5..1.5),
+                    h: rng.gen_range(0.4..1.6),
+                    rho,
+                    p_over_rho2: eos.p_over_rho2(rho, u),
+                    cs: eos.sound_speed(u),
+                }
+            })
+            .collect();
+        let visc = Viscosity::default();
+        let ngb: Vec<u32> = (0..n as u32).collect();
+        let mut batch = ForceBatch::default();
+        for i in 0..n {
+            let mut reference = HydroAccum::default();
+            for j in 0..n {
+                if j == i {
+                    continue;
+                }
+                pair_force(&CubicSpline, &visc, &inputs[i], &inputs[j], &mut reference);
+            }
+            batch.stage(&inputs[i], &inputs, &ngb);
+            assert_eq!(batch.len(), n);
+            let mut batched = HydroAccum::default();
+            force_batch(&CubicSpline, &visc, &inputs[i], &mut batch, &mut batched);
+            let acc_rel = (batched.acc - reference.acc).norm() / reference.acc.norm().max(1e-12);
+            assert!(acc_rel < 1e-12, "acc[{i}] rel {acc_rel}");
+            let du_rel = (batched.dudt - reference.dudt).abs() / reference.dudt.abs().max(1e-12);
+            assert!(du_rel < 1e-12, "dudt[{i}] rel {du_rel}");
+            let vs_rel =
+                (batched.v_sig_max - reference.v_sig_max).abs() / reference.v_sig_max.max(1e-12);
+            assert!(vs_rel < 1e-12, "v_sig[{i}] rel {vs_rel}");
+        }
+    }
+
+    #[test]
+    fn force_batch_is_deterministic() {
+        let a = make(Vec3::ZERO, Vec3::new(0.3, 0.1, -0.2), 1.5, 2.0);
+        let sources = [
+            a,
+            make(
+                Vec3::new(0.5, 0.4, -0.2),
+                Vec3::new(-0.1, 0.2, 0.0),
+                0.8,
+                1.0,
+            ),
+            make(
+                Vec3::new(-0.7, 0.2, 0.3),
+                Vec3::new(0.4, -0.3, 0.1),
+                1.2,
+                0.5,
+            ),
+            make(Vec3::new(3.0, 0.0, 0.0), Vec3::ZERO, 1.0, 1.0), // out of range
+            make(
+                Vec3::new(0.1, -0.6, 0.5),
+                Vec3::new(0.0, 0.5, -0.5),
+                0.9,
+                2.5,
+            ),
+        ];
+        let ngb: Vec<u32> = (0..sources.len() as u32).collect();
+        let visc = Viscosity::default();
+        let mut batch = ForceBatch::default();
+        batch.stage(&a, &sources, &ngb);
+        let mut first = HydroAccum::default();
+        force_batch(&CubicSpline, &visc, &a, &mut batch, &mut first);
+        for _ in 0..3 {
+            batch.stage(&a, &sources, &ngb);
+            let mut again = HydroAccum::default();
+            force_batch(&CubicSpline, &visc, &a, &mut batch, &mut again);
+            assert_eq!(first.acc.x.to_bits(), again.acc.x.to_bits());
+            assert_eq!(first.acc.y.to_bits(), again.acc.y.to_bits());
+            assert_eq!(first.acc.z.to_bits(), again.acc.z.to_bits());
+            assert_eq!(first.dudt.to_bits(), again.dudt.to_bits());
+            assert_eq!(first.v_sig_max.to_bits(), again.v_sig_max.to_bits());
+        }
+        assert!(first.acc.norm() > 0.0, "batch must have produced a force");
     }
 
     #[test]

@@ -18,6 +18,32 @@ pub trait SphKernel: Sync {
     fn support(&self) -> f64 {
         2.0
     }
+
+    /// Batched `W(r[i], h)` with a shared smoothing length: fills
+    /// `out[i] = w(r[i], h)`. The default loops the scalar method;
+    /// branchless kernels override with a loop the compiler can
+    /// vectorize. Overrides must produce the exact same values as the
+    /// scalar method element-wise (the density cache relies on it).
+    fn w_batch(&self, r: &[f64], h: f64, out: &mut [f64]) {
+        for (o, &ri) in out.iter_mut().zip(r) {
+            *o = self.w(ri, h);
+        }
+    }
+
+    /// Batched `dW/dr (r[i], h)` with a shared smoothing length.
+    fn dwdr_batch(&self, r: &[f64], h: f64, out: &mut [f64]) {
+        for (o, &ri) in out.iter_mut().zip(r) {
+            *o = self.dwdr(ri, h);
+        }
+    }
+
+    /// Batched `dW/dr (r[i], h[i])` with a per-element smoothing length —
+    /// the j-side gradient of the symmetrized force kernel.
+    fn dwdr_batch_per_h(&self, r: &[f64], h: &[f64], out: &mut [f64]) {
+        for ((o, &ri), &hi) in out.iter_mut().zip(r).zip(h) {
+            *o = self.dwdr(ri, hi);
+        }
+    }
 }
 
 /// The M4 cubic spline (Monaghan & Lattanzio 1985), the kernel ASURA uses.
@@ -53,6 +79,33 @@ impl SphKernel for CubicSpline {
     fn dwdr(&self, r: f64, h: f64) -> f64 {
         let hinv = 1.0 / h;
         Self::shape_deriv(r * hinv) * hinv * hinv * hinv * hinv
+    }
+
+    // The spline shape is branchless (its compact support comes from the
+    // `max(0)` clamps), so the batch loops below carry no control flow and
+    // vectorize. Each element evaluates the exact scalar expression in the
+    // same operation order, so values are bitwise identical to the scalar
+    // methods.
+
+    fn w_batch(&self, r: &[f64], h: f64, out: &mut [f64]) {
+        let hinv = 1.0 / h;
+        for (o, &ri) in out.iter_mut().zip(r) {
+            *o = Self::shape(ri * hinv) * hinv * hinv * hinv;
+        }
+    }
+
+    fn dwdr_batch(&self, r: &[f64], h: f64, out: &mut [f64]) {
+        let hinv = 1.0 / h;
+        for (o, &ri) in out.iter_mut().zip(r) {
+            *o = Self::shape_deriv(ri * hinv) * hinv * hinv * hinv * hinv;
+        }
+    }
+
+    fn dwdr_batch_per_h(&self, r: &[f64], h: &[f64], out: &mut [f64]) {
+        for ((o, &ri), &hi) in out.iter_mut().zip(r).zip(h) {
+            let hinv = 1.0 / hi;
+            *o = Self::shape_deriv(ri * hinv) * hinv * hinv * hinv * hinv;
+        }
     }
 }
 
@@ -286,6 +339,32 @@ mod tests {
             let r = 2.2 * i as f64 / 200.0;
             assert!((ppa.w(r, 1.1) - exact.w(r, 1.1)).abs() < 1e-12);
             assert!((ppa.dwdr(r, 1.1) - exact.dwdr(r, 1.1)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn batch_methods_match_scalar_methods() {
+        // The default batch impls loop the scalar methods; the CubicSpline
+        // overrides must stay bitwise identical to them element-wise.
+        let r: Vec<f64> = (0..97).map(|i| 2.3 * i as f64 / 96.0).collect();
+        let hj: Vec<f64> = (0..97).map(|i| 0.6 + 0.01 * (i % 13) as f64).collect();
+        let kernels: [&dyn SphKernel; 3] = [&CubicSpline, &WendlandC2, &PpaSpline::new(16)];
+        for k in kernels {
+            let mut w = vec![0.0; r.len()];
+            let mut dw = vec![0.0; r.len()];
+            let mut dwj = vec![0.0; r.len()];
+            k.w_batch(&r, 1.1, &mut w);
+            k.dwdr_batch(&r, 1.1, &mut dw);
+            k.dwdr_batch_per_h(&r, &hj, &mut dwj);
+            for i in 0..r.len() {
+                assert_eq!(w[i].to_bits(), k.w(r[i], 1.1).to_bits(), "w[{i}]");
+                assert_eq!(dw[i].to_bits(), k.dwdr(r[i], 1.1).to_bits(), "dwdr[{i}]");
+                assert_eq!(
+                    dwj[i].to_bits(),
+                    k.dwdr(r[i], hj[i]).to_bits(),
+                    "dwdr_per_h[{i}]"
+                );
+            }
         }
     }
 

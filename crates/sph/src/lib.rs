@@ -10,9 +10,12 @@
 //!   variant built with [`pikg::PpaTable`] (the paper's §3.5 optimization);
 //! * [`eos`] — ideal-gas equation of state and temperature conversion;
 //! * [`density`] — density summation with the smoothing-length (kernel
-//!   size) iteration of paper §5.2.5;
+//!   size) iteration of paper §5.2.5, re-filtering one cached candidate
+//!   list across the iteration instead of re-walking the tree per trial h;
 //! * [`force`] — symmetrized pressure force with Monaghan artificial
-//!   viscosity and `du/dt`;
+//!   viscosity and `du/dt`; the production path is the branchless batched
+//!   [`force::force_batch`], with scalar [`force::pair_force`] retained as
+//!   the equivalence reference;
 //! * [`timestep`] — the Courant–Friedrichs–Lewy condition that drives the
 //!   entire paper (§1: the SN-heated gas makes `dt_CFL` collapse);
 //! * [`solver`] — a rayon-parallel driver over a neighbor-search tree.

@@ -45,7 +45,7 @@
 
 use crate::density::{compute_density_on_tree, DensityConfig};
 use crate::eos::GammaLawEos;
-use crate::force::{pair_force, HydroAccum, HydroInput, Viscosity};
+use crate::force::{force_batch, ForceBatch, HydroAccum, HydroInput, Viscosity};
 use crate::kernel::{CubicSpline, SphKernel};
 use crate::timestep::{dt_accel, dt_cfl};
 use fdps::{Tree, Vec3};
@@ -232,7 +232,12 @@ impl SphScratch {
 pub struct SphStats {
     pub density_interactions: u64,
     pub force_interactions: u64,
+    /// Smoothing-length iterations summed over the pass's targets.
     pub h_iterations: u64,
+    /// Tree walks issued by those iterations — `h_walks / h_iterations`
+    /// is the benched `h_iter_walk_ratio` (`1.0` before the candidate
+    /// cache; `< 1.0` whenever any iteration re-filters a cached list).
+    pub h_walks: u64,
 }
 
 /// The SPH solver configuration.
@@ -330,6 +335,8 @@ impl<K: SphKernel> SphSolver<K> {
             state.n_ngb[i] = r.n_ngb as u32;
             state.cs[i] = self.eos.sound_speed(state.u[i]);
             stats.density_interactions += r.n_ngb as u64;
+            stats.h_iterations += r.iterations as u64;
+            stats.h_walks += r.walks as u64;
         }
         stats
     }
@@ -403,23 +410,24 @@ impl<K: SphKernel> SphSolver<K> {
         }));
         let inputs = &*inputs;
 
+        // Per-worker scratch: the candidate index list plus the SoA batch
+        // the vectorized kernel consumes; a target's own index stays in
+        // the list (force_batch masks r2 == 0 rows) but is excluded from
+        // the interaction count, matching the scalar path's bookkeeping.
         let results: Vec<(HydroAccum, u64)> = targets
             .par_iter()
-            .map_init(Vec::new, |ngb: &mut Vec<u32>, &i| {
-                ngb.clear();
-                tree.neighbors_within(inputs[i].pos, support * inputs[i].h, ngb);
-                let mut out = HydroAccum::default();
-                let mut count = 0u64;
-                for &j in ngb.iter() {
-                    let j = j as usize;
-                    if j == i {
-                        continue;
-                    }
-                    pair_force(&self.kernel, &self.visc, &inputs[i], &inputs[j], &mut out);
-                    count += 1;
-                }
-                (out, count)
-            })
+            .map_init(
+                || (Vec::new(), ForceBatch::default()),
+                |(ngb, batch): &mut (Vec<u32>, ForceBatch), &i| {
+                    ngb.clear();
+                    tree.neighbors_within(inputs[i].pos, support * inputs[i].h, ngb);
+                    let count = ngb.iter().filter(|&&j| j as usize != i).count() as u64;
+                    batch.stage(&inputs[i], inputs, ngb);
+                    let mut out = HydroAccum::default();
+                    force_batch(&self.kernel, &self.visc, &inputs[i], batch, &mut out);
+                    (out, count)
+                },
+            )
             .collect();
 
         let mut stats = SphStats::default();

@@ -22,6 +22,7 @@
 
 pub mod adam;
 pub mod conv;
+pub mod gemm;
 pub mod json;
 pub mod layers;
 pub mod tensor;

@@ -116,6 +116,13 @@ fn tracked(file: &str) -> &'static [Metric] {
             class: Class::Gated,
         },
         Metric {
+            // AoS-reference time over SoA time for the f64 monopole
+            // kernel, measured within one run: machine-independent.
+            path: &["simd_speedup"],
+            direction: Direction::Higher,
+            class: Class::Gated,
+        },
+        Metric {
             path: &["walk_indexed_parallel_lists_per_sec"],
             direction: Direction::Higher,
             class: Class::Info,
@@ -125,7 +132,33 @@ fn tracked(file: &str) -> &'static [Metric] {
             direction: Direction::Lower,
             class: Class::Info,
         },
+        Metric {
+            path: &["kernel_f64_soa_ns_per_interaction"],
+            direction: Direction::Lower,
+            class: Class::Info,
+        },
+        Metric {
+            path: &["kernel_mixed_ns_per_interaction"],
+            direction: Direction::Lower,
+            class: Class::Info,
+        },
     ];
+    const UNET_INFER: &[Metric] = &[Metric {
+        // Scalar-reference conv time over im2col+GEMM time on the same
+        // net and input — the achieved-GFLOPs ratio of the production
+        // forward. Within-run ratio, so runner speed cancels.
+        path: &["conv_gflops_ratio"],
+        direction: Direction::Higher,
+        class: Class::Gated,
+    }];
+    const TREE_WALK: &[Metric] = &[Metric {
+        // Tree walks per smoothing-length iteration across a density
+        // pass with a mediocre initial guess: 1.0 without the candidate
+        // cache, < 1.0 when re-filtering works. Deterministic count.
+        path: &["h_iter_walk_ratio"],
+        direction: Direction::Lower,
+        class: Class::Gated,
+    }];
     const DIST_BLOCKSTEP: &[Metric] = &[
         Metric {
             // Deterministic update economy of the distributed active-set
@@ -169,6 +202,8 @@ fn tracked(file: &str) -> &'static [Metric] {
         "BENCH_blockstep.json" => BLOCKSTEP,
         "BENCH_dist_blockstep.json" => DIST_BLOCKSTEP,
         "BENCH_force.json" => FORCE,
+        "BENCH_unet_infer.json" => UNET_INFER,
+        "BENCH_tree_walk.json" => TREE_WALK,
         _ => &[],
     }
 }
@@ -578,6 +613,57 @@ mod tests {
             let row = rows.iter().find(|r| r.name == name).unwrap();
             assert!(!row.failed(0.30), "{name} is informational");
         }
+    }
+
+    #[test]
+    fn simd_speedup_regression_gates_force_file() {
+        let base = doc(r#"{"walk_speedup": 3.0, "simd_speedup": 2.0,
+                "kernel_f64_soa_ns_per_interaction": 2.5}"#);
+        let worse = doc(r#"{"walk_speedup": 3.0, "simd_speedup": 1.0,
+                "kernel_f64_soa_ns_per_interaction": 9.0}"#);
+        let rows = compare_file("BENCH_force.json", Some(&base), &worse);
+        let simd = rows.iter().find(|r| r.name == "simd_speedup").unwrap();
+        assert!(simd.failed(0.30), "halved simd speedup must gate");
+        let ns = rows
+            .iter()
+            .find(|r| r.name == "kernel_f64_soa_ns_per_interaction")
+            .unwrap();
+        assert!(
+            !ns.failed(0.30),
+            "absolute kernel timing stays informational"
+        );
+    }
+
+    #[test]
+    fn unet_conv_ratio_and_records_coexist() {
+        // unet_infer carries both a gated top-level scalar and the generic
+        // informational records array.
+        let base = doc(
+            r#"{"records": [{"name": "f/16", "ns_per_iter": 10.0, "iters": 3}],
+                "conv_gflops_ratio": 30.0}"#,
+        );
+        let worse = doc(
+            r#"{"records": [{"name": "f/16", "ns_per_iter": 80.0, "iters": 3}],
+                "conv_gflops_ratio": 4.0}"#,
+        );
+        let rows = compare_file("BENCH_unet_infer.json", Some(&base), &worse);
+        let ratio = rows.iter().find(|r| r.name == "conv_gflops_ratio").unwrap();
+        assert!(ratio.failed(0.30), "collapsed conv throughput must gate");
+        let rec = rows.iter().find(|r| r.name.starts_with("f/16")).unwrap();
+        assert!(!rec.failed(0.30), "records stay informational");
+    }
+
+    #[test]
+    fn h_iter_walk_ratio_gates_lower_is_better() {
+        let base = doc(r#"{"h_iter_walk_ratio": 0.5}"#);
+        let worse = doc(r#"{"h_iter_walk_ratio": 1.0}"#);
+        let better = doc(r#"{"h_iter_walk_ratio": 0.34}"#);
+        let rows = compare_file("BENCH_tree_walk.json", Some(&base), &worse);
+        let r = rows.iter().find(|r| r.name == "h_iter_walk_ratio").unwrap();
+        assert!(r.failed(0.30), "walks-per-iteration doubling must gate");
+        let rows = compare_file("BENCH_tree_walk.json", Some(&base), &better);
+        let r = rows.iter().find(|r| r.name == "h_iter_walk_ratio").unwrap();
+        assert!(!r.failed(0.30), "fewer walks per iteration passes");
     }
 
     #[test]

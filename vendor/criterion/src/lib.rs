@@ -48,6 +48,19 @@ fn escape(s: &str) -> String {
 /// Write `records` as a JSON trajectory artifact:
 /// `{"records": [{"name": ..., "ns_per_iter": ..., "iters": ...}, ...]}`.
 pub fn write_artifact(path: &std::path::Path, records: &[BenchRecord]) {
+    write_artifact_with_metrics(path, records, &[]);
+}
+
+/// [`write_artifact`] plus top-level scalar metrics alongside the records
+/// array: `{"records": [...], "some_ratio": 1.23, ...}`. This is how
+/// record-format benches expose *gated* machine-independent ratios
+/// (measured within one run) to the bench-regression gate, which only
+/// tracks named top-level scalars — plain records stay informational.
+pub fn write_artifact_with_metrics(
+    path: &std::path::Path,
+    records: &[BenchRecord],
+    metrics: &[(&str, f64)],
+) {
     let mut json = String::from("{\n  \"records\": [\n");
     for (i, r) in records.iter().enumerate() {
         json.push_str(&format!(
@@ -58,7 +71,11 @@ pub fn write_artifact(path: &std::path::Path, records: &[BenchRecord]) {
             if i + 1 < records.len() { "," } else { "" }
         ));
     }
-    json.push_str("  ]\n}\n");
+    json.push_str("  ]");
+    for (name, value) in metrics {
+        json.push_str(&format!(",\n  \"{}\": {value:.6}", escape(name)));
+    }
+    json.push_str("\n}\n");
     std::fs::write(path, json).unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
 }
 
@@ -287,5 +304,25 @@ mod tests {
     fn benchmark_ids_format_like_criterion() {
         assert_eq!(BenchmarkId::new("walk", 100).label, "walk/100");
         assert_eq!(BenchmarkId::from_parameter("64k").label, "64k");
+    }
+
+    #[test]
+    fn artifact_metrics_land_as_top_level_scalars() {
+        let records = vec![BenchRecord {
+            name: "g/b".into(),
+            ns_per_iter: 12.5,
+            iters: 7,
+        }];
+        let dir = std::env::temp_dir().join("criterion_shim_metrics_test.json");
+        write_artifact_with_metrics(&dir, &records, &[("conv_gflops_ratio", 39.25)]);
+        let body = std::fs::read_to_string(&dir).unwrap();
+        assert!(body.contains("\"records\""));
+        assert!(
+            body.contains("\"conv_gflops_ratio\": 39.250000"),
+            "metric missing: {body}"
+        );
+        // Still one JSON object: metrics sit after the records array.
+        assert_eq!(body.matches('{').count(), 2, "{body}");
+        let _ = std::fs::remove_file(&dir);
     }
 }

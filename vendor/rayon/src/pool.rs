@@ -174,8 +174,15 @@ fn worker_loop(pool: &'static Pool) {
 pub(crate) fn broadcast(body: &(dyn Fn() + Sync)) {
     let pool = pool();
     if pool.helpers == 0 {
-        // Single-core machine: no workers to coordinate with.
-        body();
+        // Single-core machine: no workers to coordinate with, but the body
+        // is still a parallel region — nested calls must run inline and
+        // `must_run_inline()` must hold, exactly as on the multi-core path.
+        IN_PARALLEL.with(|f| f.set(true));
+        let caller = std::panic::catch_unwind(AssertUnwindSafe(body));
+        IN_PARALLEL.with(|f| f.set(false));
+        if let Err(payload) = caller {
+            std::panic::resume_unwind(payload);
+        }
         return;
     }
     // A previous region that propagated a panic poisons this lock while
