@@ -1,0 +1,113 @@
+//! The fleet-overlap benchmark (`cargo bench --bench serve_fleet`).
+//!
+//! Drives a real `asura serve` daemon through its line protocol twice —
+//! the same two quickstart runs with `--max-concurrent 1` (serial) and
+//! `--max-concurrent 2` (overlapped) — and reports the wall-clock ratio.
+//! The ratio is measured within one bench invocation on one machine, so
+//! runner speed cancels: on a single-core box it sits near 1.0 (only the
+//! runs' checkpoint I/O overlaps), and rises toward 2.0 with a second
+//! core. What the gate actually protects is the *queue machinery*: a
+//! daemon that serializes its workers behind a held lock, or re-runs work,
+//! drags the ratio (and both wall times) down together.
+//!
+//! Writes `BENCH_serve.json` at the repo root so subsequent PRs have a
+//! trajectory.
+
+use asura_core::serve;
+use std::path::{Path, PathBuf};
+use std::process::{Command, Stdio};
+use std::time::{Duration, Instant};
+
+const BIN: &str = env!("CARGO_BIN_EXE_asura");
+const RUNS: usize = 2;
+const STEPS: u64 = 6;
+const OVERRIDES: &str = "{\"steps\":6,\"snapshot_every\":2}";
+
+fn request_one(addr: &str, line: &str) -> String {
+    let mut lines = serve::request(addr, line).expect("daemon reachable");
+    assert_eq!(lines.len(), 1, "{line}: expected one response line");
+    lines.pop().unwrap()
+}
+
+/// Run the two-run fleet at the given concurrency; returns the wall time
+/// from first SUBMIT to last completion.
+fn fleet_wall(root: &Path, max_concurrent: usize) -> f64 {
+    let mut daemon = Command::new(BIN)
+        .arg("serve")
+        .arg("--root")
+        .arg(root)
+        .args(["--addr", "127.0.0.1:0"])
+        .args(["--max-concurrent", &max_concurrent.to_string()])
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .env_remove(asura_core::faults::FAULTS_ENV)
+        .env_remove(asura_core::faults::ATTEMPT_ENV)
+        .spawn()
+        .expect("spawn daemon");
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let addr = loop {
+        if let Some(addr) = serve::read_serve_addr(root) {
+            break addr;
+        }
+        assert!(Instant::now() < deadline, "daemon never wrote serve.json");
+        std::thread::sleep(Duration::from_millis(10));
+    };
+
+    let start = Instant::now();
+    let mut ids = Vec::new();
+    for _ in 0..RUNS {
+        let reply = request_one(&addr, &format!("SUBMIT quickstart {OVERRIDES}"));
+        assert!(reply.contains("\"ok\":true"), "SUBMIT failed: {reply}");
+        let id = reply
+            .split("\"id\":\"")
+            .nth(1)
+            .and_then(|r| r.split('"').next())
+            .expect("id in SUBMIT reply");
+        ids.push(id.to_string());
+    }
+    let deadline = Instant::now() + Duration::from_secs(300);
+    for id in &ids {
+        loop {
+            let reply = request_one(&addr, &format!("STATUS {id}"));
+            if reply.contains("\"state\":\"completed\"") {
+                break;
+            }
+            assert!(
+                !reply.contains("\"state\":\"failed\"") && !reply.contains("\"state\":\"gave_up\""),
+                "{id} did not complete: {reply}"
+            );
+            assert!(Instant::now() < deadline, "{id} still running after 300s");
+            std::thread::sleep(Duration::from_millis(20));
+        }
+    }
+    let wall = start.elapsed().as_secs_f64();
+
+    let reply = request_one(&addr, "SHUTDOWN");
+    assert!(reply.contains("\"ok\":true"), "SHUTDOWN failed: {reply}");
+    assert!(daemon.wait().expect("daemon exit").success());
+    wall
+}
+
+fn main() {
+    let scratch = std::env::temp_dir().join(format!("asura-bench-serve-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&scratch);
+
+    let serial = fleet_wall(&scratch.join("serial"), 1);
+    let concurrent = fleet_wall(&scratch.join("concurrent"), RUNS);
+    let overlap_speedup = serial / concurrent;
+    let _ = std::fs::remove_dir_all(&scratch);
+
+    println!(
+        "serve_fleet: {RUNS} quickstart runs x {STEPS} steps  \
+         serial {serial:.3} s  concurrent {concurrent:.3} s  overlap x{overlap_speedup:.3}"
+    );
+
+    let json = format!(
+        "{{\n  \"scenario\": \"quickstart\",\n  \"runs\": {RUNS},\n  \"steps_per_run\": {STEPS},\n  \
+         \"serial_wall_s\": {serial:.4},\n  \"concurrent_wall_s\": {concurrent:.4},\n  \
+         \"overlap_speedup\": {overlap_speedup:.4}\n}}\n"
+    );
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("BENCH_serve.json");
+    std::fs::write(&path, json).expect("write BENCH_serve.json");
+    println!("[artifact] {}", path.display());
+}

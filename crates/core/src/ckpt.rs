@@ -207,7 +207,13 @@ impl CkptStore {
         entries.sort_by(|a, b| a.step.cmp(&b.step).then_with(|| a.file.cmp(&b.file)));
         while entries.len() > self.keep {
             let dropped = entries.remove(0);
-            let _ = fs::remove_file(self.dir.join(&dropped.file));
+            // A co-located process (or an earlier crashed prune) may have
+            // already removed the file; only that case is benign.
+            match fs::remove_file(self.dir.join(&dropped.file)) {
+                Ok(()) => {}
+                Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+                Err(e) => return Err(e),
+            }
         }
         self.write_manifest(&entries)?;
         Ok(path)
@@ -460,6 +466,25 @@ mod tests {
         let (entry, payload) = st.latest_valid_with(ok_decode).unwrap();
         assert_eq!(entry.step, 6);
         assert_eq!(payload, b"OK step 6");
+    }
+
+    #[test]
+    fn pruning_tolerates_already_missing_files() {
+        let st = store("prune-missing", 2);
+        let mut inj = FaultInjector::none();
+        st.commit_bytes(1, CkptFormat::Bin, b"OK one".to_vec(), &mut inj)
+            .unwrap();
+        st.commit_bytes(2, CkptFormat::Bin, b"OK two".to_vec(), &mut inj)
+            .unwrap();
+        // Someone else already deleted the entry the next commit will
+        // prune — the commit must not fail on the NotFound.
+        fs::remove_file(st.dir().join("checkpoint-000001.bin")).unwrap();
+        st.commit_bytes(3, CkptFormat::Bin, b"OK three".to_vec(), &mut inj)
+            .unwrap();
+        assert_eq!(
+            st.entries().iter().map(|e| e.step).collect::<Vec<_>>(),
+            vec![3, 2]
+        );
     }
 
     #[test]

@@ -97,10 +97,19 @@ impl Heartbeat {
     }
 
     /// Read a heartbeat file: `(seq, step)`.
+    ///
+    /// Strict: the file must be exactly `seq step\n` (the trailing newline
+    /// optional). Anything else — extra tokens, extra lines, non-numeric
+    /// junk after a valid prefix — is rejected wholesale rather than
+    /// partially parsed, so a beat mangled by a co-located writer on a
+    /// shared machine reads as "no beat", never as a fabricated step.
     pub fn read(path: &Path) -> Option<(u64, u64)> {
         let text = std::fs::read_to_string(path).ok()?;
-        let mut it = text.split_whitespace();
-        Some((it.next()?.parse().ok()?, it.next()?.parse().ok()?))
+        let line = text.strip_suffix('\n').unwrap_or(&text);
+        let (seq, step) = line.split_once(' ')?;
+        // `u64::parse` rejects embedded whitespace, so a third token or a
+        // second line fails here instead of being silently dropped.
+        Some((seq.parse().ok()?, step.parse().ok()?))
     }
 }
 
@@ -135,6 +144,22 @@ pub enum Outcome {
     GaveUp { attempts: u32 },
     /// The child exited with a code configured as not retryable.
     Permanent { exit_code: i32 },
+    /// The run was externally canceled (the abort hook of
+    /// [`Supervisor::run_with_abort`] returned [`StopReason::Cancel`]);
+    /// the child was killed and will not be resumed.
+    Canceled { attempts: u32 },
+}
+
+/// Why [`Supervisor::run_with_abort`] should stop driving attempts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopReason {
+    /// Terminal: kill the child and record [`Outcome::Canceled`].
+    Cancel,
+    /// Non-terminal: kill the child and return *without* a terminal
+    /// outcome (the incident log keeps `"running"`), so a later
+    /// supervisor can re-adopt the run and resume it from its rotation —
+    /// the `asura serve` daemon uses this for graceful shutdown.
+    Detach,
 }
 
 /// The `supervisor.json` incident log: every incident plus the final
@@ -163,6 +188,9 @@ impl IncidentLog {
             }
             Some(Outcome::Permanent { exit_code }) => {
                 text.push_str(&format!("\"permanent\",\"exit_code\":{exit_code}"));
+            }
+            Some(Outcome::Canceled { attempts }) => {
+                text.push_str(&format!("\"canceled\",\"attempts\":{attempts}"));
             }
         }
         text.push_str(",\"incidents\":[");
@@ -208,6 +236,9 @@ impl IncidentLog {
                     attempts: doc.get("attempts")?.as_usize()? as u32,
                 }),
                 "gave_up" => Some(Outcome::GaveUp {
+                    attempts: doc.get("attempts")?.as_usize()? as u32,
+                }),
+                "canceled" => Some(Outcome::Canceled {
                     attempts: doc.get("attempts")?.as_usize()? as u32,
                 }),
                 "permanent" => Some(Outcome::Permanent {
@@ -265,6 +296,33 @@ pub trait ChildHandle {
     fn kill(&mut self);
 }
 
+/// [`ChildHandle`] backed by a real [`std::process::Child`] — the
+/// implementation the `asura` CLI's `--supervised` mode and the
+/// [`serve`](crate::serve) daemon's workers drive.
+pub struct ProcessChild(std::process::Child);
+
+impl ProcessChild {
+    pub fn new(child: std::process::Child) -> ProcessChild {
+        ProcessChild(child)
+    }
+
+    /// OS pid of the child process.
+    pub fn id(&self) -> u32 {
+        self.0.id()
+    }
+}
+
+impl ChildHandle for ProcessChild {
+    fn poll_exit(&mut self) -> io::Result<Option<i32>> {
+        // A signal-terminated child has no code; map it to -1 (abnormal).
+        Ok(self.0.try_wait()?.map(|s| s.code().unwrap_or(-1)))
+    }
+    fn kill(&mut self) {
+        let _ = self.0.kill();
+        let _ = self.0.wait();
+    }
+}
+
 /// The checkpoint a resumed attempt should start from.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ResumePoint {
@@ -291,6 +349,7 @@ pub struct Supervisor {
 enum Verdict {
     Done,
     Failed(IncidentKind),
+    Stopped(StopReason),
 }
 
 impl Supervisor {
@@ -307,9 +366,28 @@ impl Supervisor {
     /// persisted to `log_path` after every state change).
     pub fn run<H: ChildHandle>(
         &self,
+        spawn: impl FnMut(u32, Option<&ResumePoint>) -> io::Result<H>,
+        resume_point: impl FnMut() -> Option<ResumePoint>,
+    ) -> io::Result<(Outcome, IncidentLog)> {
+        let (outcome, log) = self.run_with_abort(spawn, resume_point, || None)?;
+        Ok((
+            outcome.expect("run without an abort hook cannot detach"),
+            log,
+        ))
+    }
+
+    /// [`Supervisor::run`] with an external stop hook, polled at the same
+    /// cadence as the heartbeat. When `abort` returns a [`StopReason`] the
+    /// current child is killed; `Cancel` records [`Outcome::Canceled`]
+    /// and returns it, `Detach` returns `None` with the log's outcome left
+    /// at `"running"` so the run stays adoptable (the serve daemon's
+    /// CANCEL and SHUTDOWN commands respectively).
+    pub fn run_with_abort<H: ChildHandle>(
+        &self,
         mut spawn: impl FnMut(u32, Option<&ResumePoint>) -> io::Result<H>,
         mut resume_point: impl FnMut() -> Option<ResumePoint>,
-    ) -> io::Result<(Outcome, IncidentLog)> {
+        abort: impl Fn() -> Option<StopReason>,
+    ) -> io::Result<(Option<Outcome>, IncidentLog)> {
         let mut log = IncidentLog::default();
         let mut attempt: u32 = 0;
         let mut resume: Option<ResumePoint> = None;
@@ -317,15 +395,30 @@ impl Supervisor {
             // A beat left by the previous attempt must not count as life.
             let _ = std::fs::remove_file(&self.heartbeat_path);
             let mut child = spawn(attempt, resume.as_ref())?;
-            let verdict = self.watch(&mut child)?;
+            let verdict = self.watch(&mut child, &abort)?;
             match verdict {
+                Verdict::Stopped(StopReason::Cancel) => {
+                    let outcome = Outcome::Canceled {
+                        attempts: attempt + 1,
+                    };
+                    log.outcome = Some(outcome);
+                    log.save(&self.log_path)?;
+                    return Ok((Some(outcome), log));
+                }
+                Verdict::Stopped(StopReason::Detach) => {
+                    // The rotation already holds this attempt's newest
+                    // cadence checkpoint; a later supervisor resumes from
+                    // it via `resume_point`.
+                    log.save(&self.log_path)?;
+                    return Ok((None, log));
+                }
                 Verdict::Done => {
                     let outcome = Outcome::Completed {
                         attempts: attempt + 1,
                     };
                     log.outcome = Some(outcome);
                     log.save(&self.log_path)?;
-                    return Ok((outcome, log));
+                    return Ok((Some(outcome), log));
                 }
                 Verdict::Failed(kind) => {
                     if let IncidentKind::Crash { exit_code } = kind {
@@ -339,7 +432,7 @@ impl Supervisor {
                             });
                             log.outcome = Some(outcome);
                             log.save(&self.log_path)?;
-                            return Ok((outcome, log));
+                            return Ok((Some(outcome), log));
                         }
                     }
                     if attempt >= self.policy.max_retries {
@@ -354,7 +447,7 @@ impl Supervisor {
                         });
                         log.outcome = Some(outcome);
                         log.save(&self.log_path)?;
-                        return Ok((outcome, log));
+                        return Ok((Some(outcome), log));
                     }
                     let backoff_ms = self.policy.backoff_ms(attempt);
                     resume = resume_point();
@@ -372,11 +465,15 @@ impl Supervisor {
         }
     }
 
-    /// Poll one attempt to a verdict: exit status wins, then heartbeat
-    /// staleness. Staleness is measured from spawn or the last *content
-    /// change* of the heartbeat file, so the child must produce its first
-    /// beat within the timeout too.
-    fn watch<H: ChildHandle>(&self, child: &mut H) -> io::Result<Verdict> {
+    /// Poll one attempt to a verdict: exit status wins, then an external
+    /// stop request, then heartbeat staleness. Staleness is measured from
+    /// spawn or the last *content change* of the heartbeat file, so the
+    /// child must produce its first beat within the timeout too.
+    fn watch<H: ChildHandle>(
+        &self,
+        child: &mut H,
+        abort: &impl Fn() -> Option<StopReason>,
+    ) -> io::Result<Verdict> {
         let timeout = Duration::from_millis(self.heartbeat_timeout_ms);
         let poll = Duration::from_millis(self.poll_interval_ms.max(1));
         let mut last_content: Option<String> = None;
@@ -388,6 +485,10 @@ impl Supervisor {
                 } else {
                     Verdict::Failed(IncidentKind::Crash { exit_code: code })
                 });
+            }
+            if let Some(reason) = abort() {
+                child.kill();
+                return Ok(Verdict::Stopped(reason));
             }
             let content = std::fs::read_to_string(&self.heartbeat_path).ok();
             if content.is_some() && content != last_content {
@@ -616,6 +717,79 @@ mod tests {
         assert_eq!(policy.backoff_ms(0), 500);
         assert_eq!(policy.backoff_ms(1), 1000);
         assert_eq!(policy.backoff_ms(10), 8000, "capped");
+    }
+
+    #[test]
+    fn heartbeat_read_rejects_trailing_garbage() {
+        let dir = tmpdir("hb-strict");
+        let path = dir.join("heartbeat");
+        let ok = |text: &str| {
+            std::fs::write(&path, text).unwrap();
+            Heartbeat::read(&path)
+        };
+        assert_eq!(ok("3 17\n"), Some((3, 17)));
+        assert_eq!(ok("3 17"), Some((3, 17)), "trailing newline optional");
+        assert_eq!(ok("3 17 junk\n"), None, "third token rejected");
+        assert_eq!(ok("3 17\n4 18\n"), None, "second line rejected");
+        assert_eq!(ok("3 17x\n"), None, "non-numeric suffix rejected");
+        assert_eq!(ok("317\n"), None, "single token rejected");
+        assert_eq!(ok(""), None, "empty file rejected");
+        let mut hb = Heartbeat::new(&path);
+        hb.beat(42).unwrap();
+        assert_eq!(Heartbeat::read(&path), Some((1, 42)));
+    }
+
+    #[test]
+    fn cancel_kills_child_and_records_canceled_outcome() {
+        let dir = tmpdir("cancel");
+        let sup = supervisor(&dir, 3, 10_000);
+        let killed = Rc::new(RefCell::new(false));
+        let killed2 = killed.clone();
+        let (outcome, log) = sup
+            .run_with_abort(
+                move |_, _| {
+                    Ok(FakeChild {
+                        exit: None,
+                        polls_left: 0,
+                        killed: killed2.clone(),
+                    })
+                },
+                || None,
+                || Some(StopReason::Cancel),
+            )
+            .unwrap();
+        assert_eq!(outcome, Some(Outcome::Canceled { attempts: 1 }));
+        assert_eq!(log.outcome, Some(Outcome::Canceled { attempts: 1 }));
+        assert!(*killed.borrow(), "canceled child must be killed");
+        // The persisted log round-trips with the canceled outcome.
+        let text = std::fs::read_to_string(dir.join("supervisor.json")).unwrap();
+        assert_eq!(IncidentLog::from_json(&text).unwrap(), log);
+    }
+
+    #[test]
+    fn detach_kills_child_but_leaves_log_running() {
+        let dir = tmpdir("detach");
+        let sup = supervisor(&dir, 3, 10_000);
+        let killed = Rc::new(RefCell::new(false));
+        let killed2 = killed.clone();
+        let (outcome, log) = sup
+            .run_with_abort(
+                move |_, _| {
+                    Ok(FakeChild {
+                        exit: None,
+                        polls_left: 0,
+                        killed: killed2.clone(),
+                    })
+                },
+                || None,
+                || Some(StopReason::Detach),
+            )
+            .unwrap();
+        assert_eq!(outcome, None, "detach is not a terminal outcome");
+        assert_eq!(log.outcome, None);
+        assert!(*killed.borrow(), "detached child must be killed");
+        let text = std::fs::read_to_string(dir.join("supervisor.json")).unwrap();
+        assert!(text.contains("\"outcome\":\"running\""), "stays adoptable");
     }
 
     #[test]

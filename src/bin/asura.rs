@@ -55,14 +55,17 @@ use asura_core::dist::{
     run_distributed, run_distributed_resume, DistConfig, DistSnapshot, PredictorKind,
 };
 use asura_core::faults::{self, FaultInjector};
+use asura_core::serve::{self, Request, ServeConfig};
 use asura_core::snapshot::SimSnapshot;
 use asura_core::supervise::{
-    ChildHandle, Heartbeat, Outcome, ResumePoint, RetryPolicy, Supervisor,
+    Heartbeat, Outcome, ProcessChild, ResumePoint, RetryPolicy, Supervisor,
 };
 use asura_core::{Scheme, Simulation, TimestepMode};
 use fdps::exchange::Routing;
+use std::io::{BufRead, BufReader, Write};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use std::sync::Arc;
 
 const USAGE: &str = "\
 asura — ASURA-FDPS-ML scenario runner
@@ -72,6 +75,22 @@ USAGE:
     asura --scenario <name> [OPTIONS]
     asura --resume <snapshot|run-dir> [--scenario <name>] [OPTIONS]
     asura --scenario <name> --supervised [OPTIONS]
+    asura scenarios
+    asura serve [--root <dir>] [--addr <ip:port>] [--max-concurrent <n>]
+                [--max-retries <n>] [--backoff-ms <ms>]
+                [--heartbeat-timeout-ms <ms>] [--keep <k>]
+    asura submit <scenario> [<overrides-json>] [--root <dir> | --addr <ip:port>]
+    asura status <run-id>   [--root | --addr]
+    asura list              [--root | --addr]
+    asura watch <run-id>    [--root | --addr]
+    asura cancel <run-id>   [--root | --addr]
+    asura shutdown [--drain] [--root | --addr]
+
+`asura serve` is the simulation-as-a-service daemon: a run registry
+persisted to <root>/fleet.json, a bounded-concurrency job queue, and one
+supervised child process per dispatched run. The client subcommands speak
+its line protocol; they find the daemon via <root>/serve.json unless
+--addr is given. See the asura-core serve module docs for the grammar.
 
 OPTIONS:
     --list                     list registered scenarios and exit
@@ -85,7 +104,11 @@ OPTIONS:
     --snapshot-format <f>      bin | json (default bin)
     --seed <s>                 scenario realization / RNG seed (default 42)
     --diag-every <k>           diagnostics sampling cadence (default 1)
-    --out-dir <dir>            output root (default results)
+    --out-dir <dir>            output root (default results); artifacts land in
+                               <out-dir>/<scenario>/
+    --run-dir <dir>            exact artifact directory (no scenario-name nesting);
+                               used by the serve daemon so each run id owns its
+                               own directory
     --keep <k>                 checkpoint rotation depth (default 3)
     --dist <NXxNYxNZ+P>        run through the distributed (mpisim) driver:
                                NX*NY*NZ main ranks + P pool ranks
@@ -117,6 +140,9 @@ struct Args {
     /// step (explicitly passing the flag with `--dist` is rejected).
     diag_every: Option<u64>,
     out_dir: PathBuf,
+    /// Exact artifact directory, overriding the `<out-dir>/<scenario>`
+    /// nesting — the serve daemon gives every run id its own directory.
+    run_dir: Option<PathBuf>,
     /// Checkpoint rotation depth.
     keep: usize,
     /// Main-rank grid + pool rank count of `--dist`.
@@ -167,6 +193,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         seed: 42,
         diag_every: None,
         out_dir: PathBuf::from("results"),
+        run_dir: None,
         keep: DEFAULT_KEEP,
         dist: None,
         supervised: false,
@@ -239,6 +266,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                 )
             }
             "--out-dir" => args.out_dir = PathBuf::from(value("--out-dir")?),
+            "--run-dir" => args.run_dir = Some(PathBuf::from(value("--run-dir")?)),
             "--keep" => {
                 args.keep = value("--keep")?
                     .parse()
@@ -506,20 +534,6 @@ fn run_dist(
     Ok(())
 }
 
-/// Real-process implementation of the supervisor's child handle.
-struct ProcChild(std::process::Child);
-
-impl ChildHandle for ProcChild {
-    fn poll_exit(&mut self) -> std::io::Result<Option<i32>> {
-        // A signal-terminated child has no code; map it to -1 (abnormal).
-        Ok(self.0.try_wait()?.map(|s| s.code().unwrap_or(-1)))
-    }
-    fn kill(&mut self) {
-        let _ = self.0.kill();
-        let _ = self.0.wait();
-    }
-}
-
 /// The `--supervised` parent: spawn the scenario as a heartbeat-monitored
 /// child, auto-resume it from the checkpoint rotation on crash or hang,
 /// and record every incident in `supervisor.json`.
@@ -548,7 +562,10 @@ fn run_supervised(args: &Args) -> Result<(), String> {
     // same final step, which is what makes the chaos tests' bitwise
     // final-state comparison meaningful.
     let target_steps = args.steps.unwrap_or(scenario.default_steps);
-    let dir = args.out_dir.join(scenario.name);
+    let dir = args
+        .run_dir
+        .clone()
+        .unwrap_or_else(|| args.out_dir.join(scenario.name));
     std::fs::create_dir_all(&dir).map_err(|e| format!("create {}: {e}", dir.display()))?;
     let store = CkptStore::new(&dir, args.keep);
     let exe = std::env::current_exe().map_err(|e| format!("current_exe: {e}"))?;
@@ -603,7 +620,7 @@ fn run_supervised(args: &Args) -> Result<(), String> {
                 if let Some(d) = args.diag_every {
                     cmd.arg("--diag-every").arg(d.to_string());
                 }
-                cmd.arg("--out-dir").arg(&args.out_dir);
+                cmd.arg("--run-dir").arg(&dir);
                 cmd.arg("--keep").arg(args.keep.to_string());
                 cmd.arg("--heartbeat").arg(&hb_path);
                 // Attempt-scoped fault arming: ASURA_FAULTS is inherited
@@ -617,7 +634,7 @@ fn run_supervised(args: &Args) -> Result<(), String> {
                     ),
                     None => println!("[supervisor] attempt {attempt}: fresh start"),
                 }
-                cmd.spawn().map(ProcChild)
+                cmd.spawn().map(ProcessChild::new)
             },
             || {
                 store.latest_valid_sim().map(|(entry, _)| ResumePoint {
@@ -645,11 +662,230 @@ fn run_supervised(args: &Args) -> Result<(), String> {
             "supervised child failed permanently (exit {exit_code}); see {}",
             supervisor.log_path.display()
         )),
+        // `Supervisor::run` has no abort hook, so cancellation can only
+        // come out of the serve daemon's `run_with_abort` path.
+        Outcome::Canceled { attempts } => Err(format!(
+            "supervised run canceled after {attempts} attempt(s); see {}",
+            supervisor.log_path.display()
+        )),
+    }
+}
+
+/// The `asura scenarios` subcommand: the submittable registry, one line
+/// per scenario.
+fn cmd_scenarios(rest: &[String]) -> Result<(), String> {
+    if !rest.is_empty() {
+        return Err(format!(
+            "usage: scenarios takes no arguments, got `{}`",
+            rest.join(" ")
+        ));
+    }
+    println!("registered scenarios:");
+    for s in scenarios::SCENARIOS {
+        println!(
+            "  {:<18} {:>4} default steps   {}",
+            s.name, s.default_steps, s.description
+        );
+    }
+    Ok(())
+}
+
+/// The `asura serve` subcommand: run the fleet daemon in the foreground.
+fn cmd_serve(rest: &[String]) -> Result<(), String> {
+    let mut cfg = ServeConfig {
+        root: PathBuf::from("results"),
+        addr: "127.0.0.1:0".to_string(),
+        max_concurrent: ServeConfig::default_max_concurrent(),
+        catalog: scenarios::catalog(),
+        retry: RetryPolicy::default(),
+        heartbeat_timeout_ms: 30_000,
+        keep: DEFAULT_KEEP,
+    };
+    let mut it = rest.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> Result<&String, String> {
+            it.next().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--root" => cfg.root = PathBuf::from(value("--root")?),
+            "--addr" => cfg.addr = value("--addr")?.clone(),
+            "--max-concurrent" => {
+                cfg.max_concurrent = value("--max-concurrent")?
+                    .parse()
+                    .map_err(|e| format!("--max-concurrent: {e}"))?;
+                if cfg.max_concurrent == 0 {
+                    return Err("--max-concurrent must be at least 1".into());
+                }
+            }
+            "--max-retries" => {
+                cfg.retry.max_retries = value("--max-retries")?
+                    .parse()
+                    .map_err(|e| format!("--max-retries: {e}"))?
+            }
+            "--backoff-ms" => {
+                cfg.retry.backoff_base_ms = value("--backoff-ms")?
+                    .parse()
+                    .map_err(|e| format!("--backoff-ms: {e}"))?;
+                cfg.retry.backoff_cap_ms = cfg.retry.backoff_base_ms.max(1) * 16;
+            }
+            "--heartbeat-timeout-ms" => {
+                cfg.heartbeat_timeout_ms = value("--heartbeat-timeout-ms")?
+                    .parse()
+                    .map_err(|e| format!("--heartbeat-timeout-ms: {e}"))?
+            }
+            "--keep" => {
+                cfg.keep = value("--keep")?
+                    .parse()
+                    .map_err(|e| format!("--keep: {e}"))?;
+                if cfg.keep == 0 {
+                    return Err("--keep must be at least 1".into());
+                }
+            }
+            other => return Err(format!("serve: unknown flag `{other}`")),
+        }
+    }
+    let exe = std::env::current_exe().map_err(|e| format!("current_exe: {e}"))?;
+    let keep = cfg.keep;
+    // Build each worker attempt's command line from the run entry. The
+    // daemon itself adds ASURA_ATTEMPT and any per-run ASURA_FAULTS plan.
+    let spawner: serve::Spawner = Arc::new(move |spec: &serve::SpawnSpec| {
+        let mut cmd = std::process::Command::new(&exe);
+        cmd.arg("--scenario").arg(&spec.run.scenario);
+        // Absolute-step target: resumed attempts integrate the remainder,
+        // so every attempt ends at the same final step (the
+        // bitwise-determinism contract of the chaos tests).
+        let child_steps = match spec.resume {
+            Some(rp) => spec.run.target_steps.saturating_sub(rp.step),
+            None => spec.run.target_steps,
+        };
+        cmd.arg("--steps").arg(child_steps.to_string());
+        if let Some(rp) = spec.resume {
+            cmd.arg("--resume").arg(&rp.path);
+        }
+        let o = &spec.run.overrides;
+        if let Some(s) = &o.scheme {
+            cmd.arg("--scheme").arg(s);
+        }
+        if let Some(t) = &o.timestep {
+            cmd.arg("--timestep").arg(t);
+        }
+        // Serve default cadence is every step: auto-resume should never
+        // replay more than one step of lost work.
+        cmd.arg("--snapshot-every")
+            .arg(o.snapshot_every.unwrap_or(1).to_string());
+        if let Some(f) = &o.snapshot_format {
+            cmd.arg("--snapshot-format").arg(f);
+        }
+        cmd.arg("--seed").arg(o.seed.unwrap_or(42).to_string());
+        cmd.arg("--run-dir").arg(spec.run_dir);
+        cmd.arg("--keep").arg(keep.to_string());
+        cmd.arg("--heartbeat").arg(spec.heartbeat);
+        Ok(cmd)
+    });
+    serve::serve(cfg, spawner).map_err(|e| format!("serve: {e}"))
+}
+
+/// The client subcommands (`submit`/`status`/`list`/`watch`/`cancel`/
+/// `shutdown`): one request line to the daemon, response lines streamed
+/// to stdout as they arrive.
+fn cmd_client(verb: &str, rest: &[String]) -> Result<(), String> {
+    let mut root = PathBuf::from("results");
+    let mut addr: Option<String> = None;
+    let mut drain = false;
+    let mut positional: Vec<&String> = Vec::new();
+    let mut it = rest.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--root" => {
+                root = PathBuf::from(
+                    it.next()
+                        .ok_or_else(|| "--root needs a value".to_string())?,
+                )
+            }
+            "--addr" => {
+                addr = Some(
+                    it.next()
+                        .ok_or_else(|| "--addr needs a value".to_string())?
+                        .clone(),
+                )
+            }
+            "--drain" if verb == "shutdown" => drain = true,
+            other if other.starts_with("--") => {
+                return Err(format!("{verb}: unknown flag `{other}`"))
+            }
+            _ => positional.push(arg),
+        }
+    }
+    let pos = |n: usize, what: &str| -> Result<&String, String> {
+        positional
+            .get(n)
+            .copied()
+            .ok_or_else(|| format!("usage: asura {verb} <{what}>"))
+    };
+    let line = match verb {
+        "submit" => {
+            let scenario = pos(0, "scenario")?;
+            match positional.get(1) {
+                Some(json) => format!("SUBMIT {scenario} {json}"),
+                None => format!("SUBMIT {scenario}"),
+            }
+        }
+        "status" => format!("STATUS {}", pos(0, "run-id")?),
+        "list" => "LIST".to_string(),
+        "watch" => format!("WATCH {}", pos(0, "run-id")?),
+        "cancel" => format!("CANCEL {}", pos(0, "run-id")?),
+        "shutdown" => {
+            if drain {
+                "SHUTDOWN DRAIN".to_string()
+            } else {
+                "SHUTDOWN".to_string()
+            }
+        }
+        other => return Err(format!("unknown subcommand `{other}`")),
+    };
+    // Catch grammar errors locally (typo'd overrides JSON etc.) before
+    // the request crosses the wire.
+    Request::parse(&line).map_err(|e| format!("{verb}: {e}"))?;
+    let addr = match addr {
+        Some(a) => a,
+        None => serve::read_serve_addr(&root).ok_or_else(|| {
+            format!(
+                "no daemon found: pass --addr, or start `asura serve` \
+                 (looked for {})",
+                root.join(serve::ADDR_FILE).display()
+            )
+        })?,
+    };
+    let mut stream =
+        std::net::TcpStream::connect(&addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    stream
+        .write_all(format!("{line}\n").as_bytes())
+        .and_then(|()| stream.shutdown(std::net::Shutdown::Write))
+        .map_err(|e| format!("send: {e}"))?;
+    let mut failed = false;
+    for reply in BufReader::new(stream).lines() {
+        let reply = reply.map_err(|e| format!("read: {e}"))?;
+        failed |= reply.contains("\"ok\":false");
+        println!("{reply}");
+    }
+    if failed {
+        Err("request failed (see response above)".into())
+    } else {
+        Ok(())
     }
 }
 
 fn run() -> Result<(), String> {
     let argv: Vec<String> = std::env::args().skip(1).collect();
+    // Subcommand forms first; everything else is the classic flag CLI.
+    match argv.first().map(|s| s.as_str()) {
+        Some("scenarios") => return cmd_scenarios(&argv[1..]),
+        Some("serve") => return cmd_serve(&argv[1..]),
+        Some(verb @ ("submit" | "status" | "list" | "watch" | "cancel" | "shutdown")) => {
+            return cmd_client(verb, &argv[1..])
+        }
+        _ => {}
+    }
     let args = parse_args(&argv).map_err(|e| {
         if e.is_empty() {
             String::new()
@@ -742,7 +978,10 @@ fn run() -> Result<(), String> {
     let steps = args.steps.unwrap_or(default_steps);
     let map_half = scenarios::find(&run_name).map_or(100.0, |s| s.map_half);
 
-    let dir = args.out_dir.join(&run_name);
+    let dir = args
+        .run_dir
+        .clone()
+        .unwrap_or_else(|| args.out_dir.join(&run_name));
     std::fs::create_dir_all(&dir).map_err(|e| format!("create {}: {e}", dir.display()))?;
     let store = CkptStore::new(&dir, args.keep);
 
@@ -756,6 +995,12 @@ fn run() -> Result<(), String> {
     let diag_every = args.diag_every.unwrap_or(1);
     let mut heartbeat = args.heartbeat.as_ref().map(Heartbeat::new);
     let mut hb_io: Option<std::io::Error> = None;
+    let diag_path = dir.join("diagnostics.json");
+    // Under supervision (--heartbeat set) the series is also rewritten
+    // atomically after every sample, so WATCHers of the serve daemon see
+    // rows as they land instead of at run end. In-loop write errors are
+    // tolerated (the final write below still reports them).
+    let live_diag = args.heartbeat.is_some();
     // The crash-safe run loop: heartbeat + diagnostics after every step,
     // then (fault enforcement and) the cadence commit through the atomic
     // rotated store — see `Simulation::run_with_store`.
@@ -771,6 +1016,9 @@ fn run() -> Result<(), String> {
             if diag_every > 0 && s.step_count.is_multiple_of(diag_every) {
                 series.record(TimeSample::measure(s, t_prev, map_half));
                 t_prev = s.time;
+                if live_diag {
+                    let _ = atomic_write(&diag_path, series.to_json().as_bytes());
+                }
             }
         })
         .map_err(|e| format!("writing checkpoint under {}: {e}", dir.display()))?;
@@ -790,7 +1038,6 @@ fn run() -> Result<(), String> {
                 .map_err(|e| format!("writing final checkpoint: {e}"))?,
         );
     }
-    let diag_path = dir.join("diagnostics.json");
     atomic_write(&diag_path, series.to_json().as_bytes())
         .map_err(|e| format!("write {}: {e}", diag_path.display()))?;
 

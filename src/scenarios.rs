@@ -82,6 +82,19 @@ pub fn find(name: &str) -> Option<&'static Scenario> {
     SCENARIOS.iter().find(|s| s.name == name)
 }
 
+/// The registry as plain data, in the form the serve daemon advertises
+/// over its `SCENARIOS` request and validates `SUBMIT` against.
+pub fn catalog() -> Vec<asura_core::serve::ScenarioMeta> {
+    SCENARIOS
+        .iter()
+        .map(|s| asura_core::serve::ScenarioMeta {
+            name: s.name.to_string(),
+            description: s.description.to_string(),
+            default_steps: s.default_steps as u64,
+        })
+        .collect()
+}
+
 /// Pack a galactic-ic realization into driver particles. Stars are born
 /// long ago (`birth_time` = -500 Myr) so the pre-existing population never
 /// explodes; gas starts at `u0` with a smoothing length scaled to the gas

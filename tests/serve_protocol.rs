@@ -1,0 +1,266 @@
+//! End-to-end tests of the `asura serve` daemon: a real daemon process
+//! per test (ephemeral port, private root), driven over the line protocol
+//! by [`asura_core::serve::request`]. The chaos cases mirror
+//! `tests/supervised_chaos.rs`: kill a worker *child* mid-run (per-run
+//! `ASURA_FAULTS` override) and kill the *daemon* itself (`kill -9` +
+//! restart), asserting in both cases that every run still converges to a
+//! final checkpoint bitwise identical to an undisturbed run.
+
+use asura_core::faults::{ATTEMPT_ENV, FAULTS_ENV, FAULT_KILL_EXIT};
+use asura_core::serve::{self, RunState};
+use asura_core::supervise::{IncidentKind, IncidentLog, Outcome};
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+const BIN: &str = env!("CARGO_BIN_EXE_asura");
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "asura-serve-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Spawn a daemon on an ephemeral port and wait for its `serve.json`.
+/// Every returned child is reaped by `shutdown` (or an explicit
+/// kill+wait in the kill -9 test), which clippy cannot see from here.
+#[allow(clippy::zombie_processes)]
+fn start_daemon(root: &Path, max_concurrent: usize) -> (Child, String) {
+    // A kill -9'd daemon leaves its serve.json behind; drop it so the
+    // wait below can't pick up the dead instance's address.
+    let _ = fs::remove_file(root.join("serve.json"));
+    let child = Command::new(BIN)
+        .arg("serve")
+        .arg("--root")
+        .arg(root)
+        .args(["--addr", "127.0.0.1:0"])
+        .args(["--max-concurrent", &max_concurrent.to_string()])
+        .args(["--backoff-ms", "10"])
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        // Never inherit a fault plan from the test runner's environment —
+        // fleet chaos is injected per run via the `faults` override.
+        .env_remove(FAULTS_ENV)
+        .env_remove(ATTEMPT_ENV)
+        .spawn()
+        .unwrap();
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        if let Some(addr) = serve::read_serve_addr(root) {
+            return (child, addr);
+        }
+        assert!(Instant::now() < deadline, "daemon never wrote serve.json");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+fn request_one(addr: &str, line: &str) -> String {
+    let lines = serve::request(addr, line).unwrap();
+    assert_eq!(lines.len(), 1, "{line}: expected one response line");
+    lines.into_iter().next().unwrap()
+}
+
+fn submit(addr: &str, scenario: &str, overrides: &str) -> String {
+    let reply = request_one(addr, &format!("SUBMIT {scenario} {overrides}"));
+    assert!(reply.contains("\"ok\":true"), "SUBMIT failed: {reply}");
+    let id = reply
+        .split("\"id\":\"")
+        .nth(1)
+        .and_then(|r| r.split('"').next())
+        .unwrap_or_else(|| panic!("no id in {reply}"));
+    id.to_string()
+}
+
+/// Poll STATUS until the run reaches `want`; panics if it lands in a
+/// different terminal state first.
+fn wait_state(addr: &str, id: &str, want: RunState) -> String {
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        let reply = request_one(addr, &format!("STATUS {id}"));
+        let state = reply
+            .split("\"state\":\"")
+            .nth(1)
+            .and_then(|r| r.split('"').next())
+            .and_then(RunState::parse)
+            .unwrap_or_else(|| panic!("unparseable STATUS reply: {reply}"));
+        if state == want {
+            return reply;
+        }
+        assert!(
+            !state.is_terminal(),
+            "{id}: wanted {}, ended {}: {reply}",
+            want.as_str(),
+            state.as_str()
+        );
+        assert!(
+            Instant::now() < deadline,
+            "{id}: still {} after 120s",
+            state.as_str()
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    }
+}
+
+fn shutdown(addr: &str, mut daemon: Child) {
+    let reply = request_one(addr, "SHUTDOWN");
+    assert!(reply.contains("\"ok\":true"), "SHUTDOWN failed: {reply}");
+    let status = daemon.wait().unwrap();
+    assert!(status.success(), "daemon must exit cleanly, got {status}");
+}
+
+fn read_log(root: &Path, id: &str) -> IncidentLog {
+    let text = fs::read_to_string(root.join(id).join("supervisor.json")).unwrap();
+    IncidentLog::from_json(&text).unwrap()
+}
+
+#[test]
+fn fleet_chaos_killed_child_resumes_bitwise_identical_to_its_neighbor() {
+    let root = tmpdir("chaos");
+    let (daemon, addr) = start_daemon(&root, 2);
+
+    // Two identical quickstart runs; the second has its attempt-0 child
+    // killed after step 3 (checkpoints at 2 and 4, so it resumes from 2).
+    let clean = submit(&addr, "quickstart", "{\"steps\":4,\"snapshot_every\":2}");
+    let faulted = submit(
+        &addr,
+        "quickstart",
+        "{\"steps\":4,\"snapshot_every\":2,\"faults\":\"kill@3#0\"}",
+    );
+    wait_state(&addr, &clean, RunState::Completed);
+    let status = wait_state(&addr, &faulted, RunState::Completed);
+    assert!(
+        status.contains("\"incidents\":1"),
+        "STATUS must surface the incident: {status}"
+    );
+
+    let log = read_log(&root, &faulted);
+    assert_eq!(log.outcome, Some(Outcome::Completed { attempts: 2 }));
+    assert_eq!(log.incidents.len(), 1);
+    assert_eq!(
+        log.incidents[0].kind,
+        IncidentKind::Crash {
+            exit_code: FAULT_KILL_EXIT
+        }
+    );
+    assert_eq!(log.incidents[0].resumed_from_step, Some(2));
+    assert!(read_log(&root, &clean).incidents.is_empty());
+
+    // The killed-and-resumed run must converge to exactly the state of
+    // its undisturbed twin.
+    let reference = fs::read(root.join(&clean).join("checkpoint-000004.bin")).unwrap();
+    let resumed = fs::read(root.join(&faulted).join("checkpoint-000004.bin")).unwrap();
+    assert_eq!(
+        resumed, reference,
+        "final checkpoint differs from the undisturbed run"
+    );
+    shutdown(&addr, daemon);
+}
+
+#[test]
+fn daemon_kill9_restart_adopts_fleet_and_completes_all_runs() {
+    let root = tmpdir("kill9");
+    let (mut daemon, addr) = start_daemon(&root, 1);
+
+    // Serial queue: the second run is still queued when the daemon dies.
+    let first = submit(&addr, "quickstart", "{\"steps\":8,\"snapshot_every\":2}");
+    let second = submit(&addr, "quickstart", "{\"steps\":8,\"snapshot_every\":2}");
+    wait_state(&addr, &first, RunState::Running);
+    daemon.kill().unwrap(); // SIGKILL: no drain, no cleanup
+    daemon.wait().unwrap();
+
+    // The restarted daemon re-adopts fleet.json: the interrupted run goes
+    // back to queued and resumes from its rotation; the queued run is
+    // dispatched as normal.
+    let (daemon, addr) = start_daemon(&root, 1);
+    wait_state(&addr, &first, RunState::Completed);
+    wait_state(&addr, &second, RunState::Completed);
+
+    for id in [&first, &second] {
+        assert!(
+            root.join(id).join("diagnostics.json").exists(),
+            "{id}: diagnostics missing"
+        );
+    }
+    // Both runs are identical configurations, so the interrupted-and-
+    // adopted one must still converge bitwise to its undisturbed twin.
+    let a = fs::read(root.join(&first).join("checkpoint-000008.bin")).unwrap();
+    let b = fs::read(root.join(&second).join("checkpoint-000008.bin")).unwrap();
+    assert_eq!(a, b, "adopted run diverged from the undisturbed run");
+    shutdown(&addr, daemon);
+}
+
+#[test]
+fn cancel_dequeues_queued_runs_and_kills_running_ones() {
+    let root = tmpdir("cancel");
+    let (daemon, addr) = start_daemon(&root, 1);
+
+    // A long run hogs the single slot; a second stays queued behind it.
+    let running = submit(&addr, "quickstart", "{\"steps\":200}");
+    let queued = submit(&addr, "quickstart", "{\"steps\":4}");
+    wait_state(&addr, &running, RunState::Running);
+
+    // Canceling a queued run is immediate — it never dispatches.
+    let reply = request_one(&addr, &format!("CANCEL {queued}"));
+    assert!(reply.contains("\"state\":\"canceled\""), "{reply}");
+    // Canceling a running run kills its child and records the outcome.
+    let reply = request_one(&addr, &format!("CANCEL {running}"));
+    assert!(reply.contains("\"ok\":true"), "{reply}");
+    wait_state(&addr, &running, RunState::Canceled);
+    assert!(matches!(
+        read_log(&root, &running).outcome,
+        Some(Outcome::Canceled { .. })
+    ));
+    // A canceled run cannot be canceled again.
+    let reply = request_one(&addr, &format!("CANCEL {running}"));
+    assert!(reply.contains("\"ok\":false"), "{reply}");
+    shutdown(&addr, daemon);
+}
+
+#[test]
+fn watch_streams_diagnostics_rows_then_a_done_line() {
+    let root = tmpdir("watch");
+    let (daemon, addr) = start_daemon(&root, 1);
+    let id = submit(&addr, "quickstart", "{\"steps\":4}");
+
+    // WATCH from submission time: blocks until the run completes, rows
+    // streaming in as the child lands them.
+    let lines = serve::request(&addr, &format!("WATCH {id}")).unwrap();
+    assert!(lines.len() >= 5, "4 sample rows + done line, got {lines:?}");
+    let (done, rows) = lines.split_last().unwrap();
+    for (n, row) in rows.iter().enumerate() {
+        assert!(row.contains("\"step\":"), "row {n} malformed: {row}");
+    }
+    assert!(done.contains("\"done\":true"), "{done}");
+    assert!(done.contains("\"state\":\"completed\""), "{done}");
+    shutdown(&addr, daemon);
+}
+
+#[test]
+fn protocol_errors_come_back_as_ok_false() {
+    let root = tmpdir("errors");
+    let (daemon, addr) = start_daemon(&root, 1);
+    for line in [
+        "FROBNICATE",
+        "SUBMIT no_such_scenario",
+        "SUBMIT quickstart {\"stepz\":4}",
+        "STATUS r9999-nope",
+        "CANCEL r9999-nope",
+        "SHUTDOWN NOW",
+    ] {
+        let reply = request_one(&addr, line);
+        assert!(
+            reply.contains("\"ok\":false") && reply.contains("\"error\":"),
+            "`{line}` should error, got {reply}"
+        );
+    }
+    // The daemon is unharmed by garbage requests.
+    let reply = request_one(&addr, "LIST");
+    assert!(reply.contains("\"ok\":true"), "{reply}");
+    shutdown(&addr, daemon);
+}

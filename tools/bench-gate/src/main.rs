@@ -198,12 +198,35 @@ fn tracked(file: &str) -> &'static [Metric] {
             class: Class::Info,
         },
     ];
+    const SERVE: &[Metric] = &[
+        Metric {
+            // Serial-fleet wall over concurrent-fleet wall, measured
+            // within one bench run: ~1.0 on a single core (only run I/O
+            // overlaps), higher with more cores. Gated because a daemon
+            // that serializes workers behind a lock or re-runs work drags
+            // it well below its own machine's baseline.
+            path: &["overlap_speedup"],
+            direction: Direction::Higher,
+            class: Class::Gated,
+        },
+        Metric {
+            path: &["serial_wall_s"],
+            direction: Direction::Lower,
+            class: Class::Info,
+        },
+        Metric {
+            path: &["concurrent_wall_s"],
+            direction: Direction::Lower,
+            class: Class::Info,
+        },
+    ];
     match file {
         "BENCH_blockstep.json" => BLOCKSTEP,
         "BENCH_dist_blockstep.json" => DIST_BLOCKSTEP,
         "BENCH_force.json" => FORCE,
         "BENCH_unet_infer.json" => UNET_INFER,
         "BENCH_tree_walk.json" => TREE_WALK,
+        "BENCH_serve.json" => SERVE,
         _ => &[],
     }
 }
@@ -380,6 +403,7 @@ const DEFAULT_FILES: &[&str] = &[
     "BENCH_tree_walk.json",
     "BENCH_alltoall.json",
     "BENCH_unet_infer.json",
+    "BENCH_serve.json",
 ];
 
 const USAGE: &str = "\
@@ -664,6 +688,21 @@ mod tests {
         let rows = compare_file("BENCH_tree_walk.json", Some(&base), &better);
         let r = rows.iter().find(|r| r.name == "h_iter_walk_ratio").unwrap();
         assert!(!r.failed(0.30), "fewer walks per iteration passes");
+    }
+
+    #[test]
+    fn serve_overlap_gates_but_fleet_wall_times_stay_informational() {
+        let base = doc(r#"{"overlap_speedup": 1.0, "serial_wall_s": 1.5,
+                "concurrent_wall_s": 1.5}"#);
+        let worse = doc(r#"{"overlap_speedup": 0.5, "serial_wall_s": 9.0,
+                "concurrent_wall_s": 18.0}"#);
+        let rows = compare_file("BENCH_serve.json", Some(&base), &worse);
+        let overlap = rows.iter().find(|r| r.name == "overlap_speedup").unwrap();
+        assert!(overlap.failed(0.30), "halved fleet overlap must gate");
+        for name in ["serial_wall_s", "concurrent_wall_s"] {
+            let row = rows.iter().find(|r| r.name == name).unwrap();
+            assert!(!row.failed(0.30), "{name} is informational");
+        }
     }
 
     #[test]
