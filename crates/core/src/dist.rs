@@ -80,8 +80,8 @@ use crate::phases;
 use crate::pool::{PoolPredictor, SedovOverlayPredictor, UNetPredictor};
 use crate::scheduler::{self, ActiveScheduler};
 pub use crate::sim::SimStats;
-use crate::snapshot::ScheduleState;
 pub use crate::snapshot::{DistPending, DistSnapshot};
+use crate::snapshot::{ModelState, ScheduleState};
 use astro::lifetime::explodes_in_interval;
 use astro::units::{E_SN, G, NH_PER_MSUN_PC3};
 use fdps::domain::DomainDecomposition;
@@ -100,27 +100,75 @@ const TAG_SHUTDOWN: u64 = 51;
 const TAG_REPLY_BASE: u64 = 1_000_000;
 
 /// Which predictor the pool ranks run (paper Fig. 3 step 3). A config-level
-/// enum rather than a trait object so [`DistConfig`] stays `Copy` and every
-/// pool rank can construct its own instance.
-#[derive(Debug, Clone, Copy, PartialEq)]
+/// enum rather than a trait object so [`DistConfig`] stays cloneable and
+/// every pool rank can construct its own instance.
+#[derive(Debug, Clone, PartialEq)]
 pub enum PredictorKind {
     /// Analytic Sedov–Taylor overlay: deterministic and cheap (the default,
     /// and the reference the U-Net is trained to imitate).
     SedovOverlay,
     /// The U-Net surrogate pipeline (voxelize → net → Gibbs resample) with
     /// freshly initialized weights — the full paper data path on the pool
-    /// ranks; production use would load trained weights instead.
+    /// ranks, used for plumbing tests; production runs load trained
+    /// weights with [`PredictorKind::UNetTrained`].
     UNetUntrained {
         grid_n: usize,
         base_features: usize,
         seed: u64,
     },
+    /// Trained weights from an `asura train-surrogate` file. The CLI-facing
+    /// form: [`PredictorKind::resolve`] reads and validates the file
+    /// up front (before any rank is spawned), turning it into
+    /// [`PredictorKind::UNetWeights`] or a typed
+    /// [`DistError::BadWeights`] — never a loader panic.
+    UNetTrained {
+        /// Path of the weights JSON document.
+        path: String,
+        /// Per-request Gibbs-resampling RNG seed.
+        seed: u64,
+    },
+    /// Trained weights held inline (the resolved form of
+    /// [`PredictorKind::UNetTrained`], and what snapshots embed): the
+    /// verbatim, checksummed [`SurrogateModel::to_json`] document.
+    UNetWeights { seed: u64, weights_json: String },
 }
 
 impl PredictorKind {
+    /// Validate any file-backed weights and return the self-contained form:
+    /// [`PredictorKind::UNetTrained`] becomes
+    /// [`PredictorKind::UNetWeights`] (or [`DistError::BadWeights`] if the
+    /// file is missing, foreign, or corrupt); every other kind is returned
+    /// unchanged. Run drivers call this before spawning ranks so bad
+    /// weights surface as a typed error, not a mid-run panic.
+    pub fn resolve(&self) -> Result<PredictorKind, DistError> {
+        match self {
+            PredictorKind::UNetTrained { path, seed } => {
+                let text = std::fs::read_to_string(path).map_err(|e| DistError::BadWeights {
+                    path: path.clone(),
+                    reason: e.to_string(),
+                })?;
+                // Full decode (checksum included) so corruption is caught
+                // here; build() below re-parses the validated text.
+                SurrogateModel::from_json(&text).map_err(|reason| DistError::BadWeights {
+                    path: path.clone(),
+                    reason,
+                })?;
+                Ok(PredictorKind::UNetWeights {
+                    seed: *seed,
+                    weights_json: text,
+                })
+            }
+            other => Ok(other.clone()),
+        }
+    }
+
     /// Instantiate the predictor for regions of side `region_side`.
+    /// File-backed kinds must be [`resolve`](PredictorKind::resolve)d
+    /// first; inline weights have already been validated there (or came
+    /// out of a checksummed snapshot), so a decode failure here is a
+    /// driver bug, not bad input.
     pub fn build(&self, region_side: f64) -> Box<dyn PoolPredictor> {
-        match *self {
+        match self {
             PredictorKind::SedovOverlay => Box::new(SedovOverlayPredictor),
             PredictorKind::UNetUntrained {
                 grid_n,
@@ -128,19 +176,46 @@ impl PredictorKind {
                 seed,
             } => Box::new(UNetPredictor::new(
                 SurrogateModel::new(SurrogateConfig {
-                    grid_n,
+                    grid_n: *grid_n,
                     side: region_side,
-                    base_features,
-                    seed,
+                    base_features: *base_features,
+                    seed: *seed,
                 }),
-                seed,
+                *seed,
             )),
+            PredictorKind::UNetTrained { path, seed } => {
+                let resolved = PredictorKind::UNetTrained {
+                    path: path.clone(),
+                    seed: *seed,
+                }
+                .resolve()
+                .expect("unresolved weights file: call PredictorKind::resolve first");
+                resolved.build(region_side)
+            }
+            PredictorKind::UNetWeights { seed, weights_json } => Box::new(
+                UNetPredictor::from_weights(*seed, weights_json, region_side)
+                    .expect("inline weights were validated at resolve time"),
+            ),
+        }
+    }
+
+    /// The model state a checkpoint should embed for this predictor:
+    /// `Some` for trained weights (resolved or file-backed after
+    /// [`resolve`](PredictorKind::resolve)), `None` for the analytic and
+    /// untrained kinds, which rebuild deterministically from config alone.
+    pub fn model_state(&self) -> Option<ModelState> {
+        match self {
+            PredictorKind::UNetWeights { seed, weights_json } => Some(ModelState {
+                seed: *seed,
+                weights_json: weights_json.clone(),
+            }),
+            _ => None,
         }
     }
 }
 
 /// Distributed run parameters.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct DistConfig {
     /// Main-rank process grid; `nx * ny * nz` main ranks.
     pub grid: (usize, usize, usize),
@@ -194,6 +269,12 @@ pub enum DistError {
     /// can no longer produce a resumable snapshot and aborts with its
     /// last complete state.
     MissingPendingPayload { count: u64 },
+    /// A trained-weights file could not be read or failed validation
+    /// (foreign document, damaged weights, checksum mismatch). Raised by
+    /// [`PredictorKind::resolve`] before any rank is spawned; the CLI maps
+    /// it to a permanent exit so the supervisor never retries a run whose
+    /// weights can never load.
+    BadWeights { path: String, reason: String },
 }
 
 impl fmt::Display for DistError {
@@ -214,6 +295,9 @@ impl fmt::Display for DistError {
                 "{count} in-flight SN region(s) lost their request payload; \
                  aborting with the last complete checkpoint"
             ),
+            DistError::BadWeights { path, reason } => {
+                write!(f, "cannot load surrogate weights `{path}`: {reason}")
+            }
         }
     }
 }
@@ -300,6 +384,19 @@ fn run_inner(
     if cfg.n_pool < 1 {
         return Err(DistError::NoPoolRank);
     }
+    // Validate file-backed weights before any rank is spawned: a bad file
+    // is a typed error here, never a pool-rank panic. A resume snapshot
+    // that carries a model overrides the configured predictor entirely —
+    // the pool replays the exact weights that produced the checkpoint.
+    let mut cfg = cfg.clone();
+    cfg.predictor = match resume.and_then(|s| s.model.as_ref()) {
+        Some(m) => PredictorKind::UNetWeights {
+            seed: m.seed,
+            weights_json: m.weights_json.clone(),
+        },
+        None => cfg.predictor.resolve()?,
+    };
+    let cfg = &cfg;
     let world = World::new(cfg.world_size());
     let (results, stats) = world.run_with_stats(|comm| {
         let is_pool = comm.rank() >= n_main;
@@ -1216,6 +1313,7 @@ fn main_loop(
                     rank_particles: all_parts,
                     pending: all_pending.into_iter().flatten().collect(),
                     schedules: all_scheds.into_iter().flatten().collect(),
+                    model: cfg.predictor.model_state(),
                 });
             }
             if world_missing > 0 {
@@ -1363,6 +1461,7 @@ mod tests {
             rank_particles: vec![Vec::new(); 2],
             pending: Vec::new(),
             schedules: Vec::new(),
+            model: None,
         };
         let cfg = test_cfg(1, 1); // grid (2,2,1) = 4 main ranks
         assert_eq!(

@@ -80,8 +80,8 @@ impl UNetPredictor {
         UNetPredictor { model, seed }
     }
 
-    /// Small untrained network (pipeline plumbing for tests; real use
-    /// loads trained weights).
+    /// Small untrained network (pipeline plumbing for tests; production
+    /// runs load trained weights via [`UNetPredictor::from_weights`]).
     pub fn untrained_small(seed: u64) -> Self {
         UNetPredictor {
             model: SurrogateModel::new(SurrogateConfig {
@@ -92,6 +92,18 @@ impl UNetPredictor {
             }),
             seed,
         }
+    }
+
+    /// Build from a trained-weights document ([`SurrogateModel::to_json`]
+    /// text, as written by `asura train-surrogate`). The voxel grid's
+    /// physical side is overridden to `region_side` so the deployed model
+    /// always voxelizes exactly the region the driver cuts, regardless of
+    /// the side recorded at training time. Invalid or corrupt documents
+    /// are a typed `Err`, never a panic.
+    pub fn from_weights(seed: u64, weights_json: &str, region_side: f64) -> Result<Self, String> {
+        let mut model = SurrogateModel::from_json(weights_json)?;
+        model.config.side = region_side;
+        Ok(UNetPredictor { model, seed })
     }
 }
 

@@ -6,9 +6,9 @@ use crate::config::{Scheme, SimConfig, TimestepMode};
 use crate::faults::FaultInjector;
 use crate::forces::{ForceBuffers, NOT_GAS};
 use crate::particle::{Kind, Particle};
-use crate::pool::{PoolPredictor, SedovOverlayPredictor};
+use crate::pool::{PoolPredictor, SedovOverlayPredictor, UNetPredictor};
 use crate::scheduler::{self, ActiveScheduler};
-use crate::snapshot::{PendingPrediction, ScheduleState, SimSnapshot};
+use crate::snapshot::{ModelState, PendingPrediction, ScheduleState, SimSnapshot};
 use astro::cooling::CoolingCurve;
 use astro::lifetime::explodes_in_interval;
 use astro::starform::{SfOutcome, StarFormation};
@@ -72,6 +72,10 @@ pub struct Simulation {
     pub time: f64,
     pub step_count: u64,
     pub stats: SimStats,
+    /// The trained surrogate model this run carries (embedded in every
+    /// snapshot so a resume rebuilds the identical predictor); `None` for
+    /// the analytic Sedov-overlay default.
+    pub model: Option<ModelState>,
     predictor: Box<dyn PoolPredictor>,
     pending: Vec<PendingRegion>,
     next_id: u64,
@@ -119,6 +123,7 @@ impl Simulation {
                 dt_min_seen: f64::INFINITY,
                 ..Default::default()
             },
+            model: None,
             predictor,
             pending: Vec::new(),
             next_id,
@@ -226,17 +231,31 @@ impl Simulation {
                 dt_max: s.dt_max,
                 levels: s.levels.clone(),
             }),
+            model: self.model.clone(),
         }
     }
 
-    /// Rebuild a simulation from a snapshot with the default
-    /// (Sedov-overlay) pool predictor. The continued run reproduces an
-    /// uninterrupted one bit-for-bit: every piece of cross-step driver
+    /// Rebuild a simulation from a snapshot. The continued run reproduces
+    /// an uninterrupted one bit-for-bit: every piece of cross-step driver
     /// state (RNG stream, pending pool predictions — stored *predicted*,
     /// so the predictor is never re-run for them — CFL signal-speed stash,
-    /// id counter, schedule) is reinstated.
+    /// id counter, schedule) is reinstated. If the snapshot carries a
+    /// trained model ([`SimSnapshot::model`]), the identical U-Net
+    /// predictor is rebuilt from the embedded weights — no weights file
+    /// needs to exist at resume time; otherwise the default Sedov-overlay
+    /// predictor is used.
     pub fn restore(snapshot: &SimSnapshot) -> Self {
-        Self::restore_with_predictor(snapshot, Box::new(SedovOverlayPredictor))
+        let predictor: Box<dyn PoolPredictor> = match &snapshot.model {
+            // The embedded document already passed the snapshot checksum
+            // and carries its own; a decode failure here means the writer
+            // was broken, not the file.
+            Some(m) => Box::new(
+                UNetPredictor::from_weights(m.seed, &m.weights_json, snapshot.config.region_side)
+                    .expect("snapshot-embedded model weights must decode"),
+            ),
+            None => Box::new(SedovOverlayPredictor),
+        };
+        Self::restore_with_predictor(snapshot, predictor)
     }
 
     /// [`Simulation::restore`] with an explicit pool predictor for regions
@@ -248,6 +267,7 @@ impl Simulation {
     ) -> Self {
         let mut sim =
             Simulation::with_predictor(snapshot.config, snapshot.particles.clone(), 0, predictor);
+        sim.model = snapshot.model.clone();
         sim.time = snapshot.time;
         sim.step_count = snapshot.step_count;
         sim.next_id = snapshot.next_id;

@@ -55,16 +55,21 @@ pub const DIST_SNAPSHOT_MAGIC: [u8; 8] = *b"ASURDSNP";
 /// Current shared-memory snapshot format version (see the module docs for
 /// the policy).
 /// v2: [`SimStats`] gained the split SPH neighbor-tree reuse counters
-/// (`sph_tree_rebuilds` / `sph_tree_refreshes`).
-pub const SNAPSHOT_VERSION: u32 = 2;
+/// (`sph_tree_rebuilds` / `sph_tree_refreshes`);
+/// v3: the surrogate model travels with the run ([`SimSnapshot::model`]),
+/// so a trained-predictor run resumes bitwise without re-reading the
+/// weights file.
+pub const SNAPSHOT_VERSION: u32 = 3;
 
 /// Current *distributed* snapshot format version. Versioned separately
 /// from [`SNAPSHOT_VERSION`] so a layout change in one format never
 /// invalidates checkpoints of the other (the two magics already keep the
 /// byte streams apart). History: v2 and below shared the common counter;
 /// v3: [`DistSnapshot`] carries the per-rank block-timestep schedules
-/// ([`DistSnapshot::schedules`]) and gained a JSON encoding.
-pub const DIST_SNAPSHOT_VERSION: u32 = 3;
+/// ([`DistSnapshot::schedules`]) and gained a JSON encoding;
+/// v4: the pool predictor's model weights travel with the checkpoint
+/// ([`DistSnapshot::model`]).
+pub const DIST_SNAPSHOT_VERSION: u32 = 4;
 
 /// Why a snapshot failed to decode. Every variant is a recoverable error —
 /// corrupt or foreign input never panics the reader.
@@ -118,6 +123,22 @@ pub struct ScheduleState {
     pub levels: Vec<u32>,
 }
 
+/// The trained surrogate model a run carries: the pool-predictor RNG seed
+/// plus the verbatim weights document ([`SurrogateModel::to_json`] text,
+/// itself checksummed). Embedded in snapshots so a surrogate run resumes
+/// bitwise with its model intact — no weights file needs to exist at
+/// resume time.
+///
+/// [`SurrogateModel::to_json`]: surrogate::SurrogateModel::to_json
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModelState {
+    /// Seed of the predictor's per-request Gibbs-resampling RNG.
+    pub seed: u64,
+    /// The self-describing weights document, byte-for-byte as written by
+    /// `asura train-surrogate`.
+    pub weights_json: String,
+}
+
 /// Complete serializable state of a shared-memory simulation.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SimSnapshot {
@@ -138,6 +159,9 @@ pub struct SimSnapshot {
     pub pending: Vec<PendingPrediction>,
     /// The scheduler's last level assignment, if block mode has run.
     pub schedule: Option<ScheduleState>,
+    /// The trained surrogate model in flight, if the run uses one
+    /// (`None` for the analytic Sedov-overlay default).
+    pub model: Option<ModelState>,
 }
 
 /// FNV-1a 64-bit checksum.
@@ -403,6 +427,63 @@ fn read_gas(r: &mut Reader) -> Result<GasParticle, SnapshotError> {
     })
 }
 
+fn write_model(w: &mut Writer, m: &Option<ModelState>) {
+    match m {
+        None => w.u8(0),
+        Some(m) => {
+            w.u8(1);
+            w.u64(m.seed);
+            w.u64(m.weights_json.len() as u64);
+            w.buf.extend_from_slice(m.weights_json.as_bytes());
+        }
+    }
+}
+
+fn read_model(r: &mut Reader) -> Result<Option<ModelState>, SnapshotError> {
+    match r.u8()? {
+        0 => Ok(None),
+        1 => {
+            let seed = r.u64()?;
+            let n = r.len()?;
+            let weights_json = std::str::from_utf8(r.take(n)?)
+                .map_err(|e| SnapshotError::Malformed(format!("model weights not UTF-8: {e}")))?
+                .to_string();
+            Ok(Some(ModelState { seed, weights_json }))
+        }
+        k => Err(SnapshotError::Malformed(format!("unknown model tag {k}"))),
+    }
+}
+
+fn model_json(m: &Option<ModelState>) -> Json {
+    match m {
+        None => Json::Null,
+        Some(m) => Json::Obj(vec![
+            ("seed".into(), ju(m.seed)),
+            ("weights".into(), Json::Str(m.weights_json.clone())),
+        ]),
+    }
+}
+
+fn model_from_json(v: &Json) -> Result<Option<ModelState>, SnapshotError> {
+    match v {
+        Json::Null => Ok(None),
+        m => {
+            let weights_json = match m.get("weights").map_err(SnapshotError::Malformed)? {
+                Json::Str(s) => s.clone(),
+                other => {
+                    return Err(SnapshotError::Malformed(format!(
+                        "model weights must be a string, got {other:?}"
+                    )))
+                }
+            };
+            Ok(Some(ModelState {
+                seed: get_u64(m, "seed")?,
+                weights_json,
+            }))
+        }
+    }
+}
+
 impl SimSnapshot {
     /// Serialize to the compact binary format (see the module docs).
     pub fn to_bytes(&self) -> Vec<u8> {
@@ -444,6 +525,7 @@ impl SimSnapshot {
                 }
             }
         }
+        write_model(&mut w, &self.model);
 
         let payload = w.buf;
         let mut out = Vec::with_capacity(payload.len() + 28);
@@ -533,6 +615,7 @@ impl SimSnapshot {
                 )))
             }
         };
+        let model = read_model(&mut r)?;
         if r.pos != payload.len() {
             return Err(SnapshotError::Malformed(format!(
                 "{} trailing payload bytes",
@@ -550,6 +633,7 @@ impl SimSnapshot {
             last_vsig,
             pending,
             schedule,
+            model,
         })
     }
 
@@ -735,6 +819,7 @@ impl SimSnapshot {
             ("last_vsig".into(), last_vsig),
             ("pending".into(), pending),
             ("schedule".into(), schedule),
+            ("model".into(), model_json(&self.model)),
         ])
     }
 
@@ -852,6 +937,7 @@ impl SimSnapshot {
                 as_u64(&entries[3])?,
             ]
         };
+        let model = model_from_json(state.get("model").map_err(SnapshotError::Malformed)?)?;
         Ok(SimSnapshot {
             config,
             time: get_f64(state, "time")?,
@@ -863,6 +949,7 @@ impl SimSnapshot {
             last_vsig,
             pending,
             schedule,
+            model,
         })
     }
 }
@@ -912,6 +999,11 @@ pub struct DistSnapshot {
     /// base step re-derives levels from forces, so resume determinism
     /// never depends on it.
     pub schedules: Vec<ScheduleState>,
+    /// The trained model the pool ranks serve, if the run uses one
+    /// (`None` for the analytic Sedov-overlay default). On resume this
+    /// overrides the configured predictor so the pool replays the same
+    /// weights bitwise without re-reading the weights file.
+    pub model: Option<ModelState>,
 }
 
 impl DistSnapshot {
@@ -946,6 +1038,7 @@ impl DistSnapshot {
                 w.u32(l);
             }
         }
+        write_model(&mut w, &self.model);
         let payload = w.buf;
         let mut out = Vec::with_capacity(payload.len() + 28);
         out.extend_from_slice(&DIST_SNAPSHOT_MAGIC);
@@ -1025,6 +1118,7 @@ impl DistSnapshot {
             }
             schedules.push(ScheduleState { dt_max, levels });
         }
+        let model = read_model(&mut r)?;
         if r.pos != payload.len() {
             return Err(SnapshotError::Malformed(format!(
                 "{} trailing payload bytes",
@@ -1037,6 +1131,7 @@ impl DistSnapshot {
             rank_particles,
             pending,
             schedules,
+            model,
         })
     }
 
@@ -1077,6 +1172,7 @@ impl DistSnapshot {
                 "schedules".into(),
                 Json::Arr(self.schedules.iter().map(schedule_json).collect()),
             ),
+            ("model".into(), model_json(&self.model)),
         ]);
         let mut state_str = String::new();
         write_json(&state, &mut state_str);
@@ -1157,12 +1253,14 @@ impl DistSnapshot {
             .iter()
             .map(schedule_from_json)
             .collect::<Result<Vec<_>, _>>()?;
+        let model = model_from_json(state.get("model").map_err(SnapshotError::Malformed)?)?;
         Ok(DistSnapshot {
             step: get_u64(state, "step")?,
             time: get_f64(state, "time")?,
             rank_particles,
             pending,
             schedules,
+            model,
         })
     }
 
@@ -1565,6 +1663,17 @@ mod tests {
             } else {
                 None
             },
+            model: if seed.is_multiple_of(3) {
+                Some(ModelState {
+                    seed: rng.gen(), // full-range u64 (exercises the "u64:" JSON fallback)
+                    weights_json: format!(
+                        "{{\"format\":\"asura-surrogate-model\",\"fake\":{}}}",
+                        rng.gen_range(0..1000u32)
+                    ),
+                })
+            } else {
+                None
+            },
         }
     }
 
@@ -1688,6 +1797,7 @@ mod tests {
                 })
                 .collect(),
             schedules,
+            model: base.model,
         }
     }
 

@@ -5,7 +5,11 @@ use crate::gibbs::grid_to_particles;
 use crate::voxel::{particles_to_grid, GasParticle, VoxelGrid};
 use fdps::Vec3;
 use rand::Rng;
+use unet::json::{parse_json, Json};
 use unet::{Tensor, Trainer, UNet3d, UNetConfig};
+
+/// Document tag of [`SurrogateModel::to_json`] weights files.
+pub const WEIGHTS_FORMAT: &str = "asura-surrogate-model";
 
 /// Surrogate hyperparameters.
 #[derive(Debug, Clone, Copy)]
@@ -127,10 +131,116 @@ impl SurrogateModel {
         losses
     }
 
-    /// Serialize the model weights (the ONNX-interchange stand-in).
+    /// Serialize the model as a self-describing weights document (the
+    /// ONNX-interchange stand-in): a `asura-surrogate-model` envelope
+    /// carrying the pipeline hyperparameters (voxel grid, region side,
+    /// width, seed), the network weights, and an FNV-1a checksum of the
+    /// embedded network document so corruption is detected on load.
+    /// Float rendering is shortest-roundtrip, so save → load is bit-exact.
     pub fn to_json(&self) -> String {
-        self.net.to_json()
+        let net = self.net.to_json();
+        let sum = fnv1a(net.as_bytes());
+        format!(
+            "{{\"format\":\"{WEIGHTS_FORMAT}\",\"grid_n\":{},\"side\":{},\
+             \"base_features\":{},\"seed\":\"{}\",\"checksum\":\"fnv1a:{sum:016x}\",\
+             \"net\":{net}}}",
+            self.config.grid_n, self.config.side, self.config.base_features, self.config.seed,
+        )
     }
+
+    /// Load a [`SurrogateModel::to_json`] document. Every failure mode —
+    /// unparsable text, a foreign document, wrong channel counts, damaged
+    /// weights — is an `Err`, never a panic: this is the path untrusted
+    /// on-disk weights files come through.
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        let v = parse_json(text).map_err(|e| format!("surrogate weights: {e}"))?;
+        match v.get("format")? {
+            Json::Str(f) if f == WEIGHTS_FORMAT => {}
+            other => {
+                return Err(format!(
+                    "surrogate weights: not a {WEIGHTS_FORMAT} document (format {other:?})"
+                ))
+            }
+        }
+        let grid_n = v.get("grid_n")?.as_usize()?;
+        if grid_n == 0 {
+            return Err("surrogate weights: grid_n must be positive".into());
+        }
+        let side = match v.get("side")? {
+            Json::Num(s) if s.is_finite() && *s > 0.0 => *s,
+            other => {
+                return Err(format!(
+                    "surrogate weights: side must be a positive number, got {other:?}"
+                ))
+            }
+        };
+        let base_features = v.get("base_features")?.as_usize()?;
+        let seed = match v.get("seed")? {
+            Json::Str(s) => s
+                .parse::<u64>()
+                .map_err(|e| format!("surrogate weights: bad seed `{s}`: {e}"))?,
+            other => {
+                return Err(format!(
+                    "surrogate weights: seed must be a decimal string, got {other:?}"
+                ))
+            }
+        };
+        let net = UNet3d::from_json_value(v.get("net")?)?;
+        // The checksum covers the canonical re-rendering of the parsed
+        // network: bit-exact float formatting makes it equal to the stored
+        // bytes for an intact file, while any flipped digit surfaces here.
+        let stored = match v.get("checksum")? {
+            Json::Str(s) => s
+                .strip_prefix("fnv1a:")
+                .and_then(|h| u64::from_str_radix(h, 16).ok())
+                .ok_or_else(|| format!("surrogate weights: bad checksum `{s}`"))?,
+            other => {
+                return Err(format!(
+                    "surrogate weights: checksum must be a string, got {other:?}"
+                ))
+            }
+        };
+        let computed = fnv1a(net.to_json().as_bytes());
+        if stored != computed {
+            return Err(format!(
+                "surrogate weights: checksum mismatch (stored {stored:016x}, \
+                 computed {computed:016x})"
+            ));
+        }
+        if net.config.in_channels != 8 || net.config.out_channels != 8 {
+            return Err(format!(
+                "surrogate weights: network must be 8-in/8-out (the encode/decode \
+                 channel contract), got {}-in/{}-out",
+                net.config.in_channels, net.config.out_channels
+            ));
+        }
+        if net.config.base_features != base_features {
+            return Err(format!(
+                "surrogate weights: envelope says base_features {base_features} but the \
+                 network was built with {}",
+                net.config.base_features
+            ));
+        }
+        Ok(SurrogateModel {
+            config: SurrogateConfig {
+                grid_n,
+                side,
+                base_features,
+                seed,
+            },
+            net,
+        })
+    }
+}
+
+/// FNV-1a 64-bit checksum (the same discipline as the snapshot codecs).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
 }
 
 #[cfg(test)]
@@ -226,6 +336,28 @@ mod tests {
             last < first * 0.8,
             "training should reduce loss: {first} -> {last}"
         );
+    }
+
+    #[test]
+    fn weights_document_roundtrips_bit_exactly() {
+        let model = SurrogateModel::new(small_cfg());
+        let json = model.to_json();
+        let back = SurrogateModel::from_json(&json).expect("roundtrip");
+        assert_eq!(back.config.grid_n, model.config.grid_n);
+        assert_eq!(back.config.side, model.config.side);
+        assert_eq!(back.config.base_features, model.config.base_features);
+        assert_eq!(back.config.seed, model.config.seed);
+        // Bit-exact: re-serializing reproduces the document verbatim.
+        assert_eq!(back.to_json(), json);
+    }
+
+    #[test]
+    fn foreign_and_wrong_channel_documents_are_rejected() {
+        assert!(SurrogateModel::from_json("not json").is_err());
+        assert!(SurrogateModel::from_json("{\"format\":\"something-else\"}").is_err());
+        // A bare network document (no envelope) must not load either.
+        let net = SurrogateModel::new(small_cfg()).net.to_json();
+        assert!(SurrogateModel::from_json(&net).is_err());
     }
 
     #[test]

@@ -280,6 +280,13 @@ impl UNet3d {
     /// Load from [`UNet3d::to_json`] output.
     pub fn from_json(s: &str) -> Result<Self, String> {
         let v = parse_json(s).map_err(|e| format!("U-Net deserialize: {e}"))?;
+        Self::from_json_value(&v)
+    }
+
+    /// Load from an already-parsed [`UNet3d::to_json`] document — the entry
+    /// point for containers that embed a network inside a larger JSON value
+    /// (e.g. the surrogate's self-describing weights file).
+    pub fn from_json_value(v: &crate::json::Json) -> Result<Self, String> {
         let cfg = v.get("config")?;
         let config = UNetConfig {
             in_channels: cfg.get("in_channels")?.as_usize()?,

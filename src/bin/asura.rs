@@ -45,10 +45,24 @@
 //! across the ranks so its per-substep synchronization cost is measured
 //! (paper Figs. 6/7).
 //!
+//! # Trained surrogates
+//!
+//! `asura train-surrogate` closes the paper's train→persist→deploy loop:
+//! it generates `(input, target)` voxel pairs from real conventional
+//! SN-shell runs, trains the U-Net, and writes a checksummed weights
+//! document plus a training manifest (see [`asura::surrogate_train`]).
+//! `--predictor unet:<weights.json>` then serves those weights on any
+//! surrogate-scheme run — shared-memory, `--supervised`, or `--dist` —
+//! and embeds them in every checkpoint, so `--resume` rebuilds the
+//! identical predictor without the weights file. An unreadable or corrupt
+//! weights file is a *permanent* error (exit 2): the supervisor never
+//! retries it.
+//!
 //! Exit codes: 0 success, 1 runtime failure (unreadable snapshot, I/O,
-//! supervision gave up), 2 usage error.
+//! supervision gave up), 2 usage error or permanent failure (bad weights).
 
 use asura::scenarios;
+use asura::surrogate_train::{self, TrainSpec};
 use asura_core::ckpt::{atomic_write, CkptFormat, CkptStore, DEFAULT_KEEP};
 use asura_core::diagnostics::{TimeSample, TimeSeries};
 use asura_core::dist::{
@@ -75,6 +89,8 @@ USAGE:
     asura --scenario <name> [OPTIONS]
     asura --resume <snapshot|run-dir> [--scenario <name>] [OPTIONS]
     asura --scenario <name> --supervised [OPTIONS]
+    asura train-surrogate [--out <weights.json>] [--samples <n>] [--epochs <n>]
+                          [--grid <n>] [--base-features <n>] [--lr <x>] [--seed <s>]
     asura scenarios
     asura serve [--root <dir>] [--addr <ip:port>] [--max-concurrent <n>]
                 [--max-retries <n>] [--backoff-ms <ms>]
@@ -103,6 +119,11 @@ OPTIONS:
     --snapshot-every <k>       checkpoint cadence in steps (0 = off)
     --snapshot-format <f>      bin | json (default bin)
     --seed <s>                 scenario realization / RNG seed (default 42)
+    --predictor <p>            sedov (default) | unet:<weights.json> — the pool
+                               predictor serving SN regions; unet: loads trained
+                               weights from `asura train-surrogate` and embeds
+                               them in every checkpoint (a bad file exits 2 and
+                               is never retried by the supervisor)
     --diag-every <k>           diagnostics sampling cadence (default 1)
     --out-dir <dir>            output root (default results); artifacts land in
                                <out-dir>/<scenario>/
@@ -125,6 +146,52 @@ Deterministic fault injection (for testing the crash-safety machinery) is
 read from ASURA_FAULTS, e.g. `ASURA_FAULTS=\"torn@2:64#0,kill@5#0\"`; see
 the asura-core faults module docs for the grammar.
 ";
+
+/// Parsed `--predictor` spec: which pool predictor serves SN regions.
+#[derive(Debug, Clone, PartialEq)]
+enum PredictorSpec {
+    /// The analytic Sedov–Taylor overlay (the default, no weights needed).
+    Sedov,
+    /// A trained U-Net from `asura train-surrogate` weights at this path.
+    UNet(String),
+}
+
+impl PredictorSpec {
+    fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "sedov" => Ok(PredictorSpec::Sedov),
+            other => match other.strip_prefix("unet:") {
+                Some(p) if !p.is_empty() => Ok(PredictorSpec::UNet(p.to_string())),
+                _ => Err(format!(
+                    "--predictor expects `sedov` or `unet:<weights.json>`, got `{s}`"
+                )),
+            },
+        }
+    }
+
+    /// Render back to the flag value (for forwarding to supervised children).
+    fn flag_value(&self) -> String {
+        match self {
+            PredictorSpec::Sedov => "sedov".into(),
+            PredictorSpec::UNet(p) => format!("unet:{p}"),
+        }
+    }
+
+    /// Resolve to a ready [`PredictorKind`]: for `unet:` this reads and
+    /// validates the weights file, so a bad file fails here — as a
+    /// *permanent* error (exit 2, never retried by the supervisor) — not
+    /// mid-run.
+    fn resolve(&self, seed: u64) -> Result<PredictorKind, String> {
+        let kind = match self {
+            PredictorSpec::Sedov => PredictorKind::SedovOverlay,
+            PredictorSpec::UNet(path) => PredictorKind::UNetTrained {
+                path: path.clone(),
+                seed,
+            },
+        };
+        kind.resolve().map_err(|e| format!("permanent: {e}"))
+    }
+}
 
 struct Args {
     list: bool,
@@ -154,6 +221,9 @@ struct Args {
     /// Heartbeat file the (supervised) child touches after every step —
     /// set by the supervisor when it spawns the child.
     heartbeat: Option<PathBuf>,
+    /// `--predictor`: which pool predictor serves SN regions on a fresh
+    /// run (resumed runs reuse the snapshot's embedded model when present).
+    predictor: Option<PredictorSpec>,
 }
 
 /// Parse `--dist`'s `NXxNYxNZ+P` spec.
@@ -201,6 +271,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         backoff_ms: 500,
         heartbeat_timeout_ms: 30_000,
         heartbeat: None,
+        predictor: None,
     };
     let mut it = argv.iter();
     while let Some(flag) = it.next() {
@@ -293,6 +364,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                     .map_err(|e| format!("--heartbeat-timeout-ms: {e}"))?
             }
             "--heartbeat" => args.heartbeat = Some(PathBuf::from(value("--heartbeat")?)),
+            "--predictor" => args.predictor = Some(PredictorSpec::parse(value("--predictor")?)?),
             other => return Err(format!("unknown flag `{other}`")),
         }
     }
@@ -386,7 +458,12 @@ fn run_dist(
         routing: Routing::Flat,
         sim: sim_cfg,
         steps,
-        predictor: PredictorKind::SedovOverlay,
+        // Resolved eagerly so a bad weights file dies here with exit 2
+        // (on resume the snapshot's embedded model overrides this anyway).
+        predictor: match &args.predictor {
+            Some(p) => p.resolve(args.seed)?,
+            None => PredictorKind::SedovOverlay,
+        },
         snapshot_every: args.snapshot_every.unwrap_or(0),
     };
     let dir = args.out_dir.join(scenario.name);
@@ -620,6 +697,9 @@ fn run_supervised(args: &Args) -> Result<(), String> {
                 if let Some(d) = args.diag_every {
                     cmd.arg("--diag-every").arg(d.to_string());
                 }
+                if let Some(p) = &args.predictor {
+                    cmd.arg("--predictor").arg(p.flag_value());
+                }
                 cmd.arg("--run-dir").arg(&dir);
                 cmd.arg("--keep").arg(args.keep.to_string());
                 cmd.arg("--heartbeat").arg(&hb_path);
@@ -687,6 +767,102 @@ fn cmd_scenarios(rest: &[String]) -> Result<(), String> {
             s.name, s.default_steps, s.description
         );
     }
+    Ok(())
+}
+
+/// The `asura train-surrogate` subcommand: generate the conventional-run
+/// dataset, train the U-Net, and write the weights + training manifest
+/// (see [`asura::surrogate_train`]). The weights document is what
+/// `--predictor unet:<weights.json>` deploys.
+fn cmd_train_surrogate(rest: &[String]) -> Result<(), String> {
+    let mut spec = TrainSpec::default();
+    let mut out = PathBuf::from("results/train-surrogate/weights.json");
+    let mut it = rest.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> Result<&String, String> {
+            it.next()
+                .ok_or_else(|| format!("usage: train-surrogate: {name} needs a value"))
+        };
+        let bad =
+            |name: &str, e: std::num::ParseIntError| format!("usage: train-surrogate: {name}: {e}");
+        match flag.as_str() {
+            "--out" => out = PathBuf::from(value("--out")?),
+            "--samples" => {
+                spec.samples = value("--samples")?
+                    .parse()
+                    .map_err(|e| bad("--samples", e))?
+            }
+            "--epochs" => {
+                spec.epochs = value("--epochs")?.parse().map_err(|e| bad("--epochs", e))?
+            }
+            "--grid" => spec.grid_n = value("--grid")?.parse().map_err(|e| bad("--grid", e))?,
+            "--base-features" => {
+                spec.base_features = value("--base-features")?
+                    .parse()
+                    .map_err(|e| bad("--base-features", e))?
+            }
+            "--lr" => {
+                spec.lr = value("--lr")?
+                    .parse()
+                    .map_err(|e| format!("usage: train-surrogate: --lr: {e}"))?
+            }
+            "--seed" => spec.seed = value("--seed")?.parse().map_err(|e| bad("--seed", e))?,
+            other => return Err(format!("usage: train-surrogate: unknown flag `{other}`")),
+        }
+    }
+    if spec.samples == 0 || spec.epochs == 0 || spec.base_features == 0 {
+        return Err(
+            "usage: train-surrogate: --samples, --epochs and --base-features \
+                    must be at least 1"
+                .into(),
+        );
+    }
+    // Two 2× pooling stages in the U-Net encoder.
+    if spec.grid_n < 4 || spec.grid_n % 4 != 0 {
+        return Err(format!(
+            "usage: train-surrogate: --grid must be a positive multiple of 4, got {}",
+            spec.grid_n
+        ));
+    }
+    println!(
+        "train-surrogate: {} sample(s) from `{}` (seeds {}..{}), {} epoch(s), \
+         grid {}^3, {} base features, lr {}",
+        spec.samples,
+        surrogate_train::TRAIN_SCENARIO,
+        spec.seed,
+        spec.seed + spec.samples as u64,
+        spec.epochs,
+        spec.grid_n,
+        spec.base_features,
+        spec.lr,
+    );
+    let t0 = std::time::Instant::now();
+    let outcome = surrogate_train::train(&spec);
+    let wall = t0.elapsed().as_secs_f64();
+    if let Some(dir) = out.parent().filter(|d| !d.as_os_str().is_empty()) {
+        std::fs::create_dir_all(dir).map_err(|e| format!("create {}: {e}", dir.display()))?;
+    }
+    atomic_write(&out, outcome.model.to_json().as_bytes())
+        .map_err(|e| format!("write {}: {e}", out.display()))?;
+    let manifest_path = out.with_file_name("train_manifest.json");
+    atomic_write(
+        &manifest_path,
+        surrogate_train::manifest_json(&spec, &outcome.losses).as_bytes(),
+    )
+    .map_err(|e| format!("write {}: {e}", manifest_path.display()))?;
+    println!(
+        "trained in {:.1} s: loss {:.6} -> {:.6} over {} epoch(s)",
+        wall,
+        outcome.losses.first().copied().unwrap_or(f64::NAN),
+        outcome.losses.last().copied().unwrap_or(f64::NAN),
+        outcome.losses.len(),
+    );
+    println!("[weights] {}", out.display());
+    println!("[manifest] {}", manifest_path.display());
+    println!(
+        "deploy with: asura --scenario supernova_remnant --predictor unet:{}",
+        out.display()
+    );
     Ok(())
 }
 
@@ -881,6 +1057,7 @@ fn run() -> Result<(), String> {
     match argv.first().map(|s| s.as_str()) {
         Some("scenarios") => return cmd_scenarios(&argv[1..]),
         Some("serve") => return cmd_serve(&argv[1..]),
+        Some("train-surrogate") => return cmd_train_surrogate(&argv[1..]),
         Some(verb @ ("submit" | "status" | "list" | "watch" | "cancel" | "shutdown")) => {
             return cmd_client(verb, &argv[1..])
         }
@@ -930,7 +1107,22 @@ fn run() -> Result<(), String> {
                 snap.particles.len(),
                 snap.pending.len()
             );
-            let sim = Simulation::restore(&snap);
+            // A model embedded in the snapshot is authoritative — it is
+            // what the bitwise resume contract demands. Only a model-less
+            // snapshot accepts `--predictor` (the supervisor forwards the
+            // flag to resumed attempts, so it must not conflict here).
+            let sim = match (&snap.model, &args.predictor) {
+                (None, Some(spec @ PredictorSpec::UNet(_))) => {
+                    let kind = spec.resolve(args.seed)?;
+                    let mut sim = Simulation::restore_with_predictor(
+                        &snap,
+                        kind.build(snap.config.region_side),
+                    );
+                    sim.model = kind.model_state();
+                    sim
+                }
+                _ => Simulation::restore(&snap),
+            };
             // When the scenario is named alongside --resume, honour its
             // registered default step count; otherwise fall back to 10.
             let default_steps = scenarios::find(&name).map_or(10, |s| s.default_steps);
@@ -954,11 +1146,23 @@ fn run() -> Result<(), String> {
                 particles.len(),
                 scenario.description
             );
-            (
-                Simulation::new(cfg, particles, args.seed),
-                scenario.name.to_string(),
-                scenario.default_steps,
-            )
+            let sim = match &args.predictor {
+                None | Some(PredictorSpec::Sedov) => Simulation::new(cfg, particles, args.seed),
+                Some(spec) => {
+                    let kind = spec.resolve(args.seed)?;
+                    let mut sim = Simulation::with_predictor(
+                        cfg,
+                        particles,
+                        args.seed,
+                        kind.build(cfg.region_side),
+                    );
+                    // Embed the weights so every checkpoint carries the
+                    // model and `--resume` rebuilds it without the file.
+                    sim.model = kind.model_state();
+                    sim
+                }
+            };
+            (sim, scenario.name.to_string(), scenario.default_steps)
         }
         (None, None) => {
             return Err("usage: either --scenario <name> or --resume <snapshot> is required".into())
@@ -1072,9 +1276,18 @@ fn main() -> ExitCode {
             eprint!("{USAGE}");
             ExitCode::from(2)
         }
-        Err(e) => {
-            eprintln!("error: {e}");
-            ExitCode::FAILURE
-        }
+        // "permanent:" marks failures retrying can never fix (e.g. a
+        // corrupt weights file): exit 2 without the usage text, which the
+        // supervisor's permanent_exit_codes list refuses to retry.
+        Err(e) => match e.strip_prefix("permanent:") {
+            Some(msg) => {
+                eprintln!("error:{msg}");
+                ExitCode::from(2)
+            }
+            None => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        },
     }
 }

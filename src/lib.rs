@@ -7,6 +7,7 @@
 //! individual crates directly.
 
 pub mod scenarios;
+pub mod surrogate_train;
 
 pub use astro;
 pub use asura_core;

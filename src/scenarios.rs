@@ -68,6 +68,15 @@ pub const SCENARIOS: &[Scenario] = &[
         build_ic: ic_supernova_remnant,
     },
     Scenario {
+        name: "sn_shell_conventional",
+        description:
+            "the supernova_remnant IC integrated conventionally (adaptive global CFL step)",
+        default_steps: 12,
+        map_half: 12.0,
+        config: config_sn_shell_conventional,
+        build_ic: ic_supernova_remnant,
+    },
+    Scenario {
         name: "spiked_dt",
         description: "SN-hot particle in a cold blob: block-timestep stress (conventional scheme)",
         default_steps: 6,
@@ -253,6 +262,24 @@ fn ic_supernova_remnant(seed: u64) -> Vec<Particle> {
     let birth = SN_REMNANT_DT * 1.5 - stellar_lifetime_myr(m_star);
     particles.push(Particle::star(id, Vec3::ZERO, Vec3::ZERO, m_star, birth));
     particles
+}
+
+/// The conventional twin of [`config_supernova_remnant`]: identical IC and
+/// base step, but the SN shell is integrated directly, so the global CFL
+/// step collapses after the explosion. This is the ground-truth generator
+/// for `asura train-surrogate` and the baseline side of
+/// `cargo bench --bench surrogate_loop` — the pool latency is kept at the
+/// surrogate twin's value so both configs agree on the prediction horizon.
+fn config_sn_shell_conventional() -> SimConfig {
+    SimConfig {
+        scheme: Scheme::Conventional,
+        dt_global: SN_REMNANT_DT,
+        pool_latency_steps: 5,
+        cooling: false,
+        star_formation: false,
+        eps: 1.0,
+        ..Default::default()
+    }
 }
 
 fn config_spiked_dt() -> SimConfig {

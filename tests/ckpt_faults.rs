@@ -58,6 +58,7 @@ fn dist_snapshots(seed: u64) -> (DistSnapshot, DistSnapshot) {
                 gas: Vec::new(),
             }],
             schedules: s.schedule.iter().cloned().collect(),
+            model: s.model.clone(),
         }
     };
     (to_dist(&a), to_dist(&b))

@@ -1,0 +1,223 @@
+//! Trained-weights robustness, mirroring `tests/ckpt_faults.rs` for the
+//! model documents that now travel with runs: the weights JSON
+//! round-trips exactly, corruption is a typed rejection (never a panic)
+//! at every layer it can enter — [`SurrogateModel::from_json`], the
+//! [`UNetPredictor::from_weights`] loader, [`PredictorKind::resolve`]
+//! ([`DistError::BadWeights`]), and the CLI, where a bad `--predictor`
+//! file must exit 2 (the supervisor's permanent code) rather than be
+//! retried.
+
+use asura_core::dist::{DistError, PredictorKind};
+use asura_core::pool::UNetPredictor;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::path::PathBuf;
+use std::process::Command;
+use surrogate::{SurrogateConfig, SurrogateModel};
+use unet::Tensor;
+
+const BIN: &str = env!("CARGO_BIN_EXE_asura");
+
+/// A small valid weights document (untrained is fine — validity is about
+/// the envelope + checksum, not the training).
+fn weights_doc() -> String {
+    SurrogateModel::new(SurrogateConfig {
+        grid_n: 8,
+        side: 60.0,
+        base_features: 2,
+        seed: 9,
+    })
+    .to_json()
+}
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "asura-weights-{tag}-{}-{}",
+        std::process::id(),
+        std::thread::current().name().unwrap_or("t").len()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    dir
+}
+
+#[test]
+fn weights_document_roundtrips_exactly() {
+    let doc = weights_doc();
+    let back = SurrogateModel::from_json(&doc).expect("valid document loads");
+    assert_eq!(back.to_json(), doc, "weights JSON must round-trip bitwise");
+}
+
+#[test]
+fn truncated_weights_are_rejected_not_panics() {
+    let doc = weights_doc();
+    // Sweep cut points across the whole document (ckpt_faults style: a
+    // deterministic spread, not every byte — the doc is ~100 KB).
+    for i in 0..97 {
+        let cut = (doc.len() * i) / 97;
+        let result = std::panic::catch_unwind(|| SurrogateModel::from_json(&doc[..cut]));
+        let parsed = result.unwrap_or_else(|_| panic!("truncation at {cut} panicked"));
+        assert!(parsed.is_err(), "truncation at {cut} must be rejected");
+    }
+}
+
+#[test]
+fn byte_flips_inside_the_net_are_caught_by_the_checksum() {
+    let doc = weights_doc();
+    // The fnv1a checksum covers the embedded net document verbatim, so
+    // any flip past the `"net"` key must fail — either as a parse error
+    // or as a checksum mismatch, never a panic.
+    let net_at = doc.find("\"net\"").expect("net key present");
+    let mut rng = StdRng::seed_from_u64(7);
+    for _ in 0..40 {
+        let at = rng.gen_range(net_at..doc.len());
+        let mut bytes = doc.clone().into_bytes();
+        bytes[at] ^= 0x40;
+        let corrupt = String::from_utf8_lossy(&bytes).into_owned();
+        let result = std::panic::catch_unwind(|| SurrogateModel::from_json(&corrupt));
+        let parsed = result.unwrap_or_else(|_| panic!("flip at {at} panicked"));
+        assert!(parsed.is_err(), "flip at byte {at} must be rejected");
+    }
+}
+
+#[test]
+fn wrong_format_tag_is_rejected_with_context() {
+    let doc = weights_doc().replace("asura-surrogate-model", "some-other-doc");
+    let err = match SurrogateModel::from_json(&doc) {
+        Err(e) => e,
+        Ok(_) => panic!("wrong format tag must be rejected"),
+    };
+    assert!(
+        err.contains("asura-surrogate-model"),
+        "unhelpful error: {err}"
+    );
+}
+
+#[test]
+fn train_sample_tensors_roundtrip_and_reject_corruption() {
+    // TrainSample is a pair of tensors; its persistence (and the weights
+    // document's Param blobs) ride on Tensor JSON.
+    let mut rng = StdRng::seed_from_u64(3);
+    let data: Vec<f32> = (0..2 * 4 * 4 * 4)
+        .map(|_| rng.gen_range(-1.0..1.0))
+        .collect();
+    let t = Tensor::from_vec(2, 4, 4, 4, data);
+    let json = t.to_json();
+    let back = Tensor::from_json(&json).expect("tensor round-trips");
+    assert_eq!(back.to_json(), json);
+    for i in 0..29 {
+        let cut = (json.len() * i) / 29;
+        assert!(
+            Tensor::from_json(&json[..cut]).is_err(),
+            "tensor truncation at {cut} must be rejected"
+        );
+    }
+}
+
+#[test]
+fn resolve_turns_bad_weight_files_into_typed_errors() {
+    let dir = scratch_dir("resolve");
+
+    // Missing file.
+    let missing = PredictorKind::UNetTrained {
+        path: dir.join("nope.json").display().to_string(),
+        seed: 1,
+    };
+    match missing.resolve() {
+        Err(DistError::BadWeights { path, .. }) => assert!(path.contains("nope.json")),
+        other => panic!("missing file must be BadWeights, got {other:?}"),
+    }
+
+    // Corrupt file.
+    let bad_path = dir.join("bad.json");
+    std::fs::write(&bad_path, "{\"format\":\"nope\"}").unwrap();
+    let corrupt = PredictorKind::UNetTrained {
+        path: bad_path.display().to_string(),
+        seed: 1,
+    };
+    assert!(matches!(
+        corrupt.resolve(),
+        Err(DistError::BadWeights { .. })
+    ));
+
+    // Valid file resolves to inline weights that carry the exact text,
+    // and only then does a model state exist to embed in snapshots.
+    let good_path = dir.join("good.json");
+    let doc = weights_doc();
+    std::fs::write(&good_path, &doc).unwrap();
+    let good = PredictorKind::UNetTrained {
+        path: good_path.display().to_string(),
+        seed: 5,
+    };
+    assert_eq!(good.model_state(), None, "unresolved: nothing to embed");
+    let resolved = good.resolve().expect("valid weights resolve");
+    match &resolved {
+        PredictorKind::UNetWeights { seed, weights_json } => {
+            assert_eq!(*seed, 5);
+            assert_eq!(*weights_json, doc);
+        }
+        other => panic!("expected inline weights, got {other:?}"),
+    }
+    let state = resolved.model_state().expect("inline weights embed");
+    assert_eq!(state.seed, 5);
+    assert_eq!(state.weights_json, doc);
+
+    // Non-file kinds resolve to themselves.
+    assert!(matches!(
+        PredictorKind::SedovOverlay.resolve(),
+        Ok(PredictorKind::SedovOverlay)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn loader_overrides_the_deployed_region_side() {
+    let doc = weights_doc();
+    let p = UNetPredictor::from_weights(1, &doc, 42.5).expect("valid weights");
+    assert_eq!(p.model.config.side, 42.5, "deployment geometry wins");
+    assert!(UNetPredictor::from_weights(1, "[1, 2", 42.5).is_err());
+}
+
+/// The CLI regression the supervisor depends on: a bad `--predictor`
+/// weights file is exit 2 — a *permanent* failure that must never enter
+/// the crash-retry loop (`permanent_exit_codes` includes 2).
+#[test]
+fn cli_exits_2_on_bad_weights_and_never_panics() {
+    let dir = scratch_dir("cli");
+    let bad = dir.join("bad.json");
+    std::fs::write(&bad, "{\"format\":\"nope\"}").unwrap();
+
+    for (tag, path) in [
+        ("corrupt", bad.display().to_string()),
+        ("missing", dir.join("absent.json").display().to_string()),
+    ] {
+        let out = Command::new(BIN)
+            .args(["--scenario", "supernova_remnant", "--steps", "1"])
+            .arg("--predictor")
+            .arg(format!("unet:{path}"))
+            .arg("--run-dir")
+            .arg(dir.join(tag))
+            .output()
+            .expect("spawn asura");
+        assert_eq!(
+            out.status.code(),
+            Some(2),
+            "{tag} weights must exit 2, got {:?}\nstderr: {}",
+            out.status.code(),
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            stderr.contains("cannot load surrogate weights"),
+            "{tag}: uninformative stderr: {stderr}"
+        );
+    }
+
+    // A malformed --predictor value is a plain usage error, also exit 2.
+    let out = Command::new(BIN)
+        .args(["--scenario", "supernova_remnant", "--predictor", "magic"])
+        .output()
+        .expect("spawn asura");
+    assert_eq!(out.status.code(), Some(2));
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -220,6 +220,47 @@ fn tracked(file: &str) -> &'static [Metric] {
             class: Class::Info,
         },
     ];
+    const SURROGATE: &[Metric] = &[
+        Metric {
+            // Conventional-twin wall over surrogate wall for the same
+            // physical interval, measured within one bench invocation so
+            // runner speed cancels. The surrogate skipping the post-SN
+            // CFL collapse is the paper's headline claim — this must stay
+            // above 1.
+            path: &["surrogate_speedup"],
+            direction: Direction::Higher,
+            class: Class::Gated,
+        },
+        Metric {
+            // Surrogate energy-budget error over the conventional one.
+            // Both runs are bitwise deterministic, so this ratio is
+            // exactly reproducible — it bounds the fidelity cost of the
+            // speedup.
+            path: &["energy_err_ratio"],
+            direction: Direction::Lower,
+            class: Class::Gated,
+        },
+        Metric {
+            path: &["train_wall_s"],
+            direction: Direction::Lower,
+            class: Class::Info,
+        },
+        Metric {
+            path: &["surrogate_wall_s"],
+            direction: Direction::Lower,
+            class: Class::Info,
+        },
+        Metric {
+            path: &["conventional_wall_s"],
+            direction: Direction::Lower,
+            class: Class::Info,
+        },
+        Metric {
+            path: &["conventional_steps"],
+            direction: Direction::Higher,
+            class: Class::Info,
+        },
+    ];
     match file {
         "BENCH_blockstep.json" => BLOCKSTEP,
         "BENCH_dist_blockstep.json" => DIST_BLOCKSTEP,
@@ -227,6 +268,7 @@ fn tracked(file: &str) -> &'static [Metric] {
         "BENCH_unet_infer.json" => UNET_INFER,
         "BENCH_tree_walk.json" => TREE_WALK,
         "BENCH_serve.json" => SERVE,
+        "BENCH_surrogate.json" => SURROGATE,
         _ => &[],
     }
 }
@@ -404,6 +446,7 @@ const DEFAULT_FILES: &[&str] = &[
     "BENCH_alltoall.json",
     "BENCH_unet_infer.json",
     "BENCH_serve.json",
+    "BENCH_surrogate.json",
 ];
 
 const USAGE: &str = "\
@@ -700,6 +743,28 @@ mod tests {
         let overlap = rows.iter().find(|r| r.name == "overlap_speedup").unwrap();
         assert!(overlap.failed(0.30), "halved fleet overlap must gate");
         for name in ["serial_wall_s", "concurrent_wall_s"] {
+            let row = rows.iter().find(|r| r.name == name).unwrap();
+            assert!(!row.failed(0.30), "{name} is informational");
+        }
+    }
+
+    #[test]
+    fn surrogate_loop_gates_speedup_and_energy_ratio_but_not_walls() {
+        let base = doc(r#"{"surrogate_speedup": 3.0, "energy_err_ratio": 76.0,
+                "train_wall_s": 4.0, "surrogate_wall_s": 0.1,
+                "conventional_wall_s": 0.4, "conventional_steps": 28}"#);
+        let worse = doc(r#"{"surrogate_speedup": 1.2, "energy_err_ratio": 500.0,
+                "train_wall_s": 40.0, "surrogate_wall_s": 1.0,
+                "conventional_wall_s": 4.0, "conventional_steps": 28}"#);
+        let rows = compare_file("BENCH_surrogate.json", Some(&base), &worse);
+        let speedup = rows.iter().find(|r| r.name == "surrogate_speedup").unwrap();
+        assert!(
+            speedup.failed(0.30),
+            "collapsed surrogate speedup must gate"
+        );
+        let ratio = rows.iter().find(|r| r.name == "energy_err_ratio").unwrap();
+        assert!(ratio.failed(0.30), "fidelity-cost blowup must gate");
+        for name in ["train_wall_s", "surrogate_wall_s", "conventional_wall_s"] {
             let row = rows.iter().find(|r| r.name == name).unwrap();
             assert!(!row.failed(0.30), "{name} is informational");
         }
