@@ -9,6 +9,8 @@
 //!
 //! All quantities use galactic code units: parsec, solar mass, megayear.
 
+#![forbid(unsafe_code)]
+
 pub mod cooling;
 pub mod imf;
 pub mod lifetime;

@@ -4,6 +4,8 @@
 //! regenerated rows/series to stdout and writes CSV artifacts under
 //! `results/` (see DESIGN.md's experiment index).
 
+#![forbid(unsafe_code)]
+
 use std::fs;
 use std::path::PathBuf;
 

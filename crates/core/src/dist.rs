@@ -1227,7 +1227,11 @@ fn main_loop(
                 stats.regions_applied += 1;
             }
             let shared = main.allgatherv(mine);
+            // lint:allow(ordered-iteration): keyed lookup only — the map is
+            // probed by particle id below, never iterated, so hasher order
+            // cannot influence the apply order (which follows `shared`).
             use std::collections::HashMap;
+            // lint:allow(ordered-iteration): keyed lookup only (see above).
             let mut index: HashMap<u64, usize> = HashMap::new();
             for (i, p) in particles.iter().enumerate() {
                 if p.is_gas() {

@@ -60,6 +60,8 @@
 //! registry. `asura serve` (plus the `submit`/`status`/`watch`/… client
 //! subcommands) is the CLI frontend.
 
+#![forbid(unsafe_code)]
+
 pub mod blocksteps;
 pub mod ckpt;
 pub mod config;

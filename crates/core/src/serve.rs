@@ -54,12 +54,13 @@ use crate::faults::{self, FaultPlan};
 use crate::supervise::{
     Heartbeat, IncidentLog, Outcome, ProcessChild, ResumePoint, RetryPolicy, StopReason, Supervisor,
 };
-use std::collections::HashMap;
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
 use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU8, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::time::Duration;
 use unet::json::{parse_json, write_json, Json};
 
@@ -581,8 +582,9 @@ struct Shared {
     cfg: ServeConfig,
     spawner: Spawner,
     fleet: Mutex<Fleet>,
-    /// Abort flags of the currently-running workers, by run id.
-    flags: Mutex<HashMap<String, Arc<AtomicU8>>>,
+    /// Abort flags of the currently-running workers, by run id. Ordered
+    /// so broadcast (shutdown) signalling is deterministic.
+    flags: Mutex<BTreeMap<String, Arc<AtomicU8>>>,
     shutdown: AtomicU8,
 }
 
@@ -661,7 +663,7 @@ pub fn serve(cfg: ServeConfig, spawner: Spawner) -> io::Result<()> {
         cfg,
         spawner,
         fleet: Mutex::new(fleet),
-        flags: Mutex::new(HashMap::new()),
+        flags: Mutex::new(BTreeMap::new()),
         shutdown: AtomicU8::new(RUNNING),
     });
     let mut workers: Vec<std::thread::JoinHandle<()>> = Vec::new();
@@ -685,7 +687,7 @@ pub fn serve(cfg: ServeConfig, spawner: Spawner) -> io::Result<()> {
         // Exit once a shutdown was requested and every worker has wound
         // down (drain: runs finished; detach: runs back to queued).
         if shared.shutdown.load(Ordering::SeqCst) != RUNNING
-            && shared.fleet.lock().unwrap().running_count() == 0
+            && shared.fleet.lock().running_count() == 0
         {
             break;
         }
@@ -699,7 +701,7 @@ pub fn serve(cfg: ServeConfig, spawner: Spawner) -> io::Result<()> {
         let _ = h.join();
     }
     {
-        let fleet = shared.fleet.lock().unwrap();
+        let fleet = shared.fleet.lock();
         shared.save(&fleet);
     }
     let _ = std::fs::remove_file(shared.cfg.root.join(ADDR_FILE));
@@ -725,7 +727,7 @@ fn kill_stale(pid: u32) {
 /// Move queued runs into workers until the concurrency cap is reached.
 fn dispatch(shared: &Arc<Shared>) -> Vec<std::thread::JoinHandle<()>> {
     let mut handles = Vec::new();
-    let mut fleet = shared.fleet.lock().unwrap();
+    let mut fleet = shared.fleet.lock();
     while fleet.running_count() < shared.cfg.max_concurrent {
         let Some(run) = fleet.runs.iter_mut().find(|r| r.state == RunState::Queued) else {
             break;
@@ -734,11 +736,7 @@ fn dispatch(shared: &Arc<Shared>) -> Vec<std::thread::JoinHandle<()>> {
         let id = run.id.clone();
         shared.save(&fleet);
         let flag = Arc::new(AtomicU8::new(FLAG_RUN));
-        shared
-            .flags
-            .lock()
-            .unwrap()
-            .insert(id.clone(), flag.clone());
+        shared.flags.lock().insert(id.clone(), flag.clone());
         let shared = shared.clone();
         handles.push(std::thread::spawn(move || worker(&shared, &id, &flag)));
     }
@@ -747,13 +745,13 @@ fn dispatch(shared: &Arc<Shared>) -> Vec<std::thread::JoinHandle<()>> {
 
 /// Drive one run to a terminal state (or detach) under supervision.
 fn worker(shared: &Arc<Shared>, id: &str, flag: &Arc<AtomicU8>) {
-    let entry = shared
-        .fleet
-        .lock()
-        .unwrap()
-        .get(id)
-        .cloned()
-        .expect("dispatched run is registered");
+    // The dispatcher registers the run before spawning this thread; if the
+    // entry has vanished anyway the worker has nothing to drive.
+    let Some(entry) = shared.fleet.lock().get(id).cloned() else {
+        eprintln!("[serve] run {id}: dispatched run missing from registry");
+        shared.flags.lock().remove(id);
+        return;
+    };
     let run_dir = shared.cfg.root.join(id);
     let result = std::fs::create_dir_all(&run_dir)
         .map_err(|e| format!("create {}: {e}", run_dir.display()))
@@ -770,14 +768,14 @@ fn worker(shared: &Arc<Shared>, id: &str, flag: &Arc<AtomicU8>) {
             RunState::Failed
         }
     };
-    let mut fleet = shared.fleet.lock().unwrap();
+    let mut fleet = shared.fleet.lock();
     if let Some(run) = fleet.get_mut(id) {
         run.state = state;
         run.child_pid = None;
     }
     shared.save(&fleet);
     drop(fleet);
-    shared.flags.lock().unwrap().remove(id);
+    shared.flags.lock().remove(id);
     println!("[serve] run {id}: {}", state.as_str());
 }
 
@@ -812,7 +810,7 @@ fn supervise_run(
                     cmd.env(faults::FAULTS_ENV, plan);
                 }
                 let child = cmd.spawn()?;
-                let mut fleet = shared.fleet.lock().unwrap();
+                let mut fleet = shared.fleet.lock();
                 if let Some(run) = fleet.get_mut(&entry.id) {
                     run.child_pid = Some(child.id());
                 }
@@ -877,14 +875,14 @@ fn submit(shared: &Arc<Shared>, scenario: &str, overrides: RunOverrides) -> Stri
             known.join(", ")
         ));
     };
-    let mut fleet = shared.fleet.lock().unwrap();
+    let mut fleet = shared.fleet.lock();
     let id = fleet.submit(scenario, meta.default_steps, overrides);
     shared.save(&fleet);
     format!("{{\"ok\":true,\"id\":{}}}", jstr(&id))
 }
 
 fn status_line(shared: &Arc<Shared>, id: &str) -> String {
-    let Some(run) = shared.fleet.lock().unwrap().get(id).cloned() else {
+    let Some(run) = shared.fleet.lock().get(id).cloned() else {
         return err_line(&format!("unknown run `{id}`"));
     };
     let run_dir = shared.cfg.root.join(id);
@@ -912,7 +910,7 @@ fn status_line(shared: &Arc<Shared>, id: &str) -> String {
 }
 
 fn list_line(shared: &Arc<Shared>) -> String {
-    let fleet = shared.fleet.lock().unwrap();
+    let fleet = shared.fleet.lock();
     let runs: Vec<String> = fleet
         .runs
         .iter()
@@ -947,7 +945,7 @@ fn scenarios_line(shared: &Arc<Shared>) -> String {
 }
 
 fn cancel(shared: &Arc<Shared>, id: &str) -> String {
-    let mut fleet = shared.fleet.lock().unwrap();
+    let mut fleet = shared.fleet.lock();
     let Some(run) = fleet.get_mut(id) else {
         return err_line(&format!("unknown run `{id}`"));
     };
@@ -959,7 +957,7 @@ fn cancel(shared: &Arc<Shared>, id: &str) -> String {
         }
         RunState::Running => {
             drop(fleet);
-            if let Some(flag) = shared.flags.lock().unwrap().get(id) {
+            if let Some(flag) = shared.flags.lock().get(id) {
                 flag.store(FLAG_CANCEL, Ordering::SeqCst);
             }
             format!(
@@ -979,7 +977,7 @@ fn shutdown(shared: &Arc<Shared>, drain: bool) -> String {
         shared.shutdown.store(STOPPING, Ordering::SeqCst);
         // Detach every running worker: children are killed, their runs
         // return to `queued`, and the rotation keeps their progress.
-        for flag in shared.flags.lock().unwrap().values() {
+        for flag in shared.flags.lock().values() {
             flag.store(FLAG_DETACH, Ordering::SeqCst);
         }
         "{\"ok\":true,\"shutdown\":\"detach\"}".to_string()
@@ -1018,7 +1016,7 @@ fn diagnostics_rows(doc: &Json) -> Vec<String> {
 /// Stream a run's diagnostics samples as they land, then a final done
 /// line once the run reaches a terminal state (or the daemon shuts down).
 fn watch(shared: &Arc<Shared>, id: &str, out: &mut TcpStream) -> io::Result<()> {
-    if shared.fleet.lock().unwrap().get(id).is_none() {
+    if shared.fleet.lock().get(id).is_none() {
         writeln!(out, "{}", err_line(&format!("unknown run `{id}`")))?;
         return Ok(());
     }
@@ -1031,7 +1029,6 @@ fn watch(shared: &Arc<Shared>, id: &str, out: &mut TcpStream) -> io::Result<()> 
         let state = shared
             .fleet
             .lock()
-            .unwrap()
             .get(id)
             .map(|r| r.state)
             .unwrap_or(RunState::Failed);

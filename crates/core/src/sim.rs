@@ -96,6 +96,8 @@ pub struct Simulation {
     /// Persistent gas id → particle index map for applying pool
     /// predictions, invalidated on particle insertion/conversion instead
     /// of being rebuilt every step that has due regions.
+    // lint:allow(ordered-iteration): keyed lookup only — never iterated,
+    // so hasher order cannot reach any persisted or rendered byte.
     id_index: std::collections::HashMap<u64, usize>,
     id_index_dirty: bool,
 }
@@ -142,6 +144,7 @@ impl Simulation {
             last_vsig: Vec::new(),
             buffers: ForceBuffers::default(),
             scheduler: ActiveScheduler::default(),
+            // lint:allow(ordered-iteration): keyed lookup only (see field).
             id_index: std::collections::HashMap::new(),
             id_index_dirty: true,
         }

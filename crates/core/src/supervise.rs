@@ -370,10 +370,9 @@ impl Supervisor {
         resume_point: impl FnMut() -> Option<ResumePoint>,
     ) -> io::Result<(Outcome, IncidentLog)> {
         let (outcome, log) = self.run_with_abort(spawn, resume_point, || None)?;
-        Ok((
-            outcome.expect("run without an abort hook cannot detach"),
-            log,
-        ))
+        let outcome =
+            outcome.ok_or_else(|| io::Error::other("run without an abort hook cannot detach"))?;
+        Ok((outcome, log))
     }
 
     /// [`Supervisor::run`] with an external stop hook, polled at the same

@@ -20,6 +20,8 @@
 //! [`mpisim::Comm`], and the data structures (octree, bounding boxes) are
 //! plain and usable serially.
 
+#![forbid(unsafe_code)]
+
 pub mod bbox;
 pub mod domain;
 pub mod exchange;

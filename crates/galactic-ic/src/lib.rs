@@ -12,6 +12,8 @@
 //! Like the authors' modified AGAMA, generation is parallel and
 //! deterministic: particles are produced in independently seeded chunks.
 
+#![forbid(unsafe_code)]
+
 pub mod disk;
 pub mod halo;
 pub mod model;

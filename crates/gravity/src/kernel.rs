@@ -327,6 +327,10 @@ mod avx2 {
     use fdps::Vec3;
     use std::arch::x86_64::*;
 
+    // SAFETY: callers must only invoke this when the CPU supports AVX2
+    // (the dispatcher checks `is_x86_feature_detected!("avx2")`); slices
+    // jx/jy/jz/jmass must be equal length so the vector loads below stay
+    // in bounds.
     #[target_feature(enable = "avx2")]
     pub unsafe fn accumulate_f64_soa(
         ipos: &[Vec3],
@@ -351,9 +355,19 @@ mod avx2 {
             let mut psv = zero;
             let mut j = 0;
             while j + 4 <= n_j {
-                let dx = _mm256_sub_pd(pix, _mm256_loadu_pd(jx.as_ptr().add(j)));
-                let dy = _mm256_sub_pd(piy, _mm256_loadu_pd(jy.as_ptr().add(j)));
-                let dz = _mm256_sub_pd(piz, _mm256_loadu_pd(jz.as_ptr().add(j)));
+                // SAFETY: j + 4 <= n_j and the caller guarantees the j-
+                // slices share n_j elements, so each 4-wide load is in
+                // bounds of its slice.
+                let (xv, yv, zv) = unsafe {
+                    (
+                        _mm256_loadu_pd(jx.as_ptr().add(j)),
+                        _mm256_loadu_pd(jy.as_ptr().add(j)),
+                        _mm256_loadu_pd(jz.as_ptr().add(j)),
+                    )
+                };
+                let dx = _mm256_sub_pd(pix, xv);
+                let dy = _mm256_sub_pd(piy, yv);
+                let dz = _mm256_sub_pd(piz, zv);
                 // ((dx*dx + dy*dy) + dz*dz) + eps2 — the scalar association.
                 let r2 = _mm256_add_pd(
                     _mm256_add_pd(
@@ -367,7 +381,9 @@ mod avx2 {
                 // trap, no NaN escapes.
                 let mask = _mm256_cmp_pd::<_CMP_GT_OQ>(r2, zero);
                 let rinv = _mm256_and_pd(_mm256_div_pd(one, _mm256_sqrt_pd(r2)), mask);
-                let mrinv = _mm256_mul_pd(_mm256_loadu_pd(jmass.as_ptr().add(j)), rinv);
+                // SAFETY: same bounds argument as the position loads.
+                let mv = unsafe { _mm256_loadu_pd(jmass.as_ptr().add(j)) };
+                let mrinv = _mm256_mul_pd(mv, rinv);
                 let mr3 = _mm256_mul_pd(_mm256_mul_pd(mrinv, rinv), rinv);
                 axv = _mm256_sub_pd(axv, _mm256_mul_pd(mr3, dx));
                 ayv = _mm256_sub_pd(ayv, _mm256_mul_pd(mr3, dy));
@@ -379,10 +395,14 @@ mod avx2 {
             let mut ay = [0.0f64; 4];
             let mut az = [0.0f64; 4];
             let mut ps = [0.0f64; 4];
-            _mm256_storeu_pd(ax.as_mut_ptr(), axv);
-            _mm256_storeu_pd(ay.as_mut_ptr(), ayv);
-            _mm256_storeu_pd(az.as_mut_ptr(), azv);
-            _mm256_storeu_pd(ps.as_mut_ptr(), psv);
+            // SAFETY: each destination is a local [f64; 4] — exactly one
+            // 256-bit store wide.
+            unsafe {
+                _mm256_storeu_pd(ax.as_mut_ptr(), axv);
+                _mm256_storeu_pd(ay.as_mut_ptr(), ayv);
+                _mm256_storeu_pd(az.as_mut_ptr(), azv);
+                _mm256_storeu_pd(ps.as_mut_ptr(), psv);
+            }
             while j < n_j {
                 let dx = pi.x - jx[j];
                 let dy = pi.y - jy[j];
@@ -406,6 +426,10 @@ mod avx2 {
         }
     }
 
+    // SAFETY: callers must only invoke this when the CPU supports AVX2
+    // (the dispatcher checks `is_x86_feature_detected!("avx2")`); slices
+    // jx/jy/jz/jm must be equal length so the vector loads below stay in
+    // bounds.
     #[target_feature(enable = "avx2")]
     #[allow(clippy::too_many_arguments)]
     pub unsafe fn accumulate_mixed_staged(
@@ -436,9 +460,19 @@ mod avx2 {
             let mut psv = zero;
             let mut j = 0;
             while j + 8 <= n_j {
-                let dx = _mm256_sub_ps(xiv, _mm256_loadu_ps(jx.as_ptr().add(j)));
-                let dy = _mm256_sub_ps(yiv, _mm256_loadu_ps(jy.as_ptr().add(j)));
-                let dz = _mm256_sub_ps(ziv, _mm256_loadu_ps(jz.as_ptr().add(j)));
+                // SAFETY: j + 8 <= n_j and the caller guarantees the j-
+                // slices share n_j elements, so each 8-wide load is in
+                // bounds of its slice.
+                let (xv, yv, zv) = unsafe {
+                    (
+                        _mm256_loadu_ps(jx.as_ptr().add(j)),
+                        _mm256_loadu_ps(jy.as_ptr().add(j)),
+                        _mm256_loadu_ps(jz.as_ptr().add(j)),
+                    )
+                };
+                let dx = _mm256_sub_ps(xiv, xv);
+                let dy = _mm256_sub_ps(yiv, yv);
+                let dz = _mm256_sub_ps(ziv, zv);
                 let r2 = _mm256_add_ps(
                     _mm256_add_ps(
                         _mm256_add_ps(_mm256_mul_ps(dx, dx), _mm256_mul_ps(dy, dy)),
@@ -448,7 +482,9 @@ mod avx2 {
                 );
                 let mask = _mm256_cmp_ps::<_CMP_GT_OQ>(r2, zero);
                 let rinv = _mm256_and_ps(_mm256_div_ps(one, _mm256_sqrt_ps(r2)), mask);
-                let mrinv = _mm256_mul_ps(_mm256_loadu_ps(jm.as_ptr().add(j)), rinv);
+                // SAFETY: same bounds argument as the position loads.
+                let mv = unsafe { _mm256_loadu_ps(jm.as_ptr().add(j)) };
+                let mrinv = _mm256_mul_ps(mv, rinv);
                 let mr3 = _mm256_mul_ps(_mm256_mul_ps(mrinv, rinv), rinv);
                 axv = _mm256_sub_ps(axv, _mm256_mul_ps(mr3, dx));
                 ayv = _mm256_sub_ps(ayv, _mm256_mul_ps(mr3, dy));
@@ -460,10 +496,14 @@ mod avx2 {
             let mut ay = [0.0f32; 8];
             let mut az = [0.0f32; 8];
             let mut ps = [0.0f32; 8];
-            _mm256_storeu_ps(ax.as_mut_ptr(), axv);
-            _mm256_storeu_ps(ay.as_mut_ptr(), ayv);
-            _mm256_storeu_ps(az.as_mut_ptr(), azv);
-            _mm256_storeu_ps(ps.as_mut_ptr(), psv);
+            // SAFETY: each destination is a local [f32; 8] — exactly one
+            // 256-bit store wide.
+            unsafe {
+                _mm256_storeu_ps(ax.as_mut_ptr(), axv);
+                _mm256_storeu_ps(ay.as_mut_ptr(), ayv);
+                _mm256_storeu_ps(az.as_mut_ptr(), azv);
+                _mm256_storeu_ps(ps.as_mut_ptr(), psv);
+            }
             while j < n_j {
                 let dx = xi - jx[j];
                 let dy = yi - jy[j];

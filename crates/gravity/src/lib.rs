@@ -19,6 +19,8 @@
 //! across groups (the intra-node OpenMP analogue), staging each group's
 //! interaction list into per-worker SoA buffers.
 
+#![deny(unsafe_op_in_unsafe_fn)]
+
 pub mod kernel;
 pub mod solver;
 

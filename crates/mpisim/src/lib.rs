@@ -27,6 +27,8 @@
 //! real MPI implementation would generate. That instrumentation is what the
 //! performance model (`perfmodel`) calibrates against.
 
+#![forbid(unsafe_code)]
+
 pub mod collective;
 pub mod comm;
 pub mod mailbox;

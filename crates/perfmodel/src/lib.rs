@@ -18,6 +18,8 @@
 //! Figures 6 and 7 then follow from the functional forms. Each phase model
 //! is independently testable.
 
+#![forbid(unsafe_code)]
+
 pub mod calibrate;
 pub mod machine;
 pub mod model;

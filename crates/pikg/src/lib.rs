@@ -30,6 +30,8 @@
 //! assert_eq!(kernel.spec().name, "gravity");
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod ast;
 pub mod codegen;
 pub mod compile;

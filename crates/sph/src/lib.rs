@@ -20,6 +20,8 @@
 //!   entire paper (§1: the SN-heated gas makes `dt_CFL` collapse);
 //! * [`solver`] — a rayon-parallel driver over a neighbor-search tree.
 
+#![forbid(unsafe_code)]
+
 pub mod density;
 pub mod eos;
 pub mod force;

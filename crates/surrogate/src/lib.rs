@@ -13,6 +13,8 @@
 //! simulations with Sedov–Taylor blasts in `v^-4` turbulent boxes
 //! ([`training`]), as documented in DESIGN.md.
 
+#![forbid(unsafe_code)]
+
 pub mod encode;
 pub mod gibbs;
 pub mod model;

@@ -20,6 +20,8 @@
 //! assert_eq!([y.c, y.d, y.h, y.w], [1, 8, 8, 8]);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod adam;
 pub mod conv;
 pub mod gemm;

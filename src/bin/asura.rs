@@ -61,6 +61,8 @@
 //! Exit codes: 0 success, 1 runtime failure (unreadable snapshot, I/O,
 //! supervision gave up), 2 usage error or permanent failure (bad weights).
 
+#![forbid(unsafe_code)]
+
 use asura::scenarios;
 use asura::surrogate_train::{self, TrainSpec};
 use asura_core::ckpt::{atomic_write, CkptFormat, CkptStore, DEFAULT_KEEP};

@@ -6,6 +6,8 @@
 //! binary (`src/bin/asura.rs`). Library users should depend on the
 //! individual crates directly.
 
+#![forbid(unsafe_code)]
+
 pub mod scenarios;
 pub mod surrogate_train;
 

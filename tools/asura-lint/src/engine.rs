@@ -1,0 +1,384 @@
+//! The rule engine: file model, path scopes, suppressions, reporting.
+//!
+//! A [`FileModel`] is one lexed source file plus the derived facts every
+//! rule needs: which lines sit inside `#[cfg(test)]` items (test code is
+//! exempt — the invariants protect production paths, and the damage-
+//! injection tests *must* write torn bytes), and which
+//! `// lint:allow(<rule>): <reason>` suppressions are in force. A
+//! suppression covers findings on its own line and on the next line that
+//! carries code, must name a known rule, and must carry a non-empty
+//! reason after the colon — a reasonless suppression is itself a
+//! violation, so every silence in the tree is a documented decision.
+
+use crate::lexer::{lex, Lexed, TokKind};
+use crate::rules::{all_rules, Rule};
+
+/// One rule violation.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    pub rule: &'static str,
+    pub path: String,
+    pub line: usize,
+    pub message: String,
+}
+
+/// One parsed `lint:allow` comment.
+#[derive(Debug, Clone)]
+pub struct Suppression {
+    pub rule: String,
+    pub path: String,
+    pub line: usize,
+    pub reason: String,
+    pub used: bool,
+}
+
+/// A source file ready for rule checks.
+pub struct FileModel {
+    /// Repo-relative path with `/` separators — what scopes match on.
+    pub path: String,
+    pub lexed: Lexed,
+    /// Raw source lines (1-based access via `line_text`).
+    pub lines: Vec<String>,
+    /// Inclusive line spans of `#[cfg(test)]` items.
+    pub test_spans: Vec<(usize, usize)>,
+    pub suppressions: Vec<Suppression>,
+}
+
+impl FileModel {
+    pub fn parse(path: String, src: &str) -> FileModel {
+        let lexed = lex(src);
+        let lines: Vec<String> = src.lines().map(|l| l.to_string()).collect();
+        let test_spans = find_test_spans(&lexed);
+        let suppressions = find_suppressions(&path, &lexed);
+        FileModel {
+            path,
+            lexed,
+            lines,
+            test_spans,
+            suppressions,
+        }
+    }
+
+    pub fn line_text(&self, line: usize) -> &str {
+        self.lines.get(line.wrapping_sub(1)).map_or("", |s| s)
+    }
+
+    pub fn in_test_code(&self, line: usize) -> bool {
+        self.test_spans.iter().any(|&(a, b)| line >= a && line <= b)
+    }
+}
+
+/// Locate `#[cfg(test)]` attributes and the brace span of the item each
+/// one gates. The scan is token-exact (comments/strings can't fake it);
+/// an attribute gating a braceless item (`#[cfg(test)] use …;`) has no
+/// span and is ignored.
+fn find_test_spans(lexed: &Lexed) -> Vec<(usize, usize)> {
+    let toks = &lexed.tokens;
+    let mut spans = Vec::new();
+    let is = |i: usize, text: &str| toks.get(i).is_some_and(|t| t.text == text);
+    let mut i = 0;
+    while i < toks.len() {
+        if is(i, "#")
+            && is(i + 1, "[")
+            && is(i + 2, "cfg")
+            && is(i + 3, "(")
+            && is(i + 4, "test")
+            && is(i + 5, ")")
+            && is(i + 6, "]")
+        {
+            // Find the gated item's opening brace; stop at `;` (no body).
+            let mut j = i + 7;
+            let mut depth = 0i64;
+            let mut open = None;
+            while let Some(t) = toks.get(j) {
+                match (t.kind, t.text.as_str()) {
+                    (TokKind::Punct, "{") => {
+                        open = Some(j);
+                        break;
+                    }
+                    (TokKind::Punct, ";") => break,
+                    _ => {}
+                }
+                j += 1;
+            }
+            if let Some(open) = open {
+                let start_line = toks[i].line;
+                let mut k = open;
+                while let Some(t) = toks.get(k) {
+                    match (t.kind, t.text.as_str()) {
+                        (TokKind::Punct, "{") => depth += 1,
+                        (TokKind::Punct, "}") => {
+                            depth -= 1;
+                            if depth == 0 {
+                                spans.push((start_line, t.line));
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    k += 1;
+                }
+                i = k;
+            }
+        }
+        i += 1;
+    }
+    spans
+}
+
+/// Parse every `lint:allow(<rule>): <reason>` comment in the file. A
+/// malformed reason is recorded as empty and flagged by the engine.
+fn find_suppressions(path: &str, lexed: &Lexed) -> Vec<Suppression> {
+    let mut out = Vec::new();
+    for (line, text) in &lexed.comments {
+        let mut rest = text.as_str();
+        while let Some(pos) = rest.find("lint:allow(") {
+            let after = &rest[pos + "lint:allow(".len()..];
+            let Some(close) = after.find(')') else { break };
+            let rule = after[..close].trim().to_string();
+            // Prose that *mentions* the syntax (like this file's docs)
+            // is not a suppression: rule names are bare kebab-case.
+            if rule.is_empty()
+                || !rule
+                    .chars()
+                    .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-' || c == '_')
+            {
+                rest = &after[close + 1..];
+                continue;
+            }
+            let tail = &after[close + 1..];
+            let reason = tail
+                .strip_prefix(':')
+                .map(|r| r.trim().to_string())
+                .unwrap_or_default();
+            out.push(Suppression {
+                rule,
+                path: path.to_string(),
+                line: *line,
+                reason,
+                used: false,
+            });
+            rest = tail;
+        }
+    }
+    out
+}
+
+/// Minimal glob matcher over `/`-separated relative paths. Supports `*`
+/// (within one segment) and a trailing or inner `**` (any number of
+/// segments, including zero). This covers every scope the rule table
+/// uses; anything fancier belongs in a real glob crate we don't vendor.
+pub fn path_matches(pattern: &str, path: &str) -> bool {
+    fn segs(s: &str) -> Vec<&str> {
+        s.split('/').filter(|p| !p.is_empty()).collect()
+    }
+    fn seg_match(pat: &str, seg: &str) -> bool {
+        // `*` within a segment: anchored greedy pieces.
+        let pieces: Vec<&str> = pat.split('*').collect();
+        if pieces.len() == 1 {
+            return pat == seg;
+        }
+        let mut rest = seg;
+        for (i, piece) in pieces.iter().enumerate() {
+            if piece.is_empty() {
+                continue;
+            }
+            match rest.find(piece) {
+                Some(pos) => {
+                    if i == 0 && pos != 0 {
+                        return false;
+                    }
+                    rest = &rest[pos + piece.len()..];
+                }
+                None => return false,
+            }
+        }
+        pieces.last().is_some_and(|p| p.is_empty()) || rest.is_empty()
+    }
+    fn rec(pat: &[&str], path: &[&str]) -> bool {
+        match (pat.first(), path.first()) {
+            (None, None) => true,
+            (Some(&"**"), _) => rec(&pat[1..], path) || (!path.is_empty() && rec(pat, &path[1..])),
+            (Some(p), Some(s)) if seg_match(p, s) => rec(&pat[1..], &path[1..]),
+            _ => false,
+        }
+    }
+    rec(&segs(pattern), &segs(path))
+}
+
+/// Does `path` fall inside `rule`'s scope?
+pub fn in_scope(rule: &Rule, path: &str) -> bool {
+    rule.include.iter().any(|p| path_matches(p, path))
+        && !rule.exclude.iter().any(|p| path_matches(p, path))
+}
+
+/// The full result of linting a file set.
+#[derive(Debug, Default)]
+pub struct Report {
+    pub findings: Vec<Finding>,
+    pub suppressions: Vec<Suppression>,
+    pub files_scanned: usize,
+}
+
+/// Lint a set of (relative path, source) pairs against every rule.
+pub fn run(files: &[(String, String)]) -> Report {
+    let rules = all_rules();
+    let mut report = Report {
+        files_scanned: files.len(),
+        ..Default::default()
+    };
+    for (path, src) in files {
+        let mut model = FileModel::parse(path.clone(), src);
+        for rule in &rules {
+            if !in_scope(rule, &model.path) {
+                continue;
+            }
+            let raw = (rule.check)(&model);
+            for f in raw {
+                if model.in_test_code(f.line) {
+                    continue;
+                }
+                // A suppression covers its own line and the next code line.
+                let covering = model.suppressions.iter_mut().find(|s| {
+                    s.rule == rule.name
+                        && !s.reason.is_empty()
+                        && (s.line == f.line
+                            || FileModel::next_code_line_of(&model.lexed, s.line) == Some(f.line))
+                });
+                if let Some(s) = covering {
+                    s.used = true;
+                    continue;
+                }
+                report.findings.push(f);
+            }
+        }
+        // Suppression hygiene: unknown rule names and missing reasons are
+        // violations in their own right (and test code gets no pass here —
+        // a suppression is documentation, wherever it sits).
+        for s in &model.suppressions {
+            if !rules.iter().any(|r| r.name == s.rule) {
+                report.findings.push(Finding {
+                    rule: "lint-allow",
+                    path: s.path.clone(),
+                    line: s.line,
+                    message: format!("suppression names unknown rule `{}`", s.rule),
+                });
+            } else if s.reason.is_empty() {
+                report.findings.push(Finding {
+                    rule: "lint-allow",
+                    path: s.path.clone(),
+                    line: s.line,
+                    message: format!(
+                        "suppression of `{}` has no reason — write \
+                         `// lint:allow({}): <why this site is exempt>`",
+                        s.rule, s.rule
+                    ),
+                });
+            }
+        }
+        report.suppressions.append(&mut model.suppressions);
+    }
+    report
+        .findings
+        .sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
+    report
+}
+
+impl FileModel {
+    /// First line after `line` that carries a token — static for use while
+    /// the model is mutably borrowed elsewhere.
+    fn next_code_line_of(lexed: &Lexed, line: usize) -> Option<usize> {
+        lexed.tokens.iter().map(|t| t.line).find(|&l| l > line)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn glob_matching() {
+        assert!(path_matches(
+            "crates/gravity/**",
+            "crates/gravity/src/kernel.rs"
+        ));
+        assert!(path_matches(
+            "crates/unet/src/gemm.rs",
+            "crates/unet/src/gemm.rs"
+        ));
+        assert!(!path_matches(
+            "crates/unet/src/gemm.rs",
+            "crates/unet/src/conv.rs"
+        ));
+        assert!(path_matches("src/**", "src/bin/asura.rs"));
+        assert!(!path_matches("src/**", "crates/core/src/sim.rs"));
+        assert!(path_matches("**", "anything/at/all.rs"));
+        assert!(path_matches("crates/*/src/lib.rs", "crates/sph/src/lib.rs"));
+        assert!(!path_matches(
+            "crates/*/src/lib.rs",
+            "crates/sph/src/force.rs"
+        ));
+        assert!(path_matches("**/pool.rs", "vendor/rayon/src/pool.rs"));
+    }
+
+    #[test]
+    fn cfg_test_spans_cover_mod_bodies() {
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests {\n    fn x() {}\n}\nfn after() {}\n";
+        let model = FileModel::parse("a.rs".into(), src);
+        assert!(!model.in_test_code(1));
+        assert!(model.in_test_code(4));
+        assert!(!model.in_test_code(6));
+    }
+
+    #[test]
+    fn cfg_test_on_braceless_item_is_ignored() {
+        let src = "#[cfg(test)]\nuse std::fs;\nfn f() { g(); }\n";
+        let model = FileModel::parse("a.rs".into(), src);
+        assert!(!model.in_test_code(3));
+    }
+
+    #[test]
+    fn suppression_parsing_extracts_rule_and_reason() {
+        let src = "// lint:allow(ordered-iteration): lookup-only map\nlet x = 1;\n";
+        let model = FileModel::parse("a.rs".into(), src);
+        assert_eq!(model.suppressions.len(), 1);
+        assert_eq!(model.suppressions[0].rule, "ordered-iteration");
+        assert_eq!(model.suppressions[0].reason, "lookup-only map");
+    }
+
+    #[test]
+    fn suppression_without_reason_is_flagged() {
+        let files = vec![(
+            "crates/core/src/sim.rs".to_string(),
+            "// lint:allow(ordered-iteration)\nuse std::collections::HashMap;\n".to_string(),
+        )];
+        let report = run(&files);
+        assert!(report.findings.iter().any(|f| f.rule == "lint-allow"));
+    }
+
+    #[test]
+    fn suppression_with_reason_silences_next_code_line() {
+        let files = vec![(
+            "crates/core/src/sim.rs".to_string(),
+            "// lint:allow(ordered-iteration): keyed lookup only, never iterated\n\
+             use std::collections::HashMap;\n"
+                .to_string(),
+        )];
+        let report = run(&files);
+        assert!(report.findings.is_empty(), "{:?}", report.findings);
+        assert!(report.suppressions[0].used);
+    }
+
+    #[test]
+    fn unknown_rule_in_suppression_is_flagged() {
+        let files = vec![(
+            "crates/core/src/sim.rs".to_string(),
+            "// lint:allow(no-such-rule): because\nlet x = 1;\n".to_string(),
+        )];
+        let report = run(&files);
+        assert!(report
+            .findings
+            .iter()
+            .any(|f| f.rule == "lint-allow" && f.message.contains("unknown rule")));
+    }
+}

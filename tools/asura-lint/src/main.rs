@@ -1,0 +1,204 @@
+//! `asura-lint` — the workspace invariant checker.
+//!
+//! Usage:
+//!   cargo run -p asura-lint -- --workspace       # lint the repo root
+//!   cargo run -p asura-lint -- --root DIR        # lint an arbitrary tree
+//!   cargo run -p asura-lint -- --list-rules      # print the rule catalog
+//!
+//! Exit codes: 0 clean, 1 findings, 2 usage/IO error.
+//!
+//! The report is GitHub-flavored markdown so CI can tee it straight into
+//! `$GITHUB_STEP_SUMMARY`.
+
+#![forbid(unsafe_code)]
+
+mod engine;
+mod lexer;
+mod rules;
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// Directory names never descended into, wherever they appear.
+const SKIP_DIRS: &[&str] = &["target", ".git", "bench-baselines", "node_modules"];
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut root: Option<PathBuf> = None;
+    let mut list_rules = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--workspace" => root = Some(workspace_root()),
+            "--root" => {
+                i += 1;
+                match args.get(i) {
+                    Some(dir) => root = Some(PathBuf::from(dir)),
+                    None => {
+                        eprintln!("error: --root requires a directory argument");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            "--list-rules" => list_rules = true,
+            other => {
+                eprintln!("error: unknown argument `{other}`");
+                eprintln!("usage: asura-lint [--workspace | --root <dir>] [--list-rules]");
+                return ExitCode::from(2);
+            }
+        }
+        i += 1;
+    }
+
+    if list_rules {
+        print_rule_catalog();
+        if root.is_none() {
+            return ExitCode::SUCCESS;
+        }
+    }
+
+    let Some(root) = root else {
+        eprintln!("usage: asura-lint [--workspace | --root <dir>] [--list-rules]");
+        return ExitCode::from(2);
+    };
+
+    let mut files = Vec::new();
+    if let Err(e) = collect_rs_files(&root, &root, &mut files) {
+        eprintln!("error: walking {}: {e}", root.display());
+        return ExitCode::from(2);
+    }
+    files.sort_by(|a, b| a.0.cmp(&b.0));
+
+    let report = engine::run(&files);
+    print!("{}", render_markdown(&report));
+    if report.findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// The workspace root: the linter lives at `<root>/tools/asura-lint`, so
+/// two levels up from this crate's manifest dir. Falls back to `.` when
+/// the binary is moved out of tree.
+fn workspace_root() -> PathBuf {
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .parent()
+        .and_then(|p| p.parent())
+        .map(|p| p.to_path_buf())
+        .unwrap_or_else(|| PathBuf::from("."))
+}
+
+/// Recursively gather `.rs` files as (repo-relative `/`-separated path,
+/// contents) pairs. The linter's own fixture trees are skipped — they are
+/// violations *on purpose* and are exercised by the fixture test suite.
+fn collect_rs_files(
+    root: &Path,
+    dir: &Path,
+    out: &mut Vec<(String, String)>,
+) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name.as_ref()) || name.starts_with("results") {
+                continue;
+            }
+            let rel = rel_path(root, &path);
+            if rel == "tools/asura-lint/tests" {
+                continue;
+            }
+            collect_rs_files(root, &path, out)?;
+        } else if name.ends_with(".rs") {
+            let src = std::fs::read_to_string(&path)?;
+            out.push((rel_path(root, &path), src));
+        }
+    }
+    Ok(())
+}
+
+fn rel_path(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy().into_owned())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+fn print_rule_catalog() {
+    println!("# asura-lint rules\n");
+    println!("| rule | scope | contract |");
+    println!("|---|---|---|");
+    for rule in rules::all_rules() {
+        let scope = if rule.exclude.is_empty() {
+            rule.include.join(", ")
+        } else {
+            format!(
+                "{} (except {})",
+                rule.include.join(", "),
+                rule.exclude.join(", ")
+            )
+        };
+        println!(
+            "| `{}` | {} | {} |",
+            rule.name,
+            scope,
+            collapse_ws(rule.description)
+        );
+    }
+    println!();
+}
+
+fn collapse_ws(s: &str) -> String {
+    s.split_whitespace().collect::<Vec<_>>().join(" ")
+}
+
+fn render_markdown(report: &engine::Report) -> String {
+    let mut out = String::new();
+    out.push_str("# asura-lint report\n\n");
+    out.push_str(&format!(
+        "{} file(s) scanned, {} finding(s), {} suppression(s) in force.\n\n",
+        report.files_scanned,
+        report.findings.len(),
+        report.suppressions.len()
+    ));
+
+    if report.findings.is_empty() {
+        out.push_str("No violations. ✅\n");
+    } else {
+        out.push_str("| rule | location | finding |\n|---|---|---|\n");
+        for f in &report.findings {
+            out.push_str(&format!(
+                "| `{}` | `{}:{}` | {} |\n",
+                f.rule,
+                f.path,
+                f.line,
+                collapse_ws(&f.message)
+            ));
+        }
+    }
+
+    if !report.suppressions.is_empty() {
+        out.push_str("\n## Suppressions\n\n");
+        out.push_str("| rule | location | used | reason |\n|---|---|---|---|\n");
+        for s in &report.suppressions {
+            out.push_str(&format!(
+                "| `{}` | `{}:{}` | {} | {} |\n",
+                s.rule,
+                s.path,
+                s.line,
+                if s.used { "yes" } else { "no" },
+                if s.reason.is_empty() {
+                    "(missing)".to_string()
+                } else {
+                    collapse_ws(&s.reason)
+                }
+            ));
+        }
+    }
+    out
+}

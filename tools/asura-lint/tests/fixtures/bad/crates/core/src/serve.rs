@@ -1,0 +1,8 @@
+// Fixture: no-panic-daemon violations.
+pub fn handle(input: Option<&str>) -> usize {
+    let line = input.unwrap();
+    if line.is_empty() {
+        panic!("empty request");
+    }
+    line.len()
+}

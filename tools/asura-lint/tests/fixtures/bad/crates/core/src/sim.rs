@@ -1,0 +1,7 @@
+// Fixture: no-wallclock-determinism violation, plus a reasonless
+// suppression (which is itself a finding).
+pub fn step() -> std::time::Instant {
+    // lint:allow(no-wallclock-determinism)
+    let t = std::time::Instant::now();
+    t
+}

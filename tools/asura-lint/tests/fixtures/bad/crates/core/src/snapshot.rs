@@ -1,0 +1,10 @@
+// Fixture: ordered-iteration violation.
+use std::collections::HashMap;
+
+pub fn manifest(entries: &HashMap<String, u64>) -> String {
+    let mut out = String::new();
+    for (k, v) in entries {
+        out.push_str(&format!("{k}={v}\n"));
+    }
+    out
+}

@@ -1,0 +1,7 @@
+// Fixture: atomic-io violations (never compiled — exercised by the
+// fixture test suite through the asura-lint binary).
+pub fn persist(path: &std::path::Path, bytes: &[u8]) -> std::io::Result<()> {
+    std::fs::write(path, bytes)?;
+    let _file = std::fs::File::create(path.with_extension("tmp"))?;
+    Ok(())
+}

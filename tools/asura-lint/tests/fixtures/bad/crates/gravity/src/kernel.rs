@@ -1,0 +1,5 @@
+// Fixture: no-fma violations.
+pub fn accumulate(a: f64, b: f64, c: f64) -> f64 {
+    let fused = a.mul_add(b, c);
+    fused
+}

@@ -1,0 +1,4 @@
+// Fixture: safety-comment violation (unsafe with no SAFETY comment).
+pub fn read_first(p: *const f64) -> f64 {
+    unsafe { *p }
+}

@@ -1,0 +1,10 @@
+// Fixture: no-panic-daemon compliant — typed errors, and the non-panicking
+// unwrap_* family stays legal.
+pub fn handle(input: Option<&str>) -> Result<usize, String> {
+    let line = input.ok_or("missing request line")?;
+    Ok(line.len().max(1).min(usize::MAX))
+}
+
+pub fn fallback(input: Option<usize>) -> usize {
+    input.unwrap_or(0)
+}

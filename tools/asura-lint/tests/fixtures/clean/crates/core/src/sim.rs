@@ -1,0 +1,9 @@
+// Fixture: no-wallclock-determinism compliant (durations computed from
+// step counts), plus a *reasoned* suppression silencing a lookup-only
+// HashMap — this is the suppression-accepting positive case.
+pub fn step(step_count: u64, dt: f64) -> f64 {
+    step_count as f64 * dt
+}
+
+// lint:allow(ordered-iteration): keyed lookup only — never iterated.
+pub type IdIndex = std::collections::HashMap<u64, usize>;

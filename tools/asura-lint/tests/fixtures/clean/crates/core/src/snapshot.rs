@@ -1,0 +1,10 @@
+// Fixture: ordered-iteration compliant — deterministic order via BTreeMap.
+use std::collections::BTreeMap;
+
+pub fn manifest(entries: &BTreeMap<String, u64>) -> String {
+    let mut out = String::new();
+    for (k, v) in entries {
+        out.push_str(&format!("{k}={v}\n"));
+    }
+    out
+}

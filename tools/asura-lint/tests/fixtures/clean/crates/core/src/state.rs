@@ -1,0 +1,14 @@
+// Fixture: atomic-io compliant — persistence goes through the ckpt
+// helper, and the raw write lives only in a #[cfg(test)] item (test code
+// is exempt: damage-injection tests must write torn bytes).
+pub fn persist(path: &std::path::Path, bytes: &[u8]) -> std::io::Result<()> {
+    crate::ckpt::atomic_write(path, bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn torn_write() {
+        std::fs::write("scratch", b"torn").unwrap();
+    }
+}

@@ -1,0 +1,8 @@
+// Fixture: no-fma compliant — explicit mul then add, and the forbidden
+// names appearing in comments (mul_add, _mm256_fmadd_pd) or strings must
+// not trip the scanner.
+pub fn accumulate(a: f64, b: f64, c: f64) -> f64 {
+    let label = "mul_add is banned here";
+    let _ = label;
+    a * b + c
+}

@@ -1,0 +1,11 @@
+// Fixture: safety-comment compliant, in both accepted shapes — same-line
+// and above an attribute stack.
+pub fn read_first(p: *const f64) -> f64 {
+    // SAFETY: the caller guarantees p points at least one f64.
+    unsafe { *p }
+}
+
+// SAFETY: callers must check for AVX2 before invoking.
+#[target_feature(enable = "avx2")]
+#[cfg(target_arch = "x86_64")]
+pub unsafe fn body() {}

@@ -30,6 +30,8 @@
 //! is reported and passes (first run of a new bench); a missing *current*
 //! file fails — that's a CI wiring error, not a perf result.
 
+#![forbid(unsafe_code)]
+
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use unet::json::{parse_json, Json};

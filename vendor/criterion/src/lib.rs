@@ -15,6 +15,8 @@
 //! criterion-style benches leave the same perf breadcrumbs the hand-rolled
 //! harnesses do.
 
+#![forbid(unsafe_code)]
+
 use std::fmt::Display;
 use std::sync::Mutex;
 use std::time::Instant;

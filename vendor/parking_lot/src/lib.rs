@@ -5,6 +5,8 @@
 //! panicked holder does not poison the data for mailbox queues), and
 //! `Condvar::wait` takes `&mut MutexGuard` instead of consuming the guard.
 
+#![forbid(unsafe_code)]
+
 use std::ops::{Deref, DerefMut};
 
 /// A mutex whose `lock` returns the guard directly.

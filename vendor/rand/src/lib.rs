@@ -10,6 +10,8 @@
 //! seeded streams differ from the real crate, which is fine for simulation
 //! initial conditions and tests that only need reproducibility.
 
+#![forbid(unsafe_code)]
+
 use std::ops::Range;
 
 /// Construction of a generator from seed material.

@@ -28,6 +28,8 @@
 //! body) also run inline — see the [`pool`] module docs for the
 //! deadlock-freedom argument.
 
+#![deny(unsafe_op_in_unsafe_fn)]
+
 pub mod pool;
 
 use std::ops::Range;
